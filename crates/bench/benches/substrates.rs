@@ -1,0 +1,232 @@
+//! Substrate micro-benchmarks and the ablations called out in DESIGN.md:
+//!
+//! * `ablate_pruning` — bounded loop-free path enumeration with exact
+//!   reverse-Dijkstra potentials vs a deliberately unpruned DFS;
+//! * `ablate_geodesic` — Vincenty (what the library uses) vs haversine;
+//! * codec and routing micro-benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hft_bench::REPRO_SEED;
+use hft_corridor::{chicago_nj, generate, GeneratedEcosystem};
+use hft_geodesy::{gc_distance_m, vincenty_inverse, LatLon};
+use hft_netgraph::{bounded_paths, dijkstra, yen_k_shortest, BoundedPathsConfig, Graph, NodeId};
+use hftnetview::report;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn eco() -> &'static GeneratedEcosystem {
+    static ECO: OnceLock<GeneratedEcosystem> = OnceLock::new();
+    ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED))
+}
+
+fn bench_geodesics(c: &mut Criterion) {
+    let a = LatLon::new(41.7625, -88.171233).unwrap();
+    let b = LatLon::new(40.7930, -74.0576).unwrap();
+    let mut g = c.benchmark_group("ablate_geodesic");
+    g.bench_function("vincenty_inverse", |bch| {
+        bch.iter(|| black_box(vincenty_inverse(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("haversine", |bch| {
+        bch.iter(|| black_box(gc_distance_m(black_box(&a), black_box(&b))))
+    });
+    g.finish();
+}
+
+/// A 2×N ladder graph with unit-ish weights — the worst case for naive
+/// path enumeration (exponentially many loop-free paths).
+fn ladder(n: usize) -> (Graph<(), f64>, NodeId, NodeId) {
+    let mut g: Graph<(), f64> = Graph::new();
+    let top: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    let bot: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for i in 0..n - 1 {
+        g.add_edge(top[i], top[i + 1], 1.0);
+        g.add_edge(bot[i], bot[i + 1], 1.02);
+    }
+    for i in 0..n {
+        g.add_edge(top[i], bot[i], 0.12);
+    }
+    (g, top[0], top[n - 1])
+}
+
+/// Unpruned DFS path counter (the ablation baseline): enumerates all
+/// loop-free paths and only checks the bound at the target.
+fn naive_count(g: &Graph<(), f64>, src: NodeId, dst: NodeId, bound: f64) -> usize {
+    fn rec(
+        g: &Graph<(), f64>,
+        cur: NodeId,
+        dst: NodeId,
+        cost: f64,
+        bound: f64,
+        visited: &mut Vec<bool>,
+        count: &mut usize,
+    ) {
+        if cur == dst {
+            if cost <= bound {
+                *count += 1;
+            }
+            return;
+        }
+        let neighbors: Vec<(hft_netgraph::EdgeId, NodeId)> = g.neighbors(cur).collect();
+        for (e, v) in neighbors {
+            if visited[v.index()] {
+                continue;
+            }
+            visited[v.index()] = true;
+            rec(g, v, dst, cost + *g.edge(e), bound, visited, count);
+            visited[v.index()] = false;
+        }
+    }
+    let mut visited = vec![false; g.node_count()];
+    visited[src.index()] = true;
+    let mut count = 0;
+    rec(g, src, dst, 0.0, bound, &mut visited, &mut count);
+    count
+}
+
+fn bench_pruning_ablation(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("ablate_pruning");
+    for n in [8usize, 11, 14] {
+        let (g, s, t) = ladder(n);
+        // A tight bound: only paths within 8% of the shortest qualify.
+        let best = dijkstra(&g, s, |_, w| *w, |_| true).distance(t).unwrap();
+        let bound = best * 1.08;
+        grp.bench_with_input(BenchmarkId::new("potential_pruned", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(bounded_paths(
+                    &g,
+                    s,
+                    t,
+                    |_, w| *w,
+                    &BoundedPathsConfig { bound, max_paths: usize::MAX, record_paths: false },
+                ))
+            })
+        });
+        grp.bench_with_input(BenchmarkId::new("naive_dfs", n), &n, |b, _| {
+            b.iter(|| black_box(naive_count(&g, s, t, bound)))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let net = report::network_of(eco(), "Webline Holdings", report::snapshot_date());
+    let rg = hft_core::route::RoutingGraph::build(
+        &net,
+        &hft_core::corridor::CME,
+        &hft_core::corridor::EQUINIX_NY4,
+    );
+    c.bench_function("routing_graph_build", |b| {
+        b.iter(|| {
+            black_box(hft_core::route::RoutingGraph::build(
+                black_box(&net),
+                &hft_core::corridor::CME,
+                &hft_core::corridor::EQUINIX_NY4,
+            ))
+        })
+    });
+    c.bench_function("dijkstra_one_route", |b| {
+        b.iter(|| black_box(rg.route_filtered(&net, |_| true)))
+    });
+    c.bench_function("yen_5_shortest", |b| {
+        b.iter(|| {
+            black_box(yen_k_shortest(&rg.graph, rg.source, rg.target, 5, |_, e| e.latency_s()))
+        })
+    });
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let eco = eco();
+    let lics = {
+        use hft_uls::UlsPortal;
+        eco.db.licensee_search("New Line Networks")
+    };
+    c.bench_function("reconstruct_nln_snapshot", |b| {
+        b.iter(|| {
+            black_box(hft_core::reconstruct(
+                black_box(&lics),
+                "New Line Networks",
+                report::snapshot_date(),
+                &Default::default(),
+            ))
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let eco = eco();
+    let text = hft_uls::flatfile::encode(eco.db.licenses());
+    let mut g = c.benchmark_group("flatfile");
+    g.sample_size(20);
+    g.bench_function("encode_full_corpus", |b| {
+        b.iter(|| black_box(hft_uls::flatfile::encode(black_box(eco.db.licenses()))))
+    });
+    g.bench_function("decode_full_corpus", |b| {
+        b.iter(|| black_box(hft_uls::flatfile::decode(black_box(&text)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_leo_snapshot(c: &mut Criterion) {
+    let shell = hft_leo::Constellation::starlink_like();
+    let a = hft_leo::GroundStation::new("FRA", 50.1109, 8.6821).unwrap();
+    let b = hft_leo::GroundStation::new("DC", 38.9072, -77.0369).unwrap();
+    let mut g = c.benchmark_group("leo");
+    g.sample_size(20);
+    g.bench_function("constellation_snapshot_route", |bch| {
+        bch.iter(|| black_box(shell.route(black_box(&a), black_box(&b), 0.0)))
+    });
+    g.finish();
+}
+
+fn bench_design_tradeoffs(c: &mut Criterion) {
+    // The §6 link-length tradeoff as an ablation: designing and
+    // evaluating corridors of varying density/redundancy.
+    use hft_core::corridor::{CME, EQUINIX_NY4};
+    use hft_core::design::{design_corridor, evaluate, DesignSpec};
+    let mut grp = c.benchmark_group("ablate_design");
+    grp.sample_size(20);
+    for (label, spec) in [
+        ("lean_unprotected", DesignSpec { primary_towers: 15, protected_fraction: 0.0, ..Default::default() }),
+        ("dense_protected", DesignSpec { primary_towers: 40, protected_fraction: 1.0, ..Default::default() }),
+    ] {
+        grp.bench_function(label, |b| {
+            b.iter(|| {
+                let net = design_corridor(&CME, &EQUINIX_NY4, black_box(&spec));
+                black_box(evaluate(&net, &CME, &EQUINIX_NY4))
+            })
+        });
+    }
+    grp.finish();
+}
+
+fn bench_disjoint_pair(c: &mut Criterion) {
+    let net = report::network_of(eco(), "Webline Holdings", report::snapshot_date());
+    let rg = hft_core::route::RoutingGraph::build(
+        &net,
+        &hft_core::corridor::CME,
+        &hft_core::corridor::EQUINIX_NY4,
+    );
+    c.bench_function("suurballe_disjoint_pair", |b| {
+        b.iter(|| {
+            black_box(hft_netgraph::disjoint_shortest_pair(
+                &rg.graph,
+                rg.source,
+                rg.target,
+                |_, e| e.latency_s(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    substrates,
+    bench_geodesics,
+    bench_pruning_ablation,
+    bench_routing,
+    bench_reconstruction,
+    bench_codec,
+    bench_leo_snapshot,
+    bench_design_tradeoffs,
+    bench_disjoint_pair,
+);
+criterion_main!(substrates);

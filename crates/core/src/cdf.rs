@@ -1,0 +1,166 @@
+//! Empirical cumulative distribution functions, for the paper's Fig. 4.
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample. Non-finite values are rejected.
+    ///
+    /// Returns `None` when the (filtered) sample is empty or any value is
+    /// NaN/∞ — an empty CDF has no quantiles and silently propagating it
+    /// produces misleading plots.
+    pub fn new(mut values: Vec<f64>) -> Option<Cdf> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Some(Cdf { sorted: values })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF is empty (never true for a constructed CDF).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical CDF evaluated at `x`: fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        // Index of first element > x.
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `q`-quantile for `q ∈ [0, 1]` using the nearest-rank method.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Median (0.5-quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples strictly below `x` — e.g. "more than 94% of
+    /// the frequencies are under 7 GHz" (§5).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `(x, F(x))` step points for plotting, one per sample.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(Cdf::new(vec![]).is_none());
+        assert!(Cdf::new(vec![1.0, f64::NAN]).is_none());
+        assert!(Cdf::new(vec![f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn evaluation_on_known_sample() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.5), 0.5);
+        assert_eq!(c.at(4.0), 1.0);
+        assert_eq!(c.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let c = Cdf::new((1..=10).map(|i| i as f64).collect()).unwrap();
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(0.1), 1.0);
+        assert_eq!(c.quantile(0.5), 5.0);
+        assert_eq!(c.median(), 5.0);
+        assert_eq!(c.quantile(1.0), 10.0);
+        assert_eq!(c.quantile(2.0), 10.0); // clamped
+    }
+
+    #[test]
+    fn median_of_odd_sample() {
+        let c = Cdf::new(vec![10.0, 30.0, 20.0]).unwrap();
+        assert_eq!(c.median(), 20.0);
+    }
+
+    #[test]
+    fn extremes_and_mean() {
+        let c = Cdf::new(vec![36.0, 48.5, 20.0]).unwrap();
+        assert_eq!(c.min(), 20.0);
+        assert_eq!(c.max(), 48.5);
+        assert!((c.mean() - (36.0 + 48.5 + 20.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_is_strict() {
+        let c = Cdf::new(vec![6.0, 6.0, 7.0, 11.0]).unwrap();
+        assert_eq!(c.fraction_below(7.0), 0.5);
+        assert_eq!(c.fraction_below(6.0), 0.0);
+        assert_eq!(c.fraction_below(12.0), 1.0);
+    }
+
+    #[test]
+    fn steps_are_monotone_and_end_at_one() {
+        let c = Cdf::new(vec![5.0, 3.0, 8.0, 1.0]).unwrap();
+        let s = c.steps();
+        assert_eq!(s.len(), 4);
+        for w in s.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn duplicate_values_handled() {
+        let c = Cdf::new(vec![2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(c.median(), 2.0);
+        assert_eq!(c.at(2.0), 1.0);
+        assert_eq!(c.at(1.9), 0.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The Chicago–New Jersey trading corridor: data-center constants.
+//!
+//! Coordinates are placed at the real facilities' locations, with
+//! longitudes calibrated (to the fourth decimal) so that the CME→NJ
+//! geodesic distances equal the values quoted in Table 2 of the paper:
+//! 1,186 km to Equinix NY4, 1,174 km to NYSE Mahwah, and 1,176 km to
+//! NASDAQ Carteret.
+
+use hft_geodesy::LatLon;
+
+/// A financial data center anchoring one end of a corridor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataCenter {
+    /// Short identifier, e.g. `"CME"`.
+    pub code: &'static str,
+    /// Human-readable description.
+    pub name: &'static str,
+    latitude: f64,
+    longitude: f64,
+}
+
+impl DataCenter {
+    /// Geographic position.
+    pub fn position(&self) -> LatLon {
+        LatLon::new(self.latitude, self.longitude).expect("static data-center coordinates valid")
+    }
+}
+
+/// CME Group data center, Aurora, Illinois — the western end of every
+/// corridor path.
+pub const CME: DataCenter = DataCenter {
+    code: "CME",
+    name: "CME Group, Aurora IL",
+    latitude: 41.7625,
+    longitude: -88.171233,
+};
+
+/// Equinix NY4, Secaucus, New Jersey (hosts CBOE's electronic platform).
+pub const EQUINIX_NY4: DataCenter = DataCenter {
+    code: "NY4",
+    name: "Equinix NY4, Secaucus NJ",
+    latitude: 40.7930,
+    longitude: -74.0576,
+};
+
+/// NYSE data center, Mahwah, New Jersey.
+pub const NYSE: DataCenter = DataCenter {
+    code: "NYSE",
+    name: "NYSE, Mahwah NJ",
+    latitude: 41.0875,
+    longitude: -74.139894,
+};
+
+/// NASDAQ data center, Carteret, New Jersey.
+pub const NASDAQ: DataCenter = DataCenter {
+    code: "NASDAQ",
+    name: "NASDAQ, Carteret NJ",
+    latitude: 40.5946,
+    longitude: -74.225577,
+};
+
+/// The three corridor destination data centers, in the paper's Table 2
+/// order.
+pub const NJ_DATA_CENTERS: [DataCenter; 3] = [EQUINIX_NY4, NYSE, NASDAQ];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_geodesy::{one_way_ms, Medium};
+
+    #[test]
+    fn geodesics_match_table_2() {
+        let cme = CME.position();
+        for (dc, expect_km) in [(EQUINIX_NY4, 1186.0), (NYSE, 1174.0), (NASDAQ, 1176.0)] {
+            let km = cme.geodesic_distance_m(&dc.position()) / 1000.0;
+            assert!((km - expect_km).abs() < 0.05, "{}: {km} vs {expect_km}", dc.code);
+        }
+    }
+
+    #[test]
+    fn c_latency_bound_matches_section_4() {
+        // §4: "the minimum achievable latency of 3.955 ms".
+        let d = CME.position().geodesic_distance_m(&EQUINIX_NY4.position());
+        let ms = one_way_ms(d, Medium::Air);
+        assert!((ms - 3.956).abs() < 0.002, "got {ms}");
+    }
+
+    #[test]
+    fn nj_data_centers_cluster() {
+        // The three NJ sites are within ~60 km of one another.
+        for a in NJ_DATA_CENTERS {
+            for b in NJ_DATA_CENTERS {
+                let d = a.position().geodesic_distance_m(&b.position()) / 1000.0;
+                assert!(d < 60.0, "{} - {}: {d} km", a.code, b.code);
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        assert_ne!(CME.code, EQUINIX_NY4.code);
+        assert_ne!(NYSE.code, NASDAQ.code);
+    }
+}

@@ -1,0 +1,263 @@
+//! Entity resolution via complementary-link analysis (§2.4 / §6).
+//!
+//! The paper's limitation: "If a network has multiple entities filing on
+//! its behalf, it will appear as two separate networks in our analysis.
+//! Future work could potentially overcome this [...] by evaluating which
+//! networks have complementary links that together form end-end paths."
+//!
+//! This module implements that future-work item: merge candidate
+//! licensee pairs' networks (stitching on shared tower coordinates, just
+//! like single-licensee reconstruction) and flag pairs whose *union*
+//! yields end-to-end connectivity — or a materially faster path — that
+//! neither member has alone.
+
+use crate::corridor::DataCenter;
+use crate::network::{MwLink, Network, Tower};
+use crate::route::route;
+use hft_geodesy::SnappedCoord;
+use hft_netgraph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Merge two reconstructed networks into one, stitching towers whose snap
+/// cells coincide (the same rule single-network reconstruction uses).
+/// Licenses and frequencies of coincident links are pooled.
+pub fn merge(a: &Network, b: &Network) -> Network {
+    let mut graph: Graph<Tower, MwLink> = Graph::new();
+    let mut node_of: HashMap<SnappedCoord, NodeId> = HashMap::new();
+    let mut edge_of: HashMap<(SnappedCoord, SnappedCoord), hft_netgraph::EdgeId> = HashMap::new();
+
+    for net in [a, b] {
+        for (_, tower) in net.graph.nodes() {
+            node_of
+                .entry(tower.cell)
+                .or_insert_with(|| graph.add_node(tower.clone()));
+        }
+        for (_, u, v, link) in net.graph.edges() {
+            let cu = net.graph.node(u).cell;
+            let cv = net.graph.node(v).cell;
+            if cu == cv {
+                continue;
+            }
+            let key = if cu <= cv { (cu, cv) } else { (cv, cu) };
+            match edge_of.get(&key) {
+                Some(&e) => {
+                    let merged = graph.edge_mut(e);
+                    merged.frequencies_ghz.extend(link.frequencies_ghz.iter().copied());
+                    merged.licenses.extend(link.licenses.iter().copied());
+                    merged
+                        .frequencies_ghz
+                        .sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+                    merged.frequencies_ghz.dedup_by(|x, y| (*x - *y).abs() < 1e-9);
+                    merged.licenses.sort_unstable();
+                    merged.licenses.dedup();
+                }
+                None => {
+                    let e = graph.add_edge(node_of[&cu], node_of[&cv], link.clone());
+                    edge_of.insert(key, e);
+                }
+            }
+        }
+    }
+    Network {
+        licensee: format!("{} + {}", a.licensee, b.licensee),
+        as_of: a.as_of.max(b.as_of),
+        graph,
+    }
+}
+
+/// A licensee pair whose merged network out-performs its members.
+#[derive(Debug, Clone)]
+pub struct MergeCandidate {
+    /// First licensee.
+    pub a: String,
+    /// Second licensee.
+    pub b: String,
+    /// Latency of the merged network, ms.
+    pub joint_latency_ms: f64,
+    /// `a`'s standalone latency, if connected at all.
+    pub a_alone_ms: Option<f64>,
+    /// `b`'s standalone latency, if connected at all.
+    pub b_alone_ms: Option<f64>,
+    /// Towers the two networks share (the stitching evidence).
+    pub shared_towers: usize,
+}
+
+impl MergeCandidate {
+    /// True when the pair is connected end-to-end only jointly — the
+    /// strongest co-ownership signal.
+    pub fn jointly_connected_only(&self) -> bool {
+        self.a_alone_ms.is_none() && self.b_alone_ms.is_none()
+    }
+
+    /// Latency improvement of the merge over the best standalone member,
+    /// µs (infinite when neither connects alone — represented as `None`).
+    pub fn improvement_us(&self) -> Option<f64> {
+        let best = match (self.a_alone_ms, self.b_alone_ms) {
+            (Some(x), Some(y)) => x.min(y),
+            (Some(x), None) | (None, Some(x)) => x,
+            (None, None) => return None,
+        };
+        Some((best - self.joint_latency_ms) * 1000.0)
+    }
+}
+
+/// Count towers (snap cells) present in both networks.
+pub fn shared_towers(a: &Network, b: &Network) -> usize {
+    let cells: std::collections::HashSet<SnappedCoord> =
+        a.graph.nodes().map(|(_, t)| t.cell).collect();
+    b.graph.nodes().filter(|(_, t)| cells.contains(&t.cell)).count()
+}
+
+/// Scan all licensee pairs for complementary-link evidence between two
+/// data centers.
+///
+/// A pair qualifies when the merged network is connected AND either (a)
+/// neither member connects alone, or (b) the merge improves on the best
+/// member by more than `min_improvement_us`. Pairs with no shared towers
+/// can never stitch and are skipped cheaply.
+pub fn complementary_pairs(
+    networks: &[(String, Network)],
+    from: &DataCenter,
+    to: &DataCenter,
+    min_improvement_us: f64,
+) -> Vec<MergeCandidate> {
+    let alone: Vec<Option<f64>> = networks
+        .iter()
+        .map(|(_, n)| route(n, from, to).map(|r| r.latency_ms))
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..networks.len() {
+        for j in i + 1..networks.len() {
+            let shared = shared_towers(&networks[i].1, &networks[j].1);
+            if shared == 0 {
+                continue;
+            }
+            let merged = merge(&networks[i].1, &networks[j].1);
+            let Some(joint) = route(&merged, from, to) else { continue };
+            let candidate = MergeCandidate {
+                a: networks[i].0.clone(),
+                b: networks[j].0.clone(),
+                joint_latency_ms: joint.latency_ms,
+                a_alone_ms: alone[i],
+                b_alone_ms: alone[j],
+                shared_towers: shared,
+            };
+            let qualifies = candidate.jointly_connected_only()
+                || candidate.improvement_us().is_some_and(|imp| imp > min_improvement_us);
+            if qualifies {
+                out.push(candidate);
+            }
+        }
+    }
+    // Strongest evidence first: joint-only, then by improvement.
+    out.sort_by(|x, y| {
+        y.jointly_connected_only()
+            .cmp(&x.jointly_connected_only())
+            .then_with(|| {
+                y.improvement_us()
+                    .unwrap_or(f64::INFINITY)
+                    .partial_cmp(&x.improvement_us().unwrap_or(f64::INFINITY))
+                    .expect("finite or inf")
+            })
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::{CME, EQUINIX_NY4};
+    use hft_geodesy::{gc_interpolate, LatLon, SnapGrid};
+    use hft_time::Date;
+
+    fn tower(p: LatLon) -> Tower {
+        Tower {
+            position: p,
+            cell: SnapGrid::arc_second().snap(&p),
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        }
+    }
+
+    /// Chain covering corridor fractions [t0, t1] with ~45 km hops.
+    fn half_chain(name: &str, t0: f64, t1: f64) -> Network {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let hops = (((t1 - t0) * 1186.0) / 45.0).round() as usize;
+        let mut graph = Graph::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..=hops {
+            let t = t0 + (t1 - t0) * i as f64 / hops as f64;
+            let node = graph.add_node(tower(gc_interpolate(&a, &b, t)));
+            if let Some(p) = prev {
+                let d = graph.node(p).position.geodesic_distance_m(&graph.node(node).position);
+                graph.add_edge(p, node, MwLink { length_m: d, frequencies_ghz: vec![6.1], licenses: vec![] });
+            }
+            prev = Some(node);
+        }
+        Network { licensee: name.into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    #[test]
+    fn merge_stitches_at_shared_tower() {
+        // West half ends exactly where the east half begins.
+        let west = half_chain("West", 0.003, 0.5);
+        let east = half_chain("East", 0.5, 0.997);
+        assert!(route(&west, &CME, &EQUINIX_NY4).is_none());
+        assert!(route(&east, &CME, &EQUINIX_NY4).is_none());
+        assert_eq!(shared_towers(&west, &east), 1);
+        let joint = merge(&west, &east);
+        let r = route(&joint, &CME, &EQUINIX_NY4).expect("joint network connects");
+        assert!(r.latency_ms < 4.1, "got {}", r.latency_ms);
+        assert_eq!(joint.licensee, "West + East");
+    }
+
+    #[test]
+    fn merge_without_shared_towers_stays_split() {
+        // A gap between the halves: no stitch, no route.
+        let west = half_chain("West", 0.003, 0.45);
+        let east = half_chain("East", 0.55, 0.997);
+        assert_eq!(shared_towers(&west, &east), 0);
+        let joint = merge(&west, &east);
+        assert!(route(&joint, &CME, &EQUINIX_NY4).is_none());
+    }
+
+    #[test]
+    fn complementary_scan_finds_the_pair() {
+        let nets = vec![
+            ("West".to_string(), half_chain("West", 0.003, 0.5)),
+            ("East".to_string(), half_chain("East", 0.5, 0.997)),
+            ("Stub".to_string(), half_chain("Stub", 0.003, 0.2)),
+        ];
+        let found = complementary_pairs(&nets, &CME, &EQUINIX_NY4, 1.0);
+        assert_eq!(found.len(), 1, "exactly the West+East pair");
+        assert!(found[0].jointly_connected_only());
+        assert_eq!(found[0].shared_towers, 1);
+        assert!((found[0].a == "West") ^ (found[0].a == "East") || found[0].b == "East");
+    }
+
+    #[test]
+    fn merge_pools_duplicate_links() {
+        let west = half_chain("A", 0.003, 0.5);
+        let same = half_chain("B", 0.003, 0.5); // identical geometry
+        let joint = merge(&west, &same);
+        assert_eq!(joint.link_count(), west.link_count(), "duplicates pooled");
+        assert_eq!(joint.tower_count(), west.tower_count());
+    }
+
+    #[test]
+    fn improvement_metric() {
+        let full = half_chain("Full", 0.003, 0.997);
+        let c = MergeCandidate {
+            a: "x".into(),
+            b: "y".into(),
+            joint_latency_ms: 3.97,
+            a_alone_ms: Some(3.99),
+            b_alone_ms: None,
+            shared_towers: 3,
+        };
+        assert!((c.improvement_us().unwrap() - 20.0).abs() < 1e-9);
+        assert!(!c.jointly_connected_only());
+        let _ = full;
+    }
+}

@@ -1,0 +1,170 @@
+//! Longitudinal analysis (§4 of the paper): latency and license-count
+//! trajectories over time, as plotted in Figs 1 and 2.
+
+use crate::corridor::DataCenter;
+use crate::reconstruct::{reconstruct, ReconstructOptions};
+use crate::route::route;
+use hft_time::Date;
+use hft_uls::License;
+
+/// One sample point in a network's trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionPoint {
+    /// Sample date.
+    pub date: Date,
+    /// End-to-end latency in ms, `None` when the network is not connected
+    /// between the data centers at this date (the line simply does not
+    /// appear in Fig. 1 for such dates).
+    pub latency_ms: Option<f64>,
+    /// Active licenses held on this date (the Fig. 2 series).
+    pub active_licenses: usize,
+    /// Towers in the reconstructed network.
+    pub towers: usize,
+}
+
+/// A licensee's full trajectory over the sample dates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Licensee name.
+    pub licensee: String,
+    /// Sample points, in input date order.
+    pub points: Vec<EvolutionPoint>,
+}
+
+impl Trajectory {
+    /// Dates at which the network was connected end-to-end.
+    pub fn connected_dates(&self) -> Vec<Date> {
+        self.points.iter().filter(|p| p.latency_ms.is_some()).map(|p| p.date).collect()
+    }
+
+    /// Best (lowest) latency ever achieved, if any.
+    pub fn best_latency_ms(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter_map(|p| p.latency_ms)
+            .min_by(|a, b| a.partial_cmp(b).expect("latencies are finite"))
+    }
+}
+
+/// Count the licenses of `licensee` active on `date`.
+pub fn active_license_count(licenses: &[&License], licensee: &str, date: Date) -> usize {
+    licenses.iter().filter(|l| l.licensee == licensee && l.active_on(date)).count()
+}
+
+/// Compute a licensee's trajectory between data centers `a` and `b` over
+/// `dates` (typically [`hft_time::paper_sample_dates`]-style samples).
+pub fn trajectory(
+    licenses: &[&License],
+    licensee: &str,
+    a: &DataCenter,
+    b: &DataCenter,
+    dates: &[Date],
+    options: &ReconstructOptions,
+) -> Trajectory {
+    let points = dates
+        .iter()
+        .map(|&date| {
+            let net = reconstruct(licenses, licensee, date, options);
+            let latency_ms = route(&net, a, b).map(|r| r.latency_ms);
+            EvolutionPoint {
+                date,
+                latency_ms,
+                active_licenses: active_license_count(licenses, licensee, date),
+                towers: net.tower_count(),
+            }
+        })
+        .collect();
+    Trajectory { licensee: licensee.to_string(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::{CME, EQUINIX_NY4};
+    use hft_geodesy::{gc_interpolate, LatLon};
+    use hft_uls::{
+        CallSign, FrequencyAssignment, LicenseId, MicrowavePath, RadioService, StationClass,
+        TowerSite,
+    };
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    /// One license per hop of a straight CME→NY4 chain, granted on
+    /// `grant`, cancelled on `cancel`.
+    fn chain_licenses(grant: Date, cancel: Option<Date>, n: usize) -> Vec<License> {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let pos = |i: usize| -> LatLon {
+            let t = 0.004 + (i as f64 / (n - 1) as f64) * 0.992;
+            gc_interpolate(&a, &b, t)
+        };
+        (0..n - 1)
+            .map(|i| License {
+                id: LicenseId(1000 + i as u64),
+                call_sign: CallSign(format!("WQ{:05}", 1000 + i)),
+                licensee: "Evolver".into(),
+                service: RadioService::MG,
+                station_class: StationClass::FXO,
+                grant_date: grant,
+                termination_date: None,
+                cancellation_date: cancel,
+                paths: vec![MicrowavePath {
+                    tx: TowerSite::at(pos(i)),
+                    rx: TowerSite::at(pos(i + 1)),
+                    frequencies: vec![FrequencyAssignment { center_hz: 6.1e9 }],
+                }],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trajectory_tracks_lifecycle() {
+        let lics = chain_licenses(d(2015, 6, 1), Some(d(2018, 3, 1)), 25);
+        let refs: Vec<&License> = lics.iter().collect();
+        let dates = vec![d(2014, 1, 1), d(2016, 1, 1), d(2017, 1, 1), d(2019, 1, 1)];
+        let t = trajectory(&refs, "Evolver", &CME, &EQUINIX_NY4, &dates, &Default::default());
+        assert_eq!(t.points.len(), 4);
+        // Before grant: nothing.
+        assert_eq!(t.points[0].active_licenses, 0);
+        assert!(t.points[0].latency_ms.is_none());
+        // While active: connected with all 24 licenses.
+        assert_eq!(t.points[1].active_licenses, 24);
+        assert!(t.points[1].latency_ms.is_some());
+        assert_eq!(t.points[1].towers, 25);
+        // After cancellation: gone again (the National Tower Company arc).
+        assert_eq!(t.points[3].active_licenses, 0);
+        assert!(t.points[3].latency_ms.is_none());
+        assert_eq!(t.connected_dates(), vec![d(2016, 1, 1), d(2017, 1, 1)]);
+    }
+
+    #[test]
+    fn best_latency_over_time() {
+        let lics = chain_licenses(d(2015, 6, 1), None, 25);
+        let refs: Vec<&License> = lics.iter().collect();
+        let dates = vec![d(2016, 1, 1), d(2020, 4, 1)];
+        let t = trajectory(&refs, "Evolver", &CME, &EQUINIX_NY4, &dates, &Default::default());
+        let best = t.best_latency_ms().unwrap();
+        assert!((3.9..4.1).contains(&best), "got {best}");
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let t = trajectory(&[], "Ghost", &CME, &EQUINIX_NY4, &[d(2020, 1, 1)], &Default::default());
+        assert_eq!(t.points.len(), 1);
+        assert!(t.best_latency_ms().is_none());
+        assert!(t.connected_dates().is_empty());
+    }
+
+    #[test]
+    fn active_count_respects_dates() {
+        let lics = chain_licenses(d(2015, 6, 1), Some(d(2018, 3, 1)), 5);
+        let refs: Vec<&License> = lics.iter().collect();
+        assert_eq!(active_license_count(&refs, "Evolver", d(2015, 5, 31)), 0);
+        assert_eq!(active_license_count(&refs, "Evolver", d(2015, 6, 1)), 4);
+        assert_eq!(active_license_count(&refs, "Evolver", d(2018, 2, 28)), 4);
+        assert_eq!(active_license_count(&refs, "Evolver", d(2018, 3, 1)), 0);
+        assert_eq!(active_license_count(&refs, "Nobody", d(2016, 1, 1)), 0);
+    }
+}

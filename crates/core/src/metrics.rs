@@ -1,0 +1,304 @@
+//! The §5 network-property metrics: alternate path availability, link
+//! lengths on low-latency paths, and operating frequencies.
+
+use crate::cdf::Cdf;
+use crate::corridor::DataCenter;
+use crate::network::Network;
+use crate::route::RoutingGraph;
+use hft_geodesy::{latency_seconds, Medium};
+use hft_netgraph::{dijkstra, EdgeId};
+use std::collections::BTreeSet;
+
+/// The latency slack of the §5 metrics: paths within 5% of the c-speed
+/// geodesic latency qualify as "low-latency".
+pub const LATENCY_SLACK: f64 = 1.05;
+
+/// Alternate path availability (APA) of a network for one DC pair.
+///
+/// Definition (adapted, like the paper, from Gvozdiev et al.): the
+/// fraction of microwave links *on the lowest-latency route* whose
+/// individual removal leaves the network with an end-to-end latency no
+/// more than 5% above the c-speed latency along the DC-DC geodesic.
+///
+/// The fiber tails are pinned to the ones the baseline route uses: the
+/// short data-center fiber segment is built infrastructure, so an
+/// alternate path must rejoin it rather than conjure a fresh 30+ km
+/// fiber lateral to some other tower (which would make any multi-spur
+/// network trivially redundant via a *different data center's*
+/// neighborhood).
+///
+/// A pure chain has APA 0 (any removal disconnects); a fully parallel
+/// ladder approaches 1. Returns `None` when the network has no route at
+/// all between the data centers.
+pub fn apa(network: &Network, a: &DataCenter, b: &DataCenter) -> Option<f64> {
+    let rg = RoutingGraph::build(network, a, b);
+    let base = rg.route_filtered(network, |_| true)?;
+    let bound_s = latency_seconds(rg.geodesic_m, Medium::Air) * LATENCY_SLACK;
+    if base.mw_edges.is_empty() {
+        return Some(0.0);
+    }
+    let tails: BTreeSet<EdgeId> = base.fiber_edges.iter().copied().collect();
+    let survivable = base
+        .mw_edges
+        .iter()
+        .filter(|&&victim| {
+            rg.route_with(network, |re, e| match e.mw_edge {
+                Some(mw) => mw != victim,
+                None => tails.contains(&re),
+            })
+            .map(|r| r.latency_ms / 1e3 <= bound_s)
+            .unwrap_or(false)
+        })
+        .count();
+    Some(survivable as f64 / base.mw_edges.len() as f64)
+}
+
+/// The set of microwave links that lie on at least one low-latency path
+/// (latency within [`LATENCY_SLACK`] of the c-geodesic bound) between the
+/// data centers.
+///
+/// Membership is decided with exact forward/backward Dijkstra potentials:
+/// link `e = (u, v)` qualifies iff
+/// `dist(src, u) + lat(e) + dist(v, dst) ≤ bound` in either orientation.
+/// (For the geographic graphs at hand the witness walk is loop-free; a
+/// cyclic witness would require towers revisited on a near-geodesic
+/// route, which tower economics preclude.)
+pub fn low_latency_link_set(
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+) -> BTreeSet<EdgeId> {
+    let rg = RoutingGraph::build(network, a, b);
+    let bound_s = latency_seconds(rg.geodesic_m, Medium::Air) * LATENCY_SLACK;
+    // Pin the fiber tails to the baseline route's (see `apa` for why).
+    let tails: BTreeSet<EdgeId> = match rg.route_filtered(network, |_| true) {
+        Some(base) => base.fiber_edges.iter().copied().collect(),
+        None => return BTreeSet::new(),
+    };
+    let pass = |re: EdgeId| rg.graph.edge(re).mw_edge.is_some() || tails.contains(&re);
+    let fwd = dijkstra(&rg.graph, rg.source, |_, e| e.latency_s(), pass);
+    let bwd = dijkstra(&rg.graph, rg.target, |_, e| e.latency_s(), pass);
+    let mut out = BTreeSet::new();
+    for (re, u, v, payload) in rg.graph.edges() {
+        let Some(mw) = payload.mw_edge else { continue };
+        let w = payload.latency_s();
+        let du = fwd.distance(u);
+        let dv = bwd.distance(v);
+        let du_rev = fwd.distance(v);
+        let dv_rev = bwd.distance(u);
+        let fits = |x: Option<f64>, y: Option<f64>| match (x, y) {
+            (Some(x), Some(y)) => x + w + y <= bound_s * (1.0 + 1e-12),
+            _ => false,
+        };
+        if fits(du, dv) || fits(du_rev, dv_rev) {
+            out.insert(mw);
+        }
+        let _ = re;
+    }
+    out
+}
+
+/// CDF of tower-to-tower link lengths (km) over all links on low-latency
+/// paths (the paper's Fig. 4a). `None` when no such paths exist.
+pub fn link_length_cdf(network: &Network, a: &DataCenter, b: &DataCenter) -> Option<Cdf> {
+    let lens: Vec<f64> = low_latency_link_set(network, a, b)
+        .into_iter()
+        .map(|e| network.graph.edge(e).length_km())
+        .collect();
+    Cdf::new(lens)
+}
+
+/// CDF of operating frequencies (GHz) on the *shortest* path between the
+/// data centers (the paper's Fig. 4b solid lines). Every authorized
+/// frequency of every link on the route contributes one sample.
+pub fn shortest_path_frequency_cdf(
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+) -> Option<Cdf> {
+    let rg = RoutingGraph::build(network, a, b);
+    let r = rg.route_filtered(network, |_| true)?;
+    let freqs: Vec<f64> = r
+        .mw_edges
+        .iter()
+        .flat_map(|e| network.graph.edge(*e).frequencies_ghz.iter().copied())
+        .collect();
+    Cdf::new(freqs)
+}
+
+/// CDF of operating frequencies (GHz) on *alternate* low-latency paths:
+/// links on some low-latency path but not on the shortest route itself
+/// (the paper's "NLN-alternate" series in Fig. 4b). `None` when the
+/// network has no redundancy at all within the latency bound.
+pub fn alternate_path_frequency_cdf(
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+) -> Option<Cdf> {
+    let rg = RoutingGraph::build(network, a, b);
+    let r = rg.route_filtered(network, |_| true)?;
+    let on_route: BTreeSet<EdgeId> = r.mw_edges.iter().copied().collect();
+    let freqs: Vec<f64> = low_latency_link_set(network, a, b)
+        .into_iter()
+        .filter(|e| !on_route.contains(e))
+        .flat_map(|e| network.graph.edge(e).frequencies_ghz.iter().copied())
+        .collect();
+    Cdf::new(freqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::{CME, EQUINIX_NY4};
+    use crate::network::{MwLink, Tower};
+    use hft_geodesy::{gc_destination, gc_interpolate, gc_initial_bearing_deg, LatLon, SnapGrid};
+    use hft_netgraph::{Graph, NodeId};
+    use hft_time::Date;
+
+    fn add_tower(graph: &mut Graph<Tower, MwLink>, position: LatLon) -> NodeId {
+        graph.add_node(Tower {
+            position,
+            cell: SnapGrid::arc_second().snap(&position),
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        })
+    }
+
+    fn link(graph: &mut Graph<Tower, MwLink>, a: NodeId, b: NodeId, ghz: f64) {
+        let length_m =
+            graph.node(a).position.geodesic_distance_m(&graph.node(b).position);
+        graph.add_edge(a, b, MwLink { length_m, frequencies_ghz: vec![ghz], licenses: vec![] });
+    }
+
+    /// Straight chain of `n` towers, frequencies all `ghz`.
+    fn chain(n: usize, ghz: f64) -> Network {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let mut graph = Graph::new();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n {
+            let t = 0.004 + (i as f64 / (n - 1) as f64) * 0.992;
+            let node = add_tower(&mut graph, gc_interpolate(&a, &b, t));
+            if let Some(p) = prev {
+                link(&mut graph, p, node, ghz);
+            }
+            prev = Some(node);
+        }
+        Network { licensee: "chain".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    /// Ladder: two parallel near-geodesic rails with rungs; rail A at
+    /// `ghz_main`, rail B at `ghz_alt`.
+    fn ladder(n: usize, ghz_main: f64, ghz_alt: f64) -> Network {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let bearing = gc_initial_bearing_deg(&a, &b);
+        let mut graph = Graph::new();
+        let mut top: Vec<NodeId> = Vec::new();
+        let mut bot: Vec<NodeId> = Vec::new();
+        for i in 0..n {
+            let t = 0.004 + (i as f64 / (n - 1) as f64) * 0.992;
+            let on_geo = gc_interpolate(&a, &b, t);
+            top.push(add_tower(&mut graph, on_geo));
+            // Offset rail ~3 km south of the geodesic (except at the ends,
+            // where both rails share the first/last tower positions).
+            let off = if i == 0 || i == n - 1 {
+                gc_destination(&on_geo, bearing + 90.0, 200.0)
+            } else {
+                gc_destination(&on_geo, bearing + 90.0, 3_000.0)
+            };
+            bot.push(add_tower(&mut graph, off));
+        }
+        for i in 0..n - 1 {
+            link(&mut graph, top[i], top[i + 1], ghz_main);
+            link(&mut graph, bot[i], bot[i + 1], ghz_alt);
+        }
+        for i in 0..n {
+            link(&mut graph, top[i], bot[i], ghz_alt);
+        }
+        Network { licensee: "ladder".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    #[test]
+    fn chain_has_zero_apa() {
+        let net = chain(25, 11.2);
+        assert_eq!(apa(&net, &CME, &EQUINIX_NY4), Some(0.0));
+    }
+
+    #[test]
+    fn ladder_has_high_apa() {
+        let net = ladder(25, 11.2, 6.2);
+        let v = apa(&net, &CME, &EQUINIX_NY4).unwrap();
+        assert!(v > 0.8, "got {v}");
+    }
+
+    #[test]
+    fn disconnected_network_has_no_apa() {
+        let net = Network {
+            licensee: "none".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph: Graph::new(),
+        };
+        assert_eq!(apa(&net, &CME, &EQUINIX_NY4), None);
+    }
+
+    #[test]
+    fn low_latency_set_covers_chain_exactly() {
+        let net = chain(25, 11.2);
+        let set = low_latency_link_set(&net, &CME, &EQUINIX_NY4);
+        assert_eq!(set.len(), net.link_count(), "every chain link is on the only path");
+    }
+
+    #[test]
+    fn low_latency_set_excludes_far_detours() {
+        // Chain plus a spur tower far north: spur links exceed the bound.
+        let mut net = chain(25, 11.2);
+        let spur_pos = LatLon::new(44.5, -80.0).unwrap(); // ~300 km off-route
+        let spur = add_tower(&mut net.graph, spur_pos);
+        let mid = NodeId::from_index(12);
+        link(&mut net.graph, mid, spur, 11.2);
+        let set = low_latency_link_set(&net, &CME, &EQUINIX_NY4);
+        let spur_edge = net.graph.find_edge(mid, spur).unwrap();
+        assert!(!set.contains(&spur_edge));
+        assert_eq!(set.len(), 24);
+    }
+
+    #[test]
+    fn ladder_low_latency_set_includes_both_rails() {
+        let net = ladder(25, 11.2, 6.2);
+        let set = low_latency_link_set(&net, &CME, &EQUINIX_NY4);
+        // 24 top rail + 24 bottom rail links qualify at minimum.
+        assert!(set.len() >= 48, "got {}", set.len());
+    }
+
+    #[test]
+    fn link_length_cdf_median_plausible() {
+        let net = chain(25, 11.2);
+        let cdf = link_length_cdf(&net, &CME, &EQUINIX_NY4).unwrap();
+        // 1186 km / 24 hops ≈ 49 km hops.
+        assert!((cdf.median() - 49.0).abs() < 3.0, "median {}", cdf.median());
+    }
+
+    #[test]
+    fn shortest_path_frequencies_single_band() {
+        let net = chain(25, 11.2);
+        let cdf = shortest_path_frequency_cdf(&net, &CME, &EQUINIX_NY4).unwrap();
+        assert_eq!(cdf.len(), 24);
+        assert_eq!(cdf.min(), 11.2);
+        assert_eq!(cdf.max(), 11.2);
+    }
+
+    #[test]
+    fn alternate_path_frequencies_show_other_band() {
+        let net = ladder(25, 11.2, 6.2);
+        let alt = alternate_path_frequency_cdf(&net, &CME, &EQUINIX_NY4).unwrap();
+        // Alternate links carry the 6.2 GHz rail (and rungs).
+        assert!(alt.fraction_below(7.0) > 0.9, "got {}", alt.fraction_below(7.0));
+    }
+
+    #[test]
+    fn chain_has_no_alternate_frequencies() {
+        let net = chain(25, 11.2);
+        assert!(alternate_path_frequency_cdf(&net, &CME, &EQUINIX_NY4).is_none());
+    }
+}

@@ -1,0 +1,262 @@
+//! Network reconstruction from license records (§2.3 of the paper).
+//!
+//! "We assume that if a license is active, i.e., it was granted but not
+//! terminated/cancelled, and forms part of an end-end path, its MW links
+//! are active. [...] We reconstruct entire networks by stitching together
+//! their individual links: a tower that is an endpoint for two links
+//! forms a node connecting these links."
+
+use crate::network::{MwLink, Network, Tower};
+use hft_geodesy::{SnapGrid, SnappedCoord};
+use hft_netgraph::{Graph, NodeId};
+use hft_time::Date;
+use hft_uls::License;
+use std::collections::HashMap;
+
+/// Options controlling reconstruction.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconstructOptions {
+    /// Coordinate snap grid identifying towers across filings.
+    pub snap: SnapGrid,
+    /// Drop links shorter than this (meters): two filings quoting slightly
+    /// different coordinates for the *same* tower otherwise materialize as
+    /// a phantom micro-link.
+    pub min_link_m: f64,
+}
+
+impl Default for ReconstructOptions {
+    fn default() -> Self {
+        ReconstructOptions { snap: SnapGrid::arc_second(), min_link_m: 500.0 }
+    }
+}
+
+/// Reconstruct `licensee`'s network from the active subset of `licenses`
+/// as of `as_of`.
+///
+/// `licenses` may contain any mix of licensees and services; only records
+/// matching `licensee` exactly and active on the date contribute. Links
+/// between the same (unordered) tower pair are merged: frequencies are
+/// pooled and deduplicated, and every backing license id is recorded.
+pub fn reconstruct(
+    licenses: &[&License],
+    licensee: &str,
+    as_of: Date,
+    options: &ReconstructOptions,
+) -> Network {
+    let mut graph: Graph<Tower, MwLink> = Graph::new();
+    let mut node_of_cell: HashMap<SnappedCoord, NodeId> = HashMap::new();
+    let mut edge_of_pair: HashMap<(SnappedCoord, SnappedCoord), hft_netgraph::EdgeId> =
+        HashMap::new();
+
+    for lic in licenses {
+        if lic.licensee != licensee || !lic.active_on(as_of) {
+            continue;
+        }
+        for path in &lic.paths {
+            let tx_cell = options.snap.snap(&path.tx.position);
+            let rx_cell = options.snap.snap(&path.rx.position);
+            if tx_cell == rx_cell {
+                continue; // same tower after snapping; no link
+            }
+            if path.length_m() < options.min_link_m {
+                continue;
+            }
+            let tx_node = *node_of_cell.entry(tx_cell).or_insert_with(|| {
+                graph.add_node(Tower {
+                    position: path.tx.position,
+                    cell: tx_cell,
+                    ground_elevation_m: path.tx.ground_elevation_m,
+                    structure_height_m: path.tx.structure_height_m,
+                })
+            });
+            let rx_node = *node_of_cell.entry(rx_cell).or_insert_with(|| {
+                graph.add_node(Tower {
+                    position: path.rx.position,
+                    cell: rx_cell,
+                    ground_elevation_m: path.rx.ground_elevation_m,
+                    structure_height_m: path.rx.structure_height_m,
+                })
+            });
+            let key = if tx_cell <= rx_cell { (tx_cell, rx_cell) } else { (rx_cell, tx_cell) };
+            let freqs = path.frequencies.iter().map(|f| f.ghz());
+            match edge_of_pair.get(&key) {
+                Some(&edge) => {
+                    let link = graph.edge_mut(edge);
+                    link.frequencies_ghz.extend(freqs);
+                    link.licenses.push(lic.id);
+                }
+                None => {
+                    // Length between the *representative* tower positions,
+                    // so both directions of a re-filed link agree.
+                    let length_m = graph
+                        .node(tx_node)
+                        .position
+                        .geodesic_distance_m(&graph.node(rx_node).position);
+                    let edge = graph.add_edge(
+                        tx_node,
+                        rx_node,
+                        MwLink {
+                            length_m,
+                            frequencies_ghz: freqs.collect(),
+                            licenses: vec![lic.id],
+                        },
+                    );
+                    edge_of_pair.insert(key, edge);
+                }
+            }
+        }
+    }
+
+    // Normalize merged payloads.
+    for e in graph.edge_ids().collect::<Vec<_>>() {
+        let link = graph.edge_mut(e);
+        link.frequencies_ghz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequency"));
+        link.frequencies_ghz.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        link.licenses.sort_unstable();
+        link.licenses.dedup();
+    }
+
+    Network { licensee: licensee.to_string(), as_of, graph }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_geodesy::LatLon;
+    use hft_uls::{
+        CallSign, FrequencyAssignment, LicenseId, MicrowavePath, RadioService, StationClass,
+        TowerSite,
+    };
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn lic(
+        id: u64,
+        licensee: &str,
+        grant: Date,
+        cancel: Option<Date>,
+        hops: &[((f64, f64), (f64, f64), f64)],
+    ) -> License {
+        License {
+            id: LicenseId(id),
+            call_sign: CallSign(format!("WQ{id:05}")),
+            licensee: licensee.into(),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: grant,
+            termination_date: None,
+            cancellation_date: cancel,
+            paths: hops
+                .iter()
+                .map(|&((la, lo), (lb, lob), ghz)| MicrowavePath {
+                    tx: TowerSite::at(LatLon::new(la, lo).unwrap()),
+                    rx: TowerSite::at(LatLon::new(lb, lob).unwrap()),
+                    frequencies: vec![FrequencyAssignment { center_hz: ghz * 1e9 }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn stitches_chain_via_shared_towers() {
+        let a = (41.76, -88.17);
+        let b = (41.70, -87.60);
+        let c = (41.65, -87.10);
+        let l1 = lic(1, "Net", d(2015, 1, 1), None, &[(a, b, 11.2)]);
+        let l2 = lic(2, "Net", d(2015, 1, 1), None, &[(b, c, 11.3)]);
+        let net = reconstruct(&[&l1, &l2], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.tower_count(), 3);
+        assert_eq!(net.link_count(), 2);
+        // Middle tower has degree 2.
+        let degrees: Vec<usize> =
+            net.graph.node_ids().map(|n| net.graph.degree(n)).collect();
+        assert_eq!(degrees.iter().filter(|&&deg| deg == 2).count(), 1);
+    }
+
+    #[test]
+    fn near_coincident_coordinates_merge_into_one_tower() {
+        let b1 = (41.700000, -87.600000);
+        let b2 = (41.700020, -87.600020); // ~0.07 arc-second away
+        let l1 = lic(1, "Net", d(2015, 1, 1), None, &[((41.76, -88.17), b1, 6.1)]);
+        let l2 = lic(2, "Net", d(2015, 1, 1), None, &[(b2, (41.65, -87.10), 6.2)]);
+        let net = reconstruct(&[&l1, &l2], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.tower_count(), 3, "re-surveyed tower must not split");
+        assert_eq!(net.link_count(), 2);
+    }
+
+    #[test]
+    fn inactive_licenses_excluded() {
+        let a = (41.76, -88.17);
+        let b = (41.70, -87.60);
+        let cancelled = lic(1, "Net", d(2013, 1, 1), Some(d(2018, 1, 1)), &[(a, b, 6.1)]);
+        let future = lic(2, "Net", d(2021, 1, 1), None, &[(a, b, 6.1)]);
+        let net = reconstruct(
+            &[&cancelled, &future],
+            "Net",
+            d(2020, 4, 1),
+            &ReconstructOptions::default(),
+        );
+        assert_eq!(net.link_count(), 0);
+        // ...but reconstructing *before* the cancellation sees the link.
+        let earlier = reconstruct(
+            &[&cancelled, &future],
+            "Net",
+            d(2016, 6, 1),
+            &ReconstructOptions::default(),
+        );
+        assert_eq!(earlier.link_count(), 1);
+    }
+
+    #[test]
+    fn other_licensees_ignored() {
+        let l1 = lic(1, "Mine", d(2015, 1, 1), None, &[((41.76, -88.17), (41.70, -87.60), 6.1)]);
+        let l2 = lic(2, "Theirs", d(2015, 1, 1), None, &[((41.60, -87.00), (41.55, -86.50), 6.1)]);
+        let net = reconstruct(&[&l1, &l2], "Mine", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.link_count(), 1);
+        assert_eq!(net.licensee, "Mine");
+    }
+
+    #[test]
+    fn duplicate_filings_merge_frequencies_and_licenses() {
+        let a = (41.76, -88.17);
+        let b = (41.70, -87.60);
+        let east = lic(1, "Net", d(2015, 1, 1), None, &[(a, b, 11.245)]);
+        let west = lic(2, "Net", d(2015, 1, 1), None, &[(b, a, 11.485)]); // reverse direction
+        let net = reconstruct(&[&east, &west], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.link_count(), 1, "both directions are one physical link");
+        let (_, _, _, link) = net.graph.edges().next().unwrap();
+        assert_eq!(link.frequencies_ghz, vec![11.245, 11.485]);
+        assert_eq!(link.licenses, vec![LicenseId(1), LicenseId(2)]);
+    }
+
+    #[test]
+    fn phantom_micro_links_dropped() {
+        // Two coordinates ~60 m apart: same physical tower quoted twice,
+        // outside the snap cell but inside min_link_m.
+        let a = (41.700000, -87.600000);
+        let a2 = (41.700550, -87.600000);
+        let l = lic(1, "Net", d(2015, 1, 1), None, &[(a, a2, 6.1)]);
+        let net = reconstruct(&[&l], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.link_count(), 0);
+    }
+
+    #[test]
+    fn multi_path_license_contributes_all_paths() {
+        let a = (41.76, -88.17);
+        let b = (41.70, -87.60);
+        let c = (41.65, -87.10);
+        let l = lic(1, "Net", d(2015, 1, 1), None, &[(a, b, 6.1), (b, c, 6.2)]);
+        let net = reconstruct(&[&l], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.link_count(), 2);
+        assert_eq!(net.license_count(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_network() {
+        let net = reconstruct(&[], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        assert_eq!(net.tower_count(), 0);
+        assert_eq!(net.link_count(), 0);
+    }
+}

@@ -1,0 +1,353 @@
+//! End-to-end routing between data centers over a reconstructed network.
+//!
+//! Per §2.3 of the paper: data centers reach nearby towers (up to 50 km
+//! away) over short fiber segments assumed to follow the geodesic, at
+//! roughly `2c/3`; microwave hops run at (almost) `c`. Dijkstra with
+//! per-segment propagation latency as the edge cost yields each network's
+//! lowest-latency route.
+
+use crate::corridor::DataCenter;
+use crate::network::Network;
+use hft_geodesy::{latency_seconds, LatLon, Medium};
+use hft_netgraph::{dijkstra, EdgeId, Graph, NodeId};
+
+/// Maximum data-center-to-tower fiber tail, km (paper's assumption).
+pub const MAX_FIBER_TAIL_KM: f64 = 50.0;
+
+/// Node payload of the routing graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutingNode {
+    /// A tower, indexed by the network graph's node id.
+    Tower(NodeId),
+    /// One of the two data-center endpoints.
+    DataCenter {
+        /// Data-center code (e.g. `"CME"`).
+        code: &'static str,
+        /// The data center's position.
+        position: LatLon,
+    },
+}
+
+/// Edge payload of the routing graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingEdge {
+    /// Propagation medium (air for microwave, fiber for the tails).
+    pub medium: Medium,
+    /// Geodesic segment length, meters.
+    pub length_m: f64,
+    /// For microwave edges, the underlying network edge.
+    pub mw_edge: Option<EdgeId>,
+}
+
+impl RoutingEdge {
+    /// One-way propagation latency of this edge, seconds.
+    pub fn latency_s(&self) -> f64 {
+        latency_seconds(self.length_m, self.medium)
+    }
+}
+
+/// A network augmented with two data-center endpoints and fiber tails —
+/// the graph Dijkstra actually runs on. Build once per (network, DC pair)
+/// and probe many times (APA removes edges via filters, not mutation).
+#[derive(Debug, Clone)]
+pub struct RoutingGraph {
+    /// The augmented graph.
+    pub graph: Graph<RoutingNode, RoutingEdge>,
+    /// Node handle of the origin data center.
+    pub source: NodeId,
+    /// Node handle of the destination data center.
+    pub target: NodeId,
+    /// Geodesic distance between the data centers, meters.
+    pub geodesic_m: f64,
+}
+
+/// The lowest-latency route through a network between two data centers.
+#[derive(Debug, Clone)]
+pub struct Route {
+    /// One-way latency, milliseconds (the paper's Table 1/2 metric).
+    pub latency_ms: f64,
+    /// Total path length, meters (microwave + fiber).
+    pub length_m: f64,
+    /// Microwave distance, meters.
+    pub mw_m: f64,
+    /// Fiber-tail distance, meters (both ends combined).
+    pub fiber_m: f64,
+    /// Towers traversed (microwave hops + 1).
+    pub towers: usize,
+    /// The network edges (microwave links) used, in path order.
+    pub mw_edges: Vec<EdgeId>,
+    /// The *routing-graph* edges of the fiber tails used (normally two:
+    /// one per data center).
+    pub fiber_edges: Vec<EdgeId>,
+    /// Waypoints: origin DC, each tower, destination DC.
+    pub waypoints: Vec<LatLon>,
+}
+
+impl Route {
+    /// Path stretch relative to the DC-DC geodesic at `c`:
+    /// `latency / (geodesic / c)`.
+    pub fn stretch_vs_c(&self, geodesic_m: f64) -> f64 {
+        let bound_ms = latency_seconds(geodesic_m, Medium::Air) * 1e3;
+        self.latency_ms / bound_ms
+    }
+}
+
+impl RoutingGraph {
+    /// Build the routing graph for `network` between data centers `a`
+    /// (source) and `b` (target): every tower within
+    /// [`MAX_FIBER_TAIL_KM`] of a data center receives a geodesic fiber
+    /// edge to it.
+    pub fn build(network: &Network, a: &DataCenter, b: &DataCenter) -> RoutingGraph {
+        let mut graph: Graph<RoutingNode, RoutingEdge> = Graph::new();
+        // Mirror tower nodes; ids align because insertion order matches.
+        for (id, _) in network.graph.nodes() {
+            let mirrored = graph.add_node(RoutingNode::Tower(id));
+            debug_assert_eq!(mirrored.index(), id.index());
+        }
+        // Mirror microwave edges.
+        for (eid, u, v, link) in network.graph.edges() {
+            graph.add_edge(
+                NodeId::from_index(u.index()),
+                NodeId::from_index(v.index()),
+                RoutingEdge { medium: Medium::Air, length_m: link.length_m, mw_edge: Some(eid) },
+            );
+        }
+        // Data-center nodes and fiber tails.
+        let source = graph.add_node(RoutingNode::DataCenter { code: a.code, position: a.position() });
+        let target = graph.add_node(RoutingNode::DataCenter { code: b.code, position: b.position() });
+        for (dc_node, dc) in [(source, a), (target, b)] {
+            for (tower, dist_m) in network.towers_within(&dc.position(), MAX_FIBER_TAIL_KM) {
+                graph.add_edge(
+                    dc_node,
+                    NodeId::from_index(tower.index()),
+                    RoutingEdge { medium: Medium::Fiber, length_m: dist_m, mw_edge: None },
+                );
+            }
+        }
+        let geodesic_m = a.position().geodesic_distance_m(&b.position());
+        RoutingGraph { graph, source, target, geodesic_m }
+    }
+
+    /// Lowest-latency route over edges passing `filter` (receiving the
+    /// *network* edge id of microwave edges; fiber tails always pass).
+    pub fn route_filtered(
+        &self,
+        network: &Network,
+        mut filter: impl FnMut(EdgeId) -> bool,
+    ) -> Option<Route> {
+        self.route_with(network, |_, e| match e.mw_edge {
+            Some(mw) => filter(mw),
+            None => true,
+        })
+    }
+
+    /// Lowest-latency route with full control over edge admission: the
+    /// filter receives the *routing-graph* edge id and payload, so fiber
+    /// tails can be restricted too (the APA metric pins them to the
+    /// baseline route's tails).
+    pub fn route_with(
+        &self,
+        network: &Network,
+        mut filter: impl FnMut(EdgeId, &RoutingEdge) -> bool,
+    ) -> Option<Route> {
+        let sp = dijkstra(
+            &self.graph,
+            self.source,
+            |_, e| e.latency_s(),
+            |e| filter(e, self.graph.edge(e)),
+        );
+        let (nodes, edges) = sp.path(self.target)?;
+        let mut mw_m = 0.0;
+        let mut fiber_m = 0.0;
+        let mut mw_edges = Vec::new();
+        let mut fiber_edges = Vec::new();
+        for e in &edges {
+            let re = self.graph.edge(*e);
+            match re.medium {
+                Medium::Air | Medium::Vacuum => mw_m += re.length_m,
+                Medium::Fiber => fiber_m += re.length_m,
+            }
+            match re.mw_edge {
+                Some(mw) => mw_edges.push(mw),
+                None => fiber_edges.push(*e),
+            }
+        }
+        let latency_s = sp.distance(self.target).expect("path exists");
+        let waypoints = nodes
+            .iter()
+            .map(|n| match self.graph.node(*n) {
+                RoutingNode::Tower(t) => network.graph.node(*t).position,
+                RoutingNode::DataCenter { position, .. } => *position,
+            })
+            .collect::<Vec<_>>();
+        Some(Route {
+            latency_ms: latency_s * 1e3,
+            length_m: mw_m + fiber_m,
+            mw_m,
+            fiber_m,
+            towers: nodes.len().saturating_sub(2),
+            mw_edges,
+            fiber_edges,
+            waypoints,
+        })
+    }
+
+    /// Latency (ms) of the lowest-latency route with all edges available,
+    /// or `None` when the data centers are not connected.
+    pub fn latency_ms(&self, network: &Network) -> Option<f64> {
+        self.route_filtered(network, |_| true).map(|r| r.latency_ms)
+    }
+}
+
+/// Convenience: build the routing graph and compute the unfiltered route.
+pub fn route(network: &Network, a: &DataCenter, b: &DataCenter) -> Option<Route> {
+    RoutingGraph::build(network, a, b).route_filtered(network, |_| true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::{CME, EQUINIX_NY4};
+    use crate::network::{MwLink, Tower};
+    use hft_geodesy::{gc_interpolate, one_way_ms, SnapGrid};
+    use hft_time::Date;
+
+    /// Build a chain network of `n` towers along the CME→NY4 geodesic,
+    /// with endpoints a few km from the data centers.
+    fn chain_network(n: usize) -> Network {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let mut graph = Graph::new();
+        let snap = SnapGrid::arc_second();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n {
+            // Slightly inset so the end towers sit ~5 km from the DCs.
+            let t = 0.004 + (i as f64 / (n - 1) as f64) * 0.992;
+            let position = gc_interpolate(&a, &b, t);
+            let node = graph.add_node(Tower {
+                position,
+                cell: snap.snap(&position),
+                ground_elevation_m: 230.0,
+                structure_height_m: 110.0,
+            });
+            if let Some(p) = prev {
+                let length_m = graph.node(p).position.geodesic_distance_m(&position);
+                graph.add_edge(
+                    p,
+                    node,
+                    MwLink { length_m, frequencies_ghz: vec![11.2], licenses: vec![] },
+                );
+            }
+            prev = Some(node);
+        }
+        Network { licensee: "Chain".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    #[test]
+    fn chain_routes_end_to_end() {
+        let net = chain_network(25);
+        let r = route(&net, &CME, &EQUINIX_NY4).expect("connected");
+        // All 25 towers traversed; latency slightly above the c-bound.
+        assert_eq!(r.towers, 25);
+        assert_eq!(r.mw_edges.len(), 24);
+        let bound_ms = one_way_ms(
+            CME.position().geodesic_distance_m(&EQUINIX_NY4.position()),
+            Medium::Air,
+        );
+        assert!(r.latency_ms > bound_ms, "cannot beat the speed of light");
+        assert!(r.latency_ms < bound_ms * 1.01, "straight chain must be near-optimal: {} vs {bound_ms}", r.latency_ms);
+        assert!(r.fiber_m > 0.0, "ends reach DCs via fiber");
+        assert!(r.fiber_m < 2.0 * MAX_FIBER_TAIL_KM * 1000.0);
+        assert_eq!(r.waypoints.len(), 27); // 25 towers + 2 DCs
+    }
+
+    #[test]
+    fn stretch_vs_c_definition() {
+        let net = chain_network(25);
+        let rg = RoutingGraph::build(&net, &CME, &EQUINIX_NY4);
+        let r = rg.route_filtered(&net, |_| true).unwrap();
+        let s = r.stretch_vs_c(rg.geodesic_m);
+        assert!(s > 1.0 && s < 1.01, "got {s}");
+    }
+
+    #[test]
+    fn removing_chain_link_disconnects() {
+        let net = chain_network(10);
+        let rg = RoutingGraph::build(&net, &CME, &EQUINIX_NY4);
+        let victim = net.graph.edge_ids().nth(4).unwrap();
+        assert!(rg.route_filtered(&net, |e| e != victim).is_none());
+    }
+
+    #[test]
+    fn fiber_tails_cost_more_than_air() {
+        // A network forced to leave one tower early pays a longer fiber
+        // tail. Use a 31-tower chain so the second-to-last tower (~43 km
+        // out) is still within the 50 km fiber reach.
+        let near = chain_network(31);
+        let r_near = route(&near, &CME, &EQUINIX_NY4).unwrap();
+        // Truncate the chain: drop the final hop, so the route must leave
+        // the network one tower earlier (~49 km from NY4, still within the
+        // 50 km fiber-tail limit) and pay a longer fiber tail.
+        let n_edges = near.graph.edge_count();
+        let rg = RoutingGraph::build(&near, &CME, &EQUINIX_NY4);
+        let r_trunc = rg
+            .route_filtered(&near, |e| e.index() < n_edges - 1)
+            .expect("still reachable via longer fiber tail");
+        assert!(r_trunc.latency_ms > r_near.latency_ms);
+        assert!(r_trunc.fiber_m > r_near.fiber_m);
+    }
+
+    #[test]
+    fn no_towers_near_dc_means_no_route() {
+        // Chain that stops half-way across the corridor.
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let mut graph = Graph::new();
+        let snap = SnapGrid::arc_second();
+        let mut prev: Option<NodeId> = None;
+        for i in 0..10 {
+            let t = 0.004 + (i as f64 / 9.0) * 0.45; // ends mid-corridor
+            let position = gc_interpolate(&a, &b, t);
+            let node = graph.add_node(Tower {
+                position,
+                cell: snap.snap(&position),
+                ground_elevation_m: 230.0,
+                structure_height_m: 110.0,
+            });
+            if let Some(p) = prev {
+                let length_m = graph.node(p).position.geodesic_distance_m(&position);
+                graph.add_edge(p, node, MwLink { length_m, frequencies_ghz: vec![6.1], licenses: vec![] });
+            }
+            prev = Some(node);
+        }
+        let net = Network { licensee: "Half".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph };
+        assert!(route(&net, &CME, &EQUINIX_NY4).is_none());
+    }
+
+    #[test]
+    fn empty_network_no_route() {
+        let net = Network {
+            licensee: "Empty".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph: Graph::new(),
+        };
+        assert!(route(&net, &CME, &EQUINIX_NY4).is_none());
+    }
+
+    #[test]
+    fn mw_plus_fiber_sum_to_length() {
+        let net = chain_network(25);
+        let r = route(&net, &CME, &EQUINIX_NY4).unwrap();
+        assert!((r.mw_m + r.fiber_m - r.length_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_accounts_for_slower_fiber() {
+        let net = chain_network(25);
+        let r = route(&net, &CME, &EQUINIX_NY4).unwrap();
+        let naive_all_air_ms = one_way_ms(r.length_m, Medium::Air);
+        let expected_ms = one_way_ms(r.mw_m, Medium::Air) + one_way_ms(r.fiber_m, Medium::Fiber);
+        assert!((r.latency_ms - expected_ms).abs() < 1e-9);
+        assert!(r.latency_ms > naive_all_air_ms);
+    }
+}

@@ -1,0 +1,431 @@
+//! Human-readable YAML network dumps, matching the paper tool's output
+//! ("It outputs the networks as human-readable YAML files, incorporating
+//! information about tower coordinates and heights, link lengths, and
+//! operating frequencies").
+//!
+//! The emitter writes a small, fixed YAML subset; the parser reads exactly
+//! that subset back (sufficient for round-tripping our own dumps — it is
+//! not a general YAML parser and rejects anything outside the dialect).
+
+use crate::network::{MwLink, Network, Tower};
+use core::fmt;
+use hft_geodesy::{LatLon, SnapGrid};
+use hft_netgraph::{Graph, NodeId};
+use hft_time::Date;
+use hft_uls::LicenseId;
+
+/// Serialize a network to the YAML dialect.
+pub fn to_yaml(network: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("licensee: {}\n", quote(&network.licensee)));
+    out.push_str(&format!("as_of: {}\n", network.as_of.to_iso()));
+    out.push_str(&format!("towers: # {}\n", network.tower_count()));
+    for (id, t) in network.graph.nodes() {
+        out.push_str(&format!(
+            "  - id: {}\n    lat: {:.6}\n    lon: {:.6}\n    ground_m: {:.1}\n    height_m: {:.1}\n",
+            id.index(),
+            t.position.lat_deg(),
+            t.position.lon_deg(),
+            t.ground_elevation_m,
+            t.structure_height_m,
+        ));
+    }
+    out.push_str(&format!("links: # {}\n", network.link_count()));
+    for (_, u, v, link) in network.graph.edges() {
+        let freqs: Vec<String> =
+            link.frequencies_ghz.iter().map(|f| format!("{f:.5}")).collect();
+        let lics: Vec<String> = link.licenses.iter().map(|l| l.0.to_string()).collect();
+        out.push_str(&format!(
+            "  - a: {}\n    b: {}\n    length_km: {:.3}\n    frequencies_ghz: [{}]\n    licenses: [{}]\n",
+            u.index(),
+            v.index(),
+            link.length_m / 1000.0,
+            freqs.join(", "),
+            lics.join(", "),
+        ));
+    }
+    out
+}
+
+fn quote(s: &str) -> String {
+    // Quote when the name could be misparsed.
+    if s.is_empty()
+        || s.contains(':')
+        || s.contains('#')
+        || s.starts_with(' ')
+        || s.ends_with(' ')
+        || s.starts_with('"')
+    {
+        format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn unquote(s: &str) -> String {
+    let s = s.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].replace("\\\"", "\"").replace("\\\\", "\\")
+    } else {
+        s.to_string()
+    }
+}
+
+/// Error parsing a YAML network dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YamlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "yaml line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+#[derive(Default)]
+struct TowerDraft {
+    id: Option<usize>,
+    lat: Option<f64>,
+    lon: Option<f64>,
+    ground: Option<f64>,
+    height: Option<f64>,
+}
+
+#[derive(Default)]
+struct LinkDraft {
+    a: Option<usize>,
+    b: Option<usize>,
+    frequencies: Vec<f64>,
+    licenses: Vec<u64>,
+}
+
+/// Parse a network from the YAML dialect produced by [`to_yaml`].
+///
+/// Link lengths are *recomputed* from tower coordinates rather than
+/// trusted from the file, so a hand-edited dump stays self-consistent.
+pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
+    enum Section {
+        Top,
+        Towers,
+        Links,
+    }
+    let mut licensee: Option<String> = None;
+    let mut as_of: Option<Date> = None;
+    let mut section = Section::Top;
+    let mut towers: Vec<TowerDraft> = Vec::new();
+    let mut links: Vec<LinkDraft> = Vec::new();
+
+    let err = |line: usize, message: String| YamlError { line, message };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        // Strip comments (outside quotes; our dialect never quotes '#').
+        let content = match raw.find('#') {
+            Some(i) if !raw[..i].contains('"') => &raw[..i],
+            _ => raw,
+        };
+        if content.trim().is_empty() {
+            continue;
+        }
+        let indent = content.len() - content.trim_start().len();
+        let body = content.trim();
+
+        if indent == 0 {
+            let (key, value) = body
+                .split_once(':')
+                .ok_or_else(|| err(line, format!("expected `key:`, got {body:?}")))?;
+            match key {
+                "licensee" => licensee = Some(unquote(value)),
+                "as_of" => {
+                    as_of = Some(Date::parse_iso(value.trim()).map_err(|e| {
+                        err(line, format!("bad as_of date: {e}"))
+                    })?)
+                }
+                "towers" => section = Section::Towers,
+                "links" => section = Section::Links,
+                other => return Err(err(line, format!("unknown top-level key {other:?}"))),
+            }
+            continue;
+        }
+
+        let starts_item = body.starts_with("- ");
+        let kv = if starts_item { &body[2..] } else { body };
+        let (key, value) = kv
+            .split_once(':')
+            .ok_or_else(|| err(line, format!("expected `key: value`, got {kv:?}")))?;
+        let key = key.trim();
+        let value = value.trim();
+        let parse_f64 = |v: &str| -> Result<f64, YamlError> {
+            v.parse().map_err(|_| err(line, format!("bad number {v:?} for {key}")))
+        };
+        let parse_usize = |v: &str| -> Result<usize, YamlError> {
+            v.parse().map_err(|_| err(line, format!("bad integer {v:?} for {key}")))
+        };
+        let parse_list = |v: &str| -> Result<Vec<f64>, YamlError> {
+            let inner = v
+                .strip_prefix('[')
+                .and_then(|v| v.strip_suffix(']'))
+                .ok_or_else(|| err(line, format!("expected [list] for {key}, got {v:?}")))?;
+            inner
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse().map_err(|_| err(line, format!("bad list item {s:?}"))))
+                .collect()
+        };
+
+        match section {
+            Section::Top => return Err(err(line, "indented content before any section".into())),
+            Section::Towers => {
+                if starts_item {
+                    towers.push(TowerDraft::default());
+                }
+                let t = towers
+                    .last_mut()
+                    .ok_or_else(|| err(line, "tower field before first `- id:`".into()))?;
+                match key {
+                    "id" => t.id = Some(parse_usize(value)?),
+                    "lat" => t.lat = Some(parse_f64(value)?),
+                    "lon" => t.lon = Some(parse_f64(value)?),
+                    "ground_m" => t.ground = Some(parse_f64(value)?),
+                    "height_m" => t.height = Some(parse_f64(value)?),
+                    other => return Err(err(line, format!("unknown tower key {other:?}"))),
+                }
+            }
+            Section::Links => {
+                if starts_item {
+                    links.push(LinkDraft::default());
+                }
+                let l = links
+                    .last_mut()
+                    .ok_or_else(|| err(line, "link field before first `- a:`".into()))?;
+                match key {
+                    "a" => l.a = Some(parse_usize(value)?),
+                    "b" => l.b = Some(parse_usize(value)?),
+                    "length_km" => {
+                        let _ = parse_f64(value)?; // validated but recomputed
+                    }
+                    "frequencies_ghz" => l.frequencies = parse_list(value)?,
+                    "licenses" => {
+                        l.licenses = parse_list(value)?.into_iter().map(|v| v as u64).collect()
+                    }
+                    other => return Err(err(line, format!("unknown link key {other:?}"))),
+                }
+            }
+        }
+    }
+
+    let licensee = licensee.ok_or_else(|| err(0, "missing `licensee`".into()))?;
+    let as_of = as_of.ok_or_else(|| err(0, "missing `as_of`".into()))?;
+
+    let mut graph: Graph<Tower, MwLink> = Graph::new();
+    let snap = SnapGrid::arc_second();
+    for (i, t) in towers.iter().enumerate() {
+        let need = |v: Option<f64>, what: &str| {
+            v.ok_or_else(|| err(0, format!("tower {i}: missing {what}")))
+        };
+        let id = t.id.ok_or_else(|| err(0, format!("tower {i}: missing id")))?;
+        if id != i {
+            return Err(err(0, format!("tower ids must be dense and ordered; got {id} at {i}")));
+        }
+        let position = LatLon::new(need(t.lat, "lat")?, need(t.lon, "lon")?)
+            .map_err(|e| err(0, e.to_string()))?;
+        graph.add_node(Tower {
+            position,
+            cell: snap.snap(&position),
+            ground_elevation_m: need(t.ground, "ground_m")?,
+            structure_height_m: need(t.height, "height_m")?,
+        });
+    }
+    for (i, l) in links.iter().enumerate() {
+        let a = l.a.ok_or_else(|| err(0, format!("link {i}: missing a")))?;
+        let b = l.b.ok_or_else(|| err(0, format!("link {i}: missing b")))?;
+        if a >= graph.node_count() || b >= graph.node_count() {
+            return Err(err(0, format!("link {i}: endpoint out of range")));
+        }
+        if a == b {
+            return Err(err(0, format!("link {i}: self-loop")));
+        }
+        let (na, nb) = (NodeId::from_index(a), NodeId::from_index(b));
+        let length_m =
+            graph.node(na).position.geodesic_distance_m(&graph.node(nb).position);
+        graph.add_edge(
+            na,
+            nb,
+            MwLink {
+                length_m,
+                frequencies_ghz: l.frequencies.clone(),
+                licenses: l.licenses.iter().map(|&v| LicenseId(v)).collect(),
+            },
+        );
+    }
+    Ok(Network { licensee, as_of, graph })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Network {
+        let mut graph: Graph<Tower, MwLink> = Graph::new();
+        let snap = SnapGrid::arc_second();
+        let p1 = LatLon::new(41.7625, -88.1712).unwrap();
+        let p2 = LatLon::new(41.7000, -87.6000).unwrap();
+        let p3 = LatLon::new(41.6500, -87.1000).unwrap();
+        let a = graph.add_node(Tower {
+            position: p1,
+            cell: snap.snap(&p1),
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        });
+        let b = graph.add_node(Tower {
+            position: p2,
+            cell: snap.snap(&p2),
+            ground_elevation_m: 220.5,
+            structure_height_m: 95.0,
+        });
+        let c = graph.add_node(Tower {
+            position: p3,
+            cell: snap.snap(&p3),
+            ground_elevation_m: 210.0,
+            structure_height_m: 80.0,
+        });
+        let l1 = MwLink {
+            length_m: p1.geodesic_distance_m(&p2),
+            frequencies_ghz: vec![11.245, 11.485],
+            licenses: vec![LicenseId(12), LicenseId(99)],
+        };
+        let l2 = MwLink {
+            length_m: p2.geodesic_distance_m(&p3),
+            frequencies_ghz: vec![6.19],
+            licenses: vec![LicenseId(12)],
+        };
+        graph.add_edge(a, b, l1);
+        graph.add_edge(b, c, l2);
+        Network {
+            licensee: "New Line Networks".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
+    }
+
+    #[test]
+    fn emits_expected_shape() {
+        let y = to_yaml(&sample());
+        assert!(y.starts_with("licensee: New Line Networks\nas_of: 2020-04-01\n"));
+        assert!(y.contains("towers: # 3"));
+        assert!(y.contains("links: # 2"));
+        assert!(y.contains("frequencies_ghz: [11.24500, 11.48500]"));
+        assert!(y.contains("licenses: [12, 99]"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let orig = sample();
+        let back = from_yaml(&to_yaml(&orig)).unwrap();
+        assert_eq!(back.licensee, orig.licensee);
+        assert_eq!(back.as_of, orig.as_of);
+        assert_eq!(back.tower_count(), 3);
+        assert_eq!(back.link_count(), 2);
+        for (id, t) in back.graph.nodes() {
+            let o = orig.graph.node(id);
+            assert!((t.position.lat_deg() - o.position.lat_deg()).abs() < 1e-6);
+            assert!((t.position.lon_deg() - o.position.lon_deg()).abs() < 1e-6);
+            assert!((t.ground_elevation_m - o.ground_elevation_m).abs() < 0.05);
+        }
+        for (id, _, _, l) in back.graph.edges() {
+            let o = orig.graph.edge(id);
+            assert!((l.length_m - o.length_m).abs() < 1.0);
+            assert_eq!(l.licenses, o.licenses);
+            assert_eq!(l.frequencies_ghz.len(), o.frequencies_ghz.len());
+        }
+    }
+
+    #[test]
+    fn quoted_licensee_round_trip() {
+        let mut net = sample();
+        net.licensee = "Weird: Name #7".into();
+        let back = from_yaml(&to_yaml(&net)).unwrap();
+        assert_eq!(back.licensee, "Weird: Name #7");
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(from_yaml("towers: # 0\nlinks: # 0\n").is_err());
+        assert!(from_yaml("licensee: X\ntowers: # 0\nlinks: # 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_link_endpoint() {
+        let y = "\
+licensee: X
+as_of: 2020-04-01
+towers: # 1
+  - id: 0
+    lat: 41.0
+    lon: -88.0
+    ground_m: 230.0
+    height_m: 110.0
+links: # 1
+  - a: 0
+    b: 5
+    length_km: 1.0
+    frequencies_ghz: [6.1]
+    licenses: [1]
+";
+        let e = from_yaml(y).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_non_dense_tower_ids() {
+        let y = "\
+licensee: X
+as_of: 2020-04-01
+towers: # 1
+  - id: 3
+    lat: 41.0
+    lon: -88.0
+    ground_m: 230.0
+    height_m: 110.0
+links: # 0
+";
+        assert!(from_yaml(y).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let y = "licensee: X\nas_of: 2020-04-01\nbogus: 1\n";
+        let e = from_yaml(y).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn lengths_recomputed_from_coordinates() {
+        // Tamper with length_km in the dump; parsed network must ignore it.
+        let y = to_yaml(&sample()).replace("length_km: 4", "length_km: 9");
+        let back = from_yaml(&y).unwrap();
+        let orig = sample();
+        for (id, _, _, l) in back.graph.edges() {
+            assert!((l.length_m - orig.graph.edge(id).length_m).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_network_round_trip() {
+        let net = Network {
+            licensee: "Empty".into(),
+            as_of: Date::new(2013, 1, 1).unwrap(),
+            graph: Graph::new(),
+        };
+        let back = from_yaml(&to_yaml(&net)).unwrap();
+        assert_eq!(back.tower_count(), 0);
+        assert_eq!(back.link_count(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Robustness fuzzing for the YAML network parser: arbitrary or mutated
+//! input must return a structured error, never panic.
+
+use hft_core::network::{MwLink, Network, Tower};
+use hft_core::yaml::{from_yaml, to_yaml};
+use hft_geodesy::{LatLon, SnapGrid};
+use hft_netgraph::Graph;
+use hft_time::Date;
+use proptest::prelude::*;
+
+fn sample() -> Network {
+    let mut graph: Graph<Tower, MwLink> = Graph::new();
+    let snap = SnapGrid::arc_second();
+    let p1 = LatLon::new(41.7625, -88.1712).unwrap();
+    let p2 = LatLon::new(41.7000, -87.6000).unwrap();
+    let a = graph.add_node(Tower {
+        position: p1,
+        cell: snap.snap(&p1),
+        ground_elevation_m: 230.0,
+        structure_height_m: 110.0,
+    });
+    let b = graph.add_node(Tower {
+        position: p2,
+        cell: snap.snap(&p2),
+        ground_elevation_m: 220.0,
+        structure_height_m: 95.0,
+    });
+    graph.add_edge(a, b, MwLink {
+        length_m: p1.geodesic_distance_m(&p2),
+        frequencies_ghz: vec![11.245],
+        licenses: vec![],
+    });
+    Network { licensee: "Robust Net".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+}
+
+fn mutate(text: &str, kind: u8, pos: usize, payload: char) -> String {
+    let mut s: Vec<char> = text.chars().collect();
+    if s.is_empty() {
+        return payload.to_string();
+    }
+    let pos = pos % s.len();
+    match kind % 3 {
+        0 => s[pos] = payload,
+        1 => s.insert(pos, payload),
+        _ => {
+            s.remove(pos);
+        }
+    }
+    s.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mutated_yaml_never_panics(kind in 0u8..3, pos in 0usize..100_000, payload in proptest::char::any()) {
+        let text = to_yaml(&sample());
+        let _ = from_yaml(&mutate(&text, kind, pos, payload));
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,300}") {
+        let _ = from_yaml(&text);
+    }
+
+    #[test]
+    fn arbitrary_keyvalue_lines_never_panic(
+        lines in proptest::collection::vec(("[a-z_]{1,12}", "[-0-9a-zA-Z. \\[\\],]{0,20}"), 0..10)
+    ) {
+        let text: String = lines.iter().map(|(k, v)| format!("{k}: {v}\n")).collect();
+        let _ = from_yaml(&text);
+        // And indented versions.
+        let indented: String = lines.iter().map(|(k, v)| format!("  - {k}: {v}\n")).collect();
+        let _ = from_yaml(&format!("licensee: x\nas_of: 2020-04-01\ntowers:\n{indented}"));
+    }
+}

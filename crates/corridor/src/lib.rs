@@ -1,0 +1,40 @@
+//! # hft-corridor
+//!
+//! A calibrated synthetic stand-in for the real 2012–2020 FCC license
+//! corpus of the Chicago–New Jersey HFT corridor.
+//!
+//! The IMC'20 paper's analyses consume nothing but license records
+//! (coordinates, dates, frequencies). This crate generates such a corpus
+//! whose *analysis results* match the paper's published numbers:
+//!
+//! * every connected network of Table 1 (New Line Networks, Pierce
+//!   Broadband, Jefferson Microwave, Blueline Comm, Webline Holdings,
+//!   AQ2AT, Wireless Internetwork, GTT Americas, SW Networks), with its
+//!   latency, APA and tower count;
+//! * the per-path rankings and latencies of Table 2 and the APA contrasts
+//!   of Table 3;
+//! * the latency and license-count trajectories of Figs 1 and 2,
+//!   including National Tower Company's rise and 2017–18 collapse and
+//!   Pierce Broadband's 2020 arrival;
+//! * the link-length and frequency distributions of Fig 4 (Webline
+//!   short/6 GHz vs NLN long/11 GHz);
+//! * the §2.2 funnel: 57 MG/FXO candidate licensees near CME, 29 with
+//!   ≥ 11 filings.
+//!
+//! Calibration is *closed-loop*: the generator runs the actual
+//! `hft-core` routing code and binary-searches its geometry knobs (tower
+//! lateral offsets) until each latency target is met, so the corpus and
+//! the analysis can never drift apart.
+//!
+//! Everything is deterministic in the scenario plus a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+pub mod layout;
+mod noise;
+mod spec;
+
+pub use build::{generate, GeneratedEcosystem};
+pub use spec::{chicago_nj, ApaTargets, EraTarget, LicenseAnchor, NetworkSpec, PathTargets, ScenarioSpec};

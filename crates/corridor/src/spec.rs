@@ -1,0 +1,520 @@
+//! Declarative scenario specification, with the Chicago–NJ corridor's
+//! calibration targets transcribed from the paper's tables and figures.
+
+use hft_radio::Band;
+use hft_time::Date;
+
+/// Latency targets (one-way, milliseconds) for the three corridor paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathTargets {
+    /// CME → Equinix NY4.
+    pub ny4: f64,
+    /// CME → NYSE Mahwah, `None` when the network does not serve NYSE.
+    pub nyse: Option<f64>,
+    /// CME → NASDAQ Carteret, `None` when the network does not serve it.
+    pub nasdaq: Option<f64>,
+}
+
+/// APA targets per path (fractions in `[0, 1]`); paths the network does
+/// not serve are ignored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApaTargets {
+    /// CME → NY4 APA.
+    pub ny4: f64,
+    /// CME → NYSE APA.
+    pub nyse: f64,
+    /// CME → NASDAQ APA.
+    pub nasdaq: f64,
+}
+
+/// One point of a network's historical latency trajectory (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EraTarget {
+    /// The era begins (its geometry is in place) strictly before this
+    /// date, so reconstruction *on* the date sees it.
+    pub date: Date,
+    /// CME→NY4 one-way latency target at that date, ms.
+    pub ny4_latency_ms: f64,
+}
+
+/// An anchor for the active-license-count trajectory (Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LicenseAnchor {
+    /// Anchor date (the Fig. 2 x-ticks are January 1sts).
+    pub date: Date,
+    /// Desired active license count on that date.
+    pub count: usize,
+}
+
+/// Specification of one licensee's network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Licensee name as filed with the FCC.
+    pub name: String,
+    /// Towers on the CME→NY4 shortest route (Table 1's `#Towers`).
+    pub ny4_route_towers: usize,
+    /// Combined data-center fiber-tail length (both ends), km.
+    pub tail_km: f64,
+    /// Final-state latency targets (as of 2020-04-01); `None` when the
+    /// network is defunct by then (National Tower Company).
+    pub final_latency: Option<PathTargets>,
+    /// Final-state APA targets.
+    pub apa: ApaTargets,
+    /// Primary operating band for route links.
+    pub primary_band: Band,
+    /// Band used on (part of) the redundant rails.
+    pub rail_band: Band,
+    /// Fraction of rail links assigned to `rail_band` (the rest use the
+    /// primary band) — drives the Fig. 4b "NLN-alternate" series.
+    pub rail_band_fraction: f64,
+    /// Rail hop length, km (shorter than trunk hops for Webline, which
+    /// drags its Fig. 4a median down).
+    pub rail_hop_km: f64,
+    /// Date the redundancy rails come online (empty APA before that).
+    pub rails_online: Option<Date>,
+    /// Latency trajectory; first era's date is when the network first has
+    /// an end-to-end CME→NY4 path. Must be non-empty for any network that
+    /// is ever connected.
+    pub eras: Vec<EraTarget>,
+    /// Grant date of the network's very first licenses (build-out starts
+    /// here; the network may not be end-to-end yet).
+    pub first_grant: Date,
+    /// Date all licenses are cancelled (National Tower Company), if ever.
+    pub shutdown: Option<Date>,
+    /// License-count anchors for Fig. 2 (satisfied by issuing spare
+    /// licenses above the structural minimum; anchors below the
+    /// structural minimum are reported, not forced).
+    pub license_anchors: Vec<LicenseAnchor>,
+}
+
+/// The full scenario: the corridor's networks plus funnel noise
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// The modeled licensees (connected, defunct and partial).
+    pub networks: Vec<NetworkSpec>,
+    /// Number of partially built corridor licensees (≥ 11 filings but no
+    /// end-to-end path) beyond the explicitly modeled networks.
+    pub partial_licensees: usize,
+    /// Number of hidden split-entity networks: one physical corridor
+    /// network filed under *two* shell licensees (west half / east half),
+    /// connected only jointly — the §2.4 limitation the entity-resolution
+    /// analysis (hft-core::entity) is meant to uncover. Each pair adds two
+    /// shortlist entries.
+    pub split_entity_pairs: usize,
+    /// Number of small MG/FXO licensees near CME (< 11 filings) — the
+    /// funnel's 57 − 29 = 28 drop-outs.
+    pub small_licensees: usize,
+    /// Number of non-MG licensees near CME (filtered by the site search).
+    pub other_service_licensees: usize,
+}
+
+fn d(y: i32, m: u32, day: u32) -> Date {
+    Date::new(y, m, day).expect("static scenario dates are valid")
+}
+
+/// The calibrated Chicago–New Jersey scenario: every target number below
+/// is transcribed from the paper (Tables 1–3, Figs 1–2) or chosen to be
+/// consistent with its narrative where the paper does not pin a value.
+#[allow(clippy::vec_init_then_push)] // one push per network keeps the spec readable
+pub fn chicago_nj() -> ScenarioSpec {
+    let mut networks = Vec::new();
+
+    // ---- New Line Networks: the 2020 champion (Tables 1 & 2). ----
+    networks.push(NetworkSpec {
+        name: "New Line Networks".into(),
+        ny4_route_towers: 25,
+        tail_km: 1.35,
+        final_latency: Some(PathTargets {
+            ny4: 3.96171,
+            nyse: Some(3.93209),
+            nasdaq: Some(3.92728),
+        }),
+        apa: ApaTargets { ny4: 0.54, nyse: 0.58, nasdaq: 0.30 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::L6GHz,
+        rail_band_fraction: 0.3,
+        rail_hop_km: 46.0,
+        rails_online: Some(d(2016, 9, 1)),
+        eras: vec![
+            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
+            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.975 },
+            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.9640 },
+            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.9625 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96171 },
+        ],
+        first_grant: d(2015, 2, 1),
+        shutdown: None,
+        license_anchors: vec![
+            LicenseAnchor { date: d(2015, 1, 1), count: 0 },
+            LicenseAnchor { date: d(2016, 1, 1), count: 95 },
+            LicenseAnchor { date: d(2017, 1, 1), count: 125 },
+            LicenseAnchor { date: d(2018, 1, 1), count: 150 },
+            LicenseAnchor { date: d(2019, 1, 1), count: 155 },
+            LicenseAnchor { date: d(2020, 1, 1), count: 155 },
+        ],
+    });
+
+    // ---- Pierce Broadband: the 2020 newcomer, 2nd on CME-NY4. ----
+    networks.push(NetworkSpec {
+        name: "Pierce Broadband".into(),
+        ny4_route_towers: 29,
+        tail_km: 1.4,
+        final_latency: Some(PathTargets { ny4: 3.96209, nyse: None, nasdaq: None }),
+        apa: ApaTargets { ny4: 0.07, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::L6GHz,
+        rail_band_fraction: 1.0,
+        rail_hop_km: 40.0,
+        rails_online: Some(d(2020, 2, 20)),
+        eras: vec![EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96209 }],
+        first_grant: d(2019, 10, 15),
+        shutdown: None,
+        license_anchors: vec![
+            LicenseAnchor { date: d(2020, 1, 1), count: 30 },
+            LicenseAnchor { date: d(2020, 4, 1), count: 36 },
+        ],
+    });
+
+    // ---- Jefferson Microwave: fewest towers, high APA. ----
+    networks.push(NetworkSpec {
+        name: "Jefferson Microwave".into(),
+        ny4_route_towers: 22,
+        tail_km: 2.2,
+        final_latency: Some(PathTargets {
+            ny4: 3.96597,
+            nyse: Some(3.94021),
+            nasdaq: Some(3.92828),
+        }),
+        apa: ApaTargets { ny4: 0.73, nyse: 0.75, nasdaq: 0.70 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::L6GHz,
+        rail_band_fraction: 0.5,
+        rail_hop_km: 45.0,
+        rails_online: Some(d(2016, 5, 1)),
+        eras: vec![
+            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 3.995 },
+            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.990 },
+            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
+            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.980 },
+            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.975 },
+            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.970 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96597 },
+        ],
+        first_grant: d(2013, 5, 1),
+        shutdown: None,
+        license_anchors: vec![
+            LicenseAnchor { date: d(2014, 1, 1), count: 62 },
+            LicenseAnchor { date: d(2016, 1, 1), count: 85 },
+            LicenseAnchor { date: d(2018, 1, 1), count: 102 },
+            LicenseAnchor { date: d(2020, 1, 1), count: 112 },
+        ],
+    });
+
+    // ---- Blueline Comm: solid chain, no redundancy. ----
+    networks.push(NetworkSpec {
+        name: "Blueline Comm".into(),
+        ny4_route_towers: 29,
+        tail_km: 2.6,
+        final_latency: Some(PathTargets {
+            ny4: 3.96940,
+            nyse: Some(3.95866),
+            nasdaq: Some(3.94500),
+        }),
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::B11GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 45.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.998 },
+            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.985 },
+            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.975 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96940 },
+        ],
+        first_grant: d(2014, 3, 1),
+        shutdown: None,
+        license_anchors: vec![
+            LicenseAnchor { date: d(2016, 1, 1), count: 80 },
+            LicenseAnchor { date: d(2020, 1, 1), count: 92 },
+        ],
+    });
+
+    // ---- Webline Holdings: the reliability play of §5. ----
+    networks.push(NetworkSpec {
+        name: "Webline Holdings".into(),
+        ny4_route_towers: 27,
+        tail_km: 2.4,
+        final_latency: Some(PathTargets {
+            ny4: 3.97157,
+            nyse: Some(4.04909), // NLN + 117 µs, per §5
+            nasdaq: Some(3.92805),
+        }),
+        apa: ApaTargets { ny4: 0.85, nyse: 0.92, nasdaq: 0.80 },
+        primary_band: Band::L6GHz,
+        rail_band: Band::L6GHz,
+        rail_band_fraction: 1.0,
+        rail_hop_km: 33.5,
+        rails_online: Some(d(2014, 6, 1)),
+        eras: vec![
+            EraTarget { date: d(2013, 1, 1), ny4_latency_ms: 4.012 },
+            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.000 },
+            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.990 },
+            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
+            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.980 },
+            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.976 },
+            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.973 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.97157 },
+        ],
+        first_grant: d(2012, 6, 1),
+        shutdown: None,
+        license_anchors: vec![
+            LicenseAnchor { date: d(2013, 1, 1), count: 70 },
+            LicenseAnchor { date: d(2015, 1, 1), count: 95 },
+            LicenseAnchor { date: d(2017, 1, 1), count: 118 },
+            LicenseAnchor { date: d(2019, 1, 1), count: 135 },
+            LicenseAnchor { date: d(2020, 1, 1), count: 145 },
+        ],
+    });
+
+    // ---- AQ2AT: mid-field chain. ----
+    networks.push(NetworkSpec {
+        name: "AQ2AT".into(),
+        ny4_route_towers: 29,
+        tail_km: 6.0,
+        final_latency: Some(PathTargets { ny4: 4.01101, nyse: None, nasdaq: None }),
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::B11GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 45.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 4.030 },
+            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 4.018 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.01101 },
+        ],
+        first_grant: d(2015, 4, 1),
+        shutdown: None,
+        license_anchors: vec![LicenseAnchor { date: d(2018, 1, 1), count: 45 }],
+    });
+
+    // ---- Wireless Internetwork: slower, more towers. ----
+    networks.push(NetworkSpec {
+        name: "Wireless Internetwork".into(),
+        ny4_route_towers: 33,
+        tail_km: 9.0,
+        final_latency: Some(PathTargets { ny4: 4.12246, nyse: None, nasdaq: None }),
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::B11GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 40.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.140 },
+            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 4.130 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.12246 },
+        ],
+        first_grant: d(2013, 2, 1),
+        shutdown: None,
+        license_anchors: vec![LicenseAnchor { date: d(2017, 1, 1), count: 70 }],
+    });
+
+    // ---- GTT Americas: commodity microwave, not latency-optimized. ----
+    networks.push(NetworkSpec {
+        name: "GTT Americas".into(),
+        ny4_route_towers: 28,
+        tail_km: 14.0,
+        final_latency: Some(PathTargets { ny4: 4.24241, nyse: None, nasdaq: None }),
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::B11GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 42.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 4.260 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.24241 },
+        ],
+        first_grant: d(2014, 1, 15),
+        shutdown: None,
+        license_anchors: vec![LicenseAnchor { date: d(2018, 1, 1), count: 62 }],
+    });
+
+    // ---- SW Networks: sprawling short-hop network, slowest of the nine. ----
+    networks.push(NetworkSpec {
+        name: "SW Networks".into(),
+        ny4_route_towers: 74,
+        tail_km: 16.0,
+        final_latency: Some(PathTargets { ny4: 4.44530, nyse: None, nasdaq: None }),
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B18GHz,
+        rail_band: Band::B18GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 18.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.470 },
+            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.44530 },
+        ],
+        first_grant: d(2013, 3, 1),
+        shutdown: None,
+        license_anchors: vec![LicenseAnchor { date: d(2016, 1, 1), count: 160 }],
+    });
+
+    // ---- National Tower Company: the full arc (§4, Figs 1-2). ----
+    networks.push(NetworkSpec {
+        name: "National Tower Company".into(),
+        ny4_route_towers: 26,
+        tail_km: 4.0,
+        final_latency: None, // gone by 2020
+        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        primary_band: Band::B11GHz,
+        rail_band: Band::B11GHz,
+        rail_band_fraction: 0.0,
+        rail_hop_km: 45.0,
+        rails_online: None,
+        eras: vec![
+            EraTarget { date: d(2013, 1, 1), ny4_latency_ms: 4.000 },
+            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 3.992 },
+            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.988 },
+            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.988 },
+            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.988 },
+        ],
+        first_grant: d(2012, 9, 1),
+        // Fig. 1 shows NTC's last point at 2017-01-01; Fig. 2 has it
+        // cancelling 71 licenses across 2017-2018.
+        shutdown: Some(d(2017, 8, 15)),
+        license_anchors: vec![
+            LicenseAnchor { date: d(2013, 1, 1), count: 60 },
+            LicenseAnchor { date: d(2014, 1, 1), count: 85 },
+            LicenseAnchor { date: d(2015, 1, 1), count: 92 },
+            LicenseAnchor { date: d(2016, 1, 1), count: 96 },
+            LicenseAnchor { date: d(2017, 1, 1), count: 96 },
+        ],
+    });
+
+    ScenarioSpec {
+        networks,
+        // 29 shortlisted = 10 modeled (9 connected + NTC) + 17 partial
+        // + 2 split-entity shells.
+        partial_licensees: 17,
+        split_entity_pairs: 1,
+        // 57 MG/FXO candidates − 29 shortlisted = 28 small licensees.
+        small_licensees: 28,
+        other_service_licensees: 12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_connected_networks() {
+        let s = chicago_nj();
+        let connected = s.networks.iter().filter(|n| n.final_latency.is_some()).count();
+        assert_eq!(connected, 9, "Table 1 lists nine connected networks");
+    }
+
+    #[test]
+    fn funnel_arithmetic() {
+        let s = chicago_nj();
+        let shortlisted =
+            s.networks.len() + s.partial_licensees + 2 * s.split_entity_pairs;
+        assert_eq!(shortlisted, 29, "paper's shortlist");
+        assert_eq!(shortlisted + s.small_licensees, 57, "paper's candidate count");
+    }
+
+    #[test]
+    fn table1_latency_order() {
+        let s = chicago_nj();
+        let mut lat: Vec<(String, f64)> = s
+            .networks
+            .iter()
+            .filter_map(|n| n.final_latency.map(|l| (n.name.clone(), l.ny4)))
+            .collect();
+        lat.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let names: Vec<&str> = lat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "New Line Networks",
+                "Pierce Broadband",
+                "Jefferson Microwave",
+                "Blueline Comm",
+                "Webline Holdings",
+                "AQ2AT",
+                "Wireless Internetwork",
+                "GTT Americas",
+                "SW Networks",
+            ],
+        );
+    }
+
+    #[test]
+    fn every_connected_network_has_eras_ending_at_snapshot() {
+        let s = chicago_nj();
+        for n in &s.networks {
+            if let Some(f) = n.final_latency {
+                let last = n.eras.last().expect("connected networks have eras");
+                assert_eq!(last.date, Date::new(2020, 4, 1).unwrap(), "{}", n.name);
+                assert!((last.ny4_latency_ms - f.ny4).abs() < 1e-9, "{}", n.name);
+            }
+        }
+    }
+
+    #[test]
+    fn era_latencies_non_increasing() {
+        let s = chicago_nj();
+        for n in &s.networks {
+            for w in n.eras.windows(2) {
+                assert!(w[0].date < w[1].date, "{}: era dates ordered", n.name);
+                assert!(
+                    w[1].ny4_latency_ms <= w[0].ny4_latency_ms + 1e-12,
+                    "{}: latency must never regress",
+                    n.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latencies_beat_physics_never() {
+        // c over the 1186 km geodesic is ~3.95607 ms; nobody can be below.
+        let s = chicago_nj();
+        for n in &s.networks {
+            for e in &n.eras {
+                assert!(e.ny4_latency_ms > 3.9561, "{} at {}", n.name, e.date);
+            }
+        }
+    }
+
+    #[test]
+    fn webline_nyse_lag_matches_section5() {
+        let s = chicago_nj();
+        let nln = s.networks.iter().find(|n| n.name == "New Line Networks").unwrap();
+        let wh = s.networks.iter().find(|n| n.name == "Webline Holdings").unwrap();
+        let lag_us = (wh.final_latency.unwrap().nyse.unwrap()
+            - nln.final_latency.unwrap().nyse.unwrap())
+            * 1000.0;
+        assert!((lag_us - 117.0).abs() < 0.5, "§5 quotes a 117 µs NYSE lag, got {lag_us}");
+        let lag_nasdaq_us = (wh.final_latency.unwrap().nasdaq.unwrap()
+            - nln.final_latency.unwrap().nasdaq.unwrap())
+            * 1000.0;
+        assert!((lag_nasdaq_us - 0.8).abs() < 0.1, "§5 quotes 0.8 µs on NASDAQ, got {lag_nasdaq_us}");
+    }
+
+    #[test]
+    fn ntc_dies_and_pb_arrives() {
+        let s = chicago_nj();
+        let ntc = s.networks.iter().find(|n| n.name == "National Tower Company").unwrap();
+        assert!(ntc.shutdown.is_some());
+        assert!(ntc.final_latency.is_none());
+        let pb = s.networks.iter().find(|n| n.name == "Pierce Broadband").unwrap();
+        assert!(pb.first_grant >= Date::new(2019, 1, 1).unwrap());
+        assert_eq!(pb.eras.len(), 1);
+    }
+}

@@ -1,0 +1,253 @@
+//! Geographic coordinates and the snapping grid used to identify towers.
+
+use crate::haversine;
+use crate::vincenty;
+use core::fmt;
+
+/// Error constructing a [`LatLon`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoordError {
+    /// Latitude outside `[-90, 90]` or not finite.
+    BadLatitude(f64),
+    /// Longitude outside `[-180, 180]` or not finite.
+    BadLongitude(f64),
+}
+
+impl fmt::Display for CoordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoordError::BadLatitude(v) => write!(f, "latitude {v} outside [-90, 90]"),
+            CoordError::BadLongitude(v) => write!(f, "longitude {v} outside [-180, 180]"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+/// A WGS-84 geographic coordinate in decimal degrees.
+///
+/// Invariants: both components are finite, latitude in `[-90, 90]`,
+/// longitude in `[-180, 180]`. FCC filings place towers in the continental
+/// US, but the type supports the full globe for the satellite experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatLon {
+    lat_deg: f64,
+    lon_deg: f64,
+}
+
+impl LatLon {
+    /// Construct a coordinate, validating ranges.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Result<LatLon, CoordError> {
+        if !lat_deg.is_finite() || !(-90.0..=90.0).contains(&lat_deg) {
+            return Err(CoordError::BadLatitude(lat_deg));
+        }
+        if !lon_deg.is_finite() || !(-180.0..=180.0).contains(&lon_deg) {
+            return Err(CoordError::BadLongitude(lon_deg));
+        }
+        Ok(LatLon { lat_deg, lon_deg })
+    }
+
+    /// Construct, normalizing longitude into `[-180, 180)` first (latitude
+    /// must still be valid).
+    pub fn new_normalized(lat_deg: f64, lon_deg: f64) -> Result<LatLon, CoordError> {
+        if !lon_deg.is_finite() {
+            return Err(CoordError::BadLongitude(lon_deg));
+        }
+        let mut lon = (lon_deg + 180.0).rem_euclid(360.0) - 180.0;
+        if lon == 180.0 {
+            lon = -180.0;
+        }
+        LatLon::new(lat_deg, lon)
+    }
+
+    /// Latitude in decimal degrees.
+    pub fn lat_deg(&self) -> f64 {
+        self.lat_deg
+    }
+
+    /// Longitude in decimal degrees.
+    pub fn lon_deg(&self) -> f64 {
+        self.lon_deg
+    }
+
+    /// Latitude in radians.
+    pub fn lat_rad(&self) -> f64 {
+        self.lat_deg.to_radians()
+    }
+
+    /// Longitude in radians.
+    pub fn lon_rad(&self) -> f64 {
+        self.lon_deg.to_radians()
+    }
+
+    /// WGS-84 geodesic distance to `other` in meters.
+    ///
+    /// Uses Vincenty's inverse formula; in the (astronomically rare for our
+    /// corridor) non-convergent near-antipodal case it falls back to the
+    /// spherical great-circle distance, which is within 0.56% of truth.
+    pub fn geodesic_distance_m(&self, other: &LatLon) -> f64 {
+        match vincenty::vincenty_inverse(self, other) {
+            Ok(sol) => sol.distance_m,
+            Err(_) => haversine::gc_distance_m(self, other),
+        }
+    }
+
+    /// Initial geodesic azimuth towards `other`, degrees clockwise from
+    /// north in `[0, 360)`.
+    pub fn initial_bearing_deg(&self, other: &LatLon) -> f64 {
+        match vincenty::vincenty_inverse(self, other) {
+            Ok(sol) => sol.initial_azimuth_deg,
+            Err(_) => haversine::gc_initial_bearing_deg(self, other),
+        }
+    }
+}
+
+impl fmt::Display for LatLon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat_deg, self.lon_deg)
+    }
+}
+
+/// A quantization grid for treating nearby coordinates as the same tower.
+///
+/// FCC licenses reference endpoints by coordinates. Two licenses that share
+/// a physical tower often quote coordinates differing in the last second of
+/// arc (surveying, re-filing, rounding). Reconstruction therefore snaps
+/// coordinates to a grid and treats equal cells as the same node — the
+/// "stitching" step of §2.3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapGrid {
+    /// Cell size in micro-degrees (1e-6 degree units).
+    cell_microdeg: u32,
+}
+
+/// A coordinate snapped to a [`SnapGrid`]; hashable and comparable, suitable
+/// as a node identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SnappedCoord {
+    /// Snapped latitude cell index.
+    pub lat_cell: i64,
+    /// Snapped longitude cell index.
+    pub lon_cell: i64,
+}
+
+impl SnapGrid {
+    /// Grid with cells of `cell_deg` degrees (must be ≥ 1e-6 and ≤ 1).
+    ///
+    /// The default used throughout the workspace is one second of arc
+    /// (~31 m of latitude), see [`SnapGrid::arc_second`].
+    pub fn new(cell_deg: f64) -> Option<SnapGrid> {
+        if !(1e-6..=1.0).contains(&cell_deg) || !cell_deg.is_finite() {
+            return None;
+        }
+        Some(SnapGrid { cell_microdeg: (cell_deg * 1e6).round() as u32 })
+    }
+
+    /// One-arc-second grid (1/3600 degree ≈ 278 µdeg), the tolerance within
+    /// which two filings are considered to reference the same tower.
+    pub fn arc_second() -> SnapGrid {
+        SnapGrid { cell_microdeg: 278 }
+    }
+
+    /// Cell size in degrees.
+    pub fn cell_deg(&self) -> f64 {
+        self.cell_microdeg as f64 * 1e-6
+    }
+
+    /// Snap a coordinate to its grid cell.
+    pub fn snap(&self, p: &LatLon) -> SnappedCoord {
+        let c = self.cell_microdeg as f64;
+        SnappedCoord {
+            lat_cell: (p.lat_deg() * 1e6 / c).round() as i64,
+            lon_cell: (p.lon_deg() * 1e6 / c).round() as i64,
+        }
+    }
+
+    /// The representative (cell-center) coordinate of a snapped cell.
+    pub fn unsnap(&self, s: &SnappedCoord) -> LatLon {
+        let c = self.cell_microdeg as f64 * 1e-6;
+        let lat = (s.lat_cell as f64 * c).clamp(-90.0, 90.0);
+        LatLon::new_normalized(lat, s.lon_cell as f64 * c)
+            .expect("snapped cell always yields valid coordinate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_components() {
+        assert!(LatLon::new(91.0, 0.0).is_err());
+        assert!(LatLon::new(-90.5, 0.0).is_err());
+        assert!(LatLon::new(0.0, 180.5).is_err());
+        assert!(LatLon::new(f64::NAN, 0.0).is_err());
+        assert!(LatLon::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn accepts_boundaries() {
+        assert!(LatLon::new(90.0, 180.0).is_ok());
+        assert!(LatLon::new(-90.0, -180.0).is_ok());
+    }
+
+    #[test]
+    fn normalization_wraps_longitude() {
+        let p = LatLon::new_normalized(10.0, 190.0).unwrap();
+        assert!((p.lon_deg() - (-170.0)).abs() < 1e-9);
+        let q = LatLon::new_normalized(10.0, -540.0).unwrap();
+        assert!((q.lon_deg() - 180.0).abs() < 1e-9 || (q.lon_deg() + 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corridor_distance_plausible() {
+        // CME Aurora to Equinix NY4 Secaucus: the paper quotes 1,186 km.
+        let cme = LatLon::new(41.7625, -88.2443).unwrap();
+        let ny4 = LatLon::new(40.7930, -74.0576).unwrap();
+        let d = cme.geodesic_distance_m(&ny4) / 1000.0;
+        assert!((1150.0..1220.0).contains(&d), "got {d} km");
+    }
+
+    #[test]
+    fn bearing_eastward_corridor() {
+        let cme = LatLon::new(41.7625, -88.2443).unwrap();
+        let ny4 = LatLon::new(40.7930, -74.0576).unwrap();
+        let b = cme.initial_bearing_deg(&ny4);
+        // Roughly east, tilted slightly south.
+        assert!((80.0..110.0).contains(&b), "got {b} deg");
+    }
+
+    #[test]
+    fn snap_identifies_near_coincident_towers() {
+        let g = SnapGrid::arc_second();
+        let a = LatLon::new(41.000_000, -80.000_000).unwrap();
+        // ~0.1 arc-second away: same physical tower, re-surveyed.
+        let b = LatLon::new(41.000_027, -80.000_027).unwrap();
+        assert_eq!(g.snap(&a), g.snap(&b));
+    }
+
+    #[test]
+    fn snap_separates_distinct_towers() {
+        let g = SnapGrid::arc_second();
+        let a = LatLon::new(41.0, -80.0).unwrap();
+        let b = LatLon::new(41.01, -80.0).unwrap(); // ~1.1 km away
+        assert_ne!(g.snap(&a), g.snap(&b));
+    }
+
+    #[test]
+    fn unsnap_is_within_cell() {
+        let g = SnapGrid::arc_second();
+        let p = LatLon::new(40.123456, -74.654321).unwrap();
+        let back = g.unsnap(&g.snap(&p));
+        assert!((back.lat_deg() - p.lat_deg()).abs() <= g.cell_deg());
+        assert!((back.lon_deg() - p.lon_deg()).abs() <= g.cell_deg());
+    }
+
+    #[test]
+    fn grid_bounds() {
+        assert!(SnapGrid::new(0.5).is_some());
+        assert!(SnapGrid::new(2.0).is_none());
+        assert!(SnapGrid::new(0.0).is_none());
+        assert!(SnapGrid::new(f64::NAN).is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! Degrees-minutes-seconds notation, as used in FCC ULS location records.
+//!
+//! ULS location (`LO`) records carry tower positions as separate degree,
+//! minute, second and hemisphere-indicator fields (e.g. `41-45-45.0 N`).
+//! This module converts between that notation and decimal degrees.
+
+use core::fmt;
+
+/// Which hemisphere a DMS value lies in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hemisphere {
+    /// North latitude (positive).
+    North,
+    /// South latitude (negative).
+    South,
+    /// East longitude (positive).
+    East,
+    /// West longitude (negative).
+    West,
+}
+
+impl Hemisphere {
+    /// Sign applied to the magnitude: +1 for N/E, -1 for S/W.
+    pub fn sign(self) -> f64 {
+        match self {
+            Hemisphere::North | Hemisphere::East => 1.0,
+            Hemisphere::South | Hemisphere::West => -1.0,
+        }
+    }
+
+    /// Single-letter indicator used in ULS exports.
+    pub fn letter(self) -> char {
+        match self {
+            Hemisphere::North => 'N',
+            Hemisphere::South => 'S',
+            Hemisphere::East => 'E',
+            Hemisphere::West => 'W',
+        }
+    }
+
+    /// Parse a single-letter indicator.
+    pub fn from_letter(c: char) -> Option<Hemisphere> {
+        match c.to_ascii_uppercase() {
+            'N' => Some(Hemisphere::North),
+            'S' => Some(Hemisphere::South),
+            'E' => Some(Hemisphere::East),
+            'W' => Some(Hemisphere::West),
+            _ => None,
+        }
+    }
+}
+
+/// Error parsing a DMS string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmsParseError(pub String);
+
+impl fmt::Display for DmsParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed DMS string {:?}", self.0)
+    }
+}
+
+impl std::error::Error for DmsParseError {}
+
+/// A degrees-minutes-seconds angle with hemisphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Dms {
+    /// Whole degrees (non-negative; sign carried by `hemisphere`).
+    pub degrees: u32,
+    /// Minutes, `0..60`.
+    pub minutes: u32,
+    /// Seconds with fraction, `0.0..60.0`.
+    pub seconds: f64,
+    /// Hemisphere indicator.
+    pub hemisphere: Hemisphere,
+}
+
+impl Dms {
+    /// Convert to signed decimal degrees.
+    pub fn to_decimal_degrees(&self) -> f64 {
+        self.hemisphere.sign()
+            * (self.degrees as f64 + self.minutes as f64 / 60.0 + self.seconds / 3600.0)
+    }
+
+    /// Convert a signed decimal-degree latitude to DMS.
+    pub fn from_decimal_latitude(deg: f64) -> Dms {
+        Self::from_decimal(deg, Hemisphere::North, Hemisphere::South)
+    }
+
+    /// Convert a signed decimal-degree longitude to DMS.
+    pub fn from_decimal_longitude(deg: f64) -> Dms {
+        Self::from_decimal(deg, Hemisphere::East, Hemisphere::West)
+    }
+
+    fn from_decimal(deg: f64, pos: Hemisphere, neg: Hemisphere) -> Dms {
+        let hemisphere = if deg >= 0.0 { pos } else { neg };
+        let mag = deg.abs();
+        let mut degrees = mag.trunc() as u32;
+        let rem_min = (mag - degrees as f64) * 60.0;
+        let mut minutes = rem_min.trunc() as u32;
+        let mut seconds = (rem_min - minutes as f64) * 60.0;
+        // Guard against 59.999999… rolling over on re-normalization.
+        if seconds >= 60.0 - 1e-9 {
+            seconds = 0.0;
+            minutes += 1;
+        }
+        if minutes >= 60 {
+            minutes = 0;
+            degrees += 1;
+        }
+        Dms { degrees, minutes, seconds, hemisphere }
+    }
+
+    /// Format in the ULS style, e.g. `41-45-45.0 N`.
+    ///
+    /// Seconds are kept to one decimal; a value that rounds up to 60.0
+    /// carries into the minutes (and degrees) so the text stays valid DMS.
+    pub fn to_uls(&self) -> String {
+        let mut degrees = self.degrees;
+        let mut minutes = self.minutes;
+        let mut tenths = (self.seconds * 10.0).round() as u32;
+        if tenths >= 600 {
+            tenths -= 600;
+            minutes += 1;
+        }
+        if minutes >= 60 {
+            minutes -= 60;
+            degrees += 1;
+        }
+        format!(
+            "{}-{:02}-{:02}.{} {}",
+            degrees,
+            minutes,
+            tenths / 10,
+            tenths % 10,
+            self.hemisphere.letter()
+        )
+    }
+
+    /// Parse the ULS style `D-M-S.s H` (also tolerates missing fractional
+    /// seconds and extra spaces).
+    pub fn parse_uls(s: &str) -> Result<Dms, DmsParseError> {
+        let err = || DmsParseError(s.to_string());
+        let s_trim = s.trim();
+        // Split off the final character respecting UTF-8 boundaries (the
+        // input may be arbitrary text from a hostile file).
+        let (last_idx, last_char) = s_trim.char_indices().last().ok_or_else(err)?;
+        let body = &s_trim[..last_idx];
+        let hemisphere = Hemisphere::from_letter(last_char).ok_or_else(err)?;
+        let mut parts = body.trim().split('-');
+        let (d, m, sec) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(d), Some(m), Some(sec), None) => (d, m, sec),
+            _ => return Err(err()),
+        };
+        let degrees: u32 = d.trim().parse().map_err(|_| err())?;
+        let minutes: u32 = m.trim().parse().map_err(|_| err())?;
+        let seconds: f64 = sec.trim().parse().map_err(|_| err())?;
+        if minutes >= 60 || !(0.0..60.0).contains(&seconds) {
+            return Err(err());
+        }
+        let max_deg = match hemisphere {
+            Hemisphere::North | Hemisphere::South => 90,
+            Hemisphere::East | Hemisphere::West => 180,
+        };
+        if degrees > max_deg || (degrees == max_deg && (minutes > 0 || seconds > 0.0)) {
+            return Err(err());
+        }
+        Ok(Dms { degrees, minutes, seconds, hemisphere })
+    }
+}
+
+impl fmt::Display for Dms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}°{:02}′{:05.2}″{}",
+            self.degrees,
+            self.minutes,
+            self.seconds,
+            self.hemisphere.letter()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_conversion_north() {
+        let d = Dms { degrees: 41, minutes: 45, seconds: 45.0, hemisphere: Hemisphere::North };
+        assert!((d.to_decimal_degrees() - 41.7625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimal_conversion_west_is_negative() {
+        let d = Dms { degrees: 88, minutes: 14, seconds: 39.48, hemisphere: Hemisphere::West };
+        assert!((d.to_decimal_degrees() + 88.244_3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_decimal_round_trip() {
+        for &v in &[41.7625f64, -88.2443, 0.0, 40.793, -74.0576, 89.99999] {
+            let dms = Dms::from_decimal_latitude(v.clamp(-90.0, 90.0));
+            assert!((dms.to_decimal_degrees() - v).abs() < 1e-9, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rollover_guard() {
+        // 40.9999999999 degrees should not produce seconds == 60.
+        let dms = Dms::from_decimal_latitude(40.999_999_999_9);
+        assert!(dms.seconds < 60.0);
+        assert!(dms.minutes < 60);
+        assert!((dms.to_decimal_degrees() - 41.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parse_uls_typical() {
+        let d = Dms::parse_uls("41-45-45.0 N").unwrap();
+        assert_eq!(d.degrees, 41);
+        assert_eq!(d.minutes, 45);
+        assert!((d.seconds - 45.0).abs() < 1e-12);
+        assert_eq!(d.hemisphere, Hemisphere::North);
+    }
+
+    #[test]
+    fn parse_uls_tolerates_spacing_and_case() {
+        let d = Dms::parse_uls("  88-14-39.48 w ").unwrap();
+        assert_eq!(d.hemisphere, Hemisphere::West);
+        assert!((d.to_decimal_degrees() + 88.2443).abs() < 1e-4);
+    }
+
+    #[test]
+    fn parse_uls_rejects_garbage() {
+        for s in ["", "41-45 N", "41-45-45.0-7 N", "41-61-00.0 N", "41-45-60.0 N", "95-00-00.0 N", "181-0-0.0 E", "41-45-45.0 X"] {
+            assert!(Dms::parse_uls(s).is_err(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn uls_format_round_trip() {
+        let d = Dms { degrees: 40, minutes: 47, seconds: 34.8, hemisphere: Hemisphere::North };
+        let s = d.to_uls();
+        let back = Dms::parse_uls(&s).unwrap();
+        assert!((back.to_decimal_degrees() - d.to_decimal_degrees()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_degrees_allowed() {
+        assert!(Dms::parse_uls("90-00-00.0 N").is_ok());
+        assert!(Dms::parse_uls("180-00-00.0 W").is_ok());
+        assert!(Dms::parse_uls("90-00-00.1 N").is_err());
+    }
+}

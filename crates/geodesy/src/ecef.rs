@@ -1,0 +1,158 @@
+//! Earth-centered Earth-fixed (ECEF) Cartesian coordinates.
+//!
+//! Slant ranges between ground stations and satellites — needed for the
+//! Fig. 5 LEO comparison — are straight-line distances in three dimensions,
+//! not surface geodesics, so they are computed in ECEF.
+
+use crate::coord::LatLon;
+use crate::ellipsoid::WGS84;
+
+/// An Earth-centered Earth-fixed Cartesian position in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ecef {
+    /// X axis: through the equator at the prime meridian.
+    pub x: f64,
+    /// Y axis: through the equator at 90°E.
+    pub y: f64,
+    /// Z axis: through the north pole.
+    pub z: f64,
+}
+
+impl Ecef {
+    /// Construct from raw components (meters).
+    pub fn new(x: f64, y: f64, z: f64) -> Ecef {
+        Ecef { x, y, z }
+    }
+
+    /// Convert a geodetic coordinate plus altitude above the WGS-84
+    /// ellipsoid (meters) to ECEF.
+    pub fn from_geodetic(p: &LatLon, alt_m: f64) -> Ecef {
+        let (sin_lat, cos_lat) = p.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = p.lon_rad().sin_cos();
+        let e2 = WGS84.e2();
+        // Prime-vertical radius of curvature.
+        let n = WGS84.a / (1.0 - e2 * sin_lat * sin_lat).sqrt();
+        Ecef {
+            x: (n + alt_m) * cos_lat * cos_lon,
+            y: (n + alt_m) * cos_lat * sin_lon,
+            z: (n * (1.0 - e2) + alt_m) * sin_lat,
+        }
+    }
+
+    /// Straight-line (chord / slant) distance to another ECEF point, meters.
+    pub fn distance_m(&self, other: &Ecef) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Euclidean norm (distance from Earth's center), meters.
+    pub fn norm_m(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Convert back to geodetic latitude/longitude and ellipsoidal altitude
+    /// using Bowring's iteration (converges in a few rounds to sub-mm).
+    pub fn to_geodetic(&self) -> (LatLon, f64) {
+        let e2 = WGS84.e2();
+        let p = (self.x * self.x + self.y * self.y).sqrt();
+        let lon = self.y.atan2(self.x);
+        if p < 1e-9 {
+            // On the polar axis.
+            let lat = if self.z >= 0.0 { 90.0 } else { -90.0 };
+            let alt = self.z.abs() - WGS84.b();
+            return (
+                LatLon::new_normalized(lat, lon.to_degrees()).expect("pole is valid"),
+                alt,
+            );
+        }
+        let mut lat = (self.z / (p * (1.0 - e2))).atan();
+        let mut alt = 0.0;
+        for _ in 0..10 {
+            let sin_lat = lat.sin();
+            let n = WGS84.a / (1.0 - e2 * sin_lat * sin_lat).sqrt();
+            alt = p / lat.cos() - n;
+            let new_lat = (self.z / (p * (1.0 - e2 * n / (n + alt)))).atan();
+            if (new_lat - lat).abs() < 1e-14 {
+                lat = new_lat;
+                break;
+            }
+            lat = new_lat;
+        }
+        (
+            LatLon::new_normalized(lat.to_degrees(), lon.to_degrees())
+                .expect("iteration yields valid coordinate"),
+            alt,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn equator_prime_meridian() {
+        let e = Ecef::from_geodetic(&p(0.0, 0.0), 0.0);
+        assert!((e.x - WGS84.a).abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6);
+        assert!(e.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn north_pole() {
+        let e = Ecef::from_geodetic(&p(90.0, 0.0), 0.0);
+        assert!(e.x.abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6);
+        assert!((e.z - WGS84.b()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn altitude_adds_radially() {
+        let ground = Ecef::from_geodetic(&p(45.0, 7.0), 0.0);
+        let up = Ecef::from_geodetic(&p(45.0, 7.0), 550_000.0);
+        let d = ground.distance_m(&up);
+        assert!((d - 550_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn geodetic_round_trip() {
+        for &(lat, lon, alt) in &[
+            (41.7625, -88.2443, 200.0),
+            (40.7930, -74.0576, 3.0),
+            (-33.9, 151.2, 50.0),
+            (78.2, 15.6, 0.0),
+            (0.0, 0.0, 550_000.0),
+        ] {
+            let e = Ecef::from_geodetic(&p(lat, lon), alt);
+            let (back, alt_back) = e.to_geodetic();
+            assert!((back.lat_deg() - lat).abs() < 1e-9, "lat {lat}");
+            assert!((back.lon_deg() - lon).abs() < 1e-9, "lon {lon}");
+            assert!((alt_back - alt).abs() < 1e-3, "alt {alt}");
+        }
+    }
+
+    #[test]
+    fn polar_axis_round_trip() {
+        let e = Ecef::new(0.0, 0.0, WGS84.b() + 100.0);
+        let (back, alt) = e.to_geodetic();
+        assert!((back.lat_deg() - 90.0).abs() < 1e-9);
+        assert!((alt - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chord_shorter_than_arc() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let chord = Ecef::from_geodetic(&a, 0.0).distance_m(&Ecef::from_geodetic(&b, 0.0));
+        let arc = a.geodesic_distance_m(&b);
+        assert!(chord < arc);
+        // ...but not by much over ~1000 km.
+        assert!(chord > 0.995 * arc);
+    }
+}

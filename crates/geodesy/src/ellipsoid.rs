@@ -1,0 +1,60 @@
+//! Reference ellipsoids.
+
+/// A rotational reference ellipsoid described by its semi-major axis and
+/// flattening.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipsoid {
+    /// Semi-major (equatorial) axis in meters.
+    pub a: f64,
+    /// Flattening `f = (a - b) / a`.
+    pub f: f64,
+}
+
+impl Ellipsoid {
+    /// Semi-minor (polar) axis in meters.
+    pub fn b(&self) -> f64 {
+        self.a * (1.0 - self.f)
+    }
+
+    /// First eccentricity squared, `e² = f(2 - f)`.
+    pub fn e2(&self) -> f64 {
+        self.f * (2.0 - self.f)
+    }
+
+    /// Second eccentricity squared, `e'² = e² / (1 - e²)`.
+    pub fn ep2(&self) -> f64 {
+        let e2 = self.e2();
+        e2 / (1.0 - e2)
+    }
+
+    /// Mean radius `(2a + b) / 3` (IUGG definition).
+    pub fn mean_radius(&self) -> f64 {
+        (2.0 * self.a + self.b()) / 3.0
+    }
+}
+
+/// The WGS-84 ellipsoid, the datum of FCC ULS tower coordinates.
+pub const WGS84: Ellipsoid = Ellipsoid {
+    a: 6_378_137.0,
+    f: 1.0 / 298.257_223_563,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgs84_derived_constants() {
+        assert!((WGS84.b() - 6_356_752.314_245).abs() < 1e-3);
+        assert!((WGS84.e2() - 0.006_694_379_990_14).abs() < 1e-12);
+        assert!((WGS84.mean_radius() - 6_371_008.771).abs() < 0.1);
+    }
+
+    #[test]
+    fn sphere_has_zero_eccentricity() {
+        let s = Ellipsoid { a: 6_371_000.0, f: 0.0 };
+        assert_eq!(s.b(), s.a);
+        assert_eq!(s.e2(), 0.0);
+        assert_eq!(s.ep2(), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Spherical great-circle helpers.
+//!
+//! Used as (a) a robust fallback where Vincenty does not converge, (b) the
+//! fast path for synthetic generation where sub-meter accuracy is not
+//! needed, and (c) spherical interpolation along the corridor geodesic.
+
+use crate::coord::LatLon;
+
+/// Mean Earth radius in meters (IUGG), used by all spherical formulas here.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle (spherical) distance in meters via the haversine formula,
+/// which is numerically stable at small separations.
+pub fn gc_distance_m(p1: &LatLon, p2: &LatLon) -> f64 {
+    let dphi = (p2.lat_rad() - p1.lat_rad()) / 2.0;
+    let dlam = (p2.lon_rad() - p1.lon_rad()) / 2.0;
+    let h = dphi.sin().powi(2) + p1.lat_rad().cos() * p2.lat_rad().cos() * dlam.sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Initial great-circle bearing from `p1` to `p2`, degrees clockwise from
+/// north, `[0, 360)`.
+pub fn gc_initial_bearing_deg(p1: &LatLon, p2: &LatLon) -> f64 {
+    let dlam = p2.lon_rad() - p1.lon_rad();
+    let y = dlam.sin() * p2.lat_rad().cos();
+    let x = p1.lat_rad().cos() * p2.lat_rad().sin()
+        - p1.lat_rad().sin() * p2.lat_rad().cos() * dlam.cos();
+    y.atan2(x).to_degrees().rem_euclid(360.0)
+}
+
+/// Destination point after traveling `distance_m` from `start` along the
+/// great circle with initial bearing `bearing_deg`.
+pub fn gc_destination(start: &LatLon, bearing_deg: f64, distance_m: f64) -> LatLon {
+    let delta = distance_m / EARTH_RADIUS_M;
+    let theta = bearing_deg.to_radians();
+    let phi1 = start.lat_rad();
+    let lam1 = start.lon_rad();
+    let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+    let lam2 = lam1
+        + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
+    LatLon::new_normalized(phi2.to_degrees(), lam2.to_degrees())
+        .expect("great-circle destination is a valid coordinate")
+}
+
+/// Spherical linear interpolation along the great circle from `p1` to `p2`.
+///
+/// `t = 0` yields `p1`, `t = 1` yields `p2`; values outside `[0, 1]`
+/// extrapolate along the same great circle. For coincident endpoints the
+/// start point is returned.
+pub fn gc_interpolate(p1: &LatLon, p2: &LatLon, t: f64) -> LatLon {
+    let d = gc_distance_m(p1, p2);
+    if d == 0.0 {
+        return *p1;
+    }
+    // Walk the great circle rather than slerping unit vectors so that
+    // extrapolation (t outside [0,1]) stays on the circle too.
+    gc_destination(p1, gc_initial_bearing_deg(p1, p2), d * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_vincenty_on_corridor_within_half_percent() {
+        let cme = p(41.7625, -88.2443);
+        let ny4 = p(40.7930, -74.0576);
+        let sph = gc_distance_m(&cme, &ny4);
+        let ell = crate::vincenty::vincenty_inverse(&cme, &ny4).unwrap().distance_m;
+        assert!((sph - ell).abs() / ell < 0.005, "sph={sph} ell={ell}");
+    }
+
+    #[test]
+    fn zero_for_coincident() {
+        let a = p(12.3, 45.6);
+        assert_eq!(gc_distance_m(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn quarter_circumference_pole() {
+        let d = gc_distance_m(&p(0.0, 0.0), &p(90.0, 0.0));
+        let expected = EARTH_RADIUS_M * core::f64::consts::FRAC_PI_2;
+        assert!((d - expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        assert!((gc_initial_bearing_deg(&p(0.0, 0.0), &p(10.0, 0.0)) - 0.0).abs() < 1e-9);
+        assert!((gc_initial_bearing_deg(&p(0.0, 0.0), &p(0.0, 10.0)) - 90.0).abs() < 1e-9);
+        assert!((gc_initial_bearing_deg(&p(10.0, 0.0), &p(0.0, 0.0)) - 180.0).abs() < 1e-9);
+        assert!((gc_initial_bearing_deg(&p(0.0, 10.0), &p(0.0, 0.0)) - 270.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = p(41.0, -80.0);
+        let dest = gc_destination(&start, 95.0, 50_000.0);
+        let back = gc_distance_m(&start, &dest);
+        assert!((back - 50_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn interpolation_endpoints_and_midpoint() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let at0 = gc_interpolate(&a, &b, 0.0);
+        let at1 = gc_interpolate(&a, &b, 1.0);
+        assert!(gc_distance_m(&a, &at0) < 1.0);
+        assert!(gc_distance_m(&b, &at1) < 1.0);
+        let mid = gc_interpolate(&a, &b, 0.5);
+        let d_am = gc_distance_m(&a, &mid);
+        let d_mb = gc_distance_m(&mid, &b);
+        assert!((d_am - d_mb).abs() < 5.0, "midpoint not equidistant: {d_am} vs {d_mb}");
+    }
+
+    #[test]
+    fn interpolation_is_monotone_along_path() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let t = i as f64 / 10.0;
+            let q = gc_interpolate(&a, &b, t);
+            let d = gc_distance_m(&a, &q);
+            assert!(d > prev, "distance from start must grow with t");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn extrapolation_continues_past_end() {
+        let a = p(41.0, -88.0);
+        let b = p(41.0, -87.0);
+        let beyond = gc_interpolate(&a, &b, 1.5);
+        assert!(gc_distance_m(&a, &beyond) > gc_distance_m(&a, &b));
+    }
+}

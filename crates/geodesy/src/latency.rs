@@ -1,0 +1,168 @@
+//! The speed-of-light latency model of §2.3 of the paper.
+//!
+//! Microwave segments propagate at essentially the vacuum speed of light
+//! (the refractive index of air, ~1.0003, is ignored by the paper and
+//! here); fiber segments propagate at roughly `2c/3` due to the glass
+//! refractive index.
+
+use core::fmt;
+
+/// Speed of light in vacuum, m/s (exact, SI definition).
+pub const C_VACUUM_M_PER_S: f64 = 299_792_458.0;
+
+/// Velocity factor of standard single-mode fiber (~2/3 of c), matching the
+/// paper's `2c/3` assumption.
+pub const FIBER_VELOCITY_FACTOR: f64 = 2.0 / 3.0;
+
+/// The propagation medium of a path segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Medium {
+    /// Line-of-sight radio through air: speed ≈ c.
+    Air,
+    /// Optical fiber: speed ≈ 2c/3.
+    Fiber,
+    /// Vacuum (inter-satellite laser links): speed = c.
+    Vacuum,
+}
+
+impl Medium {
+    /// Propagation speed in m/s.
+    pub fn speed_m_per_s(self) -> f64 {
+        match self {
+            Medium::Air | Medium::Vacuum => C_VACUUM_M_PER_S,
+            Medium::Fiber => C_VACUUM_M_PER_S * FIBER_VELOCITY_FACTOR,
+        }
+    }
+}
+
+impl fmt::Display for Medium {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Medium::Air => "air",
+            Medium::Fiber => "fiber",
+            Medium::Vacuum => "vacuum",
+        })
+    }
+}
+
+/// One-way propagation latency in seconds for `distance_m` meters through
+/// `medium`.
+pub fn latency_seconds(distance_m: f64, medium: Medium) -> f64 {
+    distance_m / medium.speed_m_per_s()
+}
+
+/// One-way propagation latency in milliseconds (the unit of the paper's
+/// tables).
+pub fn one_way_ms(distance_m: f64, medium: Medium) -> f64 {
+    latency_seconds(distance_m, medium) * 1e3
+}
+
+/// A convenience wrapper accumulating a latency budget over mixed-medium
+/// segments (microwave hops plus fiber tails), as used for end-to-end HFT
+/// routes.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpeedOfLight {
+    air_m: f64,
+    fiber_m: f64,
+    vacuum_m: f64,
+}
+
+impl SpeedOfLight {
+    /// Empty budget.
+    pub fn new() -> SpeedOfLight {
+        SpeedOfLight::default()
+    }
+
+    /// Add a segment of `distance_m` meters in `medium`.
+    pub fn add(&mut self, distance_m: f64, medium: Medium) {
+        debug_assert!(distance_m >= 0.0, "negative segment length");
+        match medium {
+            Medium::Air => self.air_m += distance_m,
+            Medium::Fiber => self.fiber_m += distance_m,
+            Medium::Vacuum => self.vacuum_m += distance_m,
+        }
+    }
+
+    /// Builder-style [`SpeedOfLight::add`].
+    pub fn with(mut self, distance_m: f64, medium: Medium) -> SpeedOfLight {
+        self.add(distance_m, medium);
+        self
+    }
+
+    /// Total path length in meters, regardless of medium.
+    pub fn total_distance_m(&self) -> f64 {
+        self.air_m + self.fiber_m + self.vacuum_m
+    }
+
+    /// Total one-way latency in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        latency_seconds(self.air_m, Medium::Air)
+            + latency_seconds(self.fiber_m, Medium::Fiber)
+            + latency_seconds(self.vacuum_m, Medium::Vacuum)
+    }
+
+    /// Total one-way latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_seconds() * 1e3
+    }
+
+    /// Total one-way latency in microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.total_seconds() * 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corridor_bound_matches_paper() {
+        // The paper states the minimum achievable CME–NY4 latency is
+        // 3.955 ms over the 1,186 km geodesic at c.
+        let ms = one_way_ms(1_186_000.0, Medium::Air);
+        assert!((ms - 3.956).abs() < 0.002, "got {ms}");
+    }
+
+    #[test]
+    fn fiber_is_fifty_percent_slower() {
+        let air = latency_seconds(1000.0, Medium::Air);
+        let fiber = latency_seconds(1000.0, Medium::Fiber);
+        assert!((fiber / air - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vacuum_equals_air_speed() {
+        assert_eq!(Medium::Vacuum.speed_m_per_s(), Medium::Air.speed_m_per_s());
+    }
+
+    #[test]
+    fn budget_accumulates_mixed_media() {
+        let b = SpeedOfLight::new()
+            .with(1_180_000.0, Medium::Air)
+            .with(6_000.0, Medium::Fiber);
+        assert!((b.total_distance_m() - 1_186_000.0).abs() < 1e-9);
+        let expect =
+            1_180_000.0 / C_VACUUM_M_PER_S + 6_000.0 / (C_VACUUM_M_PER_S * 2.0 / 3.0);
+        assert!((b.total_seconds() - expect).abs() < 1e-15);
+        assert!((b.total_ms() - expect * 1e3).abs() < 1e-12);
+        assert!((b.total_us() - expect * 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fiber_tail_penalty_magnitude() {
+        // A 6 km fiber tail costs 10 µs extra versus 6 km of air — the
+        // scale of the inter-network gaps in Table 1.
+        let penalty_us = (latency_seconds(6_000.0, Medium::Fiber)
+            - latency_seconds(6_000.0, Medium::Air))
+            * 1e6;
+        assert!((penalty_us - 10.0).abs() < 0.2, "got {penalty_us}");
+    }
+
+    #[test]
+    fn empty_budget_is_zero() {
+        let b = SpeedOfLight::new();
+        assert_eq!(b.total_seconds(), 0.0);
+        assert_eq!(b.total_distance_m(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hft-geodesy
+//!
+//! Geodesy substrate for reconstructing and analyzing line-of-sight
+//! microwave networks: WGS-84 coordinates, geodesic distance (Vincenty
+//! inverse/direct with a robust spherical fallback), ECEF conversions for
+//! satellite geometry, DMS parsing/formatting as used in FCC filings, and
+//! the speed-of-light latency model of the IMC'20 paper (microwave at
+//! essentially `c` in air, fiber at roughly `2c/3`).
+//!
+//! ```
+//! use hft_geodesy::{LatLon, Medium, latency_seconds};
+//!
+//! let cme = LatLon::new(41.7625, -88.2443).unwrap();   // CME, Aurora IL
+//! let ny4 = LatLon::new(40.7930, -74.0576).unwrap();   // Equinix NY4, Secaucus NJ
+//! let d = cme.geodesic_distance_m(&ny4);
+//! assert!(d > 1_100_000.0 && d < 1_250_000.0);
+//! let t_air = latency_seconds(d, Medium::Air);
+//! let t_fiber = latency_seconds(d, Medium::Fiber);
+//! assert!(t_fiber > 1.4 * t_air); // fiber ~50% slower than radio
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod dms;
+mod ecef;
+mod ellipsoid;
+mod haversine;
+mod latency;
+mod path;
+mod vincenty;
+
+pub use coord::{CoordError, LatLon, SnapGrid, SnappedCoord};
+pub use dms::{Dms, DmsParseError, Hemisphere};
+pub use ecef::Ecef;
+pub use ellipsoid::{Ellipsoid, WGS84};
+pub use haversine::{gc_destination, gc_distance_m, gc_initial_bearing_deg, gc_interpolate, EARTH_RADIUS_M};
+pub use latency::{latency_seconds, one_way_ms, Medium, SpeedOfLight, C_VACUUM_M_PER_S, FIBER_VELOCITY_FACTOR};
+pub use path::{GeoPath, PathSummary};
+pub use vincenty::{vincenty_direct, vincenty_inverse, GeodesicSolution, VincentyError};

@@ -1,0 +1,205 @@
+//! Polyline paths over the Earth's surface with mixed propagation media.
+
+use crate::coord::LatLon;
+use crate::latency::{Medium, SpeedOfLight};
+
+/// One segment of a [`GeoPath`]: the geodesic from the previous waypoint,
+/// traversed in a given medium.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Segment {
+    to: LatLon,
+    medium: Medium,
+}
+
+/// A piecewise-geodesic path (sequence of waypoints), each leg annotated
+/// with its propagation medium. This models an HFT route: a fiber tail
+/// from the data center to the first tower, microwave tower-to-tower hops,
+/// and a fiber tail into the far data center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeoPath {
+    start: LatLon,
+    segments: Vec<Segment>,
+}
+
+/// Aggregate measurements over a [`GeoPath`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSummary {
+    /// Sum of leg geodesic lengths, meters.
+    pub length_m: f64,
+    /// One-way propagation latency, milliseconds.
+    pub latency_ms: f64,
+    /// Number of legs.
+    pub hops: usize,
+    /// Length of the longest single leg, meters.
+    pub longest_leg_m: f64,
+    /// Straight-geodesic distance between the endpoints, meters.
+    pub geodesic_m: f64,
+}
+
+impl PathSummary {
+    /// Path stretch: path length over endpoint geodesic distance (≥ 1 up to
+    /// floating error; ∞ for zero geodesic).
+    pub fn stretch(&self) -> f64 {
+        if self.geodesic_m == 0.0 {
+            f64::INFINITY
+        } else {
+            self.length_m / self.geodesic_m
+        }
+    }
+}
+
+impl GeoPath {
+    /// A path anchored at `start` with no legs yet.
+    pub fn new(start: LatLon) -> GeoPath {
+        GeoPath { start, segments: Vec::new() }
+    }
+
+    /// Append a leg to `to`, traversed in `medium`.
+    pub fn push(&mut self, to: LatLon, medium: Medium) {
+        self.segments.push(Segment { to, medium });
+    }
+
+    /// Builder-style [`GeoPath::push`].
+    pub fn with(mut self, to: LatLon, medium: Medium) -> GeoPath {
+        self.push(to, medium);
+        self
+    }
+
+    /// First waypoint.
+    pub fn start(&self) -> LatLon {
+        self.start
+    }
+
+    /// Final waypoint (the start if the path has no legs).
+    pub fn end(&self) -> LatLon {
+        self.segments.last().map_or(self.start, |s| s.to)
+    }
+
+    /// Number of legs.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the path has no legs.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// All waypoints including the start, in order.
+    pub fn waypoints(&self) -> Vec<LatLon> {
+        let mut v = Vec::with_capacity(self.segments.len() + 1);
+        v.push(self.start);
+        v.extend(self.segments.iter().map(|s| s.to));
+        v
+    }
+
+    /// Iterate `(from, to, medium)` legs.
+    pub fn legs(&self) -> impl Iterator<Item = (LatLon, LatLon, Medium)> + '_ {
+        let froms = std::iter::once(self.start).chain(self.segments.iter().map(|s| s.to));
+        froms.zip(self.segments.iter()).map(|(from, seg)| (from, seg.to, seg.medium))
+    }
+
+    /// Measure the path.
+    pub fn summarize(&self) -> PathSummary {
+        let mut budget = SpeedOfLight::new();
+        let mut longest = 0.0f64;
+        for (from, to, medium) in self.legs() {
+            let d = from.geodesic_distance_m(&to);
+            budget.add(d, medium);
+            longest = longest.max(d);
+        }
+        PathSummary {
+            length_m: budget.total_distance_m(),
+            latency_ms: budget.total_ms(),
+            hops: self.segments.len(),
+            longest_leg_m: longest,
+            geodesic_m: self.start.geodesic_distance_m(&self.end()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_path_summary() {
+        let path = GeoPath::new(p(41.0, -88.0));
+        let s = path.summarize();
+        assert_eq!(s.hops, 0);
+        assert_eq!(s.length_m, 0.0);
+        assert_eq!(s.latency_ms, 0.0);
+        assert_eq!(s.geodesic_m, 0.0);
+        assert!(s.stretch().is_infinite());
+    }
+
+    #[test]
+    fn straight_two_leg_path_near_unit_stretch() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let mid = crate::haversine::gc_interpolate(&a, &b, 0.5);
+        let path = GeoPath::new(a).with(mid, Medium::Air).with(b, Medium::Air);
+        let s = path.summarize();
+        assert_eq!(s.hops, 2);
+        assert!(s.stretch() < 1.0001, "stretch {}", s.stretch());
+        assert!(s.length_m >= s.geodesic_m * 0.9999);
+    }
+
+    #[test]
+    fn detour_increases_stretch() {
+        let a = p(41.0, -88.0);
+        let b = p(41.0, -80.0);
+        let detour = p(43.5, -84.0);
+        let direct = GeoPath::new(a).with(b, Medium::Air).summarize();
+        let via = GeoPath::new(a).with(detour, Medium::Air).with(b, Medium::Air).summarize();
+        assert!(via.stretch() > direct.stretch());
+        assert!(via.stretch() > 1.01);
+    }
+
+    #[test]
+    fn mixed_media_latency_exceeds_all_air() {
+        let a = p(41.7625, -88.2443);
+        let t1 = p(41.75, -88.15);
+        let b = p(40.7930, -74.0576);
+        let t2 = p(40.80, -74.12);
+        let mixed = GeoPath::new(a)
+            .with(t1, Medium::Fiber)
+            .with(t2, Medium::Air)
+            .with(b, Medium::Fiber)
+            .summarize();
+        let all_air = GeoPath::new(a)
+            .with(t1, Medium::Air)
+            .with(t2, Medium::Air)
+            .with(b, Medium::Air)
+            .summarize();
+        assert!(mixed.latency_ms > all_air.latency_ms);
+        assert!((mixed.length_m - all_air.length_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waypoints_and_endpoints() {
+        let a = p(41.0, -88.0);
+        let b = p(41.0, -87.0);
+        let c = p(41.0, -86.0);
+        let path = GeoPath::new(a).with(b, Medium::Air).with(c, Medium::Air);
+        assert_eq!(path.waypoints().len(), 3);
+        assert_eq!(path.start(), a);
+        assert_eq!(path.end(), c);
+        assert_eq!(path.len(), 2);
+        assert!(!path.is_empty());
+    }
+
+    #[test]
+    fn longest_leg_tracked() {
+        let a = p(41.0, -88.0);
+        let b = p(41.0, -87.9); // ~8 km
+        let c = p(41.0, -87.0); // ~75 km
+        let s = GeoPath::new(a).with(b, Medium::Air).with(c, Medium::Air).summarize();
+        let bc = b.geodesic_distance_m(&c);
+        assert!((s.longest_leg_m - bc).abs() < 1e-6);
+    }
+}

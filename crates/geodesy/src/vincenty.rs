@@ -1,0 +1,284 @@
+//! Vincenty's inverse and direct geodesic solutions on the WGS-84 ellipsoid.
+//!
+//! The inverse problem (distance and azimuths between two points) drives
+//! every link-length and latency computation in the workspace; the direct
+//! problem (destination given start, azimuth, distance) drives synthetic
+//! tower placement along the corridor geodesic.
+
+use crate::coord::LatLon;
+use crate::ellipsoid::WGS84;
+use core::fmt;
+
+/// Convergence tolerance on the longitude-difference iterate, radians.
+/// 1e-12 rad ≈ 6 µm on the Earth's surface.
+const TOLERANCE: f64 = 1e-12;
+/// Iteration cap; Vincenty converges in <10 iterations except for
+/// near-antipodal pairs, which we report as an error instead.
+const MAX_ITERS: usize = 200;
+
+/// Failure of the Vincenty iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VincentyError {
+    /// The inverse iteration failed to converge (points are near-antipodal).
+    DidNotConverge,
+}
+
+impl fmt::Display for VincentyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VincentyError::DidNotConverge => {
+                f.write_str("Vincenty inverse did not converge (near-antipodal points)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VincentyError {}
+
+/// Solution of the inverse geodesic problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeodesicSolution {
+    /// Geodesic (surface) distance in meters.
+    pub distance_m: f64,
+    /// Azimuth at the start point, degrees clockwise from north, `[0, 360)`.
+    pub initial_azimuth_deg: f64,
+    /// Azimuth at the end point, degrees clockwise from north, `[0, 360)`.
+    pub final_azimuth_deg: f64,
+}
+
+fn norm_deg(d: f64) -> f64 {
+    d.rem_euclid(360.0)
+}
+
+/// Vincenty's inverse formula: geodesic distance and azimuths between two
+/// points on WGS-84. Accurate to well under a millimeter when it converges.
+pub fn vincenty_inverse(p1: &LatLon, p2: &LatLon) -> Result<GeodesicSolution, VincentyError> {
+    let b = WGS84.b();
+    let f = WGS84.f;
+
+    let phi1 = p1.lat_rad();
+    let phi2 = p2.lat_rad();
+    let l = p2.lon_rad() - p1.lon_rad();
+
+    // Reduced latitudes.
+    let u1 = ((1.0 - f) * phi1.tan()).atan();
+    let u2 = ((1.0 - f) * phi2.tan()).atan();
+    let (sin_u1, cos_u1) = u1.sin_cos();
+    let (sin_u2, cos_u2) = u2.sin_cos();
+
+    if (phi1 - phi2).abs() < 1e-15 && l.abs() < 1e-15 {
+        return Ok(GeodesicSolution { distance_m: 0.0, initial_azimuth_deg: 0.0, final_azimuth_deg: 0.0 });
+    }
+
+    let mut lambda = l;
+    let mut iter = 0;
+    let (mut sin_sigma, mut cos_sigma, mut sigma, mut cos_sq_alpha, mut cos_2sigma_m);
+    loop {
+        let (sin_lambda, cos_lambda) = lambda.sin_cos();
+        sin_sigma = ((cos_u2 * sin_lambda).powi(2)
+            + (cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lambda).powi(2))
+        .sqrt();
+        if sin_sigma == 0.0 {
+            // Coincident points.
+            return Ok(GeodesicSolution { distance_m: 0.0, initial_azimuth_deg: 0.0, final_azimuth_deg: 0.0 });
+        }
+        cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lambda;
+        sigma = sin_sigma.atan2(cos_sigma);
+        let sin_alpha = cos_u1 * cos_u2 * sin_lambda / sin_sigma;
+        cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+        cos_2sigma_m = if cos_sq_alpha.abs() < 1e-15 {
+            0.0 // equatorial line
+        } else {
+            cos_sigma - 2.0 * sin_u1 * sin_u2 / cos_sq_alpha
+        };
+        let c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
+        let lambda_prev = lambda;
+        lambda = l
+            + (1.0 - c)
+                * f
+                * sin_alpha
+                * (sigma
+                    + c * sin_sigma
+                        * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
+        iter += 1;
+        if (lambda - lambda_prev).abs() < TOLERANCE {
+            break;
+        }
+        if iter >= MAX_ITERS {
+            return Err(VincentyError::DidNotConverge);
+        }
+    }
+
+    let u_sq = cos_sq_alpha * WGS84.ep2();
+    let big_a = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+    let big_b = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+    let delta_sigma = big_b
+        * sin_sigma
+        * (cos_2sigma_m
+            + big_b / 4.0
+                * (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)
+                    - big_b / 6.0
+                        * cos_2sigma_m
+                        * (-3.0 + 4.0 * sin_sigma * sin_sigma)
+                        * (-3.0 + 4.0 * cos_2sigma_m * cos_2sigma_m)));
+    let s = b * big_a * (sigma - delta_sigma);
+
+    let (sin_lambda, cos_lambda) = lambda.sin_cos();
+    let alpha1 = (cos_u2 * sin_lambda).atan2(cos_u1 * sin_u2 - sin_u1 * cos_u2 * cos_lambda);
+    let alpha2 = (cos_u1 * sin_lambda).atan2(-sin_u1 * cos_u2 + cos_u1 * sin_u2 * cos_lambda);
+
+    Ok(GeodesicSolution {
+        distance_m: s,
+        initial_azimuth_deg: norm_deg(alpha1.to_degrees()),
+        final_azimuth_deg: norm_deg(alpha2.to_degrees()),
+    })
+}
+
+/// Vincenty's direct formula: destination point and final azimuth, given a
+/// start point, initial azimuth (degrees clockwise from north) and geodesic
+/// distance in meters.
+pub fn vincenty_direct(start: &LatLon, azimuth_deg: f64, distance_m: f64) -> (LatLon, f64) {
+    let b = WGS84.b();
+    let f = WGS84.f;
+
+    let alpha1 = azimuth_deg.to_radians();
+    let (sin_alpha1, cos_alpha1) = alpha1.sin_cos();
+
+    let u1 = ((1.0 - f) * start.lat_rad().tan()).atan();
+    let (sin_u1, cos_u1) = u1.sin_cos();
+    let sigma1 = sin_u1.atan2(cos_u1 * cos_alpha1); // angular distance on sphere from equator
+    let sin_alpha = cos_u1 * sin_alpha1;
+    let cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+    let u_sq = cos_sq_alpha * WGS84.ep2();
+    let big_a = 1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+    let big_b = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+
+    let mut sigma = distance_m / (b * big_a);
+    let mut cos_2sigma_m;
+    loop {
+        cos_2sigma_m = (2.0 * sigma1 + sigma).cos();
+        let (sin_sigma, cos_sigma) = sigma.sin_cos();
+        let delta_sigma = big_b
+            * sin_sigma
+            * (cos_2sigma_m
+                + big_b / 4.0
+                    * (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)
+                        - big_b / 6.0
+                            * cos_2sigma_m
+                            * (-3.0 + 4.0 * sin_sigma * sin_sigma)
+                            * (-3.0 + 4.0 * cos_2sigma_m * cos_2sigma_m)));
+        let sigma_prev = sigma;
+        sigma = distance_m / (b * big_a) + delta_sigma;
+        if (sigma - sigma_prev).abs() < TOLERANCE {
+            break;
+        }
+    }
+
+    let (sin_sigma, cos_sigma) = sigma.sin_cos();
+    let tmp = sin_u1 * sin_sigma - cos_u1 * cos_sigma * cos_alpha1;
+    let phi2 = (sin_u1 * cos_sigma + cos_u1 * sin_sigma * cos_alpha1)
+        .atan2((1.0 - f) * (sin_alpha * sin_alpha + tmp * tmp).sqrt());
+    let lambda = (sin_sigma * sin_alpha1).atan2(cos_u1 * cos_sigma - sin_u1 * sin_sigma * cos_alpha1);
+    let c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
+    let l = lambda
+        - (1.0 - c)
+            * f
+            * sin_alpha
+            * (sigma
+                + c * sin_sigma
+                    * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
+    let lon2 = start.lon_rad() + l;
+    let alpha2 = sin_alpha.atan2(-tmp);
+
+    let dest = LatLon::new_normalized(phi2.to_degrees(), lon2.to_degrees())
+        .expect("direct solution yields valid coordinate");
+    (dest, norm_deg(alpha2.to_degrees()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn flinders_peak_to_buninyong() {
+        // Vincenty's classic test line (Australia Geodetic survey),
+        // expressed in decimal degrees. Known WGS-84-ish answer ~54.9 km.
+        let flinders = p(-37.951_033_42, 144.424_867_89);
+        let buninyong = p(-37.652_821_14, 143.926_495_53);
+        let sol = vincenty_inverse(&flinders, &buninyong).unwrap();
+        assert!((sol.distance_m - 54_972.3).abs() < 2.0, "got {}", sol.distance_m);
+        assert!((sol.initial_azimuth_deg - 306.868).abs() < 0.01, "got {}", sol.initial_azimuth_deg);
+    }
+
+    #[test]
+    fn equatorial_degree_length() {
+        // One degree of longitude along the equator: a * pi/180.
+        let sol = vincenty_inverse(&p(0.0, 0.0), &p(0.0, 1.0)).unwrap();
+        let expected = WGS84.a * core::f64::consts::PI / 180.0;
+        assert!((sol.distance_m - expected).abs() < 1e-3);
+        assert!((sol.initial_azimuth_deg - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meridian_arc_to_pole() {
+        // Equator to pole along a meridian: the quarter-meridian, 10 001.966 km.
+        let sol = vincenty_inverse(&p(0.0, 0.0), &p(90.0, 0.0)).unwrap();
+        assert!((sol.distance_m - 10_001_965.73).abs() < 1.0, "got {}", sol.distance_m);
+    }
+
+    #[test]
+    fn coincident_points_zero() {
+        let sol = vincenty_inverse(&p(41.5, -74.2), &p(41.5, -74.2)).unwrap();
+        assert_eq!(sol.distance_m, 0.0);
+    }
+
+    #[test]
+    fn antipodal_reports_nonconvergence() {
+        // Near-perfectly antipodal equatorial points defeat the classic
+        // Vincenty iteration.
+        let r = vincenty_inverse(&p(0.0, 0.0), &p(0.5, 179.7));
+        assert_eq!(r, Err(VincentyError::DidNotConverge));
+    }
+
+    #[test]
+    fn symmetry_of_distance() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let ab = vincenty_inverse(&a, &b).unwrap().distance_m;
+        let ba = vincenty_inverse(&b, &a).unwrap().distance_m;
+        assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn direct_inverts_inverse() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let sol = vincenty_inverse(&a, &b).unwrap();
+        let (dest, _) = vincenty_direct(&a, sol.initial_azimuth_deg, sol.distance_m);
+        assert!((dest.lat_deg() - b.lat_deg()).abs() < 1e-8);
+        assert!((dest.lon_deg() - b.lon_deg()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn direct_zero_distance_is_identity() {
+        let a = p(40.0, -75.0);
+        let (dest, _) = vincenty_direct(&a, 123.0, 0.0);
+        assert!((dest.lat_deg() - 40.0).abs() < 1e-12);
+        assert!((dest.lon_deg() + 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_on_corridor() {
+        let cme = p(41.7625, -88.2443);
+        let mid = p(41.2, -81.0);
+        let ny4 = p(40.7930, -74.0576);
+        let direct = vincenty_inverse(&cme, &ny4).unwrap().distance_m;
+        let via = vincenty_inverse(&cme, &mid).unwrap().distance_m
+            + vincenty_inverse(&mid, &ny4).unwrap().distance_m;
+        assert!(via >= direct);
+    }
+}

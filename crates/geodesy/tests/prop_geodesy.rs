@@ -1,0 +1,131 @@
+//! Property-based tests for geodesic invariants.
+
+use hft_geodesy::{
+    gc_distance_m, gc_interpolate, vincenty_direct, vincenty_inverse, Dms, Ecef, LatLon, Medium,
+    SnapGrid, SpeedOfLight,
+};
+use proptest::prelude::*;
+
+/// Mid-latitude coordinates (avoids poles/antipodes where Vincenty is
+/// legitimately allowed to bail to the spherical fallback).
+fn arb_midlat() -> impl Strategy<Value = LatLon> {
+    (-60.0f64..60.0, -179.0f64..179.0).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+/// Coordinates confined to the continental-US corridor box.
+fn arb_corridor() -> impl Strategy<Value = LatLon> {
+    (38.0f64..44.0, -90.0f64..-72.0).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn distance_symmetric(a in arb_midlat(), b in arb_midlat()) {
+        let ab = a.geodesic_distance_m(&b);
+        let ba = b.geodesic_distance_m(&a);
+        prop_assert!((ab - ba).abs() < 1e-6 * (1.0 + ab));
+    }
+
+    #[test]
+    fn distance_nonnegative_and_zero_iff_same(a in arb_midlat()) {
+        prop_assert_eq!(a.geodesic_distance_m(&a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_corridor(), b in arb_corridor(), c in arb_corridor()) {
+        let ab = a.geodesic_distance_m(&b);
+        let bc = b.geodesic_distance_m(&c);
+        let ac = a.geodesic_distance_m(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn vincenty_close_to_spherical(a in arb_corridor(), b in arb_corridor()) {
+        let ell = match vincenty_inverse(&a, &b) {
+            Ok(s) => s.distance_m,
+            Err(_) => return Ok(()),
+        };
+        let sph = gc_distance_m(&a, &b);
+        // Ellipsoidal vs spherical differ < 0.6% everywhere.
+        prop_assert!((ell - sph).abs() <= 0.006 * ell.max(1.0), "ell={ell} sph={sph}");
+    }
+
+    #[test]
+    fn direct_then_inverse_round_trip(a in arb_corridor(), az in 0.0f64..360.0, d in 1.0f64..500_000.0) {
+        let (dest, _) = vincenty_direct(&a, az, d);
+        let sol = vincenty_inverse(&a, &dest);
+        if let Ok(sol) = sol {
+            prop_assert!((sol.distance_m - d).abs() < 1e-3, "d={d} got {}", sol.distance_m);
+            let mut daz = (sol.initial_azimuth_deg - az).abs();
+            if daz > 180.0 { daz = 360.0 - daz; }
+            prop_assert!(daz < 1e-6, "az={az} got {}", sol.initial_azimuth_deg);
+        }
+    }
+
+    #[test]
+    fn interpolation_partitions_distance(a in arb_corridor(), b in arb_corridor(), t in 0.05f64..0.95) {
+        prop_assume!(gc_distance_m(&a, &b) > 1000.0);
+        let m = gc_interpolate(&a, &b, t);
+        let d = gc_distance_m(&a, &b);
+        let am = gc_distance_m(&a, &m);
+        let mb = gc_distance_m(&m, &b);
+        prop_assert!((am + mb - d).abs() < 1.0, "am+mb={} d={d}", am + mb);
+        prop_assert!((am - t * d).abs() < 1.0);
+    }
+
+    #[test]
+    fn ecef_round_trip(p in arb_midlat(), alt in 0.0f64..1_000_000.0) {
+        let e = Ecef::from_geodetic(&p, alt);
+        let (back, alt_back) = e.to_geodetic();
+        prop_assert!((back.lat_deg() - p.lat_deg()).abs() < 1e-8);
+        prop_assert!((back.lon_deg() - p.lon_deg()).abs() < 1e-8);
+        prop_assert!((alt_back - alt).abs() < 1e-2);
+    }
+
+    #[test]
+    fn chord_never_exceeds_arc(a in arb_midlat(), b in arb_midlat()) {
+        let chord = Ecef::from_geodetic(&a, 0.0).distance_m(&Ecef::from_geodetic(&b, 0.0));
+        let arc = a.geodesic_distance_m(&b);
+        prop_assert!(chord <= arc + 1e-6);
+    }
+
+    #[test]
+    fn dms_round_trip_latitude(v in -90.0f64..90.0) {
+        let dms = Dms::from_decimal_latitude(v);
+        prop_assert!((dms.to_decimal_degrees() - v).abs() < 1e-9);
+        let parsed = Dms::parse_uls(&dms.to_uls()).unwrap();
+        // ULS text keeps one decimal of arc-seconds → ~3 m resolution.
+        prop_assert!((parsed.to_decimal_degrees() - v).abs() < 0.1 / 3600.0 + 1e-9);
+    }
+
+    #[test]
+    fn snap_within_half_cell(p in arb_corridor()) {
+        let g = SnapGrid::arc_second();
+        let s = g.snap(&p);
+        let c = g.unsnap(&s);
+        prop_assert!((c.lat_deg() - p.lat_deg()).abs() <= g.cell_deg() / 2.0 + 1e-12);
+        prop_assert!((c.lon_deg() - p.lon_deg()).abs() <= g.cell_deg() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn snap_idempotent(p in arb_corridor()) {
+        let g = SnapGrid::arc_second();
+        let s = g.snap(&p);
+        prop_assert_eq!(g.snap(&g.unsnap(&s)), s);
+    }
+
+    #[test]
+    fn latency_monotone_in_distance(d1 in 0.0f64..2.0e6, d2 in 0.0f64..2.0e6) {
+        prop_assume!(d1 < d2);
+        for m in [Medium::Air, Medium::Fiber, Medium::Vacuum] {
+            prop_assert!(hft_geodesy::latency_seconds(d1, m) < hft_geodesy::latency_seconds(d2, m));
+        }
+    }
+
+    #[test]
+    fn budget_equals_manual_sum(air in 0.0f64..2e6, fiber in 0.0f64..1e5) {
+        let b = SpeedOfLight::new().with(air, Medium::Air).with(fiber, Medium::Fiber);
+        let manual = hft_geodesy::latency_seconds(air, Medium::Air)
+            + hft_geodesy::latency_seconds(fiber, Medium::Fiber);
+        prop_assert!((b.total_seconds() - manual).abs() < 1e-15);
+    }
+}

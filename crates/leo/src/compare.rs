@@ -1,0 +1,168 @@
+//! Fig. 5 made quantitative: LEO vs terrestrial microwave vs fiber on
+//! HFT-relevant segments.
+
+use crate::constellation::{Constellation, GroundStation};
+use hft_geodesy::{latency_seconds, Medium};
+
+/// A corridor segment to compare technologies on.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Origin site.
+    pub from: GroundStation,
+    /// Destination site.
+    pub to: GroundStation,
+    /// Whether a terrestrial line-of-sight microwave chain is buildable
+    /// (false for transoceanic segments).
+    pub terrestrial_feasible: bool,
+}
+
+/// One-way latency estimates (ms) for a segment.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Segment description `FROM-TO`.
+    pub name: String,
+    /// Geodesic distance, km.
+    pub geodesic_km: f64,
+    /// The c-latency lower bound along the geodesic, ms.
+    pub c_bound_ms: f64,
+    /// Best-case terrestrial microwave (geodesic × small stretch at `c`),
+    /// `None` when infeasible (ocean in the way).
+    pub microwave_ms: Option<f64>,
+    /// Great-circle fiber with a typical route stretch, at `2c/3`.
+    pub fiber_ms: f64,
+    /// Mean LEO latency over constellation phases, `None` if unroutable.
+    pub leo_ms: Option<f64>,
+}
+
+impl Comparison {
+    /// The winning technology's name.
+    pub fn winner(&self) -> &'static str {
+        let mw = self.microwave_ms.unwrap_or(f64::INFINITY);
+        let leo = self.leo_ms.unwrap_or(f64::INFINITY);
+        if mw <= leo && mw <= self.fiber_ms {
+            "microwave"
+        } else if leo <= self.fiber_ms {
+            "LEO"
+        } else {
+            "fiber"
+        }
+    }
+}
+
+/// Path stretch of a mature terrestrial HFT microwave network relative
+/// to the geodesic (the Table 1 leaders sit at ~1.0014).
+pub const MW_STRETCH: f64 = 1.0015;
+/// Route stretch of good long-haul fiber relative to the geodesic
+/// (terrestrial fiber rights-of-way are circuitous; submarine cables are
+/// straighter — 1.2 is a *charitable* blended figure).
+pub const FIBER_STRETCH: f64 = 1.2;
+
+/// Idealized terrestrial-microwave one-way latency, ms.
+pub fn mw_latency_ms(geodesic_m: f64) -> f64 {
+    latency_seconds(geodesic_m * MW_STRETCH, Medium::Air) * 1e3
+}
+
+/// Idealized fiber one-way latency, ms.
+pub fn fiber_latency_ms(geodesic_m: f64) -> f64 {
+    latency_seconds(geodesic_m * FIBER_STRETCH, Medium::Fiber) * 1e3
+}
+
+/// Compare technologies on each segment (LEO averaged over `samples`
+/// constellation phases).
+pub fn compare(constellation: &Constellation, segments: &[Segment], samples: usize) -> Vec<Comparison> {
+    segments
+        .iter()
+        .map(|seg| {
+            let geodesic_m = seg.from.position.geodesic_distance_m(&seg.to.position);
+            Comparison {
+                name: format!("{}-{}", seg.from.name, seg.to.name),
+                geodesic_km: geodesic_m / 1000.0,
+                c_bound_ms: latency_seconds(geodesic_m, Medium::Air) * 1e3,
+                microwave_ms: seg.terrestrial_feasible.then(|| mw_latency_ms(geodesic_m)),
+                fiber_ms: fiber_latency_ms(geodesic_m),
+                leo_ms: constellation.mean_latency_ms(&seg.from, &seg.to, samples),
+            }
+        })
+        .collect()
+}
+
+/// The three segments discussed in §6 of the paper.
+pub fn paper_segments() -> Vec<Segment> {
+    let gs = |name: &str, lat: f64, lon: f64| GroundStation::new(name, lat, lon).expect("static");
+    vec![
+        Segment {
+            from: gs("CME", 41.7625, -88.171233),
+            to: gs("NY4", 40.7930, -74.0576),
+            terrestrial_feasible: true,
+        },
+        Segment {
+            from: gs("Frankfurt", 50.1109, 8.6821),
+            to: gs("WashingtonDC", 38.9072, -77.0369),
+            terrestrial_feasible: false,
+        },
+        Segment {
+            from: gs("Tokyo", 35.6762, 139.6503),
+            to: gs("NewYork", 40.7128, -74.0060),
+            terrestrial_feasible: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shape_holds() {
+        let c = Constellation::starlink_like();
+        let results = compare(&c, &paper_segments(), 6);
+        assert_eq!(results.len(), 3);
+
+        // Chicago–NJ: terrestrial microwave wins (Fig. 5's message).
+        let chi = &results[0];
+        assert_eq!(chi.winner(), "microwave");
+        let mw = chi.microwave_ms.unwrap();
+        let leo = chi.leo_ms.expect("CONUS is covered");
+        assert!(mw < leo, "mw {mw} vs leo {leo}");
+
+        // Frankfurt–DC: LEO beats fiber (the HotNets'18 result the paper
+        // cites).
+        let fra = &results[1];
+        assert_eq!(fra.winner(), "LEO");
+        assert!(fra.leo_ms.unwrap() < fra.fiber_ms);
+
+        // Tokyo–NY: same story on the longer segment.
+        let tyo = &results[2];
+        assert_eq!(tyo.winner(), "LEO");
+        assert!(tyo.leo_ms.unwrap() < tyo.fiber_ms);
+    }
+
+    #[test]
+    fn nothing_beats_c_bound() {
+        let c = Constellation::starlink_like();
+        for r in compare(&c, &paper_segments(), 4) {
+            if let Some(mw) = r.microwave_ms {
+                assert!(mw >= r.c_bound_ms);
+            }
+            if let Some(leo) = r.leo_ms {
+                assert!(leo >= r.c_bound_ms);
+            }
+            assert!(r.fiber_ms >= r.c_bound_ms);
+        }
+    }
+
+    #[test]
+    fn fiber_slower_than_mw_everywhere() {
+        for km in [500.0, 1186.0, 6000.0, 10_000.0] {
+            let m = km * 1000.0;
+            assert!(fiber_latency_ms(m) > mw_latency_ms(m) * 1.7);
+        }
+    }
+
+    #[test]
+    fn chicago_nj_mw_matches_table1_scale() {
+        // 1186 km with the leaders' stretch lands at ~3.96 ms.
+        let ms = mw_latency_ms(1_186_000.0);
+        assert!((ms - 3.962).abs() < 0.002, "got {ms}");
+    }
+}

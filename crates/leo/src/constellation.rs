@@ -1,0 +1,302 @@
+//! Constellation graph: +Grid ISLs, ground visibility, snapshot routing.
+
+use crate::orbit::{propagate, OrbitalShellParams, SatellitePosition};
+use hft_geodesy::{CoordError, Ecef, LatLon, C_VACUUM_M_PER_S};
+use hft_netgraph::{dijkstra, Graph, NodeId};
+
+/// A ground site participating in the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundStation {
+    /// Short name for reports.
+    pub name: String,
+    /// Position.
+    pub position: LatLon,
+}
+
+impl GroundStation {
+    /// Construct from decimal-degree coordinates.
+    pub fn new(name: &str, lat_deg: f64, lon_deg: f64) -> Result<GroundStation, CoordError> {
+        Ok(GroundStation { name: name.to_string(), position: LatLon::new(lat_deg, lon_deg)? })
+    }
+}
+
+/// A LEO shell with routing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constellation {
+    /// Orbital shell geometry.
+    pub shell: OrbitalShellParams,
+    /// Minimum elevation angle for a usable ground-satellite link, degrees.
+    pub min_elevation_deg: f64,
+}
+
+impl Constellation {
+    /// The Starlink first-shell work-alike used in the Fig. 5 analysis:
+    /// 72 planes × 22 satellites at 550 km, 53° inclination, 25° minimum
+    /// elevation.
+    pub fn starlink_like() -> Constellation {
+        Constellation {
+            shell: OrbitalShellParams {
+                planes: 72,
+                sats_per_plane: 22,
+                inclination_deg: 53.0,
+                altitude_m: 550_000.0,
+                phase_factor: 39,
+            },
+            min_elevation_deg: 25.0,
+        }
+    }
+
+    /// Maximum slant range at the minimum elevation angle, meters
+    /// (law-of-cosines on the Earth-center / ground / satellite triangle).
+    pub fn max_slant_range_m(&self) -> f64 {
+        let re = hft_geodesy::WGS84.a;
+        let rs = self.shell.radius_m();
+        let e = self.min_elevation_deg.to_radians();
+        // Slant range s solves s² + 2·s·re·sin(e) + re² − rs² = 0.
+        let b = re * e.sin();
+        (b * b + rs * rs - re * re).sqrt() - b
+    }
+
+    /// Snapshot satellite positions at time `t_s`.
+    pub fn satellites_at(&self, t_s: f64) -> Vec<SatellitePosition> {
+        propagate(&self.shell, t_s)
+    }
+
+    /// One-way latency (ms) between two ground stations through the
+    /// constellation at snapshot time `t_s`: up/down links plus `+Grid`
+    /// ISLs, all at `c`. `None` when either station sees no satellite.
+    pub fn latency_ms(&self, a: &GroundStation, b: &GroundStation, t_s: f64) -> Option<f64> {
+        let route = self.route(a, b, t_s)?;
+        Some(route.latency_ms)
+    }
+
+    /// Full route information between two ground stations.
+    pub fn route(&self, a: &GroundStation, b: &GroundStation, t_s: f64) -> Option<LeoRoute> {
+        let sats = self.satellites_at(t_s);
+        let per = self.shell.sats_per_plane;
+        let planes = self.shell.planes;
+        let mut graph: Graph<(), f64> = Graph::new();
+        // Satellite nodes, indexed plane*per + slot.
+        let sat_nodes: Vec<NodeId> = (0..sats.len()).map(|_| graph.add_node(())).collect();
+        // +Grid ISLs: in-plane ring + same-slot link to the next plane.
+        for (i, s) in sats.iter().enumerate() {
+            let next_in_plane = s.plane * per + (s.slot + 1) % per;
+            graph.add_edge(sat_nodes[i], sat_nodes[next_in_plane], {
+                sats[i].ecef.distance_m(&sats[next_in_plane].ecef)
+            });
+            let next_plane = ((s.plane + 1) % planes) * per + s.slot;
+            graph.add_edge(sat_nodes[i], sat_nodes[next_plane], {
+                sats[i].ecef.distance_m(&sats[next_plane].ecef)
+            });
+        }
+        // Ground nodes + visibility edges.
+        let max_slant = self.max_slant_range_m();
+        let ground_a = graph.add_node(());
+        let ground_b = graph.add_node(());
+        let mut up_a = 0usize;
+        let mut up_b = 0usize;
+        for (gs, gnode, count) in
+            [(a, ground_a, &mut up_a), (b, ground_b, &mut up_b)]
+        {
+            let e = Ecef::from_geodetic(&gs.position, 0.0);
+            for (i, s) in sats.iter().enumerate() {
+                let slant = e.distance_m(&s.ecef);
+                if slant <= max_slant {
+                    graph.add_edge(gnode, sat_nodes[i], slant);
+                    *count += 1;
+                }
+            }
+        }
+        if up_a == 0 || up_b == 0 {
+            return None;
+        }
+        let sp = dijkstra(&graph, ground_a, |_, w| *w, |_| true);
+        let dist_m = sp.distance(ground_b)?;
+        let hops = sp.path_edges(ground_b)?.len();
+        Some(LeoRoute {
+            latency_ms: dist_m / C_VACUUM_M_PER_S * 1e3,
+            path_m: dist_m,
+            isl_hops: hops.saturating_sub(2),
+            visible_from_a: up_a,
+            visible_from_b: up_b,
+        })
+    }
+
+    /// Average latency over `samples` snapshots spread across one orbital
+    /// period — smooths out constellation phase luck. `None` if any
+    /// snapshot is unroutable.
+    pub fn mean_latency_ms(
+        &self,
+        a: &GroundStation,
+        b: &GroundStation,
+        samples: usize,
+    ) -> Option<f64> {
+        self.latency_stats(a, b, samples).map(|s| s.mean_ms)
+    }
+
+    /// Latency statistics across constellation phases. Unlike a fixed
+    /// terrestrial chain, a LEO path's length *changes as the satellites
+    /// move* — jitter that HFT applications care about as much as the
+    /// mean. `None` if any snapshot is unroutable.
+    pub fn latency_stats(
+        &self,
+        a: &GroundStation,
+        b: &GroundStation,
+        samples: usize,
+    ) -> Option<LatencyStats> {
+        if samples == 0 {
+            return None;
+        }
+        let period = self.shell.period_s();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for k in 0..samples {
+            let ms = self.latency_ms(a, b, period * k as f64 / samples as f64)?;
+            min = min.min(ms);
+            max = max.max(ms);
+            total += ms;
+        }
+        Some(LatencyStats { min_ms: min, mean_ms: total / samples as f64, max_ms: max })
+    }
+}
+
+/// Latency spread across constellation phases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Best phase, ms.
+    pub min_ms: f64,
+    /// Mean over phases, ms.
+    pub mean_ms: f64,
+    /// Worst phase, ms.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Peak-to-peak jitter, ms.
+    pub fn jitter_ms(&self) -> f64 {
+        self.max_ms - self.min_ms
+    }
+}
+
+/// A routed path through the constellation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeoRoute {
+    /// One-way latency, ms.
+    pub latency_ms: f64,
+    /// Total path length (up + ISLs + down), meters.
+    pub path_m: f64,
+    /// Number of inter-satellite hops.
+    pub isl_hops: usize,
+    /// Satellites visible from the origin.
+    pub visible_from_a: usize,
+    /// Satellites visible from the destination.
+    pub visible_from_b: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_geodesy::{latency_seconds, Medium};
+
+    fn gs(name: &str, lat: f64, lon: f64) -> GroundStation {
+        GroundStation::new(name, lat, lon).unwrap()
+    }
+
+    #[test]
+    fn slant_range_at_25_degrees() {
+        let c = Constellation::starlink_like();
+        let s = c.max_slant_range_m() / 1000.0;
+        // 550 km shell at 25° elevation: ~1120 km slant.
+        assert!((1000.0..1300.0).contains(&s), "got {s}");
+    }
+
+    #[test]
+    fn midwest_sees_many_satellites() {
+        let c = Constellation::starlink_like();
+        let route = c
+            .route(&gs("CME", 41.7625, -88.1712), &gs("NY4", 40.7930, -74.0576), 0.0)
+            .expect("routable");
+        assert!(route.visible_from_a >= 3, "got {}", route.visible_from_a);
+        assert!(route.visible_from_b >= 3);
+    }
+
+    #[test]
+    fn latency_beats_nothing_physical() {
+        let c = Constellation::starlink_like();
+        let a = gs("CME", 41.7625, -88.1712);
+        let b = gs("NY4", 40.7930, -74.0576);
+        let geodesic = a.position.geodesic_distance_m(&b.position);
+        let bound_ms = latency_seconds(geodesic, Medium::Air) * 1e3;
+        let lat = c.latency_ms(&a, &b, 0.0).unwrap();
+        assert!(lat > bound_ms, "satellite path cannot beat the surface straight line");
+    }
+
+    #[test]
+    fn chicago_nj_overhead_is_large() {
+        // The Fig. 5 claim: up/down overhead makes LEO slower than MW on
+        // a ~1200 km land corridor.
+        let c = Constellation::starlink_like();
+        let a = gs("CME", 41.7625, -88.1712);
+        let b = gs("NY4", 40.7930, -74.0576);
+        let lat = c.mean_latency_ms(&a, &b, 8).unwrap();
+        // MW gets ~3.96 ms; LEO must pay ≥ 2×550 km of altitude.
+        assert!(lat > 3.956 + 2.0 * 550.0 / 299_792.458, "got {lat}");
+    }
+
+    #[test]
+    fn transatlantic_beats_fiber() {
+        let c = Constellation::starlink_like();
+        let fra = gs("FRA", 50.1109, 8.6821);
+        let dc = gs("DC", 38.9072, -77.0369);
+        let lat = c.mean_latency_ms(&fra, &dc, 8).expect("transatlantic routable");
+        let geodesic = fra.position.geodesic_distance_m(&dc.position);
+        // Idealized straight-line fiber at 2c/3.
+        let fiber_ms = latency_seconds(geodesic, Medium::Fiber) * 1e3;
+        assert!(lat < fiber_ms, "LEO {lat} must beat even straight fiber {fiber_ms}");
+    }
+
+    #[test]
+    fn high_latitude_unroutable() {
+        // 53°-inclination shell leaves the poles uncovered at 25° elevation.
+        let c = Constellation::starlink_like();
+        let pole = gs("North Pole", 89.0, 0.0);
+        let ny = gs("NY", 40.79, -74.06);
+        assert!(c.route(&pole, &ny, 0.0).is_none());
+    }
+
+    #[test]
+    fn deterministic_snapshot() {
+        let c = Constellation::starlink_like();
+        let a = gs("A", 48.0, 11.0);
+        let b = gs("B", 35.6, 139.7);
+        assert_eq!(c.latency_ms(&a, &b, 100.0), c.latency_ms(&a, &b, 100.0));
+    }
+
+    #[test]
+    fn latency_jitter_is_material() {
+        // A LEO path's latency varies with constellation phase — unlike a
+        // terrestrial chain, whose towers do not move. For HFT this
+        // jitter is a first-class cost.
+        let c = Constellation::starlink_like();
+        let a = gs("CME", 41.7625, -88.1712);
+        let b = gs("NY4", 40.7930, -74.0576);
+        let stats = c.latency_stats(&a, &b, 12).unwrap();
+        assert!(stats.min_ms <= stats.mean_ms && stats.mean_ms <= stats.max_ms);
+        assert!(stats.jitter_ms() > 0.05, "phases differ: {:?}", stats);
+        assert!(stats.jitter_ms() < 5.0, "but not absurdly: {:?}", stats);
+        assert!(c.latency_stats(&a, &b, 0).is_none());
+    }
+
+    #[test]
+    fn longer_segments_have_more_isl_hops() {
+        let c = Constellation::starlink_like();
+        let chicago = gs("CHI", 41.76, -88.17);
+        let nj = gs("NJ", 40.79, -74.06);
+        let tokyo = gs("TYO", 35.68, 139.69);
+        let short = c.route(&chicago, &nj, 0.0).unwrap();
+        let long = c.route(&chicago, &tokyo, 0.0).unwrap();
+        assert!(long.isl_hops > short.isl_hops);
+        assert!(long.latency_ms > short.latency_ms);
+    }
+}

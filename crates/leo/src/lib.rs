@@ -1,0 +1,41 @@
+//! # hft-leo
+//!
+//! A low-Earth-orbit mega-constellation latency simulator for the
+//! paper's Fig. 5 discussion (§6): can LEO constellations beat
+//! terrestrial microwave or fiber on HFT-relevant segments?
+//!
+//! The paper's figure is a schematic; this crate makes it quantitative,
+//! following the modeling of the cited HotNets'18 work:
+//!
+//! * a Walker-delta shell ([`Constellation`]) of circular orbits —
+//!   defaults match Starlink's first shell (72 planes × 22 satellites,
+//!   550 km, 53°);
+//! * `+Grid` inter-satellite laser links (each satellite links to its
+//!   in-plane neighbors and the same slot in adjacent planes), at `c`;
+//! * ground-to-satellite visibility by minimum elevation angle;
+//! * snapshot shortest-path latency between ground sites via Dijkstra
+//!   ([`Constellation::latency_ms`]);
+//! * side-by-side comparisons against idealized terrestrial microwave
+//!   and fiber ([`compare`]).
+//!
+//! ```
+//! use hft_leo::{Constellation, GroundStation};
+//!
+//! let shell = Constellation::starlink_like();
+//! let chicago = GroundStation::new("CME", 41.7625, -88.1712).unwrap();
+//! let ny = GroundStation::new("NY4", 40.7930, -74.0576).unwrap();
+//! let lat = shell.latency_ms(&chicago, &ny, 0.0).unwrap();
+//! // Up/down plus ISL hops: strictly worse than straight-line c.
+//! assert!(lat > 3.96 && lat < 15.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compare;
+mod constellation;
+mod orbit;
+
+pub use compare::{compare, fiber_latency_ms, mw_latency_ms, paper_segments, Comparison, Segment};
+pub use constellation::{Constellation, GroundStation, LatencyStats, LeoRoute};
+pub use orbit::{OrbitalShellParams, SatellitePosition};

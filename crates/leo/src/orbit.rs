@@ -1,0 +1,165 @@
+//! Circular-orbit propagation for Walker shells.
+
+use hft_geodesy::{Ecef, WGS84};
+
+/// Standard gravitational parameter of the Earth, m³/s².
+const MU_EARTH: f64 = 3.986_004_418e14;
+
+/// Parameters of one Walker-delta orbital shell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbitalShellParams {
+    /// Number of orbital planes.
+    pub planes: usize,
+    /// Satellites per plane.
+    pub sats_per_plane: usize,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Altitude above the (spherical-radius) Earth surface, meters.
+    pub altitude_m: f64,
+    /// Walker phasing factor `F` (inter-plane phase offset is
+    /// `F × 360° / (planes × sats_per_plane)`).
+    pub phase_factor: usize,
+}
+
+impl OrbitalShellParams {
+    /// Orbital radius from the Earth's center, meters.
+    pub fn radius_m(&self) -> f64 {
+        WGS84.a + self.altitude_m
+    }
+
+    /// Mean motion, radians per second.
+    pub fn mean_motion_rad_s(&self) -> f64 {
+        (MU_EARTH / self.radius_m().powi(3)).sqrt()
+    }
+
+    /// Orbital period, seconds.
+    pub fn period_s(&self) -> f64 {
+        core::f64::consts::TAU / self.mean_motion_rad_s()
+    }
+
+    /// Total satellites in the shell.
+    pub fn count(&self) -> usize {
+        self.planes * self.sats_per_plane
+    }
+}
+
+/// A satellite's instantaneous position (Earth-centered frame).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatellitePosition {
+    /// Plane index, `0..planes`.
+    pub plane: usize,
+    /// Slot index within the plane, `0..sats_per_plane`.
+    pub slot: usize,
+    /// Position in the Earth-centered frame, meters.
+    pub ecef: Ecef,
+}
+
+/// Propagate every satellite of the shell to time `t_s` (seconds from an
+/// arbitrary epoch).
+///
+/// Orbits are ideal circles; positions are computed in an Earth-centered
+/// inertial frame which we treat as Earth-fixed for snapshot latency
+/// computations (ground stations are fixed at their epoch positions;
+/// Earth rotation merely re-phases which satellites are overhead and does
+/// not change the latency statistics of a symmetric shell).
+pub fn propagate(shell: &OrbitalShellParams, t_s: f64) -> Vec<SatellitePosition> {
+    let r = shell.radius_m();
+    let n = shell.mean_motion_rad_s();
+    let inc = shell.inclination_deg.to_radians();
+    let (sin_inc, cos_inc) = inc.sin_cos();
+    let total = shell.count() as f64;
+    let mut out = Vec::with_capacity(shell.count());
+    for plane in 0..shell.planes {
+        // Walker delta: RAANs spread over the full 360°.
+        let raan = core::f64::consts::TAU * plane as f64 / shell.planes as f64;
+        let (sin_raan, cos_raan) = raan.sin_cos();
+        for slot in 0..shell.sats_per_plane {
+            let phase = core::f64::consts::TAU
+                * (slot as f64 / shell.sats_per_plane as f64
+                    + shell.phase_factor as f64 * plane as f64 / total);
+            let theta = phase + n * t_s;
+            let (sin_th, cos_th) = theta.sin_cos();
+            // Position in the orbital plane, then rotate by inclination
+            // (about x) and RAAN (about z).
+            let x_orb = r * cos_th;
+            let y_orb = r * sin_th;
+            let x = x_orb * cos_raan - y_orb * cos_inc * sin_raan;
+            let y = x_orb * sin_raan + y_orb * cos_inc * cos_raan;
+            let z = y_orb * sin_inc;
+            out.push(SatellitePosition { plane, slot, ecef: Ecef::new(x, y, z) });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shell() -> OrbitalShellParams {
+        OrbitalShellParams {
+            planes: 72,
+            sats_per_plane: 22,
+            inclination_deg: 53.0,
+            altitude_m: 550_000.0,
+            phase_factor: 39,
+        }
+    }
+
+    #[test]
+    fn starlink_period_about_95_minutes() {
+        let p = shell().period_s() / 60.0;
+        assert!((95.0..97.0).contains(&p), "got {p} min");
+    }
+
+    #[test]
+    fn all_satellites_at_orbital_radius() {
+        let sats = propagate(&shell(), 0.0);
+        assert_eq!(sats.len(), 72 * 22);
+        let r = shell().radius_m();
+        for s in &sats {
+            assert!((s.ecef.norm_m() - r).abs() < 1.0, "sat {}/{}", s.plane, s.slot);
+        }
+    }
+
+    #[test]
+    fn inclination_bounds_latitude() {
+        let sats = propagate(&shell(), 1234.0);
+        for s in &sats {
+            let (geo, _) = s.ecef.to_geodetic();
+            assert!(geo.lat_deg().abs() <= 53.5, "latitude {} exceeds inclination", geo.lat_deg());
+        }
+    }
+
+    #[test]
+    fn motion_over_time() {
+        let a = propagate(&shell(), 0.0);
+        let b = propagate(&shell(), 60.0);
+        // One minute at ~7.6 km/s ≈ 456 km of along-track motion.
+        let d = a[0].ecef.distance_m(&b[0].ecef);
+        assert!((d - 456_000.0).abs() < 20_000.0, "got {d}");
+    }
+
+    #[test]
+    fn full_period_returns_home() {
+        let p = shell().period_s();
+        let a = propagate(&shell(), 0.0);
+        let b = propagate(&shell(), p);
+        let d = a[17].ecef.distance_m(&b[17].ecef);
+        assert!(d < 1.0, "got {d}");
+    }
+
+    #[test]
+    fn in_plane_neighbors_evenly_spaced() {
+        let sats = propagate(&shell(), 0.0);
+        let per = shell().sats_per_plane;
+        let chord = |i: usize, j: usize| sats[i].ecef.distance_m(&sats[j].ecef);
+        // Consecutive slots in plane 0.
+        let d01 = chord(0, 1);
+        let d12 = chord(1, 2);
+        assert!((d01 - d12).abs() < 1.0);
+        // Expected chord for 22 evenly spaced satellites.
+        let expect = 2.0 * shell().radius_m() * (core::f64::consts::PI / per as f64).sin();
+        assert!((d01 - expect).abs() < 1.0, "got {d01} want {expect}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Connectivity and bridge analysis.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Connected components as a label per node: `labels[i]` is the component
+/// index (0-based, in order of first discovery) of node `i`.
+pub fn connected_components<N, E>(graph: &Graph<N, E>) -> Vec<usize> {
+    let n = graph.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in graph.node_ids() {
+        if labels[start.index()] != usize::MAX {
+            continue;
+        }
+        labels[start.index()] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for (_, v) in graph.neighbors(u) {
+                if labels[v.index()] == usize::MAX {
+                    labels[v.index()] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// Whether `a` and `b` lie in the same connected component.
+pub fn is_connected_between<N, E>(graph: &Graph<N, E>, a: NodeId, b: NodeId) -> bool {
+    let labels = connected_components(graph);
+    labels[a.index()] == labels[b.index()]
+}
+
+/// All bridges (cut edges) of the graph, via Tarjan's low-link DFS.
+///
+/// A bridge is an edge whose removal disconnects its endpoints. Parallel
+/// edges are never bridges (the twin keeps the endpoints connected).
+pub fn bridges<N, E>(graph: &Graph<N, E>) -> Vec<EdgeId> {
+    let n = graph.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative DFS frame: (node, incoming edge, neighbor cursor).
+    let adj: Vec<Vec<(EdgeId, NodeId)>> =
+        graph.node_ids().map(|u| graph.neighbors(u).collect()).collect();
+
+    for start in graph.node_ids() {
+        if disc[start.index()] != usize::MAX {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, Option<EdgeId>, usize)> = vec![(start, None, 0)];
+        disc[start.index()] = timer;
+        low[start.index()] = timer;
+        timer += 1;
+        while let Some(&mut (u, via, ref mut cursor)) = stack.last_mut() {
+            if *cursor < adj[u.index()].len() {
+                let (e, v) = adj[u.index()][*cursor];
+                *cursor += 1;
+                // Skip only the exact edge we arrived on; a parallel edge
+                // between the same endpoints must still update low-links.
+                if Some(e) == via {
+                    continue;
+                }
+                if disc[v.index()] == usize::MAX {
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push((v, Some(e), 0));
+                } else {
+                    low[u.index()] = low[u.index()].min(disc[v.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(parent, _, _)) = stack.last() {
+                    low[parent.index()] = low[parent.index()].min(low[u.index()]);
+                    if low[u.index()] > disc[parent.index()] {
+                        out.push(via.expect("non-root frame has incoming edge"));
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_disjoint_graph() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(c, d, ());
+        let labels = connected_components(&g);
+        assert_eq!(labels[a.index()], labels[b.index()]);
+        assert_eq!(labels[c.index()], labels[d.index()]);
+        assert_ne!(labels[a.index()], labels[c.index()]);
+        assert!(is_connected_between(&g, a, b));
+        assert!(!is_connected_between(&g, a, c));
+    }
+
+    #[test]
+    fn single_node_is_its_own_component() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0]);
+        assert!(is_connected_between(&g, a, a));
+    }
+
+    #[test]
+    fn chain_all_edges_are_bridges() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        let mut edges = Vec::new();
+        for w in nodes.windows(2) {
+            edges.push(g.add_edge(w[0], w[1], ()));
+        }
+        let mut b = bridges(&g);
+        b.sort_unstable();
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        assert_eq!(b, expect);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let nodes: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for i in 0..5 {
+            g.add_edge(nodes[i], nodes[(i + 1) % 5], ());
+        }
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn parallel_edges_are_not_bridges() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn mixed_topology_bridge_set() {
+        // Triangle (a,b,c) - bridge (c,d) - triangle (d,e,f).
+        let mut g: Graph<(), ()> = Graph::new();
+        let ids: Vec<NodeId> = (0..6).map(|_| g.add_node(())).collect();
+        let (a, b, c, d, e, f) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        let bridge = g.add_edge(c, d, ());
+        g.add_edge(d, e, ());
+        g.add_edge(e, f, ());
+        g.add_edge(f, d, ());
+        assert_eq!(bridges(&g), vec![bridge]);
+    }
+
+    #[test]
+    fn ladder_rungs_are_not_bridges_but_rails_at_ends_are_not_either() {
+        // Full 2xN ladder is 2-edge-connected: no bridges at all.
+        let n = 4;
+        let mut g: Graph<(), ()> = Graph::new();
+        let top: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        let bot: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n - 1 {
+            g.add_edge(top[i], top[i + 1], ());
+            g.add_edge(bot[i], bot[i + 1], ());
+        }
+        for i in 0..n {
+            g.add_edge(top[i], bot[i], ());
+        }
+        assert!(bridges(&g).is_empty());
+    }
+
+    #[test]
+    fn pendant_edge_is_bridge() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        let d = g.add_node(());
+        let pendant = g.add_edge(a, d, ());
+        assert_eq!(bridges(&g), vec![pendant]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        assert!(connected_components(&g).is_empty());
+        assert!(bridges(&g).is_empty());
+    }
+}

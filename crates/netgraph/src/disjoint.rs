@@ -1,0 +1,357 @@
+//! Suurballe-style edge-disjoint shortest path pairs.
+//!
+//! APA measures *single-link* survivability; a stronger notion of
+//! redundancy — what §6 recommends future low-latency networks engineer
+//! for — is a pair of fully edge-disjoint paths, so that any one failure
+//! leaves a complete standby route. This module finds the edge-disjoint
+//! pair with minimum total cost via two successive shortest-path passes
+//! over a residual graph with reduced costs (Suurballe/Bhandari).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::shortest::dijkstra;
+use std::collections::{HashMap, HashSet};
+
+/// An edge-disjoint pair of paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisjointPair {
+    /// First path (the cheaper of the two), as edge ids in path order.
+    pub first: Vec<EdgeId>,
+    /// Second path, as edge ids in path order.
+    pub second: Vec<EdgeId>,
+    /// Cost of the first path.
+    pub first_cost: f64,
+    /// Cost of the second path.
+    pub second_cost: f64,
+}
+
+impl DisjointPair {
+    /// Combined cost of both paths.
+    pub fn total_cost(&self) -> f64 {
+        self.first_cost + self.second_cost
+    }
+}
+
+/// Find a minimum-total-cost pair of edge-disjoint paths from `source`
+/// to `target`, or `None` when the graph does not contain two
+/// edge-disjoint routes.
+///
+/// Costs must be non-negative. Runs two Dijkstra passes (the second on
+/// reduced costs over a residual graph), then cancels arcs traversed in
+/// opposite directions — Bhandari's formulation of Suurballe for
+/// undirected graphs.
+pub fn disjoint_shortest_pair<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut cost: impl FnMut(EdgeId, &E) -> f64,
+) -> Option<DisjointPair> {
+    if source == target {
+        return None;
+    }
+    let costs: Vec<f64> = graph.edge_ids().map(|e| cost(e, graph.edge(e))).collect();
+
+    // Pass 1: plain shortest path.
+    let sp1 = dijkstra(graph, source, |e, _| costs[e.index()], |_| true);
+    let (nodes1, edges1) = sp1.path(target)?;
+    let potentials = sp1.distances();
+
+    // Direction each P1 edge was traversed: map edge -> (from, to).
+    let mut p1_dir: HashMap<EdgeId, (NodeId, NodeId)> = HashMap::new();
+    for (i, &e) in edges1.iter().enumerate() {
+        p1_dir.insert(e, (nodes1[i], nodes1[i + 1]));
+    }
+
+    // Pass 2: shortest path in the residual graph under reduced costs
+    // w'(u,v) = w + φ(u) − φ(v) ≥ 0. Arcs along P1's direction are
+    // removed; the reverse arcs get reduced cost 0 (they "refund" P1).
+    //
+    // We run Dijkstra over a *directed view* encoded through the filter
+    // and cost functions of the undirected engine: that is not directly
+    // expressible, so build an explicit directed expansion instead.
+    // Each undirected edge e=(u,v) becomes arcs (u→v) and (v→u); the
+    // expansion is a fresh Graph where each arc is an edge used only in
+    // its forward direction by construction of the search below.
+    //
+    // Rather than a general directed engine, we exploit that reduced
+    // costs are non-negative and implement the second pass as a
+    // hand-rolled Dijkstra over arcs.
+    #[derive(Clone, Copy)]
+    struct Arc {
+        to: usize,
+        edge: EdgeId,
+        reduced: f64,
+    }
+    let n = graph.node_count();
+    let mut arcs: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    let phi = |i: usize| potentials[i];
+    for (e, u, v, _) in graph.edges() {
+        let w = costs[e.index()];
+        let (ui, vi) = (u.index(), v.index());
+        if !phi(ui).is_finite() || !phi(vi).is_finite() {
+            continue; // unreachable corner of the graph
+        }
+        match p1_dir.get(&e) {
+            Some(&(from, _to)) => {
+                // Only the reverse arc survives. Its *original* cost is −w
+                // (walking it refunds P1's spend), so its reduced cost is
+                // −w + φ(to) − φ(from) = 0 exactly: P1 edges are shortest-
+                // path tree edges, where φ(to) = φ(from) + w.
+                let (fi, ti) = (from.index(), graph.opposite(e, from).index());
+                let reduced = (phi(ti) - phi(fi) - w).max(0.0);
+                debug_assert!(reduced <= 1e-6 * (1.0 + w), "P1 reverse arc must be ~free");
+                arcs[ti].push(Arc { to: fi, edge: e, reduced });
+            }
+            None => {
+                let r_uv = (w + phi(ui) - phi(vi)).max(0.0);
+                let r_vu = (w + phi(vi) - phi(ui)).max(0.0);
+                arcs[ui].push(Arc { to: vi, edge: e, reduced: r_uv });
+                arcs[vi].push(Arc { to: ui, edge: e, reduced: r_vu });
+            }
+        }
+    }
+
+    // Dijkstra over the arc expansion.
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(usize, EdgeId)>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push((std::cmp::Reverse(ordered(0.0)), source.index()));
+    while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+        let d = d.0;
+        if d > dist[u] {
+            continue;
+        }
+        for a in &arcs[u] {
+            let nd = d + a.reduced;
+            if nd < dist[a.to] {
+                dist[a.to] = nd;
+                prev[a.to] = Some((u, a.edge));
+                heap.push((std::cmp::Reverse(ordered(nd)), a.to));
+            }
+        }
+    }
+    if !dist[target.index()].is_finite() {
+        return None;
+    }
+    // Extract P2's edge multiset.
+    let mut p2_edges: Vec<EdgeId> = Vec::new();
+    let mut cur = target.index();
+    while let Some((p, e)) = prev[cur] {
+        p2_edges.push(e);
+        cur = p;
+    }
+
+    // Cancel edges used by both paths (P2 traversed them backwards).
+    let p2_set: HashSet<EdgeId> = p2_edges.iter().copied().collect();
+    let union: Vec<EdgeId> = edges1
+        .iter()
+        .copied()
+        .filter(|e| !p2_set.contains(e))
+        .chain(p2_edges.iter().copied().filter(|e| !p1_dir.contains_key(e)))
+        .collect();
+
+    // Decompose the union into two edge-disjoint s→t paths by walking.
+    let mut adj: HashMap<NodeId, Vec<EdgeId>> = HashMap::new();
+    for &e in &union {
+        let (u, v) = graph.endpoints(e);
+        adj.entry(u).or_default().push(e);
+        adj.entry(v).or_default().push(e);
+    }
+    let mut used: HashSet<EdgeId> = HashSet::new();
+    let mut extract = || -> Option<(Vec<EdgeId>, f64)> {
+        let mut path = Vec::new();
+        let mut total = 0.0;
+        let mut cur = source;
+        let mut guard = 0;
+        while cur != target {
+            guard += 1;
+            if guard > graph.edge_count() + 2 {
+                return None; // malformed union — should not happen
+            }
+            let next = adj
+                .get(&cur)?
+                .iter()
+                .copied()
+                .find(|e| !used.contains(e))?;
+            used.insert(next);
+            total += costs[next.index()];
+            path.push(next);
+            cur = graph.opposite(next, cur);
+        }
+        Some((path, total))
+    };
+    let (pa, ca) = extract()?;
+    let (pb, cb) = extract()?;
+    let (first, first_cost, second, second_cost) =
+        if ca <= cb { (pa, ca, pb, cb) } else { (pb, cb, pa, ca) };
+    Some(DisjointPair { first, second, first_cost, second_cost })
+}
+
+/// Total-order wrapper for f64 heap keys (costs are never NaN here).
+fn ordered(v: f64) -> OrderedF64 {
+    OrderedF64(v)
+}
+
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph<(), f64>, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1.0);
+        g.add_edge(a, t, 1.0);
+        g.add_edge(s, b, 2.0);
+        g.add_edge(b, t, 2.0);
+        (g, s, t)
+    }
+
+    #[test]
+    fn finds_both_diamond_paths() {
+        let (g, s, t) = diamond();
+        let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
+        assert_eq!(pair.first_cost, 2.0);
+        assert_eq!(pair.second_cost, 4.0);
+        assert_eq!(pair.total_cost(), 6.0);
+        // Disjointness.
+        let f: HashSet<_> = pair.first.iter().collect();
+        assert!(pair.second.iter().all(|e| !f.contains(e)));
+    }
+
+    #[test]
+    fn chain_has_no_disjoint_pair() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let nodes: Vec<NodeId> = (0..4).map(|_| g.add_node(())).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1], 1.0);
+        }
+        assert!(disjoint_shortest_pair(&g, nodes[0], nodes[3], |_, w| *w).is_none());
+    }
+
+    #[test]
+    fn trap_topology_needs_the_rewind() {
+        // The classic case where greedily removing the shortest path
+        // disconnects the graph, but a disjoint pair exists: Suurballe's
+        // residual rewind must find it.
+        //
+        //      s --1-- a --1-- t
+        //      |       |       |
+        //      2       0*      2
+        //      |       |       |
+        //      +------ b ------+
+        //
+        // Shortest path is s-a-t (2). Removing it leaves s-b (2), b-t (2)
+        // and a-b (0) with `a` dangling — still connected, pair exists:
+        // s-a-b-t? needs a-b. Total optimum: s-a-t + s-b-t = 2 + 4.
+        let mut g: Graph<(), f64> = Graph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1.0);
+        g.add_edge(a, t, 1.0);
+        g.add_edge(s, b, 2.0);
+        g.add_edge(b, t, 2.0);
+        g.add_edge(a, b, 0.0);
+        let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
+        assert!((pair.total_cost() - 6.0).abs() < 1e-9, "optimal pair costs 6, got {}", pair.total_cost());
+    }
+
+    #[test]
+    fn rewind_beats_greedy() {
+        // Topology where the greedy (remove-P1, rerun) approach fails
+        // entirely but Suurballe succeeds:
+        //
+        //  s→m is on the unique shortest path; both s-m arcs needed.
+        //      s --1-- m --1-- t        (shortest: s-m-t = 2)
+        //      s --5-- x --1-- m        (alt into m)
+        //      m --5-- y? no: make t side:
+        //      x --9-- t
+        // Greedy removes s-m and m-t; remaining: s-x(5), x-m(1), x-t(9):
+        // second path s-x-t = 14; pair total 16. Suurballe can instead
+        // use s-m-t and s-x-m? m already used only as node (edge-disjoint
+        // allows node reuse): s-x-m-t needs m-t — taken. So best pair is
+        // indeed {s-m-t, s-x-t} = 16; check we find it.
+        let mut g: Graph<(), f64> = Graph::new();
+        let s = g.add_node(());
+        let m = g.add_node(());
+        let x = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, m, 1.0);
+        g.add_edge(m, t, 1.0);
+        g.add_edge(s, x, 5.0);
+        g.add_edge(x, m, 1.0);
+        g.add_edge(x, t, 9.0);
+        let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
+        assert!((pair.total_cost() - 16.0).abs() < 1e-9, "got {}", pair.total_cost());
+    }
+
+    #[test]
+    fn cancellation_case() {
+        // A graph where the optimal pair does NOT include the shortest
+        // path — the residual pass must traverse a P1 edge backwards and
+        // cancel it.
+        //
+        //   s-a: 1   a-t: 1    (P1 = s-a-t, cost 2)
+        //   s-b: 1   b-a: 0.1  a-c: 0.1  c-t: 1
+        // Disjoint pair must avoid sharing a-? edges... construct the
+        // textbook example:
+        //   s-a 1, a-b 1, b-t 1  (P1 cost 3)
+        //   s-c 2, c-b 1
+        //   a-d 1, d-t 2
+        // Optimal pair: {s-a-d-t (4), s-c-b-t (4)} total 8, which uses
+        // a-b ZERO times — P2 in the residual walks b→a backwards.
+        let mut g: Graph<(), f64> = Graph::new();
+        let s = g.add_node(());
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, a, 1.0);
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, t, 1.0);
+        g.add_edge(s, c, 2.0);
+        g.add_edge(c, b, 1.0);
+        g.add_edge(a, d, 1.0);
+        g.add_edge(d, t, 2.0);
+        let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
+        assert!((pair.total_cost() - 8.0).abs() < 1e-9, "got {}", pair.total_cost());
+        // And the cancelled edge a-b appears in neither path.
+        let ab = g.find_edge(a, b).unwrap();
+        assert!(!pair.first.contains(&ab) && !pair.second.contains(&ab));
+    }
+
+    #[test]
+    fn parallel_edges_form_a_pair() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let s = g.add_node(());
+        let t = g.add_node(());
+        g.add_edge(s, t, 3.0);
+        g.add_edge(s, t, 5.0);
+        let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
+        assert_eq!(pair.first_cost, 3.0);
+        assert_eq!(pair.second_cost, 5.0);
+    }
+
+    #[test]
+    fn same_node_is_none() {
+        let (g, s, _) = diamond();
+        assert!(disjoint_shortest_pair(&g, s, s, |_, w| *w).is_none());
+    }
+}

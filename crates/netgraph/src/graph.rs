@@ -1,0 +1,336 @@
+//! Undirected multigraph with typed node and edge payloads.
+
+use core::fmt;
+
+/// Opaque handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Opaque handle to an edge in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// Zero-based dense index of this node (stable over the graph's life).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a handle from a dense index. The caller is responsible for the
+    /// index referring to a node of the intended graph; out-of-range
+    /// handles panic on first use.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+}
+
+impl EdgeId {
+    /// Zero-based dense index of this edge (stable over the graph's life).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build a handle from a dense index; see [`NodeId::from_index`].
+    pub fn from_index(index: usize) -> EdgeId {
+        EdgeId(u32::try_from(index).expect("edge index fits in u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EdgeRecord<E> {
+    u: NodeId,
+    v: NodeId,
+    payload: E,
+}
+
+/// An undirected multigraph. Nodes and edges are append-only (analysis
+/// passes "remove" edges via filters rather than mutation, so a
+/// reconstructed network can be probed many times cheaply).
+///
+/// Self-loops are permitted by the representation but rejected by
+/// [`Graph::add_edge`], since a microwave link from a tower to itself is
+/// always a data error.
+#[derive(Debug, Clone)]
+pub struct Graph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<EdgeRecord<E>>,
+    /// adjacency[u] = list of (edge, neighbor) pairs.
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl<N, E> Default for Graph<N, E> {
+    fn default() -> Self {
+        Graph::new()
+    }
+}
+
+impl<N, E> Graph<N, E> {
+    /// An empty graph.
+    pub fn new() -> Graph<N, E> {
+        Graph { nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Append a node, returning its handle.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits in u32"));
+        self.nodes.push(payload);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Append an undirected edge between distinct nodes `u` and `v`.
+    ///
+    /// # Panics
+    /// Panics when `u == v` (self-loop) or when either handle does not
+    /// belong to this graph.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, payload: E) -> EdgeId {
+        assert_ne!(u, v, "self-loop rejected: {u}");
+        assert!(u.index() < self.nodes.len(), "unknown node {u}");
+        assert!(v.index() < self.nodes.len(), "unknown node {v}");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits in u32"));
+        self.edges.push(EdgeRecord { u, v, payload });
+        self.adjacency[u.index()].push((id, v));
+        self.adjacency[v.index()].push((id, u));
+        id
+    }
+
+    /// Node payload.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node payload.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, id: EdgeId) -> &E {
+        &self.edges[id.index()].payload
+    }
+
+    /// Mutable edge payload.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut E {
+        &mut self.edges[id.index()].payload
+    }
+
+    /// The two endpoints of an edge, in insertion order.
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.index()];
+        (e.u, e.v)
+    }
+
+    /// Given an edge and one of its endpoints, the opposite endpoint.
+    ///
+    /// # Panics
+    /// Panics when `from` is not an endpoint of `edge`.
+    pub fn opposite(&self, edge: EdgeId, from: NodeId) -> NodeId {
+        let (u, v) = self.endpoints(edge);
+        if from == u {
+            v
+        } else if from == v {
+            u
+        } else {
+            panic!("{from} is not an endpoint of {edge}");
+        }
+    }
+
+    /// Iterate `(edge, neighbor)` pairs incident to `node`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency[node.index()].iter().copied()
+    }
+
+    /// Degree (number of incident edges, counting multi-edges).
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Iterate all node handles.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterate all edge handles.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + 'static {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterate `(id, payload)` for all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Iterate `(id, u, v, payload)` for all edges.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId, &E)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e.u, e.v, &e.payload))
+    }
+
+    /// Find an edge connecting `u` and `v` (either orientation), if any.
+    pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.adjacency[u.index()]
+            .iter()
+            .find(|(_, n)| *n == v)
+            .map(|(e, _)| *e)
+    }
+
+    /// Map node and edge payloads into a new graph with identical topology
+    /// and identical `NodeId`/`EdgeId` assignments.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_fn: impl FnMut(NodeId, &N) -> N2,
+        mut edge_fn: impl FnMut(EdgeId, &E) -> E2,
+    ) -> Graph<N2, E2> {
+        Graph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| node_fn(NodeId(i as u32), n))
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| EdgeRecord {
+                    u: e.u,
+                    v: e.v,
+                    payload: edge_fn(EdgeId(i as u32), &e.payload),
+                })
+                .collect(),
+            adjacency: self.adjacency.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph<&'static str, f64>, [NodeId; 3], [EdgeId; 3]) {
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let ab = g.add_edge(a, b, 1.0);
+        let bc = g.add_edge(b, c, 2.0);
+        let ca = g.add_edge(c, a, 3.0);
+        (g, [a, b, c], [ab, bc, ca])
+    }
+
+    #[test]
+    fn counts() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn payload_access() {
+        let (mut g, [a, ..], [ab, ..]) = triangle();
+        assert_eq!(*g.node(a), "a");
+        assert_eq!(*g.edge(ab), 1.0);
+        *g.node_mut(a) = "z";
+        *g.edge_mut(ab) = 9.0;
+        assert_eq!(*g.node(a), "z");
+        assert_eq!(*g.edge(ab), 9.0);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let (g, [a, b, _c], _) = triangle();
+        assert!(g.neighbors(a).any(|(_, n)| n == b));
+        assert!(g.neighbors(b).any(|(_, n)| n == a));
+        assert_eq!(g.degree(a), 2);
+    }
+
+    #[test]
+    fn opposite_endpoint() {
+        let (g, [a, b, c], [ab, ..]) = triangle();
+        assert_eq!(g.opposite(ab, a), b);
+        assert_eq!(g.opposite(ab, b), a);
+        let _ = c;
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn opposite_panics_for_non_endpoint() {
+        let (g, [_, _, c], [ab, ..]) = triangle();
+        let _ = g.opposite(ab, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+    }
+
+    #[test]
+    fn multi_edges_allowed() {
+        let mut g: Graph<(), u8> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e1 = g.add_edge(a, b, 1);
+        let e2 = g.add_edge(a, b, 2);
+        assert_ne!(e1, e2);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn find_edge_either_orientation() {
+        let (g, [a, b, c], [ab, bc, _]) = triangle();
+        assert_eq!(g.find_edge(a, b), Some(ab));
+        assert_eq!(g.find_edge(b, a), Some(ab));
+        assert_eq!(g.find_edge(c, b), Some(bc));
+        let mut g2: Graph<(), ()> = Graph::new();
+        let x = g2.add_node(());
+        let y = g2.add_node(());
+        assert_eq!(g2.find_edge(x, y), None);
+    }
+
+    #[test]
+    fn map_preserves_ids() {
+        let (g, [a, ..], [ab, ..]) = triangle();
+        let g2 = g.map(|_, n| n.len(), |_, w| *w as i64);
+        assert_eq!(g2.node_count(), 3);
+        assert_eq!(*g2.node(a), 1usize);
+        assert_eq!(*g2.edge(ab), 1i64);
+        assert_eq!(g2.endpoints(ab), g.endpoints(ab));
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (g, _, _) = triangle();
+        assert_eq!(g.node_ids().count(), 3);
+        assert_eq!(g.edge_ids().count(), 3);
+        assert_eq!(g.nodes().count(), 3);
+        assert_eq!(g.edges().count(), 3);
+    }
+}

@@ -1,0 +1,320 @@
+//! Enumeration of all loop-free paths within a cost bound.
+//!
+//! The paper's Fig. 4a measures link lengths over *all* loop-free
+//! CME→NY4 paths whose latency is within 5% of the geodesic c-latency.
+//! Naive DFS over a redundant network explodes; we prune with exact
+//! lower bounds ("potentials") from a reverse Dijkstra: a partial path of
+//! cost `g` at node `v` can be abandoned as soon as
+//! `g + dist(v, target) > bound`.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::shortest::dijkstra;
+use std::collections::HashSet;
+
+/// Configuration for [`bounded_paths`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedPathsConfig {
+    /// Absolute cost bound; only paths with total cost ≤ `bound` are kept.
+    pub bound: f64,
+    /// Safety cap on the number of enumerated paths (the edge/node sets
+    /// keep filling until the cap trips). Guards against pathological
+    /// inputs; `usize::MAX` disables.
+    pub max_paths: usize,
+    /// When `false`, skip recording full path node sequences (cheaper) and
+    /// only collect the edge/node membership sets.
+    pub record_paths: bool,
+}
+
+impl Default for BoundedPathsConfig {
+    fn default() -> Self {
+        BoundedPathsConfig { bound: f64::INFINITY, max_paths: 1_000_000, record_paths: true }
+    }
+}
+
+/// Result of [`bounded_paths`]: the set of loop-free paths within the
+/// bound, plus membership sets over edges and nodes.
+#[derive(Debug, Clone)]
+pub struct PathSet {
+    /// Full paths (edge sequences), present when
+    /// [`BoundedPathsConfig::record_paths`] is set. Order is the
+    /// deterministic DFS discovery order.
+    pub paths: Vec<Vec<EdgeId>>,
+    /// Every edge appearing on at least one within-bound path.
+    pub edges: HashSet<EdgeId>,
+    /// Every node appearing on at least one within-bound path.
+    pub nodes: HashSet<NodeId>,
+    /// Number of paths found (valid even when paths are not recorded).
+    pub count: usize,
+    /// True when enumeration stopped early at `max_paths`.
+    pub truncated: bool,
+}
+
+/// Enumerate all loop-free `source → target` paths of total cost ≤
+/// `config.bound`, using reverse-Dijkstra potentials for exact pruning.
+///
+/// Edge costs must be non-negative (checked by the underlying Dijkstra in
+/// debug builds). With non-negative costs the potential-based cut is exact:
+/// no within-bound path is ever missed.
+pub fn bounded_paths<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    mut cost: impl FnMut(EdgeId, &E) -> f64,
+    config: &BoundedPathsConfig,
+) -> PathSet {
+    // Exact distance-to-target potentials (graph is undirected, so a
+    // forward tree from `target` gives reverse distances).
+    let to_target = dijkstra(graph, target, &mut cost, |_| true);
+    let potentials = to_target.distances();
+
+    let mut out = PathSet {
+        paths: Vec::new(),
+        edges: HashSet::new(),
+        nodes: HashSet::new(),
+        count: 0,
+        truncated: false,
+    };
+    if potentials[source.index()].is_infinite() {
+        return out; // target unreachable
+    }
+
+    // Iterative DFS with explicit stack of (node, next-neighbor-index).
+    let mut on_path = vec![false; graph.node_count()];
+    let mut node_stack: Vec<NodeId> = vec![source];
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut iter_stack: Vec<usize> = vec![0];
+    let mut g_cost = 0.0f64;
+    on_path[source.index()] = true;
+
+    // Snapshot adjacency for index-stable iteration.
+    let adj: Vec<Vec<(EdgeId, NodeId)>> =
+        graph.node_ids().map(|n| graph.neighbors(n).collect()).collect();
+    // Pre-compute edge costs once (cost fn may be expensive).
+    let edge_costs: Vec<f64> = graph
+        .edge_ids()
+        .map(|e| cost(e, graph.edge(e)))
+        .collect();
+
+    while let Some(&u) = node_stack.last() {
+        if out.count >= config.max_paths {
+            out.truncated = true;
+            break;
+        }
+        let i = iter_stack.last_mut().expect("stacks in sync");
+        if u == target && edge_stack.is_empty() && node_stack.len() > 1 {
+            unreachable!("target handling below pops before descending");
+        }
+        let neighbors = &adj[u.index()];
+        if *i < neighbors.len() {
+            let (e, v) = neighbors[*i];
+            *i += 1;
+            if on_path[v.index()] {
+                continue;
+            }
+            let w = edge_costs[e.index()];
+            let ng = g_cost + w;
+            // Exact prune: even the best continuation overshoots.
+            if ng + potentials[v.index()] > config.bound * (1.0 + 1e-12) {
+                continue;
+            }
+            if v == target {
+                // Record the completed path without descending (any
+                // continuation through the target would loop back).
+                out.count += 1;
+                let mut full = edge_stack.clone();
+                full.push(e);
+                for &pe in &full {
+                    out.edges.insert(pe);
+                    let (a, b) = graph.endpoints(pe);
+                    out.nodes.insert(a);
+                    out.nodes.insert(b);
+                }
+                if config.record_paths {
+                    out.paths.push(full);
+                }
+                continue;
+            }
+            // Descend.
+            on_path[v.index()] = true;
+            node_stack.push(v);
+            edge_stack.push(e);
+            iter_stack.push(0);
+            g_cost = ng;
+        } else {
+            // Backtrack.
+            on_path[u.index()] = false;
+            node_stack.pop();
+            iter_stack.pop();
+            if let Some(e) = edge_stack.pop() {
+                g_cost -= edge_costs[e.index()];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Graph<(), f64>, [NodeId; 4]) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 2.0); // route 1: cost 3
+        g.add_edge(a, c, 2.0);
+        g.add_edge(c, d, 2.0); // route 2: cost 4
+        g.add_edge(a, d, 7.0); // route 3: cost 7
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn bound_selects_routes() {
+        let (g, [a, _, _, d]) = diamond();
+        let cfg = |b: f64| BoundedPathsConfig { bound: b, ..Default::default() };
+        assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(2.9)).count, 0);
+        assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(3.0)).count, 1);
+        assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(4.5)).count, 2);
+        assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(100.0)).count, 3);
+    }
+
+    #[test]
+    fn edge_membership_union() {
+        let (g, [a, _, _, d]) = diamond();
+        let ps = bounded_paths(
+            &g,
+            a,
+            d,
+            |_, w| *w,
+            &BoundedPathsConfig { bound: 4.5, ..Default::default() },
+        );
+        // Routes 1 and 2 use edges 0..4; the direct edge 4 is excluded.
+        assert_eq!(ps.edges.len(), 4);
+        assert!(!ps.edges.iter().any(|e| e.index() == 4));
+        assert_eq!(ps.nodes.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let ps = bounded_paths(&g, a, b, |_, w| *w, &BoundedPathsConfig::default());
+        assert_eq!(ps.count, 0);
+        assert!(ps.paths.is_empty());
+    }
+
+    #[test]
+    fn paths_are_loop_free_and_within_bound() {
+        let (g, [a, _, _, d]) = diamond();
+        let bound = 7.0;
+        let ps = bounded_paths(&g, a, d, |_, w| *w, &BoundedPathsConfig { bound, ..Default::default() });
+        for p in &ps.paths {
+            let total: f64 = p.iter().map(|e| *g.edge(*e)).sum();
+            assert!(total <= bound + 1e-9);
+            // Loop-free: walk and check node uniqueness.
+            let mut cur = a;
+            let mut seen = HashSet::from([a]);
+            for e in p {
+                cur = g.opposite(*e, cur);
+                assert!(seen.insert(cur), "revisited node");
+            }
+            assert_eq!(cur, d);
+        }
+    }
+
+    #[test]
+    fn max_paths_truncation() {
+        // Complete-ish graph with many paths.
+        let mut g: Graph<(), f64> = Graph::new();
+        let nodes: Vec<NodeId> = (0..8).map(|_| g.add_node(())).collect();
+        for i in 0..nodes.len() {
+            for j in i + 1..nodes.len() {
+                g.add_edge(nodes[i], nodes[j], 1.0);
+            }
+        }
+        let ps = bounded_paths(
+            &g,
+            nodes[0],
+            nodes[7],
+            |_, w| *w,
+            &BoundedPathsConfig { bound: 100.0, max_paths: 5, record_paths: true },
+        );
+        assert!(ps.truncated);
+        assert_eq!(ps.count, 5);
+    }
+
+    #[test]
+    fn record_paths_false_still_counts() {
+        let (g, [a, _, _, d]) = diamond();
+        let ps = bounded_paths(
+            &g,
+            a,
+            d,
+            |_, w| *w,
+            &BoundedPathsConfig { bound: 100.0, max_paths: usize::MAX, record_paths: false },
+        );
+        assert_eq!(ps.count, 3);
+        assert!(ps.paths.is_empty());
+        assert_eq!(ps.edges.len(), 5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_ladder() {
+        // 2x4 ladder; compare against a simple recursive enumeration.
+        let n = 4;
+        let mut g: Graph<(), f64> = Graph::new();
+        let top: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        let bot: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n - 1 {
+            g.add_edge(top[i], top[i + 1], 1.0);
+            g.add_edge(bot[i], bot[i + 1], 1.0);
+        }
+        for i in 0..n {
+            g.add_edge(top[i], bot[i], 0.3);
+        }
+        fn brute(
+            g: &Graph<(), f64>,
+            cur: NodeId,
+            target: NodeId,
+            cost: f64,
+            bound: f64,
+            visited: &mut HashSet<NodeId>,
+            count: &mut usize,
+        ) {
+            if cur == target {
+                *count += 1;
+                return;
+            }
+            let neighbors: Vec<(EdgeId, NodeId)> = g.neighbors(cur).collect();
+            for (e, v) in neighbors {
+                if visited.contains(&v) {
+                    continue;
+                }
+                let c = cost + *g.edge(e);
+                if c > bound {
+                    continue;
+                }
+                visited.insert(v);
+                brute(g, v, target, c, bound, visited, count);
+                visited.remove(&v);
+            }
+        }
+        for bound in [3.0, 3.6, 4.2, 10.0] {
+            let mut count = 0;
+            let mut visited = HashSet::from([top[0]]);
+            brute(&g, top[0], top[n - 1], 0.0, bound, &mut visited, &mut count);
+            let ps = bounded_paths(
+                &g,
+                top[0],
+                top[n - 1],
+                |_, w| *w,
+                &BoundedPathsConfig { bound, ..Default::default() },
+            );
+            assert_eq!(ps.count, count, "bound {bound}");
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Yen's algorithm for the k shortest loop-free paths.
+//!
+//! Used to list the top alternate routes through an HFT network, e.g. for
+//! the "NLN-alternate" frequency analysis of Fig. 4b.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::shortest::dijkstra;
+use std::collections::HashSet;
+
+/// A loop-free path with its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostedPath {
+    /// Node sequence, `source..=target`.
+    pub nodes: Vec<NodeId>,
+    /// Edge sequence; `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<EdgeId>,
+    /// Total cost under the supplied cost function.
+    pub cost: f64,
+}
+
+fn path_cost<N, E>(
+    graph: &Graph<N, E>,
+    edges: &[EdgeId],
+    cost: &mut impl FnMut(EdgeId, &E) -> f64,
+) -> f64 {
+    edges.iter().map(|&e| cost(e, graph.edge(e))).sum()
+}
+
+/// Compute up to `k` shortest loop-free paths from `source` to `target`
+/// in ascending cost order, using Yen's algorithm over repeated filtered
+/// Dijkstra runs.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// distinct loop-free routes. Costs must be non-negative.
+pub fn yen_k_shortest<N, E>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    mut cost: impl FnMut(EdgeId, &E) -> f64,
+) -> Vec<CostedPath> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let first = dijkstra(graph, source, &mut cost, |_| true);
+    let Some((nodes, edges)) = first.path(target) else {
+        return Vec::new();
+    };
+    let c = path_cost(graph, &edges, &mut cost);
+    let mut accepted = vec![CostedPath { nodes, edges, cost: c }];
+    // Candidate pool; tuple of (cost, path) kept sorted ascending lazily.
+    let mut candidates: Vec<CostedPath> = Vec::new();
+    // Dedup set over edge sequences (edge ids uniquely identify a path).
+    let mut seen: HashSet<Vec<EdgeId>> = HashSet::new();
+    seen.insert(accepted[0].edges.clone());
+
+    while accepted.len() < k {
+        let last = accepted.last().expect("at least one accepted path").clone();
+        // Each prefix of the last accepted path spawns a spur search.
+        for i in 0..last.edges.len() {
+            let spur_node = last.nodes[i];
+            let root_nodes = &last.nodes[..=i];
+            let root_edges = &last.edges[..i];
+
+            // Edges to hide: any edge continuing a previously accepted (or
+            // candidate) path that shares this root.
+            let mut banned_edges: HashSet<EdgeId> = HashSet::new();
+            for p in accepted.iter().chain(candidates.iter()) {
+                if p.edges.len() > i && p.edges[..i] == *root_edges {
+                    banned_edges.insert(p.edges[i]);
+                }
+            }
+            // Nodes on the root (except the spur node) must not be re-visited.
+            let banned_nodes: HashSet<NodeId> = root_nodes[..i].iter().copied().collect();
+
+            let sp = dijkstra(graph, spur_node, &mut cost, |e| {
+                if banned_edges.contains(&e) {
+                    return false;
+                }
+                let (u, v) = graph.endpoints(e);
+                !(banned_nodes.contains(&u) || banned_nodes.contains(&v))
+            });
+            if let Some((spur_nodes, spur_edges)) = sp.path(target) {
+                let mut total_nodes = root_nodes.to_vec();
+                total_nodes.extend_from_slice(&spur_nodes[1..]);
+                let mut total_edges = root_edges.to_vec();
+                total_edges.extend_from_slice(&spur_edges);
+                if seen.insert(total_edges.clone()) {
+                    let c = path_cost(graph, &total_edges, &mut cost);
+                    candidates.push(CostedPath { nodes: total_nodes, edges: total_edges, cost: c });
+                }
+            }
+        }
+        // Pop the cheapest candidate (stable tie-break on edge ids for
+        // determinism).
+        if candidates.is_empty() {
+            break;
+        }
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.cost
+                    .partial_cmp(&b.cost)
+                    .unwrap_or(core::cmp::Ordering::Equal)
+                    .then_with(|| a.edges.cmp(&b.edges))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty candidates");
+        accepted.push(candidates.swap_remove(best));
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A graph with three distinct a→d routes of costs 3, 4, 7.
+    fn three_route_graph() -> (Graph<(), f64>, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, d, 2.0); // a-b-d = 3
+        g.add_edge(a, c, 2.0);
+        g.add_edge(c, d, 2.0); // a-c-d = 4
+        g.add_edge(a, d, 7.0); // direct = 7
+        (g, a, d)
+    }
+
+    #[test]
+    fn returns_paths_in_ascending_cost() {
+        let (g, a, d) = three_route_graph();
+        let paths = yen_k_shortest(&g, a, d, 3, |_, w| *w);
+        assert_eq!(paths.len(), 3);
+        let costs: Vec<f64> = paths.iter().map(|p| p.cost).collect();
+        assert_eq!(costs, vec![3.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    fn truncates_when_fewer_paths_exist() {
+        let (g, a, d) = three_route_graph();
+        let paths = yen_k_shortest(&g, a, d, 10, |_, w| *w);
+        assert_eq!(paths.len(), 3);
+    }
+
+    #[test]
+    fn k_zero_and_unreachable() {
+        let (g, a, d) = three_route_graph();
+        assert!(yen_k_shortest(&g, a, d, 0, |_, w| *w).is_empty());
+        let mut g2: Graph<(), f64> = Graph::new();
+        let x = g2.add_node(());
+        let y = g2.add_node(());
+        assert!(yen_k_shortest(&g2, x, y, 3, |_, w| *w).is_empty());
+    }
+
+    #[test]
+    fn paths_are_loop_free() {
+        let (g, a, d) = three_route_graph();
+        for p in yen_k_shortest(&g, a, d, 3, |_, w| *w) {
+            let mut seen = HashSet::new();
+            for n in &p.nodes {
+                assert!(seen.insert(*n), "node repeated in path");
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_distinct() {
+        let (g, a, d) = three_route_graph();
+        let paths = yen_k_shortest(&g, a, d, 3, |_, w| *w);
+        let mut edge_seqs: Vec<&Vec<EdgeId>> = paths.iter().map(|p| &p.edges).collect();
+        edge_seqs.dedup();
+        assert_eq!(edge_seqs.len(), 3);
+    }
+
+    #[test]
+    fn ladder_graph_many_paths() {
+        // 2xN ladder: lots of loop-free paths; check monotone costs.
+        let n = 5;
+        let mut g: Graph<(), f64> = Graph::new();
+        let top: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        let bot: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n - 1 {
+            g.add_edge(top[i], top[i + 1], 1.0);
+            g.add_edge(bot[i], bot[i + 1], 1.0);
+        }
+        for i in 0..n {
+            g.add_edge(top[i], bot[i], 0.5);
+        }
+        let paths = yen_k_shortest(&g, top[0], top[n - 1], 8, |_, w| *w);
+        assert!(paths.len() >= 4);
+        for w in paths.windows(2) {
+            assert!(w[0].cost <= w[1].cost + 1e-12, "costs must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn first_path_matches_dijkstra() {
+        let (g, a, d) = three_route_graph();
+        let paths = yen_k_shortest(&g, a, d, 1, |_, w| *w);
+        let sp = crate::shortest::dijkstra(&g, a, |_, w| *w, |_| true);
+        assert_eq!(paths[0].cost, sp.distance(d).unwrap());
+        assert_eq!(paths[0].nodes, sp.path_nodes(d).unwrap());
+    }
+
+    #[test]
+    fn multigraph_parallel_edges_counted_separately() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1.0);
+        g.add_edge(a, b, 2.0);
+        let paths = yen_k_shortest(&g, a, b, 5, |_, w| *w);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].cost, 1.0);
+        assert_eq!(paths[1].cost, 2.0);
+    }
+}

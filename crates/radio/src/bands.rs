@@ -1,0 +1,241 @@
+//! FCC fixed-microwave band plans and channel assignment.
+//!
+//! HFT networks on the Chicago–NJ corridor file licenses in a handful of
+//! Part 101 fixed-service bands. The paper's Fig. 4b shows Webline
+//! Holdings concentrated in the ~6 GHz band and New Line Networks in the
+//! ~11 GHz band; this module models those bands with realistic edges and
+//! channel rasters so synthetic license generation can assign plausible,
+//! interference-free frequencies.
+
+use core::fmt;
+
+/// One hertz-denominated megahertz, for readability of frequency literals.
+pub const MHZ: f64 = 1.0e6;
+/// One gigahertz in hertz.
+pub const GHZ: f64 = 1.0e9;
+
+/// A named fixed-service band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Band {
+    /// Lower 6 GHz (5925–6425 MHz): long-haul workhorse, best rain
+    /// performance, 30 MHz raster.
+    L6GHz,
+    /// Upper 6 GHz (6525–6875 MHz): 10 MHz raster in our plan.
+    U6GHz,
+    /// 11 GHz (10700–11700 MHz): shorter hops, 40 MHz raster.
+    B11GHz,
+    /// 18 GHz (17700–19700 MHz): short hops, rain-limited, 50 MHz raster.
+    B18GHz,
+    /// 23 GHz (21200–23600 MHz): very short hops, 50 MHz raster.
+    B23GHz,
+}
+
+impl Band {
+    /// All modeled bands, ascending in frequency.
+    pub const ALL: [Band; 5] = [Band::L6GHz, Band::U6GHz, Band::B11GHz, Band::B18GHz, Band::B23GHz];
+
+    /// Band edges `(low, high)` in Hz.
+    pub fn edges_hz(self) -> (f64, f64) {
+        match self {
+            Band::L6GHz => (5_925.0 * MHZ, 6_425.0 * MHZ),
+            Band::U6GHz => (6_525.0 * MHZ, 6_875.0 * MHZ),
+            Band::B11GHz => (10_700.0 * MHZ, 11_700.0 * MHZ),
+            Band::B18GHz => (17_700.0 * MHZ, 19_700.0 * MHZ),
+            Band::B23GHz => (21_200.0 * MHZ, 23_600.0 * MHZ),
+        }
+    }
+
+    /// Channel raster (spacing) in Hz.
+    pub fn channel_spacing_hz(self) -> f64 {
+        match self {
+            Band::L6GHz => 30.0 * MHZ,
+            Band::U6GHz => 10.0 * MHZ,
+            Band::B11GHz => 40.0 * MHZ,
+            Band::B18GHz | Band::B23GHz => 50.0 * MHZ,
+        }
+    }
+
+    /// Nominal center frequency in GHz (used for propagation models).
+    pub fn center_ghz(self) -> f64 {
+        let (lo, hi) = self.edges_hz();
+        (lo + hi) / 2.0 / GHZ
+    }
+
+    /// Classify a frequency (Hz) into its band, if it falls inside one.
+    pub fn classify_hz(freq_hz: f64) -> Option<Band> {
+        Band::ALL.into_iter().find(|b| {
+            let (lo, hi) = b.edges_hz();
+            (lo..=hi).contains(&freq_hz)
+        })
+    }
+
+    /// Number of whole channels the band fits.
+    pub fn channel_count(self) -> usize {
+        let (lo, hi) = self.edges_hz();
+        ((hi - lo) / self.channel_spacing_hz()).floor() as usize
+    }
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Band::L6GHz => "L6",
+            Band::U6GHz => "U6",
+            Band::B11GHz => "11G",
+            Band::B18GHz => "18G",
+            Band::B23GHz => "23G",
+        })
+    }
+}
+
+/// A concrete channel within a band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Channel {
+    /// The band the channel belongs to.
+    pub band: Band,
+    /// Zero-based channel index within the band.
+    pub index: usize,
+    /// Center frequency in Hz.
+    pub center_hz: f64,
+}
+
+/// A band plan: deterministic channel raster generation and round-robin
+/// assignment that avoids reusing a channel at the same tower (the
+/// first-order interference constraint a frequency coordinator enforces).
+#[derive(Debug, Clone)]
+pub struct BandPlan {
+    band: Band,
+    channels: Vec<f64>,
+}
+
+impl BandPlan {
+    /// Build the raster for `band`: channel centers spaced by the raster,
+    /// offset half a step from the lower edge.
+    pub fn new(band: Band) -> BandPlan {
+        let (lo, _hi) = band.edges_hz();
+        let step = band.channel_spacing_hz();
+        let n = band.channel_count();
+        let channels = (0..n).map(|i| lo + step / 2.0 + i as f64 * step).collect();
+        BandPlan { band, channels }
+    }
+
+    /// The band this plan covers.
+    pub fn band(&self) -> Band {
+        self.band
+    }
+
+    /// All channel center frequencies, Hz, ascending.
+    pub fn channels_hz(&self) -> &[f64] {
+        &self.channels
+    }
+
+    /// The `i`-th channel (wrapping), as a [`Channel`].
+    pub fn channel(&self, i: usize) -> Channel {
+        let index = i % self.channels.len();
+        Channel { band: self.band, index, center_hz: self.channels[index] }
+    }
+
+    /// Assign channels to the links of a chain such that consecutive links
+    /// (sharing a tower) never reuse a channel: alternates between two
+    /// well-separated raster positions, advancing every other hop — the
+    /// classic "high/low" plan.
+    pub fn assign_chain(&self, links: usize) -> Vec<Channel> {
+        let half = (self.channels.len() / 2).max(1);
+        (0..links)
+            .map(|i| {
+                let idx = if i % 2 == 0 { (i / 2) % half } else { half + (i / 2) % half };
+                self.channel(idx.min(self.channels.len() - 1))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_ordered_and_disjoint() {
+        let mut prev_hi = 0.0;
+        for b in Band::ALL {
+            let (lo, hi) = b.edges_hz();
+            assert!(lo < hi, "{b}");
+            assert!(lo >= prev_hi, "bands overlap at {b}");
+            prev_hi = hi;
+        }
+    }
+
+    #[test]
+    fn classify_center_frequencies() {
+        for b in Band::ALL {
+            assert_eq!(Band::classify_hz(b.center_ghz() * GHZ), Some(b));
+        }
+    }
+
+    #[test]
+    fn classify_out_of_band() {
+        assert_eq!(Band::classify_hz(1.0 * GHZ), None);
+        assert_eq!(Band::classify_hz(6.45 * GHZ), None); // between L6 and U6
+        assert_eq!(Band::classify_hz(30.0 * GHZ), None);
+    }
+
+    #[test]
+    fn l6_channel_count() {
+        // 500 MHz / 30 MHz = 16 whole channels.
+        assert_eq!(Band::L6GHz.channel_count(), 16);
+        assert_eq!(Band::B11GHz.channel_count(), 25);
+    }
+
+    #[test]
+    fn raster_inside_band() {
+        for b in Band::ALL {
+            let plan = BandPlan::new(b);
+            let (lo, hi) = b.edges_hz();
+            for &c in plan.channels_hz() {
+                assert!(c > lo && c < hi, "{b} channel {c} outside edges");
+                assert_eq!(Band::classify_hz(c), Some(b));
+            }
+        }
+    }
+
+    #[test]
+    fn raster_is_evenly_spaced() {
+        let plan = BandPlan::new(Band::L6GHz);
+        let ch = plan.channels_hz();
+        for w in ch.windows(2) {
+            assert!((w[1] - w[0] - Band::L6GHz.channel_spacing_hz()).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn chain_assignment_never_repeats_at_shared_tower() {
+        for b in Band::ALL {
+            let plan = BandPlan::new(b);
+            let chans = plan.assign_chain(40);
+            for w in chans.windows(2) {
+                assert_ne!(w[0].center_hz, w[1].center_hz, "adjacent links share channel in {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_assignment_length() {
+        let plan = BandPlan::new(Band::B11GHz);
+        assert_eq!(plan.assign_chain(0).len(), 0);
+        assert_eq!(plan.assign_chain(7).len(), 7);
+    }
+
+    #[test]
+    fn channel_wraps() {
+        let plan = BandPlan::new(Band::L6GHz);
+        let n = plan.channels_hz().len();
+        assert_eq!(plan.channel(n).center_hz, plan.channel(0).center_hz);
+    }
+
+    #[test]
+    fn centers_match_fig4b_axis() {
+        // Fig. 4b's x-axis runs 4–18 GHz; our primary bands sit inside it.
+        assert!((4.0..18.0).contains(&Band::L6GHz.center_ghz()));
+        assert!((4.0..18.0).contains(&Band::B11GHz.center_ghz()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Annual availability from a rain-rate climatology.
+//!
+//! The ITU-R design flow sizes a link's fade margin against the rain rate
+//! exceeded 0.01% of an average year. We model the corridor's climate as
+//! a wet-time fraction with an exponential rate distribution within wet
+//! periods — coarse, but it orders links by length/frequency exactly the
+//! way the recommendations do, which is what the §5 analysis needs.
+
+use crate::availability::LinkOutageModel;
+
+/// A rain-rate climatology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RainClimate {
+    /// Fraction of the year with any rain at a point (0..1).
+    pub wet_fraction: f64,
+    /// Mean rain rate during wet periods, mm/h (exponential tail).
+    pub mean_rate_mm_h: f64,
+}
+
+impl RainClimate {
+    /// Temperate continental plains (the Chicago–NJ corridor): raining
+    /// ~6% of the time with a 4 mm/h mean — which puts the 0.01%-of-year
+    /// exceedance near 25–35 mm/h, consistent with ITU rain region K.
+    pub fn continental_temperate() -> RainClimate {
+        RainClimate { wet_fraction: 0.06, mean_rate_mm_h: 4.0 }
+    }
+
+    /// Probability (fraction of the year) that the point rain rate
+    /// exceeds `rate_mm_h`.
+    pub fn exceedance(&self, rate_mm_h: f64) -> f64 {
+        if rate_mm_h <= 0.0 {
+            return self.wet_fraction;
+        }
+        self.wet_fraction * (-rate_mm_h / self.mean_rate_mm_h).exp()
+    }
+
+    /// The rain rate exceeded `p` fraction of the year (inverse of
+    /// [`RainClimate::exceedance`]); `None` when `p` ≥ the wet fraction
+    /// (any positive rate is exceeded less often than that).
+    pub fn rate_exceeded(&self, p: f64) -> Option<f64> {
+        if p <= 0.0 || p >= self.wet_fraction {
+            return None;
+        }
+        Some(-self.mean_rate_mm_h * (p / self.wet_fraction).ln())
+    }
+}
+
+/// Annual availability of one link under a climate: one minus the time
+/// rain fades it out, minus the clear-air multipath outage time.
+pub fn link_annual_availability(link: &LinkOutageModel, climate: &RainClimate) -> f64 {
+    let rain_outage = match link.critical_rain_rate() {
+        Some(critical) => climate.exceedance(critical),
+        None => 0.0,
+    };
+    (1.0 - rain_outage - link.multipath_outage_probability()).clamp(0.0, 1.0)
+}
+
+/// Availability of a whole path: the product over its links (independent
+/// outages — conservative for rain, which correlates neighbours, but the
+/// standard first-order model).
+pub fn path_annual_availability<'a>(
+    links: impl IntoIterator<Item = &'a LinkOutageModel>,
+    climate: &RainClimate,
+) -> f64 {
+    links
+        .into_iter()
+        .map(|l| link_annual_availability(l, climate))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceedance_is_monotone_and_bounded() {
+        let c = RainClimate::continental_temperate();
+        assert_eq!(c.exceedance(0.0), c.wet_fraction);
+        let mut prev = 1.0;
+        for r in [1.0, 5.0, 20.0, 50.0, 100.0] {
+            let p = c.exceedance(r);
+            assert!(p < prev && p > 0.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn r001_in_itu_region_k_ballpark() {
+        // Rain region K (US midwest): R_0.01% ≈ 42 mm/h; our coarse model
+        // should land in the same decade.
+        let c = RainClimate::continental_temperate();
+        let r001 = c.rate_exceeded(0.0001).unwrap();
+        assert!((20.0..60.0).contains(&r001), "got {r001}");
+    }
+
+    #[test]
+    fn rate_exceeded_inverts_exceedance() {
+        let c = RainClimate::continental_temperate();
+        for p in [0.01, 0.001, 0.0001] {
+            let r = c.rate_exceeded(p).unwrap();
+            assert!((c.exceedance(r) - p).abs() < 1e-12);
+        }
+        assert!(c.rate_exceeded(0.5).is_none());
+        assert!(c.rate_exceeded(0.0).is_none());
+    }
+
+    #[test]
+    fn well_designed_links_hit_four_nines() {
+        // The §5 workhorse links must be highly available in this climate.
+        let c = RainClimate::continental_temperate();
+        let wh = LinkOutageModel::typical(36.0, 6.2);
+        let nln = LinkOutageModel::typical(48.5, 11.2);
+        assert!(link_annual_availability(&wh, &c) > 0.9999);
+        assert!(link_annual_availability(&nln, &c) > 0.998, "multipath-dominated but still high");
+    }
+
+    #[test]
+    fn shorter_lower_band_links_are_more_available() {
+        let c = RainClimate::continental_temperate();
+        let wh = LinkOutageModel::typical(36.0, 6.2);
+        let nln = LinkOutageModel::typical(48.5, 11.2);
+        assert!(
+            link_annual_availability(&wh, &c) > link_annual_availability(&nln, &c),
+            "the §5 ordering"
+        );
+    }
+
+    #[test]
+    fn path_availability_is_product() {
+        let c = RainClimate::continental_temperate();
+        let links: Vec<LinkOutageModel> =
+            (0..24).map(|_| LinkOutageModel::typical(48.5, 11.2)).collect();
+        let path = path_annual_availability(links.iter(), &c);
+        let single = link_annual_availability(&links[0], &c);
+        assert!((path - single.powi(24)).abs() < 1e-12);
+        assert!(path < single);
+    }
+
+    #[test]
+    fn whole_route_comparison_matches_section5() {
+        // WH's 26-hop short/6 GHz route vs NLN's 24-hop long/11 GHz route:
+        // per-route annual availability must favor WH despite more hops.
+        let c = RainClimate::continental_temperate();
+        let wh: Vec<LinkOutageModel> =
+            (0..26).map(|_| LinkOutageModel::typical(45.8, 6.2)).collect();
+        let nln: Vec<LinkOutageModel> =
+            (0..24).map(|_| LinkOutageModel::typical(49.4, 11.2)).collect();
+        let a_wh = path_annual_availability(wh.iter(), &c);
+        let a_nln = path_annual_availability(nln.iter(), &c);
+        assert!(a_wh > a_nln, "WH route {a_wh} vs NLN route {a_nln}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let c = RainClimate::continental_temperate();
+        // A hopeless link (enormous hop at 18 GHz) still yields a valid
+        // probability.
+        let bad = LinkOutageModel::typical(150.0, 18.0);
+        let a = link_annual_availability(&bad, &c);
+        assert!((0.0..=1.0).contains(&a));
+        // Empty path: vacuous product = 1.
+        assert_eq!(path_annual_availability([].iter(), &c), 1.0);
+    }
+}

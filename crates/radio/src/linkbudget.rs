@@ -1,0 +1,112 @@
+//! Free-space path loss and fade margins.
+
+/// Free-space path loss in dB for a link of `d_km` km at `f_ghz` GHz:
+/// `FSPL = 92.45 + 20·log10(f) + 20·log10(d)`.
+///
+/// Returns 0 for non-positive distance or frequency (degenerate link).
+pub fn free_space_path_loss_db(f_ghz: f64, d_km: f64) -> f64 {
+    if f_ghz <= 0.0 || d_km <= 0.0 {
+        return 0.0;
+    }
+    92.45 + 20.0 * f_ghz.log10() + 20.0 * d_km.log10()
+}
+
+/// Parameters of a point-to-point microwave link budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkBudget {
+    /// Transmit power into the antenna, dBm.
+    pub tx_power_dbm: f64,
+    /// Transmit antenna gain, dBi.
+    pub tx_gain_dbi: f64,
+    /// Receive antenna gain, dBi.
+    pub rx_gain_dbi: f64,
+    /// Receiver sensitivity threshold, dBm (more negative = better).
+    pub rx_sensitivity_dbm: f64,
+    /// Fixed implementation losses (waveguide, connectors), dB.
+    pub misc_loss_db: f64,
+}
+
+impl LinkBudget {
+    /// A representative long-haul licensed-microwave radio: +30 dBm TX,
+    /// 38.9 dBi antennas (8-ft dish at 6 GHz), −72 dBm sensitivity at the
+    /// modest modulations HFT shops run for latency, 3 dB fixed losses.
+    pub fn typical_hft() -> LinkBudget {
+        LinkBudget {
+            tx_power_dbm: 30.0,
+            tx_gain_dbi: 38.9,
+            rx_gain_dbi: 38.9,
+            rx_sensitivity_dbm: -72.0,
+            misc_loss_db: 3.0,
+        }
+    }
+
+    /// Received signal level in dBm over a clear-air path.
+    pub fn received_dbm(&self, f_ghz: f64, d_km: f64) -> f64 {
+        self.tx_power_dbm + self.tx_gain_dbi + self.rx_gain_dbi
+            - free_space_path_loss_db(f_ghz, d_km)
+            - self.misc_loss_db
+    }
+
+    /// Clear-air fade margin in dB: how much extra attenuation (rain,
+    /// multipath) the link tolerates before dropping below sensitivity.
+    pub fn fade_margin_db(&self, f_ghz: f64, d_km: f64) -> f64 {
+        self.received_dbm(f_ghz, d_km) - self.rx_sensitivity_dbm
+    }
+}
+
+/// Convenience: fade margin of the [`LinkBudget::typical_hft`] radio.
+pub fn fade_margin_db(f_ghz: f64, d_km: f64) -> f64 {
+    LinkBudget::typical_hft().fade_margin_db(f_ghz, d_km)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fspl_known_value() {
+        // 6 GHz over 50 km: 92.45 + 20log10(6) + 20log10(50) ≈ 142.0 dB.
+        let l = free_space_path_loss_db(6.0, 50.0);
+        assert!((l - 141.99).abs() < 0.05, "got {l}");
+    }
+
+    #[test]
+    fn fspl_grows_6db_per_doubling() {
+        let l1 = free_space_path_loss_db(11.0, 20.0);
+        let l2 = free_space_path_loss_db(11.0, 40.0);
+        assert!((l2 - l1 - 6.0206).abs() < 1e-3);
+        let f1 = free_space_path_loss_db(6.0, 30.0);
+        let f2 = free_space_path_loss_db(12.0, 30.0);
+        assert!((f2 - f1 - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(free_space_path_loss_db(0.0, 50.0), 0.0);
+        assert_eq!(free_space_path_loss_db(6.0, 0.0), 0.0);
+        assert_eq!(free_space_path_loss_db(-1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn typical_margin_positive_at_hft_hop_lengths() {
+        // Both the WH median (36 km) and NLN median (48.5 km) hops must
+        // close with healthy clear-air margin.
+        assert!(fade_margin_db(6.2, 36.0) > 25.0);
+        assert!(fade_margin_db(11.2, 48.5) > 15.0);
+    }
+
+    #[test]
+    fn margin_shrinks_with_length_and_frequency() {
+        assert!(fade_margin_db(6.0, 30.0) > fade_margin_db(6.0, 60.0));
+        assert!(fade_margin_db(6.0, 40.0) > fade_margin_db(18.0, 40.0));
+    }
+
+    #[test]
+    fn received_level_consistent() {
+        let b = LinkBudget::typical_hft();
+        let rx = b.received_dbm(6.0, 50.0);
+        let manual = 30.0 + 38.9 + 38.9 - free_space_path_loss_db(6.0, 50.0) - 3.0;
+        assert!((rx - manual).abs() < 1e-12);
+        assert!((b.fade_margin_db(6.0, 50.0) - (rx - (-72.0))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,396 @@
+//! Civil date type and day arithmetic on the proleptic Gregorian calendar.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// Error produced when constructing a [`Date`] from invalid components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateError {
+    /// Year outside the supported range `1..=9999`.
+    YearOutOfRange(i32),
+    /// Month outside `1..=12`.
+    MonthOutOfRange(u32),
+    /// Day outside the valid range for the given year/month.
+    DayOutOfRange {
+        /// Year component of the rejected date.
+        year: i32,
+        /// Month component of the rejected date.
+        month: u32,
+        /// Day component of the rejected date.
+        day: u32,
+    },
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DateError::YearOutOfRange(y) => write!(f, "year {y} outside 1..=9999"),
+            DateError::MonthOutOfRange(m) => write!(f, "month {m} outside 1..=12"),
+            DateError::DayOutOfRange { year, month, day } => {
+                write!(f, "day {day} invalid for {year:04}-{month:02}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
+
+/// Day of the week, ISO numbering (`Monday = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Weekday {
+    Monday = 1,
+    Tuesday = 2,
+    Wednesday = 3,
+    Thursday = 4,
+    Friday = 5,
+    Saturday = 6,
+    Sunday = 7,
+}
+
+/// A civil date on the proleptic Gregorian calendar.
+///
+/// Internally stored as `(year, month, day)`; ordering and arithmetic go
+/// through the ordinal day number, so comparisons are exact and cheap.
+///
+/// The supported range is years `1..=9999`, far exceeding the 2012–2020
+/// span of the datasets this workspace manipulates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    year: i16,
+    month: u8,
+    day: u8,
+}
+
+const DAYS_IN_MONTH: [u32; 13] = [0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+/// Cumulative days before each month in a non-leap year (index 1..=12).
+const DAYS_BEFORE_MONTH: [u32; 13] = [
+    0, 0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334,
+];
+
+/// True iff `year` is a leap year in the Gregorian calendar.
+pub(crate) fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub(crate) fn days_in_month(year: i32, month: u32) -> u32 {
+    if month == 2 && is_leap(year) {
+        29
+    } else {
+        DAYS_IN_MONTH[month as usize]
+    }
+}
+
+/// Days in `year` (365 or 366).
+fn days_in_year(year: i32) -> i64 {
+    if is_leap(year) {
+        366
+    } else {
+        365
+    }
+}
+
+/// Number of days before January 1st of `year`, counting from year 1.
+fn days_before_year(year: i32) -> i64 {
+    let y = (year - 1) as i64;
+    y * 365 + y / 4 - y / 100 + y / 400
+}
+
+impl Date {
+    /// The earliest supported date, `0001-01-01` (ordinal 1).
+    pub const MIN: Date = Date { year: 1, month: 1, day: 1 };
+    /// The latest supported date, `9999-12-31`.
+    pub const MAX: Date = Date { year: 9999, month: 12, day: 31 };
+
+    /// Construct a date from year/month/day components, validating ranges.
+    pub fn new(year: i32, month: u32, day: u32) -> Result<Date, DateError> {
+        if !(1..=9999).contains(&year) {
+            return Err(DateError::YearOutOfRange(year));
+        }
+        if !(1..=12).contains(&month) {
+            return Err(DateError::MonthOutOfRange(month));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError::DayOutOfRange { year, month, day });
+        }
+        Ok(Date { year: year as i16, month: month as u8, day: day as u8 })
+    }
+
+    /// Year component (`1..=9999`).
+    pub fn year(self) -> i32 {
+        self.year as i32
+    }
+
+    /// Month component (`1..=12`).
+    pub fn month(self) -> u32 {
+        self.month as u32
+    }
+
+    /// Day-of-month component (`1..=31`).
+    pub fn day(self) -> u32 {
+        self.day as u32
+    }
+
+    /// Proleptic-Gregorian ordinal: days since 0001-01-01, where that epoch
+    /// date itself has ordinal `1` (compatible with Python's
+    /// `date.toordinal`).
+    pub fn to_ordinal(self) -> i64 {
+        let mut n = days_before_year(self.year());
+        n += DAYS_BEFORE_MONTH[self.month as usize] as i64;
+        if self.month > 2 && is_leap(self.year()) {
+            n += 1;
+        }
+        n + self.day as i64
+    }
+
+    /// Inverse of [`Date::to_ordinal`]. Returns `None` outside the
+    /// supported range.
+    pub fn from_ordinal(ordinal: i64) -> Option<Date> {
+        if !(1..=Date::MAX.to_ordinal()).contains(&ordinal) {
+            return None;
+        }
+        // 400-year Gregorian cycle = 146_097 days.
+        let mut n = ordinal - 1;
+        let n400 = n / 146_097;
+        n %= 146_097;
+        let mut year = (n400 * 400 + 1) as i32;
+        // Walk years; at most 400 iterations, but narrow first by centuries.
+        let n100 = (n / 36_524).min(3);
+        n -= n100 * 36_524;
+        year += (n100 * 100) as i32;
+        let n4 = (n / 1461).min(24);
+        n -= n4 * 1461;
+        year += (n4 * 4) as i32;
+        loop {
+            let dy = days_in_year(year);
+            if n < dy {
+                break;
+            }
+            n -= dy;
+            year += 1;
+        }
+        // `n` is now the zero-based day-of-year.
+        let leap = is_leap(year);
+        let mut month = 1u32;
+        loop {
+            let mut dm = DAYS_IN_MONTH[month as usize] as i64;
+            if month == 2 && leap {
+                dm += 1;
+            }
+            if n < dm {
+                break;
+            }
+            n -= dm;
+            month += 1;
+        }
+        Some(Date { year: year as i16, month: month as u8, day: (n + 1) as u8 })
+    }
+
+    /// One day later; saturates at [`Date::MAX`].
+    pub fn succ(self) -> Date {
+        Date::from_ordinal(self.to_ordinal() + 1).unwrap_or(Date::MAX)
+    }
+
+    /// One day earlier; saturates at [`Date::MIN`].
+    pub fn pred(self) -> Date {
+        Date::from_ordinal(self.to_ordinal() - 1).unwrap_or(Date::MIN)
+    }
+
+    /// Day of the week (0001-01-01 was a Monday in the proleptic calendar).
+    pub fn weekday(self) -> Weekday {
+        match (self.to_ordinal() - 1).rem_euclid(7) {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// Zero-based fractional position of this date within its year, in
+    /// `[0, 1)`. Useful for plotting timelines with a continuous x-axis.
+    pub fn year_fraction(self) -> f64 {
+        let jan1 = Date::new(self.year(), 1, 1).expect("year already validated");
+        (self.to_ordinal() - jan1.to_ordinal()) as f64 / days_in_year(self.year()) as f64
+    }
+
+    /// The date as a continuous decimal year (e.g. 2020-04-01 → ~2020.249).
+    pub fn decimal_year(self) -> f64 {
+        self.year() as f64 + self.year_fraction()
+    }
+
+    /// Add `days` (may be negative), saturating at the supported range.
+    pub fn add_days(self, days: i64) -> Date {
+        let o = self.to_ordinal().saturating_add(days);
+        if o < 1 {
+            Date::MIN
+        } else {
+            Date::from_ordinal(o).unwrap_or(Date::MAX)
+        }
+    }
+
+    /// ISO-8601 `YYYY-MM-DD`.
+    pub fn to_iso(self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// FCC ULS style `MM/DD/YYYY`.
+    pub fn to_fcc(self) -> String {
+        format!("{:02}/{:02}/{:04}", self.month, self.day, self.year)
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({})", self.to_iso())
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_iso())
+    }
+}
+
+impl Sub for Date {
+    type Output = i64;
+
+    /// Number of days from `rhs` to `self` (positive when `self` is later).
+    fn sub(self, rhs: Date) -> i64 {
+        self.to_ordinal() - rhs.to_ordinal()
+    }
+}
+
+impl Add<i64> for Date {
+    type Output = Date;
+
+    fn add(self, days: i64) -> Date {
+        self.add_days(days)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_ordinal_is_one() {
+        assert_eq!(Date::new(1, 1, 1).unwrap().to_ordinal(), 1);
+    }
+
+    #[test]
+    fn known_ordinals_match_python_toordinal() {
+        // Values computed with CPython's datetime.date.toordinal.
+        assert_eq!(Date::new(2020, 4, 1).unwrap().to_ordinal(), 737_516);
+        assert_eq!(Date::new(2013, 1, 1).unwrap().to_ordinal(), 734_869);
+        assert_eq!(Date::new(2000, 3, 1).unwrap().to_ordinal(), 730_180);
+        assert_eq!(Date::new(1970, 1, 1).unwrap().to_ordinal(), 719_163);
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(is_leap(2016));
+        assert!(is_leap(2020));
+        assert!(!is_leap(1900));
+        assert!(!is_leap(2019));
+        assert!(!is_leap(2100));
+    }
+
+    #[test]
+    fn february_lengths() {
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+        assert!(Date::new(2020, 2, 29).is_ok());
+        assert!(Date::new(2019, 2, 29).is_err());
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Date::new(0, 1, 1).is_err());
+        assert!(Date::new(10_000, 1, 1).is_err());
+        assert!(Date::new(2020, 0, 1).is_err());
+        assert!(Date::new(2020, 13, 1).is_err());
+        assert!(Date::new(2020, 4, 31).is_err());
+        assert!(Date::new(2020, 4, 0).is_err());
+    }
+
+    #[test]
+    fn ordinal_round_trip_over_paper_era() {
+        let start = Date::new(2011, 1, 1).unwrap().to_ordinal();
+        let end = Date::new(2021, 12, 31).unwrap().to_ordinal();
+        for o in start..=end {
+            let d = Date::from_ordinal(o).expect("in range");
+            assert_eq!(d.to_ordinal(), o, "round trip failed at {d}");
+        }
+    }
+
+    #[test]
+    fn from_ordinal_rejects_out_of_range() {
+        assert_eq!(Date::from_ordinal(0), None);
+        assert_eq!(Date::from_ordinal(-5), None);
+        assert_eq!(Date::from_ordinal(Date::MAX.to_ordinal() + 1), None);
+    }
+
+    #[test]
+    fn date_subtraction_counts_days() {
+        let a = Date::new(2020, 4, 1).unwrap();
+        let b = Date::new(2013, 1, 1).unwrap();
+        assert_eq!(a - b, 2647);
+        assert_eq!(b - a, -2647);
+    }
+
+    #[test]
+    fn succ_pred_cross_boundaries() {
+        let d = Date::new(2019, 12, 31).unwrap();
+        assert_eq!(d.succ(), Date::new(2020, 1, 1).unwrap());
+        assert_eq!(Date::new(2020, 3, 1).unwrap().pred(), Date::new(2020, 2, 29).unwrap());
+        assert_eq!(Date::MAX.succ(), Date::MAX);
+        assert_eq!(Date::MIN.pred(), Date::MIN);
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        // 2020-04-01 was a Wednesday.
+        assert_eq!(Date::new(2020, 4, 1).unwrap().weekday(), Weekday::Wednesday);
+        // 2000-01-01 was a Saturday.
+        assert_eq!(Date::new(2000, 1, 1).unwrap().weekday(), Weekday::Saturday);
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::new(2015, 6, 17).unwrap();
+        let b = Date::new(2015, 6, 18).unwrap();
+        let c = Date::new(2016, 1, 1).unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn decimal_year_examples() {
+        let jan1 = Date::new(2020, 1, 1).unwrap();
+        assert!((jan1.decimal_year() - 2020.0).abs() < 1e-12);
+        let apr1 = Date::new(2020, 4, 1).unwrap();
+        // 31+29+31 = 91 days into a 366-day year.
+        assert!((apr1.decimal_year() - (2020.0 + 91.0 / 366.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_days_saturates() {
+        assert_eq!(Date::MAX.add_days(10), Date::MAX);
+        assert_eq!(Date::MIN.add_days(-10), Date::MIN);
+        let d = Date::new(2020, 2, 28).unwrap();
+        assert_eq!(d.add_days(2), Date::new(2020, 3, 1).unwrap());
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Date::new(2020, 4, 1).unwrap();
+        assert_eq!(d.to_iso(), "2020-04-01");
+        assert_eq!(d.to_fcc(), "04/01/2020");
+        assert_eq!(format!("{d}"), "2020-04-01");
+        assert_eq!(format!("{d:?}"), "Date(2020-04-01)");
+    }
+}

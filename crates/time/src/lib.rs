@@ -1,0 +1,34 @@
+//! # hft-time
+//!
+//! Minimal civil-date support for reasoning about FCC license timelines.
+//!
+//! FCC Universal Licensing System (ULS) records carry *dates only* (grant,
+//! cancellation, expiration), formatted `MM/DD/YYYY`. Reconstructing a
+//! network "as of" an arbitrary date therefore needs nothing more than a
+//! total order on civil dates plus day arithmetic for timelines — no time
+//! zones, no clocks. This crate provides exactly that, from scratch, on the
+//! proleptic Gregorian calendar.
+//!
+//! The central type is [`Date`]; its canonical scalar form is the
+//! [`Date::to_ordinal`] day number (days since 0001-01-01 in the proleptic
+//! Gregorian calendar, with that epoch having ordinal `1`, matching Python's
+//! `datetime.date.toordinal`, which the original paper's tooling used).
+//!
+//! ```
+//! use hft_time::Date;
+//! let granted = Date::parse_fcc("06/17/2015").unwrap();
+//! let asof = Date::new(2020, 4, 1).unwrap();
+//! assert!(granted <= asof);
+//! assert_eq!(asof - granted, 1750); // days elapsed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod date;
+mod parse;
+mod range;
+
+pub use date::{Date, DateError, Weekday};
+pub use parse::ParseDateError;
+pub use range::{paper_sample_dates, DateRange, YearIter};

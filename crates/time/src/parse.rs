@@ -1,0 +1,116 @@
+//! Parsing of the date formats found in FCC ULS exports and our own files.
+
+use crate::date::Date;
+use core::fmt;
+
+/// Error from parsing a textual date.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseDateError {
+    /// The string did not match the expected shape (separators/lengths).
+    Malformed(String),
+    /// Components parsed but formed an impossible calendar date.
+    Invalid(String),
+}
+
+impl fmt::Display for ParseDateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDateError::Malformed(s) => write!(f, "malformed date string {s:?}"),
+            ParseDateError::Invalid(s) => write!(f, "impossible calendar date {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseDateError {}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+impl Date {
+    /// Parse the FCC ULS `MM/DD/YYYY` format.
+    ///
+    /// ULS exports occasionally omit leading zeros (`6/3/2015`); both forms
+    /// are accepted. Empty strings are *not* accepted here — ULS uses the
+    /// empty field to mean "no such event", which callers model as
+    /// `Option<Date>` before reaching this parser.
+    pub fn parse_fcc(s: &str) -> Result<Date, ParseDateError> {
+        let mut it = s.split('/');
+        let (m, d, y) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(m), Some(d), Some(y), None) => (m, d, y),
+            _ => return Err(ParseDateError::Malformed(s.to_string())),
+        };
+        let (m, d, y) = match (parse_u32(m), parse_u32(d), parse_u32(y)) {
+            (Some(m), Some(d), Some(y)) if y <= 9999 => (m, d, y),
+            _ => return Err(ParseDateError::Malformed(s.to_string())),
+        };
+        Date::new(y as i32, m, d).map_err(|_| ParseDateError::Invalid(s.to_string()))
+    }
+
+    /// Parse ISO-8601 `YYYY-MM-DD`.
+    pub fn parse_iso(s: &str) -> Result<Date, ParseDateError> {
+        let mut it = s.split('-');
+        let (y, m, d) = match (it.next(), it.next(), it.next(), it.next()) {
+            (Some(y), Some(m), Some(d), None) => (y, m, d),
+            _ => return Err(ParseDateError::Malformed(s.to_string())),
+        };
+        if y.len() != 4 || m.len() != 2 || d.len() != 2 {
+            return Err(ParseDateError::Malformed(s.to_string()));
+        }
+        let (y, m, d) = match (parse_u32(y), parse_u32(m), parse_u32(d)) {
+            (Some(y), Some(m), Some(d)) => (y, m, d),
+            _ => return Err(ParseDateError::Malformed(s.to_string())),
+        };
+        Date::new(y as i32, m, d).map_err(|_| ParseDateError::Invalid(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_zero_padded() {
+        assert_eq!(Date::parse_fcc("04/01/2020").unwrap(), Date::new(2020, 4, 1).unwrap());
+    }
+
+    #[test]
+    fn fcc_unpadded() {
+        assert_eq!(Date::parse_fcc("6/3/2015").unwrap(), Date::new(2015, 6, 3).unwrap());
+    }
+
+    #[test]
+    fn fcc_rejects_garbage() {
+        for s in ["", "04/01", "04/01/2020/9", "aa/bb/cccc", "04-01-2020", "4//2020", "04/01/99999"] {
+            assert!(matches!(Date::parse_fcc(s), Err(ParseDateError::Malformed(_))), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fcc_rejects_impossible_dates() {
+        for s in ["02/30/2020", "13/01/2020", "00/10/2020", "06/00/2019"] {
+            assert!(matches!(Date::parse_fcc(s), Err(ParseDateError::Invalid(_))), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn iso_round_trip() {
+        let d = Date::new(2016, 1, 1).unwrap();
+        assert_eq!(Date::parse_iso(&d.to_iso()).unwrap(), d);
+    }
+
+    #[test]
+    fn iso_requires_padding() {
+        assert!(Date::parse_iso("2016-1-1").is_err());
+        assert!(Date::parse_iso("16-01-01").is_err());
+    }
+
+    #[test]
+    fn fcc_round_trip() {
+        let d = Date::new(2013, 11, 30).unwrap();
+        assert_eq!(Date::parse_fcc(&d.to_fcc()).unwrap(), d);
+    }
+}

@@ -1,0 +1,164 @@
+//! Date ranges and sampling helpers for longitudinal analyses.
+
+use crate::date::Date;
+
+/// A half-open range of dates `[start, end)`, mirroring how a license is
+/// active from its grant date up to (but excluding) its cancellation or
+/// termination date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DateRange {
+    /// Inclusive start.
+    pub start: Date,
+    /// Exclusive end; `None` means open-ended ("still active").
+    pub end: Option<Date>,
+}
+
+impl DateRange {
+    /// A range active from `start` with no scheduled end.
+    pub fn open(start: Date) -> DateRange {
+        DateRange { start, end: None }
+    }
+
+    /// A bounded range `[start, end)`. Returns `None` when `end <= start`
+    /// (an empty or inverted range, which a caller almost certainly did not
+    /// intend for a license lifetime).
+    pub fn bounded(start: Date, end: Date) -> Option<DateRange> {
+        (end > start).then_some(DateRange { start, end: Some(end) })
+    }
+
+    /// Whether `date` falls inside the range.
+    pub fn contains(&self, date: Date) -> bool {
+        date >= self.start && self.end.is_none_or(|e| date < e)
+    }
+
+    /// Length in days, or `None` if open-ended.
+    pub fn days(&self) -> Option<i64> {
+        self.end.map(|e| e - self.start)
+    }
+
+    /// Intersection of two ranges, or `None` when disjoint/empty.
+    pub fn intersect(&self, other: &DateRange) -> Option<DateRange> {
+        let start = self.start.max(other.start);
+        let end = match (self.end, other.end) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        match end {
+            Some(e) if e <= start => None,
+            e => Some(DateRange { start, end: e }),
+        }
+    }
+}
+
+/// Iterator over January-1st sample points for each year in `start..=end`,
+/// the sampling the paper uses for its longitudinal figures (Figs 1 & 2).
+#[derive(Debug, Clone)]
+pub struct YearIter {
+    next_year: i32,
+    last_year: i32,
+}
+
+impl YearIter {
+    /// Sample points on January 1st of every year in `start_year..=end_year`.
+    pub fn new(start_year: i32, end_year: i32) -> YearIter {
+        YearIter { next_year: start_year, last_year: end_year }
+    }
+}
+
+impl Iterator for YearIter {
+    type Item = Date;
+
+    fn next(&mut self) -> Option<Date> {
+        if self.next_year > self.last_year {
+            return None;
+        }
+        let d = Date::new(self.next_year, 1, 1).ok()?;
+        self.next_year += 1;
+        Some(d)
+    }
+}
+
+/// The exact sampling used throughout the paper: January 1st of 2013..2019
+/// plus the paper's snapshot date, April 1st 2020.
+pub fn paper_sample_dates() -> Vec<Date> {
+    let mut v: Vec<Date> = YearIter::new(2013, 2020).collect();
+    v.push(Date::new(2020, 4, 1).expect("static date"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    #[test]
+    fn open_range_contains_everything_after_start() {
+        let r = DateRange::open(d(2015, 6, 1));
+        assert!(!r.contains(d(2015, 5, 31)));
+        assert!(r.contains(d(2015, 6, 1)));
+        assert!(r.contains(d(2099, 1, 1)));
+        assert_eq!(r.days(), None);
+    }
+
+    #[test]
+    fn bounded_range_is_half_open() {
+        let r = DateRange::bounded(d(2013, 1, 1), d(2018, 1, 1)).unwrap();
+        assert!(r.contains(d(2013, 1, 1)));
+        assert!(r.contains(d(2017, 12, 31)));
+        assert!(!r.contains(d(2018, 1, 1)));
+        assert_eq!(r.days(), Some(1826));
+    }
+
+    #[test]
+    fn bounded_rejects_empty_and_inverted() {
+        assert!(DateRange::bounded(d(2015, 1, 1), d(2015, 1, 1)).is_none());
+        assert!(DateRange::bounded(d(2016, 1, 1), d(2015, 1, 1)).is_none());
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = DateRange::bounded(d(2013, 1, 1), d(2016, 1, 1)).unwrap();
+        let b = DateRange::bounded(d(2015, 1, 1), d(2020, 1, 1)).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.start, d(2015, 1, 1));
+        assert_eq!(i.end, Some(d(2016, 1, 1)));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = DateRange::bounded(d(2013, 1, 1), d(2014, 1, 1)).unwrap();
+        let b = DateRange::bounded(d(2014, 1, 1), d(2015, 1, 1)).unwrap();
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn intersect_with_open() {
+        let a = DateRange::open(d(2015, 1, 1));
+        let b = DateRange::bounded(d(2010, 1, 1), d(2016, 1, 1)).unwrap();
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i.start, d(2015, 1, 1));
+        assert_eq!(i.end, Some(d(2016, 1, 1)));
+        let c = DateRange::open(d(2020, 1, 1));
+        assert!(c.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn year_iter_yields_january_firsts() {
+        let v: Vec<Date> = YearIter::new(2013, 2016).collect();
+        assert_eq!(v, vec![d(2013, 1, 1), d(2014, 1, 1), d(2015, 1, 1), d(2016, 1, 1)]);
+    }
+
+    #[test]
+    fn paper_sampling_matches_figures() {
+        let v = paper_sample_dates();
+        assert_eq!(v.len(), 9);
+        assert_eq!(v[0], d(2013, 1, 1));
+        assert_eq!(v[7], d(2020, 1, 1));
+        assert_eq!(v[8], d(2020, 4, 1));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for civil-date invariants.
+
+use hft_time::{Date, DateRange};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary valid dates across the full supported range.
+fn arb_date() -> impl Strategy<Value = Date> {
+    (1i64..=Date::MAX.to_ordinal()).prop_map(|o| Date::from_ordinal(o).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn ordinal_round_trip(d in arb_date()) {
+        prop_assert_eq!(Date::from_ordinal(d.to_ordinal()).unwrap(), d);
+    }
+
+    #[test]
+    fn ordinal_is_monotone(a in arb_date(), b in arb_date()) {
+        prop_assert_eq!(a.cmp(&b), a.to_ordinal().cmp(&b.to_ordinal()));
+    }
+
+    #[test]
+    fn succ_increments_ordinal(d in arb_date()) {
+        prop_assume!(d < Date::MAX);
+        prop_assert_eq!(d.succ().to_ordinal(), d.to_ordinal() + 1);
+        prop_assert_eq!(d.succ().pred(), d);
+    }
+
+    #[test]
+    fn iso_text_round_trip(d in arb_date()) {
+        prop_assert_eq!(Date::parse_iso(&d.to_iso()).unwrap(), d);
+    }
+
+    #[test]
+    fn fcc_text_round_trip(d in arb_date()) {
+        prop_assert_eq!(Date::parse_fcc(&d.to_fcc()).unwrap(), d);
+    }
+
+    #[test]
+    fn add_days_then_subtract_days(d in arb_date(), k in -3650i64..3650) {
+        let shifted = d.add_days(k);
+        // Only exact when no saturation occurred.
+        if shifted > Date::MIN && shifted < Date::MAX {
+            prop_assert_eq!(shifted - d, k);
+        }
+    }
+
+    #[test]
+    fn range_contains_respects_bounds(a in arb_date(), len in 1i64..5000, probe in arb_date()) {
+        let end = a.add_days(len);
+        prop_assume!(end > a);
+        let r = DateRange::bounded(a, end).unwrap();
+        prop_assert_eq!(r.contains(probe), probe >= a && probe < end);
+    }
+
+    #[test]
+    fn intersect_is_commutative(a in arb_date(), la in 1i64..4000, b in arb_date(), lb in 1i64..4000) {
+        let ra = DateRange::bounded(a, a.add_days(la));
+        let rb = DateRange::bounded(b, b.add_days(lb));
+        if let (Some(ra), Some(rb)) = (ra, rb) {
+            prop_assert_eq!(ra.intersect(&rb), rb.intersect(&ra));
+        }
+    }
+
+    #[test]
+    fn intersect_subset_of_both(a in arb_date(), la in 1i64..4000, b in arb_date(), lb in 1i64..4000, probe in arb_date()) {
+        let ra = DateRange::bounded(a, a.add_days(la));
+        let rb = DateRange::bounded(b, b.add_days(lb));
+        if let (Some(ra), Some(rb)) = (ra, rb) {
+            if let Some(i) = ra.intersect(&rb) {
+                if i.contains(probe) {
+                    prop_assert!(ra.contains(probe) && rb.contains(probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_year_within_year(d in arb_date()) {
+        let dy = d.decimal_year();
+        prop_assert!(dy >= d.year() as f64);
+        prop_assert!(dy < d.year() as f64 + 1.0);
+    }
+}

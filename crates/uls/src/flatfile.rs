@@ -1,0 +1,488 @@
+//! Pipe-delimited flat-file codec for license datasets.
+//!
+//! Modeled on the record-per-line, pipe-delimited structure of the real
+//! ULS daily dumps. Our dialect uses five record types:
+//!
+//! | Record | Fields |
+//! |--------|--------|
+//! | `HD`   | license id, call sign, service code, station class, grant, termination, cancellation |
+//! | `EN`   | license id, licensee name |
+//! | `LO`   | license id, location number, lat DMS, lon DMS, ground elevation m, structure height m |
+//! | `PA`   | license id, path number, tx location number, rx location number |
+//! | `FR`   | license id, path number, center frequency MHz |
+//!
+//! Dates are `MM/DD/YYYY`; an empty date field means "no such event".
+//! Records for one license are contiguous and `HD` comes first; the
+//! decoder enforces this. Blank lines and `#` comments are ignored.
+
+use crate::license::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite,
+};
+use core::fmt;
+use hft_geodesy::{Dms, LatLon};
+use hft_time::Date;
+use std::collections::HashMap;
+
+/// Error decoding a flat file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// 1-based line number the error was detected at.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "flat file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn fmt_date(d: Option<Date>) -> String {
+    d.map(|d| d.to_fcc()).unwrap_or_default()
+}
+
+/// Pipes cannot appear inside fields in this dialect; replaced with `/`
+/// on write (licensee names never legitimately contain pipes).
+fn escape(field: &str) -> String {
+    field.replace('|', "/")
+}
+
+/// Serialize licenses to the flat-file text format.
+pub fn encode(licenses: &[License]) -> String {
+    let mut out = String::new();
+    for lic in licenses {
+        out.push_str(&format!(
+            "HD|{}|{}|{}|{}|{}|{}|{}\n",
+            lic.id.0,
+            escape(&lic.call_sign.0),
+            lic.service.code(),
+            lic.station_class.code(),
+            lic.grant_date.to_fcc(),
+            fmt_date(lic.termination_date),
+            fmt_date(lic.cancellation_date),
+        ));
+        out.push_str(&format!("EN|{}|{}\n", lic.id.0, escape(&lic.licensee)));
+
+        // LO records: dedupe identical sites, numbering from 1.
+        let mut sites: Vec<TowerSite> = Vec::new();
+        let mut lo_records = String::new();
+        let mut pa_fr = String::new();
+        {
+            let mut site_no = |site: &TowerSite| -> usize {
+                if let Some(i) = sites.iter().position(|s| s == site) {
+                    return i + 1;
+                }
+                sites.push(*site);
+                let n = sites.len();
+                lo_records.push_str(&format!(
+                    "LO|{}|{}|{}|{}|{:.1}|{:.1}\n",
+                    lic.id.0,
+                    n,
+                    Dms::from_decimal_latitude(site.position.lat_deg()).to_uls(),
+                    Dms::from_decimal_longitude(site.position.lon_deg()).to_uls(),
+                    site.ground_elevation_m,
+                    site.structure_height_m,
+                ));
+                n
+            };
+            for (i, path) in lic.paths.iter().enumerate() {
+                let tx_no = site_no(&path.tx);
+                let rx_no = site_no(&path.rx);
+                pa_fr.push_str(&format!("PA|{}|{}|{}|{}\n", lic.id.0, i + 1, tx_no, rx_no));
+                for f in &path.frequencies {
+                    pa_fr.push_str(&format!(
+                        "FR|{}|{}|{:.5}\n",
+                        lic.id.0,
+                        i + 1,
+                        f.center_hz / 1.0e6
+                    ));
+                }
+            }
+        }
+        out.push_str(&lo_records);
+        out.push_str(&pa_fr);
+    }
+    out
+}
+
+/// `(tx location no, rx location no, frequencies MHz)` while assembling.
+type PendingPath = (usize, usize, Vec<f64>);
+
+/// A license being assembled from its records.
+struct Pending {
+    license: License,
+    locations: HashMap<usize, TowerSite>,
+    /// path number → endpoints and frequencies
+    paths: HashMap<usize, PendingPath>,
+}
+
+impl Pending {
+    fn finish(self, line: usize) -> Result<License, DecodeError> {
+        let mut lic = self.license;
+        let mut numbered: Vec<(usize, PendingPath)> = self.paths.into_iter().collect();
+        numbered.sort_by_key(|(n, _)| *n);
+        for (pn, (tx_no, rx_no, freqs)) in numbered {
+            let missing = |what: &str, no: usize| DecodeError {
+                line,
+                message: format!("license {} path {pn}: unknown {what} location {no}", lic.id),
+            };
+            let tx = *self.locations.get(&tx_no).ok_or_else(|| missing("tx", tx_no))?;
+            let rx = *self.locations.get(&rx_no).ok_or_else(|| missing("rx", rx_no))?;
+            if freqs.is_empty() {
+                return Err(DecodeError {
+                    line,
+                    message: format!("license {} path {pn}: no FR records", lic.id),
+                });
+            }
+            lic.paths.push(MicrowavePath {
+                tx,
+                rx,
+                frequencies: freqs
+                    .into_iter()
+                    .map(|mhz| FrequencyAssignment { center_hz: mhz * 1.0e6 })
+                    .collect(),
+            });
+        }
+        Ok(lic)
+    }
+}
+
+fn parse_date_opt(s: &str, line: usize) -> Result<Option<Date>, DecodeError> {
+    if s.is_empty() {
+        return Ok(None);
+    }
+    Date::parse_fcc(s).map(Some).map_err(|e| DecodeError { line, message: e.to_string() })
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, DecodeError> {
+    s.parse().map_err(|_| DecodeError { line, message: format!("bad {what}: {s:?}") })
+}
+
+fn parse_dms(s: &str, line: usize) -> Result<f64, DecodeError> {
+    Dms::parse_uls(s)
+        .map(|d| d.to_decimal_degrees())
+        .map_err(|e| DecodeError { line, message: e.to_string() })
+}
+
+fn expect_fields(fields: &[&str], n: usize, line: usize) -> Result<(), DecodeError> {
+    if fields.len() != n {
+        return Err(DecodeError {
+            line,
+            message: format!("{} expects {n} fields, got {}", fields[0], fields.len()),
+        });
+    }
+    Ok(())
+}
+
+/// Parse the flat-file text format back into licenses, in file order.
+pub fn decode(text: &str) -> Result<Vec<License>, DecodeError> {
+    let mut out: Vec<License> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut last_line = 0usize;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        last_line = line;
+        // Strip only a CR from CRLF files; trailing spaces are significant
+        // (they can be part of a licensee-name field).
+        let raw = raw.strip_suffix('\r').unwrap_or(raw);
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = raw.split('|').collect();
+        match fields[0] {
+            "HD" => {
+                expect_fields(&fields, 8, line)?;
+                if let Some(p) = pending.take() {
+                    out.push(p.finish(line)?);
+                }
+                pending = Some(Pending {
+                    license: License {
+                        id: LicenseId(parse_num(fields[1], "license id", line)?),
+                        call_sign: CallSign(fields[2].to_string()),
+                        licensee: String::new(),
+                        service: RadioService::from_code(fields[3]),
+                        station_class: StationClass::from_code(fields[4]),
+                        grant_date: Date::parse_fcc(fields[5])
+                            .map_err(|e| DecodeError { line, message: format!("grant date: {e}") })?,
+                        termination_date: parse_date_opt(fields[6], line)?,
+                        cancellation_date: parse_date_opt(fields[7], line)?,
+                        paths: Vec::new(),
+                    },
+                    locations: HashMap::new(),
+                    paths: HashMap::new(),
+                });
+            }
+            "EN" => {
+                expect_fields(&fields, 3, line)?;
+                let p = pending.as_mut().ok_or_else(|| DecodeError {
+                    line,
+                    message: "EN record before any HD".into(),
+                })?;
+                p.license.licensee = fields[2].to_string();
+            }
+            "LO" => {
+                expect_fields(&fields, 7, line)?;
+                let p = pending.as_mut().ok_or_else(|| DecodeError {
+                    line,
+                    message: "LO record before any HD".into(),
+                })?;
+                let no: usize = parse_num(fields[2], "location number", line)?;
+                let lat = parse_dms(fields[3], line)?;
+                let lon = parse_dms(fields[4], line)?;
+                let position = LatLon::new(lat, lon).map_err(|e| DecodeError {
+                    line,
+                    message: e.to_string(),
+                })?;
+                p.locations.insert(
+                    no,
+                    TowerSite {
+                        position,
+                        ground_elevation_m: parse_num(fields[5], "ground elevation", line)?,
+                        structure_height_m: parse_num(fields[6], "structure height", line)?,
+                    },
+                );
+            }
+            "PA" => {
+                expect_fields(&fields, 5, line)?;
+                let p = pending.as_mut().ok_or_else(|| DecodeError {
+                    line,
+                    message: "PA record before any HD".into(),
+                })?;
+                let pn: usize = parse_num(fields[2], "path number", line)?;
+                let tx: usize = parse_num(fields[3], "tx location", line)?;
+                let rx: usize = parse_num(fields[4], "rx location", line)?;
+                if p.paths.insert(pn, (tx, rx, Vec::new())).is_some() {
+                    return Err(DecodeError {
+                        line,
+                        message: format!("duplicate PA record for path {pn}"),
+                    });
+                }
+            }
+            "FR" => {
+                expect_fields(&fields, 4, line)?;
+                let p = pending.as_mut().ok_or_else(|| DecodeError {
+                    line,
+                    message: "FR record before any HD".into(),
+                })?;
+                let pn: usize = parse_num(fields[2], "path number", line)?;
+                let mhz: f64 = parse_num(fields[3], "frequency", line)?;
+                if !(1000.0..=100_000.0).contains(&mhz) {
+                    return Err(DecodeError {
+                        line,
+                        message: format!("frequency {mhz} MHz outside plausible microwave range"),
+                    });
+                }
+                let entry = p.paths.get_mut(&pn).ok_or_else(|| DecodeError {
+                    line,
+                    message: format!("FR record for unknown path {pn}"),
+                })?;
+                entry.2.push(mhz);
+            }
+            other => {
+                return Err(DecodeError { line, message: format!("unknown record type {other:?}") });
+            }
+        }
+    }
+    if let Some(p) = pending.take() {
+        out.push(p.finish(last_line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn site(lat: f64, lon: f64) -> TowerSite {
+        TowerSite {
+            position: LatLon::new(lat, lon).unwrap(),
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        }
+    }
+
+    fn sample() -> License {
+        License {
+            id: LicenseId(7),
+            call_sign: CallSign("WQAB007".into()),
+            licensee: "Webline Holdings".into(),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: d(2013, 2, 14),
+            termination_date: Some(d(2023, 2, 14)),
+            cancellation_date: None,
+            paths: vec![
+                MicrowavePath {
+                    tx: site(41.76, -88.17),
+                    rx: site(41.72, -87.69),
+                    frequencies: vec![
+                        FrequencyAssignment { center_hz: 6.19e9 },
+                        FrequencyAssignment { center_hz: 6.37e9 },
+                    ],
+                },
+                MicrowavePath {
+                    tx: site(41.72, -87.69),
+                    rx: site(41.60, -87.20),
+                    frequencies: vec![FrequencyAssignment { center_hz: 6.25e9 }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_structure() {
+        let text = encode(&[sample()]);
+        let kinds: Vec<&str> = text.lines().map(|l| &l[..2]).collect();
+        // Shared middle tower is deduped: 3 LO records, not 4.
+        assert_eq!(kinds, vec!["HD", "EN", "LO", "LO", "LO", "PA", "FR", "FR", "PA", "FR"]);
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let orig = sample();
+        let text = encode(&[orig.clone()]);
+        let back = decode(&text).unwrap();
+        assert_eq!(back.len(), 1);
+        let b = &back[0];
+        assert_eq!(b.id, orig.id);
+        assert_eq!(b.call_sign, orig.call_sign);
+        assert_eq!(b.licensee, orig.licensee);
+        assert_eq!(b.service, orig.service);
+        assert_eq!(b.station_class, orig.station_class);
+        assert_eq!(b.grant_date, orig.grant_date);
+        assert_eq!(b.termination_date, orig.termination_date);
+        assert_eq!(b.cancellation_date, orig.cancellation_date);
+        assert_eq!(b.paths.len(), 2);
+        // Coordinates survive within DMS text resolution (~0.1 arcsec ≈ 3 m).
+        for (bp, op) in b.paths.iter().zip(&orig.paths) {
+            assert!((bp.tx.position.lat_deg() - op.tx.position.lat_deg()).abs() < 1e-4);
+            assert!((bp.rx.position.lon_deg() - op.rx.position.lon_deg()).abs() < 1e-4);
+            assert_eq!(bp.frequencies.len(), op.frequencies.len());
+            for (bf, of) in bp.frequencies.iter().zip(&op.frequencies) {
+                assert!((bf.center_hz - of.center_hz).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_multiple_licenses() {
+        let mut second = sample();
+        second.id = LicenseId(8);
+        second.licensee = "New Line Networks".into();
+        second.cancellation_date = Some(d(2018, 1, 1));
+        let text = encode(&[sample(), second.clone()]);
+        let back = decode(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].licensee, "New Line Networks");
+        assert_eq!(back[1].cancellation_date, Some(d(2018, 1, 1)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = format!("# dataset header\n\n{}", encode(&[sample()]));
+        assert_eq!(decode(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn pipe_in_name_escaped() {
+        let mut lic = sample();
+        lic.licensee = "Evil|Name LLC".into();
+        let text = encode(&[lic]);
+        let back = decode(&text).unwrap();
+        assert_eq!(back[0].licensee, "Evil/Name LLC");
+    }
+
+    #[test]
+    fn decode_rejects_orphan_records() {
+        assert!(decode("EN|1|Nobody\n").is_err());
+        assert!(decode("LO|1|1|41-0-0.0 N|88-0-0.0 W|230.0|110.0\n").is_err());
+        assert!(decode("PA|1|1|1|2\n").is_err());
+        assert!(decode("FR|1|1|6000.0\n").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_record() {
+        let text = format!("{}XX|1|foo\n", encode(&[sample()]));
+        let err = decode(&text).unwrap_err();
+        assert!(err.message.contains("unknown record type"));
+    }
+
+    #[test]
+    fn decode_rejects_bad_field_counts() {
+        assert!(decode("HD|1|W|MG|FXO|01/01/2015|\n").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_path_with_unknown_location() {
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+PA|1|1|1|9
+FR|1|1|6000.0
+";
+        let err = decode(text).unwrap_err();
+        assert!(err.message.contains("unknown rx location"), "{}", err.message);
+    }
+
+    #[test]
+    fn decode_rejects_path_without_frequencies() {
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+LO|1|2|41-10-00.0 N|87-30-00.0 W|230.0|110.0
+PA|1|1|1|2
+";
+        let err = decode(text).unwrap_err();
+        assert!(err.message.contains("no FR records"));
+    }
+
+    #[test]
+    fn decode_rejects_implausible_frequency() {
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+LO|1|2|41-10-00.0 N|87-30-00.0 W|230.0|110.0
+PA|1|1|1|2
+FR|1|1|42.0
+";
+        let err = decode(text).unwrap_err();
+        assert!(err.message.contains("outside plausible"));
+    }
+
+    #[test]
+    fn decode_rejects_duplicate_path_number() {
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+LO|1|2|41-10-00.0 N|87-30-00.0 W|230.0|110.0
+PA|1|1|1|2
+PA|1|1|2|1
+FR|1|1|6000.0
+";
+        assert!(decode(text).unwrap_err().message.contains("duplicate PA"));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|1|garbage|88-00-00.0 W|230.0|110.0
+";
+        let err = decode(text).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

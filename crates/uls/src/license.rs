@@ -1,0 +1,344 @@
+//! The ULS license record schema used by network reconstruction.
+
+use core::fmt;
+use hft_geodesy::LatLon;
+use hft_time::Date;
+
+/// ULS unique license system identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LicenseId(pub u64);
+
+impl fmt::Display for LicenseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:08}", self.0)
+    }
+}
+
+/// An FCC call sign, e.g. `WQXX123`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallSign(pub String);
+
+impl fmt::Display for CallSign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Radio service code of the license.
+///
+/// `MG` (Microwave Industrial/Business Pool) is the service under which
+/// the corridor's HFT links are licensed; the variants below are the ones
+/// that appear near the corridor and act as filter noise in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum RadioService {
+    /// Microwave Industrial/Business Pool (the HFT service).
+    MG,
+    /// Common-carrier fixed point-to-point microwave.
+    CF,
+    /// Broadcast auxiliary microwave.
+    AF,
+    /// Any other service code, preserved verbatim.
+    Other(String),
+}
+
+impl RadioService {
+    /// Two-letter code as it appears in ULS exports.
+    pub fn code(&self) -> &str {
+        match self {
+            RadioService::MG => "MG",
+            RadioService::CF => "CF",
+            RadioService::AF => "AF",
+            RadioService::Other(s) => s,
+        }
+    }
+
+    /// Parse a service code.
+    pub fn from_code(code: &str) -> RadioService {
+        match code {
+            "MG" => RadioService::MG,
+            "CF" => RadioService::CF,
+            "AF" => RadioService::AF,
+            other => RadioService::Other(other.to_string()),
+        }
+    }
+}
+
+/// Station class assigned to the license's stations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StationClass {
+    /// Operational fixed (the HFT towers).
+    FXO,
+    /// Fixed base.
+    FB,
+    /// Mobile.
+    MO,
+    /// Any other class, preserved verbatim.
+    Other(String),
+}
+
+impl StationClass {
+    /// Class code as it appears in ULS exports.
+    pub fn code(&self) -> &str {
+        match self {
+            StationClass::FXO => "FXO",
+            StationClass::FB => "FB",
+            StationClass::MO => "MO",
+            StationClass::Other(s) => s,
+        }
+    }
+
+    /// Parse a class code.
+    pub fn from_code(code: &str) -> StationClass {
+        match code {
+            "FXO" => StationClass::FXO,
+            "FB" => StationClass::FB,
+            "MO" => StationClass::MO,
+            other => StationClass::Other(other.to_string()),
+        }
+    }
+}
+
+/// Lifecycle status of a license at some reference date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LicenseStatus {
+    /// Granted and neither cancelled nor terminated.
+    Active,
+    /// Cancelled by licensor or licensee.
+    Cancelled,
+    /// Reached its termination date without renewal.
+    Terminated,
+    /// Grant date in the future of the reference date.
+    NotYetGranted,
+}
+
+/// A tower site referenced by a license.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TowerSite {
+    /// WGS-84 position.
+    pub position: LatLon,
+    /// Ground elevation above mean sea level, meters.
+    pub ground_elevation_m: f64,
+    /// Height of the supporting structure above ground, meters.
+    pub structure_height_m: f64,
+}
+
+impl TowerSite {
+    /// A site at `position` with typical midwest tower dimensions.
+    pub fn at(position: LatLon) -> TowerSite {
+        TowerSite { position, ground_elevation_m: 230.0, structure_height_m: 110.0 }
+    }
+
+    /// Height of the radio above mean sea level, meters.
+    pub fn radio_centerline_m(&self) -> f64 {
+        self.ground_elevation_m + self.structure_height_m
+    }
+}
+
+/// One frequency authorized on a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyAssignment {
+    /// Center frequency, Hz.
+    pub center_hz: f64,
+}
+
+impl FrequencyAssignment {
+    /// The frequency in GHz (the unit of the paper's Fig. 4b).
+    pub fn ghz(&self) -> f64 {
+        self.center_hz / 1.0e9
+    }
+}
+
+/// A licensed transmitter→receiver microwave path.
+///
+/// ULS licenses have one central transmit location and one or more
+/// receive locations; each `MicrowavePath` is one such pairing with its
+/// authorized frequencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicrowavePath {
+    /// Transmit site.
+    pub tx: TowerSite,
+    /// Receive site.
+    pub rx: TowerSite,
+    /// Authorized frequencies on this path (at least one).
+    pub frequencies: Vec<FrequencyAssignment>,
+}
+
+impl MicrowavePath {
+    /// Geodesic path length in meters.
+    pub fn length_m(&self) -> f64 {
+        self.tx.position.geodesic_distance_m(&self.rx.position)
+    }
+
+    /// Geodesic path length in kilometers.
+    pub fn length_km(&self) -> f64 {
+        self.length_m() / 1000.0
+    }
+}
+
+/// A ULS license record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct License {
+    /// Unique system identifier.
+    pub id: LicenseId,
+    /// Call sign.
+    pub call_sign: CallSign,
+    /// Licensee name exactly as filed (entities often file under shells;
+    /// see §2.2 "Uncovering real names" — we deliberately keep the filed
+    /// name, as the paper does).
+    pub licensee: String,
+    /// Radio service code.
+    pub service: RadioService,
+    /// Station class.
+    pub station_class: StationClass,
+    /// Grant date.
+    pub grant_date: Date,
+    /// Scheduled termination (expiration) date, if any.
+    pub termination_date: Option<Date>,
+    /// Cancellation date, if cancelled.
+    pub cancellation_date: Option<Date>,
+    /// The licensed microwave paths.
+    pub paths: Vec<MicrowavePath>,
+}
+
+impl License {
+    /// Lifecycle status of this license as of `date`.
+    pub fn status_on(&self, date: Date) -> LicenseStatus {
+        if date < self.grant_date {
+            return LicenseStatus::NotYetGranted;
+        }
+        if let Some(c) = self.cancellation_date {
+            if date >= c {
+                return LicenseStatus::Cancelled;
+            }
+        }
+        if let Some(t) = self.termination_date {
+            if date >= t {
+                return LicenseStatus::Terminated;
+            }
+        }
+        LicenseStatus::Active
+    }
+
+    /// Whether the license is active (granted, not cancelled/terminated)
+    /// as of `date` — the activity criterion of §2.3.
+    pub fn active_on(&self, date: Date) -> bool {
+        self.status_on(date) == LicenseStatus::Active
+    }
+
+    /// Every tower site the license references (tx and rx of every path).
+    pub fn sites(&self) -> impl Iterator<Item = &TowerSite> {
+        self.paths.iter().flat_map(|p| [&p.tx, &p.rx])
+    }
+
+    /// Whether any referenced site lies within `radius_km` of `center`.
+    pub fn within_radius(&self, center: &LatLon, radius_km: f64) -> bool {
+        self.sites()
+            .any(|s| s.position.geodesic_distance_m(center) <= radius_km * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn sample_license() -> License {
+        let tx = TowerSite::at(LatLon::new(41.76, -88.17).unwrap());
+        let rx = TowerSite::at(LatLon::new(41.70, -87.60).unwrap());
+        License {
+            id: LicenseId(42),
+            call_sign: CallSign("WQXX042".into()),
+            licensee: "New Line Networks".into(),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: d(2015, 6, 17),
+            termination_date: Some(d(2025, 6, 17)),
+            cancellation_date: None,
+            paths: vec![MicrowavePath {
+                tx,
+                rx,
+                frequencies: vec![FrequencyAssignment { center_hz: 11.2e9 }],
+            }],
+        }
+    }
+
+    #[test]
+    fn status_lifecycle() {
+        let mut lic = sample_license();
+        assert_eq!(lic.status_on(d(2015, 6, 16)), LicenseStatus::NotYetGranted);
+        assert_eq!(lic.status_on(d(2015, 6, 17)), LicenseStatus::Active);
+        assert_eq!(lic.status_on(d(2020, 4, 1)), LicenseStatus::Active);
+        assert_eq!(lic.status_on(d(2025, 6, 17)), LicenseStatus::Terminated);
+        lic.cancellation_date = Some(d(2018, 3, 1));
+        assert_eq!(lic.status_on(d(2018, 3, 1)), LicenseStatus::Cancelled);
+        assert_eq!(lic.status_on(d(2018, 2, 28)), LicenseStatus::Active);
+    }
+
+    #[test]
+    fn cancellation_beats_termination() {
+        let mut lic = sample_license();
+        lic.cancellation_date = Some(d(2026, 1, 1));
+        // After both dates, the cancellation is reported (it's checked first
+        // and reflects an affirmative action on the license).
+        assert_eq!(lic.status_on(d(2027, 1, 1)), LicenseStatus::Cancelled);
+    }
+
+    #[test]
+    fn active_on_is_half_open() {
+        let mut lic = sample_license();
+        lic.cancellation_date = Some(d(2018, 3, 1));
+        assert!(lic.active_on(d(2018, 2, 28)));
+        assert!(!lic.active_on(d(2018, 3, 1)));
+    }
+
+    #[test]
+    fn sites_enumerates_both_endpoints() {
+        let lic = sample_license();
+        assert_eq!(lic.sites().count(), 2);
+    }
+
+    #[test]
+    fn radius_check() {
+        let lic = sample_license();
+        let cme = LatLon::new(41.7625, -88.171233).unwrap();
+        assert!(lic.within_radius(&cme, 10.0));
+        let faraway = LatLon::new(35.0, -100.0).unwrap();
+        assert!(!lic.within_radius(&faraway, 10.0));
+    }
+
+    #[test]
+    fn path_length() {
+        let lic = sample_license();
+        let km = lic.paths[0].length_km();
+        assert!((40.0..55.0).contains(&km), "got {km}");
+    }
+
+    #[test]
+    fn frequency_units() {
+        let f = FrequencyAssignment { center_hz: 6.175e9 };
+        assert!((f.ghz() - 6.175).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_and_class_codes_round_trip() {
+        for code in ["MG", "CF", "AF", "ZZ"] {
+            assert_eq!(RadioService::from_code(code).code(), code);
+        }
+        for code in ["FXO", "FB", "MO", "XX"] {
+            assert_eq!(StationClass::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn radio_centerline() {
+        let s = TowerSite {
+            position: LatLon::new(41.0, -88.0).unwrap(),
+            ground_elevation_m: 200.0,
+            structure_height_m: 150.0,
+        };
+        assert_eq!(s.radio_centerline_m(), 350.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The simulated ULS portal: the four search interfaces of §2.1.
+
+use crate::license::{License, LicenseId, RadioService, StationClass};
+use hft_geodesy::LatLon;
+use std::collections::HashMap;
+
+/// The search interfaces the FCC Universal Licensing System exposes and
+/// the paper's scraper drives (§2.1): geographic, site-based, by licensee
+/// name, and by license id.
+///
+/// Implemented by [`UlsDatabase`]; defined as a trait to document the
+/// substitution boundary — the paper's tool talks to these interfaces
+/// over HTTP, ours talks to an in-memory corpus.
+pub trait UlsPortal {
+    /// Licenses with any site within `radius_km` of `center`
+    /// (the "Geographic Search").
+    fn geographic_search(&self, center: &LatLon, radius_km: f64) -> Vec<&License>;
+
+    /// Licenses matching a radio service code and station class
+    /// (the "Site License Search").
+    fn site_search(&self, service: &RadioService, class: &StationClass) -> Vec<&License>;
+
+    /// Licenses filed by `licensee` (exact name match, the "Basic Search").
+    fn licensee_search(&self, licensee: &str) -> Vec<&License>;
+
+    /// Full detail for one license (the "License Search" detail page).
+    fn license_detail(&self, id: LicenseId) -> Option<&License>;
+}
+
+/// In-memory license corpus with the [`UlsPortal`] interfaces plus a few
+/// bulk accessors used by reconstruction.
+#[derive(Debug, Clone, Default)]
+pub struct UlsDatabase {
+    licenses: Vec<License>,
+    by_id: HashMap<LicenseId, usize>,
+    by_licensee: HashMap<String, Vec<usize>>,
+}
+
+impl UlsDatabase {
+    /// An empty database.
+    pub fn new() -> UlsDatabase {
+        UlsDatabase::default()
+    }
+
+    /// Build from a license list.
+    ///
+    /// # Panics
+    /// Panics on duplicate license ids — a corpus invariant violation.
+    pub fn from_licenses(licenses: Vec<License>) -> UlsDatabase {
+        let mut db = UlsDatabase::new();
+        for lic in licenses {
+            db.insert(lic);
+        }
+        db
+    }
+
+    /// Insert one license.
+    ///
+    /// # Panics
+    /// Panics when the id is already present.
+    pub fn insert(&mut self, license: License) {
+        let idx = self.licenses.len();
+        let prev = self.by_id.insert(license.id, idx);
+        assert!(prev.is_none(), "duplicate license id {}", license.id);
+        self.by_licensee.entry(license.licensee.clone()).or_default().push(idx);
+        self.licenses.push(license);
+    }
+
+    /// Number of licenses.
+    pub fn len(&self) -> usize {
+        self.licenses.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.licenses.is_empty()
+    }
+
+    /// All licenses in insertion order.
+    pub fn licenses(&self) -> &[License] {
+        &self.licenses
+    }
+
+    /// All distinct licensee names, sorted.
+    pub fn licensees(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.by_licensee.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl UlsPortal for UlsDatabase {
+    fn geographic_search(&self, center: &LatLon, radius_km: f64) -> Vec<&License> {
+        self.licenses.iter().filter(|l| l.within_radius(center, radius_km)).collect()
+    }
+
+    fn site_search(&self, service: &RadioService, class: &StationClass) -> Vec<&License> {
+        self.licenses
+            .iter()
+            .filter(|l| &l.service == service && &l.station_class == class)
+            .collect()
+    }
+
+    fn licensee_search(&self, licensee: &str) -> Vec<&License> {
+        self.by_licensee
+            .get(licensee)
+            .map(|idxs| idxs.iter().map(|&i| &self.licenses[i]).collect())
+            .unwrap_or_default()
+    }
+
+    fn license_detail(&self, id: LicenseId) -> Option<&License> {
+        self.by_id.get(&id).map(|&i| &self.licenses[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::license::{CallSign, FrequencyAssignment, MicrowavePath, TowerSite};
+    use hft_time::Date;
+
+    fn lic(id: u64, licensee: &str, service: RadioService, lat: f64, lon: f64) -> License {
+        let tx = TowerSite::at(LatLon::new(lat, lon).unwrap());
+        let rx = TowerSite::at(LatLon::new(lat + 0.2, lon + 0.5).unwrap());
+        License {
+            id: LicenseId(id),
+            call_sign: CallSign(format!("WQ{id:05}")),
+            licensee: licensee.into(),
+            service,
+            station_class: StationClass::FXO,
+            grant_date: Date::new(2015, 1, 1).unwrap(),
+            termination_date: None,
+            cancellation_date: None,
+            paths: vec![MicrowavePath {
+                tx,
+                rx,
+                frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 }],
+            }],
+        }
+    }
+
+    fn db() -> UlsDatabase {
+        UlsDatabase::from_licenses(vec![
+            lic(1, "Alpha", RadioService::MG, 41.76, -88.17),
+            lic(2, "Alpha", RadioService::MG, 41.70, -87.60),
+            lic(3, "Beta", RadioService::MG, 41.76, -88.18),
+            lic(4, "Gamma", RadioService::CF, 41.76, -88.17),
+            lic(5, "Delta", RadioService::MG, 35.00, -100.00),
+        ])
+    }
+
+    #[test]
+    fn geographic_search_radius() {
+        let db = db();
+        let cme = LatLon::new(41.7625, -88.171233).unwrap();
+        let hits = db.geographic_search(&cme, 10.0);
+        let ids: Vec<u64> = hits.iter().map(|l| l.id.0).collect();
+        assert!(ids.contains(&1) && ids.contains(&3) && ids.contains(&4));
+        assert!(!ids.contains(&5));
+    }
+
+    #[test]
+    fn geographic_search_counts_rx_sites_too() {
+        let db = db();
+        // License 2's tx is ~50 km east of CME, but test around its rx site.
+        let near_rx = LatLon::new(41.90, -87.10).unwrap();
+        let hits = db.geographic_search(&near_rx, 15.0);
+        assert!(hits.iter().any(|l| l.id.0 == 2));
+    }
+
+    #[test]
+    fn site_search_filters_service() {
+        let db = db();
+        let hits = db.site_search(&RadioService::MG, &StationClass::FXO);
+        assert_eq!(hits.len(), 4);
+        assert!(hits.iter().all(|l| l.service == RadioService::MG));
+    }
+
+    #[test]
+    fn licensee_search_exact() {
+        let db = db();
+        assert_eq!(db.licensee_search("Alpha").len(), 2);
+        assert_eq!(db.licensee_search("Beta").len(), 1);
+        assert!(db.licensee_search("alpha").is_empty(), "match is exact, like the ULS");
+        assert!(db.licensee_search("Nobody").is_empty());
+    }
+
+    #[test]
+    fn license_detail_lookup() {
+        let db = db();
+        assert_eq!(db.license_detail(LicenseId(3)).unwrap().licensee, "Beta");
+        assert!(db.license_detail(LicenseId(99)).is_none());
+    }
+
+    #[test]
+    fn licensees_sorted_distinct() {
+        let db = db();
+        assert_eq!(db.licensees(), vec!["Alpha", "Beta", "Delta", "Gamma"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate license id")]
+    fn duplicate_id_panics() {
+        let mut db = db();
+        db.insert(lic(1, "Dup", RadioService::MG, 41.0, -88.0));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = UlsDatabase::new();
+        assert!(db.is_empty());
+        assert_eq!(db.len(), 0);
+        let cme = LatLon::new(41.76, -88.17).unwrap();
+        assert!(db.geographic_search(&cme, 10.0).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! The §2.2 data-scraping pipeline as a reusable function.
+//!
+//! The paper's funnel:
+//!
+//! 1. Geographic search: all licenses within 10 km of the CME data
+//!    center (57 candidate licensees in the paper's April 2020 run).
+//! 2. Site-based filter: keep radio service `MG` (Microwave
+//!    Industrial/Business Pool) with station class `FXO` (Operational
+//!    Fixed).
+//! 3. Volume filter: drop licensees with fewer than 11 filings — the
+//!    1,100 km corridor needs at least 11 towers, since >100 km
+//!    microwave hops are impractically lossy.
+//!
+//! The remaining licensees (29 in the paper) are the candidates whose
+//! licenses reconstruction analyzes in detail.
+
+use crate::license::{License, RadioService, StationClass};
+use crate::portal::UlsPortal;
+use hft_geodesy::LatLon;
+use std::collections::BTreeSet;
+
+/// Parameters of the §2.2 pipeline, defaulting to the paper's values.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrapeConfig {
+    /// Radius of the geographic search around the reference data center, km.
+    pub radius_km: f64,
+    /// Minimum filings for a licensee to stay shortlisted.
+    pub min_filings: usize,
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig { radius_km: 10.0, min_filings: 11 }
+    }
+}
+
+/// Counters describing the §2.2 funnel (the numbers quoted in the paper:
+/// 57 candidates → 29 shortlisted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunnelReport {
+    /// Licensees with any license near the reference data center.
+    pub geographic_candidates: usize,
+    /// Licensees surviving the MG/FXO service filter.
+    pub service_filtered: usize,
+    /// Licensees with at least `min_filings` MG/FXO filings.
+    pub shortlisted: usize,
+    /// The shortlisted licensee names, sorted.
+    pub shortlist: Vec<String>,
+}
+
+/// Run the scrape pipeline against a portal.
+///
+/// Returns, per shortlisted licensee, their full license list (the
+/// equivalent of walking each license-detail page), plus the funnel
+/// counters.
+pub fn run_pipeline<'a, P: UlsPortal>(
+    portal: &'a P,
+    reference: &LatLon,
+    config: &ScrapeConfig,
+) -> (Vec<(String, Vec<&'a License>)>, FunnelReport) {
+    // Step 1: geographic search → candidate licensees.
+    let near = portal.geographic_search(reference, config.radius_km);
+    let geographic: BTreeSet<&str> = near.iter().map(|l| l.licensee.as_str()).collect();
+
+    // Step 2: MG/FXO filter, still anchored to the geographic candidates.
+    let mg_fxo_near: BTreeSet<&str> = near
+        .iter()
+        .filter(|l| l.service == RadioService::MG && l.station_class == StationClass::FXO)
+        .map(|l| l.licensee.as_str())
+        .collect();
+
+    // Step 3: fetch each candidate's full MG/FXO license list and apply
+    // the volume filter.
+    let mut shortlisted: Vec<(String, Vec<&License>)> = Vec::new();
+    for name in &mg_fxo_near {
+        let filings: Vec<&License> = portal
+            .licensee_search(name)
+            .into_iter()
+            .filter(|l| l.service == RadioService::MG && l.station_class == StationClass::FXO)
+            .collect();
+        if filings.len() >= config.min_filings {
+            shortlisted.push((name.to_string(), filings));
+        }
+    }
+    shortlisted.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let report = FunnelReport {
+        geographic_candidates: geographic.len(),
+        service_filtered: mg_fxo_near.len(),
+        shortlisted: shortlisted.len(),
+        shortlist: shortlisted.iter().map(|(n, _)| n.clone()).collect(),
+    };
+    (shortlisted, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::license::{CallSign, FrequencyAssignment, LicenseId, MicrowavePath, TowerSite};
+    use crate::portal::UlsDatabase;
+    use hft_time::Date;
+
+    /// Build a licensee with `n` MG/FXO filings, the first one near CME.
+    fn licenses_for(
+        start_id: u64,
+        name: &str,
+        n: usize,
+        service: RadioService,
+        near_cme: bool,
+    ) -> Vec<License> {
+        (0..n)
+            .map(|i| {
+                let base_lon = if near_cme && i == 0 { -88.17 } else { -87.0 + i as f64 * 0.3 };
+                let tx = TowerSite::at(LatLon::new(41.7, base_lon).unwrap());
+                let rx = TowerSite::at(LatLon::new(41.7, base_lon + 0.3).unwrap());
+                License {
+                    id: LicenseId(start_id + i as u64),
+                    call_sign: CallSign(format!("WQ{:05}", start_id + i as u64)),
+                    licensee: name.into(),
+                    service: service.clone(),
+                    station_class: StationClass::FXO,
+                    grant_date: Date::new(2015, 1, 1).unwrap(),
+                    termination_date: None,
+                    cancellation_date: None,
+                    paths: vec![MicrowavePath {
+                        tx,
+                        rx,
+                        frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 }],
+                    }],
+                }
+            })
+            .collect()
+    }
+
+    fn cme() -> LatLon {
+        LatLon::new(41.7625, -88.171233).unwrap()
+    }
+
+    #[test]
+    fn funnel_filters_as_specified() {
+        let mut all = Vec::new();
+        all.extend(licenses_for(100, "BigNet", 15, RadioService::MG, true)); // passes
+        all.extend(licenses_for(200, "SmallNet", 5, RadioService::MG, true)); // too few filings
+        all.extend(licenses_for(300, "CommonCarrier", 20, RadioService::CF, true)); // wrong service
+        all.extend(licenses_for(400, "FarNet", 20, RadioService::MG, false)); // not near CME
+        let db = UlsDatabase::from_licenses(all);
+
+        let (shortlisted, report) = run_pipeline(&db, &cme(), &ScrapeConfig::default());
+        assert_eq!(report.geographic_candidates, 3); // BigNet, SmallNet, CommonCarrier
+        assert_eq!(report.service_filtered, 2); // BigNet, SmallNet
+        assert_eq!(report.shortlisted, 1);
+        assert_eq!(report.shortlist, vec!["BigNet".to_string()]);
+        assert_eq!(shortlisted.len(), 1);
+        assert_eq!(shortlisted[0].1.len(), 15);
+    }
+
+    #[test]
+    fn volume_filter_boundary() {
+        let mut all = Vec::new();
+        all.extend(licenses_for(100, "Exactly11", 11, RadioService::MG, true));
+        all.extend(licenses_for(300, "Exactly10", 10, RadioService::MG, true));
+        let db = UlsDatabase::from_licenses(all);
+        let (_, report) = run_pipeline(&db, &cme(), &ScrapeConfig::default());
+        assert_eq!(report.shortlist, vec!["Exactly11".to_string()]);
+    }
+
+    #[test]
+    fn non_mg_filings_do_not_count_toward_volume() {
+        // 8 MG filings + 8 CF filings = only 8 countable.
+        let mut all = licenses_for(100, "Mixed", 8, RadioService::MG, true);
+        all.extend(licenses_for(200, "Mixed", 8, RadioService::CF, true));
+        let db = UlsDatabase::from_licenses(all);
+        let (_, report) = run_pipeline(&db, &cme(), &ScrapeConfig::default());
+        assert_eq!(report.shortlisted, 0);
+    }
+
+    #[test]
+    fn empty_portal_yields_empty_funnel() {
+        let db = UlsDatabase::new();
+        let (shortlisted, report) = run_pipeline(&db, &cme(), &ScrapeConfig::default());
+        assert!(shortlisted.is_empty());
+        assert_eq!(report.geographic_candidates, 0);
+        assert_eq!(report.service_filtered, 0);
+        assert_eq!(report.shortlisted, 0);
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let all = licenses_for(100, "Tiny", 3, RadioService::MG, true);
+        let db = UlsDatabase::from_licenses(all);
+        let cfg = ScrapeConfig { radius_km: 10.0, min_filings: 2 };
+        let (_, report) = run_pipeline(&db, &cme(), &cfg);
+        assert_eq!(report.shortlisted, 1);
+    }
+}

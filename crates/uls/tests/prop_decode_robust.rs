@@ -1,0 +1,107 @@
+//! Robustness fuzzing: the flat-file decoder must never panic, no matter
+//! how a valid dump is mutated or what garbage it is fed — it must always
+//! return `Ok` or a structured `DecodeError`.
+
+use hft_geodesy::LatLon;
+use hft_time::Date;
+use hft_uls::flatfile::{decode, encode};
+use hft_uls::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite,
+};
+use proptest::prelude::*;
+
+fn sample_corpus() -> Vec<License> {
+    let site = |lat: f64, lon: f64| TowerSite {
+        position: LatLon::new(lat, lon).unwrap(),
+        ground_elevation_m: 230.0,
+        structure_height_m: 110.0,
+    };
+    (1..=3u64)
+        .map(|id| License {
+            id: LicenseId(id),
+            call_sign: CallSign(format!("WQ{id:05}")),
+            licensee: format!("Licensee {id}"),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: Date::new(2015, 3, 1).unwrap(),
+            termination_date: Some(Date::new(2025, 3, 1).unwrap()),
+            cancellation_date: (id == 2).then(|| Date::new(2018, 1, 1).unwrap()),
+            paths: vec![MicrowavePath {
+                tx: site(41.7 + id as f64 * 0.05, -88.0),
+                rx: site(41.7, -87.5 + id as f64 * 0.1),
+                frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 + id as f64 * 1e7 }],
+            }],
+        })
+        .collect()
+}
+
+/// Apply one mutation to the text.
+fn mutate(text: &str, kind: u8, pos: usize, payload: char) -> String {
+    let mut s: Vec<char> = text.chars().collect();
+    if s.is_empty() {
+        return payload.to_string();
+    }
+    let pos = pos % s.len();
+    match kind % 4 {
+        0 => s[pos] = payload,            // replace
+        1 => s.insert(pos, payload),      // insert
+        2 => {
+            s.remove(pos);                // delete
+        }
+        _ => {
+            // Swap two lines.
+            let text: String = s.iter().collect();
+            let mut lines: Vec<&str> = text.lines().collect();
+            if lines.len() >= 2 {
+                let a = pos % lines.len();
+                let b = (pos / 7 + 1) % lines.len();
+                lines.swap(a, b);
+            }
+            return lines.join("\n");
+        }
+    }
+    s.into_iter().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mutated_dump_never_panics(kind in 0u8..4, pos in 0usize..100_000, payload in proptest::char::any()) {
+        let text = encode(&sample_corpus());
+        let mutated = mutate(&text, kind, pos, payload);
+        // Must not panic; any Result is acceptable.
+        let _ = decode(&mutated);
+    }
+
+    #[test]
+    fn double_mutation_never_panics(
+        k1 in 0u8..4, p1 in 0usize..100_000, c1 in proptest::char::any(),
+        k2 in 0u8..4, p2 in 0usize..100_000, c2 in proptest::char::any(),
+    ) {
+        let text = encode(&sample_corpus());
+        let mutated = mutate(&mutate(&text, k1, p1, c1), k2, p2, c2);
+        let _ = decode(&mutated);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(text in "\\PC{0,400}") {
+        let _ = decode(&text);
+    }
+
+    #[test]
+    fn arbitrary_pipe_records_never_panic(
+        records in proptest::collection::vec(
+            (prop_oneof![Just("HD"), Just("EN"), Just("LO"), Just("PA"), Just("FR"), Just("ZZ")],
+             proptest::collection::vec("[-0-9A-Za-z ./]{0,12}", 0..9)),
+            0..12,
+        )
+    ) {
+        let text: String = records
+            .iter()
+            .map(|(kind, fields)| format!("{kind}|{}\n", fields.join("|")))
+            .collect();
+        let _ = decode(&text);
+    }
+}

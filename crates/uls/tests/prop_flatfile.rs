@@ -1,0 +1,122 @@
+//! Property test: arbitrary license corpora survive a flat-file round trip.
+
+use hft_geodesy::LatLon;
+use hft_time::Date;
+use hft_uls::flatfile::{decode, encode};
+use hft_uls::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite,
+};
+use proptest::prelude::*;
+
+fn arb_date() -> impl Strategy<Value = Date> {
+    (2010i32..=2022, 1u32..=12, 1u32..=28).prop_map(|(y, m, d)| Date::new(y, m, d).unwrap())
+}
+
+fn arb_site() -> impl Strategy<Value = TowerSite> {
+    (38.0f64..44.0, -90.0f64..-72.0, 100.0f64..400.0, 20.0f64..200.0).prop_map(
+        |(lat, lon, elev, height)| TowerSite {
+            position: LatLon::new(lat, lon).unwrap(),
+            ground_elevation_m: (elev * 10.0).round() / 10.0,
+            structure_height_m: (height * 10.0).round() / 10.0,
+        },
+    )
+}
+
+fn arb_path() -> impl Strategy<Value = MicrowavePath> {
+    (arb_site(), arb_site(), proptest::collection::vec(5925.0f64..23_600.0, 1..4)).prop_map(
+        |(tx, rx, freqs)| MicrowavePath {
+            tx,
+            rx,
+            frequencies: freqs
+                .into_iter()
+                .map(|mhz| FrequencyAssignment { center_hz: (mhz * 1e6 * 1e-5).round() * 1e5 })
+                .collect(),
+        },
+    )
+}
+
+fn arb_license(id: u64) -> impl Strategy<Value = License> {
+    (
+        "[A-Za-z ]{1,24}",
+        prop_oneof![
+            Just(RadioService::MG),
+            Just(RadioService::CF),
+            Just(RadioService::Other("ZZ".into()))
+        ],
+        prop_oneof![Just(StationClass::FXO), Just(StationClass::FB)],
+        arb_date(),
+        proptest::option::of(arb_date()),
+        proptest::option::of(arb_date()),
+        proptest::collection::vec(arb_path(), 1..4),
+    )
+        .prop_map(
+            move |(licensee, service, class, grant, term, cancel, paths)| License {
+                id: LicenseId(id),
+                call_sign: CallSign(format!("WQ{id:05}")),
+                licensee,
+                service,
+                station_class: class,
+                grant_date: grant,
+                termination_date: term,
+                cancellation_date: cancel,
+                paths,
+            },
+        )
+}
+
+fn arb_corpus() -> impl Strategy<Value = Vec<License>> {
+    proptest::collection::vec(proptest::num::u8::ANY, 1..6).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_license(i as u64 + 1))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn flat_file_round_trip(corpus in arb_corpus()) {
+        let text = encode(&corpus);
+        let back = decode(&text).unwrap();
+        prop_assert_eq!(back.len(), corpus.len());
+        for (b, o) in back.iter().zip(&corpus) {
+            prop_assert_eq!(b.id, o.id);
+            prop_assert_eq!(&b.licensee, &o.licensee);
+            prop_assert_eq!(&b.service, &o.service);
+            prop_assert_eq!(&b.station_class, &o.station_class);
+            prop_assert_eq!(b.grant_date, o.grant_date);
+            prop_assert_eq!(b.termination_date, o.termination_date);
+            prop_assert_eq!(b.cancellation_date, o.cancellation_date);
+            prop_assert_eq!(b.paths.len(), o.paths.len());
+            for (bp, op) in b.paths.iter().zip(&o.paths) {
+                // DMS text keeps ~0.1 arc-second (~3 m) of precision.
+                prop_assert!((bp.tx.position.lat_deg() - op.tx.position.lat_deg()).abs() < 1e-4);
+                prop_assert!((bp.tx.position.lon_deg() - op.tx.position.lon_deg()).abs() < 1e-4);
+                prop_assert!((bp.rx.position.lat_deg() - op.rx.position.lat_deg()).abs() < 1e-4);
+                prop_assert!((bp.rx.position.lon_deg() - op.rx.position.lon_deg()).abs() < 1e-4);
+                prop_assert!((bp.tx.ground_elevation_m - op.tx.ground_elevation_m).abs() < 0.05 + 1e-9);
+                prop_assert_eq!(bp.frequencies.len(), op.frequencies.len());
+                for (bf, of) in bp.frequencies.iter().zip(&op.frequencies) {
+                    prop_assert!((bf.center_hz - of.center_hz).abs() < 10.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_is_deterministic(corpus in arb_corpus()) {
+        prop_assert_eq!(encode(&corpus), encode(&corpus));
+    }
+
+    #[test]
+    fn double_round_trip_is_fixed_point(corpus in arb_corpus()) {
+        // After one round trip the representation must be stable.
+        let once = decode(&encode(&corpus)).unwrap();
+        let twice = decode(&encode(&once)).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,342 @@
+//! A small from-scratch SVG chart renderer.
+//!
+//! Covers exactly what the paper's figures need: multi-series line charts
+//! with markers (Figs 1 and 2) and CDF step charts (Fig 4), with axes,
+//! ticks, labels and a legend. Series with gaps (a network not yet / no
+//! longer connected) simply break the polyline, as gnuplot does.
+
+/// One data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// CSS color.
+    pub color: String,
+    /// Points; `None` y-values create gaps in the line.
+    pub points: Vec<(f64, Option<f64>)>,
+}
+
+impl Series {
+    /// A fully dense series.
+    pub fn dense(label: &str, color: &str, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.to_string(),
+            color: color.to_string(),
+            points: points.into_iter().map(|(x, y)| (x, Some(y))).collect(),
+        }
+    }
+
+    /// A CDF step series from ascending `(value, F(value))` step points:
+    /// inserts the horizontal-then-vertical step geometry.
+    pub fn cdf_steps(label: &str, color: &str, steps: &[(f64, f64)]) -> Series {
+        let mut points = Vec::with_capacity(steps.len() * 2 + 1);
+        let mut prev_f = 0.0;
+        for &(x, f) in steps {
+            points.push((x, Some(prev_f)));
+            points.push((x, Some(f)));
+            prev_f = f;
+        }
+        Series { label: label.to_string(), color: color.to_string(), points }
+    }
+}
+
+/// Chart-level configuration.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Title rendered above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width, px.
+    pub width_px: f64,
+    /// Canvas height, px.
+    pub height_px: f64,
+    /// Explicit y range; `None` fits the data (with 5% headroom).
+    pub y_range: Option<(f64, f64)>,
+    /// Explicit x range; `None` fits the data.
+    pub x_range: Option<(f64, f64)>,
+}
+
+impl Default for ChartConfig {
+    fn default() -> Self {
+        ChartConfig {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width_px: 900.0,
+            height_px: 540.0,
+            y_range: None,
+            x_range: None,
+        }
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Round `span/desired` to a 1/2/5×10ᵏ tick step.
+fn nice_step(span: f64, desired_ticks: usize) -> f64 {
+    if span <= 0.0 || !span.is_finite() {
+        return 1.0;
+    }
+    let raw = span / desired_ticks.max(1) as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let factor = if norm <= 1.5 {
+        1.0
+    } else if norm <= 3.0 {
+        2.0
+    } else if norm <= 7.0 {
+        5.0
+    } else {
+        10.0
+    };
+    factor * mag
+}
+
+fn fmt_tick(v: f64, step: f64) -> String {
+    let decimals = if step >= 1.0 { 0 } else { (-step.log10().floor()) as usize };
+    format!("{v:.decimals$}")
+}
+
+/// Render the chart as a standalone SVG document.
+pub fn render(config: &ChartConfig, series: &[Series]) -> String {
+    const MARGIN_L: f64 = 80.0;
+    const MARGIN_R: f64 = 20.0;
+    const MARGIN_T: f64 = 48.0;
+    const MARGIN_B: f64 = 60.0;
+
+    let plot_w = (config.width_px - MARGIN_L - MARGIN_R).max(10.0);
+    let plot_h = (config.height_px - MARGIN_T - MARGIN_B).max(10.0);
+
+    // Data ranges.
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for s in series {
+        for &(x, y) in &s.points {
+            xs.push(x);
+            if let Some(y) = y {
+                ys.push(y);
+            }
+        }
+    }
+    let (x_min, x_max) = config.x_range.unwrap_or_else(|| {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi > lo {
+            (lo, hi)
+        } else {
+            (0.0, 1.0)
+        }
+    });
+    let (y_min, y_max) = config.y_range.unwrap_or_else(|| {
+        let lo = ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_finite() && hi > lo {
+            let pad = (hi - lo) * 0.05;
+            (lo - pad, hi + pad)
+        } else {
+            (0.0, 1.0)
+        }
+    });
+
+    let px = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+    let py = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h;
+
+    let mut body = String::new();
+    // Frame.
+    body.push_str(&format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{MARGIN_T}\" width=\"{plot_w:.1}\" height=\"{plot_h:.1}\" fill=\"white\" stroke=\"#333\"/>\n"
+    ));
+    // Ticks and grid.
+    let x_step = nice_step(x_max - x_min, 8);
+    let mut t = (x_min / x_step).ceil() * x_step;
+    while t <= x_max + 1e-9 {
+        let x = px(t);
+        body.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#ddd\"/>\n",
+            MARGIN_T,
+            MARGIN_T + plot_h,
+        ));
+        body.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\" font-family=\"sans-serif\">{}</text>\n",
+            MARGIN_T + plot_h + 18.0,
+            fmt_tick(t, x_step),
+        ));
+        t += x_step;
+    }
+    let y_step = nice_step(y_max - y_min, 6);
+    let mut t = (y_min / y_step).ceil() * y_step;
+    while t <= y_max + 1e-9 {
+        let y = py(t);
+        body.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n",
+            MARGIN_L + plot_w,
+        ));
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"end\" font-family=\"sans-serif\">{}</text>\n",
+            MARGIN_L - 6.0,
+            y + 4.0,
+            fmt_tick(t, y_step),
+        ));
+        t += y_step;
+    }
+    // Series.
+    for s in series {
+        let mut segments: Vec<Vec<(f64, f64)>> = vec![Vec::new()];
+        for &(x, y) in &s.points {
+            match y {
+                Some(y) => segments.last_mut().expect("non-empty").push((px(x), py(y))),
+                None => segments.push(Vec::new()),
+            }
+        }
+        for seg in segments.iter().filter(|s| s.len() >= 2) {
+            let pts: Vec<String> = seg.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+            body.push_str(&format!(
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+                pts.join(" "),
+                xml_escape(&s.color),
+            ));
+        }
+        for seg in &segments {
+            for (x, y) in seg {
+                body.push_str(&format!(
+                    "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"2.5\" fill=\"{}\"/>\n",
+                    xml_escape(&s.color),
+                ));
+            }
+        }
+    }
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let ly = MARGIN_T + 16.0 + i as f64 * 18.0;
+        let lx = MARGIN_L + plot_w - 220.0;
+        body.push_str(&format!(
+            "<line x1=\"{lx:.1}\" y1=\"{ly:.1}\" x2=\"{:.1}\" y2=\"{ly:.1}\" stroke=\"{}\" stroke-width=\"2\"/>\n",
+            lx + 24.0,
+            xml_escape(&s.color),
+        ));
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" font-family=\"sans-serif\">{}</text>\n",
+            lx + 30.0,
+            ly + 4.0,
+            xml_escape(&s.label),
+        ));
+    }
+    // Labels.
+    if !config.title.is_empty() {
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\" font-family=\"sans-serif\">{}</text>\n",
+            MARGIN_L + plot_w / 2.0,
+            xml_escape(&config.title),
+        ));
+    }
+    if !config.x_label.is_empty() {
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"13\" text-anchor=\"middle\" font-family=\"sans-serif\">{}</text>\n",
+            MARGIN_L + plot_w / 2.0,
+            MARGIN_T + plot_h + 42.0,
+            xml_escape(&config.x_label),
+        ));
+    }
+    if !config.y_label.is_empty() {
+        body.push_str(&format!(
+            concat!(
+                "<text x=\"18\" y=\"{:.1}\" font-size=\"13\" text-anchor=\"middle\" ",
+                "font-family=\"sans-serif\" transform=\"rotate(-90 18 {:.1})\">{}</text>\n"
+            ),
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&config.y_label),
+        ));
+    }
+
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n{}</svg>\n",
+        config.width_px, config.height_px, config.width_px, config.height_px, body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_line_chart() {
+        let cfg = ChartConfig {
+            title: "Latency evolution".into(),
+            x_label: "Time".into(),
+            y_label: "Latency (ms)".into(),
+            ..Default::default()
+        };
+        let s = vec![
+            Series::dense("NLN", "#1f77b4", vec![(2016.0, 3.985), (2017.0, 3.975), (2018.0, 3.964)]),
+            Series::dense("WH", "#d62728", vec![(2013.0, 4.012), (2018.0, 3.976)]),
+        ];
+        let svg = render(&cfg, &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Latency evolution"));
+        assert!(svg.contains("polyline"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">NLN</text>"));
+    }
+
+    #[test]
+    fn gaps_split_polylines() {
+        let s = Series {
+            label: "gappy".into(),
+            color: "#000".into(),
+            points: vec![(0.0, Some(1.0)), (1.0, Some(2.0)), (2.0, None), (3.0, Some(1.5)), (4.0, Some(1.8))],
+        };
+        let svg = render(&ChartConfig::default(), &[s]);
+        assert_eq!(svg.matches("<polyline").count(), 2, "gap must split the line");
+    }
+
+    #[test]
+    fn cdf_steps_monotone() {
+        let s = Series::cdf_steps("cdf", "#333", &[(10.0, 0.25), (20.0, 0.5), (30.0, 1.0)]);
+        // 2 points per step.
+        assert_eq!(s.points.len(), 6);
+        let ys: Vec<f64> = s.points.iter().map(|(_, y)| y.unwrap()).collect();
+        for w in ys.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        let svg = render(&ChartConfig::default(), &[s]);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn explicit_ranges_respected() {
+        // Fig 1 style: y starts at a deliberately non-zero point.
+        let cfg = ChartConfig { y_range: Some((3.95, 4.05)), ..Default::default() };
+        let s = Series::dense("x", "#000", vec![(0.0, 3.96), (1.0, 3.97)]);
+        let svg = render(&cfg, &[s]);
+        assert!(svg.contains(">3.95<") || svg.contains(">3.96<"), "{svg}");
+        assert!(!svg.contains(">0<"), "y axis must not include zero");
+    }
+
+    #[test]
+    fn nice_steps() {
+        assert_eq!(nice_step(10.0, 10), 1.0);
+        assert_eq!(nice_step(100.0, 8), 10.0);
+        assert!((nice_step(0.07, 6) - 0.01).abs() < 1e-12);
+        assert_eq!(nice_step(0.0, 5), 1.0);
+    }
+
+    #[test]
+    fn empty_series_ok() {
+        let svg = render(&ChartConfig::default(), &[]);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn hostile_labels_escaped() {
+        let cfg = ChartConfig { title: "<bad> & \"title\"".into(), ..Default::default() };
+        let svg = render(&cfg, &[]);
+        assert!(!svg.contains("<bad>"));
+        assert!(svg.contains("&lt;bad&gt; &amp; &quot;title&quot;"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Minimal CSV emission (RFC-4180 quoting) for the tables.
+
+/// Quote a field when needed per RFC 4180.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A CSV table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Start a table with the given column names.
+    pub fn new(columns: &[&str]) -> CsvTable {
+        CsvTable { header: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row; must match the header width.
+    ///
+    /// # Panics
+    /// Panics on column-count mismatch (always a caller bug).
+    pub fn push_row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width != header width");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn push(&mut self, cells: &[&str]) {
+        self.push_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize with CRLF-free line endings (plain `\n`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_emission() {
+        let mut t = CsvTable::new(&["licensee", "latency_ms", "towers"]);
+        t.push(&["New Line Networks", "3.96171", "25"]);
+        t.push(&["Pierce Broadband", "3.96209", "29"]);
+        let csv = t.to_csv();
+        assert_eq!(
+            csv,
+            "licensee,latency_ms,towers\nNew Line Networks,3.96171,25\nPierce Broadband,3.96209,29\n"
+        );
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn quoting_rules() {
+        let mut t = CsvTable::new(&["name", "note"]);
+        t.push(&["a,b", "say \"hi\""]);
+        t.push(&["line\nbreak", "plain"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+        assert!(csv.contains("\"line\nbreak\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = CsvTable::new(&["a", "b"]);
+        t.push(&["only one"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! GeoJSON emission for reconstructed networks.
+
+use hft_core::Network;
+
+/// Escape a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_coord(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Render a network as a GeoJSON `FeatureCollection`: one `Point` feature
+/// per tower (with elevation/height properties) and one `LineString`
+/// feature per microwave link (with length and frequency properties).
+pub fn network_to_geojson(network: &Network) -> String {
+    let mut features = Vec::new();
+    for (id, t) in network.graph.nodes() {
+        features.push(format!(
+            concat!(
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"Point\",",
+                "\"coordinates\":[{},{}]}},\"properties\":{{\"kind\":\"tower\",",
+                "\"id\":{},\"ground_m\":{:.1},\"height_m\":{:.1}}}}}"
+            ),
+            fmt_coord(t.position.lon_deg()),
+            fmt_coord(t.position.lat_deg()),
+            id.index(),
+            t.ground_elevation_m,
+            t.structure_height_m,
+        ));
+    }
+    for (_, u, v, link) in network.graph.edges() {
+        let pu = network.graph.node(u).position;
+        let pv = network.graph.node(v).position;
+        let freqs: Vec<String> = link.frequencies_ghz.iter().map(|f| format!("{f:.5}")).collect();
+        features.push(format!(
+            concat!(
+                "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"LineString\",",
+                "\"coordinates\":[[{},{}],[{},{}]]}},\"properties\":{{\"kind\":\"link\",",
+                "\"a\":{},\"b\":{},\"length_km\":{:.3},\"frequencies_ghz\":[{}]}}}}"
+            ),
+            fmt_coord(pu.lon_deg()),
+            fmt_coord(pu.lat_deg()),
+            fmt_coord(pv.lon_deg()),
+            fmt_coord(pv.lat_deg()),
+            u.index(),
+            v.index(),
+            link.length_m / 1000.0,
+            freqs.join(","),
+        ));
+    }
+    format!(
+        concat!(
+            "{{\"type\":\"FeatureCollection\",\"properties\":{{\"licensee\":\"{}\",",
+            "\"as_of\":\"{}\"}},\"features\":[{}]}}"
+        ),
+        json_escape(&network.licensee),
+        network.as_of.to_iso(),
+        features.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_core::network::{MwLink, Tower};
+    use hft_geodesy::{LatLon, SnapGrid};
+    use hft_netgraph::Graph;
+    use hft_time::Date;
+
+    fn sample(name: &str) -> Network {
+        let mut graph = Graph::new();
+        let snap = SnapGrid::arc_second();
+        let p1 = LatLon::new(41.7625, -88.1712).unwrap();
+        let p2 = LatLon::new(41.7000, -87.6000).unwrap();
+        let a = graph.add_node(Tower {
+            position: p1,
+            cell: snap.snap(&p1),
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        });
+        let b = graph.add_node(Tower {
+            position: p2,
+            cell: snap.snap(&p2),
+            ground_elevation_m: 220.0,
+            structure_height_m: 90.0,
+        });
+        graph.add_edge(
+            a,
+            b,
+            MwLink {
+                length_m: p1.geodesic_distance_m(&p2),
+                frequencies_ghz: vec![11.245],
+                licenses: vec![],
+            },
+        );
+        Network { licensee: name.into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    #[test]
+    fn structure_is_valid_feature_collection() {
+        let g = network_to_geojson(&sample("New Line Networks"));
+        assert!(g.starts_with("{\"type\":\"FeatureCollection\""));
+        assert_eq!(g.matches("\"type\":\"Feature\"").count(), 3); // 2 towers + 1 link
+        assert_eq!(g.matches("\"type\":\"Point\"").count(), 2);
+        assert_eq!(g.matches("\"type\":\"LineString\"").count(), 1);
+        assert!(g.contains("\"licensee\":\"New Line Networks\""));
+        assert!(g.contains("\"as_of\":\"2020-04-01\""));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(g.matches('{').count(), g.matches('}').count());
+        assert_eq!(g.matches('[').count(), g.matches(']').count());
+    }
+
+    #[test]
+    fn coordinates_are_lon_lat_order() {
+        let g = network_to_geojson(&sample("X"));
+        // GeoJSON mandates [lon, lat]: longitude (-88.17) first.
+        assert!(g.contains("[-88.171200,41.762500]"), "{g}");
+    }
+
+    #[test]
+    fn link_properties_present() {
+        let g = network_to_geojson(&sample("X"));
+        assert!(g.contains("\"length_km\":"));
+        assert!(g.contains("\"frequencies_ghz\":[11.24500]"));
+    }
+
+    #[test]
+    fn hostile_licensee_name_escaped() {
+        let g = network_to_geojson(&sample("Evil \"Quote\" \\ Networks\n"));
+        assert!(g.contains("Evil \\\"Quote\\\" \\\\ Networks\\n"));
+        assert_eq!(g.matches('{').count(), g.matches('}').count());
+    }
+
+    #[test]
+    fn empty_network() {
+        let net = Network {
+            licensee: "Empty".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph: Graph::new(),
+        };
+        let g = network_to_geojson(&net);
+        assert!(g.contains("\"features\":[]"));
+    }
+
+    #[test]
+    fn escape_control_chars() {
+        assert_eq!(json_escape("a\u{01}b"), "a\\u0001b");
+        assert_eq!(json_escape("tab\there"), "tab\\there");
+    }
+}

@@ -1,0 +1,32 @@
+//! # hft-viz
+//!
+//! Output formats for the reconstructed networks and analyses:
+//!
+//! * [`geojson`] — networks as GeoJSON FeatureCollections (towers as
+//!   `Point`s, microwave links as `LineString`s), the interchange format
+//!   replacing the paper's Google-Maps visualizations (Fig. 3);
+//! * [`svgmap`] — self-contained SVG corridor maps (equirectangular
+//!   projection), so the Fig. 3 network pictures render offline;
+//! * [`chart`] — a small SVG chart renderer: line series for the Fig. 1/2
+//!   time series, step series for the Fig. 4 CDFs;
+//! * [`csv`] — simple CSV emission for every table.
+//!
+//! Everything is emitted from scratch — no serializer dependencies — and
+//! the emitters escape/format defensively so arbitrary licensee names
+//! cannot corrupt the output.
+//!
+//! ```
+//! use hft_viz::chart::{render, ChartConfig, Series};
+//!
+//! let series = Series::dense("NLN", "#d62728", vec![(2016.0, 3.985), (2020.25, 3.96171)]);
+//! let svg = render(&ChartConfig::default(), &[series]);
+//! assert!(svg.starts_with("<svg") && svg.contains("polyline"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod geojson;
+pub mod svgmap;

@@ -1,0 +1,238 @@
+//! Self-contained SVG corridor maps (the offline Fig. 3).
+
+use hft_core::Network;
+use hft_geodesy::LatLon;
+
+/// Styling/layout options for a corridor map.
+#[derive(Debug, Clone)]
+pub struct MapStyle {
+    /// Canvas width in pixels; height follows the geographic aspect.
+    pub width_px: f64,
+    /// Link stroke color (CSS color string).
+    pub link_color: String,
+    /// Tower fill color.
+    pub tower_color: String,
+    /// Tower marker radius, px.
+    pub tower_radius_px: f64,
+    /// Extra margin around the bounding box, as a fraction of its span.
+    pub margin_frac: f64,
+}
+
+impl Default for MapStyle {
+    fn default() -> Self {
+        MapStyle {
+            width_px: 1200.0,
+            link_color: "#c0392b".into(),
+            tower_color: "#2c3e50".into(),
+            tower_radius_px: 3.0,
+            margin_frac: 0.06,
+        }
+    }
+}
+
+/// Equirectangular projection over a bounding box.
+struct Projection {
+    min_lon: f64,
+    max_lat: f64,
+    scale_x: f64,
+    scale_y: f64,
+}
+
+impl Projection {
+    fn fit(points: &[LatLon], width_px: f64, margin_frac: f64) -> (Projection, f64, f64) {
+        let (mut min_lat, mut max_lat) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_lon, mut max_lon) = (f64::INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_lat = min_lat.min(p.lat_deg());
+            max_lat = max_lat.max(p.lat_deg());
+            min_lon = min_lon.min(p.lon_deg());
+            max_lon = max_lon.max(p.lon_deg());
+        }
+        let lat_span = (max_lat - min_lat).max(1e-6);
+        let lon_span = (max_lon - min_lon).max(1e-6);
+        let (min_lat, max_lat) = (min_lat - lat_span * margin_frac, max_lat + lat_span * margin_frac);
+        let (min_lon, max_lon) = (min_lon - lon_span * margin_frac, max_lon + lon_span * margin_frac);
+        let lat_span = max_lat - min_lat;
+        let lon_span = max_lon - min_lon;
+        // Shrink x by cos(mid-latitude) so distances look right.
+        let mid_lat_cos = ((min_lat + max_lat) / 2.0).to_radians().cos();
+        let height_px = width_px * (lat_span / (lon_span * mid_lat_cos));
+        (
+            Projection {
+                min_lon,
+                max_lat,
+                scale_x: width_px / lon_span,
+                scale_y: height_px / lat_span,
+            },
+            width_px,
+            height_px,
+        )
+    }
+
+    fn project(&self, p: &LatLon) -> (f64, f64) {
+        (
+            (p.lon_deg() - self.min_lon) * self.scale_x,
+            (self.max_lat - p.lat_deg()) * self.scale_y,
+        )
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Render one or more networks (e.g. the same licensee at two dates, or
+/// several competitors) on a shared map. Extra `markers` (e.g. the data
+/// centers) are drawn as labeled squares.
+pub fn networks_to_svg(
+    networks: &[(&Network, &MapStyle)],
+    markers: &[(&str, LatLon)],
+    width_px: f64,
+) -> String {
+    let mut all_points: Vec<LatLon> = Vec::new();
+    for (net, _) in networks {
+        all_points.extend(net.graph.nodes().map(|(_, t)| t.position));
+    }
+    all_points.extend(markers.iter().map(|(_, p)| *p));
+    if all_points.is_empty() {
+        return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>".into();
+    }
+    let (proj, w, h) = Projection::fit(&all_points, width_px, 0.06);
+
+    let mut body = String::new();
+    for (net, style) in networks {
+        for (_, u, v, _) in net.graph.edges() {
+            let (x1, y1) = proj.project(&net.graph.node(u).position);
+            let (x2, y2) = proj.project(&net.graph.node(v).position);
+            body.push_str(&format!(
+                "<line x1=\"{x1:.1}\" y1=\"{y1:.1}\" x2=\"{x2:.1}\" y2=\"{y2:.1}\" stroke=\"{}\" stroke-width=\"1.2\"/>\n",
+                xml_escape(&style.link_color),
+            ));
+        }
+        for (_, t) in net.graph.nodes() {
+            let (x, y) = proj.project(&t.position);
+            body.push_str(&format!(
+                "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{}\" fill=\"{}\"/>\n",
+                style.tower_radius_px,
+                xml_escape(&style.tower_color),
+            ));
+        }
+    }
+    for (label, p) in markers {
+        let (x, y) = proj.project(p);
+        body.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"#27ae60\"/>\n",
+            x - 5.0,
+            y - 5.0,
+        ));
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"14\" font-family=\"sans-serif\">{}</text>\n",
+            x + 8.0,
+            y - 6.0,
+            xml_escape(label),
+        ));
+    }
+    format!(
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" ",
+            "viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"#fdfdfd\"/>\n{}</svg>\n"
+        ),
+        w, h, w, h, body,
+    )
+}
+
+/// Convenience: a single network with default styling plus data-center
+/// markers.
+pub fn network_to_svg(network: &Network, markers: &[(&str, LatLon)]) -> String {
+    let style = MapStyle::default();
+    networks_to_svg(&[(network, &style)], markers, style.width_px)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_core::network::{MwLink, Tower};
+    use hft_geodesy::SnapGrid;
+    use hft_netgraph::Graph;
+    use hft_time::Date;
+
+    fn sample() -> Network {
+        let mut graph = Graph::new();
+        let snap = SnapGrid::arc_second();
+        let pts = [
+            LatLon::new(41.7625, -88.1712).unwrap(),
+            LatLon::new(41.5000, -83.0000).unwrap(),
+            LatLon::new(40.7930, -74.0576).unwrap(),
+        ];
+        let ids: Vec<_> = pts
+            .iter()
+            .map(|p| {
+                graph.add_node(Tower {
+                    position: *p,
+                    cell: snap.snap(p),
+                    ground_elevation_m: 230.0,
+                    structure_height_m: 110.0,
+                })
+            })
+            .collect();
+        for w in ids.windows(2) {
+            let d = graph.node(w[0]).position.geodesic_distance_m(&graph.node(w[1]).position);
+            graph.add_edge(w[0], w[1], MwLink { length_m: d, frequencies_ghz: vec![6.1], licenses: vec![] });
+        }
+        Network { licensee: "Map Net".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    }
+
+    #[test]
+    fn renders_elements() {
+        let svg = network_to_svg(&sample(), &[("CME", LatLon::new(41.7625, -88.1712).unwrap())]);
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<rect").count(), 2); // background + marker
+        assert!(svg.contains(">CME</text>"));
+    }
+
+    #[test]
+    fn aspect_ratio_reasonable() {
+        // Corridor is ~14° wide, ~1° tall: height must be far less than width.
+        let svg = network_to_svg(&sample(), &[]);
+        let w: f64 = svg.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+        let h: f64 = svg.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+        assert!(w > h, "corridor map must be wide: {w}x{h}");
+        assert!(h > 20.0, "but not degenerate");
+    }
+
+    #[test]
+    fn coordinates_in_canvas() {
+        let svg = network_to_svg(&sample(), &[]);
+        for part in svg.split("cx=\"").skip(1) {
+            let x: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!(x >= 0.0 && x <= 1200.0, "x {x} out of canvas");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_valid_svg() {
+        let svg = networks_to_svg(&[], &[], 800.0);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn hostile_label_escaped() {
+        let svg = network_to_svg(&sample(), &[("<script>\"x\"&", LatLon::new(41.0, -80.0).unwrap())]);
+        assert!(!svg.contains("<script>"));
+        assert!(svg.contains("&lt;script&gt;"));
+    }
+
+    #[test]
+    fn two_networks_styled_independently() {
+        let n1 = sample();
+        let n2 = sample();
+        let s1 = MapStyle { link_color: "#111111".into(), ..Default::default() };
+        let s2 = MapStyle { link_color: "#222222".into(), ..Default::default() };
+        let svg = networks_to_svg(&[(&n1, &s1), (&n2, &s2)], &[], 1000.0);
+        assert!(svg.contains("#111111"));
+        assert!(svg.contains("#222222"));
+    }
+}

@@ -1,0 +1,79 @@
+//! The §6 design takeaways, executed: synthesize corridor networks with
+//! varying redundancy and link lengths, then measure them with the same
+//! metrics the paper applies to the HFT incumbents — latency, APA,
+//! disjoint-standby penalty, tower count, and annual availability from
+//! the radio models.
+//!
+//! ```text
+//! cargo run --release --example design_corridor
+//! ```
+
+use hft_core::corridor::{CME, EQUINIX_NY4};
+use hft_core::design::{design_corridor, evaluate, DesignSpec};
+use hft_radio::{link_annual_availability, LinkOutageModel, RainClimate};
+
+fn annual_availability(net: &hft_core::Network) -> f64 {
+    let climate = RainClimate::continental_temperate();
+    // Worst-path proxy: product over the shortest route's links.
+    let r = hft_core::route(net, &CME, &EQUINIX_NY4).expect("connected");
+    r.mw_edges
+        .iter()
+        .map(|e| {
+            let l = net.graph.edge(*e);
+            let model =
+                LinkOutageModel::typical(l.length_m / 1000.0, l.frequencies_ghz[0]);
+            link_annual_availability(&model, &climate)
+        })
+        .product()
+}
+
+fn main() {
+    println!("Designing CME->NY4 corridors per the paper's §6 lessons:\n");
+    println!(
+        "{:<34} {:>8} {:>8} {:>7} {:>8} {:>10} {:>10}",
+        "design", "latency", "stretch", "APA", "towers", "standby", "route avail"
+    );
+
+    let candidates: Vec<(&str, DesignSpec)> = vec![
+        ("bare chain (no redundancy)", DesignSpec { protected_fraction: 0.0, ..Default::default() }),
+        ("half protected", DesignSpec { protected_fraction: 0.5, ..Default::default() }),
+        ("fully protected, 6 GHz rails", DesignSpec::default()),
+        (
+            "fully protected, short rails",
+            DesignSpec { rail_hop_km: 25.0, ..Default::default() },
+        ),
+        (
+            "lean: 15 towers, long hops",
+            DesignSpec { primary_towers: 15, protected_fraction: 0.0, ..Default::default() },
+        ),
+        (
+            "dense: 40 towers, short hops",
+            DesignSpec { primary_towers: 40, protected_fraction: 0.0, ..Default::default() },
+        ),
+    ];
+
+    for (name, spec) in candidates {
+        let net = design_corridor(&CME, &EQUINIX_NY4, &spec);
+        let rep = evaluate(&net, &CME, &EQUINIX_NY4).expect("connected");
+        let standby = rep
+            .disjoint_standby_penalty_ms
+            .map(|p| format!("+{:.0} µs", p * 1000.0))
+            .unwrap_or_else(|| "none".into());
+        println!(
+            "{:<34} {:>7.4} {:>8.4} {:>6.0}% {:>8} {:>10} {:>9.4}%",
+            name,
+            rep.latency_ms,
+            rep.stretch,
+            rep.apa * 100.0,
+            rep.towers,
+            standby,
+            annual_availability(&net) * 100.0,
+        );
+    }
+
+    println!(
+        "\nLessons made visible: redundancy buys APA (and a disjoint standby) at\n\
+         roughly 1.4x the towers; short hops buy availability at the same price;\n\
+         latency is indifferent — the corridor is straight either way."
+    );
+}

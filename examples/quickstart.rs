@@ -1,0 +1,41 @@
+//! Quickstart: generate the corridor ecosystem, run the paper's scrape
+//! pipeline, and print the Table-1 leaderboard.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hftnetview::prelude::*;
+use hftnetview::report;
+
+fn main() {
+    // 1. A deterministic license corpus standing in for the FCC ULS.
+    let eco = generate(&chicago_nj(), 2020);
+    println!("generated {} licenses across {} licensees\n", eco.db.len(), eco.db.licensees().len());
+
+    // 2. The §2.2 funnel: geographic search -> MG/FXO filter -> ≥11 filings.
+    let report_funnel = report::funnel(&eco);
+    print!("{}", report::funnel_render(&report_funnel));
+
+    // 3. Reconstruct every network as of 2020-04-01 and rank them.
+    let rows = report::table1(&eco);
+    let (text, _) = report::table1_render(&rows);
+    print!("\n{text}");
+
+    // 4. Zoom into the winner.
+    let nln = report::network_of(&eco, "New Line Networks", report::snapshot_date());
+    let r = route(&nln, &corridor::CME, &corridor::EQUINIX_NY4).expect("NLN is connected");
+    println!(
+        "\nNew Line Networks: {} towers, {} links, {:.1} km of microwave;",
+        nln.tower_count(),
+        nln.link_count(),
+        nln.total_link_km()
+    );
+    println!(
+        "CME->NY4 route: {:.5} ms over {} towers ({:.2} km fiber tails), {:.4}x the c-bound",
+        r.latency_ms,
+        r.towers,
+        r.fiber_m / 1000.0,
+        r.stretch_vs_c(corridor::CME.position().geodesic_distance_m(&corridor::EQUINIX_NY4.position())),
+    );
+}

@@ -1,0 +1,267 @@
+//! The `hftnetview` command-line tool: regenerate any table or figure of
+//! the paper from the (simulated) ULS corpus, export datasets, and dump
+//! reconstructed networks.
+//!
+//! ```text
+//! hftnetview <command> [--seed N] [--out DIR]
+//!
+//! commands:
+//!   funnel      §2.2 scrape-pipeline counts (57 → 29)
+//!   table1      connected networks, latency/APA/towers
+//!   table2      top-3 networks per corridor path
+//!   table3      APA: New Line Networks vs Webline Holdings
+//!   fig1        latency evolution 2013–2020 (SVG + CSV)
+//!   fig2        active licenses over time (SVG + CSV)
+//!   fig3        NLN network maps 2016 vs 2020 (GeoJSON + SVG)
+//!   fig4a       link-length CDFs (SVG + CSV)
+//!   fig4b       frequency CDFs (SVG + CSV)
+//!   fig5        LEO vs microwave vs fiber comparison
+//!   weather     §5 conditional-latency Monte Carlo
+//!   entity      complementary-link entity-resolution scan (§6)
+//!   overhead    per-tower overhead crossover analysis (§3)
+//!   export      dump the license corpus as a ULS-style flat file
+//!   yaml NAME   dump one licensee's 2020-04-01 network as YAML
+//!   all         everything above, written to --out
+//! ```
+
+use hftnetview::prelude::*;
+use hftnetview::{report, weather};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    name: Option<String>,
+    seed: u64,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args { command, name: None, seed: 2020, out: PathBuf::from("out") };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--out" => {
+                parsed.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
+            }
+            other if parsed.name.is_none() && !other.starts_with('-') => {
+                parsed.name = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|all> [--seed N] [--out DIR]".to_string()
+}
+
+fn write(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(contents.as_bytes())?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let io_err = |e: std::io::Error| e.to_string();
+    let eco = generate(&chicago_nj(), args.seed);
+    let out = &args.out;
+    let run_one = |cmd: &str| -> Result<(), String> {
+        match cmd {
+            "funnel" => {
+                print!("{}", report::funnel_render(&report::funnel(&eco)));
+            }
+            "table1" => {
+                let rows = report::table1(&eco);
+                let (text, csv) = report::table1_render(&rows);
+                print!("{text}");
+                write(&out.join("table1.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "table2" => {
+                let t = report::table2(&eco);
+                let (text, csv) = report::table2_render(&t);
+                print!("{text}");
+                write(&out.join("table2.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "table3" => {
+                let rows = report::table3(&eco);
+                let (text, csv) = report::table3_render(&rows);
+                print!("{text}");
+                write(&out.join("table3.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "fig1" => {
+                let series = report::evolution(&eco);
+                let (svg, csv) = report::fig1_render(&series);
+                write(&out.join("fig1.svg"), &svg).map_err(io_err)?;
+                write(&out.join("fig1.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "fig2" => {
+                let series = report::evolution(&eco);
+                let (svg, csv) = report::fig2_render(&series);
+                write(&out.join("fig2.svg"), &svg).map_err(io_err)?;
+                write(&out.join("fig2.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "fig3" => {
+                let (gj16, gj20, svg16, svg20) = report::fig3(&eco);
+                write(&out.join("fig3_nln_2016.geojson"), &gj16).map_err(io_err)?;
+                write(&out.join("fig3_nln_2020.geojson"), &gj20).map_err(io_err)?;
+                write(&out.join("fig3_nln_2016.svg"), &svg16).map_err(io_err)?;
+                write(&out.join("fig3_nln_2020.svg"), &svg20).map_err(io_err)?;
+            }
+            "fig4a" => {
+                let cdfs = report::fig4a(&eco);
+                for (name, cdf) in &cdfs {
+                    println!("{name}: median link length {:.1} km over {} links", cdf.median(), cdf.len());
+                }
+                let (svg, csv) = report::cdf_render("Fig 4a: link lengths", "Distance (km)", &cdfs);
+                write(&out.join("fig4a.svg"), &svg).map_err(io_err)?;
+                write(&out.join("fig4a.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "fig4b" => {
+                let cdfs = report::fig4b(&eco);
+                for (name, cdf) in &cdfs {
+                    println!("{name}: {:.0}% of frequencies under 7 GHz", cdf.fraction_below(7.0) * 100.0);
+                }
+                let (svg, csv) =
+                    report::cdf_render("Fig 4b: operating frequencies", "Frequency (GHz)", &cdfs);
+                write(&out.join("fig4b.svg"), &svg).map_err(io_err)?;
+                write(&out.join("fig4b.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "fig5" => {
+                let rows = report::fig5();
+                let (text, csv) = report::fig5_render(&rows);
+                print!("{text}");
+                write(&out.join("fig5.csv"), &csv.to_csv()).map_err(io_err)?;
+            }
+            "weather" => {
+                let sampler = hft_radio::WeatherSampler::stormy_season();
+                println!("Conditional CME-NY4 latency under corridor weather (3000 states):");
+                println!("{:<24} {:>9} {:>9} {:>9} {:>9} {:>7}", "Licensee", "clear", "p50", "p95", "p99", "avail");
+                for name in ["New Line Networks", "Webline Holdings"] {
+                    let net = report::network_of(&eco, name, report::snapshot_date());
+                    let o = weather::conditional_latency(
+                        &net,
+                        &corridor::CME,
+                        &corridor::EQUINIX_NY4,
+                        &sampler,
+                        3000,
+                        args.seed,
+                    )
+                    .ok_or_else(|| format!("{name}: no route"))?;
+                    let p = |v: f64| {
+                        if v.is_finite() {
+                            format!("{v:.4}")
+                        } else {
+                            "down".to_string()
+                        }
+                    };
+                    println!(
+                        "{:<24} {:>9} {:>9} {:>9} {:>9} {:>6.1}%",
+                        name,
+                        p(o.clear_ms),
+                        p(o.p50_ms),
+                        p(o.p95_ms),
+                        p(o.p99_ms),
+                        o.availability * 100.0
+                    );
+                }
+            }
+            "entity" => {
+                let candidates = report::entity_scan(&eco);
+                if candidates.is_empty() {
+                    println!("no complementary-link pairs found");
+                }
+                for c in &candidates {
+                    let fmt = |v: Option<f64>| {
+                        v.map(|x| format!("{x:.5} ms")).unwrap_or_else(|| "not connected".into())
+                    };
+                    println!(
+                        "{} + {}: alone {} / {}, merged {:.5} ms via {} shared towers{}",
+                        c.a,
+                        c.b,
+                        fmt(c.a_alone_ms),
+                        fmt(c.b_alone_ms),
+                        c.joint_latency_ms,
+                        c.shared_towers,
+                        if c.jointly_connected_only() { "  (joint-only!)" } else { "" },
+                    );
+                }
+            }
+            "overhead" => {
+                let asof = report::snapshot_date();
+                let nln = report::network_of(&eco, "New Line Networks", asof);
+                let jm = report::network_of(&eco, "Jefferson Microwave", asof);
+                match hft_core::overhead::crossover_overhead_us(
+                    &nln,
+                    &jm,
+                    &corridor::CME,
+                    &corridor::EQUINIX_NY4,
+                ) {
+                    Some(o) => println!(
+                        "Jefferson Microwave (fewer towers) overtakes New Line Networks \
+                         above {o:.2} µs of per-tower overhead (§3 implies ~1.4 µs)"
+                    ),
+                    None => println!("no crossover"),
+                }
+            }
+            "export" => {
+                let text = hft_uls::flatfile::encode(eco.db.licenses());
+                write(&out.join("corpus.uls"), &text).map_err(io_err)?;
+                println!("{} licenses exported", eco.db.len());
+            }
+            "yaml" => {
+                let name = args.name.as_deref().ok_or("yaml requires a licensee name")?;
+                let net = report::network_of(&eco, name, report::snapshot_date());
+                if net.tower_count() == 0 {
+                    return Err(format!("no towers for licensee {name:?}"));
+                }
+                let y = hft_core::yaml::to_yaml(&net);
+                let file = out.join(format!("{}.yaml", name.replace(' ', "_")));
+                write(&file, &y).map_err(io_err)?;
+            }
+            other => return Err(format!("unknown command {other:?}\n{}", usage())),
+        }
+        Ok(())
+    };
+
+    if args.command == "all" {
+        for cmd in [
+            "funnel", "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4a", "fig4b",
+            "fig5", "weather", "entity", "overhead", "export",
+        ] {
+            println!("==== {cmd} ====");
+            run_one(cmd)?;
+        }
+        Ok(())
+    } else {
+        run_one(&args.command)
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

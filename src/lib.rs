@@ -1,0 +1,64 @@
+//! # hftnetview
+//!
+//! An open-source Rust reproduction of *"A Bird's Eye View of the
+//! World's Fastest Networks"* (IMC 2020): reconstruction and analysis of
+//! the high-frequency-trading microwave networks of the Chicago–New
+//! Jersey corridor from (simulated) FCC Universal Licensing System
+//! filings.
+//!
+//! This crate ties the workspace together:
+//!
+//! * [`hft_uls`] — the ULS license data model, flat-file codec, portal
+//!   search interfaces and the §2.2 scrape pipeline;
+//! * [`hft_corridor`] — the calibrated synthetic license corpus standing
+//!   in for the real FCC data;
+//! * [`hft_core`] — network reconstruction, routing, APA and the other
+//!   §5 metrics, longitudinal analysis, YAML dumps;
+//! * [`hft_radio`] — band plans and the ITU-style propagation models;
+//! * [`hft_leo`] — the Fig. 5 LEO constellation comparison;
+//! * [`hft_viz`] — GeoJSON/SVG/CSV outputs;
+//! * [`report`] — one function per table/figure of the paper, producing
+//!   the text/CSV/SVG artifacts recorded in `EXPERIMENTS.md`;
+//! * [`weather`] — the §5 reliability argument as a Monte Carlo
+//!   experiment (conditional latency under corridor weather).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hftnetview::prelude::*;
+//!
+//! // Generate the calibrated ecosystem (deterministic per seed).
+//! let eco = generate(&chicago_nj(), 2020);
+//!
+//! // Reconstruct the fastest 2020 network and measure it.
+//! let asof = Date::new(2020, 4, 1).unwrap();
+//! let lics = eco.db.licensee_search("New Line Networks");
+//! let nln = reconstruct(&lics, "New Line Networks", asof, &Default::default());
+//! let route = route(&nln, &corridor::CME, &corridor::EQUINIX_NY4).unwrap();
+//! assert!((route.latency_ms - 3.96171).abs() < 1e-4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hft_core;
+pub use hft_corridor;
+pub use hft_geodesy;
+pub use hft_leo;
+pub use hft_netgraph;
+pub use hft_radio;
+pub use hft_time;
+pub use hft_uls;
+pub use hft_viz;
+
+pub mod report;
+pub mod weather;
+
+/// Commonly used items, for `use hftnetview::prelude::*`.
+pub mod prelude {
+    pub use hft_core::{corridor, metrics, reconstruct, route, Cdf, Network, ReconstructOptions};
+    pub use hft_corridor::{chicago_nj, generate};
+    pub use hft_geodesy::{LatLon, Medium};
+    pub use hft_time::Date;
+    pub use hft_uls::{License, UlsDatabase, UlsPortal};
+}

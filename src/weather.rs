@@ -1,0 +1,305 @@
+//! The §5 reliability argument as a runnable experiment.
+//!
+//! The paper *argues* that Webline Holdings survives against faster
+//! competitors because its shorter links, lower frequencies and higher
+//! APA make it more reliable: "one network may be able to dominate
+//! another in fair weather, but a more reliable network may be faster at
+//! other times." This module quantifies that claim: sample corridor
+//! weather states, fail the links whose rain attenuation exceeds their
+//! fade margin, and recompute each network's conditional latency.
+
+use hft_core::corridor::DataCenter;
+use hft_core::route::RoutingGraph;
+use hft_core::Network;
+use hft_geodesy::gc_initial_bearing_deg;
+use hft_radio::{LinkOutageModel, WeatherSampler};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Distribution summary of a network's latency across weather states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherOutcome {
+    /// Clear-sky latency, ms.
+    pub clear_ms: f64,
+    /// Median conditional latency, ms (disconnected samples count as ∞).
+    pub p50_ms: f64,
+    /// 95th-percentile conditional latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile conditional latency, ms.
+    pub p99_ms: f64,
+    /// Fraction of weather states in which the network stays connected.
+    pub availability: f64,
+    /// Number of sampled weather states.
+    pub samples: usize,
+}
+
+/// Run the weather Monte Carlo for `network` between two data centers.
+///
+/// Each sample draws a corridor weather state from `sampler`; every
+/// microwave link whose rain attenuation (at its length and lowest
+/// authorized frequency) exceeds its clear-air fade margin is removed,
+/// and the route re-solved. Deterministic in `seed`.
+pub fn conditional_latency(
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+    sampler: &WeatherSampler,
+    samples: usize,
+    seed: u64,
+) -> Option<WeatherOutcome> {
+    let rg = RoutingGraph::build(network, a, b);
+    let clear = rg.route_filtered(network, |_| true)?;
+
+    // Pre-compute each link's outage model and corridor position
+    // (fraction of the way from `a` to `b`, by projection onto the
+    // corridor axis).
+    let a_pos = a.position();
+    let b_pos = b.position();
+    let corridor_len = a_pos.geodesic_distance_m(&b_pos);
+    let corridor_bearing = gc_initial_bearing_deg(&a_pos, &b_pos).to_radians();
+    let links: Vec<(hft_netgraph::EdgeId, LinkOutageModel, f64)> = network
+        .graph
+        .edges()
+        .map(|(e, u, v, link)| {
+            let mid_u = network.graph.node(u).position;
+            let mid_v = network.graph.node(v).position;
+            // Project the link midpoint onto the corridor axis.
+            let d = a_pos.geodesic_distance_m(&mid_u).min(a_pos.geodesic_distance_m(&mid_v));
+            let x = (d / corridor_len).clamp(0.0, 1.0);
+            let freq = link
+                .frequencies_ghz
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let freq = if freq.is_finite() { freq } else { 11.0 };
+            (e, LinkOutageModel::typical(link.length_m / 1000.0, freq), x)
+        })
+        .collect();
+    let _ = corridor_bearing;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut latencies: Vec<f64> = Vec::with_capacity(samples);
+    let mut connected = 0usize;
+    for _ in 0..samples {
+        let state = sampler.sample(&mut rng);
+        let latency = match state {
+            None => Some(clear.latency_ms),
+            Some(event) => {
+                let mut down = std::collections::HashSet::new();
+                for (e, model, x) in &links {
+                    let rain = event.rain_at(*x);
+                    if rain > 0.0 && !model.up_under_rain(rain) {
+                        down.insert(*e);
+                    }
+                }
+                if down.is_empty() {
+                    Some(clear.latency_ms)
+                } else {
+                    rg.route_filtered(network, |e| !down.contains(&e)).map(|r| r.latency_ms)
+                }
+            }
+        };
+        match latency {
+            Some(ms) => {
+                connected += 1;
+                latencies.push(ms);
+            }
+            None => latencies.push(f64::INFINITY),
+        }
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("INF sorts fine"));
+    let q = |p: f64| latencies[((p * samples as f64) as usize).min(samples - 1)];
+    Some(WeatherOutcome {
+        clear_ms: clear.latency_ms,
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        p99_ms: q(0.99),
+        availability: connected as f64 / samples as f64,
+        samples,
+    })
+}
+
+/// The §5 closing thought, quantified: "The most competitive trading
+/// firms may even use a combination of both services to maintain their
+/// advantage in varied conditions." Evaluates a *portfolio* of networks
+/// against one shared sequence of weather states, taking the best
+/// available latency in each state.
+pub fn portfolio_latency(
+    networks: &[&Network],
+    a: &DataCenter,
+    b: &DataCenter,
+    sampler: &WeatherSampler,
+    samples: usize,
+    seed: u64,
+) -> Option<WeatherOutcome> {
+    if networks.is_empty() {
+        return None;
+    }
+    struct Member {
+        rg: RoutingGraph,
+        clear_ms: f64,
+        links: Vec<(hft_netgraph::EdgeId, LinkOutageModel, f64)>,
+    }
+    let a_pos = a.position();
+    let b_pos = b.position();
+    let corridor_len = a_pos.geodesic_distance_m(&b_pos);
+    let mut members = Vec::new();
+    for net in networks {
+        let rg = RoutingGraph::build(net, a, b);
+        let clear = rg.route_filtered(net, |_| true)?;
+        let links = net
+            .graph
+            .edges()
+            .map(|(e, u, v, link)| {
+                let d = a_pos
+                    .geodesic_distance_m(&net.graph.node(u).position)
+                    .min(a_pos.geodesic_distance_m(&net.graph.node(v).position));
+                let x = (d / corridor_len).clamp(0.0, 1.0);
+                let freq = link
+                    .frequencies_ghz
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                let freq = if freq.is_finite() { freq } else { 11.0 };
+                (e, LinkOutageModel::typical(link.length_m / 1000.0, freq), x)
+            })
+            .collect();
+        members.push(Member { rg, clear_ms: clear.latency_ms, links });
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(samples);
+    let mut connected = 0usize;
+    for _ in 0..samples {
+        let state = sampler.sample(&mut rng);
+        let mut best = f64::INFINITY;
+        for (net, m) in networks.iter().zip(&members) {
+            let ms = match &state {
+                None => Some(m.clear_ms),
+                Some(event) => {
+                    let down: std::collections::HashSet<_> = m
+                        .links
+                        .iter()
+                        .filter(|(_, model, x)| {
+                            let rain = event.rain_at(*x);
+                            rain > 0.0 && !model.up_under_rain(rain)
+                        })
+                        .map(|(e, _, _)| *e)
+                        .collect();
+                    if down.is_empty() {
+                        Some(m.clear_ms)
+                    } else {
+                        m.rg.route_filtered(net, |e| !down.contains(&e)).map(|r| r.latency_ms)
+                    }
+                }
+            };
+            if let Some(ms) = ms {
+                best = best.min(ms);
+            }
+        }
+        if best.is_finite() {
+            connected += 1;
+        }
+        latencies.push(best);
+    }
+    latencies.sort_by(|x, y| x.partial_cmp(y).expect("INF sorts fine"));
+    let q = |p: f64| latencies[((p * samples as f64) as usize).min(samples - 1)];
+    Some(WeatherOutcome {
+        clear_ms: members.iter().map(|m| m.clear_ms).fold(f64::INFINITY, f64::min),
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        p99_ms: q(0.99),
+        availability: connected as f64 / samples as f64,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_core::corridor::{CME, EQUINIX_NY4};
+    use hft_core::reconstruct;
+    use hft_corridor::{chicago_nj, generate};
+    use hft_time::Date;
+    use hft_uls::UlsPortal;
+
+    fn net(name: &str) -> Network {
+        let eco = generate(&chicago_nj(), 2020);
+        let lics = eco.db.licensee_search(name);
+        reconstruct(&lics, name, Date::new(2020, 4, 1).unwrap(), &Default::default())
+    }
+
+    #[test]
+    fn weather_crossover_wh_beats_nln_in_tails() {
+        let nln = net("New Line Networks");
+        let wh = net("Webline Holdings");
+        let sampler = WeatherSampler::stormy_season();
+        let o_nln =
+            conditional_latency(&nln, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        let o_wh = conditional_latency(&wh, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        // Fair weather: NLN wins (Table 1).
+        assert!(o_nln.clear_ms < o_wh.clear_ms);
+        assert!(o_nln.p50_ms < o_wh.p50_ms);
+        // Tails: WH's short 6 GHz links and high APA keep it up and fast
+        // while NLN's long 11 GHz links fail — the §5 crossover.
+        assert!(
+            o_wh.availability > o_nln.availability,
+            "WH availability {} vs NLN {}",
+            o_wh.availability,
+            o_nln.availability
+        );
+        assert!(
+            o_wh.p99_ms < o_nln.p99_ms,
+            "WH p99 {} must beat NLN p99 {}",
+            o_wh.p99_ms,
+            o_nln.p99_ms
+        );
+    }
+
+    #[test]
+    fn portfolio_combines_the_best_of_both() {
+        // §5: "the most competitive trading firms may even use a
+        // combination of both services". The NLN+WH portfolio must match
+        // NLN's fair-weather latency AND WH's availability.
+        let nln = net("New Line Networks");
+        let wh = net("Webline Holdings");
+        let sampler = WeatherSampler::stormy_season();
+        let o_nln = conditional_latency(&nln, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        let o_wh = conditional_latency(&wh, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        let combo =
+            portfolio_latency(&[&nln, &wh], &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        assert!((combo.p50_ms - o_nln.p50_ms).abs() < 1e-9, "fair weather: ride NLN");
+        assert!(combo.availability >= o_wh.availability, "tails: covered by WH");
+        assert!(combo.p99_ms <= o_wh.p99_ms + 1e-9, "p99 at least as good as WH alone");
+        assert!(combo.p99_ms.is_finite());
+    }
+
+    #[test]
+    fn portfolio_of_one_equals_single_network() {
+        let nln = net("New Line Networks");
+        let s = WeatherSampler::default();
+        let single = conditional_latency(&nln, &CME, &EQUINIX_NY4, &s, 400, 5).unwrap();
+        let combo = portfolio_latency(&[&nln], &CME, &EQUINIX_NY4, &s, 400, 5).unwrap();
+        assert_eq!(single, combo);
+        assert!(portfolio_latency(&[], &CME, &EQUINIX_NY4, &s, 10, 5).is_none());
+    }
+
+    #[test]
+    fn outcome_is_deterministic_in_seed() {
+        let nln = net("New Line Networks");
+        let s = WeatherSampler::default();
+        let a = conditional_latency(&nln, &CME, &EQUINIX_NY4, &s, 500, 7).unwrap();
+        let b = conditional_latency(&nln, &CME, &EQUINIX_NY4, &s, 500, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clear_weather_sampler_changes_nothing() {
+        let nln = net("New Line Networks");
+        let dry =
+            WeatherSampler { rain_probability: 0.0, mean_peak_mm_h: 10.0, max_half_width: 0.05 };
+        let o = conditional_latency(&nln, &CME, &EQUINIX_NY4, &dry, 200, 1).unwrap();
+        assert_eq!(o.availability, 1.0);
+        assert_eq!(o.p99_ms, o.clear_ms);
+    }
+}

@@ -1,0 +1,27 @@
+//! Golden-file regression test: the generator is fully deterministic in
+//! its seed, so the flat-file encoding of the canonical corpus (seed
+//! 2020) must match the committed snapshot byte for byte. Any change to
+//! the generator, calibration, RNG streams, coordinate formatting or the
+//! codec shows up here first.
+//!
+//! When a change is *intentional*, regenerate the snapshot:
+//! `cargo run --release -p hft-bench --bin repro` and re-dump the head —
+//! then re-verify EXPERIMENTS.md, since the published numbers may move.
+
+use hftnetview::prelude::*;
+
+#[test]
+fn corpus_head_matches_golden_snapshot() {
+    let eco = generate(&chicago_nj(), 2020);
+    let text = hft_uls::flatfile::encode(eco.db.licenses());
+    let head: String = text.lines().take(60).collect::<Vec<_>>().join("\n");
+    let golden = include_str!("data/corpus_head.golden");
+    assert_eq!(head, golden.trim_end(), "generator output drifted from the golden snapshot");
+}
+
+#[test]
+fn corpus_size_is_stable() {
+    let eco = generate(&chicago_nj(), 2020);
+    // The exact license count is part of the published dataset identity.
+    assert_eq!(eco.db.len(), 2801, "corpus size changed — update EXPERIMENTS.md if intentional");
+}

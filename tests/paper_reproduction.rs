@@ -1,0 +1,289 @@
+//! End-to-end reproduction tests: every table and figure of the paper,
+//! asserted on the *shapes* the paper reports — rankings, gaps,
+//! crossovers and funnel counts — plus absolute latencies where the
+//! generator is calibrated to match.
+
+use hftnetview::prelude::*;
+use hftnetview::report;
+use std::sync::OnceLock;
+
+fn eco() -> &'static hft_corridor::GeneratedEcosystem {
+    static ECO: OnceLock<hft_corridor::GeneratedEcosystem> = OnceLock::new();
+    ECO.get_or_init(|| generate(&chicago_nj(), 2020))
+}
+
+/// Paper Table 1, transcribed.
+const TABLE1: [(&str, f64, f64, usize); 9] = [
+    ("New Line Networks", 3.96171, 0.54, 25),
+    ("Pierce Broadband", 3.96209, 0.07, 29),
+    ("Jefferson Microwave", 3.96597, 0.73, 22),
+    ("Blueline Comm", 3.96940, 0.00, 29),
+    ("Webline Holdings", 3.97157, 0.85, 27),
+    ("AQ2AT", 4.01101, 0.00, 29),
+    ("Wireless Internetwork", 4.12246, 0.00, 33),
+    ("GTT Americas", 4.24241, 0.00, 28),
+    ("SW Networks", 4.44530, 0.00, 74),
+];
+
+#[test]
+fn table1_matches_paper() {
+    let rows = report::table1(eco());
+    assert_eq!(rows.len(), 9, "nine connected networks");
+    for (row, (name, lat, apa, towers)) in rows.iter().zip(TABLE1) {
+        assert_eq!(row.licensee, name);
+        assert!(
+            (row.latency_ms - lat).abs() < 0.0001,
+            "{name}: latency {} vs paper {lat}",
+            row.latency_ms
+        );
+        assert!((row.apa - apa).abs() < 0.08, "{name}: APA {} vs paper {apa}", row.apa);
+        assert_eq!(row.towers, towers, "{name}: tower count");
+    }
+}
+
+#[test]
+fn table1_sub_microsecond_gaps_preserved() {
+    let rows = report::table1(eco());
+    // NLN beats PB by ~0.4 µs — the paper's headline margin.
+    let gap_us = (rows[1].latency_ms - rows[0].latency_ms) * 1000.0;
+    assert!((gap_us - 0.38).abs() < 0.15, "NLN-PB gap {gap_us} µs");
+}
+
+#[test]
+fn table2_matches_paper() {
+    let t = report::table2(eco());
+    let expect: [(&str, f64, [(&str, f64); 3]); 3] = [
+        (
+            "CME-NY4",
+            1186.0,
+            [
+                ("New Line Networks", 3.96171),
+                ("Pierce Broadband", 3.96209),
+                ("Jefferson Microwave", 3.96597),
+            ],
+        ),
+        (
+            "CME-NYSE",
+            1174.0,
+            [
+                ("New Line Networks", 3.93209),
+                ("Jefferson Microwave", 3.94021),
+                ("Blueline Comm", 3.95866),
+            ],
+        ),
+        (
+            "CME-NASDAQ",
+            1176.0,
+            [
+                ("New Line Networks", 3.92728),
+                ("Webline Holdings", 3.92805),
+                ("Jefferson Microwave", 3.92828),
+            ],
+        ),
+    ];
+    for ((path, geo, ranks), (epath, egeo, eranks)) in t
+        .paths
+        .iter()
+        .map(|(p, g, r)| (p.clone(), *g, r.clone()))
+        .zip(expect)
+    {
+        assert_eq!(path, epath);
+        assert!((geo - egeo).abs() < 0.5, "{path} geodesic {geo}");
+        for ((name, ms), (ename, ems)) in ranks.iter().zip(eranks) {
+            assert_eq!(name, ename, "{path} ranking");
+            assert!((ms - ems).abs() < 0.0002, "{path} {name}: {ms} vs {ems}");
+        }
+    }
+}
+
+#[test]
+fn table3_matches_paper() {
+    let rows = report::table3(eco());
+    let paper = [
+        ("New Line Networks", [0.54, 0.58, 0.30]),
+        ("Webline Holdings", [0.85, 0.92, 0.80]),
+    ];
+    for ((name, apas), (ename, eapas)) in rows.iter().zip(paper) {
+        assert_eq!(name, ename);
+        for (i, (apa, eapa)) in apas.iter().zip(eapas).enumerate() {
+            let apa = apa.expect("both networks serve all three paths");
+            assert!((apa - eapa).abs() < 0.08, "{name} path {i}: {apa} vs {eapa}");
+        }
+    }
+}
+
+#[test]
+fn section5_lags_match() {
+    // §5: WH lags NLN by 10 µs, 117 µs, 0.8 µs on NY4/NYSE/NASDAQ.
+    let asof = report::snapshot_date();
+    let nln = report::network_of(eco(), "New Line Networks", asof);
+    let wh = report::network_of(eco(), "Webline Holdings", asof);
+    let lag = |dc| {
+        let a = route(&nln, &corridor::CME, dc).unwrap().latency_ms;
+        let b = route(&wh, &corridor::CME, dc).unwrap().latency_ms;
+        (b - a) * 1000.0
+    };
+    let ny4 = lag(&corridor::EQUINIX_NY4);
+    let nyse = lag(&corridor::NYSE);
+    let nasdaq = lag(&corridor::NASDAQ);
+    assert!((ny4 - 10.0).abs() < 1.0, "NY4 lag {ny4} µs vs paper 10 µs");
+    assert!((nyse - 117.0).abs() < 3.0, "NYSE lag {nyse} µs vs paper 117 µs");
+    assert!((nasdaq - 0.8).abs() < 0.3, "NASDAQ lag {nasdaq} µs vs paper 0.8 µs");
+}
+
+#[test]
+fn fig1_narrative() {
+    let series = report::evolution(eco());
+    // "decreased from 4.00 ms in 2013 to 3.962 ms in 2020".
+    let best_at = |idx: usize| {
+        series
+            .iter()
+            .filter_map(|s| s.points[idx].1)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!((best_at(0) - 4.000).abs() < 0.003, "2013 best {}", best_at(0));
+    assert!((best_at(8) - 3.96171).abs() < 0.0005, "2020 best {}", best_at(8));
+    // Latencies never materially regress for any surviving network
+    // (sub-µs wobble from tower-move quantization between equal-target
+    // eras is allowed).
+    for s in &series {
+        let mut last = f64::INFINITY;
+        for (_, lat, _) in &s.points {
+            if let Some(ms) = lat {
+                assert!(*ms <= last + 0.001, "{}: latency regressed {last} -> {ms}", s.licensee);
+                last = *ms;
+            }
+        }
+    }
+    // NLN achieves the overall lead by 2018.
+    let at = |name: &str, idx: usize| {
+        series.iter().find(|s| s.licensee == name).unwrap().points[idx].1
+    };
+    let nln_2018 = at("New Line Networks", 5).unwrap();
+    for other in ["Webline Holdings", "Jefferson Microwave"] {
+        assert!(nln_2018 < at(other, 5).unwrap(), "NLN leads {other} in 2018");
+    }
+}
+
+#[test]
+fn fig2_narrative() {
+    let series = report::evolution(eco());
+    let get = |name: &str| series.iter().find(|s| s.licensee == name).unwrap();
+    // NLN: 95 active licenses on 2016-01-01 (55 granted during 2015).
+    let nln = get("New Line Networks");
+    assert_eq!(nln.points[3].2, 95, "NLN license count on 2016-01-01");
+    assert!(nln.points[2].2 <= 45, "NLN barely present on 2015-01-01");
+    // NTC: ramps, then cancels ~71 licenses across 2017-18 and dies.
+    let ntc = get("National Tower Company");
+    let peak = ntc.points.iter().map(|p| p.2).max().unwrap();
+    assert!(peak >= 90, "NTC peak {peak}");
+    assert_eq!(ntc.points[6].2, 0, "NTC gone by 2019");
+    let cancelled_17_18 = ntc.points[4].2 - ntc.points[6].2;
+    assert!((60..=100).contains(&cancelled_17_18), "NTC cancelled {cancelled_17_18}");
+    // PB: smallest active count among the 2020 players, by far.
+    let pb_2020 = get("Pierce Broadband").points[8].2;
+    assert!(pb_2020 < 50);
+    for other in ["New Line Networks", "Webline Holdings", "Jefferson Microwave"] {
+        assert!(get(other).points[8].2 > 2 * pb_2020, "{other} has far more licenses than PB");
+    }
+}
+
+#[test]
+fn fig4_contrasts() {
+    let lens = report::fig4a(eco());
+    let wh = &lens.iter().find(|(n, _)| n == "Webline Holdings").unwrap().1;
+    let nln = &lens.iter().find(|(n, _)| n == "New Line Networks").unwrap().1;
+    // Paper: WH median 36 km, NLN 48.5 km (26% shorter).
+    assert!((wh.median() - 36.0).abs() < 4.0, "WH median {}", wh.median());
+    assert!((nln.median() - 48.5).abs() < 4.0, "NLN median {}", nln.median());
+
+    let freqs = report::fig4b(eco());
+    let wh_f = &freqs[0].1;
+    let nln_f = &freqs[1].1;
+    let alt_f = &freqs[2].1;
+    assert!(wh_f.fraction_below(7.0) > 0.94, "WH >94% under 7 GHz");
+    assert!(nln_f.median() > 10.0 && nln_f.median() < 12.0, "NLN rides the 11 GHz band");
+    assert!(alt_f.fraction_below(7.0) >= 0.18, "NLN alternates ≥18% in the 6 GHz band");
+}
+
+#[test]
+fn funnel_matches_section_2_2() {
+    let f = report::funnel(eco());
+    assert_eq!(f.service_filtered, 57, "57 candidate licensees");
+    assert_eq!(f.shortlisted, 29, "29 shortlisted");
+    assert!(f.geographic_candidates > 57, "non-MG licensees exist near CME");
+    // All nine connected networks are on the shortlist.
+    for name in &eco().connected_2020 {
+        assert!(f.shortlist.contains(name), "{name} missing from shortlist");
+    }
+}
+
+#[test]
+fn fig5_winners() {
+    let rows = report::fig5();
+    assert_eq!(rows[0].winner(), "microwave", "Chicago-NJ: MW wins");
+    assert_eq!(rows[1].winner(), "LEO", "Frankfurt-DC: LEO wins");
+    assert_eq!(rows[2].winner(), "LEO", "Tokyo-NY: LEO wins");
+    // And LEO never beats the straight-line c bound.
+    for r in &rows {
+        if let Some(leo) = r.leo_ms {
+            assert!(leo > r.c_bound_ms);
+        }
+    }
+}
+
+#[test]
+fn extension_entity_resolution_finds_the_hidden_pair() {
+    // §2.4 blind spot / §6 future work: the corpus hides one physical
+    // network filed under two shells; the complementary-link scan must
+    // find exactly that pair and nothing else.
+    let candidates = report::entity_scan(eco());
+    let joint_only: Vec<_> =
+        candidates.iter().filter(|c| c.jointly_connected_only()).collect();
+    assert_eq!(joint_only.len(), 1, "exactly one hidden split entity");
+    let c = joint_only[0];
+    let mut names = [c.a.as_str(), c.b.as_str()];
+    names.sort_unstable();
+    assert_eq!(names, ["Lakefront Route Holdings", "Seaboard Route Holdings"]);
+    assert!(c.shared_towers >= 20, "shells interleave on the same towers");
+    // The merged entity would have been a mid-table player.
+    assert!(c.joint_latency_ms > 3.9617 && c.joint_latency_ms < 4.01, "{}", c.joint_latency_ms);
+}
+
+#[test]
+fn extension_per_tower_overhead_crossover_matches_section3() {
+    // §3: "If both NLN and JM were using the same radios, and the
+    // per-tower added latency was higher than 1.4 µs, JM would offer
+    // lower end-end latency."
+    let asof = report::snapshot_date();
+    let nln = report::network_of(eco(), "New Line Networks", asof);
+    let jm = report::network_of(eco(), "Jefferson Microwave", asof);
+    let o = hft_core::overhead::crossover_overhead_us(
+        &nln,
+        &jm,
+        &corridor::CME,
+        &corridor::EQUINIX_NY4,
+    )
+    .expect("JM has fewer towers, so a crossover exists");
+    assert!((o - 1.42).abs() < 0.1, "crossover at {o} µs, paper implies ~1.4 µs");
+
+    // Below the crossover the Table-1 order holds; above it, JM leads.
+    let nets = vec![
+        ("New Line Networks".to_string(), &nln),
+        ("Jefferson Microwave".to_string(), &jm),
+    ];
+    let below = hft_core::overhead::rank_with_overhead(
+        &nets,
+        &corridor::CME,
+        &corridor::EQUINIX_NY4,
+        1.0,
+    );
+    assert_eq!(below[0].licensee, "New Line Networks");
+    let above = hft_core::overhead::rank_with_overhead(
+        &nets,
+        &corridor::CME,
+        &corridor::EQUINIX_NY4,
+        2.0,
+    );
+    assert_eq!(above[0].licensee, "Jefferson Microwave");
+}
