@@ -11,9 +11,12 @@ use hftnetview::report;
 use std::hint::black_box;
 use std::sync::OnceLock;
 
-fn eco() -> &'static GeneratedEcosystem {
+fn eco() -> &'static report::Analysis<'static> {
     static ECO: OnceLock<GeneratedEcosystem> = OnceLock::new();
-    ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED))
+    static ANALYSIS: OnceLock<report::Analysis<'static>> = OnceLock::new();
+    ANALYSIS.get_or_init(|| {
+        report::Analysis::new(ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED)))
+    })
 }
 
 fn bench_table1(c: &mut Criterion) {
@@ -68,7 +71,9 @@ fn bench_fig4b(c: &mut Criterion) {
 fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5");
     g.sample_size(10);
-    g.bench_function("fig5_leo_vs_terrestrial", |b| b.iter(|| black_box(report::fig5())));
+    g.bench_function("fig5_leo_vs_terrestrial", |b| {
+        b.iter(|| black_box(report::fig5()))
+    });
     g.finish();
 }
 
@@ -154,7 +159,12 @@ fn bench_annual_availability(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("annual_availability_whole_network", |b| {
-        b.iter(|| black_box(hft_radio::path_annual_availability(black_box(links.iter()), &climate)))
+        b.iter(|| {
+            black_box(hft_radio::path_annual_availability(
+                black_box(links.iter()),
+                &climate,
+            ))
+        })
     });
 }
 

@@ -14,9 +14,12 @@ use hftnetview::report;
 use std::hint::black_box;
 use std::sync::OnceLock;
 
-fn eco() -> &'static GeneratedEcosystem {
+fn eco() -> &'static report::Analysis<'static> {
     static ECO: OnceLock<GeneratedEcosystem> = OnceLock::new();
-    ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED))
+    static ANALYSIS: OnceLock<report::Analysis<'static>> = OnceLock::new();
+    ANALYSIS.get_or_init(|| {
+        report::Analysis::new(ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED)))
+    })
 }
 
 fn bench_geodesics(c: &mut Criterion) {
@@ -97,7 +100,11 @@ fn bench_pruning_ablation(c: &mut Criterion) {
                     s,
                     t,
                     |_, w| *w,
-                    &BoundedPathsConfig { bound, max_paths: usize::MAX, record_paths: false },
+                    &BoundedPathsConfig {
+                        bound,
+                        max_paths: usize::MAX,
+                        record_paths: false,
+                    },
                 ))
             })
         });
@@ -129,13 +136,19 @@ fn bench_routing(c: &mut Criterion) {
     });
     c.bench_function("yen_5_shortest", |b| {
         b.iter(|| {
-            black_box(yen_k_shortest(&rg.graph, rg.source, rg.target, 5, |_, e| e.latency_s()))
+            black_box(yen_k_shortest(
+                &rg.graph,
+                rg.source,
+                rg.target,
+                5,
+                |_, e| e.latency_s(),
+            ))
         })
     });
 }
 
 fn bench_reconstruction(c: &mut Criterion) {
-    let eco = eco();
+    let eco = eco().eco;
     let lics = {
         use hft_uls::UlsPortal;
         eco.db.licensee_search("New Line Networks")
@@ -153,7 +166,7 @@ fn bench_reconstruction(c: &mut Criterion) {
 }
 
 fn bench_codec(c: &mut Criterion) {
-    let eco = eco();
+    let eco = eco().eco;
     let text = hft_uls::flatfile::encode(eco.db.licenses());
     let mut g = c.benchmark_group("flatfile");
     g.sample_size(20);
@@ -186,8 +199,22 @@ fn bench_design_tradeoffs(c: &mut Criterion) {
     let mut grp = c.benchmark_group("ablate_design");
     grp.sample_size(20);
     for (label, spec) in [
-        ("lean_unprotected", DesignSpec { primary_towers: 15, protected_fraction: 0.0, ..Default::default() }),
-        ("dense_protected", DesignSpec { primary_towers: 40, protected_fraction: 1.0, ..Default::default() }),
+        (
+            "lean_unprotected",
+            DesignSpec {
+                primary_towers: 15,
+                protected_fraction: 0.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "dense_protected",
+            DesignSpec {
+                primary_towers: 40,
+                protected_fraction: 1.0,
+                ..Default::default()
+            },
+        ),
     ] {
         grp.bench_function(label, |b| {
             b.iter(|| {

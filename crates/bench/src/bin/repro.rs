@@ -24,10 +24,11 @@ fn write(path: &str, contents: &str) {
 fn main() {
     let out = "out/repro";
     let eco = generate(&chicago_nj(), REPRO_SEED);
+    let analysis = report::Analysis::new(&eco);
     println!("ecosystem: {} licenses, seed {REPRO_SEED}\n", eco.db.len());
 
     // ---- E10: the §2.2 funnel. ----
-    let funnel = report::funnel(&eco);
+    let funnel = report::funnel(&analysis);
     println!("E10 funnel          paper -> measured");
     println!("  candidates (MG/FXO): 57 -> {}", funnel.service_filtered);
     println!("  shortlisted (>=11):  29 -> {}", funnel.shortlisted);
@@ -44,7 +45,7 @@ fn main() {
         ("GTT Americas", 4.24241, 0.0, 28),
         ("SW Networks", 4.44530, 0.0, 74),
     ];
-    let rows = report::table1(&eco);
+    let rows = report::table1(&analysis);
     println!("\nE1 Table 1 (latency ms / APA % / towers), paper -> measured");
     for (r, (pname, plat, papa, ptow)) in rows.iter().zip(paper_t1) {
         println!(
@@ -56,27 +57,45 @@ fn main() {
             r.apa * 100.0,
             ptow,
             r.towers,
-            if r.licensee == pname { "" } else { "  << ORDER MISMATCH" },
+            if r.licensee == pname {
+                ""
+            } else {
+                "  << ORDER MISMATCH"
+            },
         );
     }
     let (_, csv) = report::table1_render(&rows);
     write(&format!("{out}/table1.csv"), &csv.to_csv());
 
     // ---- E2: Table 2. ----
-    let t2 = report::table2(&eco);
+    let t2 = report::table2(&analysis);
     let (text, csv) = report::table2_render(&t2);
     println!("\nE2 {text}");
     write(&format!("{out}/table2.csv"), &csv.to_csv());
 
     // ---- E3: Table 3. ----
-    let t3 = report::table3(&eco);
+    let t3 = report::table3(&analysis);
     let (text, csv) = report::table3_render(&t3);
     println!("E3 {text}");
     println!("   (paper: NLN 54/58/30, WH 85/92/80)");
     write(&format!("{out}/table3.csv"), &csv.to_csv());
 
     // ---- E4/E5: Figs 1 & 2. ----
-    let series = report::evolution(&eco);
+    // The nine-date sweep rides the session's epoch cache: dates inside
+    // one lifecycle epoch share a reconstruction, so the sweep must run
+    // strictly fewer reconstructions than the naive networks x dates.
+    let before_evolution = analysis.session.stats();
+    let series = report::evolution(&analysis);
+    let evolution_reconstructs =
+        analysis.session.stats().reconstructions - before_evolution.reconstructions;
+    let naive = (report::FIGURE_NETWORKS.len() * series[0].points.len()) as u64;
+    assert!(
+        evolution_reconstructs < naive,
+        "epoch cache must beat the naive sweep: {evolution_reconstructs} vs {naive}"
+    );
+    eprintln!(
+        "evolution sweep: {evolution_reconstructs} reconstructions for {naive} network-dates"
+    );
     let (svg, csv) = report::fig1_render(&series);
     write(&format!("{out}/fig1.svg"), &svg);
     write(&format!("{out}/fig1.csv"), &csv.to_csv());
@@ -84,10 +103,20 @@ fn main() {
     write(&format!("{out}/fig2.svg"), &svg);
     write(&format!("{out}/fig2.csv"), &csv.to_csv());
     let best = |idx: usize| {
-        series.iter().filter_map(|s| s.points[idx].1).fold(f64::INFINITY, f64::min)
+        series
+            .iter()
+            .filter_map(|s| s.points[idx].1)
+            .fold(f64::INFINITY, f64::min)
     };
-    println!("E4 Fig 1: best latency 2013 {:.3} ms (paper 4.00), 2020 {:.5} ms (paper 3.962)", best(0), best(8));
-    let nln = series.iter().find(|s| s.licensee == "New Line Networks").unwrap();
+    println!(
+        "E4 Fig 1: best latency 2013 {:.3} ms (paper 4.00), 2020 {:.5} ms (paper 3.962)",
+        best(0),
+        best(8)
+    );
+    let nln = series
+        .iter()
+        .find(|s| s.licensee == "New Line Networks")
+        .unwrap();
     println!(
         "E5 Fig 2: NLN licenses on 2016-01-01: {} (paper 95); NTC gone by 2019: {}",
         nln.points[3].2,
@@ -101,13 +130,17 @@ fn main() {
     );
 
     // ---- E6: Fig 3. ----
-    let (gj16, gj20, svg16, svg20) = report::fig3(&eco);
+    let (gj16, gj20, svg16, svg20) = report::fig3(&analysis);
     write(&format!("{out}/fig3_nln_2016.geojson"), &gj16);
     write(&format!("{out}/fig3_nln_2020.geojson"), &gj20);
     write(&format!("{out}/fig3_nln_2016.svg"), &svg16);
     write(&format!("{out}/fig3_nln_2020.svg"), &svg20);
-    let n16 = report::network_of(&eco, "New Line Networks", Date::new(2016, 1, 1).unwrap());
-    let n20 = report::network_of(&eco, "New Line Networks", report::snapshot_date());
+    let n16 = report::network_of(
+        &analysis,
+        "New Line Networks",
+        Date::new(2016, 1, 1).unwrap(),
+    );
+    let n20 = report::network_of(&analysis, "New Line Networks", report::snapshot_date());
     println!(
         "E6 Fig 3: NLN 2016 {} towers / {} links -> 2020 {} towers / {} links (augmentation visible)",
         n16.tower_count(),
@@ -117,18 +150,22 @@ fn main() {
     );
 
     // ---- E7: Fig 4a. ----
-    let lens = report::fig4a(&eco);
+    let lens = report::fig4a(&analysis);
     let (svg, csv) = report::cdf_render("Fig 4a: link lengths", "Distance (km)", &lens);
     write(&format!("{out}/fig4a.svg"), &svg);
     write(&format!("{out}/fig4a.csv"), &csv.to_csv());
     println!("E7 Fig 4a medians, paper -> measured:");
     for (name, cdf) in &lens {
-        let paper = if name.starts_with("Webline") { 36.0 } else { 48.5 };
+        let paper = if name.starts_with("Webline") {
+            36.0
+        } else {
+            48.5
+        };
         println!("  {:<20} {:.1} -> {:.1} km", name, paper, cdf.median());
     }
 
     // ---- E8: Fig 4b. ----
-    let freqs = report::fig4b(&eco);
+    let freqs = report::fig4b(&analysis);
     let (svg, csv) = report::cdf_render("Fig 4b: operating frequencies", "Frequency (GHz)", &freqs);
     write(&format!("{out}/fig4b.svg"), &svg);
     write(&format!("{out}/fig4b.csv"), &csv.to_csv());
@@ -145,8 +182,13 @@ fn main() {
     println!("E9b weather Monte Carlo (stormy season, 5000 states):");
     let sampler = WeatherSampler::stormy_season();
     for name in ["New Line Networks", "Webline Holdings"] {
-        let net = report::network_of(&eco, name, report::snapshot_date());
-        let o = weather::conditional_latency(
+        let asof = report::snapshot_date();
+        let net = analysis.session.network(name, asof);
+        let rg = analysis
+            .session
+            .routing_graph(name, asof, &corridor::CME, &corridor::EQUINIX_NY4);
+        let o = weather::conditional_latency_on(
+            &rg,
             &net,
             &corridor::CME,
             &corridor::EQUINIX_NY4,
@@ -155,7 +197,13 @@ fn main() {
             REPRO_SEED,
         )
         .expect("connected");
-        let p = |v: f64| if v.is_finite() { format!("{v:.4}") } else { "down".into() };
+        let p = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "down".into()
+            }
+        };
         println!(
             "  {:<22} clear {} | p99 {} | availability {:.2}%",
             name,
@@ -166,7 +214,7 @@ fn main() {
     }
 
     // ---- E11: entity resolution (§2.4 / §6 future work). ----
-    let candidates = report::entity_scan(&eco);
+    let candidates = report::entity_scan(&analysis);
     println!("\nE11 entity resolution (complementary-link scan over the shortlist):");
     for c in &candidates {
         let fmt = |v: Option<f64>| v.map(|x| format!("{x:.5}")).unwrap_or_else(|| "-".into());
@@ -178,23 +226,25 @@ fn main() {
             fmt(c.b_alone_ms),
             c.joint_latency_ms,
             c.shared_towers,
-            if c.jointly_connected_only() { "  << joint-only: one operator" } else { "" },
+            if c.jointly_connected_only() {
+                "  << joint-only: one operator"
+            } else {
+                ""
+            },
         );
     }
 
     // ---- E12: per-tower overhead crossover (§3). ----
-    let nln = report::network_of(&eco, "New Line Networks", report::snapshot_date());
-    let jm = report::network_of(&eco, "Jefferson Microwave", report::snapshot_date());
-    if let Some(o) = hft_core::overhead::crossover_overhead_us(
-        &nln,
-        &jm,
-        &corridor::CME,
-        &corridor::EQUINIX_NY4,
-    ) {
+    let nln = report::network_of(&analysis, "New Line Networks", report::snapshot_date());
+    let jm = report::network_of(&analysis, "Jefferson Microwave", report::snapshot_date());
+    if let Some(o) =
+        hft_core::overhead::crossover_overhead_us(&nln, &jm, &corridor::CME, &corridor::EQUINIX_NY4)
+    {
         println!(
             "\nE12 per-tower overhead: JM (22 towers) overtakes NLN (25 towers) above {o:.2} µs/tower (paper: ~1.4 µs)"
         );
     }
 
     println!("\nartifacts written under {out}/");
+    eprintln!("session stats: {}", analysis.session.stats());
 }

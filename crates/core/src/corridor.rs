@@ -73,7 +73,11 @@ mod tests {
         let cme = CME.position();
         for (dc, expect_km) in [(EQUINIX_NY4, 1186.0), (NYSE, 1174.0), (NASDAQ, 1176.0)] {
             let km = cme.geodesic_distance_m(&dc.position()) / 1000.0;
-            assert!((km - expect_km).abs() < 0.05, "{}: {km} vs {expect_km}", dc.code);
+            assert!(
+                (km - expect_km).abs() < 0.05,
+                "{}: {km} vs {expect_km}",
+                dc.code
+            );
         }
     }
 

@@ -17,9 +17,7 @@ use crate::corridor::DataCenter;
 use crate::metrics;
 use crate::network::{MwLink, Network, Tower};
 use crate::route::{route, RoutingGraph};
-use hft_geodesy::{
-    gc_destination, gc_initial_bearing_deg, gc_interpolate, LatLon, SnapGrid,
-};
+use hft_geodesy::{gc_destination, gc_initial_bearing_deg, gc_interpolate, LatLon, SnapGrid};
 use hft_netgraph::{disjoint_shortest_pair, Graph, NodeId};
 use hft_time::Date;
 
@@ -63,7 +61,10 @@ impl Default for DesignSpec {
 /// (anchored at primary towers, so single-link failures reroute locally).
 pub fn design_corridor(a: &DataCenter, b: &DataCenter, spec: &DesignSpec) -> Network {
     assert!(spec.primary_towers >= 3, "need at least three towers");
-    assert!((0.0..=1.0).contains(&spec.protected_fraction), "fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&spec.protected_fraction),
+        "fraction in [0,1]"
+    );
     let snap = SnapGrid::arc_second();
     let pa = a.position();
     let pb = b.position();
@@ -80,14 +81,30 @@ pub fn design_corridor(a: &DataCenter, b: &DataCenter, spec: &DesignSpec) -> Net
         })
     };
     let link = |graph: &mut Graph<Tower, MwLink>, u: NodeId, v: NodeId, ghz: f64| {
-        let d = graph.node(u).position.geodesic_distance_m(&graph.node(v).position);
-        graph.add_edge(u, v, MwLink { length_m: d, frequencies_ghz: vec![ghz], licenses: vec![] });
+        let d = graph
+            .node(u)
+            .position
+            .geodesic_distance_m(&graph.node(v).position);
+        graph.add_edge(
+            u,
+            v,
+            MwLink {
+                length_m: d,
+                frequencies_ghz: vec![ghz],
+                licenses: vec![],
+            },
+        );
     };
 
     // Primary chain on the geodesic.
     let n = spec.primary_towers;
     let primary: Vec<NodeId> = (0..n)
-        .map(|i| add(&mut graph, gc_interpolate(&start, &end, i as f64 / (n - 1) as f64)))
+        .map(|i| {
+            add(
+                &mut graph,
+                gc_interpolate(&start, &end, i as f64 / (n - 1) as f64),
+            )
+        })
         .collect();
     for w in primary.windows(2) {
         link(&mut graph, w[0], w[1], spec.primary_ghz);
@@ -171,7 +188,11 @@ mod tests {
     fn default_design_is_fast_and_fully_protected() {
         let net = design_corridor(&CME, &EQUINIX_NY4, &DesignSpec::default());
         let rep = evaluate(&net, &CME, &EQUINIX_NY4).expect("connected");
-        assert!(rep.stretch < 1.002, "straight chain + fiber tails: stretch {}", rep.stretch);
+        assert!(
+            rep.stretch < 1.002,
+            "straight chain + fiber tails: stretch {}",
+            rep.stretch
+        );
         assert!(rep.apa > 0.95, "fully railed: APA {}", rep.apa);
         // Full edge-disjointness extends to the data-center fiber tails:
         // the standby cannot reuse the primary's tail edge, so it enters
@@ -179,13 +200,21 @@ mod tests {
         // its penalty (~0.12 ms here). A deployment wanting cheap standby
         // would provision a second short tail; the metric makes that
         // trade visible.
-        let penalty = rep.disjoint_standby_penalty_ms.expect("disjoint standby exists");
-        assert!(penalty > 0.0 && penalty < 0.3, "standby within 300 µs: {penalty}");
+        let penalty = rep
+            .disjoint_standby_penalty_ms
+            .expect("disjoint standby exists");
+        assert!(
+            penalty > 0.0 && penalty < 0.3,
+            "standby within 300 µs: {penalty}"
+        );
     }
 
     #[test]
     fn unprotected_design_has_zero_apa_and_no_standby() {
-        let spec = DesignSpec { protected_fraction: 0.0, ..Default::default() };
+        let spec = DesignSpec {
+            protected_fraction: 0.0,
+            ..Default::default()
+        };
         let net = design_corridor(&CME, &EQUINIX_NY4, &spec);
         let rep = evaluate(&net, &CME, &EQUINIX_NY4).unwrap();
         assert_eq!(rep.apa, 0.0);
@@ -196,11 +225,22 @@ mod tests {
     fn apa_scales_with_protected_fraction() {
         let mut prev = -1.0;
         for f in [0.0, 0.3, 0.6, 1.0] {
-            let spec = DesignSpec { protected_fraction: f, ..Default::default() };
+            let spec = DesignSpec {
+                protected_fraction: f,
+                ..Default::default()
+            };
             let net = design_corridor(&CME, &EQUINIX_NY4, &spec);
             let rep = evaluate(&net, &CME, &EQUINIX_NY4).unwrap();
-            assert!(rep.apa >= prev - 0.05, "APA must grow with protection: {f} -> {}", rep.apa);
-            assert!((rep.apa - f).abs() < 0.1, "APA ≈ protected fraction: {f} -> {}", rep.apa);
+            assert!(
+                rep.apa >= prev - 0.05,
+                "APA must grow with protection: {f} -> {}",
+                rep.apa
+            );
+            assert!(
+                (rep.apa - f).abs() < 0.1,
+                "APA ≈ protected fraction: {f} -> {}",
+                rep.apa
+            );
             prev = rep.apa;
         }
     }
@@ -209,10 +249,28 @@ mod tests {
     fn tower_budget_tradeoff() {
         // Fewer towers = longer links = cheaper; latency stays ~constant
         // on a straight design, so the tradeoff shows up in tower count.
-        let lean = DesignSpec { primary_towers: 15, protected_fraction: 0.0, ..Default::default() };
-        let dense = DesignSpec { primary_towers: 40, protected_fraction: 0.0, ..Default::default() };
-        let rl = evaluate(&design_corridor(&CME, &EQUINIX_NY4, &lean), &CME, &EQUINIX_NY4).unwrap();
-        let rd = evaluate(&design_corridor(&CME, &EQUINIX_NY4, &dense), &CME, &EQUINIX_NY4).unwrap();
+        let lean = DesignSpec {
+            primary_towers: 15,
+            protected_fraction: 0.0,
+            ..Default::default()
+        };
+        let dense = DesignSpec {
+            primary_towers: 40,
+            protected_fraction: 0.0,
+            ..Default::default()
+        };
+        let rl = evaluate(
+            &design_corridor(&CME, &EQUINIX_NY4, &lean),
+            &CME,
+            &EQUINIX_NY4,
+        )
+        .unwrap();
+        let rd = evaluate(
+            &design_corridor(&CME, &EQUINIX_NY4, &dense),
+            &CME,
+            &EQUINIX_NY4,
+        )
+        .unwrap();
         assert!(rl.towers < rd.towers / 2);
         assert!((rl.latency_ms - rd.latency_ms).abs() < 0.002);
     }
@@ -229,13 +287,19 @@ mod tests {
                 high += 1;
             }
         }
-        assert!(low > 0 && high > 0, "both bands present: {low} low / {high} high");
+        assert!(
+            low > 0 && high > 0,
+            "both bands present: {low} low / {high} high"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least three")]
     fn rejects_degenerate_budget() {
-        let spec = DesignSpec { primary_towers: 2, ..Default::default() };
+        let spec = DesignSpec {
+            primary_towers: 2,
+            ..Default::default()
+        };
         design_corridor(&CME, &EQUINIX_NY4, &spec);
     }
 }

@@ -42,12 +42,16 @@ pub fn merge(a: &Network, b: &Network) -> Network {
             match edge_of.get(&key) {
                 Some(&e) => {
                     let merged = graph.edge_mut(e);
-                    merged.frequencies_ghz.extend(link.frequencies_ghz.iter().copied());
+                    merged
+                        .frequencies_ghz
+                        .extend(link.frequencies_ghz.iter().copied());
                     merged.licenses.extend(link.licenses.iter().copied());
                     merged
                         .frequencies_ghz
                         .sort_by(|x, y| x.partial_cmp(y).expect("finite"));
-                    merged.frequencies_ghz.dedup_by(|x, y| (*x - *y).abs() < 1e-9);
+                    merged
+                        .frequencies_ghz
+                        .dedup_by(|x, y| (*x - *y).abs() < 1e-9);
                     merged.licenses.sort_unstable();
                     merged.licenses.dedup();
                 }
@@ -105,7 +109,10 @@ impl MergeCandidate {
 pub fn shared_towers(a: &Network, b: &Network) -> usize {
     let cells: std::collections::HashSet<SnappedCoord> =
         a.graph.nodes().map(|(_, t)| t.cell).collect();
-    b.graph.nodes().filter(|(_, t)| cells.contains(&t.cell)).count()
+    b.graph
+        .nodes()
+        .filter(|(_, t)| cells.contains(&t.cell))
+        .count()
 }
 
 /// Scan all licensee pairs for complementary-link evidence between two
@@ -115,25 +122,32 @@ pub fn shared_towers(a: &Network, b: &Network) -> usize {
 /// neither member connects alone, or (b) the merge improves on the best
 /// member by more than `min_improvement_us`. Pairs with no shared towers
 /// can never stitch and are skipped cheaply.
-pub fn complementary_pairs(
-    networks: &[(String, Network)],
+///
+/// Networks may be owned or shared (anything that [`Borrow`]s a
+/// [`Network`], e.g. `Arc<Network>` handed out by an analysis session).
+///
+/// [`Borrow`]: std::borrow::Borrow
+pub fn complementary_pairs<N: std::borrow::Borrow<Network>>(
+    networks: &[(String, N)],
     from: &DataCenter,
     to: &DataCenter,
     min_improvement_us: f64,
 ) -> Vec<MergeCandidate> {
     let alone: Vec<Option<f64>> = networks
         .iter()
-        .map(|(_, n)| route(n, from, to).map(|r| r.latency_ms))
+        .map(|(_, n)| route(n.borrow(), from, to).map(|r| r.latency_ms))
         .collect();
     let mut out = Vec::new();
     for i in 0..networks.len() {
         for j in i + 1..networks.len() {
-            let shared = shared_towers(&networks[i].1, &networks[j].1);
+            let shared = shared_towers(networks[i].1.borrow(), networks[j].1.borrow());
             if shared == 0 {
                 continue;
             }
-            let merged = merge(&networks[i].1, &networks[j].1);
-            let Some(joint) = route(&merged, from, to) else { continue };
+            let merged = merge(networks[i].1.borrow(), networks[j].1.borrow());
+            let Some(joint) = route(&merged, from, to) else {
+                continue;
+            };
             let candidate = MergeCandidate {
                 a: networks[i].0.clone(),
                 b: networks[j].0.clone(),
@@ -143,7 +157,9 @@ pub fn complementary_pairs(
                 shared_towers: shared,
             };
             let qualifies = candidate.jointly_connected_only()
-                || candidate.improvement_us().is_some_and(|imp| imp > min_improvement_us);
+                || candidate
+                    .improvement_us()
+                    .is_some_and(|imp| imp > min_improvement_us);
             if qualifies {
                 out.push(candidate);
             }
@@ -190,12 +206,27 @@ mod tests {
             let t = t0 + (t1 - t0) * i as f64 / hops as f64;
             let node = graph.add_node(tower(gc_interpolate(&a, &b, t)));
             if let Some(p) = prev {
-                let d = graph.node(p).position.geodesic_distance_m(&graph.node(node).position);
-                graph.add_edge(p, node, MwLink { length_m: d, frequencies_ghz: vec![6.1], licenses: vec![] });
+                let d = graph
+                    .node(p)
+                    .position
+                    .geodesic_distance_m(&graph.node(node).position);
+                graph.add_edge(
+                    p,
+                    node,
+                    MwLink {
+                        length_m: d,
+                        frequencies_ghz: vec![6.1],
+                        licenses: vec![],
+                    },
+                );
             }
             prev = Some(node);
         }
-        Network { licensee: name.into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: name.into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! trajectories over time, as plotted in Figs 1 and 2.
 
 use crate::corridor::DataCenter;
-use crate::reconstruct::{reconstruct, ReconstructOptions};
-use crate::route::route;
+use crate::reconstruct::ReconstructOptions;
+use crate::session::AnalysisSession;
 use hft_time::Date;
 use hft_uls::License;
 
@@ -34,7 +34,11 @@ pub struct Trajectory {
 impl Trajectory {
     /// Dates at which the network was connected end-to-end.
     pub fn connected_dates(&self) -> Vec<Date> {
-        self.points.iter().filter(|p| p.latency_ms.is_some()).map(|p| p.date).collect()
+        self.points
+            .iter()
+            .filter(|p| p.latency_ms.is_some())
+            .map(|p| p.date)
+            .collect()
     }
 
     /// Best (lowest) latency ever achieved, if any.
@@ -48,11 +52,19 @@ impl Trajectory {
 
 /// Count the licenses of `licensee` active on `date`.
 pub fn active_license_count(licenses: &[&License], licensee: &str, date: Date) -> usize {
-    licenses.iter().filter(|l| l.licensee == licensee && l.active_on(date)).count()
+    licenses
+        .iter()
+        .filter(|l| l.licensee == licensee && l.active_on(date))
+        .count()
 }
 
 /// Compute a licensee's trajectory between data centers `a` and `b` over
 /// `dates` (typically [`hft_time::paper_sample_dates`]-style samples).
+///
+/// Backed by a throwaway [`AnalysisSession`], so dates falling in the
+/// same lifecycle epoch share one reconstruction. Callers scanning many
+/// licensees or date sets should hold a session themselves and use
+/// [`AnalysisSession::trajectory`] directly to share the cache further.
 pub fn trajectory(
     licenses: &[&License],
     licensee: &str,
@@ -61,20 +73,9 @@ pub fn trajectory(
     dates: &[Date],
     options: &ReconstructOptions,
 ) -> Trajectory {
-    let points = dates
-        .iter()
-        .map(|&date| {
-            let net = reconstruct(licenses, licensee, date, options);
-            let latency_ms = route(&net, a, b).map(|r| r.latency_ms);
-            EvolutionPoint {
-                date,
-                latency_ms,
-                active_licenses: active_license_count(licenses, licensee, date),
-                towers: net.tower_count(),
-            }
-        })
-        .collect();
-    Trajectory { licensee: licensee.to_string(), points }
+    AnalysisSession::over(licenses.iter().copied())
+        .with_options(*options)
+        .trajectory(licensee, a, b, dates)
 }
 
 #[cfg(test)]
@@ -124,7 +125,14 @@ mod tests {
         let lics = chain_licenses(d(2015, 6, 1), Some(d(2018, 3, 1)), 25);
         let refs: Vec<&License> = lics.iter().collect();
         let dates = vec![d(2014, 1, 1), d(2016, 1, 1), d(2017, 1, 1), d(2019, 1, 1)];
-        let t = trajectory(&refs, "Evolver", &CME, &EQUINIX_NY4, &dates, &Default::default());
+        let t = trajectory(
+            &refs,
+            "Evolver",
+            &CME,
+            &EQUINIX_NY4,
+            &dates,
+            &Default::default(),
+        );
         assert_eq!(t.points.len(), 4);
         // Before grant: nothing.
         assert_eq!(t.points[0].active_licenses, 0);
@@ -144,14 +152,28 @@ mod tests {
         let lics = chain_licenses(d(2015, 6, 1), None, 25);
         let refs: Vec<&License> = lics.iter().collect();
         let dates = vec![d(2016, 1, 1), d(2020, 4, 1)];
-        let t = trajectory(&refs, "Evolver", &CME, &EQUINIX_NY4, &dates, &Default::default());
+        let t = trajectory(
+            &refs,
+            "Evolver",
+            &CME,
+            &EQUINIX_NY4,
+            &dates,
+            &Default::default(),
+        );
         let best = t.best_latency_ms().unwrap();
         assert!((3.9..4.1).contains(&best), "got {best}");
     }
 
     #[test]
     fn empty_trajectory() {
-        let t = trajectory(&[], "Ghost", &CME, &EQUINIX_NY4, &[d(2020, 1, 1)], &Default::default());
+        let t = trajectory(
+            &[],
+            "Ghost",
+            &CME,
+            &EQUINIX_NY4,
+            &[d(2020, 1, 1)],
+            &Default::default(),
+        );
         assert_eq!(t.points.len(), 1);
         assert!(t.best_latency_ms().is_none());
         assert!(t.connected_dates().is_empty());

@@ -43,6 +43,7 @@ pub mod network;
 pub mod overhead;
 pub mod reconstruct;
 pub mod route;
+pub mod session;
 pub mod yaml;
 
 pub use cdf::Cdf;
@@ -50,3 +51,4 @@ pub use corridor::DataCenter;
 pub use network::{MwLink, Network, Tower};
 pub use reconstruct::{reconstruct, ReconstructOptions};
 pub use route::{route, Route, RoutingGraph};
+pub use session::{AnalysisSession, LicenseIndex, RouteMemo, SessionStats, StatsSnapshot};

@@ -31,7 +31,12 @@ pub const LATENCY_SLACK: f64 = 1.05;
 /// ladder approaches 1. Returns `None` when the network has no route at
 /// all between the data centers.
 pub fn apa(network: &Network, a: &DataCenter, b: &DataCenter) -> Option<f64> {
-    let rg = RoutingGraph::build(network, a, b);
+    apa_with(&RoutingGraph::build(network, a, b), network)
+}
+
+/// [`apa`] over a pre-built routing graph, so callers holding a cached
+/// graph (e.g. an analysis session) skip the rebuild.
+pub fn apa_with(rg: &RoutingGraph, network: &Network) -> Option<f64> {
     let base = rg.route_filtered(network, |_| true)?;
     let bound_s = latency_seconds(rg.geodesic_m, Medium::Air) * LATENCY_SLACK;
     if base.mw_edges.is_empty() {
@@ -63,11 +68,7 @@ pub fn apa(network: &Network, a: &DataCenter, b: &DataCenter) -> Option<f64> {
 /// (For the geographic graphs at hand the witness walk is loop-free; a
 /// cyclic witness would require towers revisited on a near-geodesic
 /// route, which tower economics preclude.)
-pub fn low_latency_link_set(
-    network: &Network,
-    a: &DataCenter,
-    b: &DataCenter,
-) -> BTreeSet<EdgeId> {
+pub fn low_latency_link_set(network: &Network, a: &DataCenter, b: &DataCenter) -> BTreeSet<EdgeId> {
     let rg = RoutingGraph::build(network, a, b);
     let bound_s = latency_seconds(rg.geodesic_m, Medium::Air) * LATENCY_SLACK;
     // Pin the fiber tails to the baseline route's (see `apa` for why).
@@ -151,7 +152,7 @@ mod tests {
     use super::*;
     use crate::corridor::{CME, EQUINIX_NY4};
     use crate::network::{MwLink, Tower};
-    use hft_geodesy::{gc_destination, gc_interpolate, gc_initial_bearing_deg, LatLon, SnapGrid};
+    use hft_geodesy::{gc_destination, gc_initial_bearing_deg, gc_interpolate, LatLon, SnapGrid};
     use hft_netgraph::{Graph, NodeId};
     use hft_time::Date;
 
@@ -165,9 +166,19 @@ mod tests {
     }
 
     fn link(graph: &mut Graph<Tower, MwLink>, a: NodeId, b: NodeId, ghz: f64) {
-        let length_m =
-            graph.node(a).position.geodesic_distance_m(&graph.node(b).position);
-        graph.add_edge(a, b, MwLink { length_m, frequencies_ghz: vec![ghz], licenses: vec![] });
+        let length_m = graph
+            .node(a)
+            .position
+            .geodesic_distance_m(&graph.node(b).position);
+        graph.add_edge(
+            a,
+            b,
+            MwLink {
+                length_m,
+                frequencies_ghz: vec![ghz],
+                licenses: vec![],
+            },
+        );
     }
 
     /// Straight chain of `n` towers, frequencies all `ghz`.
@@ -184,7 +195,11 @@ mod tests {
             }
             prev = Some(node);
         }
-        Network { licensee: "chain".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: "chain".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     /// Ladder: two parallel near-geodesic rails with rungs; rail A at
@@ -216,7 +231,11 @@ mod tests {
         for i in 0..n {
             link(&mut graph, top[i], bot[i], ghz_alt);
         }
-        Network { licensee: "ladder".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: "ladder".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]
@@ -246,7 +265,11 @@ mod tests {
     fn low_latency_set_covers_chain_exactly() {
         let net = chain(25, 11.2);
         let set = low_latency_link_set(&net, &CME, &EQUINIX_NY4);
-        assert_eq!(set.len(), net.link_count(), "every chain link is on the only path");
+        assert_eq!(
+            set.len(),
+            net.link_count(),
+            "every chain link is on the only path"
+        );
     }
 
     #[test]
@@ -293,7 +316,11 @@ mod tests {
         let net = ladder(25, 11.2, 6.2);
         let alt = alternate_path_frequency_cdf(&net, &CME, &EQUINIX_NY4).unwrap();
         // Alternate links carry the 6.2 GHz rail (and rungs).
-        assert!(alt.fraction_below(7.0) > 0.9, "got {}", alt.fraction_below(7.0));
+        assert!(
+            alt.fraction_below(7.0) > 0.9,
+            "got {}",
+            alt.fraction_below(7.0)
+        );
     }
 
     #[test]

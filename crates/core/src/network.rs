@@ -65,8 +65,11 @@ impl Network {
     /// Number of active licenses backing the network (distinct license
     /// ids across all links).
     pub fn license_count(&self) -> usize {
-        let mut ids: Vec<LicenseId> =
-            self.graph.edges().flat_map(|(_, _, _, l)| l.licenses.iter().copied()).collect();
+        let mut ids: Vec<LicenseId> = self
+            .graph
+            .edges()
+            .flat_map(|(_, _, _, l)| l.licenses.iter().copied())
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -95,7 +98,11 @@ impl Network {
 
     /// Total microwave route-kilometers in the network.
     pub fn total_link_km(&self) -> f64 {
-        self.graph.edges().map(|(_, _, _, l)| l.length_m).sum::<f64>() / 1000.0
+        self.graph
+            .edges()
+            .map(|(_, _, _, l)| l.length_m)
+            .sum::<f64>()
+            / 1000.0
     }
 }
 
@@ -174,7 +181,9 @@ mod tests {
             as_of: Date::new(2020, 4, 1).unwrap(),
             graph: Graph::new(),
         };
-        assert!(n.nearest_tower(&LatLon::new(41.0, -88.0).unwrap()).is_none());
+        assert!(n
+            .nearest_tower(&LatLon::new(41.0, -88.0).unwrap())
+            .is_none());
         assert_eq!(n.license_count(), 0);
         assert_eq!(n.total_link_km(), 0.0);
     }

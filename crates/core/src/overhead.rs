@@ -49,7 +49,11 @@ pub fn rank_with_overhead(
             })
         })
         .collect();
-    out.sort_by(|x, y| x.adjusted_ms.partial_cmp(&y.adjusted_ms).expect("finite latencies"));
+    out.sort_by(|x, y| {
+        x.adjusted_ms
+            .partial_cmp(&y.adjusted_ms)
+            .expect("finite latencies")
+    });
     out
 }
 
@@ -106,11 +110,23 @@ mod tests {
             });
             if let Some(p) = prev {
                 let length_m = graph.node(p).position.geodesic_distance_m(&position);
-                graph.add_edge(p, node, MwLink { length_m, frequencies_ghz: vec![11.2], licenses: vec![] });
+                graph.add_edge(
+                    p,
+                    node,
+                    MwLink {
+                        length_m,
+                        frequencies_ghz: vec![11.2],
+                        licenses: vec![],
+                    },
+                );
             }
             prev = Some(node);
         }
-        Network { licensee: name.into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: name.into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]
@@ -146,9 +162,19 @@ mod tests {
         let rm = route(&many, &CME, &EQUINIX_NY4).unwrap();
         let rf = route(&few, &CME, &EQUINIX_NY4).unwrap();
         let (fast, slow, dlat, dtow) = if rm.latency_ms < rf.latency_ms {
-            (&many, &few, (rf.latency_ms - rm.latency_ms) * 1000.0, rm.towers - rf.towers)
+            (
+                &many,
+                &few,
+                (rf.latency_ms - rm.latency_ms) * 1000.0,
+                rm.towers - rf.towers,
+            )
         } else {
-            (&few, &many, (rm.latency_ms - rf.latency_ms) * 1000.0, rf.towers as isize as usize)
+            (
+                &few,
+                &many,
+                (rm.latency_ms - rf.latency_ms) * 1000.0,
+                rf.towers as isize as usize,
+            )
         };
         if rm.latency_ms < rf.latency_ms && rm.towers > rf.towers {
             let o = crossover_overhead_us(fast, slow, &CME, &EQUINIX_NY4).unwrap();

@@ -26,7 +26,10 @@ pub struct ReconstructOptions {
 
 impl Default for ReconstructOptions {
     fn default() -> Self {
-        ReconstructOptions { snap: SnapGrid::arc_second(), min_link_m: 500.0 }
+        ReconstructOptions {
+            snap: SnapGrid::arc_second(),
+            min_link_m: 500.0,
+        }
     }
 }
 
@@ -77,7 +80,11 @@ pub fn reconstruct(
                     structure_height_m: path.rx.structure_height_m,
                 })
             });
-            let key = if tx_cell <= rx_cell { (tx_cell, rx_cell) } else { (rx_cell, tx_cell) };
+            let key = if tx_cell <= rx_cell {
+                (tx_cell, rx_cell)
+            } else {
+                (rx_cell, tx_cell)
+            };
             let freqs = path.frequencies.iter().map(|f| f.ghz());
             match edge_of_pair.get(&key) {
                 Some(&edge) => {
@@ -110,13 +117,18 @@ pub fn reconstruct(
     // Normalize merged payloads.
     for e in graph.edge_ids().collect::<Vec<_>>() {
         let link = graph.edge_mut(e);
-        link.frequencies_ghz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequency"));
+        link.frequencies_ghz
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite frequency"));
         link.frequencies_ghz.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         link.licenses.sort_unstable();
         link.licenses.dedup();
     }
 
-    Network { licensee: licensee.to_string(), as_of, graph }
+    Network {
+        licensee: licensee.to_string(),
+        as_of,
+        graph,
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +144,7 @@ mod tests {
         Date::new(y, m, day).unwrap()
     }
 
+    #[allow(clippy::type_complexity)]
     fn lic(
         id: u64,
         licensee: &str,
@@ -153,7 +166,9 @@ mod tests {
                 .map(|&((la, lo), (lb, lob), ghz)| MicrowavePath {
                     tx: TowerSite::at(LatLon::new(la, lo).unwrap()),
                     rx: TowerSite::at(LatLon::new(lb, lob).unwrap()),
-                    frequencies: vec![FrequencyAssignment { center_hz: ghz * 1e9 }],
+                    frequencies: vec![FrequencyAssignment {
+                        center_hz: ghz * 1e9,
+                    }],
                 })
                 .collect(),
         }
@@ -166,12 +181,16 @@ mod tests {
         let c = (41.65, -87.10);
         let l1 = lic(1, "Net", d(2015, 1, 1), None, &[(a, b, 11.2)]);
         let l2 = lic(2, "Net", d(2015, 1, 1), None, &[(b, c, 11.3)]);
-        let net = reconstruct(&[&l1, &l2], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        let net = reconstruct(
+            &[&l1, &l2],
+            "Net",
+            d(2020, 4, 1),
+            &ReconstructOptions::default(),
+        );
         assert_eq!(net.tower_count(), 3);
         assert_eq!(net.link_count(), 2);
         // Middle tower has degree 2.
-        let degrees: Vec<usize> =
-            net.graph.node_ids().map(|n| net.graph.degree(n)).collect();
+        let degrees: Vec<usize> = net.graph.node_ids().map(|n| net.graph.degree(n)).collect();
         assert_eq!(degrees.iter().filter(|&&deg| deg == 2).count(), 1);
     }
 
@@ -181,7 +200,12 @@ mod tests {
         let b2 = (41.700020, -87.600020); // ~0.07 arc-second away
         let l1 = lic(1, "Net", d(2015, 1, 1), None, &[((41.76, -88.17), b1, 6.1)]);
         let l2 = lic(2, "Net", d(2015, 1, 1), None, &[(b2, (41.65, -87.10), 6.2)]);
-        let net = reconstruct(&[&l1, &l2], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        let net = reconstruct(
+            &[&l1, &l2],
+            "Net",
+            d(2020, 4, 1),
+            &ReconstructOptions::default(),
+        );
         assert_eq!(net.tower_count(), 3, "re-surveyed tower must not split");
         assert_eq!(net.link_count(), 2);
     }
@@ -211,9 +235,26 @@ mod tests {
 
     #[test]
     fn other_licensees_ignored() {
-        let l1 = lic(1, "Mine", d(2015, 1, 1), None, &[((41.76, -88.17), (41.70, -87.60), 6.1)]);
-        let l2 = lic(2, "Theirs", d(2015, 1, 1), None, &[((41.60, -87.00), (41.55, -86.50), 6.1)]);
-        let net = reconstruct(&[&l1, &l2], "Mine", d(2020, 4, 1), &ReconstructOptions::default());
+        let l1 = lic(
+            1,
+            "Mine",
+            d(2015, 1, 1),
+            None,
+            &[((41.76, -88.17), (41.70, -87.60), 6.1)],
+        );
+        let l2 = lic(
+            2,
+            "Theirs",
+            d(2015, 1, 1),
+            None,
+            &[((41.60, -87.00), (41.55, -86.50), 6.1)],
+        );
+        let net = reconstruct(
+            &[&l1, &l2],
+            "Mine",
+            d(2020, 4, 1),
+            &ReconstructOptions::default(),
+        );
         assert_eq!(net.link_count(), 1);
         assert_eq!(net.licensee, "Mine");
     }
@@ -224,7 +265,12 @@ mod tests {
         let b = (41.70, -87.60);
         let east = lic(1, "Net", d(2015, 1, 1), None, &[(a, b, 11.245)]);
         let west = lic(2, "Net", d(2015, 1, 1), None, &[(b, a, 11.485)]); // reverse direction
-        let net = reconstruct(&[&east, &west], "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        let net = reconstruct(
+            &[&east, &west],
+            "Net",
+            d(2020, 4, 1),
+            &ReconstructOptions::default(),
+        );
         assert_eq!(net.link_count(), 1, "both directions are one physical link");
         let (_, _, _, link) = net.graph.edges().next().unwrap();
         assert_eq!(link.frequencies_ghz, vec![11.245, 11.485]);

@@ -109,23 +109,42 @@ impl RoutingGraph {
             graph.add_edge(
                 NodeId::from_index(u.index()),
                 NodeId::from_index(v.index()),
-                RoutingEdge { medium: Medium::Air, length_m: link.length_m, mw_edge: Some(eid) },
+                RoutingEdge {
+                    medium: Medium::Air,
+                    length_m: link.length_m,
+                    mw_edge: Some(eid),
+                },
             );
         }
         // Data-center nodes and fiber tails.
-        let source = graph.add_node(RoutingNode::DataCenter { code: a.code, position: a.position() });
-        let target = graph.add_node(RoutingNode::DataCenter { code: b.code, position: b.position() });
+        let source = graph.add_node(RoutingNode::DataCenter {
+            code: a.code,
+            position: a.position(),
+        });
+        let target = graph.add_node(RoutingNode::DataCenter {
+            code: b.code,
+            position: b.position(),
+        });
         for (dc_node, dc) in [(source, a), (target, b)] {
             for (tower, dist_m) in network.towers_within(&dc.position(), MAX_FIBER_TAIL_KM) {
                 graph.add_edge(
                     dc_node,
                     NodeId::from_index(tower.index()),
-                    RoutingEdge { medium: Medium::Fiber, length_m: dist_m, mw_edge: None },
+                    RoutingEdge {
+                        medium: Medium::Fiber,
+                        length_m: dist_m,
+                        mw_edge: None,
+                    },
                 );
             }
         }
         let geodesic_m = a.position().geodesic_distance_m(&b.position());
-        RoutingGraph { graph, source, target, geodesic_m }
+        RoutingGraph {
+            graph,
+            source,
+            target,
+            geodesic_m,
+        }
     }
 
     /// Lowest-latency route over edges passing `filter` (receiving the
@@ -235,12 +254,20 @@ mod tests {
                 graph.add_edge(
                     p,
                     node,
-                    MwLink { length_m, frequencies_ghz: vec![11.2], licenses: vec![] },
+                    MwLink {
+                        length_m,
+                        frequencies_ghz: vec![11.2],
+                        licenses: vec![],
+                    },
                 );
             }
             prev = Some(node);
         }
-        Network { licensee: "Chain".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: "Chain".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]
@@ -255,7 +282,11 @@ mod tests {
             Medium::Air,
         );
         assert!(r.latency_ms > bound_ms, "cannot beat the speed of light");
-        assert!(r.latency_ms < bound_ms * 1.01, "straight chain must be near-optimal: {} vs {bound_ms}", r.latency_ms);
+        assert!(
+            r.latency_ms < bound_ms * 1.01,
+            "straight chain must be near-optimal: {} vs {bound_ms}",
+            r.latency_ms
+        );
         assert!(r.fiber_m > 0.0, "ends reach DCs via fiber");
         assert!(r.fiber_m < 2.0 * MAX_FIBER_TAIL_KM * 1000.0);
         assert_eq!(r.waypoints.len(), 27); // 25 towers + 2 DCs
@@ -316,11 +347,23 @@ mod tests {
             });
             if let Some(p) = prev {
                 let length_m = graph.node(p).position.geodesic_distance_m(&position);
-                graph.add_edge(p, node, MwLink { length_m, frequencies_ghz: vec![6.1], licenses: vec![] });
+                graph.add_edge(
+                    p,
+                    node,
+                    MwLink {
+                        length_m,
+                        frequencies_ghz: vec![6.1],
+                        licenses: vec![],
+                    },
+                );
             }
             prev = Some(node);
         }
-        let net = Network { licensee: "Half".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph };
+        let net = Network {
+            licensee: "Half".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        };
         assert!(route(&net, &CME, &EQUINIX_NY4).is_none());
     }
 

@@ -1,0 +1,802 @@
+//! The shared snapshot engine: one [`AnalysisSession`] owning the license
+//! corpus view, epoch-keyed memoization of every derived artifact, and
+//! scoped-thread fan-out.
+//!
+//! # Epochs
+//!
+//! A licensee's reconstructed network is a pure function of *which of its
+//! licenses are active* on the as-of date. Activity of a license is
+//! decided entirely by the predicates `event ≤ date` over its three
+//! lifecycle dates (grant, cancellation, termination — see
+//! [`License::status_on`]). Take the sorted, deduplicated union `E` of a
+//! licensee's lifecycle dates: between two consecutive elements of `E`
+//! every such predicate is constant, so reconstruction is provably
+//! constant there too. The index of a date within `E`
+//! (`partition_point(|e| *e <= date)`) is its **epoch**, and
+//! `(licensee, epoch)` — not `(licensee, date)` — is the true identity of
+//! a snapshot. The paper's nine-date evolution scan (§4) collapses to the
+//! distinct epochs each licensee actually crossed.
+//!
+//! # Caching
+//!
+//! Networks are memoized on `(licensee, epoch, options)`; routing graphs,
+//! routes and APA on `(licensee, epoch, options, dc-pair)`. All caches
+//! sit behind mutexes and counters are atomic, so a session can be shared
+//! across the scoped threads of [`AnalysisSession::par_map`].
+//!
+//! # As-of dates
+//!
+//! A cached [`Network`] carries the *epoch-representative* as-of date
+//! (the event opening its epoch; [`Date::MIN`] for epoch 0), so cache
+//! contents never depend on request order. Consumers that print the
+//! as-of date (YAML/GeoJSON export) must use
+//! [`AnalysisSession::network_at`], which restamps a clone with the exact
+//! requested date.
+
+use crate::corridor::DataCenter;
+use crate::evolution::{EvolutionPoint, Trajectory};
+use crate::network::Network;
+use crate::reconstruct::{reconstruct, ReconstructOptions};
+use crate::route::{Route, RoutingGraph};
+use hft_geodesy::{LatLon, SnapGrid};
+use hft_time::Date;
+use hft_uls::scrape::{run_pipeline, FunnelReport, ScrapeConfig};
+use hft_uls::{License, UlsDatabase};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Licenses grouped by licensee, with each licensee's sorted lifecycle
+/// event dates — the epoch table.
+#[derive(Debug, Default)]
+pub struct LicenseIndex<'a> {
+    by_licensee: BTreeMap<&'a str, LicenseeEntry<'a>>,
+}
+
+#[derive(Debug, Default)]
+struct LicenseeEntry<'a> {
+    licenses: Vec<&'a License>,
+    /// Sorted, deduplicated grant/cancellation/termination dates.
+    events: Vec<Date>,
+}
+
+impl<'a> LicenseIndex<'a> {
+    /// Group `licenses` by licensee and derive each epoch table.
+    pub fn new(licenses: impl IntoIterator<Item = &'a License>) -> LicenseIndex<'a> {
+        let mut by_licensee: BTreeMap<&'a str, LicenseeEntry<'a>> = BTreeMap::new();
+        for lic in licenses {
+            let entry = by_licensee.entry(lic.licensee.as_str()).or_default();
+            entry.licenses.push(lic);
+            entry.events.push(lic.grant_date);
+            entry.events.extend(lic.cancellation_date);
+            entry.events.extend(lic.termination_date);
+        }
+        for entry in by_licensee.values_mut() {
+            entry.events.sort_unstable();
+            entry.events.dedup();
+        }
+        LicenseIndex { by_licensee }
+    }
+
+    /// All licensee names, sorted.
+    pub fn licensees(&self) -> impl Iterator<Item = &'a str> + '_ {
+        self.by_licensee.keys().copied()
+    }
+
+    /// The licenses filed by `licensee` (empty for unknown names).
+    pub fn licenses_of(&self, licensee: &str) -> &[&'a License] {
+        self.by_licensee
+            .get(licensee)
+            .map(|e| e.licenses.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The sorted lifecycle event dates of `licensee`.
+    pub fn events_of(&self, licensee: &str) -> &[Date] {
+        self.by_licensee
+            .get(licensee)
+            .map(|e| e.events.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The epoch of `date` for `licensee`: the number of lifecycle events
+    /// at or before `date`. Two dates with equal epochs reconstruct to
+    /// identical networks (see the module docs for the argument).
+    pub fn epoch_of(&self, licensee: &str, date: Date) -> usize {
+        self.events_of(licensee).partition_point(|e| *e <= date)
+    }
+
+    /// Number of distinct epochs `licensee` ever has (events + 1).
+    pub fn epoch_count(&self, licensee: &str) -> usize {
+        self.events_of(licensee).len() + 1
+    }
+
+    /// The representative (first) date of `licensee`'s epoch `k`:
+    /// the event opening the epoch, or [`Date::MIN`] for epoch 0.
+    pub fn epoch_start(&self, licensee: &str, epoch: usize) -> Date {
+        if epoch == 0 {
+            Date::MIN
+        } else {
+            self.events_of(licensee)[epoch - 1]
+        }
+    }
+
+    /// Licenses of `licensee` active on `date`.
+    pub fn active_count(&self, licensee: &str, date: Date) -> usize {
+        self.licenses_of(licensee)
+            .iter()
+            .filter(|l| l.active_on(date))
+            .count()
+    }
+}
+
+/// Hashable identity of a [`ReconstructOptions`] (part of every cache
+/// key, so sessions with different options never alias).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptionsKey {
+    snap: SnapGrid,
+    min_link_bits: u64,
+}
+
+impl From<&ReconstructOptions> for OptionsKey {
+    fn from(o: &ReconstructOptions) -> OptionsKey {
+        OptionsKey {
+            snap: o.snap,
+            min_link_bits: o.min_link_m.to_bits(),
+        }
+    }
+}
+
+/// Atomic hit/miss counters of an [`AnalysisSession`].
+#[derive(Debug, Default)]
+pub struct SessionStats {
+    network_hits: AtomicU64,
+    reconstructions: AtomicU64,
+    route_hits: AtomicU64,
+    route_misses: AtomicU64,
+    apa_hits: AtomicU64,
+    apa_misses: AtomicU64,
+    graph_hits: AtomicU64,
+    graph_misses: AtomicU64,
+}
+
+/// A point-in-time copy of [`SessionStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Network requests answered from the epoch cache.
+    pub network_hits: u64,
+    /// Network requests that ran a full reconstruction (cache misses).
+    pub reconstructions: u64,
+    /// Route requests answered from cache.
+    pub route_hits: u64,
+    /// Route requests computed fresh.
+    pub route_misses: u64,
+    /// APA requests answered from cache.
+    pub apa_hits: u64,
+    /// APA requests computed fresh.
+    pub apa_misses: u64,
+    /// Routing-graph requests answered from cache.
+    pub graph_hits: u64,
+    /// Routing-graph requests built fresh.
+    pub graph_misses: u64,
+}
+
+impl StatsSnapshot {
+    /// Reconstructions a naive per-date scan would have run but the epoch
+    /// cache absorbed.
+    pub fn reconstructions_avoided(&self) -> u64 {
+        self.network_hits
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "networks {} built / {} cached; graphs {} built / {} cached; \
+             routes {} computed / {} cached; apa {} computed / {} cached",
+            self.reconstructions,
+            self.network_hits,
+            self.graph_misses,
+            self.graph_hits,
+            self.route_misses,
+            self.route_hits,
+            self.apa_misses,
+            self.apa_hits,
+        )
+    }
+}
+
+impl SessionStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            network_hits: self.network_hits.load(Ordering::Relaxed),
+            reconstructions: self.reconstructions.load(Ordering::Relaxed),
+            route_hits: self.route_hits.load(Ordering::Relaxed),
+            route_misses: self.route_misses.load(Ordering::Relaxed),
+            apa_hits: self.apa_hits.load(Ordering::Relaxed),
+            apa_misses: self.apa_misses.load(Ordering::Relaxed),
+            graph_hits: self.graph_hits.load(Ordering::Relaxed),
+            graph_misses: self.graph_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result of the cached §2.2 scrape pipeline.
+#[derive(Debug, Clone)]
+pub struct ScrapeOutcome {
+    /// Shortlisted licensee names, sorted.
+    pub shortlist: Vec<String>,
+    /// The funnel counters.
+    pub report: FunnelReport,
+}
+
+type NetKey = (String, usize, OptionsKey);
+type PairKey = (String, usize, OptionsKey, &'static str, &'static str);
+type ScrapeKey = (u64, u64, u64, usize);
+
+/// The shared snapshot engine: owns the license-corpus view and serves
+/// every derived artifact — networks, routing graphs, routes, APA, the
+/// scrape shortlist — from epoch-keyed caches. Shareable across scoped
+/// threads; see [`AnalysisSession::par_map`].
+pub struct AnalysisSession<'a> {
+    index: LicenseIndex<'a>,
+    db: Option<&'a UlsDatabase>,
+    options: ReconstructOptions,
+    networks: Mutex<HashMap<NetKey, Arc<Network>>>,
+    graphs: Mutex<HashMap<PairKey, Arc<RoutingGraph>>>,
+    routes: Mutex<HashMap<PairKey, Option<Arc<Route>>>>,
+    apas: Mutex<HashMap<PairKey, Option<f64>>>,
+    scrapes: Mutex<HashMap<ScrapeKey, Arc<ScrapeOutcome>>>,
+    stats: SessionStats,
+}
+
+impl<'a> AnalysisSession<'a> {
+    /// Session over a full ULS database (portal-backed operations like
+    /// [`AnalysisSession::scrape`] are available).
+    pub fn new(db: &'a UlsDatabase) -> AnalysisSession<'a> {
+        AnalysisSession {
+            index: LicenseIndex::new(db.licenses()),
+            db: Some(db),
+            options: ReconstructOptions::default(),
+            networks: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(HashMap::new()),
+            routes: Mutex::new(HashMap::new()),
+            apas: Mutex::new(HashMap::new()),
+            scrapes: Mutex::new(HashMap::new()),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Session over a bare license slice (no portal; `scrape` returns
+    /// `None`). Useful for tests and for [`crate::evolution::trajectory`].
+    pub fn over(licenses: impl IntoIterator<Item = &'a License>) -> AnalysisSession<'a> {
+        AnalysisSession {
+            index: LicenseIndex::new(licenses),
+            db: None,
+            options: ReconstructOptions::default(),
+            networks: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(HashMap::new()),
+            routes: Mutex::new(HashMap::new()),
+            apas: Mutex::new(HashMap::new()),
+            scrapes: Mutex::new(HashMap::new()),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Replace the reconstruction options (builder style).
+    pub fn with_options(mut self, options: ReconstructOptions) -> AnalysisSession<'a> {
+        self.options = options;
+        self
+    }
+
+    /// The session's reconstruction options.
+    pub fn options(&self) -> &ReconstructOptions {
+        &self.options
+    }
+
+    /// The underlying database, when the session was built from one.
+    pub fn db(&self) -> Option<&'a UlsDatabase> {
+        self.db
+    }
+
+    /// The license/epoch index.
+    pub fn index(&self) -> &LicenseIndex<'a> {
+        &self.index
+    }
+
+    /// Cache counters so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The epoch of `date` for `licensee` under this session's corpus.
+    pub fn epoch(&self, licensee: &str, date: Date) -> usize {
+        self.index.epoch_of(licensee, date)
+    }
+
+    fn net_key(&self, licensee: &str, epoch: usize) -> NetKey {
+        (licensee.to_string(), epoch, OptionsKey::from(&self.options))
+    }
+
+    fn pair_key(&self, licensee: &str, epoch: usize, a: &DataCenter, b: &DataCenter) -> PairKey {
+        (
+            licensee.to_string(),
+            epoch,
+            OptionsKey::from(&self.options),
+            a.code,
+            b.code,
+        )
+    }
+
+    /// The reconstructed network of `licensee` as of `date`, from cache
+    /// when the epoch was seen before.
+    ///
+    /// The returned network's `as_of` is the epoch-representative date,
+    /// NOT `date` — use [`AnalysisSession::network_at`] where the printed
+    /// as-of matters.
+    pub fn network(&self, licensee: &str, date: Date) -> Arc<Network> {
+        let epoch = self.epoch(licensee, date);
+        let key = self.net_key(licensee, epoch);
+        if let Some(hit) = self.networks.lock().expect("network cache").get(&key) {
+            SessionStats::bump(&self.stats.network_hits);
+            return Arc::clone(hit);
+        }
+        // Reconstruct outside the lock: epochs are deterministic, so a
+        // racing duplicate insert is identical and harmless.
+        SessionStats::bump(&self.stats.reconstructions);
+        let as_of = self.index.epoch_start(licensee, epoch);
+        let net = Arc::new(reconstruct(
+            self.index.licenses_of(licensee),
+            licensee,
+            as_of,
+            &self.options,
+        ));
+        self.networks
+            .lock()
+            .expect("network cache")
+            .entry(key)
+            .or_insert(net.clone());
+        net
+    }
+
+    /// The network of `licensee` restamped with the exact `date` — for
+    /// consumers that render the as-of date (YAML, GeoJSON).
+    pub fn network_at(&self, licensee: &str, date: Date) -> Network {
+        let mut net = (*self.network(licensee, date)).clone();
+        net.as_of = date;
+        net
+    }
+
+    /// The cached routing graph of `licensee`'s network between `a` and
+    /// `b` as of `date`.
+    pub fn routing_graph(
+        &self,
+        licensee: &str,
+        date: Date,
+        a: &DataCenter,
+        b: &DataCenter,
+    ) -> Arc<RoutingGraph> {
+        let epoch = self.epoch(licensee, date);
+        let key = self.pair_key(licensee, epoch, a, b);
+        if let Some(hit) = self.graphs.lock().expect("graph cache").get(&key) {
+            SessionStats::bump(&self.stats.graph_hits);
+            return Arc::clone(hit);
+        }
+        SessionStats::bump(&self.stats.graph_misses);
+        let net = self.network(licensee, date);
+        let rg = Arc::new(RoutingGraph::build(&net, a, b));
+        self.graphs
+            .lock()
+            .expect("graph cache")
+            .entry(key)
+            .or_insert(rg.clone());
+        rg
+    }
+
+    /// The lowest-latency route of `licensee` between `a` and `b` as of
+    /// `date` (`None` when not connected), from cache per epoch.
+    pub fn route(
+        &self,
+        licensee: &str,
+        date: Date,
+        a: &DataCenter,
+        b: &DataCenter,
+    ) -> Option<Arc<Route>> {
+        let epoch = self.epoch(licensee, date);
+        let key = self.pair_key(licensee, epoch, a, b);
+        if let Some(hit) = self.routes.lock().expect("route cache").get(&key) {
+            SessionStats::bump(&self.stats.route_hits);
+            return hit.clone();
+        }
+        SessionStats::bump(&self.stats.route_misses);
+        let net = self.network(licensee, date);
+        let rg = self.routing_graph(licensee, date, a, b);
+        let route = rg.route_filtered(&net, |_| true).map(Arc::new);
+        self.routes
+            .lock()
+            .expect("route cache")
+            .entry(key)
+            .or_insert(route.clone());
+        route
+    }
+
+    /// Latency (ms) of [`AnalysisSession::route`].
+    pub fn latency_ms(
+        &self,
+        licensee: &str,
+        date: Date,
+        a: &DataCenter,
+        b: &DataCenter,
+    ) -> Option<f64> {
+        self.route(licensee, date, a, b).map(|r| r.latency_ms)
+    }
+
+    /// Alternate path availability of `licensee` between `a` and `b` as
+    /// of `date`, cached per epoch (see [`crate::metrics::apa`]).
+    pub fn apa(&self, licensee: &str, date: Date, a: &DataCenter, b: &DataCenter) -> Option<f64> {
+        let epoch = self.epoch(licensee, date);
+        let key = self.pair_key(licensee, epoch, a, b);
+        if let Some(hit) = self.apas.lock().expect("apa cache").get(&key) {
+            SessionStats::bump(&self.stats.apa_hits);
+            return *hit;
+        }
+        SessionStats::bump(&self.stats.apa_misses);
+        let net = self.network(licensee, date);
+        let rg = self.routing_graph(licensee, date, a, b);
+        let apa = crate::metrics::apa_with(&rg, &net);
+        self.apas
+            .lock()
+            .expect("apa cache")
+            .entry(key)
+            .or_insert(apa);
+        apa
+    }
+
+    /// Run (or replay) the §2.2 scrape pipeline against the session's
+    /// database. `None` when the session has no portal
+    /// ([`AnalysisSession::over`]).
+    pub fn scrape(&self, reference: &LatLon, config: &ScrapeConfig) -> Option<Arc<ScrapeOutcome>> {
+        let db = self.db?;
+        let key: ScrapeKey = (
+            reference.lat_deg().to_bits(),
+            reference.lon_deg().to_bits(),
+            config.radius_km.to_bits(),
+            config.min_filings,
+        );
+        if let Some(hit) = self.scrapes.lock().expect("scrape cache").get(&key) {
+            return Some(Arc::clone(hit));
+        }
+        let (_, report) = run_pipeline(db, reference, config);
+        let outcome = Arc::new(ScrapeOutcome {
+            shortlist: report.shortlist.clone(),
+            report,
+        });
+        self.scrapes
+            .lock()
+            .expect("scrape cache")
+            .entry(key)
+            .or_insert(outcome.clone());
+        Some(outcome)
+    }
+
+    /// A licensee's §4 trajectory over `dates`, deduplicating per-date
+    /// reconstruction through the epoch cache: a licensee spanning `k`
+    /// distinct epochs across `n` dates reconstructs `k ≤ n` times.
+    pub fn trajectory(
+        &self,
+        licensee: &str,
+        a: &DataCenter,
+        b: &DataCenter,
+        dates: &[Date],
+    ) -> Trajectory {
+        let points = dates
+            .iter()
+            .map(|&date| {
+                let latency_ms = self.latency_ms(licensee, date, a, b);
+                let towers = self.network(licensee, date).tower_count();
+                EvolutionPoint {
+                    date,
+                    latency_ms,
+                    active_licenses: self.index.active_count(licensee, date),
+                    towers,
+                }
+            })
+            .collect();
+        Trajectory {
+            licensee: licensee.to_string(),
+            points,
+        }
+    }
+
+    /// Order-preserving parallel map over `items` using scoped threads
+    /// (`std::thread::scope` — no extra dependencies). The closure runs
+    /// against this shared session, so cache hits propagate across
+    /// workers. Worker count is `available_parallelism`, capped at the
+    /// item count.
+    pub fn par_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        let chunk = n.div_ceil(workers);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        let mut batches: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut it = items.into_iter();
+        loop {
+            let batch: Vec<T> = it.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            batches.push(batch);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (batch, out) in batches.into_iter().zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, item) in out.iter_mut().zip(batch) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+/// A small fingerprint-keyed latency memo for throwaway probe networks
+/// (the corridor generator's closed-loop calibration probes the same
+/// geometry repeatedly as its bisection converges).
+#[derive(Debug, Default)]
+pub struct RouteMemo {
+    map: HashMap<u64, Option<f64>>,
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that ran the computation.
+    pub misses: u64,
+}
+
+impl RouteMemo {
+    /// An empty memo.
+    pub fn new() -> RouteMemo {
+        RouteMemo::default()
+    }
+
+    /// Return the memoized latency for `fingerprint`, computing it with
+    /// `compute` on first sight.
+    pub fn latency_ms(
+        &mut self,
+        fingerprint: u64,
+        compute: impl FnOnce() -> Option<f64>,
+    ) -> Option<f64> {
+        if let Some(hit) = self.map.get(&fingerprint) {
+            self.hits += 1;
+            return *hit;
+        }
+        self.misses += 1;
+        let value = compute();
+        self.map.insert(fingerprint, value);
+        value
+    }
+}
+
+/// FNV-1a over a stream of 64-bit words — the fingerprint helper used
+/// with [`RouteMemo`].
+pub fn fingerprint_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::{CME, EQUINIX_NY4};
+    use hft_geodesy::gc_interpolate;
+    use hft_uls::{
+        CallSign, FrequencyAssignment, LicenseId, MicrowavePath, RadioService, StationClass,
+        TowerSite,
+    };
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    /// One license per hop of a straight CME→NY4 chain.
+    fn chain_licenses(
+        licensee: &str,
+        grant: Date,
+        cancel: Option<Date>,
+        n: usize,
+        base_id: u64,
+    ) -> Vec<License> {
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let pos = |i: usize| gc_interpolate(&a, &b, 0.004 + (i as f64 / (n - 1) as f64) * 0.992);
+        (0..n - 1)
+            .map(|i| License {
+                id: LicenseId(base_id + i as u64),
+                call_sign: CallSign(format!("WQ{:05}", base_id + i as u64)),
+                licensee: licensee.into(),
+                service: RadioService::MG,
+                station_class: StationClass::FXO,
+                grant_date: grant,
+                termination_date: None,
+                cancellation_date: cancel,
+                paths: vec![MicrowavePath {
+                    tx: TowerSite::at(pos(i)),
+                    rx: TowerSite::at(pos(i + 1)),
+                    frequencies: vec![FrequencyAssignment { center_hz: 6.1e9 }],
+                }],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn epochs_partition_the_timeline() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), Some(d(2018, 3, 1)), 5, 1);
+        let s = AnalysisSession::over(&lics);
+        // Events: 2015-06-01 (grant), 2018-03-01 (cancel) → 3 epochs.
+        assert_eq!(s.index().epoch_count("Net"), 3);
+        assert_eq!(s.epoch("Net", d(2015, 5, 31)), 0);
+        assert_eq!(
+            s.epoch("Net", d(2015, 6, 1)),
+            1,
+            "event day starts its epoch"
+        );
+        assert_eq!(s.epoch("Net", d(2018, 2, 28)), 1);
+        assert_eq!(s.epoch("Net", d(2018, 3, 1)), 2);
+        assert_eq!(s.epoch("Net", d(2025, 1, 1)), 2);
+        assert_eq!(s.index().epoch_start("Net", 0), Date::MIN);
+        assert_eq!(s.index().epoch_start("Net", 1), d(2015, 6, 1));
+    }
+
+    #[test]
+    fn same_epoch_reconstructs_once() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 25, 1);
+        let s = AnalysisSession::over(&lics);
+        let n1 = s.network("Net", d(2016, 1, 1));
+        let n2 = s.network("Net", d(2019, 7, 4));
+        assert!(Arc::ptr_eq(&n1, &n2), "same epoch must share the snapshot");
+        let stats = s.stats();
+        assert_eq!(stats.reconstructions, 1);
+        assert_eq!(stats.network_hits, 1);
+    }
+
+    #[test]
+    fn different_epochs_reconstruct_separately() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), Some(d(2018, 3, 1)), 25, 1);
+        let s = AnalysisSession::over(&lics);
+        let active = s.network("Net", d(2016, 1, 1));
+        let gone = s.network("Net", d(2019, 1, 1));
+        assert_eq!(active.tower_count(), 25);
+        assert_eq!(gone.tower_count(), 0);
+        assert_eq!(s.stats().reconstructions, 2);
+    }
+
+    #[test]
+    fn network_at_restamps_exact_date() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 5, 1);
+        let s = AnalysisSession::over(&lics);
+        let exact = s.network_at("Net", d(2017, 2, 3));
+        assert_eq!(exact.as_of, d(2017, 2, 3));
+        // The cached copy keeps the canonical epoch date.
+        assert_eq!(s.network("Net", d(2017, 2, 3)).as_of, d(2015, 6, 1));
+    }
+
+    #[test]
+    fn cached_route_and_apa_match_direct_computation() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 25, 1);
+        let s = AnalysisSession::over(&lics);
+        let refs: Vec<&License> = lics.iter().collect();
+        let direct_net = reconstruct(&refs, "Net", d(2020, 4, 1), &ReconstructOptions::default());
+        let direct = crate::route::route(&direct_net, &CME, &EQUINIX_NY4).unwrap();
+        let cached = s.route("Net", d(2020, 4, 1), &CME, &EQUINIX_NY4).unwrap();
+        assert_eq!(cached.latency_ms, direct.latency_ms);
+        assert_eq!(cached.towers, direct.towers);
+        let direct_apa = crate::metrics::apa(&direct_net, &CME, &EQUINIX_NY4);
+        assert_eq!(s.apa("Net", d(2020, 4, 1), &CME, &EQUINIX_NY4), direct_apa);
+        // Second lookups hit.
+        s.route("Net", d(2019, 1, 1), &CME, &EQUINIX_NY4);
+        s.apa("Net", d(2018, 1, 1), &CME, &EQUINIX_NY4);
+        let stats = s.stats();
+        assert_eq!(stats.route_misses, 1);
+        assert_eq!(stats.route_hits, 1);
+        assert_eq!(stats.apa_misses, 1);
+        assert_eq!(stats.apa_hits, 1);
+    }
+
+    #[test]
+    fn trajectory_collapses_dates_to_epochs() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), Some(d(2018, 3, 1)), 25, 1);
+        let s = AnalysisSession::over(&lics);
+        let dates: Vec<Date> = (2013..=2021).map(|y| d(y, 1, 1)).collect();
+        let t = s.trajectory("Net", &CME, &EQUINIX_NY4, &dates);
+        assert_eq!(t.points.len(), 9);
+        // 9 dates span 3 epochs → exactly 3 reconstructions.
+        assert_eq!(s.stats().reconstructions, 3);
+        assert!(s.stats().reconstructions_avoided() > 0);
+        // Matches the direct per-date implementation.
+        let refs: Vec<&License> = lics.iter().collect();
+        let direct = crate::evolution::trajectory(
+            &refs,
+            "Net",
+            &CME,
+            &EQUINIX_NY4,
+            &dates,
+            &ReconstructOptions::default(),
+        );
+        assert_eq!(t, direct);
+    }
+
+    #[test]
+    fn par_map_preserves_order_and_shares_cache() {
+        let mut lics = chain_licenses("A", d(2015, 1, 1), None, 25, 1);
+        lics.extend(chain_licenses("B", d(2016, 1, 1), None, 25, 1000));
+        let s = AnalysisSession::over(&lics);
+        let names: Vec<&str> = vec!["A", "B", "A", "B", "A"];
+        let latencies = s.par_map(names.clone(), |name| {
+            s.latency_ms(name, d(2020, 4, 1), &CME, &EQUINIX_NY4)
+        });
+        assert_eq!(latencies.len(), 5);
+        assert_eq!(latencies[0], latencies[2]);
+        assert_eq!(latencies[1], latencies[3]);
+        assert!(latencies[0].is_some() && latencies[1].is_some());
+        // Only two distinct (licensee, epoch) snapshots exist.
+        assert_eq!(s.stats().reconstructions, 2);
+        let empty: Vec<u8> = Vec::new();
+        assert!(s.par_map(empty, |x: u8| x).is_empty());
+    }
+
+    #[test]
+    fn route_memo_hits_on_repeat_fingerprints() {
+        let mut memo = RouteMemo::new();
+        let mut evals = 0;
+        let fp = fingerprint_words([1, 2, 3]);
+        for _ in 0..5 {
+            let v = memo.latency_ms(fp, || {
+                evals += 1;
+                Some(4.2)
+            });
+            assert_eq!(v, Some(4.2));
+        }
+        assert_eq!(evals, 1);
+        assert_eq!(memo.hits, 4);
+        assert_eq!(memo.misses, 1);
+        assert_ne!(fingerprint_words([1, 2, 3]), fingerprint_words([1, 3, 2]));
+    }
+
+    #[test]
+    fn options_key_distinguishes_options() {
+        let a = OptionsKey::from(&ReconstructOptions::default());
+        let b = OptionsKey::from(&ReconstructOptions {
+            min_link_m: 1.0,
+            ..ReconstructOptions::default()
+        });
+        assert_ne!(a, b);
+        assert_eq!(a, OptionsKey::from(&ReconstructOptions::default()));
+    }
+}

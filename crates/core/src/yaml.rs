@@ -32,8 +32,11 @@ pub fn to_yaml(network: &Network) -> String {
     }
     out.push_str(&format!("links: # {}\n", network.link_count()));
     for (_, u, v, link) in network.graph.edges() {
-        let freqs: Vec<String> =
-            link.frequencies_ghz.iter().map(|f| format!("{f:.5}")).collect();
+        let freqs: Vec<String> = link
+            .frequencies_ghz
+            .iter()
+            .map(|f| format!("{f:.5}"))
+            .collect();
         let lics: Vec<String> = link.licenses.iter().map(|l| l.0.to_string()).collect();
         out.push_str(&format!(
             "  - a: {}\n    b: {}\n    length_km: {:.3}\n    frequencies_ghz: [{}]\n    licenses: [{}]\n",
@@ -65,7 +68,9 @@ fn quote(s: &str) -> String {
 fn unquote(s: &str) -> String {
     let s = s.trim();
     if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
-        s[1..s.len() - 1].replace("\\\"", "\"").replace("\\\\", "\\")
+        s[1..s.len() - 1]
+            .replace("\\\"", "\"")
+            .replace("\\\\", "\\")
     } else {
         s.to_string()
     }
@@ -143,9 +148,10 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
             match key {
                 "licensee" => licensee = Some(unquote(value)),
                 "as_of" => {
-                    as_of = Some(Date::parse_iso(value.trim()).map_err(|e| {
-                        err(line, format!("bad as_of date: {e}"))
-                    })?)
+                    as_of = Some(
+                        Date::parse_iso(value.trim())
+                            .map_err(|e| err(line, format!("bad as_of date: {e}")))?,
+                    )
                 }
                 "towers" => section = Section::Towers,
                 "links" => section = Section::Links,
@@ -162,10 +168,12 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
         let key = key.trim();
         let value = value.trim();
         let parse_f64 = |v: &str| -> Result<f64, YamlError> {
-            v.parse().map_err(|_| err(line, format!("bad number {v:?} for {key}")))
+            v.parse()
+                .map_err(|_| err(line, format!("bad number {v:?} for {key}")))
         };
         let parse_usize = |v: &str| -> Result<usize, YamlError> {
-            v.parse().map_err(|_| err(line, format!("bad integer {v:?} for {key}")))
+            v.parse()
+                .map_err(|_| err(line, format!("bad integer {v:?} for {key}")))
         };
         let parse_list = |v: &str| -> Result<Vec<f64>, YamlError> {
             let inner = v
@@ -176,7 +184,10 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
                 .split(',')
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
-                .map(|s| s.parse().map_err(|_| err(line, format!("bad list item {s:?}"))))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| err(line, format!("bad list item {s:?}")))
+                })
                 .collect()
         };
 
@@ -230,9 +241,13 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
         let need = |v: Option<f64>, what: &str| {
             v.ok_or_else(|| err(0, format!("tower {i}: missing {what}")))
         };
-        let id = t.id.ok_or_else(|| err(0, format!("tower {i}: missing id")))?;
+        let id =
+            t.id.ok_or_else(|| err(0, format!("tower {i}: missing id")))?;
         if id != i {
-            return Err(err(0, format!("tower ids must be dense and ordered; got {id} at {i}")));
+            return Err(err(
+                0,
+                format!("tower ids must be dense and ordered; got {id} at {i}"),
+            ));
         }
         let position = LatLon::new(need(t.lat, "lat")?, need(t.lon, "lon")?)
             .map_err(|e| err(0, e.to_string()))?;
@@ -253,8 +268,10 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
             return Err(err(0, format!("link {i}: self-loop")));
         }
         let (na, nb) = (NodeId::from_index(a), NodeId::from_index(b));
-        let length_m =
-            graph.node(na).position.geodesic_distance_m(&graph.node(nb).position);
+        let length_m = graph
+            .node(na)
+            .position
+            .geodesic_distance_m(&graph.node(nb).position);
         graph.add_edge(
             na,
             nb,
@@ -265,7 +282,11 @@ pub fn from_yaml(text: &str) -> Result<Network, YamlError> {
             },
         );
     }
-    Ok(Network { licensee, as_of, graph })
+    Ok(Network {
+        licensee,
+        as_of,
+        graph,
+    })
 }
 
 #[cfg(test)]

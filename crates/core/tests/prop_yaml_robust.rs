@@ -25,12 +25,20 @@ fn sample() -> Network {
         ground_elevation_m: 220.0,
         structure_height_m: 95.0,
     });
-    graph.add_edge(a, b, MwLink {
-        length_m: p1.geodesic_distance_m(&p2),
-        frequencies_ghz: vec![11.245],
-        licenses: vec![],
-    });
-    Network { licensee: "Robust Net".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+    graph.add_edge(
+        a,
+        b,
+        MwLink {
+            length_m: p1.geodesic_distance_m(&p2),
+            frequencies_ghz: vec![11.245],
+            licenses: vec![],
+        },
+    );
+    Network {
+        licensee: "Robust Net".into(),
+        as_of: Date::new(2020, 4, 1).unwrap(),
+        graph,
+    }
 }
 
 fn mutate(text: &str, kind: u8, pos: usize, payload: char) -> String {

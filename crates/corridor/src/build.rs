@@ -28,14 +28,14 @@ use crate::layout::{
 use crate::noise::{self, IdAllocator};
 use crate::spec::{NetworkSpec, ScenarioSpec};
 use hft_core::corridor::{CME, EQUINIX_NY4, NASDAQ, NYSE};
+use hft_core::session::{fingerprint_words, AnalysisSession, RouteMemo};
 use hft_geodesy::{
     gc_destination, gc_distance_m, gc_initial_bearing_deg, gc_interpolate, LatLon, Medium,
 };
 use hft_radio::{Band, BandPlan};
 use hft_time::Date;
 use hft_uls::{
-    FrequencyAssignment, License, MicrowavePath, RadioService, StationClass, TowerSite,
-    UlsDatabase,
+    FrequencyAssignment, License, MicrowavePath, RadioService, StationClass, TowerSite, UlsDatabase,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -68,6 +68,14 @@ pub struct GeneratedEcosystem {
     pub connected_2020: Vec<String>,
 }
 
+impl GeneratedEcosystem {
+    /// Open an [`AnalysisSession`] over this corpus — the shared entry
+    /// point for all downstream analysis (tables, figures, trajectories).
+    pub fn session(&self) -> AnalysisSession<'_> {
+        AnalysisSession::new(&self.db)
+    }
+}
+
 /// A tower whose position may change over time (each change re-files the
 /// licenses of its incident links).
 #[derive(Debug, Clone)]
@@ -78,7 +86,9 @@ struct TowerRec {
 
 impl TowerRec {
     fn fixed(p: LatLon) -> TowerRec {
-        TowerRec { timeline: vec![(Date::MIN, p)] }
+        TowerRec {
+            timeline: vec![(Date::MIN, p)],
+        }
     }
 
     fn position_at(&self, date: Date) -> LatLon {
@@ -121,7 +131,10 @@ struct NetBuilder {
 
 impl NetBuilder {
     fn new() -> NetBuilder {
-        NetBuilder { towers: Vec::new(), links: Vec::new() }
+        NetBuilder {
+            towers: Vec::new(),
+            links: Vec::new(),
+        }
     }
 
     fn add_tower(&mut self, rec: TowerRec) -> usize {
@@ -217,11 +230,21 @@ struct MovableChain {
 impl MovableChain {
     fn new(start: LatLon, end: LatLon, geometry: ChainGeometry) -> MovableChain {
         let bias_m = vec![0.0; geometry.len()];
-        MovableChain { start, end, geometry, bias_m, history: Vec::new() }
+        MovableChain {
+            start,
+            end,
+            geometry,
+            bias_m,
+            history: Vec::new(),
+        }
     }
 
     fn biased(&self, offsets: &[f64]) -> Vec<f64> {
-        offsets.iter().zip(&self.bias_m).map(|(o, b)| o + b).collect()
+        offsets
+            .iter()
+            .zip(&self.bias_m)
+            .map(|(o, b)| o + b)
+            .collect()
     }
 
     fn current_offsets(&self) -> Vec<f64> {
@@ -250,7 +273,12 @@ impl MovableChain {
     }
 
     fn positions_with(&self, offsets: &[f64]) -> Vec<LatLon> {
-        place_chain_with_offsets(&self.start, &self.end, &self.geometry.ts, &self.biased(offsets))
+        place_chain_with_offsets(
+            &self.start,
+            &self.end,
+            &self.geometry.ts,
+            &self.biased(offsets),
+        )
     }
 }
 
@@ -273,7 +301,10 @@ fn calibrate_chain(
         "latency target below the geometric floor: want {target_len_m}, floor {min_len}"
     );
     let (mut lo, mut hi) = (0.0f64, scale_hi);
-    assert!(len_at(hi) >= target_len_m, "scale ceiling too small for target");
+    assert!(
+        len_at(hi) >= target_len_m,
+        "scale ceiling too small for target"
+    );
     for _ in 0..70 {
         let mid = (lo + hi) / 2.0;
         if len_at(mid) < target_len_m {
@@ -282,7 +313,12 @@ fn calibrate_chain(
             hi = mid;
         }
     }
-    materialize(&chain.geometry.unit_offsets, &cur, (lo + hi) / 2.0, threshold)
+    materialize(
+        &chain.geometry.unit_offsets,
+        &cur,
+        (lo + hi) / 2.0,
+        threshold,
+    )
 }
 
 /// Microwave path length (meters) that realizes `latency_ms` once the
@@ -303,7 +339,10 @@ struct ProbeNet {
 
 impl ProbeNet {
     fn new() -> ProbeNet {
-        ProbeNet { positions: Vec::new(), links: Vec::new() }
+        ProbeNet {
+            positions: Vec::new(),
+            links: Vec::new(),
+        }
     }
 
     /// Add a chain of towers; consecutive towers are linked. Returns the
@@ -331,6 +370,24 @@ impl ProbeNet {
         ids
     }
 
+    /// Exact identity of this assembly's geometry (position bits and link
+    /// endpoints), keying a [`RouteMemo`]. Bisection converges onto a
+    /// shrinking set of scales, so the tail of each calibration probes
+    /// bit-identical assemblies repeatedly; only *exact* matches may share
+    /// a measurement, or calibration results would drift.
+    fn fingerprint(&self) -> u64 {
+        fingerprint_words(
+            self.positions
+                .iter()
+                .flat_map(|p| [p.lat_deg().to_bits(), p.lon_deg().to_bits()])
+                .chain(
+                    self.links
+                        .iter()
+                        .map(|&(u, v)| ((u as u64) << 32) ^ v as u64),
+                ),
+        )
+    }
+
     /// Route latency (ms) between two data centers over this assembly,
     /// measured by the real `hft-core` router.
     fn latency_ms(&self, a: &hft_core::DataCenter, b: &hft_core::DataCenter) -> Option<f64> {
@@ -349,9 +406,19 @@ impl ProbeNet {
         for &(u, v) in &self.links {
             let nu = hft_netgraph::NodeId::from_index(u);
             let nv = hft_netgraph::NodeId::from_index(v);
-            let length_m =
-                graph.node(nu).position.geodesic_distance_m(&graph.node(nv).position);
-            graph.add_edge(nu, nv, MwLink { length_m, frequencies_ghz: vec![11.2], licenses: vec![] });
+            let length_m = graph
+                .node(nu)
+                .position
+                .geodesic_distance_m(&graph.node(nv).position);
+            graph.add_edge(
+                nu,
+                nv,
+                MwLink {
+                    length_m,
+                    frequencies_ghz: vec![11.2],
+                    licenses: vec![],
+                },
+            );
         }
         let net = Network {
             licensee: "probe".into(),
@@ -365,18 +432,17 @@ impl ProbeNet {
 /// Bisect `scale` until `measure(scale)` hits `target_ms` (monotone
 /// non-decreasing in scale). Panics when the target is below the
 /// scale-zero floor or above the ceiling's reach.
-fn bisect_scale(
-    what: &str,
-    target_ms: f64,
-    mut measure: impl FnMut(f64) -> f64,
-) -> f64 {
+fn bisect_scale(what: &str, target_ms: f64, mut measure: impl FnMut(f64) -> f64) -> f64 {
     let floor = measure(0.0);
     assert!(
         target_ms >= floor - 1e-6,
         "{what}: target {target_ms} ms below geometric floor {floor} ms"
     );
     let mut hi = MAX_SCALE_M;
-    assert!(measure(hi) >= target_ms, "{what}: target {target_ms} ms beyond scale ceiling");
+    assert!(
+        measure(hi) >= target_ms,
+        "{what}: target {target_ms} ms beyond scale ceiling"
+    );
     let mut lo = 0.0;
     for _ in 0..60 {
         let mid = (lo + hi) / 2.0;
@@ -429,15 +495,20 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
     let east4 = gc_destination(&ny4, gc_initial_bearing_deg(&ny4, &branch), d_e);
 
     let route_links = spec.ny4_route_towers - 1;
-    let trunk_towers = ((spec.ny4_route_towers as f64) * BRANCH_FRAC).round().max(3.0) as usize;
+    let trunk_towers = ((spec.ny4_route_towers as f64) * BRANCH_FRAC)
+        .round()
+        .max(3.0) as usize;
     let trunk_links = trunk_towers - 1;
     let spur4_links = route_links - trunk_links;
 
     // The trunk is fixed and essentially straight; every era's latency
     // adjustment happens on the spurs' offsets.
     let trunk_geom = make_chain_geometry(trunk_towers - 2, &mut rng);
-    let trunk_offsets: Vec<f64> =
-        trunk_geom.unit_offsets.iter().map(|u| u * TRUNK_SCALE_M).collect();
+    let trunk_offsets: Vec<f64> = trunk_geom
+        .unit_offsets
+        .iter()
+        .map(|u| u * TRUNK_SCALE_M)
+        .collect();
     let trunk_positions_all =
         place_chain_with_offsets(&west, &branch, &trunk_geom.ts, &trunk_offsets);
     let trunk_len = polyline_length_m(&trunk_positions_all);
@@ -462,7 +533,11 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
     // ---- Era calibration for all but the final era (polyline metric is
     // exact there: rails come online near the end of the story and are
     // handicapped, and tolerances before the 2020 snapshot are µs-scale).
-    assert!(!spec.eras.is_empty(), "{}: connected networks need eras", spec.name);
+    assert!(
+        !spec.eras.is_empty(),
+        "{}: connected networks need eras",
+        spec.name
+    );
     let last_era = spec.eras.len() - 1;
     for era in &spec.eras[..last_era] {
         let target = target_mw_length_m(era.ny4_latency_ms, tail_m) - trunk_len;
@@ -488,8 +563,11 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
         (spec.final_latency.and_then(|f| f.nasdaq), &NASDAQ),
     ] {
         let Some(target_ms) = target else { continue };
-        let east =
-            gc_destination(&dc.position(), gc_initial_bearing_deg(&dc.position(), &branch), d_e);
+        let east = gc_destination(
+            &dc.position(),
+            gc_initial_bearing_deg(&dc.position(), &branch),
+            d_e,
+        );
         let dist_ratio = gc_distance_m(&branch, &east) / gc_distance_m(&branch, &east4);
         let n_links = ((spur4_links as f64) * dist_ratio).round().max(2.0) as usize;
         let geom = make_chain_geometry(n_links - 1, &mut rng);
@@ -521,14 +599,25 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
         for s in &spurs {
             needed_all.push((apa_for(s.dc) * (trunk_links + s.n_links) as f64).round() as usize);
         }
-        c_trunk = needed_all.iter().copied().min().unwrap_or(0).min(trunk_links);
+        c_trunk = needed_all
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(0)
+            .min(trunk_links);
         c_spur4 = needed4.saturating_sub(c_trunk).min(spur4_links);
         for (i, s) in spurs.iter_mut().enumerate() {
             s.covered = needed_all[i + 1].saturating_sub(c_trunk).min(s.n_links);
         }
     }
-    let trunk_rail = (c_trunk > 0)
-        .then(|| plan_rail(&trunk_positions_all, trunk_links - c_trunk, trunk_links, spec.rail_hop_km));
+    let trunk_rail = (c_trunk > 0).then(|| {
+        plan_rail(
+            &trunk_positions_all,
+            trunk_links - c_trunk,
+            trunk_links,
+            spec.rail_hop_km,
+        )
+    });
 
     // Probe assembly shared by the closed-loop calibrations: the straight
     // trunk plus its rail.
@@ -542,6 +631,7 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
 
     // ---- Closed-loop calibration: NYSE/NASDAQ spurs. ----
     for s in &mut spurs {
+        let mut memo = RouteMemo::new();
         let measure = |scale: f64| -> f64 {
             let offsets: Vec<f64> = s.geom.unit_offsets.iter().map(|u| u * scale).collect();
             let pts = place_chain_with_offsets(&branch, &s.east, &s.geom.ts, &offsets);
@@ -560,9 +650,14 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
                 let rail = plan_rail(&pts, 0, s.covered, spec.rail_hop_km);
                 pn.add_chain_between(ids_chain[rail.lo], &rail.interior, ids_chain[rail.hi]);
             }
-            pn.latency_ms(&CME, s.dc).expect("probe network is connected")
+            memo.latency_ms(pn.fingerprint(), || pn.latency_ms(&CME, s.dc))
+                .expect("probe network is connected")
         };
-        let scale = bisect_scale(&format!("{} {}", spec.name, s.dc.code), s.target_ms, measure);
+        let scale = bisect_scale(
+            &format!("{} {}", spec.name, s.dc.code),
+            s.target_ms,
+            measure,
+        );
         let offsets: Vec<f64> = s.geom.unit_offsets.iter().map(|u| u * scale).collect();
         s.positions = place_chain_with_offsets(&branch, &s.east, &s.geom.ts, &offsets);
         s.rail = (s.covered > 0).then(|| plan_rail(&s.positions, 0, s.covered, spec.rail_hop_km));
@@ -584,6 +679,7 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
     {
         let final_target = spec.eras[last_era].ny4_latency_ms;
         let cur = spur4.current_offsets();
+        let mut memo = RouteMemo::new();
         let measure = |scale: f64| -> f64 {
             let offsets = materialize(&spur4.geometry.unit_offsets, &cur, scale, 0.0);
             let pts = spur4.positions_with(&offsets);
@@ -606,7 +702,8 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
                 }
                 (None, false) => {}
             }
-            pn.latency_ms(&CME, &EQUINIX_NY4).expect("probe network is connected")
+            memo.latency_ms(pn.fingerprint(), || pn.latency_ms(&CME, &EQUINIX_NY4))
+                .expect("probe network is connected")
         };
         let scale = bisect_scale(&format!("{} NY4 final", spec.name), final_target, measure);
         let offsets = materialize(&spur4.geometry.unit_offsets, &cur, scale, 0.0);
@@ -615,7 +712,12 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
     let spur4_final_positions = spur4.positions_with(&spur4.history[last_era].1);
     let rail4: Option<RailPlan> = match rail4_static {
         Some(r) => Some(r),
-        None if c_spur4 > 0 => Some(plan_rail(&spur4_final_positions, 0, c_spur4, spec.rail_hop_km)),
+        None if c_spur4 > 0 => Some(plan_rail(
+            &spur4_final_positions,
+            0,
+            c_spur4,
+            spec.rail_hop_km,
+        )),
         None => None,
     };
 
@@ -674,7 +776,13 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
                 // Some links get a second authorized channel.
                 freqs.push(primary_plan.channel(route_channels[i].index + 5).center_hz);
             }
-            nb.add_link(LinkPlan { a, b, online: online.min(ramp_end), offline: None, freq_hz: freqs });
+            nb.add_link(LinkPlan {
+                a,
+                b,
+                online: online.min(ramp_end),
+                offline: None,
+                freq_hz: freqs,
+            });
         };
     for (i, w) in trunk_ids.windows(2).enumerate() {
         push_route_link(&mut nb, i, w[0], w[1], &mut rng);
@@ -773,8 +881,11 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
                 let on_line = gc_interpolate(&cme, &ny4, t);
                 let bearing = gc_initial_bearing_deg(&on_line, &ny4);
                 let p1 = gc_destination(&on_line, bearing + side, lateral);
-                let p2 =
-                    gc_destination(&p1, bearing + side * 0.2, 6_000.0 + rng.gen::<f64>() * 9_000.0);
+                let p2 = gc_destination(
+                    &p1,
+                    bearing + side * 0.2,
+                    6_000.0 + rng.gen::<f64>() * 9_000.0,
+                );
                 let (id, call_sign) = ids.next_id();
                 licenses.push(License {
                     id,
@@ -844,11 +955,11 @@ fn build_network(spec: &NetworkSpec, ids: &mut IdAllocator, seed: u64) -> Vec<Li
     licenses
 }
 
-
 /// Names used by the hidden split-entity network (§2.4): one physical
 /// CME→NY4 chain filed as a western and an eastern shell licensee that
 /// share exactly one mid-corridor tower.
-pub const SPLIT_ENTITY_NAMES: (&str, &str) = ("Lakefront Route Holdings", "Seaboard Route Holdings");
+pub const SPLIT_ENTITY_NAMES: (&str, &str) =
+    ("Lakefront Route Holdings", "Seaboard Route Holdings");
 
 /// Build one split-entity network: a complete corridor chain whose links
 /// are filed under two shells in *alternation* (odd hops under one name,
@@ -868,17 +979,32 @@ fn build_split_entity(ids: &mut IdAllocator, seed: u64) -> Vec<License> {
         &west_anchor,
         &east_anchor,
         &geometry.ts,
-        &geometry.unit_offsets.iter().map(|u| u * 7_000.0).collect::<Vec<_>>(),
+        &geometry
+            .unit_offsets
+            .iter()
+            .map(|u| u * 7_000.0)
+            .collect::<Vec<_>>(),
     );
     // A short first hop puts one license of EACH shell inside the 10 km
     // geographic-search circle around CME (the alternation starts here).
-    points.insert(1, gc_destination(&west_anchor, gc_initial_bearing_deg(&west_anchor, &ny4), 5_500.0));
+    points.insert(
+        1,
+        gc_destination(
+            &west_anchor,
+            gc_initial_bearing_deg(&west_anchor, &ny4),
+            5_500.0,
+        ),
+    );
     let plan = BandPlan::new(Band::B11GHz);
     let channels = plan.assign_chain(points.len() - 1);
     let grant_base = Date::new(2017, 3, 10).expect("static");
     let mut out = Vec::new();
     for (i, w) in points.windows(2).enumerate() {
-        let licensee = if i % 2 == 0 { SPLIT_ENTITY_NAMES.0 } else { SPLIT_ENTITY_NAMES.1 };
+        let licensee = if i % 2 == 0 {
+            SPLIT_ENTITY_NAMES.0
+        } else {
+            SPLIT_ENTITY_NAMES.1
+        };
         let (id, call_sign) = ids.next_id();
         out.push(License {
             id,
@@ -892,7 +1018,9 @@ fn build_split_entity(ids: &mut IdAllocator, seed: u64) -> Vec<License> {
             paths: vec![MicrowavePath {
                 tx: tower_site(&mut rng, w[0]),
                 rx: tower_site(&mut rng, w[1]),
-                frequencies: vec![FrequencyAssignment { center_hz: channels[i].center_hz }],
+                frequencies: vec![FrequencyAssignment {
+                    center_hz: channels[i].center_hz,
+                }],
             }],
         });
     }
@@ -917,14 +1045,28 @@ pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
     }
 
     for k in 0..spec.split_entity_pairs {
-        all.extend(build_split_entity(&mut ids, seed ^ (0x5157_1111u64 + k as u64)));
+        all.extend(build_split_entity(
+            &mut ids,
+            seed ^ (0x5157_1111u64 + k as u64),
+        ));
     }
 
     let cme = CME.position();
     let ny4 = EQUINIX_NY4.position();
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
-    all.extend(noise::partial_licensees(spec.partial_licensees, &cme, &ny4, &mut ids, &mut rng));
-    all.extend(noise::small_licensees(spec.small_licensees, &cme, &mut ids, &mut rng));
+    all.extend(noise::partial_licensees(
+        spec.partial_licensees,
+        &cme,
+        &ny4,
+        &mut ids,
+        &mut rng,
+    ));
+    all.extend(noise::small_licensees(
+        spec.small_licensees,
+        &cme,
+        &mut ids,
+        &mut rng,
+    ));
     all.extend(noise::other_service_licensees(
         spec.other_service_licensees,
         &cme,
@@ -932,7 +1074,11 @@ pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
         &mut rng,
     ));
 
-    GeneratedEcosystem { db: UlsDatabase::from_licenses(all), modeled, connected_2020: connected }
+    GeneratedEcosystem {
+        db: UlsDatabase::from_licenses(all),
+        modeled,
+        connected_2020: connected,
+    }
 }
 
 #[cfg(test)]
@@ -950,12 +1096,21 @@ mod tests {
     #[test]
     fn nln_final_latency_matches_table1() {
         let spec = chicago_nj();
-        let nln_spec = spec.networks.iter().find(|n| n.name == "New Line Networks").unwrap();
+        let nln_spec = spec
+            .networks
+            .iter()
+            .find(|n| n.name == "New Line Networks")
+            .unwrap();
         let mut ids = IdAllocator::new(1);
         let lics = build_network(nln_spec, &mut ids, 42);
         let refs: Vec<&License> = lics.iter().collect();
         let asof = Date::new(2020, 4, 1).unwrap();
-        let net = reconstruct(&refs, "New Line Networks", asof, &ReconstructOptions::default());
+        let net = reconstruct(
+            &refs,
+            "New Line Networks",
+            asof,
+            &ReconstructOptions::default(),
+        );
         let r = route(&net, &corridor::CME, &corridor::EQUINIX_NY4).expect("connected");
         assert!(
             (r.latency_ms - 3.96171).abs() < 0.0005,
@@ -968,12 +1123,21 @@ mod tests {
     #[test]
     fn era_latencies_track_fig1() {
         let spec = chicago_nj();
-        let wh_spec = spec.networks.iter().find(|n| n.name == "Webline Holdings").unwrap();
+        let wh_spec = spec
+            .networks
+            .iter()
+            .find(|n| n.name == "Webline Holdings")
+            .unwrap();
         let mut ids = IdAllocator::new(1);
         let lics = build_network(wh_spec, &mut ids, 42);
         let refs: Vec<&License> = lics.iter().collect();
         for era in &wh_spec.eras {
-            let net = reconstruct(&refs, "Webline Holdings", era.date, &ReconstructOptions::default());
+            let net = reconstruct(
+                &refs,
+                "Webline Holdings",
+                era.date,
+                &ReconstructOptions::default(),
+            );
             let r = route(&net, &corridor::CME, &corridor::EQUINIX_NY4)
                 .unwrap_or_else(|| panic!("WH must be connected on {}", era.date));
             assert!(
@@ -1016,10 +1180,13 @@ mod tests {
         let lics = licenses_of(&eco.db, "National Tower Company");
         assert!(!lics.is_empty());
         let d2019 = Date::new(2019, 1, 1).unwrap();
-        assert_eq!(lics.iter().filter(|l| l.active_on(d2019)).count(), 0, "NTC gone by 2019");
+        assert_eq!(
+            lics.iter().filter(|l| l.active_on(d2019)).count(),
+            0,
+            "NTC gone by 2019"
+        );
         let d2016 = Date::new(2016, 1, 1).unwrap();
         let active_2016 = lics.iter().filter(|l| l.active_on(d2016)).count();
         assert!(active_2016 > 80, "NTC at its peak in 2016: {active_2016}");
     }
 }
-

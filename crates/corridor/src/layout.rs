@@ -37,7 +37,10 @@ impl ChainGeometry {
 /// the chain ends (the anchors are fixed).
 pub fn make_chain_geometry<R: Rng + ?Sized>(n_interior: usize, rng: &mut R) -> ChainGeometry {
     if n_interior == 0 {
-        return ChainGeometry { ts: Vec::new(), unit_offsets: Vec::new() };
+        return ChainGeometry {
+            ts: Vec::new(),
+            unit_offsets: Vec::new(),
+        };
     }
     let n = n_interior;
     let mut ts = Vec::with_capacity(n);
@@ -117,7 +120,10 @@ pub fn place_chain_with_offsets(
 /// difference (≈ 2 km ≈ 8 µs over this corridor, which would scramble
 /// sub-microsecond rankings).
 pub fn polyline_length_m(points: &[LatLon]) -> f64 {
-    points.windows(2).map(|w| w[0].geodesic_distance_m(&w[1])).sum()
+    points
+        .windows(2)
+        .map(|w| w[0].geodesic_distance_m(&w[1]))
+        .sum()
 }
 
 /// Solve for the offset scale that makes the placed chain's length equal
@@ -213,7 +219,10 @@ mod tests {
     fn geometry_is_deterministic_per_seed() {
         let mut r1 = ChaCha8Rng::seed_from_u64(5);
         let mut r2 = ChaCha8Rng::seed_from_u64(5);
-        assert_eq!(make_chain_geometry(20, &mut r1), make_chain_geometry(20, &mut r2));
+        assert_eq!(
+            make_chain_geometry(20, &mut r1),
+            make_chain_geometry(20, &mut r2)
+        );
     }
 
     #[test]
@@ -230,7 +239,10 @@ mod tests {
 
     #[test]
     fn zero_interior_chain() {
-        let g = ChainGeometry { ts: vec![], unit_offsets: vec![] };
+        let g = ChainGeometry {
+            ts: vec![],
+            unit_offsets: vec![],
+        };
         let (a, b) = endpoints();
         let placed = place_chain(&a, &b, &g, 1000.0);
         assert_eq!(placed.len(), 2);
@@ -273,7 +285,10 @@ mod tests {
             let target = geo + extra_m;
             let s = solve_scale(&a, &b, &g, target).expect("solvable");
             let got = polyline_length_m(&place_chain(&a, &b, &g, s));
-            assert!((got - target).abs() < 0.5, "extra {extra_m}: got {got} want {target}");
+            assert!(
+                (got - target).abs() < 0.5,
+                "extra {extra_m}: got {got} want {target}"
+            );
         }
     }
 

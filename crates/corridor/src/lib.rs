@@ -37,4 +37,6 @@ mod noise;
 mod spec;
 
 pub use build::{generate, GeneratedEcosystem};
-pub use spec::{chicago_nj, ApaTargets, EraTarget, LicenseAnchor, NetworkSpec, PathTargets, ScenarioSpec};
+pub use spec::{
+    chicago_nj, ApaTargets, EraTarget, LicenseAnchor, NetworkSpec, PathTargets, ScenarioSpec,
+};

@@ -89,12 +89,21 @@ pub fn partial_licensees<R: Rng + ?Sized>(
         let start = gc_interpolate(cme, ny4, 0.002 + rng.gen::<f64>() * 0.004);
         let end = gc_interpolate(cme, ny4, reach);
         let geometry = make_chain_geometry(towers - 2, rng);
-        let points = place_chain(&start, &end, &geometry, 1_000.0 + rng.gen::<f64>() * 4_000.0);
+        let points = place_chain(
+            &start,
+            &end,
+            &geometry,
+            1_000.0 + rng.gen::<f64>() * 4_000.0,
+        );
         let plan = BandPlan::new(Band::B11GHz);
         let channels = plan.assign_chain(points.len() - 1);
         let grant_year = 2013 + (rng.gen::<f64>() * 6.0) as i32;
-        let grant = Date::new(grant_year, 1 + (rng.gen::<f64>() * 11.0) as u32, 1 + (rng.gen::<f64>() * 27.0) as u32)
-            .expect("generated date valid");
+        let grant = Date::new(
+            grant_year,
+            1 + (rng.gen::<f64>() * 11.0) as u32,
+            1 + (rng.gen::<f64>() * 27.0) as u32,
+        )
+        .expect("generated date valid");
         // A third of them gave up and cancelled everything.
         let cancel = (rng.gen::<f64>() < 0.33)
             .then(|| grant.add_days(400 + (rng.gen::<f64>() * 800.0) as i64));
@@ -112,7 +121,9 @@ pub fn partial_licensees<R: Rng + ?Sized>(
                 paths: vec![MicrowavePath {
                     tx: site(rng, w[0]),
                     rx: site(rng, w[1]),
-                    frequencies: vec![FrequencyAssignment { center_hz: channels[k].center_hz }],
+                    frequencies: vec![FrequencyAssignment {
+                        center_hz: channels[k].center_hz,
+                    }],
                 }],
             });
         }
@@ -136,10 +147,18 @@ pub fn small_licensees<R: Rng + ?Sized>(
         for k in 0..filings {
             // One endpoint within the 10 km CME search radius.
             let near = gc_destination(cme, rng.gen::<f64>() * 360.0, rng.gen::<f64>() * 8_000.0);
-            let far = gc_destination(&near, rng.gen::<f64>() * 360.0, 4_000.0 + rng.gen::<f64>() * 26_000.0);
+            let far = gc_destination(
+                &near,
+                rng.gen::<f64>() * 360.0,
+                4_000.0 + rng.gen::<f64>() * 26_000.0,
+            );
             let (id, call_sign) = ids.next_id();
-            let grant = Date::new(2012 + (rng.gen::<f64>() * 7.0) as i32, 1 + (rng.gen::<f64>() * 11.0) as u32, 5)
-                .expect("generated date valid");
+            let grant = Date::new(
+                2012 + (rng.gen::<f64>() * 7.0) as i32,
+                1 + (rng.gen::<f64>() * 11.0) as u32,
+                5,
+            )
+            .expect("generated date valid");
             out.push(License {
                 id,
                 call_sign,
@@ -182,7 +201,11 @@ pub fn other_service_licensees<R: Rng + ?Sized>(
         let filings = 2 + (rng.gen::<f64>() * 12.0) as usize;
         for k in 0..filings {
             let near = gc_destination(cme, rng.gen::<f64>() * 360.0, rng.gen::<f64>() * 9_000.0);
-            let far = gc_destination(&near, rng.gen::<f64>() * 360.0, 5_000.0 + rng.gen::<f64>() * 20_000.0);
+            let far = gc_destination(
+                &near,
+                rng.gen::<f64>() * 360.0,
+                5_000.0 + rng.gen::<f64>() * 20_000.0,
+            );
             let (id, call_sign) = ids.next_id();
             let grant = Date::new(2011 + (rng.gen::<f64>() * 8.0) as i32, 3, 15).expect("valid");
             out.push(License {
@@ -190,7 +213,11 @@ pub fn other_service_licensees<R: Rng + ?Sized>(
                 call_sign,
                 licensee: name.clone(),
                 service: service.clone(),
-                station_class: if i % 2 == 0 { StationClass::FXO } else { StationClass::FB },
+                station_class: if i % 2 == 0 {
+                    StationClass::FXO
+                } else {
+                    StationClass::FB
+                },
                 grant_date: grant,
                 termination_date: Some(grant.add_days(3650)),
                 cancellation_date: None,
@@ -259,7 +286,11 @@ mod tests {
         let mut ids = IdAllocator::new(1);
         let lics = partial_licensees(19, &cme(), &ny4(), &mut ids, &mut rng);
         for l in &lics {
-            assert!(!l.within_radius(&ny4(), 100.0), "partial reached NJ: {}", l.licensee);
+            assert!(
+                !l.within_radius(&ny4(), 100.0),
+                "partial reached NJ: {}",
+                l.licensee
+            );
         }
     }
 

@@ -130,28 +130,65 @@ pub fn chicago_nj() -> ScenarioSpec {
             nyse: Some(3.93209),
             nasdaq: Some(3.92728),
         }),
-        apa: ApaTargets { ny4: 0.54, nyse: 0.58, nasdaq: 0.30 },
+        apa: ApaTargets {
+            ny4: 0.54,
+            nyse: 0.58,
+            nasdaq: 0.30,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::L6GHz,
         rail_band_fraction: 0.3,
         rail_hop_km: 46.0,
         rails_online: Some(d(2016, 9, 1)),
         eras: vec![
-            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
-            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.975 },
-            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.9640 },
-            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.9625 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96171 },
+            EraTarget {
+                date: d(2016, 1, 1),
+                ny4_latency_ms: 3.985,
+            },
+            EraTarget {
+                date: d(2017, 1, 1),
+                ny4_latency_ms: 3.975,
+            },
+            EraTarget {
+                date: d(2018, 1, 1),
+                ny4_latency_ms: 3.9640,
+            },
+            EraTarget {
+                date: d(2019, 1, 1),
+                ny4_latency_ms: 3.9625,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 3.96171,
+            },
         ],
         first_grant: d(2015, 2, 1),
         shutdown: None,
         license_anchors: vec![
-            LicenseAnchor { date: d(2015, 1, 1), count: 0 },
-            LicenseAnchor { date: d(2016, 1, 1), count: 95 },
-            LicenseAnchor { date: d(2017, 1, 1), count: 125 },
-            LicenseAnchor { date: d(2018, 1, 1), count: 150 },
-            LicenseAnchor { date: d(2019, 1, 1), count: 155 },
-            LicenseAnchor { date: d(2020, 1, 1), count: 155 },
+            LicenseAnchor {
+                date: d(2015, 1, 1),
+                count: 0,
+            },
+            LicenseAnchor {
+                date: d(2016, 1, 1),
+                count: 95,
+            },
+            LicenseAnchor {
+                date: d(2017, 1, 1),
+                count: 125,
+            },
+            LicenseAnchor {
+                date: d(2018, 1, 1),
+                count: 150,
+            },
+            LicenseAnchor {
+                date: d(2019, 1, 1),
+                count: 155,
+            },
+            LicenseAnchor {
+                date: d(2020, 1, 1),
+                count: 155,
+            },
         ],
     });
 
@@ -160,19 +197,36 @@ pub fn chicago_nj() -> ScenarioSpec {
         name: "Pierce Broadband".into(),
         ny4_route_towers: 29,
         tail_km: 1.4,
-        final_latency: Some(PathTargets { ny4: 3.96209, nyse: None, nasdaq: None }),
-        apa: ApaTargets { ny4: 0.07, nyse: 0.0, nasdaq: 0.0 },
+        final_latency: Some(PathTargets {
+            ny4: 3.96209,
+            nyse: None,
+            nasdaq: None,
+        }),
+        apa: ApaTargets {
+            ny4: 0.07,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::L6GHz,
         rail_band_fraction: 1.0,
         rail_hop_km: 40.0,
         rails_online: Some(d(2020, 2, 20)),
-        eras: vec![EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96209 }],
+        eras: vec![EraTarget {
+            date: d(2020, 4, 1),
+            ny4_latency_ms: 3.96209,
+        }],
         first_grant: d(2019, 10, 15),
         shutdown: None,
         license_anchors: vec![
-            LicenseAnchor { date: d(2020, 1, 1), count: 30 },
-            LicenseAnchor { date: d(2020, 4, 1), count: 36 },
+            LicenseAnchor {
+                date: d(2020, 1, 1),
+                count: 30,
+            },
+            LicenseAnchor {
+                date: d(2020, 4, 1),
+                count: 36,
+            },
         ],
     });
 
@@ -186,28 +240,65 @@ pub fn chicago_nj() -> ScenarioSpec {
             nyse: Some(3.94021),
             nasdaq: Some(3.92828),
         }),
-        apa: ApaTargets { ny4: 0.73, nyse: 0.75, nasdaq: 0.70 },
+        apa: ApaTargets {
+            ny4: 0.73,
+            nyse: 0.75,
+            nasdaq: 0.70,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::L6GHz,
         rail_band_fraction: 0.5,
         rail_hop_km: 45.0,
         rails_online: Some(d(2016, 5, 1)),
         eras: vec![
-            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 3.995 },
-            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.990 },
-            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
-            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.980 },
-            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.975 },
-            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.970 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96597 },
+            EraTarget {
+                date: d(2014, 1, 1),
+                ny4_latency_ms: 3.995,
+            },
+            EraTarget {
+                date: d(2015, 1, 1),
+                ny4_latency_ms: 3.990,
+            },
+            EraTarget {
+                date: d(2016, 1, 1),
+                ny4_latency_ms: 3.985,
+            },
+            EraTarget {
+                date: d(2017, 1, 1),
+                ny4_latency_ms: 3.980,
+            },
+            EraTarget {
+                date: d(2018, 1, 1),
+                ny4_latency_ms: 3.975,
+            },
+            EraTarget {
+                date: d(2019, 1, 1),
+                ny4_latency_ms: 3.970,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 3.96597,
+            },
         ],
         first_grant: d(2013, 5, 1),
         shutdown: None,
         license_anchors: vec![
-            LicenseAnchor { date: d(2014, 1, 1), count: 62 },
-            LicenseAnchor { date: d(2016, 1, 1), count: 85 },
-            LicenseAnchor { date: d(2018, 1, 1), count: 102 },
-            LicenseAnchor { date: d(2020, 1, 1), count: 112 },
+            LicenseAnchor {
+                date: d(2014, 1, 1),
+                count: 62,
+            },
+            LicenseAnchor {
+                date: d(2016, 1, 1),
+                count: 85,
+            },
+            LicenseAnchor {
+                date: d(2018, 1, 1),
+                count: 102,
+            },
+            LicenseAnchor {
+                date: d(2020, 1, 1),
+                count: 112,
+            },
         ],
     });
 
@@ -221,23 +312,45 @@ pub fn chicago_nj() -> ScenarioSpec {
             nyse: Some(3.95866),
             nasdaq: Some(3.94500),
         }),
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::B11GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 45.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.998 },
-            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.985 },
-            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.975 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.96940 },
+            EraTarget {
+                date: d(2015, 1, 1),
+                ny4_latency_ms: 3.998,
+            },
+            EraTarget {
+                date: d(2017, 1, 1),
+                ny4_latency_ms: 3.985,
+            },
+            EraTarget {
+                date: d(2019, 1, 1),
+                ny4_latency_ms: 3.975,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 3.96940,
+            },
         ],
         first_grant: d(2014, 3, 1),
         shutdown: None,
         license_anchors: vec![
-            LicenseAnchor { date: d(2016, 1, 1), count: 80 },
-            LicenseAnchor { date: d(2020, 1, 1), count: 92 },
+            LicenseAnchor {
+                date: d(2016, 1, 1),
+                count: 80,
+            },
+            LicenseAnchor {
+                date: d(2020, 1, 1),
+                count: 92,
+            },
         ],
     });
 
@@ -251,30 +364,73 @@ pub fn chicago_nj() -> ScenarioSpec {
             nyse: Some(4.04909), // NLN + 117 µs, per §5
             nasdaq: Some(3.92805),
         }),
-        apa: ApaTargets { ny4: 0.85, nyse: 0.92, nasdaq: 0.80 },
+        apa: ApaTargets {
+            ny4: 0.85,
+            nyse: 0.92,
+            nasdaq: 0.80,
+        },
         primary_band: Band::L6GHz,
         rail_band: Band::L6GHz,
         rail_band_fraction: 1.0,
         rail_hop_km: 33.5,
         rails_online: Some(d(2014, 6, 1)),
         eras: vec![
-            EraTarget { date: d(2013, 1, 1), ny4_latency_ms: 4.012 },
-            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.000 },
-            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.990 },
-            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.985 },
-            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.980 },
-            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 3.976 },
-            EraTarget { date: d(2019, 1, 1), ny4_latency_ms: 3.973 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 3.97157 },
+            EraTarget {
+                date: d(2013, 1, 1),
+                ny4_latency_ms: 4.012,
+            },
+            EraTarget {
+                date: d(2014, 1, 1),
+                ny4_latency_ms: 4.000,
+            },
+            EraTarget {
+                date: d(2015, 1, 1),
+                ny4_latency_ms: 3.990,
+            },
+            EraTarget {
+                date: d(2016, 1, 1),
+                ny4_latency_ms: 3.985,
+            },
+            EraTarget {
+                date: d(2017, 1, 1),
+                ny4_latency_ms: 3.980,
+            },
+            EraTarget {
+                date: d(2018, 1, 1),
+                ny4_latency_ms: 3.976,
+            },
+            EraTarget {
+                date: d(2019, 1, 1),
+                ny4_latency_ms: 3.973,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 3.97157,
+            },
         ],
         first_grant: d(2012, 6, 1),
         shutdown: None,
         license_anchors: vec![
-            LicenseAnchor { date: d(2013, 1, 1), count: 70 },
-            LicenseAnchor { date: d(2015, 1, 1), count: 95 },
-            LicenseAnchor { date: d(2017, 1, 1), count: 118 },
-            LicenseAnchor { date: d(2019, 1, 1), count: 135 },
-            LicenseAnchor { date: d(2020, 1, 1), count: 145 },
+            LicenseAnchor {
+                date: d(2013, 1, 1),
+                count: 70,
+            },
+            LicenseAnchor {
+                date: d(2015, 1, 1),
+                count: 95,
+            },
+            LicenseAnchor {
+                date: d(2017, 1, 1),
+                count: 118,
+            },
+            LicenseAnchor {
+                date: d(2019, 1, 1),
+                count: 135,
+            },
+            LicenseAnchor {
+                date: d(2020, 1, 1),
+                count: 145,
+            },
         ],
     });
 
@@ -283,21 +439,41 @@ pub fn chicago_nj() -> ScenarioSpec {
         name: "AQ2AT".into(),
         ny4_route_towers: 29,
         tail_km: 6.0,
-        final_latency: Some(PathTargets { ny4: 4.01101, nyse: None, nasdaq: None }),
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        final_latency: Some(PathTargets {
+            ny4: 4.01101,
+            nyse: None,
+            nasdaq: None,
+        }),
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::B11GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 45.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 4.030 },
-            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 4.018 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.01101 },
+            EraTarget {
+                date: d(2016, 1, 1),
+                ny4_latency_ms: 4.030,
+            },
+            EraTarget {
+                date: d(2018, 1, 1),
+                ny4_latency_ms: 4.018,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 4.01101,
+            },
         ],
         first_grant: d(2015, 4, 1),
         shutdown: None,
-        license_anchors: vec![LicenseAnchor { date: d(2018, 1, 1), count: 45 }],
+        license_anchors: vec![LicenseAnchor {
+            date: d(2018, 1, 1),
+            count: 45,
+        }],
     });
 
     // ---- Wireless Internetwork: slower, more towers. ----
@@ -305,21 +481,41 @@ pub fn chicago_nj() -> ScenarioSpec {
         name: "Wireless Internetwork".into(),
         ny4_route_towers: 33,
         tail_km: 9.0,
-        final_latency: Some(PathTargets { ny4: 4.12246, nyse: None, nasdaq: None }),
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        final_latency: Some(PathTargets {
+            ny4: 4.12246,
+            nyse: None,
+            nasdaq: None,
+        }),
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::B11GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 40.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.140 },
-            EraTarget { date: d(2018, 1, 1), ny4_latency_ms: 4.130 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.12246 },
+            EraTarget {
+                date: d(2014, 1, 1),
+                ny4_latency_ms: 4.140,
+            },
+            EraTarget {
+                date: d(2018, 1, 1),
+                ny4_latency_ms: 4.130,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 4.12246,
+            },
         ],
         first_grant: d(2013, 2, 1),
         shutdown: None,
-        license_anchors: vec![LicenseAnchor { date: d(2017, 1, 1), count: 70 }],
+        license_anchors: vec![LicenseAnchor {
+            date: d(2017, 1, 1),
+            count: 70,
+        }],
     });
 
     // ---- GTT Americas: commodity microwave, not latency-optimized. ----
@@ -327,20 +523,37 @@ pub fn chicago_nj() -> ScenarioSpec {
         name: "GTT Americas".into(),
         ny4_route_towers: 28,
         tail_km: 14.0,
-        final_latency: Some(PathTargets { ny4: 4.24241, nyse: None, nasdaq: None }),
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        final_latency: Some(PathTargets {
+            ny4: 4.24241,
+            nyse: None,
+            nasdaq: None,
+        }),
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::B11GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 42.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 4.260 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.24241 },
+            EraTarget {
+                date: d(2015, 1, 1),
+                ny4_latency_ms: 4.260,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 4.24241,
+            },
         ],
         first_grant: d(2014, 1, 15),
         shutdown: None,
-        license_anchors: vec![LicenseAnchor { date: d(2018, 1, 1), count: 62 }],
+        license_anchors: vec![LicenseAnchor {
+            date: d(2018, 1, 1),
+            count: 62,
+        }],
     });
 
     // ---- SW Networks: sprawling short-hop network, slowest of the nine. ----
@@ -348,20 +561,37 @@ pub fn chicago_nj() -> ScenarioSpec {
         name: "SW Networks".into(),
         ny4_route_towers: 74,
         tail_km: 16.0,
-        final_latency: Some(PathTargets { ny4: 4.44530, nyse: None, nasdaq: None }),
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        final_latency: Some(PathTargets {
+            ny4: 4.44530,
+            nyse: None,
+            nasdaq: None,
+        }),
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B18GHz,
         rail_band: Band::B18GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 18.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 4.470 },
-            EraTarget { date: d(2020, 4, 1), ny4_latency_ms: 4.44530 },
+            EraTarget {
+                date: d(2014, 1, 1),
+                ny4_latency_ms: 4.470,
+            },
+            EraTarget {
+                date: d(2020, 4, 1),
+                ny4_latency_ms: 4.44530,
+            },
         ],
         first_grant: d(2013, 3, 1),
         shutdown: None,
-        license_anchors: vec![LicenseAnchor { date: d(2016, 1, 1), count: 160 }],
+        license_anchors: vec![LicenseAnchor {
+            date: d(2016, 1, 1),
+            count: 160,
+        }],
     });
 
     // ---- National Tower Company: the full arc (§4, Figs 1-2). ----
@@ -370,29 +600,63 @@ pub fn chicago_nj() -> ScenarioSpec {
         ny4_route_towers: 26,
         tail_km: 4.0,
         final_latency: None, // gone by 2020
-        apa: ApaTargets { ny4: 0.0, nyse: 0.0, nasdaq: 0.0 },
+        apa: ApaTargets {
+            ny4: 0.0,
+            nyse: 0.0,
+            nasdaq: 0.0,
+        },
         primary_band: Band::B11GHz,
         rail_band: Band::B11GHz,
         rail_band_fraction: 0.0,
         rail_hop_km: 45.0,
         rails_online: None,
         eras: vec![
-            EraTarget { date: d(2013, 1, 1), ny4_latency_ms: 4.000 },
-            EraTarget { date: d(2014, 1, 1), ny4_latency_ms: 3.992 },
-            EraTarget { date: d(2015, 1, 1), ny4_latency_ms: 3.988 },
-            EraTarget { date: d(2016, 1, 1), ny4_latency_ms: 3.988 },
-            EraTarget { date: d(2017, 1, 1), ny4_latency_ms: 3.988 },
+            EraTarget {
+                date: d(2013, 1, 1),
+                ny4_latency_ms: 4.000,
+            },
+            EraTarget {
+                date: d(2014, 1, 1),
+                ny4_latency_ms: 3.992,
+            },
+            EraTarget {
+                date: d(2015, 1, 1),
+                ny4_latency_ms: 3.988,
+            },
+            EraTarget {
+                date: d(2016, 1, 1),
+                ny4_latency_ms: 3.988,
+            },
+            EraTarget {
+                date: d(2017, 1, 1),
+                ny4_latency_ms: 3.988,
+            },
         ],
         first_grant: d(2012, 9, 1),
         // Fig. 1 shows NTC's last point at 2017-01-01; Fig. 2 has it
         // cancelling 71 licenses across 2017-2018.
         shutdown: Some(d(2017, 8, 15)),
         license_anchors: vec![
-            LicenseAnchor { date: d(2013, 1, 1), count: 60 },
-            LicenseAnchor { date: d(2014, 1, 1), count: 85 },
-            LicenseAnchor { date: d(2015, 1, 1), count: 92 },
-            LicenseAnchor { date: d(2016, 1, 1), count: 96 },
-            LicenseAnchor { date: d(2017, 1, 1), count: 96 },
+            LicenseAnchor {
+                date: d(2013, 1, 1),
+                count: 60,
+            },
+            LicenseAnchor {
+                date: d(2014, 1, 1),
+                count: 85,
+            },
+            LicenseAnchor {
+                date: d(2015, 1, 1),
+                count: 92,
+            },
+            LicenseAnchor {
+                date: d(2016, 1, 1),
+                count: 96,
+            },
+            LicenseAnchor {
+                date: d(2017, 1, 1),
+                count: 96,
+            },
         ],
     });
 
@@ -415,17 +679,24 @@ mod tests {
     #[test]
     fn nine_connected_networks() {
         let s = chicago_nj();
-        let connected = s.networks.iter().filter(|n| n.final_latency.is_some()).count();
+        let connected = s
+            .networks
+            .iter()
+            .filter(|n| n.final_latency.is_some())
+            .count();
         assert_eq!(connected, 9, "Table 1 lists nine connected networks");
     }
 
     #[test]
     fn funnel_arithmetic() {
         let s = chicago_nj();
-        let shortlisted =
-            s.networks.len() + s.partial_licensees + 2 * s.split_entity_pairs;
+        let shortlisted = s.networks.len() + s.partial_licensees + 2 * s.split_entity_pairs;
         assert_eq!(shortlisted, 29, "paper's shortlist");
-        assert_eq!(shortlisted + s.small_licensees, 57, "paper's candidate count");
+        assert_eq!(
+            shortlisted + s.small_licensees,
+            57,
+            "paper's candidate count"
+        );
     }
 
     #[test]
@@ -495,25 +766,47 @@ mod tests {
     #[test]
     fn webline_nyse_lag_matches_section5() {
         let s = chicago_nj();
-        let nln = s.networks.iter().find(|n| n.name == "New Line Networks").unwrap();
-        let wh = s.networks.iter().find(|n| n.name == "Webline Holdings").unwrap();
+        let nln = s
+            .networks
+            .iter()
+            .find(|n| n.name == "New Line Networks")
+            .unwrap();
+        let wh = s
+            .networks
+            .iter()
+            .find(|n| n.name == "Webline Holdings")
+            .unwrap();
         let lag_us = (wh.final_latency.unwrap().nyse.unwrap()
             - nln.final_latency.unwrap().nyse.unwrap())
             * 1000.0;
-        assert!((lag_us - 117.0).abs() < 0.5, "§5 quotes a 117 µs NYSE lag, got {lag_us}");
+        assert!(
+            (lag_us - 117.0).abs() < 0.5,
+            "§5 quotes a 117 µs NYSE lag, got {lag_us}"
+        );
         let lag_nasdaq_us = (wh.final_latency.unwrap().nasdaq.unwrap()
             - nln.final_latency.unwrap().nasdaq.unwrap())
             * 1000.0;
-        assert!((lag_nasdaq_us - 0.8).abs() < 0.1, "§5 quotes 0.8 µs on NASDAQ, got {lag_nasdaq_us}");
+        assert!(
+            (lag_nasdaq_us - 0.8).abs() < 0.1,
+            "§5 quotes 0.8 µs on NASDAQ, got {lag_nasdaq_us}"
+        );
     }
 
     #[test]
     fn ntc_dies_and_pb_arrives() {
         let s = chicago_nj();
-        let ntc = s.networks.iter().find(|n| n.name == "National Tower Company").unwrap();
+        let ntc = s
+            .networks
+            .iter()
+            .find(|n| n.name == "National Tower Company")
+            .unwrap();
         assert!(ntc.shutdown.is_some());
         assert!(ntc.final_latency.is_none());
-        let pb = s.networks.iter().find(|n| n.name == "Pierce Broadband").unwrap();
+        let pb = s
+            .networks
+            .iter()
+            .find(|n| n.name == "Pierce Broadband")
+            .unwrap();
         assert!(pb.first_grant >= Date::new(2019, 1, 1).unwrap());
         assert_eq!(pb.eras.len(), 1);
     }

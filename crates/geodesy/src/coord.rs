@@ -115,7 +115,7 @@ impl fmt::Display for LatLon {
 /// arc (surveying, re-filing, rounding). Reconstruction therefore snaps
 /// coordinates to a grid and treats equal cells as the same node — the
 /// "stitching" step of §2.3 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SnapGrid {
     /// Cell size in micro-degrees (1e-6 degree units).
     cell_microdeg: u32,
@@ -140,7 +140,9 @@ impl SnapGrid {
         if !(1e-6..=1.0).contains(&cell_deg) || !cell_deg.is_finite() {
             return None;
         }
-        Some(SnapGrid { cell_microdeg: (cell_deg * 1e6).round() as u32 })
+        Some(SnapGrid {
+            cell_microdeg: (cell_deg * 1e6).round() as u32,
+        })
     }
 
     /// One-arc-second grid (1/3600 degree ≈ 278 µdeg), the tolerance within

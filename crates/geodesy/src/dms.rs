@@ -108,7 +108,12 @@ impl Dms {
             minutes = 0;
             degrees += 1;
         }
-        Dms { degrees, minutes, seconds, hemisphere }
+        Dms {
+            degrees,
+            minutes,
+            seconds,
+            hemisphere,
+        }
     }
 
     /// Format in the ULS style, e.g. `41-45-45.0 N`.
@@ -165,7 +170,12 @@ impl Dms {
         if degrees > max_deg || (degrees == max_deg && (minutes > 0 || seconds > 0.0)) {
             return Err(err());
         }
-        Ok(Dms { degrees, minutes, seconds, hemisphere })
+        Ok(Dms {
+            degrees,
+            minutes,
+            seconds,
+            hemisphere,
+        })
     }
 }
 
@@ -188,13 +198,23 @@ mod tests {
 
     #[test]
     fn decimal_conversion_north() {
-        let d = Dms { degrees: 41, minutes: 45, seconds: 45.0, hemisphere: Hemisphere::North };
+        let d = Dms {
+            degrees: 41,
+            minutes: 45,
+            seconds: 45.0,
+            hemisphere: Hemisphere::North,
+        };
         assert!((d.to_decimal_degrees() - 41.7625).abs() < 1e-9);
     }
 
     #[test]
     fn decimal_conversion_west_is_negative() {
-        let d = Dms { degrees: 88, minutes: 14, seconds: 39.48, hemisphere: Hemisphere::West };
+        let d = Dms {
+            degrees: 88,
+            minutes: 14,
+            seconds: 39.48,
+            hemisphere: Hemisphere::West,
+        };
         assert!((d.to_decimal_degrees() + 88.244_3).abs() < 1e-4);
     }
 
@@ -233,14 +253,28 @@ mod tests {
 
     #[test]
     fn parse_uls_rejects_garbage() {
-        for s in ["", "41-45 N", "41-45-45.0-7 N", "41-61-00.0 N", "41-45-60.0 N", "95-00-00.0 N", "181-0-0.0 E", "41-45-45.0 X"] {
+        for s in [
+            "",
+            "41-45 N",
+            "41-45-45.0-7 N",
+            "41-61-00.0 N",
+            "41-45-60.0 N",
+            "95-00-00.0 N",
+            "181-0-0.0 E",
+            "41-45-45.0 X",
+        ] {
             assert!(Dms::parse_uls(s).is_err(), "{s:?}");
         }
     }
 
     #[test]
     fn uls_format_round_trip() {
-        let d = Dms { degrees: 40, minutes: 47, seconds: 34.8, hemisphere: Hemisphere::North };
+        let d = Dms {
+            degrees: 40,
+            minutes: 47,
+            seconds: 34.8,
+            hemisphere: Hemisphere::North,
+        };
         let s = d.to_uls();
         let back = Dms::parse_uls(&s).unwrap();
         assert!((back.to_decimal_degrees() - d.to_decimal_degrees()).abs() < 1e-9);

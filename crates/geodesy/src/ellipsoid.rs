@@ -52,7 +52,10 @@ mod tests {
 
     #[test]
     fn sphere_has_zero_eccentricity() {
-        let s = Ellipsoid { a: 6_371_000.0, f: 0.0 };
+        let s = Ellipsoid {
+            a: 6_371_000.0,
+            f: 0.0,
+        };
         assert_eq!(s.b(), s.a);
         assert_eq!(s.e2(), 0.0);
         assert_eq!(s.ep2(), 0.0);

@@ -70,7 +70,9 @@ mod tests {
         let cme = p(41.7625, -88.2443);
         let ny4 = p(40.7930, -74.0576);
         let sph = gc_distance_m(&cme, &ny4);
-        let ell = crate::vincenty::vincenty_inverse(&cme, &ny4).unwrap().distance_m;
+        let ell = crate::vincenty::vincenty_inverse(&cme, &ny4)
+            .unwrap()
+            .distance_m;
         assert!((sph - ell).abs() / ell < 0.005, "sph={sph} ell={ell}");
     }
 
@@ -114,7 +116,10 @@ mod tests {
         let mid = gc_interpolate(&a, &b, 0.5);
         let d_am = gc_distance_m(&a, &mid);
         let d_mb = gc_distance_m(&mid, &b);
-        assert!((d_am - d_mb).abs() < 5.0, "midpoint not equidistant: {d_am} vs {d_mb}");
+        assert!(
+            (d_am - d_mb).abs() < 5.0,
+            "midpoint not equidistant: {d_am} vs {d_mb}"
+        );
     }
 
     #[test]

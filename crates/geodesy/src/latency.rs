@@ -142,8 +142,7 @@ mod tests {
             .with(1_180_000.0, Medium::Air)
             .with(6_000.0, Medium::Fiber);
         assert!((b.total_distance_m() - 1_186_000.0).abs() < 1e-9);
-        let expect =
-            1_180_000.0 / C_VACUUM_M_PER_S + 6_000.0 / (C_VACUUM_M_PER_S * 2.0 / 3.0);
+        let expect = 1_180_000.0 / C_VACUUM_M_PER_S + 6_000.0 / (C_VACUUM_M_PER_S * 2.0 / 3.0);
         assert!((b.total_seconds() - expect).abs() < 1e-15);
         assert!((b.total_ms() - expect * 1e3).abs() < 1e-12);
         assert!((b.total_us() - expect * 1e6).abs() < 1e-9);
@@ -153,9 +152,8 @@ mod tests {
     fn fiber_tail_penalty_magnitude() {
         // A 6 km fiber tail costs 10 µs extra versus 6 km of air — the
         // scale of the inter-network gaps in Table 1.
-        let penalty_us = (latency_seconds(6_000.0, Medium::Fiber)
-            - latency_seconds(6_000.0, Medium::Air))
-            * 1e6;
+        let penalty_us =
+            (latency_seconds(6_000.0, Medium::Fiber) - latency_seconds(6_000.0, Medium::Air)) * 1e6;
         assert!((penalty_us - 10.0).abs() < 0.2, "got {penalty_us}");
     }
 

@@ -35,7 +35,11 @@ pub use coord::{CoordError, LatLon, SnapGrid, SnappedCoord};
 pub use dms::{Dms, DmsParseError, Hemisphere};
 pub use ecef::Ecef;
 pub use ellipsoid::{Ellipsoid, WGS84};
-pub use haversine::{gc_destination, gc_distance_m, gc_initial_bearing_deg, gc_interpolate, EARTH_RADIUS_M};
-pub use latency::{latency_seconds, one_way_ms, Medium, SpeedOfLight, C_VACUUM_M_PER_S, FIBER_VELOCITY_FACTOR};
+pub use haversine::{
+    gc_destination, gc_distance_m, gc_initial_bearing_deg, gc_interpolate, EARTH_RADIUS_M,
+};
+pub use latency::{
+    latency_seconds, one_way_ms, Medium, SpeedOfLight, C_VACUUM_M_PER_S, FIBER_VELOCITY_FACTOR,
+};
 pub use path::{GeoPath, PathSummary};
 pub use vincenty::{vincenty_direct, vincenty_inverse, GeodesicSolution, VincentyError};

@@ -51,7 +51,10 @@ impl PathSummary {
 impl GeoPath {
     /// A path anchored at `start` with no legs yet.
     pub fn new(start: LatLon) -> GeoPath {
-        GeoPath { start, segments: Vec::new() }
+        GeoPath {
+            start,
+            segments: Vec::new(),
+        }
     }
 
     /// Append a leg to `to`, traversed in `medium`.
@@ -96,7 +99,9 @@ impl GeoPath {
     /// Iterate `(from, to, medium)` legs.
     pub fn legs(&self) -> impl Iterator<Item = (LatLon, LatLon, Medium)> + '_ {
         let froms = std::iter::once(self.start).chain(self.segments.iter().map(|s| s.to));
-        froms.zip(self.segments.iter()).map(|(from, seg)| (from, seg.to, seg.medium))
+        froms
+            .zip(self.segments.iter())
+            .map(|(from, seg)| (from, seg.to, seg.medium))
     }
 
     /// Measure the path.
@@ -155,7 +160,10 @@ mod tests {
         let b = p(41.0, -80.0);
         let detour = p(43.5, -84.0);
         let direct = GeoPath::new(a).with(b, Medium::Air).summarize();
-        let via = GeoPath::new(a).with(detour, Medium::Air).with(b, Medium::Air).summarize();
+        let via = GeoPath::new(a)
+            .with(detour, Medium::Air)
+            .with(b, Medium::Air)
+            .summarize();
         assert!(via.stretch() > direct.stretch());
         assert!(via.stretch() > 1.01);
     }
@@ -198,7 +206,10 @@ mod tests {
         let a = p(41.0, -88.0);
         let b = p(41.0, -87.9); // ~8 km
         let c = p(41.0, -87.0); // ~75 km
-        let s = GeoPath::new(a).with(b, Medium::Air).with(c, Medium::Air).summarize();
+        let s = GeoPath::new(a)
+            .with(b, Medium::Air)
+            .with(c, Medium::Air)
+            .summarize();
         let bc = b.geodesic_distance_m(&c);
         assert!((s.longest_leg_m - bc).abs() < 1e-6);
     }

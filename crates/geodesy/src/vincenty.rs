@@ -67,7 +67,11 @@ pub fn vincenty_inverse(p1: &LatLon, p2: &LatLon) -> Result<GeodesicSolution, Vi
     let (sin_u2, cos_u2) = u2.sin_cos();
 
     if (phi1 - phi2).abs() < 1e-15 && l.abs() < 1e-15 {
-        return Ok(GeodesicSolution { distance_m: 0.0, initial_azimuth_deg: 0.0, final_azimuth_deg: 0.0 });
+        return Ok(GeodesicSolution {
+            distance_m: 0.0,
+            initial_azimuth_deg: 0.0,
+            final_azimuth_deg: 0.0,
+        });
     }
 
     let mut lambda = l;
@@ -80,7 +84,11 @@ pub fn vincenty_inverse(p1: &LatLon, p2: &LatLon) -> Result<GeodesicSolution, Vi
         .sqrt();
         if sin_sigma == 0.0 {
             // Coincident points.
-            return Ok(GeodesicSolution { distance_m: 0.0, initial_azimuth_deg: 0.0, final_azimuth_deg: 0.0 });
+            return Ok(GeodesicSolution {
+                distance_m: 0.0,
+                initial_azimuth_deg: 0.0,
+                final_azimuth_deg: 0.0,
+            });
         }
         cos_sigma = sin_u1 * sin_u2 + cos_u1 * cos_u2 * cos_lambda;
         sigma = sin_sigma.atan2(cos_sigma);
@@ -99,7 +107,8 @@ pub fn vincenty_inverse(p1: &LatLon, p2: &LatLon) -> Result<GeodesicSolution, Vi
                 * sin_alpha
                 * (sigma
                     + c * sin_sigma
-                        * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
+                        * (cos_2sigma_m
+                            + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m * cos_2sigma_m)));
         iter += 1;
         if (lambda - lambda_prev).abs() < TOLERANCE {
             break;
@@ -178,7 +187,8 @@ pub fn vincenty_direct(start: &LatLon, azimuth_deg: f64, distance_m: f64) -> (La
     let tmp = sin_u1 * sin_sigma - cos_u1 * cos_sigma * cos_alpha1;
     let phi2 = (sin_u1 * cos_sigma + cos_u1 * sin_sigma * cos_alpha1)
         .atan2((1.0 - f) * (sin_alpha * sin_alpha + tmp * tmp).sqrt());
-    let lambda = (sin_sigma * sin_alpha1).atan2(cos_u1 * cos_sigma - sin_u1 * sin_sigma * cos_alpha1);
+    let lambda =
+        (sin_sigma * sin_alpha1).atan2(cos_u1 * cos_sigma - sin_u1 * sin_sigma * cos_alpha1);
     let c = f / 16.0 * cos_sq_alpha * (4.0 + f * (4.0 - 3.0 * cos_sq_alpha));
     let l = lambda
         - (1.0 - c)
@@ -210,8 +220,16 @@ mod tests {
         let flinders = p(-37.951_033_42, 144.424_867_89);
         let buninyong = p(-37.652_821_14, 143.926_495_53);
         let sol = vincenty_inverse(&flinders, &buninyong).unwrap();
-        assert!((sol.distance_m - 54_972.3).abs() < 2.0, "got {}", sol.distance_m);
-        assert!((sol.initial_azimuth_deg - 306.868).abs() < 0.01, "got {}", sol.initial_azimuth_deg);
+        assert!(
+            (sol.distance_m - 54_972.3).abs() < 2.0,
+            "got {}",
+            sol.distance_m
+        );
+        assert!(
+            (sol.initial_azimuth_deg - 306.868).abs() < 0.01,
+            "got {}",
+            sol.initial_azimuth_deg
+        );
     }
 
     #[test]
@@ -227,7 +245,11 @@ mod tests {
     fn meridian_arc_to_pole() {
         // Equator to pole along a meridian: the quarter-meridian, 10 001.966 km.
         let sol = vincenty_inverse(&p(0.0, 0.0), &p(90.0, 0.0)).unwrap();
-        assert!((sol.distance_m - 10_001_965.73).abs() < 1.0, "got {}", sol.distance_m);
+        assert!(
+            (sol.distance_m - 10_001_965.73).abs() < 1.0,
+            "got {}",
+            sol.distance_m
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ pub fn fiber_latency_ms(geodesic_m: f64) -> f64 {
 
 /// Compare technologies on each segment (LEO averaged over `samples`
 /// constellation phases).
-pub fn compare(constellation: &Constellation, segments: &[Segment], samples: usize) -> Vec<Comparison> {
+pub fn compare(
+    constellation: &Constellation,
+    segments: &[Segment],
+    samples: usize,
+) -> Vec<Comparison> {
     segments
         .iter()
         .map(|seg| {

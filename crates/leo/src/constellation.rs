@@ -16,7 +16,10 @@ pub struct GroundStation {
 impl GroundStation {
     /// Construct from decimal-degree coordinates.
     pub fn new(name: &str, lat_deg: f64, lon_deg: f64) -> Result<GroundStation, CoordError> {
-        Ok(GroundStation { name: name.to_string(), position: LatLon::new(lat_deg, lon_deg)? })
+        Ok(GroundStation {
+            name: name.to_string(),
+            position: LatLon::new(lat_deg, lon_deg)?,
+        })
     }
 }
 
@@ -95,9 +98,7 @@ impl Constellation {
         let ground_b = graph.add_node(());
         let mut up_a = 0usize;
         let mut up_b = 0usize;
-        for (gs, gnode, count) in
-            [(a, ground_a, &mut up_a), (b, ground_b, &mut up_b)]
-        {
+        for (gs, gnode, count) in [(a, ground_a, &mut up_a), (b, ground_b, &mut up_b)] {
             let e = Ecef::from_geodetic(&gs.position, 0.0);
             for (i, s) in sats.iter().enumerate() {
                 let slant = e.distance_m(&s.ecef);
@@ -157,7 +158,11 @@ impl Constellation {
             max = max.max(ms);
             total += ms;
         }
-        Some(LatencyStats { min_ms: min, mean_ms: total / samples as f64, max_ms: max })
+        Some(LatencyStats {
+            min_ms: min,
+            mean_ms: total / samples as f64,
+            max_ms: max,
+        })
     }
 }
 
@@ -215,7 +220,11 @@ mod tests {
     fn midwest_sees_many_satellites() {
         let c = Constellation::starlink_like();
         let route = c
-            .route(&gs("CME", 41.7625, -88.1712), &gs("NY4", 40.7930, -74.0576), 0.0)
+            .route(
+                &gs("CME", 41.7625, -88.1712),
+                &gs("NY4", 40.7930, -74.0576),
+                0.0,
+            )
             .expect("routable");
         assert!(route.visible_from_a >= 3, "got {}", route.visible_from_a);
         assert!(route.visible_from_b >= 3);
@@ -229,7 +238,10 @@ mod tests {
         let geodesic = a.position.geodesic_distance_m(&b.position);
         let bound_ms = latency_seconds(geodesic, Medium::Air) * 1e3;
         let lat = c.latency_ms(&a, &b, 0.0).unwrap();
-        assert!(lat > bound_ms, "satellite path cannot beat the surface straight line");
+        assert!(
+            lat > bound_ms,
+            "satellite path cannot beat the surface straight line"
+        );
     }
 
     #[test]
@@ -249,11 +261,16 @@ mod tests {
         let c = Constellation::starlink_like();
         let fra = gs("FRA", 50.1109, 8.6821);
         let dc = gs("DC", 38.9072, -77.0369);
-        let lat = c.mean_latency_ms(&fra, &dc, 8).expect("transatlantic routable");
+        let lat = c
+            .mean_latency_ms(&fra, &dc, 8)
+            .expect("transatlantic routable");
         let geodesic = fra.position.geodesic_distance_m(&dc.position);
         // Idealized straight-line fiber at 2c/3.
         let fiber_ms = latency_seconds(geodesic, Medium::Fiber) * 1e3;
-        assert!(lat < fiber_ms, "LEO {lat} must beat even straight fiber {fiber_ms}");
+        assert!(
+            lat < fiber_ms,
+            "LEO {lat} must beat even straight fiber {fiber_ms}"
+        );
     }
 
     #[test]

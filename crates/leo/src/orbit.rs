@@ -86,7 +86,11 @@ pub fn propagate(shell: &OrbitalShellParams, t_s: f64) -> Vec<SatellitePosition>
             let x = x_orb * cos_raan - y_orb * cos_inc * sin_raan;
             let y = x_orb * sin_raan + y_orb * cos_inc * cos_raan;
             let z = y_orb * sin_inc;
-            out.push(SatellitePosition { plane, slot, ecef: Ecef::new(x, y, z) });
+            out.push(SatellitePosition {
+                plane,
+                slot,
+                ecef: Ecef::new(x, y, z),
+            });
         }
     }
     out
@@ -118,7 +122,12 @@ mod tests {
         assert_eq!(sats.len(), 72 * 22);
         let r = shell().radius_m();
         for s in &sats {
-            assert!((s.ecef.norm_m() - r).abs() < 1.0, "sat {}/{}", s.plane, s.slot);
+            assert!(
+                (s.ecef.norm_m() - r).abs() < 1.0,
+                "sat {}/{}",
+                s.plane,
+                s.slot
+            );
         }
     }
 
@@ -127,7 +136,11 @@ mod tests {
         let sats = propagate(&shell(), 1234.0);
         for s in &sats {
             let (geo, _) = s.ecef.to_geodetic();
-            assert!(geo.lat_deg().abs() <= 53.5, "latitude {} exceeds inclination", geo.lat_deg());
+            assert!(
+                geo.lat_deg().abs() <= 53.5,
+                "latitude {} exceeds inclination",
+                geo.lat_deg()
+            );
         }
     }
 

@@ -46,8 +46,10 @@ pub fn bridges<N, E>(graph: &Graph<N, E>) -> Vec<EdgeId> {
     let mut out = Vec::new();
 
     // Iterative DFS frame: (node, incoming edge, neighbor cursor).
-    let adj: Vec<Vec<(EdgeId, NodeId)>> =
-        graph.node_ids().map(|u| graph.neighbors(u).collect()).collect();
+    let adj: Vec<Vec<(EdgeId, NodeId)>> = graph
+        .node_ids()
+        .map(|u| graph.neighbors(u).collect())
+        .collect();
 
     for start in graph.node_ids() {
         if disc[start.index()] != usize::MAX {

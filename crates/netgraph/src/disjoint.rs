@@ -99,13 +99,25 @@ pub fn disjoint_shortest_pair<N, E>(
                 let (fi, ti) = (from.index(), graph.opposite(e, from).index());
                 let reduced = (phi(ti) - phi(fi) - w).max(0.0);
                 debug_assert!(reduced <= 1e-6 * (1.0 + w), "P1 reverse arc must be ~free");
-                arcs[ti].push(Arc { to: fi, edge: e, reduced });
+                arcs[ti].push(Arc {
+                    to: fi,
+                    edge: e,
+                    reduced,
+                });
             }
             None => {
                 let r_uv = (w + phi(ui) - phi(vi)).max(0.0);
                 let r_vu = (w + phi(vi) - phi(ui)).max(0.0);
-                arcs[ui].push(Arc { to: vi, edge: e, reduced: r_uv });
-                arcs[vi].push(Arc { to: ui, edge: e, reduced: r_vu });
+                arcs[ui].push(Arc {
+                    to: vi,
+                    edge: e,
+                    reduced: r_uv,
+                });
+                arcs[vi].push(Arc {
+                    to: ui,
+                    edge: e,
+                    reduced: r_vu,
+                });
             }
         }
     }
@@ -168,11 +180,7 @@ pub fn disjoint_shortest_pair<N, E>(
             if guard > graph.edge_count() + 2 {
                 return None; // malformed union — should not happen
             }
-            let next = adj
-                .get(&cur)?
-                .iter()
-                .copied()
-                .find(|e| !used.contains(e))?;
+            let next = adj.get(&cur)?.iter().copied().find(|e| !used.contains(e))?;
             used.insert(next);
             total += costs[next.index()];
             path.push(next);
@@ -182,9 +190,17 @@ pub fn disjoint_shortest_pair<N, E>(
     };
     let (pa, ca) = extract()?;
     let (pb, cb) = extract()?;
-    let (first, first_cost, second, second_cost) =
-        if ca <= cb { (pa, ca, pb, cb) } else { (pb, cb, pa, ca) };
-    Some(DisjointPair { first, second, first_cost, second_cost })
+    let (first, first_cost, second, second_cost) = if ca <= cb {
+        (pa, ca, pb, cb)
+    } else {
+        (pb, cb, pa, ca)
+    };
+    Some(DisjointPair {
+        first,
+        second,
+        first_cost,
+        second_cost,
+    })
 }
 
 /// Total-order wrapper for f64 heap keys (costs are never NaN here).
@@ -269,7 +285,11 @@ mod tests {
         g.add_edge(b, t, 2.0);
         g.add_edge(a, b, 0.0);
         let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
-        assert!((pair.total_cost() - 6.0).abs() < 1e-9, "optimal pair costs 6, got {}", pair.total_cost());
+        assert!(
+            (pair.total_cost() - 6.0).abs() < 1e-9,
+            "optimal pair costs 6, got {}",
+            pair.total_cost()
+        );
     }
 
     #[test]
@@ -298,7 +318,11 @@ mod tests {
         g.add_edge(x, m, 1.0);
         g.add_edge(x, t, 9.0);
         let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
-        assert!((pair.total_cost() - 16.0).abs() < 1e-9, "got {}", pair.total_cost());
+        assert!(
+            (pair.total_cost() - 16.0).abs() < 1e-9,
+            "got {}",
+            pair.total_cost()
+        );
     }
 
     #[test]
@@ -331,7 +355,11 @@ mod tests {
         g.add_edge(a, d, 1.0);
         g.add_edge(d, t, 2.0);
         let pair = disjoint_shortest_pair(&g, s, t, |_, w| *w).unwrap();
-        assert!((pair.total_cost() - 8.0).abs() < 1e-9, "got {}", pair.total_cost());
+        assert!(
+            (pair.total_cost() - 8.0).abs() < 1e-9,
+            "got {}",
+            pair.total_cost()
+        );
         // And the cancelled edge a-b appears in neither path.
         let ab = g.find_edge(a, b).unwrap();
         assert!(!pair.first.contains(&ab) && !pair.second.contains(&ab));

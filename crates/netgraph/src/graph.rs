@@ -79,7 +79,11 @@ impl<N, E> Default for Graph<N, E> {
 impl<N, E> Graph<N, E> {
     /// An empty graph.
     pub fn new() -> Graph<N, E> {
-        Graph { nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -179,7 +183,10 @@ impl<N, E> Graph<N, E> {
 
     /// Iterate `(id, payload)` for all nodes.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Iterate `(id, u, v, payload)` for all edges.

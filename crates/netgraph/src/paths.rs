@@ -27,7 +27,11 @@ pub struct BoundedPathsConfig {
 
 impl Default for BoundedPathsConfig {
     fn default() -> Self {
-        BoundedPathsConfig { bound: f64::INFINITY, max_paths: 1_000_000, record_paths: true }
+        BoundedPathsConfig {
+            bound: f64::INFINITY,
+            max_paths: 1_000_000,
+            record_paths: true,
+        }
     }
 }
 
@@ -87,13 +91,12 @@ pub fn bounded_paths<N, E>(
     on_path[source.index()] = true;
 
     // Snapshot adjacency for index-stable iteration.
-    let adj: Vec<Vec<(EdgeId, NodeId)>> =
-        graph.node_ids().map(|n| graph.neighbors(n).collect()).collect();
-    // Pre-compute edge costs once (cost fn may be expensive).
-    let edge_costs: Vec<f64> = graph
-        .edge_ids()
-        .map(|e| cost(e, graph.edge(e)))
+    let adj: Vec<Vec<(EdgeId, NodeId)>> = graph
+        .node_ids()
+        .map(|n| graph.neighbors(n).collect())
         .collect();
+    // Pre-compute edge costs once (cost fn may be expensive).
+    let edge_costs: Vec<f64> = graph.edge_ids().map(|e| cost(e, graph.edge(e))).collect();
 
     while let Some(&u) = node_stack.last() {
         if out.count >= config.max_paths {
@@ -174,7 +177,10 @@ mod tests {
     #[test]
     fn bound_selects_routes() {
         let (g, [a, _, _, d]) = diamond();
-        let cfg = |b: f64| BoundedPathsConfig { bound: b, ..Default::default() };
+        let cfg = |b: f64| BoundedPathsConfig {
+            bound: b,
+            ..Default::default()
+        };
         assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(2.9)).count, 0);
         assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(3.0)).count, 1);
         assert_eq!(bounded_paths(&g, a, d, |_, w| *w, &cfg(4.5)).count, 2);
@@ -189,7 +195,10 @@ mod tests {
             a,
             d,
             |_, w| *w,
-            &BoundedPathsConfig { bound: 4.5, ..Default::default() },
+            &BoundedPathsConfig {
+                bound: 4.5,
+                ..Default::default()
+            },
         );
         // Routes 1 and 2 use edges 0..4; the direct edge 4 is excluded.
         assert_eq!(ps.edges.len(), 4);
@@ -211,7 +220,16 @@ mod tests {
     fn paths_are_loop_free_and_within_bound() {
         let (g, [a, _, _, d]) = diamond();
         let bound = 7.0;
-        let ps = bounded_paths(&g, a, d, |_, w| *w, &BoundedPathsConfig { bound, ..Default::default() });
+        let ps = bounded_paths(
+            &g,
+            a,
+            d,
+            |_, w| *w,
+            &BoundedPathsConfig {
+                bound,
+                ..Default::default()
+            },
+        );
         for p in &ps.paths {
             let total: f64 = p.iter().map(|e| *g.edge(*e)).sum();
             assert!(total <= bound + 1e-9);
@@ -241,7 +259,11 @@ mod tests {
             nodes[0],
             nodes[7],
             |_, w| *w,
-            &BoundedPathsConfig { bound: 100.0, max_paths: 5, record_paths: true },
+            &BoundedPathsConfig {
+                bound: 100.0,
+                max_paths: 5,
+                record_paths: true,
+            },
         );
         assert!(ps.truncated);
         assert_eq!(ps.count, 5);
@@ -255,7 +277,11 @@ mod tests {
             a,
             d,
             |_, w| *w,
-            &BoundedPathsConfig { bound: 100.0, max_paths: usize::MAX, record_paths: false },
+            &BoundedPathsConfig {
+                bound: 100.0,
+                max_paths: usize::MAX,
+                record_paths: false,
+            },
         );
         assert_eq!(ps.count, 3);
         assert!(ps.paths.is_empty());
@@ -312,7 +338,10 @@ mod tests {
                 top[0],
                 top[n - 1],
                 |_, w| *w,
-                &BoundedPathsConfig { bound, ..Default::default() },
+                &BoundedPathsConfig {
+                    bound,
+                    ..Default::default()
+                },
             );
             assert_eq!(ps.count, count, "bound {bound}");
         }

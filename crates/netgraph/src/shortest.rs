@@ -115,7 +115,10 @@ pub fn dijkstra<N, E>(
     let mut heap = BinaryHeap::new();
 
     dist[source.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if settled[u.index()] {

@@ -47,7 +47,11 @@ pub fn yen_k_shortest<N, E>(
         return Vec::new();
     };
     let c = path_cost(graph, &edges, &mut cost);
-    let mut accepted = vec![CostedPath { nodes, edges, cost: c }];
+    let mut accepted = vec![CostedPath {
+        nodes,
+        edges,
+        cost: c,
+    }];
     // Candidate pool; tuple of (cost, path) kept sorted ascending lazily.
     let mut candidates: Vec<CostedPath> = Vec::new();
     // Dedup set over edge sequences (edge ids uniquely identify a path).
@@ -87,7 +91,11 @@ pub fn yen_k_shortest<N, E>(
                 total_edges.extend_from_slice(&spur_edges);
                 if seen.insert(total_edges.clone()) {
                     let c = path_cost(graph, &total_edges, &mut cost);
-                    candidates.push(CostedPath { nodes: total_nodes, edges: total_edges, cost: c });
+                    candidates.push(CostedPath {
+                        nodes: total_nodes,
+                        edges: total_edges,
+                        cost: c,
+                    });
                 }
             }
         }
@@ -194,7 +202,10 @@ mod tests {
         let paths = yen_k_shortest(&g, top[0], top[n - 1], 8, |_, w| *w);
         assert!(paths.len() >= 4);
         for w in paths.windows(2) {
-            assert!(w[0].cost <= w[1].cost + 1e-12, "costs must be non-decreasing");
+            assert!(
+                w[0].cost <= w[1].cost + 1e-12,
+                "costs must be non-decreasing"
+            );
         }
     }
 

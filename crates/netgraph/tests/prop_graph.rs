@@ -198,7 +198,7 @@ fn brute_best_pair(g: &Graph<(), f64>, s: NodeId, t: NodeId) -> Option<f64> {
     let mut best: Option<f64> = None;
     for i in 0..paths.len() {
         'outer: for j in 0..paths.len() {
-            if i == j && paths[i].0.len() > 0 {
+            if i == j && !paths[i].0.is_empty() {
                 // A path cannot pair with itself unless it is a distinct
                 // parallel edge path; handled by j != i plus multigraph
                 // paths being enumerated separately.
@@ -213,7 +213,7 @@ fn brute_best_pair(g: &Graph<(), f64>, s: NodeId, t: NodeId) -> Option<f64> {
                 }
             }
             let total = paths[i].1 + paths[j].1;
-            if best.map_or(true, |b| total < b) {
+            if best.is_none_or(|b| total < b) {
                 best = Some(total);
             }
         }

@@ -26,7 +26,11 @@ pub struct LinkOutageModel {
 impl LinkOutageModel {
     /// Model with the [`LinkBudget::typical_hft`] radio.
     pub fn typical(length_km: f64, freq_ghz: f64) -> LinkOutageModel {
-        LinkOutageModel { length_km, freq_ghz, budget: LinkBudget::typical_hft() }
+        LinkOutageModel {
+            length_km,
+            freq_ghz,
+            budget: LinkBudget::typical_hft(),
+        }
     }
 
     /// Clear-air fade margin, dB.
@@ -59,8 +63,7 @@ impl LinkOutageModel {
         if margin <= 0.0 {
             return Some(0.0);
         }
-        let attenuation =
-            |r: f64| rain_attenuation_db(self.freq_ghz, self.length_km, r);
+        let attenuation = |r: f64| rain_attenuation_db(self.freq_ghz, self.length_km, r);
         if attenuation(200.0) < margin {
             return None;
         }
@@ -119,7 +122,11 @@ impl Default for WeatherSampler {
     /// exponential tail into violent-storm territory), cells up to ~8% of
     /// the corridor (~100 km) across.
     fn default() -> Self {
-        WeatherSampler { rain_probability: 0.25, mean_peak_mm_h: 18.0, max_half_width: 0.08 }
+        WeatherSampler {
+            rain_probability: 0.25,
+            mean_peak_mm_h: 18.0,
+            max_half_width: 0.08,
+        }
     }
 }
 
@@ -130,7 +137,11 @@ impl WeatherSampler {
     /// the §5 "who is faster in *bad* weather" question, where the mild
     /// [`WeatherSampler::default`] rarely breaks a well-engineered link.
     pub fn stormy_season() -> WeatherSampler {
-        WeatherSampler { rain_probability: 0.40, mean_peak_mm_h: 28.0, max_half_width: 0.12 }
+        WeatherSampler {
+            rain_probability: 0.40,
+            mean_peak_mm_h: 28.0,
+            max_half_width: 0.12,
+        }
     }
 
     /// Sample a weather state: `None` = clear skies.
@@ -143,7 +154,11 @@ impl WeatherSampler {
         // Exponential via inverse CDF; bounded to a physical ceiling.
         let u: f64 = rng.gen::<f64>().max(1e-12);
         let peak = (-u.ln() * self.mean_peak_mm_h).min(150.0);
-        Some(WeatherEvent { center, half_width, peak_mm_h: peak })
+        Some(WeatherEvent {
+            center,
+            half_width,
+            peak_mm_h: peak,
+        })
     }
 }
 
@@ -164,7 +179,9 @@ mod tests {
         let wh = LinkOutageModel::typical(36.0, 6.2);
         let nln = LinkOutageModel::typical(48.5, 11.2);
         let r_wh = wh.critical_rain_rate();
-        let r_nln = nln.critical_rain_rate().expect("11 GHz 48 km link must fail somewhere");
+        let r_nln = nln
+            .critical_rain_rate()
+            .expect("11 GHz 48 km link must fail somewhere");
         match r_wh {
             None => {} // 6 GHz link survives everything we model — fine.
             Some(r_wh) => assert!(r_wh > r_nln, "wh fails at {r_wh}, nln at {r_nln}"),
@@ -184,7 +201,11 @@ mod tests {
     fn critical_rate_is_a_fixed_point() {
         let link = LinkOutageModel::typical(45.0, 11.0);
         let crit = link.critical_rain_rate().unwrap();
-        assert!(link.residual_margin_db(crit).abs() < 0.01, "margin at crit = {}", link.residual_margin_db(crit));
+        assert!(
+            link.residual_margin_db(crit).abs() < 0.01,
+            "margin at crit = {}",
+            link.residual_margin_db(crit)
+        );
     }
 
     #[test]
@@ -196,7 +217,11 @@ mod tests {
 
     #[test]
     fn weather_event_profile() {
-        let e = WeatherEvent { center: 0.5, half_width: 0.1, peak_mm_h: 40.0 };
+        let e = WeatherEvent {
+            center: 0.5,
+            half_width: 0.1,
+            peak_mm_h: 40.0,
+        };
         assert_eq!(e.rain_at(0.5), 40.0);
         assert_eq!(e.rain_at(0.61), 0.0);
         assert_eq!(e.rain_at(0.39), 0.0);
@@ -207,7 +232,11 @@ mod tests {
 
     #[test]
     fn degenerate_cell_has_no_rain_off_center() {
-        let e = WeatherEvent { center: 0.5, half_width: 0.0, peak_mm_h: 40.0 };
+        let e = WeatherEvent {
+            center: 0.5,
+            half_width: 0.0,
+            peak_mm_h: 40.0,
+        };
         assert_eq!(e.rain_at(0.5), 0.0);
     }
 

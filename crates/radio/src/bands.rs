@@ -32,7 +32,13 @@ pub enum Band {
 
 impl Band {
     /// All modeled bands, ascending in frequency.
-    pub const ALL: [Band; 5] = [Band::L6GHz, Band::U6GHz, Band::B11GHz, Band::B18GHz, Band::B23GHz];
+    pub const ALL: [Band; 5] = [
+        Band::L6GHz,
+        Band::U6GHz,
+        Band::B11GHz,
+        Band::B18GHz,
+        Band::B23GHz,
+    ];
 
     /// Band edges `(low, high)` in Hz.
     pub fn edges_hz(self) -> (f64, f64) {
@@ -132,7 +138,11 @@ impl BandPlan {
     /// The `i`-th channel (wrapping), as a [`Channel`].
     pub fn channel(&self, i: usize) -> Channel {
         let index = i % self.channels.len();
-        Channel { band: self.band, index, center_hz: self.channels[index] }
+        Channel {
+            band: self.band,
+            index,
+            center_hz: self.channels[index],
+        }
     }
 
     /// Assign channels to the links of a chain such that consecutive links
@@ -143,7 +153,11 @@ impl BandPlan {
         let half = (self.channels.len() / 2).max(1);
         (0..links)
             .map(|i| {
-                let idx = if i % 2 == 0 { (i / 2) % half } else { half + (i / 2) % half };
+                let idx = if i % 2 == 0 {
+                    (i / 2) % half
+                } else {
+                    half + (i / 2) % half
+                };
                 self.channel(idx.min(self.channels.len() - 1))
             })
             .collect()
@@ -213,7 +227,10 @@ mod tests {
             let plan = BandPlan::new(b);
             let chans = plan.assign_chain(40);
             for w in chans.windows(2) {
-                assert_ne!(w[0].center_hz, w[1].center_hz, "adjacent links share channel in {b}");
+                assert_ne!(
+                    w[0].center_hz, w[1].center_hz,
+                    "adjacent links share channel in {b}"
+                );
             }
         }
     }

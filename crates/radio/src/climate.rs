@@ -22,7 +22,10 @@ impl RainClimate {
     /// ~6% of the time with a 4 mm/h mean — which puts the 0.01%-of-year
     /// exceedance near 25–35 mm/h, consistent with ITU rain region K.
     pub fn continental_temperate() -> RainClimate {
-        RainClimate { wet_fraction: 0.06, mean_rate_mm_h: 4.0 }
+        RainClimate {
+            wet_fraction: 0.06,
+            mean_rate_mm_h: 4.0,
+        }
     }
 
     /// Probability (fraction of the year) that the point rain rate
@@ -111,7 +114,10 @@ mod tests {
         let wh = LinkOutageModel::typical(36.0, 6.2);
         let nln = LinkOutageModel::typical(48.5, 11.2);
         assert!(link_annual_availability(&wh, &c) > 0.9999);
-        assert!(link_annual_availability(&nln, &c) > 0.998, "multipath-dominated but still high");
+        assert!(
+            link_annual_availability(&nln, &c) > 0.998,
+            "multipath-dominated but still high"
+        );
     }
 
     #[test]
@@ -128,8 +134,9 @@ mod tests {
     #[test]
     fn path_availability_is_product() {
         let c = RainClimate::continental_temperate();
-        let links: Vec<LinkOutageModel> =
-            (0..24).map(|_| LinkOutageModel::typical(48.5, 11.2)).collect();
+        let links: Vec<LinkOutageModel> = (0..24)
+            .map(|_| LinkOutageModel::typical(48.5, 11.2))
+            .collect();
         let path = path_annual_availability(links.iter(), &c);
         let single = link_annual_availability(&links[0], &c);
         assert!((path - single.powi(24)).abs() < 1e-12);
@@ -141,10 +148,12 @@ mod tests {
         // WH's 26-hop short/6 GHz route vs NLN's 24-hop long/11 GHz route:
         // per-route annual availability must favor WH despite more hops.
         let c = RainClimate::continental_temperate();
-        let wh: Vec<LinkOutageModel> =
-            (0..26).map(|_| LinkOutageModel::typical(45.8, 6.2)).collect();
-        let nln: Vec<LinkOutageModel> =
-            (0..24).map(|_| LinkOutageModel::typical(49.4, 11.2)).collect();
+        let wh: Vec<LinkOutageModel> = (0..26)
+            .map(|_| LinkOutageModel::typical(45.8, 6.2))
+            .collect();
+        let nln: Vec<LinkOutageModel> = (0..24)
+            .map(|_| LinkOutageModel::typical(49.4, 11.2))
+            .collect();
         let a_wh = path_annual_availability(wh.iter(), &c);
         let a_nln = path_annual_availability(nln.iter(), &c);
         assert!(a_wh > a_nln, "WH route {a_wh} vs NLN route {a_nln}");

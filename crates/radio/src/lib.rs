@@ -41,8 +41,8 @@ pub mod multipath;
 pub mod rain;
 
 pub use availability::{LinkOutageModel, WeatherEvent, WeatherSampler};
-pub use climate::{link_annual_availability, path_annual_availability, RainClimate};
 pub use bands::{Band, BandPlan, Channel, GHZ, MHZ};
+pub use climate::{link_annual_availability, path_annual_availability, RainClimate};
 pub use linkbudget::{fade_margin_db, free_space_path_loss_db, LinkBudget};
 pub use multipath::multipath_outage_probability;
 pub use rain::{effective_path_length_km, rain_attenuation_db, specific_attenuation_db_per_km};

@@ -38,7 +38,11 @@ pub fn specific_attenuation_db_per_km(freq_ghz: f64, rain_mm_h: f64) -> f64 {
     }
     let (f0, k0, a0) = COEFFS[i];
     let (f1, k1, a1) = COEFFS[i + 1];
-    let t = if f1 > f0 { (f.ln() - f0.ln()) / (f1.ln() - f0.ln()) } else { 0.0 };
+    let t = if f1 > f0 {
+        (f.ln() - f0.ln()) / (f1.ln() - f0.ln())
+    } else {
+        0.0
+    };
     let k = (k0.ln() + t * (k1.ln() - k0.ln())).exp();
     let alpha = a0 + t * (a1 - a0);
     k * rain_mm_h.powf(alpha)
@@ -59,7 +63,8 @@ pub fn effective_path_length_km(path_km: f64, rain_mm_h: f64) -> f64 {
 /// Total rain attenuation in dB over a link of `path_km` km at `freq_ghz`
 /// under rain rate `rain_mm_h`.
 pub fn rain_attenuation_db(freq_ghz: f64, path_km: f64, rain_mm_h: f64) -> f64 {
-    specific_attenuation_db_per_km(freq_ghz, rain_mm_h) * effective_path_length_km(path_km, rain_mm_h)
+    specific_attenuation_db_per_km(freq_ghz, rain_mm_h)
+        * effective_path_length_km(path_km, rain_mm_h)
 }
 
 #[cfg(test)]
@@ -151,10 +156,12 @@ mod tests {
         let d = 48.5; // NLN's median link length
         let r = 40.0;
         let total = rain_attenuation_db(f, d, r);
-        let manual =
-            specific_attenuation_db_per_km(f, r) * effective_path_length_km(d, r);
+        let manual = specific_attenuation_db_per_km(f, r) * effective_path_length_km(d, r);
         assert!((total - manual).abs() < 1e-12);
-        assert!(total > 10.0, "a long 11 GHz link in heavy rain should fade hard: {total} dB");
+        assert!(
+            total > 10.0,
+            "a long 11 GHz link in heavy rain should fade hard: {total} dB"
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ pub struct Date {
 
 const DAYS_IN_MONTH: [u32; 13] = [0, 31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
 /// Cumulative days before each month in a non-leap year (index 1..=12).
-const DAYS_BEFORE_MONTH: [u32; 13] = [
-    0, 0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334,
-];
+const DAYS_BEFORE_MONTH: [u32; 13] = [0, 0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
 
 /// True iff `year` is a leap year in the Gregorian calendar.
 pub(crate) fn is_leap(year: i32) -> bool {
@@ -99,9 +97,17 @@ fn days_before_year(year: i32) -> i64 {
 
 impl Date {
     /// The earliest supported date, `0001-01-01` (ordinal 1).
-    pub const MIN: Date = Date { year: 1, month: 1, day: 1 };
+    pub const MIN: Date = Date {
+        year: 1,
+        month: 1,
+        day: 1,
+    };
     /// The latest supported date, `9999-12-31`.
-    pub const MAX: Date = Date { year: 9999, month: 12, day: 31 };
+    pub const MAX: Date = Date {
+        year: 9999,
+        month: 12,
+        day: 31,
+    };
 
     /// Construct a date from year/month/day components, validating ranges.
     pub fn new(year: i32, month: u32, day: u32) -> Result<Date, DateError> {
@@ -114,7 +120,11 @@ impl Date {
         if day == 0 || day > days_in_month(year, month) {
             return Err(DateError::DayOutOfRange { year, month, day });
         }
-        Ok(Date { year: year as i16, month: month as u8, day: day as u8 })
+        Ok(Date {
+            year: year as i16,
+            month: month as u8,
+            day: day as u8,
+        })
     }
 
     /// Year component (`1..=9999`).
@@ -184,7 +194,11 @@ impl Date {
             n -= dm;
             month += 1;
         }
-        Some(Date { year: year as i16, month: month as u8, day: (n + 1) as u8 })
+        Some(Date {
+            year: year as i16,
+            month: month as u8,
+            day: (n + 1) as u8,
+        })
     }
 
     /// One day later; saturates at [`Date::MAX`].
@@ -347,7 +361,10 @@ mod tests {
     fn succ_pred_cross_boundaries() {
         let d = Date::new(2019, 12, 31).unwrap();
         assert_eq!(d.succ(), Date::new(2020, 1, 1).unwrap());
-        assert_eq!(Date::new(2020, 3, 1).unwrap().pred(), Date::new(2020, 2, 29).unwrap());
+        assert_eq!(
+            Date::new(2020, 3, 1).unwrap().pred(),
+            Date::new(2020, 2, 29).unwrap()
+        );
         assert_eq!(Date::MAX.succ(), Date::MAX);
         assert_eq!(Date::MIN.pred(), Date::MIN);
     }

@@ -74,25 +74,45 @@ mod tests {
 
     #[test]
     fn fcc_zero_padded() {
-        assert_eq!(Date::parse_fcc("04/01/2020").unwrap(), Date::new(2020, 4, 1).unwrap());
+        assert_eq!(
+            Date::parse_fcc("04/01/2020").unwrap(),
+            Date::new(2020, 4, 1).unwrap()
+        );
     }
 
     #[test]
     fn fcc_unpadded() {
-        assert_eq!(Date::parse_fcc("6/3/2015").unwrap(), Date::new(2015, 6, 3).unwrap());
+        assert_eq!(
+            Date::parse_fcc("6/3/2015").unwrap(),
+            Date::new(2015, 6, 3).unwrap()
+        );
     }
 
     #[test]
     fn fcc_rejects_garbage() {
-        for s in ["", "04/01", "04/01/2020/9", "aa/bb/cccc", "04-01-2020", "4//2020", "04/01/99999"] {
-            assert!(matches!(Date::parse_fcc(s), Err(ParseDateError::Malformed(_))), "{s:?}");
+        for s in [
+            "",
+            "04/01",
+            "04/01/2020/9",
+            "aa/bb/cccc",
+            "04-01-2020",
+            "4//2020",
+            "04/01/99999",
+        ] {
+            assert!(
+                matches!(Date::parse_fcc(s), Err(ParseDateError::Malformed(_))),
+                "{s:?}"
+            );
         }
     }
 
     #[test]
     fn fcc_rejects_impossible_dates() {
         for s in ["02/30/2020", "13/01/2020", "00/10/2020", "06/00/2019"] {
-            assert!(matches!(Date::parse_fcc(s), Err(ParseDateError::Invalid(_))), "{s:?}");
+            assert!(
+                matches!(Date::parse_fcc(s), Err(ParseDateError::Invalid(_))),
+                "{s:?}"
+            );
         }
     }
 

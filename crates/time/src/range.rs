@@ -23,7 +23,10 @@ impl DateRange {
     /// (an empty or inverted range, which a caller almost certainly did not
     /// intend for a license lifetime).
     pub fn bounded(start: Date, end: Date) -> Option<DateRange> {
-        (end > start).then_some(DateRange { start, end: Some(end) })
+        (end > start).then_some(DateRange {
+            start,
+            end: Some(end),
+        })
     }
 
     /// Whether `date` falls inside the range.
@@ -63,7 +66,10 @@ pub struct YearIter {
 impl YearIter {
     /// Sample points on January 1st of every year in `start_year..=end_year`.
     pub fn new(start_year: i32, end_year: i32) -> YearIter {
-        YearIter { next_year: start_year, last_year: end_year }
+        YearIter {
+            next_year: start_year,
+            last_year: end_year,
+        }
     }
 }
 
@@ -150,7 +156,10 @@ mod tests {
     #[test]
     fn year_iter_yields_january_firsts() {
         let v: Vec<Date> = YearIter::new(2013, 2016).collect();
-        assert_eq!(v, vec![d(2013, 1, 1), d(2014, 1, 1), d(2015, 1, 1), d(2016, 1, 1)]);
+        assert_eq!(
+            v,
+            vec![d(2013, 1, 1), d(2014, 1, 1), d(2015, 1, 1), d(2016, 1, 1)]
+        );
     }
 
     #[test]

@@ -130,8 +130,14 @@ impl Pending {
                 line,
                 message: format!("license {} path {pn}: unknown {what} location {no}", lic.id),
             };
-            let tx = *self.locations.get(&tx_no).ok_or_else(|| missing("tx", tx_no))?;
-            let rx = *self.locations.get(&rx_no).ok_or_else(|| missing("rx", rx_no))?;
+            let tx = *self
+                .locations
+                .get(&tx_no)
+                .ok_or_else(|| missing("tx", tx_no))?;
+            let rx = *self
+                .locations
+                .get(&rx_no)
+                .ok_or_else(|| missing("rx", rx_no))?;
             if freqs.is_empty() {
                 return Err(DecodeError {
                     line,
@@ -143,7 +149,9 @@ impl Pending {
                 rx,
                 frequencies: freqs
                     .into_iter()
-                    .map(|mhz| FrequencyAssignment { center_hz: mhz * 1.0e6 })
+                    .map(|mhz| FrequencyAssignment {
+                        center_hz: mhz * 1.0e6,
+                    })
                     .collect(),
             });
         }
@@ -155,17 +163,26 @@ fn parse_date_opt(s: &str, line: usize) -> Result<Option<Date>, DecodeError> {
     if s.is_empty() {
         return Ok(None);
     }
-    Date::parse_fcc(s).map(Some).map_err(|e| DecodeError { line, message: e.to_string() })
+    Date::parse_fcc(s).map(Some).map_err(|e| DecodeError {
+        line,
+        message: e.to_string(),
+    })
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str, line: usize) -> Result<T, DecodeError> {
-    s.parse().map_err(|_| DecodeError { line, message: format!("bad {what}: {s:?}") })
+    s.parse().map_err(|_| DecodeError {
+        line,
+        message: format!("bad {what}: {s:?}"),
+    })
 }
 
 fn parse_dms(s: &str, line: usize) -> Result<f64, DecodeError> {
     Dms::parse_uls(s)
         .map(|d| d.to_decimal_degrees())
-        .map_err(|e| DecodeError { line, message: e.to_string() })
+        .map_err(|e| DecodeError {
+            line,
+            message: e.to_string(),
+        })
 }
 
 fn expect_fields(fields: &[&str], n: usize, line: usize) -> Result<(), DecodeError> {
@@ -207,8 +224,10 @@ pub fn decode(text: &str) -> Result<Vec<License>, DecodeError> {
                         licensee: String::new(),
                         service: RadioService::from_code(fields[3]),
                         station_class: StationClass::from_code(fields[4]),
-                        grant_date: Date::parse_fcc(fields[5])
-                            .map_err(|e| DecodeError { line, message: format!("grant date: {e}") })?,
+                        grant_date: Date::parse_fcc(fields[5]).map_err(|e| DecodeError {
+                            line,
+                            message: format!("grant date: {e}"),
+                        })?,
                         termination_date: parse_date_opt(fields[6], line)?,
                         cancellation_date: parse_date_opt(fields[7], line)?,
                         paths: Vec::new(),
@@ -284,7 +303,10 @@ pub fn decode(text: &str) -> Result<Vec<License>, DecodeError> {
                 entry.2.push(mhz);
             }
             other => {
-                return Err(DecodeError { line, message: format!("unknown record type {other:?}") });
+                return Err(DecodeError {
+                    line,
+                    message: format!("unknown record type {other:?}"),
+                });
             }
         }
     }
@@ -343,13 +365,16 @@ mod tests {
         let text = encode(&[sample()]);
         let kinds: Vec<&str> = text.lines().map(|l| &l[..2]).collect();
         // Shared middle tower is deduped: 3 LO records, not 4.
-        assert_eq!(kinds, vec!["HD", "EN", "LO", "LO", "LO", "PA", "FR", "FR", "PA", "FR"]);
+        assert_eq!(
+            kinds,
+            vec!["HD", "EN", "LO", "LO", "LO", "PA", "FR", "FR", "PA", "FR"]
+        );
     }
 
     #[test]
     fn round_trip_single() {
         let orig = sample();
-        let text = encode(&[orig.clone()]);
+        let text = encode(std::slice::from_ref(&orig));
         let back = decode(&text).unwrap();
         assert_eq!(back.len(), 1);
         let b = &back[0];
@@ -431,7 +456,11 @@ PA|1|1|1|9
 FR|1|1|6000.0
 ";
         let err = decode(text).unwrap_err();
-        assert!(err.message.contains("unknown rx location"), "{}", err.message);
+        assert!(
+            err.message.contains("unknown rx location"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -125,7 +125,11 @@ pub struct TowerSite {
 impl TowerSite {
     /// A site at `position` with typical midwest tower dimensions.
     pub fn at(position: LatLon) -> TowerSite {
-        TowerSite { position, ground_elevation_m: 230.0, structure_height_m: 110.0 }
+        TowerSite {
+            position,
+            ground_elevation_m: 230.0,
+            structure_height_m: 110.0,
+        }
     }
 
     /// Height of the radio above mean sea level, meters.

@@ -62,7 +62,10 @@ impl UlsDatabase {
         let idx = self.licenses.len();
         let prev = self.by_id.insert(license.id, idx);
         assert!(prev.is_none(), "duplicate license id {}", license.id);
-        self.by_licensee.entry(license.licensee.clone()).or_default().push(idx);
+        self.by_licensee
+            .entry(license.licensee.clone())
+            .or_default()
+            .push(idx);
         self.licenses.push(license);
     }
 
@@ -91,7 +94,10 @@ impl UlsDatabase {
 
 impl UlsPortal for UlsDatabase {
     fn geographic_search(&self, center: &LatLon, radius_km: f64) -> Vec<&License> {
-        self.licenses.iter().filter(|l| l.within_radius(center, radius_km)).collect()
+        self.licenses
+            .iter()
+            .filter(|l| l.within_radius(center, radius_km))
+            .collect()
     }
 
     fn site_search(&self, service: &RadioService, class: &StationClass) -> Vec<&License> {
@@ -181,7 +187,10 @@ mod tests {
         let db = db();
         assert_eq!(db.licensee_search("Alpha").len(), 2);
         assert_eq!(db.licensee_search("Beta").len(), 1);
-        assert!(db.licensee_search("alpha").is_empty(), "match is exact, like the ULS");
+        assert!(
+            db.licensee_search("alpha").is_empty(),
+            "match is exact, like the ULS"
+        );
         assert!(db.licensee_search("Nobody").is_empty());
     }
 

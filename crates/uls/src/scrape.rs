@@ -30,7 +30,10 @@ pub struct ScrapeConfig {
 
 impl Default for ScrapeConfig {
     fn default() -> Self {
-        ScrapeConfig { radius_km: 10.0, min_filings: 11 }
+        ScrapeConfig {
+            radius_km: 10.0,
+            min_filings: 11,
+        }
     }
 }
 
@@ -110,7 +113,11 @@ mod tests {
     ) -> Vec<License> {
         (0..n)
             .map(|i| {
-                let base_lon = if near_cme && i == 0 { -88.17 } else { -87.0 + i as f64 * 0.3 };
+                let base_lon = if near_cme && i == 0 {
+                    -88.17
+                } else {
+                    -87.0 + i as f64 * 0.3
+                };
                 let tx = TowerSite::at(LatLon::new(41.7, base_lon).unwrap());
                 let rx = TowerSite::at(LatLon::new(41.7, base_lon + 0.3).unwrap());
                 License {
@@ -141,7 +148,13 @@ mod tests {
         let mut all = Vec::new();
         all.extend(licenses_for(100, "BigNet", 15, RadioService::MG, true)); // passes
         all.extend(licenses_for(200, "SmallNet", 5, RadioService::MG, true)); // too few filings
-        all.extend(licenses_for(300, "CommonCarrier", 20, RadioService::CF, true)); // wrong service
+        all.extend(licenses_for(
+            300,
+            "CommonCarrier",
+            20,
+            RadioService::CF,
+            true,
+        )); // wrong service
         all.extend(licenses_for(400, "FarNet", 20, RadioService::MG, false)); // not near CME
         let db = UlsDatabase::from_licenses(all);
 
@@ -188,7 +201,10 @@ mod tests {
     fn custom_config_respected() {
         let all = licenses_for(100, "Tiny", 3, RadioService::MG, true);
         let db = UlsDatabase::from_licenses(all);
-        let cfg = ScrapeConfig { radius_km: 10.0, min_filings: 2 };
+        let cfg = ScrapeConfig {
+            radius_km: 10.0,
+            min_filings: 2,
+        };
         let (_, report) = run_pipeline(&db, &cme(), &cfg);
         assert_eq!(report.shortlisted, 1);
     }

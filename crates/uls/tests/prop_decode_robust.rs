@@ -30,7 +30,9 @@ fn sample_corpus() -> Vec<License> {
             paths: vec![MicrowavePath {
                 tx: site(41.7 + id as f64 * 0.05, -88.0),
                 rx: site(41.7, -87.5 + id as f64 * 0.1),
-                frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 + id as f64 * 1e7 }],
+                frequencies: vec![FrequencyAssignment {
+                    center_hz: 6.0e9 + id as f64 * 1e7,
+                }],
             }],
         })
         .collect()
@@ -44,10 +46,10 @@ fn mutate(text: &str, kind: u8, pos: usize, payload: char) -> String {
     }
     let pos = pos % s.len();
     match kind % 4 {
-        0 => s[pos] = payload,            // replace
-        1 => s.insert(pos, payload),      // insert
+        0 => s[pos] = payload,       // replace
+        1 => s.insert(pos, payload), // insert
         2 => {
-            s.remove(pos);                // delete
+            s.remove(pos); // delete
         }
         _ => {
             // Swap two lines.

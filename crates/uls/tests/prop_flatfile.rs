@@ -14,26 +14,35 @@ fn arb_date() -> impl Strategy<Value = Date> {
 }
 
 fn arb_site() -> impl Strategy<Value = TowerSite> {
-    (38.0f64..44.0, -90.0f64..-72.0, 100.0f64..400.0, 20.0f64..200.0).prop_map(
-        |(lat, lon, elev, height)| TowerSite {
+    (
+        38.0f64..44.0,
+        -90.0f64..-72.0,
+        100.0f64..400.0,
+        20.0f64..200.0,
+    )
+        .prop_map(|(lat, lon, elev, height)| TowerSite {
             position: LatLon::new(lat, lon).unwrap(),
             ground_elevation_m: (elev * 10.0).round() / 10.0,
             structure_height_m: (height * 10.0).round() / 10.0,
-        },
-    )
+        })
 }
 
 fn arb_path() -> impl Strategy<Value = MicrowavePath> {
-    (arb_site(), arb_site(), proptest::collection::vec(5925.0f64..23_600.0, 1..4)).prop_map(
-        |(tx, rx, freqs)| MicrowavePath {
+    (
+        arb_site(),
+        arb_site(),
+        proptest::collection::vec(5925.0f64..23_600.0, 1..4),
+    )
+        .prop_map(|(tx, rx, freqs)| MicrowavePath {
             tx,
             rx,
             frequencies: freqs
                 .into_iter()
-                .map(|mhz| FrequencyAssignment { center_hz: (mhz * 1e6 * 1e-5).round() * 1e5 })
+                .map(|mhz| FrequencyAssignment {
+                    center_hz: (mhz * 1e6 * 1e-5).round() * 1e5,
+                })
                 .collect(),
-        },
-    )
+        })
 }
 
 fn arb_license(id: u64) -> impl Strategy<Value = License> {

@@ -36,7 +36,11 @@ impl Series {
             points.push((x, Some(f)));
             prev_f = f;
         }
-        Series { label: label.to_string(), color: color.to_string(), points }
+        Series {
+            label: label.to_string(),
+            color: color.to_string(),
+            points,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ impl Default for ChartConfig {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Round `span/desired` to a 1/2/5×10ᵏ tick step.
@@ -98,7 +105,11 @@ fn nice_step(span: f64, desired_ticks: usize) -> f64 {
 }
 
 fn fmt_tick(v: f64, step: f64) -> String {
-    let decimals = if step >= 1.0 { 0 } else { (-step.log10().floor()) as usize };
+    let decimals = if step >= 1.0 {
+        0
+    } else {
+        (-step.log10().floor()) as usize
+    };
     format!("{v:.decimals$}")
 }
 
@@ -273,7 +284,11 @@ mod tests {
             ..Default::default()
         };
         let s = vec![
-            Series::dense("NLN", "#1f77b4", vec![(2016.0, 3.985), (2017.0, 3.975), (2018.0, 3.964)]),
+            Series::dense(
+                "NLN",
+                "#1f77b4",
+                vec![(2016.0, 3.985), (2017.0, 3.975), (2018.0, 3.964)],
+            ),
             Series::dense("WH", "#d62728", vec![(2013.0, 4.012), (2018.0, 3.976)]),
         ];
         let svg = render(&cfg, &s);
@@ -289,10 +304,20 @@ mod tests {
         let s = Series {
             label: "gappy".into(),
             color: "#000".into(),
-            points: vec![(0.0, Some(1.0)), (1.0, Some(2.0)), (2.0, None), (3.0, Some(1.5)), (4.0, Some(1.8))],
+            points: vec![
+                (0.0, Some(1.0)),
+                (1.0, Some(2.0)),
+                (2.0, None),
+                (3.0, Some(1.5)),
+                (4.0, Some(1.8)),
+            ],
         };
         let svg = render(&ChartConfig::default(), &[s]);
-        assert_eq!(svg.matches("<polyline").count(), 2, "gap must split the line");
+        assert_eq!(
+            svg.matches("<polyline").count(),
+            2,
+            "gap must split the line"
+        );
     }
 
     #[test]
@@ -311,7 +336,10 @@ mod tests {
     #[test]
     fn explicit_ranges_respected() {
         // Fig 1 style: y starts at a deliberately non-zero point.
-        let cfg = ChartConfig { y_range: Some((3.95, 4.05)), ..Default::default() };
+        let cfg = ChartConfig {
+            y_range: Some((3.95, 4.05)),
+            ..Default::default()
+        };
         let s = Series::dense("x", "#000", vec![(0.0, 3.96), (1.0, 3.97)]);
         let svg = render(&cfg, &[s]);
         assert!(svg.contains(">3.95<") || svg.contains(">3.96<"), "{svg}");
@@ -334,7 +362,10 @@ mod tests {
 
     #[test]
     fn hostile_labels_escaped() {
-        let cfg = ChartConfig { title: "<bad> & \"title\"".into(), ..Default::default() };
+        let cfg = ChartConfig {
+            title: "<bad> & \"title\"".into(),
+            ..Default::default()
+        };
         let svg = render(&cfg, &[]);
         assert!(!svg.contains("<bad>"));
         assert!(svg.contains("&lt;bad&gt; &amp; &quot;title&quot;"));

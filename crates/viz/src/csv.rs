@@ -19,7 +19,10 @@ pub struct CsvTable {
 impl CsvTable {
     /// Start a table with the given column names.
     pub fn new(columns: &[&str]) -> CsvTable {
-        CsvTable { header: columns.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        CsvTable {
+            header: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row; must match the header width.
@@ -49,7 +52,14 @@ impl CsvTable {
     /// Serialize with CRLF-free line endings (plain `\n`).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| field(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));

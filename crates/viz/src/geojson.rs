@@ -45,7 +45,11 @@ pub fn network_to_geojson(network: &Network) -> String {
     for (_, u, v, link) in network.graph.edges() {
         let pu = network.graph.node(u).position;
         let pv = network.graph.node(v).position;
-        let freqs: Vec<String> = link.frequencies_ghz.iter().map(|f| format!("{f:.5}")).collect();
+        let freqs: Vec<String> = link
+            .frequencies_ghz
+            .iter()
+            .map(|f| format!("{f:.5}"))
+            .collect();
         features.push(format!(
             concat!(
                 "{{\"type\":\"Feature\",\"geometry\":{{\"type\":\"LineString\",",
@@ -107,7 +111,11 @@ mod tests {
                 licenses: vec![],
             },
         );
-        Network { licensee: name.into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: name.into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]

@@ -50,8 +50,14 @@ impl Projection {
         }
         let lat_span = (max_lat - min_lat).max(1e-6);
         let lon_span = (max_lon - min_lon).max(1e-6);
-        let (min_lat, max_lat) = (min_lat - lat_span * margin_frac, max_lat + lat_span * margin_frac);
-        let (min_lon, max_lon) = (min_lon - lon_span * margin_frac, max_lon + lon_span * margin_frac);
+        let (min_lat, max_lat) = (
+            min_lat - lat_span * margin_frac,
+            max_lat + lat_span * margin_frac,
+        );
+        let (min_lon, max_lon) = (
+            min_lon - lon_span * margin_frac,
+            max_lon + lon_span * margin_frac,
+        );
         let lat_span = max_lat - min_lat;
         let lon_span = max_lon - min_lon;
         // Shrink x by cos(mid-latitude) so distances look right.
@@ -78,7 +84,10 @@ impl Projection {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Render one or more networks (e.g. the same licensee at two dates, or
@@ -176,15 +185,33 @@ mod tests {
             })
             .collect();
         for w in ids.windows(2) {
-            let d = graph.node(w[0]).position.geodesic_distance_m(&graph.node(w[1]).position);
-            graph.add_edge(w[0], w[1], MwLink { length_m: d, frequencies_ghz: vec![6.1], licenses: vec![] });
+            let d = graph
+                .node(w[0])
+                .position
+                .geodesic_distance_m(&graph.node(w[1]).position);
+            graph.add_edge(
+                w[0],
+                w[1],
+                MwLink {
+                    length_m: d,
+                    frequencies_ghz: vec![6.1],
+                    licenses: vec![],
+                },
+            );
         }
-        Network { licensee: "Map Net".into(), as_of: Date::new(2020, 4, 1).unwrap(), graph }
+        Network {
+            licensee: "Map Net".into(),
+            as_of: Date::new(2020, 4, 1).unwrap(),
+            graph,
+        }
     }
 
     #[test]
     fn renders_elements() {
-        let svg = network_to_svg(&sample(), &[("CME", LatLon::new(41.7625, -88.1712).unwrap())]);
+        let svg = network_to_svg(
+            &sample(),
+            &[("CME", LatLon::new(41.7625, -88.1712).unwrap())],
+        );
         assert!(svg.starts_with("<svg xmlns"));
         assert!(svg.trim_end().ends_with("</svg>"));
         assert_eq!(svg.matches("<line").count(), 2);
@@ -197,8 +224,24 @@ mod tests {
     fn aspect_ratio_reasonable() {
         // Corridor is ~14° wide, ~1° tall: height must be far less than width.
         let svg = network_to_svg(&sample(), &[]);
-        let w: f64 = svg.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-        let h: f64 = svg.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+        let w: f64 = svg
+            .split("width=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        let h: f64 = svg
+            .split("height=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(w > h, "corridor map must be wide: {w}x{h}");
         assert!(h > 20.0, "but not degenerate");
     }
@@ -208,7 +251,7 @@ mod tests {
         let svg = network_to_svg(&sample(), &[]);
         for part in svg.split("cx=\"").skip(1) {
             let x: f64 = part.split('"').next().unwrap().parse().unwrap();
-            assert!(x >= 0.0 && x <= 1200.0, "x {x} out of canvas");
+            assert!((0.0..=1200.0).contains(&x), "x {x} out of canvas");
         }
     }
 
@@ -220,7 +263,10 @@ mod tests {
 
     #[test]
     fn hostile_label_escaped() {
-        let svg = network_to_svg(&sample(), &[("<script>\"x\"&", LatLon::new(41.0, -80.0).unwrap())]);
+        let svg = network_to_svg(
+            &sample(),
+            &[("<script>\"x\"&", LatLon::new(41.0, -80.0).unwrap())],
+        );
         assert!(!svg.contains("<script>"));
         assert!(svg.contains("&lt;script&gt;"));
     }
@@ -229,8 +275,14 @@ mod tests {
     fn two_networks_styled_independently() {
         let n1 = sample();
         let n2 = sample();
-        let s1 = MapStyle { link_color: "#111111".into(), ..Default::default() };
-        let s2 = MapStyle { link_color: "#222222".into(), ..Default::default() };
+        let s1 = MapStyle {
+            link_color: "#111111".into(),
+            ..Default::default()
+        };
+        let s2 = MapStyle {
+            link_color: "#222222".into(),
+            ..Default::default()
+        };
         let svg = networks_to_svg(&[(&n1, &s1), (&n2, &s2)], &[], 1000.0);
         assert!(svg.contains("#111111"));
         assert!(svg.contains("#222222"));

@@ -20,8 +20,7 @@ fn annual_availability(net: &hft_core::Network) -> f64 {
         .iter()
         .map(|e| {
             let l = net.graph.edge(*e);
-            let model =
-                LinkOutageModel::typical(l.length_m / 1000.0, l.frequencies_ghz[0]);
+            let model = LinkOutageModel::typical(l.length_m / 1000.0, l.frequencies_ghz[0]);
             link_annual_availability(&model, &climate)
         })
         .product()
@@ -35,20 +34,43 @@ fn main() {
     );
 
     let candidates: Vec<(&str, DesignSpec)> = vec![
-        ("bare chain (no redundancy)", DesignSpec { protected_fraction: 0.0, ..Default::default() }),
-        ("half protected", DesignSpec { protected_fraction: 0.5, ..Default::default() }),
+        (
+            "bare chain (no redundancy)",
+            DesignSpec {
+                protected_fraction: 0.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "half protected",
+            DesignSpec {
+                protected_fraction: 0.5,
+                ..Default::default()
+            },
+        ),
         ("fully protected, 6 GHz rails", DesignSpec::default()),
         (
             "fully protected, short rails",
-            DesignSpec { rail_hop_km: 25.0, ..Default::default() },
+            DesignSpec {
+                rail_hop_km: 25.0,
+                ..Default::default()
+            },
         ),
         (
             "lean: 15 towers, long hops",
-            DesignSpec { primary_towers: 15, protected_fraction: 0.0, ..Default::default() },
+            DesignSpec {
+                primary_towers: 15,
+                protected_fraction: 0.0,
+                ..Default::default()
+            },
         ),
         (
             "dense: 40 towers, short hops",
-            DesignSpec { primary_towers: 40, protected_fraction: 0.0, ..Default::default() },
+            DesignSpec {
+                primary_towers: 40,
+                protected_fraction: 0.0,
+                ..Default::default()
+            },
         ),
     ];
 

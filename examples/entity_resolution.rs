@@ -18,20 +18,27 @@ use hftnetview::report;
 
 fn main() {
     let eco = generate(&chicago_nj(), 2020);
+    let analysis = report::Analysis::new(&eco);
 
     // Table 1 sees nine connected networks...
-    let table1 = report::table1(&eco);
+    let table1 = report::table1(&analysis);
     println!("Table 1 shows {} connected networks.", table1.len());
 
     // ...but the complementary-link scan over all 29 shortlisted
     // licensees finds filings that only work together.
-    let candidates = report::entity_scan(&eco);
+    let candidates = report::entity_scan(&analysis);
     println!("\ncomplementary-link scan over the shortlist:");
     for c in &candidates {
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.5} ms")).unwrap_or_else(|| "not connected".into());
+        let fmt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.5} ms"))
+                .unwrap_or_else(|| "not connected".into())
+        };
         println!("  {} + {}", c.a, c.b);
         println!("    alone: {} / {}", fmt(c.a_alone_ms), fmt(c.b_alone_ms));
-        println!("    merged: {:.5} ms via {} shared towers", c.joint_latency_ms, c.shared_towers);
+        println!(
+            "    merged: {:.5} ms via {} shared towers",
+            c.joint_latency_ms, c.shared_towers
+        );
         if c.jointly_connected_only() {
             println!("    -> connected ONLY jointly: almost certainly one operator");
         }
@@ -43,7 +50,10 @@ fn main() {
 
     // Where would the merged entity have ranked?
     if let Some(c) = candidates.first() {
-        let better_than = table1.iter().filter(|r| r.latency_ms > c.joint_latency_ms).count();
+        let better_than = table1
+            .iter()
+            .filter(|r| r.latency_ms > c.joint_latency_ms)
+            .count();
         println!(
             "\nmerged, {} + {} would rank #{} of {} in Table 1 at {:.5} ms",
             c.a,

@@ -11,7 +11,8 @@ use hftnetview::report;
 
 fn main() -> std::io::Result<()> {
     let eco = generate(&chicago_nj(), 2020);
-    let series = report::evolution(&eco);
+    let analysis = report::Analysis::new(&eco);
+    let series = report::evolution(&analysis);
 
     println!("CME->NY4 latency evolution (ms), January 1 samples (2020: April 1):");
     print!("{:<24}", "Licensee");

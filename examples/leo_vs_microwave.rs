@@ -6,7 +6,9 @@
 //! cargo run --release --example leo_vs_microwave
 //! ```
 
-use hft_leo::{compare, fiber_latency_ms, mw_latency_ms, paper_segments, Constellation, GroundStation, Segment};
+use hft_leo::{
+    compare, fiber_latency_ms, mw_latency_ms, paper_segments, Constellation, GroundStation, Segment,
+};
 
 fn main() {
     let shell = Constellation::starlink_like();
@@ -45,9 +47,16 @@ fn main() {
         let lon = -88.1712 + lon_offset;
         let lon = if lon > 180.0 { lon - 360.0 } else { lon };
         let dest = GroundStation::new("X", 41.7625, lon).unwrap();
-        let seg = Segment { from: origin.clone(), to: dest.clone(), terrestrial_feasible: true };
+        let seg = Segment {
+            from: origin.clone(),
+            to: dest.clone(),
+            terrestrial_feasible: true,
+        };
         let r = &compare(&shell, &[seg], 6)[0];
-        let leo = r.leo_ms.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into());
+        let leo = r
+            .leo_ms
+            .map(|v| format!("{v:.3}"))
+            .unwrap_or_else(|| "-".into());
         println!(
             "  {:>6.0} km: MW {:>8.3} ms, LEO {:>8} ms, fiber {:>8.3} ms -> {}",
             r.geodesic_km,

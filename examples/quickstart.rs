@@ -11,19 +11,24 @@ use hftnetview::report;
 fn main() {
     // 1. A deterministic license corpus standing in for the FCC ULS.
     let eco = generate(&chicago_nj(), 2020);
-    println!("generated {} licenses across {} licensees\n", eco.db.len(), eco.db.licensees().len());
+    let analysis = report::Analysis::new(&eco);
+    println!(
+        "generated {} licenses across {} licensees\n",
+        eco.db.len(),
+        eco.db.licensees().len()
+    );
 
     // 2. The §2.2 funnel: geographic search -> MG/FXO filter -> ≥11 filings.
-    let report_funnel = report::funnel(&eco);
+    let report_funnel = report::funnel(&analysis);
     print!("{}", report::funnel_render(&report_funnel));
 
     // 3. Reconstruct every network as of 2020-04-01 and rank them.
-    let rows = report::table1(&eco);
+    let rows = report::table1(&analysis);
     let (text, _) = report::table1_render(&rows);
     print!("\n{text}");
 
     // 4. Zoom into the winner.
-    let nln = report::network_of(&eco, "New Line Networks", report::snapshot_date());
+    let nln = report::network_of(&analysis, "New Line Networks", report::snapshot_date());
     let r = route(&nln, &corridor::CME, &corridor::EQUINIX_NY4).expect("NLN is connected");
     println!(
         "\nNew Line Networks: {} towers, {} links, {:.1} km of microwave;",
@@ -36,6 +41,10 @@ fn main() {
         r.latency_ms,
         r.towers,
         r.fiber_m / 1000.0,
-        r.stretch_vs_c(corridor::CME.position().geodesic_distance_m(&corridor::EQUINIX_NY4.position())),
+        r.stretch_vs_c(
+            corridor::CME
+                .position()
+                .geodesic_distance_m(&corridor::EQUINIX_NY4.position())
+        ),
     );
 }

@@ -15,14 +15,15 @@ use hftnetview::{report, weather};
 
 fn main() {
     let eco = generate(&chicago_nj(), 2020);
+    let analysis = report::Analysis::new(&eco);
 
     // Table 3: alternate path availability.
-    let (text, _) = report::table3_render(&report::table3(&eco));
+    let (text, _) = report::table3_render(&report::table3(&analysis));
     print!("{text}");
 
     // Fig 4a: link lengths on ≤5%-stretch paths.
     println!("\nLink lengths on low-latency CME->NY4 paths:");
-    for (name, cdf) in report::fig4a(&eco) {
+    for (name, cdf) in report::fig4a(&analysis) {
         println!(
             "  {:<20} median {:>5.1} km  (p10 {:>5.1}, p90 {:>5.1}, n={})",
             name,
@@ -35,7 +36,7 @@ fn main() {
 
     // Fig 4b: operating frequencies.
     println!("\nOperating frequencies (GHz):");
-    for (name, cdf) in report::fig4b(&eco) {
+    for (name, cdf) in report::fig4b(&analysis) {
         println!(
             "  {:<20} median {:>6.2} GHz, {:>3.0}% under 7 GHz",
             name,
@@ -52,7 +53,7 @@ fn main() {
     );
     let sampler = WeatherSampler::stormy_season();
     for name in ["New Line Networks", "Webline Holdings"] {
-        let net = report::network_of(&eco, name, report::snapshot_date());
+        let net = report::network_of(&analysis, name, report::snapshot_date());
         let o = weather::conditional_latency(
             &net,
             &corridor::CME,
@@ -62,7 +63,13 @@ fn main() {
             2020,
         )
         .expect("connected");
-        let p = |v: f64| if v.is_finite() { format!("{v:.4}") } else { "down".into() };
+        let p = |v: f64| {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "down".into()
+            }
+        };
         println!(
             "  {:<20} {:>9} {:>9} {:>9} {:>9} {:>6.2}%",
             name,
@@ -74,8 +81,8 @@ fn main() {
         );
     }
     // §5's closing thought: run both networks as a portfolio.
-    let nln = report::network_of(&eco, "New Line Networks", report::snapshot_date());
-    let wh = report::network_of(&eco, "Webline Holdings", report::snapshot_date());
+    let nln = report::network_of(&analysis, "New Line Networks", report::snapshot_date());
+    let wh = report::network_of(&analysis, "Webline Holdings", report::snapshot_date());
     let combo = weather::portfolio_latency(
         &[&nln, &wh],
         &corridor::CME,
@@ -87,7 +94,11 @@ fn main() {
     .expect("portfolio connected");
     println!(
         "  {:<20} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>6.2}%",
-        "NLN + WH portfolio", combo.clear_ms, combo.p50_ms, combo.p95_ms, combo.p99_ms,
+        "NLN + WH portfolio",
+        combo.clear_ms,
+        combo.p50_ms,
+        combo.p95_ms,
+        combo.p99_ms,
         combo.availability * 100.0
     );
     println!(

@@ -14,18 +14,27 @@ use hftnetview::report;
 
 fn main() -> std::io::Result<()> {
     let eco = generate(&chicago_nj(), 2020);
+    let analysis = report::Analysis::new(&eco);
 
     // --- The four ULS search interfaces. ---
     let cme = corridor::CME.position();
     let near = eco.db.geographic_search(&cme, 10.0);
-    println!("geographic search (10 km around CME): {} licenses", near.len());
-    let mg_fxo = eco.db.site_search(
-        &hft_uls::RadioService::MG,
-        &hft_uls::StationClass::FXO,
+    println!(
+        "geographic search (10 km around CME): {} licenses",
+        near.len()
     );
-    println!("site search (MG/FXO):                 {} licenses", mg_fxo.len());
+    let mg_fxo = eco
+        .db
+        .site_search(&hft_uls::RadioService::MG, &hft_uls::StationClass::FXO);
+    println!(
+        "site search (MG/FXO):                 {} licenses",
+        mg_fxo.len()
+    );
     let nln = eco.db.licensee_search("New Line Networks");
-    println!("licensee search (New Line Networks):  {} licenses", nln.len());
+    println!(
+        "licensee search (New Line Networks):  {} licenses",
+        nln.len()
+    );
     let first = eco.db.license_detail(nln[0].id).expect("detail page");
     println!(
         "license detail {}: {} granted {}, {} path(s)",
@@ -46,8 +55,11 @@ fn main() -> std::io::Result<()> {
     println!("total filings across the shortlist: {total_filings}");
 
     // --- Reconstruction at two dates (the Fig. 3 pair). ---
-    for date in [Date::new(2016, 1, 1).unwrap(), Date::new(2020, 4, 1).unwrap()] {
-        let net = report::network_of(&eco, "New Line Networks", date);
+    for date in [
+        Date::new(2016, 1, 1).unwrap(),
+        Date::new(2020, 4, 1).unwrap(),
+    ] {
+        let net = report::network_of(&analysis, "New Line Networks", date);
         println!(
             "\nNLN as of {date}: {} towers, {} links, {:.0} km of microwave",
             net.tower_count(),
@@ -69,11 +81,14 @@ fn main() -> std::io::Result<()> {
     );
 
     // --- YAML dump of the 2020 network. ---
-    let net = report::network_of(&eco, "New Line Networks", report::snapshot_date());
+    let net = report::network_of(&analysis, "New Line Networks", report::snapshot_date());
     let yaml = hft_core::yaml::to_yaml(&net);
     std::fs::write("out/nln_2020.yaml", &yaml)?;
     let parsed = hft_core::yaml::from_yaml(&yaml).expect("own dialect parses");
     assert_eq!(parsed.tower_count(), net.tower_count());
-    println!("yaml dump: out/nln_2020.yaml ({} towers round-tripped)", parsed.tower_count());
+    println!(
+        "yaml dump: out/nln_2020.yaml ({} towers round-tripped)",
+        parsed.tower_count()
+    );
     Ok(())
 }

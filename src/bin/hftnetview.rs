@@ -40,7 +40,12 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
-    let mut parsed = Args { command, name: None, seed: 2020, out: PathBuf::from("out") };
+    let mut parsed = Args {
+        command,
+        name: None,
+        seed: 2020,
+        out: PathBuf::from("out"),
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--seed" => {
@@ -76,62 +81,70 @@ fn write(path: &Path, contents: &str) -> std::io::Result<()> {
 fn run(args: &Args) -> Result<(), String> {
     let io_err = |e: std::io::Error| e.to_string();
     let eco = generate(&chicago_nj(), args.seed);
+    let analysis = report::Analysis::new(&eco);
     let out = &args.out;
     let run_one = |cmd: &str| -> Result<(), String> {
         match cmd {
             "funnel" => {
-                print!("{}", report::funnel_render(&report::funnel(&eco)));
+                print!("{}", report::funnel_render(&report::funnel(&analysis)));
             }
             "table1" => {
-                let rows = report::table1(&eco);
+                let rows = report::table1(&analysis);
                 let (text, csv) = report::table1_render(&rows);
                 print!("{text}");
                 write(&out.join("table1.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "table2" => {
-                let t = report::table2(&eco);
+                let t = report::table2(&analysis);
                 let (text, csv) = report::table2_render(&t);
                 print!("{text}");
                 write(&out.join("table2.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "table3" => {
-                let rows = report::table3(&eco);
+                let rows = report::table3(&analysis);
                 let (text, csv) = report::table3_render(&rows);
                 print!("{text}");
                 write(&out.join("table3.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "fig1" => {
-                let series = report::evolution(&eco);
+                let series = report::evolution(&analysis);
                 let (svg, csv) = report::fig1_render(&series);
                 write(&out.join("fig1.svg"), &svg).map_err(io_err)?;
                 write(&out.join("fig1.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "fig2" => {
-                let series = report::evolution(&eco);
+                let series = report::evolution(&analysis);
                 let (svg, csv) = report::fig2_render(&series);
                 write(&out.join("fig2.svg"), &svg).map_err(io_err)?;
                 write(&out.join("fig2.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "fig3" => {
-                let (gj16, gj20, svg16, svg20) = report::fig3(&eco);
+                let (gj16, gj20, svg16, svg20) = report::fig3(&analysis);
                 write(&out.join("fig3_nln_2016.geojson"), &gj16).map_err(io_err)?;
                 write(&out.join("fig3_nln_2020.geojson"), &gj20).map_err(io_err)?;
                 write(&out.join("fig3_nln_2016.svg"), &svg16).map_err(io_err)?;
                 write(&out.join("fig3_nln_2020.svg"), &svg20).map_err(io_err)?;
             }
             "fig4a" => {
-                let cdfs = report::fig4a(&eco);
+                let cdfs = report::fig4a(&analysis);
                 for (name, cdf) in &cdfs {
-                    println!("{name}: median link length {:.1} km over {} links", cdf.median(), cdf.len());
+                    println!(
+                        "{name}: median link length {:.1} km over {} links",
+                        cdf.median(),
+                        cdf.len()
+                    );
                 }
                 let (svg, csv) = report::cdf_render("Fig 4a: link lengths", "Distance (km)", &cdfs);
                 write(&out.join("fig4a.svg"), &svg).map_err(io_err)?;
                 write(&out.join("fig4a.csv"), &csv.to_csv()).map_err(io_err)?;
             }
             "fig4b" => {
-                let cdfs = report::fig4b(&eco);
+                let cdfs = report::fig4b(&analysis);
                 for (name, cdf) in &cdfs {
-                    println!("{name}: {:.0}% of frequencies under 7 GHz", cdf.fraction_below(7.0) * 100.0);
+                    println!(
+                        "{name}: {:.0}% of frequencies under 7 GHz",
+                        cdf.fraction_below(7.0) * 100.0
+                    );
                 }
                 let (svg, csv) =
                     report::cdf_render("Fig 4b: operating frequencies", "Frequency (GHz)", &cdfs);
@@ -147,10 +160,21 @@ fn run(args: &Args) -> Result<(), String> {
             "weather" => {
                 let sampler = hft_radio::WeatherSampler::stormy_season();
                 println!("Conditional CME-NY4 latency under corridor weather (3000 states):");
-                println!("{:<24} {:>9} {:>9} {:>9} {:>9} {:>7}", "Licensee", "clear", "p50", "p95", "p99", "avail");
+                println!(
+                    "{:<24} {:>9} {:>9} {:>9} {:>9} {:>7}",
+                    "Licensee", "clear", "p50", "p95", "p99", "avail"
+                );
                 for name in ["New Line Networks", "Webline Holdings"] {
-                    let net = report::network_of(&eco, name, report::snapshot_date());
-                    let o = weather::conditional_latency(
+                    let asof = report::snapshot_date();
+                    let net = analysis.session.network(name, asof);
+                    let rg = analysis.session.routing_graph(
+                        name,
+                        asof,
+                        &corridor::CME,
+                        &corridor::EQUINIX_NY4,
+                    );
+                    let o = weather::conditional_latency_on(
+                        &rg,
                         &net,
                         &corridor::CME,
                         &corridor::EQUINIX_NY4,
@@ -178,13 +202,14 @@ fn run(args: &Args) -> Result<(), String> {
                 }
             }
             "entity" => {
-                let candidates = report::entity_scan(&eco);
+                let candidates = report::entity_scan(&analysis);
                 if candidates.is_empty() {
                     println!("no complementary-link pairs found");
                 }
                 for c in &candidates {
                     let fmt = |v: Option<f64>| {
-                        v.map(|x| format!("{x:.5} ms")).unwrap_or_else(|| "not connected".into())
+                        v.map(|x| format!("{x:.5} ms"))
+                            .unwrap_or_else(|| "not connected".into())
                     };
                     println!(
                         "{} + {}: alone {} / {}, merged {:.5} ms via {} shared towers{}",
@@ -194,14 +219,18 @@ fn run(args: &Args) -> Result<(), String> {
                         fmt(c.b_alone_ms),
                         c.joint_latency_ms,
                         c.shared_towers,
-                        if c.jointly_connected_only() { "  (joint-only!)" } else { "" },
+                        if c.jointly_connected_only() {
+                            "  (joint-only!)"
+                        } else {
+                            ""
+                        },
                     );
                 }
             }
             "overhead" => {
                 let asof = report::snapshot_date();
-                let nln = report::network_of(&eco, "New Line Networks", asof);
-                let jm = report::network_of(&eco, "Jefferson Microwave", asof);
+                let nln = report::network_of(&analysis, "New Line Networks", asof);
+                let jm = report::network_of(&analysis, "Jefferson Microwave", asof);
                 match hft_core::overhead::crossover_overhead_us(
                     &nln,
                     &jm,
@@ -221,8 +250,11 @@ fn run(args: &Args) -> Result<(), String> {
                 println!("{} licenses exported", eco.db.len());
             }
             "yaml" => {
-                let name = args.name.as_deref().ok_or("yaml requires a licensee name")?;
-                let net = report::network_of(&eco, name, report::snapshot_date());
+                let name = args
+                    .name
+                    .as_deref()
+                    .ok_or("yaml requires a licensee name")?;
+                let net = report::network_of(&analysis, name, report::snapshot_date());
                 if net.tower_count() == 0 {
                     return Err(format!("no towers for licensee {name:?}"));
                 }

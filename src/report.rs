@@ -1,22 +1,57 @@
 //! One function per table and figure of the paper.
 //!
-//! Each function consumes a generated ecosystem, runs the real analysis
-//! pipeline, and returns both structured data and ready-to-print text.
-//! The `repro` binary (crate `hft-bench`) and the `hftnetview` CLI wrap
-//! these, and the integration tests assert the *shapes* the paper
+//! Each function consumes an [`Analysis`] — a generated ecosystem plus
+//! the [`AnalysisSession`] caching every derived artifact — runs the real
+//! analysis pipeline, and returns both structured data and ready-to-print
+//! text. The `repro` binary (crate `hft-bench`) and the `hftnetview` CLI
+//! wrap these, and the integration tests assert the *shapes* the paper
 //! reports (rankings, crossovers, contrast directions).
+//!
+//! Sharing one session across the functions means the 2020-04-01
+//! snapshot reconstructed for Table 1 is the same in-memory network that
+//! Table 2, Table 3 and Fig 4 analyze, and the nine-date evolution sweep
+//! of Figs 1–2 reconstructs each licensee only once per lifecycle epoch.
 
 use hft_core::corridor::{DataCenter, CME, EQUINIX_NY4, NASDAQ, NYSE};
-use hft_core::{metrics, reconstruct, route, Network, ReconstructOptions};
+use hft_core::session::AnalysisSession;
+use hft_core::{metrics, Network};
 use hft_corridor::GeneratedEcosystem;
 use hft_leo::{compare as leo_compare, paper_segments, Comparison, Constellation};
 use hft_time::{paper_sample_dates, Date};
-use hft_uls::scrape::{run_pipeline, ScrapeConfig};
-use hft_uls::UlsPortal;
+use hft_uls::scrape::ScrapeConfig;
 use hft_viz::chart::{render, ChartConfig, Series};
 use hft_viz::csv::CsvTable;
 use hft_viz::geojson::network_to_geojson;
 use hft_viz::svgmap::network_to_svg;
+use std::sync::Arc;
+
+/// The shared view all report functions consume: the generated ecosystem
+/// plus one [`AnalysisSession`] over its corpus.
+pub struct Analysis<'a> {
+    /// The generated license corpus and its scenario metadata.
+    pub eco: &'a GeneratedEcosystem,
+    /// The snapshot engine caching networks, routes and APA per epoch.
+    pub session: AnalysisSession<'a>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Open a fresh session over `eco`.
+    pub fn new(eco: &'a GeneratedEcosystem) -> Analysis<'a> {
+        Analysis {
+            eco,
+            session: eco.session(),
+        }
+    }
+
+    /// The cached §2.2 shortlist (licensee names, sorted).
+    fn shortlist(&self) -> Vec<String> {
+        self.session
+            .scrape(&CME.position(), &ScrapeConfig::default())
+            .expect("session built from a database")
+            .shortlist
+            .clone()
+    }
+}
 
 /// The paper's snapshot date, 1 April 2020.
 pub fn snapshot_date() -> Date {
@@ -35,10 +70,10 @@ pub const FIGURE_NETWORKS: [&str; 5] = [
 /// Distinguishable chart colors for the five figure networks.
 const FIGURE_COLORS: [&str; 5] = ["#7f7f7f", "#9467bd", "#2ca02c", "#1f77b4", "#d62728"];
 
-/// Reconstruct one licensee's network at a date.
-pub fn network_of(eco: &GeneratedEcosystem, name: &str, date: Date) -> Network {
-    let lics = eco.db.licensee_search(name);
-    reconstruct(&lics, name, date, &ReconstructOptions::default())
+/// One licensee's network at a date, served from the session's epoch
+/// cache and stamped with the exact requested date.
+pub fn network_of(analysis: &Analysis, name: &str, date: Date) -> Network {
+    analysis.session.network_at(name, date)
 }
 
 /// One Table-1 row.
@@ -56,24 +91,34 @@ pub struct Table1Row {
 
 /// Table 1: connected networks between CME and NY4 in increasing latency
 /// order, with APA and route tower counts.
-pub fn table1(eco: &GeneratedEcosystem) -> Vec<Table1Row> {
+///
+/// Candidates come from the §2.2 scrape shortlist — the paper's own
+/// funnel — not from every licensee in the corpus: only shortlisted
+/// MG/FXO corridor players can be connected, so reconstructing the noise
+/// licensees (the bulk of the corpus) just to find no route was wasted
+/// work. The shortlist fans out across session worker threads.
+pub fn table1(analysis: &Analysis) -> Vec<Table1Row> {
     let asof = snapshot_date();
-    let mut rows = Vec::new();
-    for name in eco.db.licensees() {
-        // Only MG/FXO corridor players can be connected; reconstruction
-        // of noise licensees simply yields no route.
-        let net = network_of(eco, name, asof);
-        if let Some(r) = route(&net, &CME, &EQUINIX_NY4) {
-            let apa = metrics::apa(&net, &CME, &EQUINIX_NY4).unwrap_or(0.0);
-            rows.push(Table1Row {
-                licensee: name.to_string(),
+    let s = &analysis.session;
+    let mut rows: Vec<Table1Row> = s
+        .par_map(analysis.shortlist(), |name| {
+            let r = s.route(&name, asof, &CME, &EQUINIX_NY4)?;
+            let apa = s.apa(&name, asof, &CME, &EQUINIX_NY4).unwrap_or(0.0);
+            Some(Table1Row {
+                licensee: name,
                 latency_ms: r.latency_ms,
                 apa,
                 towers: r.towers,
-            });
-        }
-    }
-    rows.sort_by(|a, b| a.latency_ms.partial_cmp(&b.latency_ms).expect("finite latencies"));
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    rows.sort_by(|a, b| {
+        a.latency_ms
+            .partial_cmp(&b.latency_ms)
+            .expect("finite latencies")
+    });
     rows
 }
 
@@ -115,16 +160,16 @@ pub struct Table2 {
 }
 
 /// Compute Table 2 from the snapshot.
-pub fn table2(eco: &GeneratedEcosystem) -> Table2 {
+pub fn table2(analysis: &Analysis) -> Table2 {
     let asof = snapshot_date();
+    let s = &analysis.session;
     let mut paths = Vec::new();
     for dc in [&EQUINIX_NY4, &NYSE, &NASDAQ] {
         let geodesic_km = CME.position().geodesic_distance_m(&dc.position()) / 1000.0;
         let mut entries: Vec<(String, f64)> = Vec::new();
-        for name in &eco.connected_2020 {
-            let net = network_of(eco, name, asof);
-            if let Some(r) = route(&net, &CME, dc) {
-                entries.push((name.clone(), r.latency_ms));
+        for name in &analysis.eco.connected_2020 {
+            if let Some(ms) = s.latency_ms(name, asof, &CME, dc) {
+                entries.push((name.clone(), ms));
             }
         }
         entries.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite latencies"));
@@ -156,14 +201,13 @@ pub fn table2_render(t: &Table2) -> (String, CsvTable) {
 }
 
 /// Table 3: APA per path for NLN and WH.
-pub fn table3(eco: &GeneratedEcosystem) -> Vec<(String, [Option<f64>; 3])> {
+pub fn table3(analysis: &Analysis) -> Vec<(String, [Option<f64>; 3])> {
     let asof = snapshot_date();
+    let s = &analysis.session;
     ["New Line Networks", "Webline Holdings"]
         .iter()
         .map(|name| {
-            let net = network_of(eco, name, asof);
-            let apas = [&EQUINIX_NY4, &NYSE, &NASDAQ]
-                .map(|dc| metrics::apa(&net, &CME, dc));
+            let apas = [&EQUINIX_NY4, &NYSE, &NASDAQ].map(|dc| s.apa(name, asof, &CME, dc));
             (name.to_string(), apas)
         })
         .collect()
@@ -178,7 +222,8 @@ pub fn table3_render(rows: &[(String, [Option<f64>; 3])]) -> (String, CsvTable) 
     );
     for (name, apas) in rows {
         let fmt = |v: &Option<f64>| {
-            v.map(|x| format!("{:.0}", x * 100.0)).unwrap_or_else(|| "-".into())
+            v.map(|x| format!("{:.0}", x * 100.0))
+                .unwrap_or_else(|| "-".into())
         };
         text.push_str(&format!(
             "{:<24}| {:>7} | {:>8} | {:>9}\n",
@@ -203,24 +248,24 @@ pub struct EvolutionSeries {
 
 /// Compute the Fig. 1 / Fig. 2 series for the five figure networks over
 /// the paper's sample dates.
-pub fn evolution(eco: &GeneratedEcosystem) -> Vec<EvolutionSeries> {
+///
+/// One [`AnalysisSession::trajectory`] per network, fanned out across
+/// worker threads: dates falling in the same lifecycle epoch share a
+/// single reconstruction instead of re-running one per sample date.
+pub fn evolution(analysis: &Analysis) -> Vec<EvolutionSeries> {
     let dates = paper_sample_dates();
-    FIGURE_NETWORKS
-        .iter()
-        .map(|name| {
-            let lics = eco.db.licensee_search(name);
-            let points = dates
+    let s = &analysis.session;
+    s.par_map(FIGURE_NETWORKS.to_vec(), |name| {
+        let t = s.trajectory(name, &CME, &EQUINIX_NY4, &dates);
+        EvolutionSeries {
+            licensee: t.licensee,
+            points: t
+                .points
                 .iter()
-                .map(|&d| {
-                    let net = reconstruct(&lics, name, d, &ReconstructOptions::default());
-                    let latency = route(&net, &CME, &EQUINIX_NY4).map(|r| r.latency_ms);
-                    let active = lics.iter().filter(|l| l.active_on(d)).count();
-                    (d, latency, active)
-                })
-                .collect();
-            EvolutionSeries { licensee: name.to_string(), points }
-        })
-        .collect()
+                .map(|p| (p.date, p.latency_ms, p.active_licenses))
+                .collect(),
+        }
+    })
 }
 
 /// Render Fig. 1 (latency evolution) as SVG + CSV.
@@ -290,9 +335,13 @@ pub fn fig2_render(series: &[EvolutionSeries]) -> (String, CsvTable) {
 
 /// Fig. 3 artifacts: NLN's network at the beginning of 2016 and at the
 /// 2020 snapshot, as `(geojson_2016, geojson_2020, svg_2016, svg_2020)`.
-pub fn fig3(eco: &GeneratedEcosystem) -> (String, String, String, String) {
-    let nln_2016 = network_of(eco, "New Line Networks", Date::new(2016, 1, 1).expect("static"));
-    let nln_2020 = network_of(eco, "New Line Networks", snapshot_date());
+pub fn fig3(analysis: &Analysis) -> (String, String, String, String) {
+    let nln_2016 = network_of(
+        analysis,
+        "New Line Networks",
+        Date::new(2016, 1, 1).expect("static"),
+    );
+    let nln_2020 = network_of(analysis, "New Line Networks", snapshot_date());
     let markers: Vec<(&str, hft_geodesy::LatLon)> = [&CME, &EQUINIX_NY4, &NYSE, &NASDAQ]
         .iter()
         .map(|dc: &&DataCenter| (dc.code, dc.position()))
@@ -306,12 +355,12 @@ pub fn fig3(eco: &GeneratedEcosystem) -> (String, String, String, String) {
 }
 
 /// Fig. 4a: link-length CDFs on low-latency CME→NY4 paths for WH and NLN.
-pub fn fig4a(eco: &GeneratedEcosystem) -> Vec<(String, hft_core::Cdf)> {
+pub fn fig4a(analysis: &Analysis) -> Vec<(String, hft_core::Cdf)> {
     let asof = snapshot_date();
     ["Webline Holdings", "New Line Networks"]
         .iter()
         .filter_map(|name| {
-            let net = network_of(eco, name, asof);
+            let net = analysis.session.network(name, asof);
             metrics::link_length_cdf(&net, &CME, &EQUINIX_NY4).map(|c| (name.to_string(), c))
         })
         .collect()
@@ -319,16 +368,17 @@ pub fn fig4a(eco: &GeneratedEcosystem) -> Vec<(String, hft_core::Cdf)> {
 
 /// Fig. 4b: frequency CDFs — WH and NLN on their shortest paths, plus
 /// NLN's alternate paths.
-pub fn fig4b(eco: &GeneratedEcosystem) -> Vec<(String, hft_core::Cdf)> {
+pub fn fig4b(analysis: &Analysis) -> Vec<(String, hft_core::Cdf)> {
     let asof = snapshot_date();
+    let s = &analysis.session;
     let mut out = Vec::new();
     for name in ["Webline Holdings", "New Line Networks"] {
-        let net = network_of(eco, name, asof);
+        let net = s.network(name, asof);
         if let Some(c) = metrics::shortest_path_frequency_cdf(&net, &CME, &EQUINIX_NY4) {
             out.push((name.to_string(), c));
         }
     }
-    let nln = network_of(eco, "New Line Networks", asof);
+    let nln = s.network("New Line Networks", asof);
     if let Some(c) = metrics::alternate_path_frequency_cdf(&nln, &CME, &EQUINIX_NY4) {
         out.push(("NLN-alternate".to_string(), c));
     }
@@ -336,7 +386,11 @@ pub fn fig4b(eco: &GeneratedEcosystem) -> Vec<(String, hft_core::Cdf)> {
 }
 
 /// Render a set of CDFs as an SVG chart + CSV of the step points.
-pub fn cdf_render(title: &str, x_label: &str, cdfs: &[(String, hft_core::Cdf)]) -> (String, CsvTable) {
+pub fn cdf_render(
+    title: &str,
+    x_label: &str,
+    cdfs: &[(String, hft_core::Cdf)],
+) -> (String, CsvTable) {
     let colors = ["#d62728", "#1f77b4", "#2ca02c", "#9467bd"];
     let series: Vec<Series> = cdfs
         .iter()
@@ -382,8 +436,7 @@ pub fn fig5_render(rows: &[Comparison]) -> (String, CsvTable) {
          Segment                  | Geodesic km | c-bound |   MW    |  Fiber  |   LEO   | Winner\n",
     );
     for r in rows {
-        let fmt_opt =
-            |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+        let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
         text.push_str(&format!(
             "{:<25}| {:>11.0} | {:>7.3} | {:>7} | {:>7.3} | {:>7} | {}\n",
             r.name,
@@ -410,22 +463,28 @@ pub fn fig5_render(rows: &[Comparison]) -> (String, CsvTable) {
 /// The §6 future-work item: scan the shortlisted licensees for
 /// complementary-link evidence of split-entity filings (one physical
 /// network behind several shell licensees).
-pub fn entity_scan(eco: &GeneratedEcosystem) -> Vec<hft_core::entity::MergeCandidate> {
+pub fn entity_scan(analysis: &Analysis) -> Vec<hft_core::entity::MergeCandidate> {
     let asof = snapshot_date();
-    let (shortlist, _) = run_pipeline(&eco.db, &CME.position(), &ScrapeConfig::default());
-    let networks: Vec<(String, Network)> = shortlist
-        .iter()
-        .map(|(name, lics)| {
-            (name.clone(), reconstruct(lics, name, asof, &ReconstructOptions::default()))
+    let s = &analysis.session;
+    let networks: Vec<(String, Arc<Network>)> = analysis
+        .shortlist()
+        .into_iter()
+        .map(|name| {
+            let net = s.network(&name, asof);
+            (name, net)
         })
         .collect();
     hft_core::entity::complementary_pairs(&networks, &CME, &EQUINIX_NY4, 50.0)
 }
 
 /// The §2.2 funnel report.
-pub fn funnel(eco: &GeneratedEcosystem) -> hft_uls::scrape::FunnelReport {
-    let (_, report) = run_pipeline(&eco.db, &CME.position(), &ScrapeConfig::default());
-    report
+pub fn funnel(analysis: &Analysis) -> hft_uls::scrape::FunnelReport {
+    analysis
+        .session
+        .scrape(&CME.position(), &ScrapeConfig::default())
+        .expect("session built from a database")
+        .report
+        .clone()
 }
 
 /// Render the funnel as text.
@@ -442,9 +501,10 @@ mod tests {
     use hft_corridor::{chicago_nj, generate};
     use std::sync::OnceLock;
 
-    fn eco() -> &'static GeneratedEcosystem {
+    fn eco() -> &'static Analysis<'static> {
         static ECO: OnceLock<GeneratedEcosystem> = OnceLock::new();
-        ECO.get_or_init(|| generate(&chicago_nj(), 2020))
+        static ANALYSIS: OnceLock<Analysis<'static>> = OnceLock::new();
+        ANALYSIS.get_or_init(|| Analysis::new(ECO.get_or_init(|| generate(&chicago_nj(), 2020))))
     }
 
     #[test]
@@ -488,13 +548,22 @@ mod tests {
     fn evolution_series_shapes() {
         let series = evolution(eco());
         assert_eq!(series.len(), 5);
-        let ntc = series.iter().find(|s| s.licensee == "National Tower Company").unwrap();
+        let ntc = series
+            .iter()
+            .find(|s| s.licensee == "National Tower Company")
+            .unwrap();
         // Connected 2013..2017, gone after.
         assert!(ntc.points[0].1.is_some(), "NTC connected at 2013");
         assert!(ntc.points[4].1.is_some(), "NTC connected at 2017");
         assert!(ntc.points[6].1.is_none(), "NTC gone by 2019");
-        let pb = series.iter().find(|s| s.licensee == "Pierce Broadband").unwrap();
-        assert!(pb.points[7].1.is_none(), "PB not yet connected on 2020-01-01");
+        let pb = series
+            .iter()
+            .find(|s| s.licensee == "Pierce Broadband")
+            .unwrap();
+        assert!(
+            pb.points[7].1.is_none(),
+            "PB not yet connected on 2020-01-01"
+        );
         assert!(pb.points[8].1.is_some(), "PB connected on 2020-04-01");
         let (svg1, csv1) = fig1_render(&series);
         assert!(svg1.contains("polyline"));
@@ -534,9 +603,16 @@ mod tests {
         let wh = &cdfs[0].1;
         let nln = &cdfs[1].1;
         let alt = &cdfs[2].1;
-        assert!(wh.fraction_below(7.0) > 0.94, "WH under 7 GHz: {}", wh.fraction_below(7.0));
+        assert!(
+            wh.fraction_below(7.0) > 0.94,
+            "WH under 7 GHz: {}",
+            wh.fraction_below(7.0)
+        );
         assert!(nln.fraction_below(7.0) < 0.05, "NLN rides 11 GHz");
-        assert!(alt.fraction_below(7.0) >= 0.18, "NLN alternates ≥18% in 6 GHz");
+        assert!(
+            alt.fraction_below(7.0) >= 0.18,
+            "NLN alternates ≥18% in 6 GHz"
+        );
     }
 
     #[test]

@@ -47,7 +47,29 @@ pub fn conditional_latency(
     samples: usize,
     seed: u64,
 ) -> Option<WeatherOutcome> {
-    let rg = RoutingGraph::build(network, a, b);
+    conditional_latency_on(
+        &RoutingGraph::build(network, a, b),
+        network,
+        a,
+        b,
+        sampler,
+        samples,
+        seed,
+    )
+}
+
+/// [`conditional_latency`] over a pre-built routing graph, so callers
+/// holding a cached graph (e.g. an analysis session) skip the rebuild.
+/// `rg` must have been built for `network` between `a` and `b`.
+pub fn conditional_latency_on(
+    rg: &RoutingGraph,
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+    sampler: &WeatherSampler,
+    samples: usize,
+    seed: u64,
+) -> Option<WeatherOutcome> {
     let clear = rg.route_filtered(network, |_| true)?;
 
     // Pre-compute each link's outage model and corridor position
@@ -64,7 +86,9 @@ pub fn conditional_latency(
             let mid_u = network.graph.node(u).position;
             let mid_v = network.graph.node(v).position;
             // Project the link midpoint onto the corridor axis.
-            let d = a_pos.geodesic_distance_m(&mid_u).min(a_pos.geodesic_distance_m(&mid_v));
+            let d = a_pos
+                .geodesic_distance_m(&mid_u)
+                .min(a_pos.geodesic_distance_m(&mid_v));
             let x = (d / corridor_len).clamp(0.0, 1.0);
             let freq = link
                 .frequencies_ghz
@@ -95,7 +119,8 @@ pub fn conditional_latency(
                 if down.is_empty() {
                     Some(clear.latency_ms)
                 } else {
-                    rg.route_filtered(network, |e| !down.contains(&e)).map(|r| r.latency_ms)
+                    rg.route_filtered(network, |e| !down.contains(&e))
+                        .map(|r| r.latency_ms)
                 }
             }
         };
@@ -164,7 +189,11 @@ pub fn portfolio_latency(
                 (e, LinkOutageModel::typical(link.length_m / 1000.0, freq), x)
             })
             .collect();
-        members.push(Member { rg, clear_ms: clear.latency_ms, links });
+        members.push(Member {
+            rg,
+            clear_ms: clear.latency_ms,
+            links,
+        });
     }
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -189,7 +218,8 @@ pub fn portfolio_latency(
                     if down.is_empty() {
                         Some(m.clear_ms)
                     } else {
-                        m.rg.route_filtered(net, |e| !down.contains(&e)).map(|r| r.latency_ms)
+                        m.rg.route_filtered(net, |e| !down.contains(&e))
+                            .map(|r| r.latency_ms)
                     }
                 }
             };
@@ -205,7 +235,10 @@ pub fn portfolio_latency(
     latencies.sort_by(|x, y| x.partial_cmp(y).expect("INF sorts fine"));
     let q = |p: f64| latencies[((p * samples as f64) as usize).min(samples - 1)];
     Some(WeatherOutcome {
-        clear_ms: members.iter().map(|m| m.clear_ms).fold(f64::INFINITY, f64::min),
+        clear_ms: members
+            .iter()
+            .map(|m| m.clear_ms)
+            .fold(f64::INFINITY, f64::min),
         p50_ms: q(0.50),
         p95_ms: q(0.95),
         p99_ms: q(0.99),
@@ -226,7 +259,12 @@ mod tests {
     fn net(name: &str) -> Network {
         let eco = generate(&chicago_nj(), 2020);
         let lics = eco.db.licensee_search(name);
-        reconstruct(&lics, name, Date::new(2020, 4, 1).unwrap(), &Default::default())
+        reconstruct(
+            &lics,
+            name,
+            Date::new(2020, 4, 1).unwrap(),
+            &Default::default(),
+        )
     }
 
     #[test]
@@ -234,8 +272,7 @@ mod tests {
         let nln = net("New Line Networks");
         let wh = net("Webline Holdings");
         let sampler = WeatherSampler::stormy_season();
-        let o_nln =
-            conditional_latency(&nln, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
+        let o_nln = conditional_latency(&nln, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
         let o_wh = conditional_latency(&wh, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
         // Fair weather: NLN wins (Table 1).
         assert!(o_nln.clear_ms < o_wh.clear_ms);
@@ -268,9 +305,18 @@ mod tests {
         let o_wh = conditional_latency(&wh, &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
         let combo =
             portfolio_latency(&[&nln, &wh], &CME, &EQUINIX_NY4, &sampler, 3000, 99).unwrap();
-        assert!((combo.p50_ms - o_nln.p50_ms).abs() < 1e-9, "fair weather: ride NLN");
-        assert!(combo.availability >= o_wh.availability, "tails: covered by WH");
-        assert!(combo.p99_ms <= o_wh.p99_ms + 1e-9, "p99 at least as good as WH alone");
+        assert!(
+            (combo.p50_ms - o_nln.p50_ms).abs() < 1e-9,
+            "fair weather: ride NLN"
+        );
+        assert!(
+            combo.availability >= o_wh.availability,
+            "tails: covered by WH"
+        );
+        assert!(
+            combo.p99_ms <= o_wh.p99_ms + 1e-9,
+            "p99 at least as good as WH alone"
+        );
         assert!(combo.p99_ms.is_finite());
     }
 
@@ -296,8 +342,11 @@ mod tests {
     #[test]
     fn clear_weather_sampler_changes_nothing() {
         let nln = net("New Line Networks");
-        let dry =
-            WeatherSampler { rain_probability: 0.0, mean_peak_mm_h: 10.0, max_half_width: 0.05 };
+        let dry = WeatherSampler {
+            rain_probability: 0.0,
+            mean_peak_mm_h: 10.0,
+            max_half_width: 0.05,
+        };
         let o = conditional_latency(&nln, &CME, &EQUINIX_NY4, &dry, 200, 1).unwrap();
         assert_eq!(o.availability, 1.0);
         assert_eq!(o.p99_ms, o.clear_ms);

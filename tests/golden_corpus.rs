@@ -16,12 +16,20 @@ fn corpus_head_matches_golden_snapshot() {
     let text = hft_uls::flatfile::encode(eco.db.licenses());
     let head: String = text.lines().take(60).collect::<Vec<_>>().join("\n");
     let golden = include_str!("data/corpus_head.golden");
-    assert_eq!(head, golden.trim_end(), "generator output drifted from the golden snapshot");
+    assert_eq!(
+        head,
+        golden.trim_end(),
+        "generator output drifted from the golden snapshot"
+    );
 }
 
 #[test]
 fn corpus_size_is_stable() {
     let eco = generate(&chicago_nj(), 2020);
     // The exact license count is part of the published dataset identity.
-    assert_eq!(eco.db.len(), 2801, "corpus size changed — update EXPERIMENTS.md if intentional");
+    assert_eq!(
+        eco.db.len(),
+        2801,
+        "corpus size changed — update EXPERIMENTS.md if intentional"
+    );
 }

@@ -7,9 +7,11 @@ use hftnetview::prelude::*;
 use hftnetview::report;
 use std::sync::OnceLock;
 
-fn eco() -> &'static hft_corridor::GeneratedEcosystem {
+fn eco() -> &'static report::Analysis<'static> {
     static ECO: OnceLock<hft_corridor::GeneratedEcosystem> = OnceLock::new();
-    ECO.get_or_init(|| generate(&chicago_nj(), 2020))
+    static ANALYSIS: OnceLock<report::Analysis<'static>> = OnceLock::new();
+    ANALYSIS
+        .get_or_init(|| report::Analysis::new(ECO.get_or_init(|| generate(&chicago_nj(), 2020))))
 }
 
 /// Paper Table 1, transcribed.
@@ -36,7 +38,11 @@ fn table1_matches_paper() {
             "{name}: latency {} vs paper {lat}",
             row.latency_ms
         );
-        assert!((row.apa - apa).abs() < 0.08, "{name}: APA {} vs paper {apa}", row.apa);
+        assert!(
+            (row.apa - apa).abs() < 0.08,
+            "{name}: APA {} vs paper {apa}",
+            row.apa
+        );
         assert_eq!(row.towers, towers, "{name}: tower count");
     }
 }
@@ -50,6 +56,7 @@ fn table1_sub_microsecond_gaps_preserved() {
 }
 
 #[test]
+#[allow(clippy::type_complexity)]
 fn table2_matches_paper() {
     let t = report::table2(eco());
     let expect: [(&str, f64, [(&str, f64); 3]); 3] = [
@@ -107,7 +114,10 @@ fn table3_matches_paper() {
         assert_eq!(name, ename);
         for (i, (apa, eapa)) in apas.iter().zip(eapas).enumerate() {
             let apa = apa.expect("both networks serve all three paths");
-            assert!((apa - eapa).abs() < 0.08, "{name} path {i}: {apa} vs {eapa}");
+            assert!(
+                (apa - eapa).abs() < 0.08,
+                "{name} path {i}: {apa} vs {eapa}"
+            );
         }
     }
 }
@@ -127,8 +137,14 @@ fn section5_lags_match() {
     let nyse = lag(&corridor::NYSE);
     let nasdaq = lag(&corridor::NASDAQ);
     assert!((ny4 - 10.0).abs() < 1.0, "NY4 lag {ny4} µs vs paper 10 µs");
-    assert!((nyse - 117.0).abs() < 3.0, "NYSE lag {nyse} µs vs paper 117 µs");
-    assert!((nasdaq - 0.8).abs() < 0.3, "NASDAQ lag {nasdaq} µs vs paper 0.8 µs");
+    assert!(
+        (nyse - 117.0).abs() < 3.0,
+        "NYSE lag {nyse} µs vs paper 117 µs"
+    );
+    assert!(
+        (nasdaq - 0.8).abs() < 0.3,
+        "NASDAQ lag {nasdaq} µs vs paper 0.8 µs"
+    );
 }
 
 #[test]
@@ -141,8 +157,16 @@ fn fig1_narrative() {
             .filter_map(|s| s.points[idx].1)
             .fold(f64::INFINITY, f64::min)
     };
-    assert!((best_at(0) - 4.000).abs() < 0.003, "2013 best {}", best_at(0));
-    assert!((best_at(8) - 3.96171).abs() < 0.0005, "2020 best {}", best_at(8));
+    assert!(
+        (best_at(0) - 4.000).abs() < 0.003,
+        "2013 best {}",
+        best_at(0)
+    );
+    assert!(
+        (best_at(8) - 3.96171).abs() < 0.0005,
+        "2020 best {}",
+        best_at(8)
+    );
     // Latencies never materially regress for any surviving network
     // (sub-µs wobble from tower-move quantization between equal-target
     // eras is allowed).
@@ -150,18 +174,24 @@ fn fig1_narrative() {
         let mut last = f64::INFINITY;
         for (_, lat, _) in &s.points {
             if let Some(ms) = lat {
-                assert!(*ms <= last + 0.001, "{}: latency regressed {last} -> {ms}", s.licensee);
+                assert!(
+                    *ms <= last + 0.001,
+                    "{}: latency regressed {last} -> {ms}",
+                    s.licensee
+                );
                 last = *ms;
             }
         }
     }
     // NLN achieves the overall lead by 2018.
-    let at = |name: &str, idx: usize| {
-        series.iter().find(|s| s.licensee == name).unwrap().points[idx].1
-    };
+    let at =
+        |name: &str, idx: usize| series.iter().find(|s| s.licensee == name).unwrap().points[idx].1;
     let nln_2018 = at("New Line Networks", 5).unwrap();
     for other in ["Webline Holdings", "Jefferson Microwave"] {
-        assert!(nln_2018 < at(other, 5).unwrap(), "NLN leads {other} in 2018");
+        assert!(
+            nln_2018 < at(other, 5).unwrap(),
+            "NLN leads {other} in 2018"
+        );
     }
 }
 
@@ -179,31 +209,63 @@ fn fig2_narrative() {
     assert!(peak >= 90, "NTC peak {peak}");
     assert_eq!(ntc.points[6].2, 0, "NTC gone by 2019");
     let cancelled_17_18 = ntc.points[4].2 - ntc.points[6].2;
-    assert!((60..=100).contains(&cancelled_17_18), "NTC cancelled {cancelled_17_18}");
+    assert!(
+        (60..=100).contains(&cancelled_17_18),
+        "NTC cancelled {cancelled_17_18}"
+    );
     // PB: smallest active count among the 2020 players, by far.
     let pb_2020 = get("Pierce Broadband").points[8].2;
     assert!(pb_2020 < 50);
-    for other in ["New Line Networks", "Webline Holdings", "Jefferson Microwave"] {
-        assert!(get(other).points[8].2 > 2 * pb_2020, "{other} has far more licenses than PB");
+    for other in [
+        "New Line Networks",
+        "Webline Holdings",
+        "Jefferson Microwave",
+    ] {
+        assert!(
+            get(other).points[8].2 > 2 * pb_2020,
+            "{other} has far more licenses than PB"
+        );
     }
 }
 
 #[test]
 fn fig4_contrasts() {
     let lens = report::fig4a(eco());
-    let wh = &lens.iter().find(|(n, _)| n == "Webline Holdings").unwrap().1;
-    let nln = &lens.iter().find(|(n, _)| n == "New Line Networks").unwrap().1;
+    let wh = &lens
+        .iter()
+        .find(|(n, _)| n == "Webline Holdings")
+        .unwrap()
+        .1;
+    let nln = &lens
+        .iter()
+        .find(|(n, _)| n == "New Line Networks")
+        .unwrap()
+        .1;
     // Paper: WH median 36 km, NLN 48.5 km (26% shorter).
-    assert!((wh.median() - 36.0).abs() < 4.0, "WH median {}", wh.median());
-    assert!((nln.median() - 48.5).abs() < 4.0, "NLN median {}", nln.median());
+    assert!(
+        (wh.median() - 36.0).abs() < 4.0,
+        "WH median {}",
+        wh.median()
+    );
+    assert!(
+        (nln.median() - 48.5).abs() < 4.0,
+        "NLN median {}",
+        nln.median()
+    );
 
     let freqs = report::fig4b(eco());
     let wh_f = &freqs[0].1;
     let nln_f = &freqs[1].1;
     let alt_f = &freqs[2].1;
     assert!(wh_f.fraction_below(7.0) > 0.94, "WH >94% under 7 GHz");
-    assert!(nln_f.median() > 10.0 && nln_f.median() < 12.0, "NLN rides the 11 GHz band");
-    assert!(alt_f.fraction_below(7.0) >= 0.18, "NLN alternates ≥18% in the 6 GHz band");
+    assert!(
+        nln_f.median() > 10.0 && nln_f.median() < 12.0,
+        "NLN rides the 11 GHz band"
+    );
+    assert!(
+        alt_f.fraction_below(7.0) >= 0.18,
+        "NLN alternates ≥18% in the 6 GHz band"
+    );
 }
 
 #[test]
@@ -211,9 +273,12 @@ fn funnel_matches_section_2_2() {
     let f = report::funnel(eco());
     assert_eq!(f.service_filtered, 57, "57 candidate licensees");
     assert_eq!(f.shortlisted, 29, "29 shortlisted");
-    assert!(f.geographic_candidates > 57, "non-MG licensees exist near CME");
+    assert!(
+        f.geographic_candidates > 57,
+        "non-MG licensees exist near CME"
+    );
     // All nine connected networks are on the shortlist.
-    for name in &eco().connected_2020 {
+    for name in &eco().eco.connected_2020 {
         assert!(f.shortlist.contains(name), "{name} missing from shortlist");
     }
 }
@@ -238,16 +303,28 @@ fn extension_entity_resolution_finds_the_hidden_pair() {
     // network filed under two shells; the complementary-link scan must
     // find exactly that pair and nothing else.
     let candidates = report::entity_scan(eco());
-    let joint_only: Vec<_> =
-        candidates.iter().filter(|c| c.jointly_connected_only()).collect();
+    let joint_only: Vec<_> = candidates
+        .iter()
+        .filter(|c| c.jointly_connected_only())
+        .collect();
     assert_eq!(joint_only.len(), 1, "exactly one hidden split entity");
     let c = joint_only[0];
     let mut names = [c.a.as_str(), c.b.as_str()];
     names.sort_unstable();
-    assert_eq!(names, ["Lakefront Route Holdings", "Seaboard Route Holdings"]);
-    assert!(c.shared_towers >= 20, "shells interleave on the same towers");
+    assert_eq!(
+        names,
+        ["Lakefront Route Holdings", "Seaboard Route Holdings"]
+    );
+    assert!(
+        c.shared_towers >= 20,
+        "shells interleave on the same towers"
+    );
     // The merged entity would have been a mid-table player.
-    assert!(c.joint_latency_ms > 3.9617 && c.joint_latency_ms < 4.01, "{}", c.joint_latency_ms);
+    assert!(
+        c.joint_latency_ms > 3.9617 && c.joint_latency_ms < 4.01,
+        "{}",
+        c.joint_latency_ms
+    );
 }
 
 #[test]
@@ -265,25 +342,20 @@ fn extension_per_tower_overhead_crossover_matches_section3() {
         &corridor::EQUINIX_NY4,
     )
     .expect("JM has fewer towers, so a crossover exists");
-    assert!((o - 1.42).abs() < 0.1, "crossover at {o} µs, paper implies ~1.4 µs");
+    assert!(
+        (o - 1.42).abs() < 0.1,
+        "crossover at {o} µs, paper implies ~1.4 µs"
+    );
 
     // Below the crossover the Table-1 order holds; above it, JM leads.
     let nets = vec![
         ("New Line Networks".to_string(), &nln),
         ("Jefferson Microwave".to_string(), &jm),
     ];
-    let below = hft_core::overhead::rank_with_overhead(
-        &nets,
-        &corridor::CME,
-        &corridor::EQUINIX_NY4,
-        1.0,
-    );
+    let below =
+        hft_core::overhead::rank_with_overhead(&nets, &corridor::CME, &corridor::EQUINIX_NY4, 1.0);
     assert_eq!(below[0].licensee, "New Line Networks");
-    let above = hft_core::overhead::rank_with_overhead(
-        &nets,
-        &corridor::CME,
-        &corridor::EQUINIX_NY4,
-        2.0,
-    );
+    let above =
+        hft_core::overhead::rank_with_overhead(&nets, &corridor::CME, &corridor::EQUINIX_NY4, 2.0);
     assert_eq!(above[0].licensee, "Jefferson Microwave");
 }

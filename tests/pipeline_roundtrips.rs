@@ -6,9 +6,11 @@ use hftnetview::prelude::*;
 use hftnetview::report;
 use std::sync::OnceLock;
 
-fn eco() -> &'static hft_corridor::GeneratedEcosystem {
+fn eco() -> &'static report::Analysis<'static> {
     static ECO: OnceLock<hft_corridor::GeneratedEcosystem> = OnceLock::new();
-    ECO.get_or_init(|| generate(&chicago_nj(), 2020))
+    static ANALYSIS: OnceLock<report::Analysis<'static>> = OnceLock::new();
+    ANALYSIS
+        .get_or_init(|| report::Analysis::new(ECO.get_or_init(|| generate(&chicago_nj(), 2020))))
 }
 
 #[test]
@@ -22,7 +24,12 @@ fn generation_is_deterministic_and_seed_sensitive() {
     for e in [&a, &c] {
         let nln = {
             let lics = e.db.licensee_search("New Line Networks");
-            reconstruct(&lics, "New Line Networks", Date::new(2020, 4, 1).unwrap(), &Default::default())
+            reconstruct(
+                &lics,
+                "New Line Networks",
+                Date::new(2020, 4, 1).unwrap(),
+                &Default::default(),
+            )
         };
         let r = route(&nln, &corridor::CME, &corridor::EQUINIX_NY4).unwrap();
         assert!((r.latency_ms - 3.96171).abs() < 0.0001);
@@ -31,9 +38,9 @@ fn generation_is_deterministic_and_seed_sensitive() {
 
 #[test]
 fn flat_file_round_trip_preserves_analysis() {
-    let text = hft_uls::flatfile::encode(eco().db.licenses());
+    let text = hft_uls::flatfile::encode(eco().eco.db.licenses());
     let back = hft_uls::flatfile::decode(&text).expect("own output parses");
-    assert_eq!(back.len(), eco().db.len());
+    assert_eq!(back.len(), eco().eco.db.len());
     let db2 = UlsDatabase::from_licenses(back);
 
     // The Table-1 ranking must survive the text round trip (coordinates
@@ -85,10 +92,15 @@ fn geojson_and_svg_artifacts_well_formed() {
 #[test]
 fn reconstruction_is_date_monotone_for_archived_network() {
     // National Tower Company: exists in 2014-2017, empty before and after.
-    let lics = eco().db.licensee_search("National Tower Company");
+    let lics = eco().eco.db.licensee_search("National Tower Company");
     let count_at = |y: i32| {
-        reconstruct(&lics, "National Tower Company", Date::new(y, 6, 1).unwrap(), &Default::default())
-            .link_count()
+        reconstruct(
+            &lics,
+            "National Tower Company",
+            Date::new(y, 6, 1).unwrap(),
+            &Default::default(),
+        )
+        .link_count()
     };
     assert_eq!(count_at(2011), 0);
     assert!(count_at(2014) > 20);
@@ -99,7 +111,7 @@ fn reconstruction_is_date_monotone_for_archived_network() {
 fn scrape_then_reconstruct_equals_direct_reconstruct() {
     // The paper's pipeline: scrape -> per-licensee licenses -> networks.
     let (shortlist, _) = hft_uls::scrape::run_pipeline(
-        &eco().db,
+        &eco().eco.db,
         &corridor::CME.position(),
         &hft_uls::scrape::ScrapeConfig::default(),
     );
@@ -119,17 +131,26 @@ fn all_connected_networks_within_five_percent_bound_or_not() {
     // The 1.05 × c-bound separates the APA>0-capable networks (Table 1:
     // everything at or under ~4.15 ms) from GTT and SW.
     let bound_ms = hft_geodesy::one_way_ms(
-        corridor::CME.position().geodesic_distance_m(&corridor::EQUINIX_NY4.position()),
+        corridor::CME
+            .position()
+            .geodesic_distance_m(&corridor::EQUINIX_NY4.position()),
         Medium::Air,
     ) * 1.05;
     let rows = report::table1(eco());
     for r in &rows {
         let within = r.latency_ms <= bound_ms;
         if !within {
-            assert_eq!(r.apa, 0.0, "{} beyond the bound must have APA 0", r.licensee);
+            assert_eq!(
+                r.apa, 0.0,
+                "{} beyond the bound must have APA 0",
+                r.licensee
+            );
         }
     }
-    assert!(rows.iter().any(|r| r.latency_ms > bound_ms), "GTT/SW exceed the bound");
+    assert!(
+        rows.iter().any(|r| r.latency_ms > bound_ms),
+        "GTT/SW exceed the bound"
+    );
 }
 
 #[test]
@@ -163,7 +184,7 @@ fn table1_ranking_is_seed_robust() {
     ];
     for seed in [1u64, 31337] {
         let alt = generate(&chicago_nj(), seed);
-        let rows = report::table1(&alt);
+        let rows = report::table1(&report::Analysis::new(&alt));
         let names: Vec<&str> = rows.iter().map(|r| r.licensee.as_str()).collect();
         assert_eq!(names, expected, "seed {seed}");
         for r in &rows {

@@ -1,0 +1,270 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`], [`Bencher::iter`],
+//! `criterion_group!`/`criterion_main!` and [`black_box`] — backed by a
+//! simple wall-clock sampler. Each bench runs one warm-up call plus
+//! `sample_size` timed calls and prints mean/min/max; there is no
+//! statistical analysis, plotting, or baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` when grouped).
+    pub id: String,
+    /// Per-call wall-clock samples, in seconds.
+    pub samples: Vec<f64>,
+}
+
+impl BenchResult {
+    /// Mean of the samples, seconds.
+    pub fn mean_s(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_one(id: String, sample_size: usize, f: impl FnMut(&mut Bencher)) -> BenchResult {
+    let mut f = f;
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let result = BenchResult {
+        id,
+        samples: bencher.samples,
+    };
+    if result.samples.is_empty() {
+        println!("{:<44} (no samples)", result.id);
+    } else {
+        let mean = result.mean_s();
+        let min = result.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = result.samples.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "{:<44} time: [{} {} {}]  ({} samples)",
+            result.id,
+            format_seconds(min),
+            format_seconds(mean),
+            format_seconds(max),
+            result.samples.len(),
+        );
+    }
+    result
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Parse CLI options — accepted for API compatibility, ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I: fmt::Display>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let result = run_one(id.to_string(), DEFAULT_SAMPLE_SIZE, f);
+        self.results.push(result);
+        self
+    }
+
+    /// Start a named group whose benches share settings.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// All results measured so far (stub extension, used by reporting).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Default timed calls per bench — far below the real crate's 100 to
+/// keep `cargo bench` tolerable on the heavier paper sweeps.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// A group of benches sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed calls per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<I: fmt::Display>(
+        &mut self,
+        id: I,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let result = run_one(full, self.sample_size, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: fmt::Display, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: impl FnMut(&mut Bencher, &T),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (consumes it; nothing to flush in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised bench: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// One warm-up call, then `sample_size` timed calls of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Bundle bench target functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_samples_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].samples.len(), DEFAULT_SAMPLE_SIZE);
+        assert!(c.results()[0].mean_s() >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, n| {
+                b.iter(|| black_box(n * n))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "grp/inner");
+        assert_eq!(c.results()[0].samples.len(), 3);
+        assert_eq!(c.results()[1].id, "grp/param/7");
+    }
+
+    criterion_group!(smoke, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.bench_function("macro_smoke", |b| b.iter(|| black_box(0u8)));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        smoke();
+    }
+}

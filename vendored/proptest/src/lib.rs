@@ -1,0 +1,84 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, regex-character-class string strategies,
+//! `collection::vec`, `option::of`, `char::any`, `num::*::ANY`,
+//! `prop_oneof!`, [`Just`], and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from the real crate: failing cases are *not* shrunk (the
+//! failing panic message reports the case seed instead), and string
+//! strategies support exactly the pattern shapes the tests use —
+//! `\PC{m,n}` and a single `[...]{m,n}` character class.
+//!
+//! Sampling is deterministic per test (seeded from the test name), so
+//! CI runs are reproducible. `PROPTEST_CASES` overrides the case count.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing a `Vec` whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `proptest::option` — strategies for `Option`.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `None` about a quarter of the time and
+    /// `Some(value)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `proptest::char` — strategies for `char`.
+pub mod char {
+    use crate::strategy::CharAny;
+
+    /// Any valid `char`, biased towards ASCII like the real crate.
+    pub fn any() -> CharAny {
+        CharAny
+    }
+}
+
+/// `proptest::num` — `ANY` strategies for the primitive integers.
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),+ $(,)?) => {
+            $(
+                /// `ANY` strategy for the primitive of the same name.
+                pub mod $m {
+                    /// The full-range strategy for this integer type.
+                    pub const ANY: crate::strategy::NumAny<$t> =
+                        crate::strategy::NumAny(core::marker::PhantomData);
+                }
+            )+
+        };
+    }
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, i8: i8, i16: i16, i32: i32, i64: i64);
+}
+
+/// The everything-you-need import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,544 @@
+//! The [`Strategy`] trait and the combinators the workspace's property
+//! tests use.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values of type `Self::Value`.
+///
+/// Unlike the real proptest there is no value tree / shrinking: a
+/// strategy is just a deterministic sampler over a [`TestRng`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map every sampled value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Use each sampled value to build a second strategy, then sample it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.sample(rng)).sample(rng)
+    }
+}
+
+/// Uniform choice between boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the (non-empty) list of alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+// --- numeric ranges ---------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (lo + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = *self.start() as i128;
+                let span = (*self.end() as i128 - lo) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo + v as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+/// Full-domain strategy for a primitive integer (`proptest::num::u8::ANY`
+/// and friends).
+#[derive(Debug, Clone, Copy)]
+pub struct NumAny<T>(pub PhantomData<T>);
+
+macro_rules! num_any_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for NumAny<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+num_any_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+// --- tuples -----------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+
+// --- collections ------------------------------------------------------
+
+/// A `Vec` of strategies is a strategy for a `Vec` of values (one sample
+/// from each element, in order) — mirrors the real crate.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Inclusive length bounds for [`VecStrategy`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest length produced.
+    pub lo: usize,
+    /// Largest length produced (inclusive).
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64 + 1;
+        let len = self.size.lo + (rng.next_u64() % span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// See [`crate::option::of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.next_u64().is_multiple_of(4) {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// See [`crate::char::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharAny;
+
+impl Strategy for CharAny {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        // Half ASCII (where most parser edge cases live), half anywhere
+        // in the scalar-value space.
+        if rng.next_u64().is_multiple_of(2) {
+            char::from_u32((rng.next_u64() % 0x80) as u32).expect("ascii")
+        } else {
+            loop {
+                let v = (rng.next_u64() % 0x11_0000) as u32;
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+// --- string patterns --------------------------------------------------
+
+/// Non-control Unicode ranges sampled for `\PC` (heavily ASCII-biased,
+/// plus a few higher planes to exercise multi-byte handling).
+const PRINTABLE_RANGES: &[(u32, u32)] = &[
+    (0x0020, 0x007E),   // ASCII printable
+    (0x00A1, 0x02AF),   // Latin supplement/extended
+    (0x0391, 0x03C9),   // Greek
+    (0x4E00, 0x4FFF),   // CJK
+    (0x1F300, 0x1F5FF), // pictographs
+];
+
+enum CharClass {
+    /// `\PC` — any non-control char.
+    Printable,
+    /// `[...]` — explicit ranges (inclusive).
+    Set(Vec<(char, char)>),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Printable => {
+                // 90% ASCII so text stays parser-shaped.
+                let (lo, hi) = if rng.next_u64() % 10 < 9 {
+                    PRINTABLE_RANGES[0]
+                } else {
+                    let i = 1 + (rng.next_u64() % (PRINTABLE_RANGES.len() as u64 - 1)) as usize;
+                    PRINTABLE_RANGES[i]
+                };
+                let v = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+                char::from_u32(v).expect("ranges contain only valid scalars")
+            }
+            CharClass::Set(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| u64::from(*b as u32 - *a as u32 + 1))
+                    .sum();
+                let mut pick = rng.next_u64() % total;
+                for (a, b) in ranges {
+                    let size = u64::from(*b as u32 - *a as u32 + 1);
+                    if pick < size {
+                        return char::from_u32(*a as u32 + pick as u32)
+                            .expect("class ranges contain only valid scalars");
+                    }
+                    pick -= size;
+                }
+                unreachable!("pick < total")
+            }
+        }
+    }
+}
+
+/// Parse the pattern subset we support: `\PC{m,n}` or `[class]{m,n}`.
+/// Returns `None` for anything else (treated as a literal string).
+fn parse_pattern(pat: &str) -> Option<(CharClass, usize, usize)> {
+    let (class, rest) = if let Some(rest) = pat.strip_prefix("\\PC") {
+        (CharClass::Printable, rest)
+    } else if let Some(body) = pat.strip_prefix('[') {
+        let mut ranges = Vec::new();
+        let mut chars = body.chars().peekable();
+        let mut closed = false;
+        let mut consumed = 1usize; // the '['
+        while let Some(c) = chars.next() {
+            consumed += c.len_utf8();
+            if c == ']' {
+                closed = true;
+                break;
+            }
+            let start = if c == '\\' {
+                let esc = chars.next()?;
+                consumed += esc.len_utf8();
+                esc
+            } else {
+                c
+            };
+            // A '-' between two class members denotes a range; anywhere
+            // else (leading, or just before ']') it is a literal, as in
+            // "[-0-9...]".
+            let mut lookahead = chars.clone();
+            let is_range = lookahead.next() == Some('-')
+                && matches!(lookahead.peek(), Some(&next) if next != ']');
+            if is_range {
+                chars.next(); // the '-'
+                consumed += 1;
+                let mut end = chars.next()?;
+                consumed += end.len_utf8();
+                if end == '\\' {
+                    end = chars.next()?;
+                    consumed += end.len_utf8();
+                }
+                if start > end {
+                    return None;
+                }
+                ranges.push((start, end));
+            } else {
+                ranges.push((start, start));
+            }
+        }
+        if !closed || ranges.is_empty() {
+            return None;
+        }
+        (CharClass::Set(ranges), &body[consumed - 1..])
+    } else {
+        return None;
+    };
+    // Quantifier: {m,n} (inclusive), or empty (exactly one char).
+    if rest.is_empty() {
+        return Some((class, 1, 1));
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = counts.split_once(',')?;
+    let m: usize = m.trim().parse().ok()?;
+    let n: usize = n.trim().parse().ok()?;
+    if m > n {
+        return None;
+    }
+    Some((class, m, n))
+}
+
+/// A string literal used as a strategy: either one of the supported
+/// pattern shapes, or (fallback) the literal text itself.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match parse_pattern(self) {
+            Some((class, lo, hi)) => {
+                let len = lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize;
+                (0..len).map(|_| class.sample(rng)).collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        self.as_str().sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_respects_alphabet_and_length() {
+        let mut rng = TestRng::new(1);
+        let strat = "[A-Za-z ]{1,24}";
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            assert!((1..=24).contains(&s.chars().count()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn leading_dash_and_escapes_are_literals() {
+        let mut rng = TestRng::new(2);
+        let strat = "[-0-9a-zA-Z. \\[\\],]{0,20}";
+        let allowed = |c: char| {
+            c == '-'
+                || c.is_ascii_alphanumeric()
+                || c == '.'
+                || c == ' '
+                || c == '['
+                || c == ']'
+                || c == ','
+        };
+        for _ in 0..300 {
+            let s = strat.sample(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s.chars().all(allowed), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut rng = TestRng::new(3);
+        let strat = "\\PC{0,400}";
+        let mut max_len = 0;
+        for _ in 0..100 {
+            let s = strat.sample(&mut rng);
+            max_len = max_len.max(s.chars().count());
+            assert!(s.chars().count() <= 400);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+        assert!(max_len > 100, "lengths should spread up to the bound");
+    }
+
+    #[test]
+    fn int_ranges_cover_bounds() {
+        let mut rng = TestRng::new(4);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..500 {
+            let v = (2usize..=10).sample(&mut rng);
+            assert!((2..=10).contains(&v));
+            seen_lo |= v == 2;
+            seen_hi |= v == 10;
+            let w = (0u8..3).sample(&mut rng);
+            assert!(w < 3);
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn vec_of_strategies_is_a_strategy() {
+        let mut rng = TestRng::new(5);
+        let strategies: Vec<_> = (0..4).map(Just).collect();
+        assert_eq!(strategies.sample(&mut rng), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = TestRng::new(6);
+        for _ in 0..500 {
+            let v = (-3650i64..3650).sample(&mut rng);
+            assert!((-3650..3650).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic case runner backing the `proptest!` macro, plus the
+//! assertion/assumption macros.
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — skip the case without counting it.
+    Reject,
+    /// `prop_assert*!` failed — abort the whole test.
+    Fail(String),
+}
+
+/// Runner configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Case count after applying the `PROPTEST_CASES` env override.
+pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(config.cases),
+        Err(_) => config.cases,
+    }
+}
+
+/// FNV-1a hash of the fully-qualified test name — a stable per-test seed
+/// so every run (and every machine) samples the same cases.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The sampling RNG: SplitMix64. Fast, well-distributed, and entirely
+/// independent of the vendored `rand` crates (property-test sampling must
+/// never perturb the simulation streams).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that samples its arguments and runs the body for the
+/// configured number of cases. An optional leading
+/// `#![proptest_config(expr)]` sets the config for every test in the
+/// block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = $crate::test_runner::resolve_cases(&config);
+                let mut seeder = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::seed_for(concat!(
+                        module_path!(),
+                        "::",
+                        stringify!($name)
+                    )),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u64 = 0;
+                while accepted < cases {
+                    attempts += 1;
+                    if attempts > u64::from(cases) * 20 + 100 {
+                        panic!(
+                            "proptest: too many rejected cases ({} accepted of {} wanted)",
+                            accepted, cases
+                        );
+                    }
+                    let case_seed = seeder.next_u64();
+                    let mut case_rng = $crate::test_runner::TestRng::new(case_seed);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut case_rng);
+                    )+
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(message),
+                        ) => {
+                            panic!(
+                                "proptest case #{} failed (seed {:#018x}): {}",
+                                accepted, case_seed, message
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside `proptest!`; failure aborts the test with
+/// the (optional) formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    left, right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    left, right
+                ),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: `left != right`\n  both: {:?}", left),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (uncounted) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(super::seed_for("a::b"), super::seed_for("a::b"));
+        assert_ne!(super::seed_for("a::b"), super::seed_for("a::c"));
+    }
+
+    proptest! {
+        #[test]
+        fn runner_executes_and_assumes(x in 0u32..100, y in 0u32..100) {
+            prop_assume!(x != y);
+            prop_assert!(x < 100 && y < 100);
+            prop_assert_eq!(x + y, y + x, "commutativity for {} {}", x, y);
+            prop_assert_ne!(x, y);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(13))]
+        #[test]
+        fn config_header_parses(v in proptest::collection::vec(0u8..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_just(choice in prop_oneof![Just(1u8), Just(2u8), Just(3u8)]) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+    }
+
+    use crate as proptest;
+}

@@ -1,0 +1,190 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to the crates.io registry, so the
+//! workspace vendors the *exact API subset it uses* with semantics that
+//! match `rand` 0.8 / `rand_core` 0.6 bit for bit:
+//!
+//! * [`RngCore`] — the raw 32/64-bit generator interface;
+//! * [`SeedableRng`] — including the `seed_from_u64` seed expansion,
+//!   which uses the same PCG-XSH-RR 64/32 sequence as `rand_core` 0.6 so
+//!   that `ChaCha8Rng::seed_from_u64(seed)` produces the same stream as
+//!   the real crates;
+//! * [`Rng::gen`] for `f64` — the `Standard` distribution's 53-bit
+//!   mantissa construction (`next_u64() >> 11` scaled into `[0, 1)`).
+//!
+//! Anything the workspace does not call is deliberately absent.
+
+#![forbid(unsafe_code)]
+
+/// The core trait every random-number generator implements.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types samplable uniformly from an RNG (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// `rand`'s `Standard` for `f64`: 53 random mantissa bits scaled into
+    /// `[0, 1)` — identical to the real crate.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let scale = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        let scale = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u32() >> 31) == 1
+    }
+}
+
+/// Convenience extension trait, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed and construct.
+    ///
+    /// Matches `rand_core` 0.6: a PCG-XSH-RR 64/32 sequence seeded at
+    /// `state`, emitting one little-endian `u32` per 4-byte chunk.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl RngCore for Counting {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 — just for exercising the trait plumbing.
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Counting(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_uses_53_bits() {
+        // 2^53 - 1 in the top 53 bits must map to just below 1.0.
+        struct Max;
+        impl RngCore for Max {
+            fn next_u32(&mut self) -> u32 {
+                u32::MAX
+            }
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                dest.fill(0xFF);
+            }
+        }
+        let x: f64 = Max.gen();
+        assert!(x < 1.0);
+        assert!(x > 0.9999999999999997);
+    }
+
+    #[test]
+    fn seed_from_u64_expansion_is_stable() {
+        struct SeedGrabber([u8; 32]);
+        impl SeedableRng for SeedGrabber {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                SeedGrabber(seed)
+            }
+        }
+        // The PCG expansion is deterministic and distinct per input.
+        let a = SeedGrabber::seed_from_u64(0).0;
+        let b = SeedGrabber::seed_from_u64(0).0;
+        let c = SeedGrabber::seed_from_u64(1).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, [0u8; 32]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha8Rng`].
+//!
+//! The keystream is the standard ChaCha stream cipher with 8 rounds, a
+//! 64-bit block counter starting at zero and a 64-bit stream id of zero —
+//! the exact configuration of `rand_chacha` 0.3. Output buffering follows
+//! `rand_core`'s `BlockRng` discipline (a 4-block, 64-word buffer with
+//! its straddling `next_u64` rules), so the `u32`/`u64` sequences are bit
+//! for bit those of the real crate. Combined with the vendored `rand`'s
+//! `seed_from_u64` expansion, every `ChaCha8Rng::seed_from_u64(s)` in the
+//! workspace reproduces the streams the corpus generator was calibrated
+//! against.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+/// `rand_core::block::BlockRng` buffers 4 ChaCha blocks per refill.
+const BUFFER_WORDS: usize = 4 * BLOCK_WORDS;
+
+/// A ChaCha stream cipher with 8 rounds, used as a deterministic RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (state words 4..12), little-endian from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter of the *next* block to generate.
+    counter: u64,
+    /// Buffered keystream words.
+    results: [u32; BUFFER_WORDS],
+    /// Next unread index into `results`.
+    index: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// One ChaCha8 block for block-counter `counter`.
+    fn block(&self, counter: u64) -> [u32; BLOCK_WORDS] {
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut out = [0u32; BLOCK_WORDS];
+        for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+            *o = s.wrapping_add(*i);
+        }
+        out
+    }
+
+    /// Refill the 4-block buffer and position the read index at `index`.
+    fn generate_and_set(&mut self, index: usize) {
+        for b in 0..4 {
+            let block = self.block(self.counter + b as u64);
+            self.results[b * BLOCK_WORDS..(b + 1) * BLOCK_WORDS].copy_from_slice(&block);
+        }
+        self.counter += 4;
+        self.index = index;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> ChaCha8Rng {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            results: [0; BUFFER_WORDS],
+            // Empty buffer: first use triggers a refill.
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core BlockRng semantics, including the buffer straddle.
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            u64::from(self.results[index + 1]) << 32 | u64::from(self.results[index])
+        } else if index >= BUFFER_WORDS {
+            self.generate_and_set(2);
+            u64::from(self.results[1]) << 32 | u64::from(self.results[0])
+        } else {
+            let x = u64::from(self.results[BUFFER_WORDS - 1]);
+            self.generate_and_set(1);
+            u64::from(self.results[0]) << 32 | x
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(2020);
+        let mut b = ChaCha8Rng::seed_from_u64(2020);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(2021);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn keystream_is_chacha8_not_a_counter() {
+        // The first block of ChaCha8 with an all-zero key must differ from
+        // the raw initial state and from the next block.
+        let rng = ChaCha8Rng::from_seed([0u8; 32]);
+        let b0 = rng.block(0);
+        let b1 = rng.block(1);
+        assert_ne!(b0, b1);
+        assert_ne!(b0[0], 0x6170_7865, "rounds must scramble the constant");
+    }
+
+    #[test]
+    fn next_u64_straddles_like_block_rng() {
+        // Draw 63 u32s, then a u64: the low half must be the final word of
+        // the old buffer and the high half the first word of the new one.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut reference = ChaCha8Rng::seed_from_u64(7);
+        let mut words = Vec::new();
+        for _ in 0..BUFFER_WORDS {
+            words.push(reference.next_u32());
+        }
+        let mut next_buffer_first = None;
+        for _ in 0..1 {
+            next_buffer_first = Some(reference.next_u32());
+        }
+        for _ in 0..BUFFER_WORDS - 1 {
+            rng.next_u32();
+        }
+        let straddled = rng.next_u64();
+        let expect =
+            u64::from(next_buffer_first.unwrap()) << 32 | u64::from(words[BUFFER_WORDS - 1]);
+        assert_eq!(straddled, expect);
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}
