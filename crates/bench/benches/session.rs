@@ -16,6 +16,16 @@ fn eco() -> &'static GeneratedEcosystem {
     ECO.get_or_init(|| generate(&chicago_nj(), REPRO_SEED))
 }
 
+/// Timed calls per bench: `HFT_BENCH_SAMPLES` when set (CI smoke runs
+/// pass 1), otherwise 10.
+fn sample_size() -> usize {
+    std::env::var("HFT_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
 /// The measured workload: the Table-1 leaderboard plus the nine-date
 /// Fig-1/2 evolution sweep — the two heaviest reconstruction consumers.
 fn sweep(analysis: &report::Analysis<'_>) -> usize {
@@ -27,7 +37,7 @@ fn sweep(analysis: &report::Analysis<'_>) -> usize {
 fn bench_cold(c: &mut Criterion) {
     let eco = eco();
     let mut g = c.benchmark_group("session");
-    g.sample_size(10);
+    g.sample_size(sample_size());
     g.bench_function("table1_evolution_cold", |b| {
         b.iter(|| {
             // A fresh session per call: every epoch reconstructs anew.
@@ -43,7 +53,7 @@ fn bench_warm(c: &mut Criterion) {
     let analysis = report::Analysis::new(eco);
     sweep(&analysis); // prime the caches once, outside the timing loop
     let mut g = c.benchmark_group("session");
-    g.sample_size(10);
+    g.sample_size(sample_size());
     g.bench_function("table1_evolution_warm", |b| {
         b.iter(|| black_box(sweep(black_box(&analysis))))
     });

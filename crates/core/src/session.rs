@@ -41,7 +41,7 @@ use crate::route::{Route, RoutingGraph};
 use hft_geodesy::{LatLon, SnapGrid};
 use hft_time::Date;
 use hft_uls::scrape::{run_pipeline, FunnelReport, ScrapeConfig};
-use hft_uls::{License, UlsDatabase};
+use hft_uls::{License, UlsDatabase, UlsPortal};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -485,6 +485,23 @@ impl<'a> AnalysisSession<'a> {
         Some(outcome)
     }
 
+    /// The portal's indexed geographic search for many probe centers at
+    /// once, fanned through [`AnalysisSession::par_map`]. Each probe
+    /// walks only the candidate cells of the database's site grid;
+    /// results are in probe order, each byte-identical to calling
+    /// [`hft_uls::UlsPortal::geographic_search`] directly. `None` when
+    /// the session has no portal ([`AnalysisSession::over`]).
+    pub fn par_geographic_search(
+        &self,
+        centers: &[LatLon],
+        radius_km: f64,
+    ) -> Option<Vec<Vec<&'a License>>> {
+        let db = self.db?;
+        Some(self.par_map(centers.to_vec(), move |c| {
+            db.geographic_search(&c, radius_km)
+        }))
+    }
+
     /// A licensee's §4 trajectory over `dates`, deduplicating per-date
     /// reconstruction through the epoch cache: a licensee spanning `k`
     /// distinct epochs across `n` dates reconstructs `k ≤ n` times.
@@ -769,6 +786,33 @@ mod tests {
         assert_eq!(s.stats().reconstructions, 2);
         let empty: Vec<u8> = Vec::new();
         assert!(s.par_map(empty, |x: u8| x).is_empty());
+    }
+
+    #[test]
+    fn par_geographic_search_matches_portal() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 25, 1);
+        let db = UlsDatabase::from_licenses(lics);
+        let s = AnalysisSession::new(&db);
+        let a = CME.position();
+        let b = EQUINIX_NY4.position();
+        let centers = vec![a, b, gc_interpolate(&a, &b, 0.5)];
+        let fanned = s.par_geographic_search(&centers, 25.0).unwrap();
+        assert_eq!(fanned.len(), centers.len());
+        for (center, got) in centers.iter().zip(&fanned) {
+            let got_ids: Vec<u64> = got.iter().map(|l| l.id.0).collect();
+            let direct_ids: Vec<u64> = db
+                .geographic_search(center, 25.0)
+                .iter()
+                .map(|l| l.id.0)
+                .collect();
+            assert_eq!(got_ids, direct_ids);
+        }
+        assert!(!fanned[0].is_empty(), "probe at CME must see the chain");
+
+        // Sessions without a portal have nothing to search.
+        let bare = chain_licenses("X", d(2015, 1, 1), None, 5, 900);
+        let s2 = AnalysisSession::over(&bare);
+        assert!(s2.par_geographic_search(&[a], 10.0).is_none());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! near CME (dropped by the site-based service filter).
 
 use crate::layout::{make_chain_geometry, place_chain};
-use hft_geodesy::{gc_destination, gc_interpolate, LatLon};
+use hft_geodesy::{gc_destination, gc_interpolate, LatLon, RadiusTest};
 use hft_radio::{Band, BandPlan};
 use hft_time::Date;
 use hft_uls::{
@@ -76,6 +76,11 @@ pub fn partial_licensees<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<License> {
     let mut out = Vec::new();
+    // Placement invariant, checked with the same kernel the portal's
+    // geographic search runs on: every partial chain must start inside
+    // the paper's 10 km scrape radius or the funnel never sees it.
+    // Hoisted once per generator call; draws no rng values.
+    let search_zone = RadiusTest::new(cme, 10_000.0);
     for i in 0..count {
         let name = PARTIAL_NAMES[i % PARTIAL_NAMES.len()];
         let name = if i < PARTIAL_NAMES.len() {
@@ -87,6 +92,10 @@ pub fn partial_licensees<R: Rng + ?Sized>(
         let reach = 0.2 + rng.gen::<f64>() * 0.4;
         let towers = 12 + (rng.gen::<f64>() * 13.0) as usize;
         let start = gc_interpolate(cme, ny4, 0.002 + rng.gen::<f64>() * 0.004);
+        debug_assert!(
+            search_zone.contains(&start),
+            "partial chain start left the geographic-search radius"
+        );
         let end = gc_interpolate(cme, ny4, reach);
         let geometry = make_chain_geometry(towers - 2, rng);
         let points = place_chain(

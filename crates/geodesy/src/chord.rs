@@ -1,0 +1,343 @@
+//! The chord-distance radius kernel: trig-free "is this point within
+//! `r` meters of the center?" tests over precomputed unit vectors.
+//!
+//! Every geographic query in the pipeline — the §2.2 scrape funnel's
+//! 10 km search, the corridor generator's placement checks, each date of
+//! the evolution sweep — ultimately asks that question per tower site.
+//! Answering it with a full Vincenty inverse solve costs an iterative
+//! transcendental loop per site; this module reduces the common case to
+//! **one dot product** against precomputed thresholds:
+//!
+//! * Each point is mapped once to its [`UnitEcef`] — the unit vector of
+//!   its geodetic latitude/longitude on the reference sphere. For two
+//!   such vectors `u·v = cos θ`, where `θ` is exactly the central angle
+//!   the haversine formula computes, and the chord between the points is
+//!   `2·sin(θ/2)` — monotone in the dot product. A radius comparison on
+//!   the sphere is therefore a single comparison of `u·v` against a
+//!   precomputed cosine (equivalently: squared chord length against a
+//!   precomputed chord threshold). No trig, no iteration per point.
+//! * The sphere is not the WGS-84 ellipsoid. The workspace documents
+//!   (and property-tests, see `tests/prop_geodesy.rs`) that spherical
+//!   and Vincenty distances diverge by less than 0.6% everywhere the
+//!   corpus lives, so a spherical verdict is only trusted outside a
+//!   **guard band** of `±`[`SPHERE_ELLIPSOID_MAX_REL_ERROR`]` · r` (plus
+//!   a small absolute slack for floating-point) around the radius.
+//!   Points landing inside the band get a Vincenty confirmation pass —
+//!   the exact [`LatLon::geodesic_distance_m`] predicate — so the kernel
+//!   returns *identical* answers to the scalar path, merely cheaper.
+
+use crate::coord::LatLon;
+use crate::haversine::EARTH_RADIUS_M;
+
+/// Upper bound on the relative divergence between spherical (mean-radius
+/// great-circle) and WGS-84 geodesic distance: the true maximum is
+/// ~0.56% (meridional arcs), rounded up. Property-tested in
+/// `tests/prop_geodesy.rs` (`vincenty_close_to_spherical`,
+/// `guard_band_bounds_divergence`).
+pub const SPHERE_ELLIPSOID_MAX_REL_ERROR: f64 = 0.006;
+
+/// Absolute slack added on both sides of the guard band, meters. Covers
+/// the floating-point error of the dot product in the flat region of the
+/// cosine (an error of a few ulp in `u·v` near 1.0 maps to ≲ 1 m of arc),
+/// so the spherical fast path never contradicts the exact predicate.
+const BAND_ABS_M: f64 = 2.0;
+
+/// A precomputed unit vector on the reference sphere: the geodetic
+/// latitude/longitude of a point mapped to the unit sphere.
+///
+/// The dot product of two `UnitEcef`s is the cosine of the central angle
+/// between the points — the same angle the haversine formula computes —
+/// making radius tests a single multiply-add chain per point. Note this
+/// is the *direction* for spherical chord math, not a normalized
+/// geocentric [`crate::Ecef`] position (those use geocentric latitude,
+/// which differs by up to 0.19°).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEcef {
+    /// X component: through the equator at the prime meridian.
+    pub x: f64,
+    /// Y component: through the equator at 90°E.
+    pub y: f64,
+    /// Z component: through the north pole.
+    pub z: f64,
+}
+
+impl UnitEcef {
+    /// Map a coordinate to its unit vector (two `sin_cos` calls — paid
+    /// once per point, not once per query).
+    pub fn from_latlon(p: &LatLon) -> UnitEcef {
+        let (sin_lat, cos_lat) = p.lat_rad().sin_cos();
+        let (sin_lon, cos_lon) = p.lon_rad().sin_cos();
+        UnitEcef {
+            x: cos_lat * cos_lon,
+            y: cos_lat * sin_lon,
+            z: sin_lat,
+        }
+    }
+
+    /// Dot product: the cosine of the central angle to `other`.
+    pub fn dot(&self, other: &UnitEcef) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Spherical surface distance to `other` in meters (mean Earth
+    /// radius). Used for diagnostics; radius tests never take the
+    /// `acos` — they compare dot products directly.
+    pub fn sphere_distance_m(&self, other: &UnitEcef) -> f64 {
+        EARTH_RADIUS_M * self.dot(other).clamp(-1.0, 1.0).acos()
+    }
+}
+
+/// Verdict of the spherical fast path for one point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RadiusClass {
+    /// Spherical distance is far enough below the radius that the point
+    /// is within it on the ellipsoid too — no confirmation needed.
+    Inside,
+    /// Within the guard band: sphere and ellipsoid could disagree here;
+    /// the exact geodesic predicate must decide.
+    Boundary,
+    /// Spherical distance is far enough above the radius that the point
+    /// is outside it on the ellipsoid too.
+    Outside,
+}
+
+/// A radius membership test around a fixed center, with the center's
+/// unit vector and both guard-band cosine thresholds precomputed.
+///
+/// Construct once per query (one `sin_cos` pair + two `cos` calls), then
+/// [`RadiusTest::contains_vec`] costs one dot product per point outside
+/// the guard band and one Vincenty solve inside it. Returns exactly the
+/// same answers as `p.geodesic_distance_m(center) <= radius_m`.
+#[derive(Debug, Clone, Copy)]
+pub struct RadiusTest {
+    center: LatLon,
+    center_vec: UnitEcef,
+    radius_m: f64,
+    /// `dot ≥ accept_dot` ⇒ surely within the radius on the ellipsoid.
+    accept_dot: f64,
+    /// `dot < reject_dot` ⇒ surely beyond the radius on the ellipsoid.
+    reject_dot: f64,
+}
+
+impl RadiusTest {
+    /// A test for "within `radius_m` of `center`" (inclusive, matching
+    /// [`LatLon::geodesic_distance_m`]` <= radius_m`).
+    ///
+    /// # Panics
+    /// Panics when `radius_m` is negative or not finite.
+    pub fn new(center: &LatLon, radius_m: f64) -> RadiusTest {
+        assert!(
+            radius_m.is_finite() && radius_m >= 0.0,
+            "radius must be finite and non-negative, got {radius_m}"
+        );
+        let inner_m = radius_m * (1.0 - SPHERE_ELLIPSOID_MAX_REL_ERROR) - BAND_ABS_M;
+        let outer_m = radius_m * (1.0 + SPHERE_ELLIPSOID_MAX_REL_ERROR) + BAND_ABS_M;
+        // cos is decreasing on [0, π]: smaller angle ⇔ larger dot.
+        let accept_dot = if inner_m > 0.0 {
+            (inner_m / EARTH_RADIUS_M).min(core::f64::consts::PI).cos()
+        } else {
+            // Radius too small for a trig-free accept: everything near
+            // the center goes through the confirmation pass.
+            2.0
+        };
+        let outer_rad = outer_m / EARTH_RADIUS_M;
+        let reject_dot = if outer_rad < core::f64::consts::PI {
+            outer_rad.cos()
+        } else {
+            // The expanded radius wraps the whole sphere: no rejections.
+            -2.0
+        };
+        RadiusTest {
+            center: *center,
+            center_vec: UnitEcef::from_latlon(center),
+            radius_m,
+            accept_dot,
+            reject_dot,
+        }
+    }
+
+    /// The center of the test.
+    pub fn center(&self) -> &LatLon {
+        &self.center
+    }
+
+    /// The (inclusive) radius in meters.
+    pub fn radius_m(&self) -> f64 {
+        self.radius_m
+    }
+
+    /// The spherical radius, expanded by the guard band, that any point
+    /// this test could accept lies within — the bound a spatial
+    /// prefilter (bounding box, grid) must cover.
+    pub fn prefilter_radius_m(&self) -> f64 {
+        self.radius_m * (1.0 + SPHERE_ELLIPSOID_MAX_REL_ERROR) + BAND_ABS_M
+    }
+
+    /// Classify a precomputed unit vector: one dot product, no trig.
+    pub fn classify_vec(&self, v: &UnitEcef) -> RadiusClass {
+        let dot = self.center_vec.dot(v);
+        if dot >= self.accept_dot {
+            RadiusClass::Inside
+        } else if dot < self.reject_dot {
+            RadiusClass::Outside
+        } else {
+            RadiusClass::Boundary
+        }
+    }
+
+    /// Membership for a point whose unit vector is already precomputed:
+    /// dot-product fast path, Vincenty confirmation only in the band.
+    pub fn contains_vec(&self, v: &UnitEcef, position: &LatLon) -> bool {
+        match self.classify_vec(v) {
+            RadiusClass::Inside => true,
+            RadiusClass::Outside => false,
+            RadiusClass::Boundary => self.center.geodesic_distance_m(position) <= self.radius_m,
+        }
+    }
+
+    /// Membership for a bare coordinate (computes the unit vector first).
+    pub fn contains(&self, p: &LatLon) -> bool {
+        self.contains_vec(&UnitEcef::from_latlon(p), p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haversine::{gc_destination, gc_distance_m};
+
+    fn p(lat: f64, lon: f64) -> LatLon {
+        LatLon::new(lat, lon).unwrap()
+    }
+
+    fn cme() -> LatLon {
+        p(41.7625, -88.171233)
+    }
+
+    #[test]
+    fn unit_vec_dot_reproduces_haversine_angle() {
+        let a = p(41.7625, -88.2443);
+        let b = p(40.7930, -74.0576);
+        let ua = UnitEcef::from_latlon(&a);
+        let ub = UnitEcef::from_latlon(&b);
+        let via_dot = ua.sphere_distance_m(&ub);
+        let via_haversine = gc_distance_m(&a, &b);
+        assert!(
+            (via_dot - via_haversine).abs() < 1e-3,
+            "dot {via_dot} vs haversine {via_haversine}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_scalar_predicate_across_distances() {
+        // March a point outward through the radius; the kernel must agree
+        // with the exact predicate at every step, boundary included.
+        let center = cme();
+        let test = RadiusTest::new(&center, 10_000.0);
+        for km in 0..25 {
+            for frac in [0.0, 0.3, 0.7] {
+                let d = (km as f64 + frac) * 1000.0;
+                let q = gc_destination(&center, 73.0, d);
+                let exact = center.geodesic_distance_m(&q) <= 10_000.0;
+                assert_eq!(test.contains(&q), exact, "at {d} m");
+            }
+        }
+    }
+
+    #[test]
+    fn clear_cases_skip_confirmation() {
+        let center = cme();
+        let test = RadiusTest::new(&center, 10_000.0);
+        let near = gc_destination(&center, 10.0, 2_000.0);
+        let far = gc_destination(&center, 10.0, 50_000.0);
+        assert_eq!(
+            test.classify_vec(&UnitEcef::from_latlon(&near)),
+            RadiusClass::Inside
+        );
+        assert_eq!(
+            test.classify_vec(&UnitEcef::from_latlon(&far)),
+            RadiusClass::Outside
+        );
+    }
+
+    #[test]
+    fn band_straddles_the_radius() {
+        // A point within a few meters of the 10 km circle must land in
+        // the guard band (the sphere alone may not decide it).
+        let center = cme();
+        let test = RadiusTest::new(&center, 10_000.0);
+        let edge = gc_destination(&center, 200.0, 10_000.0);
+        assert_eq!(
+            test.classify_vec(&UnitEcef::from_latlon(&edge)),
+            RadiusClass::Boundary
+        );
+    }
+
+    #[test]
+    fn guard_band_conservative_on_corridor() {
+        // The band is derived from the documented max haversine/Vincenty
+        // divergence; prove the documented bound actually holds (with
+        // margin) across the corridor's extent, so Inside/Outside
+        // verdicts can never contradict the exact predicate.
+        let anchors = [
+            cme(),
+            p(41.7625, -88.2443),
+            p(40.7930, -74.0576),
+            p(40.2204, -74.7560),
+            p(38.0, -90.0),
+            p(44.0, -72.0),
+        ];
+        for a in &anchors {
+            for bearing in [0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0] {
+                for d in [500.0, 5_000.0, 10_000.0, 50_000.0, 300_000.0, 1_200_000.0] {
+                    let b = gc_destination(a, bearing, d);
+                    let sph = gc_distance_m(a, &b);
+                    let ell = a.geodesic_distance_m(&b);
+                    assert!(
+                        (sph - ell).abs() <= SPHERE_ELLIPSOID_MAX_REL_ERROR * ell * 0.95 + 1e-9,
+                        "divergence not conservative: sph={sph} ell={ell}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_radius_always_confirms() {
+        // Radii at or below the band slack have no trig-free accept
+        // region; membership still works through the confirmation pass.
+        let center = cme();
+        let test = RadiusTest::new(&center, 1.0);
+        assert!(test.contains(&center));
+        assert!(!test.contains(&gc_destination(&center, 90.0, 100.0)));
+    }
+
+    #[test]
+    fn zero_radius_contains_center_only() {
+        let center = cme();
+        let test = RadiusTest::new(&center, 0.0);
+        assert!(test.contains(&center));
+        assert!(!test.contains(&gc_destination(&center, 90.0, 10.0)));
+    }
+
+    #[test]
+    fn planet_sized_radius_accepts_everything() {
+        let test = RadiusTest::new(&cme(), 21_000_000.0);
+        for (lat, lon) in [(0.0, 0.0), (-89.0, 120.0), (41.0, 91.0)] {
+            assert!(test.contains(&p(lat, lon)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be finite")]
+    fn negative_radius_rejected() {
+        let _ = RadiusTest::new(&cme(), -1.0);
+    }
+
+    #[test]
+    fn prefilter_radius_covers_all_acceptable_points() {
+        let test = RadiusTest::new(&cme(), 10_000.0);
+        assert!(test.prefilter_radius_m() > 10_000.0);
+        assert!(test.prefilter_radius_m() < 10_100.0);
+    }
+}

@@ -3,9 +3,10 @@
 //! Geodesy substrate for reconstructing and analyzing line-of-sight
 //! microwave networks: WGS-84 coordinates, geodesic distance (Vincenty
 //! inverse/direct with a robust spherical fallback), ECEF conversions for
-//! satellite geometry, DMS parsing/formatting as used in FCC filings, and
-//! the speed-of-light latency model of the IMC'20 paper (microwave at
-//! essentially `c` in air, fiber at roughly `2c/3`).
+//! satellite geometry, DMS parsing/formatting as used in FCC filings, a
+//! trig-free chord-distance radius kernel for spatial query engines
+//! ([`RadiusTest`]), and the speed-of-light latency model of the IMC'20
+//! paper (microwave at essentially `c` in air, fiber at roughly `2c/3`).
 //!
 //! ```
 //! use hft_geodesy::{LatLon, Medium, latency_seconds};
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chord;
 mod coord;
 mod dms;
 mod ecef;
@@ -31,6 +33,7 @@ mod latency;
 mod path;
 mod vincenty;
 
+pub use chord::{RadiusClass, RadiusTest, UnitEcef, SPHERE_ELLIPSOID_MAX_REL_ERROR};
 pub use coord::{CoordError, LatLon, SnapGrid, SnappedCoord};
 pub use dms::{Dms, DmsParseError, Hemisphere};
 pub use ecef::Ecef;

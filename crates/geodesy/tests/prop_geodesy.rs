@@ -1,8 +1,9 @@
 //! Property-based tests for geodesic invariants.
 
 use hft_geodesy::{
-    gc_distance_m, gc_interpolate, vincenty_direct, vincenty_inverse, Dms, Ecef, LatLon, Medium,
-    SnapGrid, SpeedOfLight,
+    gc_destination, gc_distance_m, gc_interpolate, vincenty_direct, vincenty_inverse, Dms, Ecef,
+    LatLon, Medium, RadiusClass, RadiusTest, SnapGrid, SpeedOfLight, UnitEcef,
+    SPHERE_ELLIPSOID_MAX_REL_ERROR,
 };
 use proptest::prelude::*;
 
@@ -111,6 +112,64 @@ proptest! {
         let g = SnapGrid::arc_second();
         let s = g.snap(&p);
         prop_assert_eq!(g.snap(&g.unsnap(&s)), s);
+    }
+
+    #[test]
+    fn guard_band_bounds_divergence(a in arb_midlat(), b in arb_midlat()) {
+        // The chord kernel's guard band is sized by this bound: spherical
+        // and exact geodesic distance never diverge by more than
+        // SPHERE_ELLIPSOID_MAX_REL_ERROR of the distance.
+        let ell = a.geodesic_distance_m(&b);
+        let sph = gc_distance_m(&a, &b);
+        prop_assert!(
+            (sph - ell).abs() <= SPHERE_ELLIPSOID_MAX_REL_ERROR * ell.max(1.0),
+            "ell={ell} sph={sph}"
+        );
+    }
+
+    #[test]
+    fn radius_test_agrees_with_scalar_predicate(
+        center in arb_corridor(),
+        p in arb_corridor(),
+        r_km in 0.0f64..2_000.0,
+    ) {
+        let radius_m = r_km * 1000.0;
+        let test = RadiusTest::new(&center, radius_m);
+        let exact = center.geodesic_distance_m(&p) <= radius_m;
+        prop_assert_eq!(test.contains(&p), exact);
+    }
+
+    #[test]
+    fn radius_test_exact_within_meters_of_the_circle(
+        center in arb_corridor(),
+        bearing in 0.0f64..360.0,
+        r in 100.0f64..100_000.0,
+        jitter_m in -3.0f64..3.0,
+    ) {
+        // Points deliberately within a few meters of the circle — the
+        // regime where sphere-vs-ellipsoid disagreement would bite.
+        let q = gc_destination(&center, bearing, r + jitter_m);
+        let test = RadiusTest::new(&center, r);
+        let exact = center.geodesic_distance_m(&q) <= r;
+        prop_assert_eq!(test.contains(&q), exact);
+    }
+
+    #[test]
+    fn fast_path_verdicts_never_contradict_the_geodesic(
+        center in arb_corridor(),
+        p in arb_corridor(),
+        r_km in 0.0f64..2_000.0,
+    ) {
+        // Inside/Outside skip the Vincenty confirmation entirely, so they
+        // must be unconditionally safe; only Boundary may defer.
+        let radius_m = r_km * 1000.0;
+        let test = RadiusTest::new(&center, radius_m);
+        let d = center.geodesic_distance_m(&p);
+        match test.classify_vec(&UnitEcef::from_latlon(&p)) {
+            RadiusClass::Inside => prop_assert!(d <= radius_m, "d={d} r={radius_m}"),
+            RadiusClass::Outside => prop_assert!(d > radius_m, "d={d} r={radius_m}"),
+            RadiusClass::Boundary => {}
+        }
     }
 
     #[test]

@@ -198,6 +198,14 @@ impl<N, E> Graph<N, E> {
     }
 
     /// Find an edge connecting `u` and `v` (either orientation), if any.
+    ///
+    /// This graph is a multigraph: parallel edges between the same node
+    /// pair are legal (e.g. two licensed paths over the same tower
+    /// pair). When several exist, the **first-inserted** one is returned
+    /// — adjacency lists append on [`Graph::add_edge`], so the scan
+    /// meets parallel edges in insertion order. Callers that care about
+    /// a specific parallel edge (lowest latency, a particular band)
+    /// must enumerate [`Graph::neighbors`] instead.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
         self.adjacency[u.index()]
             .iter()
@@ -320,6 +328,25 @@ mod tests {
         let x = g2.add_node(());
         let y = g2.add_node(());
         assert_eq!(g2.find_edge(x, y), None);
+    }
+
+    #[test]
+    fn find_edge_returns_first_inserted_parallel_edge() {
+        // Multigraph contract: with parallel edges, find_edge pins the
+        // first-inserted one — from either endpoint, regardless of the
+        // parallel edges' payloads or of edges added in between.
+        let mut g = Graph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let first = g.add_edge(a, b, 9.0);
+        let _detour = g.add_edge(a, c, 1.0);
+        let second = g.add_edge(a, b, 1.0);
+        let third = g.add_edge(b, a, 0.5);
+        assert_eq!(g.find_edge(a, b), Some(first));
+        assert_eq!(g.find_edge(b, a), Some(first));
+        assert_ne!(Some(second), Some(third));
+        assert_eq!(g.degree(a), 4);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   ULS daily-dump record types (`HD`, `EN`, `LO`, `PA`, `FR`), so
 //!   datasets can be exported, versioned and re-imported;
 //! * [`UlsDatabase`] — an in-memory portal implementing the
-//!   [`UlsPortal`] search interfaces the paper drives over HTTP;
+//!   [`UlsPortal`] search interfaces the paper drives over HTTP, backed
+//!   by a [`SiteIndex`] bucket grid (geographic searches visit only
+//!   candidate cells) and a service/class index (site searches stop
+//!   scanning the corpus);
 //! * [`scrape`] — the paper's §2.2 pipeline, producing both the candidate
 //!   licensee set and a [`scrape::FunnelReport`] with the funnel counts.
 //!
@@ -44,9 +47,11 @@ pub mod flatfile;
 mod license;
 mod portal;
 pub mod scrape;
+mod siteindex;
 
 pub use license::{
     CallSign, FrequencyAssignment, License, LicenseId, LicenseStatus, MicrowavePath, RadioService,
     StationClass, TowerSite,
 };
 pub use portal::{UlsDatabase, UlsPortal};
+pub use siteindex::{SiteIndex, CELL_DEG};

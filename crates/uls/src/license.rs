@@ -1,7 +1,7 @@
 //! The ULS license record schema used by network reconstruction.
 
 use core::fmt;
-use hft_geodesy::LatLon;
+use hft_geodesy::{LatLon, RadiusTest};
 use hft_time::Date;
 
 /// ULS unique license system identifier.
@@ -235,9 +235,20 @@ impl License {
     }
 
     /// Whether any referenced site lies within `radius_km` of `center`.
+    ///
+    /// The unit conversion and the center's thresholds/unit vector are
+    /// computed once per call ([`RadiusTest`]), not once per site; each
+    /// site then costs a dot product, with an exact geodesic solve only
+    /// in the kernel's sphere-vs-ellipsoid guard band. Answers are
+    /// identical to comparing `geodesic_distance_m` per site.
     pub fn within_radius(&self, center: &LatLon, radius_km: f64) -> bool {
-        self.sites()
-            .any(|s| s.position.geodesic_distance_m(center) <= radius_km * 1000.0)
+        let radius_m = radius_km * 1000.0;
+        if !radius_m.is_finite() || radius_m < 0.0 {
+            // No distance satisfies the scalar predicate either.
+            return false;
+        }
+        let test = RadiusTest::new(center, radius_m);
+        self.sites().any(|s| test.contains(&s.position))
     }
 }
 

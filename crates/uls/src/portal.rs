@@ -1,7 +1,9 @@
 //! The simulated ULS portal: the four search interfaces of §2.1.
 
 use crate::license::{License, LicenseId, RadioService, StationClass};
-use hft_geodesy::LatLon;
+use crate::siteindex::SiteIndex;
+use hft_geodesy::{LatLon, RadiusTest};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// The search interfaces the FCC Universal Licensing System exposes and
@@ -29,11 +31,27 @@ pub trait UlsPortal {
 
 /// In-memory license corpus with the [`UlsPortal`] interfaces plus a few
 /// bulk accessors used by reconstruction.
+///
+/// Searches are index-backed: geographic queries walk a [`SiteIndex`]
+/// bucket grid instead of the whole corpus, site searches hit a
+/// `(service, class)` index, and the sorted licensee-name list is
+/// maintained incrementally on insert. The un-indexed scans survive as
+/// [`UlsDatabase::geographic_search_linear`] and
+/// [`UlsDatabase::site_search_linear`] — the reference implementations
+/// the property tests and benches compare against.
 #[derive(Debug, Clone, Default)]
 pub struct UlsDatabase {
     licenses: Vec<License>,
     by_id: HashMap<LicenseId, usize>,
     by_licensee: HashMap<String, Vec<usize>>,
+    /// Distinct licensee names, kept sorted on insert so
+    /// [`UlsDatabase::licensees`] (called per evolution date) does not
+    /// re-collect and re-sort the corpus every time.
+    licensee_names: Vec<String>,
+    /// `(service, class) → license indices` in insertion order.
+    by_service_class: HashMap<(RadioService, StationClass), Vec<usize>>,
+    /// Bucket grid over every tx/rx tower site.
+    sites: SiteIndex,
 }
 
 impl UlsDatabase {
@@ -62,10 +80,26 @@ impl UlsDatabase {
         let idx = self.licenses.len();
         let prev = self.by_id.insert(license.id, idx);
         assert!(prev.is_none(), "duplicate license id {}", license.id);
-        self.by_licensee
-            .entry(license.licensee.clone())
+        match self.by_licensee.entry(license.licensee.clone()) {
+            Entry::Occupied(e) => e.into_mut().push(idx),
+            Entry::Vacant(e) => {
+                // First filing under this name: slot it into the sorted
+                // name cache (names are distinct here by construction).
+                let pos = self
+                    .licensee_names
+                    .binary_search(&license.licensee)
+                    .unwrap_err();
+                self.licensee_names.insert(pos, license.licensee.clone());
+                e.insert(vec![idx]);
+            }
+        }
+        self.by_service_class
+            .entry((license.service.clone(), license.station_class.clone()))
             .or_default()
             .push(idx);
+        for site in license.sites() {
+            self.sites.insert(idx, &site.position);
+        }
         self.licenses.push(license);
     }
 
@@ -85,26 +119,67 @@ impl UlsDatabase {
     }
 
     /// All distinct licensee names, sorted.
+    ///
+    /// Served from a cache maintained on insert; no per-call sort.
     pub fn licensees(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.by_licensee.keys().map(String::as_str).collect();
-        v.sort_unstable();
-        v
+        self.licensee_names.iter().map(String::as_str).collect()
+    }
+
+    /// The tower-site bucket grid backing [`UlsPortal::geographic_search`].
+    pub fn site_index(&self) -> &SiteIndex {
+        &self.sites
+    }
+
+    /// Reference implementation of [`UlsPortal::geographic_search`]:
+    /// the original full linear scan with one exact geodesic solve per
+    /// tower site. Kept for the property tests (indexed and linear
+    /// results must agree exactly) and as the bench baseline.
+    pub fn geographic_search_linear(&self, center: &LatLon, radius_km: f64) -> Vec<&License> {
+        let radius_m = radius_km * 1000.0;
+        self.licenses
+            .iter()
+            .filter(|l| {
+                l.sites()
+                    .any(|s| s.position.geodesic_distance_m(center) <= radius_m)
+            })
+            .collect()
+    }
+
+    /// Reference implementation of [`UlsPortal::site_search`]: the
+    /// original full scan over the corpus. Kept for the property tests
+    /// and as the bench baseline.
+    pub fn site_search_linear(
+        &self,
+        service: &RadioService,
+        class: &StationClass,
+    ) -> Vec<&License> {
+        self.licenses
+            .iter()
+            .filter(|l| &l.service == service && &l.station_class == class)
+            .collect()
     }
 }
 
 impl UlsPortal for UlsDatabase {
     fn geographic_search(&self, center: &LatLon, radius_km: f64) -> Vec<&License> {
-        self.licenses
-            .iter()
-            .filter(|l| l.within_radius(center, radius_km))
+        let radius_m = radius_km * 1000.0;
+        if !radius_m.is_finite() || radius_m < 0.0 {
+            // Matches the scalar predicate, which no distance satisfies.
+            return Vec::new();
+        }
+        let test = RadiusTest::new(center, radius_m);
+        self.sites
+            .matching_licenses(&test, self.licenses.len())
+            .into_iter()
+            .map(|i| &self.licenses[i])
             .collect()
     }
 
     fn site_search(&self, service: &RadioService, class: &StationClass) -> Vec<&License> {
-        self.licenses
-            .iter()
-            .filter(|l| &l.service == service && &l.station_class == class)
-            .collect()
+        self.by_service_class
+            .get(&(service.clone(), class.clone()))
+            .map(|idxs| idxs.iter().map(|&i| &self.licenses[i]).collect())
+            .unwrap_or_default()
     }
 
     fn licensee_search(&self, licensee: &str) -> Vec<&License> {
@@ -221,5 +296,78 @@ mod tests {
         assert_eq!(db.len(), 0);
         let cme = LatLon::new(41.76, -88.17).unwrap();
         assert!(db.geographic_search(&cme, 10.0).is_empty());
+    }
+
+    #[test]
+    fn indexed_searches_match_linear_references() {
+        let db = db();
+        let cme = LatLon::new(41.7625, -88.171233).unwrap();
+        for radius_km in [0.0, 1.0, 10.0, 60.0, 500.0, 25_000.0] {
+            let indexed: Vec<u64> = db
+                .geographic_search(&cme, radius_km)
+                .iter()
+                .map(|l| l.id.0)
+                .collect();
+            let linear: Vec<u64> = db
+                .geographic_search_linear(&cme, radius_km)
+                .iter()
+                .map(|l| l.id.0)
+                .collect();
+            assert_eq!(indexed, linear, "radius {radius_km} km");
+        }
+        for service in [RadioService::MG, RadioService::CF, RadioService::AF] {
+            let indexed: Vec<u64> = db
+                .site_search(&service, &StationClass::FXO)
+                .iter()
+                .map(|l| l.id.0)
+                .collect();
+            let linear: Vec<u64> = db
+                .site_search_linear(&service, &StationClass::FXO)
+                .iter()
+                .map(|l| l.id.0)
+                .collect();
+            assert_eq!(indexed, linear, "service {}", service.code());
+        }
+    }
+
+    #[test]
+    fn degenerate_radii_return_empty() {
+        let db = db();
+        let cme = LatLon::new(41.7625, -88.171233).unwrap();
+        assert!(db.geographic_search(&cme, -1.0).is_empty());
+        assert!(db.geographic_search(&cme, f64::NAN).is_empty());
+        assert!(db.geographic_search_linear(&cme, -1.0).is_empty());
+    }
+
+    #[test]
+    fn licensee_cache_tracks_incremental_inserts() {
+        let mut db = db();
+        assert_eq!(db.licensees(), vec!["Alpha", "Beta", "Delta", "Gamma"]);
+        db.insert(lic(6, "Aardvark", RadioService::MG, 41.0, -88.0));
+        db.insert(lic(7, "Alpha", RadioService::MG, 41.1, -88.1));
+        db.insert(lic(8, "Zeta", RadioService::AF, 41.2, -88.2));
+        assert_eq!(
+            db.licensees(),
+            vec!["Aardvark", "Alpha", "Beta", "Delta", "Gamma", "Zeta"]
+        );
+    }
+
+    #[test]
+    fn site_index_buckets_every_site() {
+        let db = db();
+        // 5 licenses × (tx + rx) sites.
+        assert_eq!(db.site_index().site_count(), 10);
+        assert!(db.site_index().cell_count() > 0);
+    }
+
+    #[test]
+    fn site_search_unknown_pair_is_empty() {
+        let db = db();
+        assert!(db
+            .site_search(&RadioService::AF, &StationClass::MO)
+            .is_empty());
+        assert!(db
+            .site_search(&RadioService::Other("ZZ".into()), &StationClass::FXO)
+            .is_empty());
     }
 }

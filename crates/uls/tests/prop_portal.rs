@@ -1,0 +1,153 @@
+//! Property-based tests for the indexed portal: for arbitrary corpora
+//! and query points, the grid-indexed `geographic_search` and the
+//! `(service, class)`-indexed `site_search` must return exactly the same
+//! license sets — in the same order — as the retained linear-scan
+//! reference implementations, including at radius-boundary points.
+
+use hft_geodesy::LatLon;
+use hft_time::Date;
+use hft_uls::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite, UlsDatabase, UlsPortal,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = LatLon> {
+    (30.0f64..50.0, -100.0f64..-70.0).prop_map(|(lat, lon)| LatLon::new(lat, lon).unwrap())
+}
+
+fn arb_service() -> impl Strategy<Value = RadioService> {
+    prop_oneof![
+        Just(RadioService::MG),
+        Just(RadioService::CF),
+        Just(RadioService::AF),
+        Just(RadioService::Other("ZZ".into())),
+    ]
+}
+
+fn arb_class() -> impl Strategy<Value = StationClass> {
+    prop_oneof![
+        Just(StationClass::FXO),
+        Just(StationClass::FB),
+        Just(StationClass::MO),
+    ]
+}
+
+/// A corpus of up to 60 single-path licenses spread over the central/
+/// eastern US, filed under a handful of recurring licensee names.
+fn arb_corpus() -> impl Strategy<Value = Vec<License>> {
+    proptest::collection::vec(
+        (arb_point(), arb_point(), arb_service(), arb_class()),
+        0..60,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (tx, rx, service, station_class))| License {
+                id: LicenseId(i as u64 + 1),
+                call_sign: CallSign(format!("WQ{i:05}")),
+                licensee: format!("Licensee {:02}", i % 7),
+                service,
+                station_class,
+                grant_date: Date::new(2015, 1, 1).unwrap(),
+                termination_date: None,
+                cancellation_date: None,
+                paths: vec![MicrowavePath {
+                    tx: TowerSite::at(tx),
+                    rx: TowerSite::at(rx),
+                    frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 }],
+                }],
+            })
+            .collect()
+    })
+}
+
+fn ids(licenses: &[&License]) -> Vec<u64> {
+    licenses.iter().map(|l| l.id.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn indexed_geographic_search_matches_linear(
+        corpus in arb_corpus(),
+        center in arb_point(),
+        r_km in 0.0f64..3_000.0,
+    ) {
+        let db = UlsDatabase::from_licenses(corpus);
+        prop_assert_eq!(
+            ids(&db.geographic_search(&center, r_km)),
+            ids(&db.geographic_search_linear(&center, r_km)),
+        );
+    }
+
+    #[test]
+    fn geographic_search_exact_at_boundary_radii(
+        corpus in arb_corpus(),
+        center in arb_point(),
+        pick in 0usize..10_000,
+        eps_m in -2.0f64..2.0,
+    ) {
+        // Aim the radius to land within ±2 m of an actual tower site, so
+        // the query circle's edge cuts straight through corpus points —
+        // the regime where an approximate kernel would gain or lose a
+        // license. Indexed and linear must still agree exactly.
+        let db = UlsDatabase::from_licenses(corpus);
+        prop_assume!(!db.is_empty());
+        let sites: Vec<LatLon> = db
+            .licenses()
+            .iter()
+            .flat_map(|l| l.sites().map(|s| s.position))
+            .collect();
+        let target = sites[pick % sites.len()];
+        let r_km = (center.geodesic_distance_m(&target) + eps_m).max(0.0) / 1000.0;
+        prop_assert_eq!(
+            ids(&db.geographic_search(&center, r_km)),
+            ids(&db.geographic_search_linear(&center, r_km)),
+        );
+    }
+
+    #[test]
+    fn indexed_site_search_matches_linear(
+        corpus in arb_corpus(),
+        service in arb_service(),
+        class in arb_class(),
+    ) {
+        let db = UlsDatabase::from_licenses(corpus);
+        prop_assert_eq!(
+            ids(&db.site_search(&service, &class)),
+            ids(&db.site_search_linear(&service, &class)),
+        );
+    }
+
+    #[test]
+    fn licensee_cache_matches_recomputation(corpus in arb_corpus()) {
+        let db = UlsDatabase::from_licenses(corpus);
+        let mut expect: Vec<&str> = db
+            .licenses()
+            .iter()
+            .map(|l| l.licensee.as_str())
+            .collect();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(db.licensees(), expect);
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build(corpus in arb_corpus(), center in arb_point()) {
+        // `from_licenses` is insert-by-insert; an incrementally grown
+        // database must index identically to a bulk-built one.
+        let bulk = UlsDatabase::from_licenses(corpus.clone());
+        let mut grown = UlsDatabase::new();
+        for lic in corpus {
+            grown.insert(lic);
+        }
+        prop_assert_eq!(grown.licensees(), bulk.licensees());
+        prop_assert_eq!(
+            ids(&grown.geographic_search(&center, 250.0)),
+            ids(&bulk.geographic_search(&center, 250.0)),
+        );
+    }
+}
