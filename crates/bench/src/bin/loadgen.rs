@@ -1,0 +1,509 @@
+//! `loadgen` — the hft-serve load harness: replay a mixed analysis
+//! workload against a running server (or a self-hosted one) at
+//! configurable concurrency, verify every answer byte-for-byte against
+//! direct `AnalysisSession` computation, and write latency percentiles +
+//! throughput to `BENCH_serve.json` at the workspace root.
+//!
+//! ```text
+//! # self-hosted (binds its own server on a free port):
+//! cargo run --release -p hft-bench --bin loadgen
+//!
+//! # against an external `hftnetview serve` (seeds must match):
+//! cargo run --release -p hft-bench --bin loadgen -- \
+//!     --connect 127.0.0.1:4710 --seconds 1 --concurrency 4 --shutdown-server
+//! ```
+//!
+//! Two timed phases over the same workload: a single-threaded serial
+//! client loop (one request in flight, ever), then the concurrent phase
+//! (`--concurrency` connections, `--window` pipelined requests each).
+//! The speedup between them is what the serving layer buys: batched
+//! syscalls, back-to-back worker dispatch, and single-flight coalescing
+//! of identical in-flight computations (weather Monte Carlo requests are
+//! not session-cached, so the serial loop pays them every time while
+//! concurrent duplicates share one evaluation).
+//!
+//! `Overloaded` rejections are retried (and counted): backpressure is
+//! a protocol answer, not an error. A byte mismatch is a hard failure —
+//! the harness exits non-zero.
+
+use hft_bench::REPRO_SEED;
+use hft_corridor::{chicago_nj, generate};
+use hft_serve::api::{Request, Response};
+use hft_serve::{Client, ServeConfig, Server, Service};
+use hft_time::Date;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+struct Args {
+    connect: Option<String>,
+    seconds: f64,
+    concurrency: usize,
+    window: usize,
+    seed: u64,
+    shutdown_server: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        connect: None,
+        seconds: 5.0,
+        concurrency: 32,
+        window: 8,
+        seed: REPRO_SEED,
+        shutdown_server: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--connect" => parsed.connect = Some(need("--connect")?),
+            "--seconds" => {
+                parsed.seconds = need("--seconds")?
+                    .parse()
+                    .map_err(|_| "bad --seconds".to_string())?
+            }
+            "--concurrency" => {
+                parsed.concurrency = need("--concurrency")?
+                    .parse()
+                    .map_err(|_| "bad --concurrency".to_string())?
+            }
+            "--window" => {
+                parsed.window = need("--window")?
+                    .parse()
+                    .map_err(|_| "bad --window".to_string())?
+            }
+            "--seed" => {
+                parsed.seed = need("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--shutdown-server" => parsed.shutdown_server = true,
+            "--out" => parsed.out = Some(need("--out")?),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: loadgen [--connect ADDR] [--seconds S] \
+                     [--concurrency N] [--window N] [--seed N] [--shutdown-server] [--out PATH]"
+                ))
+            }
+        }
+    }
+    if parsed.concurrency == 0 || parsed.window == 0 {
+        return Err("--concurrency and --window must be positive".into());
+    }
+    Ok(parsed)
+}
+
+/// The mixed workload: the paper's query surface with hot-spot
+/// duplication (many clients asking the same things), which is what the
+/// single-flight layer exists for.
+fn workload(licensees: &[String]) -> Vec<Request> {
+    let d2020 = Date::new(2020, 4, 1).unwrap();
+    let d2019 = Date::new(2019, 1, 1).unwrap();
+    let pairs = [("CME", "NY4"), ("CME", "NYSE"), ("CME", "NASDAQ")];
+    let mut mix = Vec::new();
+    for name in licensees {
+        for date in [d2020, d2019] {
+            mix.push(Request::Network {
+                licensee: name.clone(),
+                date,
+            });
+        }
+        for (from, to) in pairs {
+            mix.push(Request::Route {
+                licensee: name.clone(),
+                date: d2020,
+                from: from.into(),
+                to: to.into(),
+            });
+        }
+        mix.push(Request::Apa {
+            licensee: name.clone(),
+            date: d2020,
+            from: "CME".into(),
+            to: "NY4".into(),
+        });
+    }
+    for i in 0..6 {
+        mix.push(Request::Geographic {
+            lat_deg: 41.7625 + 0.02 * i as f64,
+            lon_deg: -88.1712 + 0.4 * i as f64,
+            radius_km: 10.0,
+        });
+    }
+    for _ in 0..4 {
+        mix.push(Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        });
+        mix.push(Request::Shortlist {
+            lat_deg: 41.7625,
+            lon_deg: -88.1712,
+            radius_km: 10.0,
+            min_filings: 11,
+        });
+    }
+    // Hot weather queries: few distinct computations, many repeats. The
+    // Monte Carlo is the one expensive, non-session-cached request.
+    let weather: Vec<Request> = licensees
+        .iter()
+        .take(2)
+        .flat_map(|name| {
+            [("CME", "NY4"), ("CME", "NYSE")].map(|(from, to)| Request::Weather {
+                licensee: name.clone(),
+                date: d2020,
+                from: from.into(),
+                to: to.into(),
+                samples: 60_000,
+                seed: 7,
+            })
+        })
+        .collect();
+    for i in 0..24 {
+        mix.push(weather[i % weather.len()].clone());
+    }
+    mix
+}
+
+fn connect_retry(addr: &SocketAddr, patience: Duration) -> Result<Client, String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("could not connect to {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct PhaseResult {
+    completed: u64,
+    overloaded_retries: u64,
+    wrong: u64,
+    first_mismatch: Option<String>,
+    latencies_ms: Vec<f64>,
+    elapsed_s: f64,
+}
+
+impl PhaseResult {
+    fn rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    fn merge(&mut self, other: PhaseResult) {
+        self.completed += other.completed;
+        self.overloaded_retries += other.overloaded_retries;
+        self.wrong += other.wrong;
+        if self.first_mismatch.is_none() {
+            self.first_mismatch = other.first_mismatch;
+        }
+        self.latencies_ms.extend(other.latencies_ms);
+        self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
+    }
+
+    fn percentile_ms(&mut self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        self.latencies_ms
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((self.latencies_ms.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ms[rank]
+    }
+}
+
+/// Drive one connection: keep up to `window` requests in flight, cycle
+/// the workload starting at `offset`, stop issuing at the deadline, then
+/// drain. Every non-`Overloaded` answer is byte-compared to `expected`.
+fn drive(
+    client: &mut Client,
+    mix: &[Request],
+    expected: &[Vec<u8>],
+    offset: usize,
+    window: usize,
+    deadline: Instant,
+) -> Result<PhaseResult, String> {
+    let mut result = PhaseResult::default();
+    let mut next = offset % mix.len();
+    let mut resend: VecDeque<usize> = VecDeque::new();
+    let mut pending: VecDeque<(usize, Instant)> = VecDeque::new();
+    let io = |e: std::io::Error| format!("loadgen IO: {e}");
+    loop {
+        let now = Instant::now();
+        let mut queued = false;
+        while pending.len() < window && now < deadline {
+            let idx = resend.pop_front().unwrap_or_else(|| {
+                let idx = next;
+                next = (next + 1) % mix.len();
+                idx
+            });
+            client.send(&mix[idx]).map_err(io)?;
+            pending.push_back((idx, Instant::now()));
+            queued = true;
+        }
+        if queued {
+            client.flush().map_err(io)?;
+        }
+        let Some((idx, sent)) = pending.pop_front() else {
+            break; // past the deadline with nothing in flight
+        };
+        let response = client.recv().map_err(io)?;
+        if response == Response::Overloaded {
+            result.overloaded_retries += 1;
+            resend.push_back(idx);
+            continue;
+        }
+        result.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        result.completed += 1;
+        let got = response.encode();
+        if got != expected[idx] {
+            result.wrong += 1;
+            if result.first_mismatch.is_none() {
+                result.first_mismatch = Some(format!(
+                    "request {:?}\n  want {}\n  got  {}",
+                    mix[idx],
+                    String::from_utf8_lossy(&expected[idx]),
+                    String::from_utf8_lossy(&got),
+                ));
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn run_serial(
+    addr: &SocketAddr,
+    mix: &[Request],
+    expected: &[Vec<u8>],
+    seconds: f64,
+) -> Result<PhaseResult, String> {
+    let mut client = connect_retry(addr, Duration::from_secs(180))?;
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    let mut result = drive(&mut client, mix, expected, 0, 1, deadline)?;
+    result.elapsed_s = started.elapsed().as_secs_f64();
+    Ok(result)
+}
+
+fn run_concurrent(
+    addr: &SocketAddr,
+    mix: &[Request],
+    expected: &[Vec<u8>],
+    seconds: f64,
+    concurrency: usize,
+    window: usize,
+) -> Result<PhaseResult, String> {
+    // Connect everyone first so the timed window measures serving, not
+    // connection setup.
+    let mut clients: Vec<Client> = Vec::with_capacity(concurrency);
+    for _ in 0..concurrency {
+        clients.push(connect_retry(addr, Duration::from_secs(180))?);
+    }
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    let outcomes: Vec<Result<PhaseResult, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(i, client)| {
+                scope.spawn(move || drive(client, mix, expected, i * 13, window, deadline))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut merged = PhaseResult::default();
+    for outcome in outcomes {
+        merged.merge(outcome?);
+    }
+    merged.elapsed_s = started.elapsed().as_secs_f64();
+    Ok(merged)
+}
+
+fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    eprintln!("generating corpus (seed {})...", args.seed);
+    let eco = generate(&chicago_nj(), args.seed);
+    let mut licensees = eco.connected_2020.clone();
+    licensees.sort();
+    let mix = workload(&licensees);
+
+    // Ground truth: the same requests answered by a direct in-process
+    // session, encoded with the same canonical codec.
+    eprintln!("computing {} expected answers locally...", mix.len());
+    let reference = Service::new(&eco.db);
+    let expected: Vec<Vec<u8>> = mix.iter().map(|r| reference.handle(r).encode()).collect();
+
+    let run_against = |addr: &SocketAddr| -> Result<(PhaseResult, PhaseResult), String> {
+        // Warm pass: every distinct request once, so both timed phases
+        // hit a warm server (the acceptance setup).
+        let mut warm = connect_retry(addr, Duration::from_secs(180))?;
+        for request in &mix {
+            loop {
+                let response = warm.call(request).map_err(|e| format!("warmup: {e}"))?;
+                if response != Response::Overloaded {
+                    break;
+                }
+            }
+        }
+        eprintln!("warm; serial phase ({:.1}s)...", args.seconds);
+        let serial = run_serial(addr, &mix, &expected, args.seconds)?;
+        eprintln!(
+            "serial: {} requests in {:.2}s = {:.0} rps; concurrent phase ({} conns, window {})...",
+            serial.completed,
+            serial.elapsed_s,
+            serial.rps(),
+            args.concurrency,
+            args.window
+        );
+        let concurrent = run_concurrent(
+            addr,
+            &mix,
+            &expected,
+            args.seconds,
+            args.concurrency,
+            args.window,
+        )?;
+        if args.shutdown_server || args.connect.is_none() {
+            let mut c = connect_retry(addr, Duration::from_secs(30))?;
+            let ack = c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+            if ack != Response::ShuttingDown {
+                return Err(format!("shutdown not acknowledged: {ack:?}"));
+            }
+        }
+        Ok((serial, concurrent))
+    };
+
+    let (mut serial, mut concurrent) = match &args.connect {
+        Some(spec) => {
+            let addr = spec
+                .to_socket_addrs()
+                .map_err(|e| format!("bad --connect {spec:?}: {e}"))?
+                .next()
+                .ok_or(format!("--connect {spec:?} resolved to nothing"))?;
+            run_against(&addr)?
+        }
+        None => {
+            // Self-hosted: bind a free port, serve from a background
+            // thread, size the queue for the requested concurrency.
+            // Workers well beyond the core count: a worker following an
+            // in-flight computation parks on a condvar and costs no CPU,
+            // so narrow pools would serialize behind coalesced requests.
+            let server = Server::bind(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: (args.concurrency * args.window).clamp(8, 256),
+                queue_depth: (args.concurrency * args.window).max(64),
+                ..ServeConfig::default()
+            })
+            .map_err(|e| e.to_string())?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("self-hosting on {addr}");
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| server.run(&eco.db));
+                let phases = run_against(&addr);
+                let stats = handle.join().expect("server thread");
+                stats.map_err(|e| e.to_string())?;
+                phases
+            })?
+        }
+    };
+
+    let p50 = concurrent.percentile_ms(0.50);
+    let p95 = concurrent.percentile_ms(0.95);
+    let p99 = concurrent.percentile_ms(0.99);
+    let serial_p50 = serial.percentile_ms(0.50);
+    let speedup = if serial.rps() > 0.0 {
+        concurrent.rps() / serial.rps()
+    } else {
+        0.0
+    };
+
+    println!(
+        "serial:     {:>8} requests  {:>9.0} rps  p50 {:.3} ms",
+        serial.completed,
+        serial.rps(),
+        serial_p50
+    );
+    println!(
+        "concurrent: {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        concurrent.completed,
+        concurrent.rps(),
+        p50,
+        p95,
+        p99
+    );
+    println!(
+        "speedup {speedup:.1}x, {} overloaded retries, {} wrong answers",
+        serial.overloaded_retries + concurrent.overloaded_retries,
+        serial.wrong + concurrent.wrong
+    );
+
+    let json = format!(
+        "{{\n\
+         \"workload\": {{\"distinct_requests\": {}, \"seed\": {}}},\n\
+         \"serial\": {{\"requests\": {}, \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}}},\n\
+         \"concurrent\": {{\"concurrency\": {}, \"window\": {}, \"requests\": {}, \"seconds\": {}, \
+         \"rps\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+         \"overloaded_retries\": {}, \"wrong_answers\": {}}},\n\
+         \"speedup\": {}\n}}\n",
+        mix.len(),
+        args.seed,
+        serial.completed,
+        fmt(serial.elapsed_s),
+        fmt(serial.rps()),
+        fmt(serial_p50),
+        args.concurrency,
+        args.window,
+        concurrent.completed,
+        fmt(concurrent.elapsed_s),
+        fmt(concurrent.rps()),
+        fmt(p50),
+        fmt(p95),
+        fmt(p99),
+        concurrent.overloaded_retries,
+        serial.wrong + concurrent.wrong,
+        fmt(speedup),
+    );
+    let path = args
+        .out
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").into());
+    std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+
+    if serial.wrong + concurrent.wrong > 0 {
+        let detail = serial
+            .first_mismatch
+            .or(concurrent.first_mismatch)
+            .unwrap_or_default();
+        return Err(format!("byte mismatch against direct session:\n{detail}"));
+    }
+    Ok(())
+}

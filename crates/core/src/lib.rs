@@ -44,6 +44,7 @@ pub mod overhead;
 pub mod reconstruct;
 pub mod route;
 pub mod session;
+pub mod weather;
 pub mod yaml;
 
 pub use cdf::Cdf;

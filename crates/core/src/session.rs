@@ -187,6 +187,26 @@ impl StatsSnapshot {
     pub fn reconstructions_avoided(&self) -> u64 {
         self.network_hits
     }
+
+    /// The counters as a single-line JSON object — the machine-readable
+    /// form served by the query service's `stats` request and printed by
+    /// the CLI's `--stats` flag. Key order is fixed (field declaration
+    /// order) so the output is byte-deterministic.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"network_hits\": {}, \"reconstructions\": {}, \"route_hits\": {}, \
+             \"route_misses\": {}, \"apa_hits\": {}, \"apa_misses\": {}, \
+             \"graph_hits\": {}, \"graph_misses\": {}}}",
+            self.network_hits,
+            self.reconstructions,
+            self.route_hits,
+            self.route_misses,
+            self.apa_hits,
+            self.apa_misses,
+            self.graph_hits,
+            self.graph_misses,
+        )
+    }
 }
 
 impl std::fmt::Display for StatsSnapshot {

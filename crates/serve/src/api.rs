@@ -1,0 +1,666 @@
+//! The typed query surface: every request the service answers and every
+//! response it produces, with the JSON mapping used on the wire.
+//!
+//! The variants cover the paper's query mix end to end — the §2.1 portal
+//! searches, the §2.2 shortlist funnel, snapshot reconstruction
+//! ([`Request::Network`]), per-pair route/APA (Tables 1–3), and the §5
+//! weather Monte Carlo — plus `stats` (observability) and `shutdown`
+//! (graceful drain). Encoding is deterministic: one canonical key order
+//! per variant, so two encodings of equal values are byte-identical and
+//! the load harness can diff served bytes against locally computed ones.
+
+use crate::json::{self, Json};
+use hft_time::Date;
+
+/// A query, as submitted by a client (wire) or caller (in-process).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// §2.1 "Geographic Search": license ids with any site within
+    /// `radius_km` of a point.
+    Geographic {
+        /// Search-center latitude, degrees.
+        lat_deg: f64,
+        /// Search-center longitude, degrees.
+        lon_deg: f64,
+        /// Search radius, km.
+        radius_km: f64,
+    },
+    /// §2.1 "Site License Search": license ids by service + class code.
+    SiteSearch {
+        /// Radio service code (e.g. `MG`).
+        service: String,
+        /// Station class code (e.g. `FXO`).
+        class: String,
+    },
+    /// §2.2 scrape funnel: the shortlist around a reference point.
+    Shortlist {
+        /// Reference latitude, degrees.
+        lat_deg: f64,
+        /// Reference longitude, degrees.
+        lon_deg: f64,
+        /// Geographic-search radius, km.
+        radius_km: f64,
+        /// Minimum filings to stay shortlisted.
+        min_filings: usize,
+    },
+    /// A licensee's reconstructed network summary as of a date.
+    Network {
+        /// Licensee name (exact).
+        licensee: String,
+        /// As-of date.
+        date: Date,
+    },
+    /// Lowest-latency route between two data centers as of a date.
+    Route {
+        /// Licensee name.
+        licensee: String,
+        /// As-of date.
+        date: Date,
+        /// Origin data-center code (`CME`, `NY4`, `NYSE`, `NASDAQ`).
+        from: String,
+        /// Destination data-center code.
+        to: String,
+    },
+    /// Alternate path availability between two data centers.
+    Apa {
+        /// Licensee name.
+        licensee: String,
+        /// As-of date.
+        date: Date,
+        /// Origin data-center code.
+        from: String,
+        /// Destination data-center code.
+        to: String,
+    },
+    /// The §5 weather Monte Carlo (stormy-season sampler).
+    Weather {
+        /// Licensee name.
+        licensee: String,
+        /// As-of date.
+        date: Date,
+        /// Origin data-center code.
+        from: String,
+        /// Destination data-center code.
+        to: String,
+        /// Weather states to sample.
+        samples: usize,
+        /// RNG seed (deterministic outcomes per seed).
+        seed: u64,
+    },
+    /// Server + session counters.
+    Stats,
+    /// Graceful shutdown: stop accepting, drain, dump stats.
+    Shutdown,
+}
+
+/// An answer. `Error` carries a human-readable reason; `Overloaded` is
+/// the admission-queue backpressure rejection (never an error in the
+/// protocol sense — the client may retry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// License ids, in portal result order.
+    Licenses {
+        /// Matching license ids.
+        ids: Vec<u64>,
+    },
+    /// The §2.2 funnel outcome.
+    Shortlist {
+        /// Licensees with any license in the search region.
+        geographic_candidates: u64,
+        /// Licensees surviving the MG/FXO filter.
+        service_filtered: u64,
+        /// Licensees surviving the volume filter.
+        shortlisted: u64,
+        /// The shortlisted names, sorted.
+        names: Vec<String>,
+    },
+    /// Network summary (counts, not the full graph — use the CLI's YAML
+    /// dump for geometry).
+    Network {
+        /// Licensee name.
+        licensee: String,
+        /// The exact requested as-of date.
+        as_of: Date,
+        /// Towers in the reconstructed network.
+        towers: u64,
+        /// Microwave links.
+        links: u64,
+        /// Licenses active on the as-of date.
+        active_licenses: u64,
+    },
+    /// Route answer; all fields `None` when not connected.
+    Route {
+        /// One-way latency, ms.
+        latency_ms: Option<f64>,
+        /// Towers traversed.
+        towers: Option<u64>,
+        /// Total path length, m.
+        length_m: Option<f64>,
+    },
+    /// APA answer; `None` when not connected.
+    Apa {
+        /// Alternate-path availability, fraction.
+        apa: Option<f64>,
+    },
+    /// Weather Monte Carlo outcome. Percentiles can be `+∞` (encoded as
+    /// JSON `null`) when the network is down in that tail.
+    Weather {
+        /// Clear-sky latency, ms.
+        clear_ms: f64,
+        /// Median conditional latency, ms.
+        p50_ms: f64,
+        /// 95th-percentile conditional latency, ms.
+        p95_ms: f64,
+        /// 99th-percentile conditional latency, ms.
+        p99_ms: f64,
+        /// Fraction of states with the network connected.
+        availability: f64,
+        /// States sampled.
+        samples: u64,
+    },
+    /// Serve + session counters.
+    Stats {
+        /// The serving layer's counters.
+        serve: crate::stats::ServeSnapshot,
+        /// The analysis session's cache counters.
+        session: hft_core::session::StatsSnapshot,
+    },
+    /// The request could not be served (unknown licensee field values,
+    /// malformed frame, bad date, ...).
+    Error {
+        /// Why.
+        message: String,
+    },
+    /// Admission queue full — backpressure, retry later.
+    Overloaded,
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+}
+
+fn obj(type_name: &str, mut rest: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![("type".to_string(), Json::Str(type_name.to_string()))];
+    pairs.append(&mut rest);
+    Json::Obj(pairs)
+}
+
+fn s(v: &str) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn n(v: f64) -> Json {
+    Json::Num(v)
+}
+
+fn u(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn opt_n(v: Option<f64>) -> Json {
+    v.map(Json::num_or_null).unwrap_or(Json::Null)
+}
+
+impl Request {
+    /// The canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Geographic {
+                lat_deg,
+                lon_deg,
+                radius_km,
+            } => obj(
+                "geographic",
+                vec![
+                    ("lat_deg".into(), n(*lat_deg)),
+                    ("lon_deg".into(), n(*lon_deg)),
+                    ("radius_km".into(), n(*radius_km)),
+                ],
+            ),
+            Request::SiteSearch { service, class } => obj(
+                "site_search",
+                vec![("service".into(), s(service)), ("class".into(), s(class))],
+            ),
+            Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings,
+            } => obj(
+                "shortlist",
+                vec![
+                    ("lat_deg".into(), n(*lat_deg)),
+                    ("lon_deg".into(), n(*lon_deg)),
+                    ("radius_km".into(), n(*radius_km)),
+                    ("min_filings".into(), u(*min_filings as u64)),
+                ],
+            ),
+            Request::Network { licensee, date } => obj(
+                "network",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                ],
+            ),
+            Request::Route {
+                licensee,
+                date,
+                from,
+                to,
+            } => obj(
+                "route",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                    ("from".into(), s(from)),
+                    ("to".into(), s(to)),
+                ],
+            ),
+            Request::Apa {
+                licensee,
+                date,
+                from,
+                to,
+            } => obj(
+                "apa",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                    ("from".into(), s(from)),
+                    ("to".into(), s(to)),
+                ],
+            ),
+            Request::Weather {
+                licensee,
+                date,
+                from,
+                to,
+                samples,
+                seed,
+            } => obj(
+                "weather",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                    ("from".into(), s(from)),
+                    ("to".into(), s(to)),
+                    ("samples".into(), u(*samples as u64)),
+                    ("seed".into(), u(*seed)),
+                ],
+            ),
+            Request::Stats => obj("stats", vec![]),
+            Request::Shutdown => obj("shutdown", vec![]),
+        }
+    }
+
+    /// Encode to canonical wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Decode from wire bytes (UTF-8 JSON).
+    pub fn decode(bytes: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        Request::from_json(&v)
+    }
+
+    /// Decode from a parsed JSON value.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let kind = need_str(v, "type")?;
+        match kind {
+            "geographic" => Ok(Request::Geographic {
+                lat_deg: need_num(v, "lat_deg")?,
+                lon_deg: need_num(v, "lon_deg")?,
+                radius_km: need_num(v, "radius_km")?,
+            }),
+            "site_search" => Ok(Request::SiteSearch {
+                service: need_str(v, "service")?.to_string(),
+                class: need_str(v, "class")?.to_string(),
+            }),
+            "shortlist" => Ok(Request::Shortlist {
+                lat_deg: need_num(v, "lat_deg")?,
+                lon_deg: need_num(v, "lon_deg")?,
+                radius_km: need_num(v, "radius_km")?,
+                min_filings: need_u64(v, "min_filings")? as usize,
+            }),
+            "network" => Ok(Request::Network {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+            }),
+            "route" => Ok(Request::Route {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+                from: need_str(v, "from")?.to_string(),
+                to: need_str(v, "to")?.to_string(),
+            }),
+            "apa" => Ok(Request::Apa {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+                from: need_str(v, "from")?.to_string(),
+                to: need_str(v, "to")?.to_string(),
+            }),
+            "weather" => Ok(Request::Weather {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+                from: need_str(v, "from")?.to_string(),
+                to: need_str(v, "to")?.to_string(),
+                samples: need_u64(v, "samples")? as usize,
+                seed: need_u64(v, "seed")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+
+    /// The single-flight identity of this request, or `None` for
+    /// control requests (`stats`, `shutdown`) that are never coalesced.
+    ///
+    /// Date-bearing requests key on the licensee's **epoch** under the
+    /// session's corpus, not the raw date: two requests for dates inside
+    /// the same lifecycle epoch are provably the same computation (see
+    /// `hft_core::session`), so they coalesce too. `epoch_of` is the
+    /// session's resolver.
+    pub fn flight_key(&self, epoch_of: &dyn Fn(&str, Date) -> usize) -> Option<String> {
+        let b = |x: f64| x.to_bits();
+        match self {
+            Request::Geographic {
+                lat_deg,
+                lon_deg,
+                radius_km,
+            } => Some(format!(
+                "geo|{:016x}|{:016x}|{:016x}",
+                b(*lat_deg),
+                b(*lon_deg),
+                b(*radius_km)
+            )),
+            Request::SiteSearch { service, class } => Some(format!("site|{service}|{class}")),
+            Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings,
+            } => Some(format!(
+                "short|{:016x}|{:016x}|{:016x}|{min_filings}",
+                b(*lat_deg),
+                b(*lon_deg),
+                b(*radius_km)
+            )),
+            Request::Network { licensee, date } => {
+                // The exact as-of date is restamped on the response, so
+                // the key carries the date itself, not just the epoch.
+                Some(format!(
+                    "net|{licensee}|e{}|{}",
+                    epoch_of(licensee, *date),
+                    date.to_iso()
+                ))
+            }
+            Request::Route {
+                licensee,
+                date,
+                from,
+                to,
+            } => Some(format!(
+                "route|{licensee}|e{}|{from}|{to}",
+                epoch_of(licensee, *date)
+            )),
+            Request::Apa {
+                licensee,
+                date,
+                from,
+                to,
+            } => Some(format!(
+                "apa|{licensee}|e{}|{from}|{to}",
+                epoch_of(licensee, *date)
+            )),
+            Request::Weather {
+                licensee,
+                date,
+                from,
+                to,
+                samples,
+                seed,
+            } => Some(format!(
+                "wx|{licensee}|e{}|{from}|{to}|{samples}|{seed}",
+                epoch_of(licensee, *date)
+            )),
+            Request::Stats | Request::Shutdown => None,
+        }
+    }
+}
+
+impl Response {
+    /// The canonical JSON form.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Licenses { ids } => obj(
+                "licenses",
+                vec![(
+                    "ids".into(),
+                    Json::Arr(ids.iter().map(|&id| u(id)).collect()),
+                )],
+            ),
+            Response::Shortlist {
+                geographic_candidates,
+                service_filtered,
+                shortlisted,
+                names,
+            } => obj(
+                "shortlist",
+                vec![
+                    ("geographic_candidates".into(), u(*geographic_candidates)),
+                    ("service_filtered".into(), u(*service_filtered)),
+                    ("shortlisted".into(), u(*shortlisted)),
+                    (
+                        "names".into(),
+                        Json::Arr(names.iter().map(|x| s(x)).collect()),
+                    ),
+                ],
+            ),
+            Response::Network {
+                licensee,
+                as_of,
+                towers,
+                links,
+                active_licenses,
+            } => obj(
+                "network",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("as_of".into(), s(&as_of.to_iso())),
+                    ("towers".into(), u(*towers)),
+                    ("links".into(), u(*links)),
+                    ("active_licenses".into(), u(*active_licenses)),
+                ],
+            ),
+            Response::Route {
+                latency_ms,
+                towers,
+                length_m,
+            } => obj(
+                "route",
+                vec![
+                    ("latency_ms".into(), opt_n(*latency_ms)),
+                    ("towers".into(), towers.map(u).unwrap_or(Json::Null)),
+                    ("length_m".into(), opt_n(*length_m)),
+                ],
+            ),
+            Response::Apa { apa } => obj("apa", vec![("apa".into(), opt_n(*apa))]),
+            Response::Weather {
+                clear_ms,
+                p50_ms,
+                p95_ms,
+                p99_ms,
+                availability,
+                samples,
+            } => obj(
+                "weather",
+                vec![
+                    ("clear_ms".into(), Json::num_or_null(*clear_ms)),
+                    ("p50_ms".into(), Json::num_or_null(*p50_ms)),
+                    ("p95_ms".into(), Json::num_or_null(*p95_ms)),
+                    ("p99_ms".into(), Json::num_or_null(*p99_ms)),
+                    ("availability".into(), n(*availability)),
+                    ("samples".into(), u(*samples)),
+                ],
+            ),
+            Response::Stats { serve, session } => obj(
+                "stats",
+                vec![
+                    ("serve".into(), serve.to_json()),
+                    ("session".into(), session_to_json(session)),
+                ],
+            ),
+            Response::Error { message } => obj("error", vec![("message".into(), s(message))]),
+            Response::Overloaded => obj("overloaded", vec![]),
+            Response::ShuttingDown => obj("shutting_down", vec![]),
+        }
+    }
+
+    /// Encode to canonical wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        self.to_json().encode().into_bytes()
+    }
+
+    /// Decode from wire bytes (UTF-8 JSON).
+    pub fn decode(bytes: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("frame is not UTF-8: {e}"))?;
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        Response::from_json(&v)
+    }
+
+    /// Decode from a parsed JSON value.
+    pub fn from_json(v: &Json) -> Result<Response, String> {
+        let kind = need_str(v, "type")?;
+        match kind {
+            "licenses" => {
+                let arr = v
+                    .get("ids")
+                    .and_then(Json::as_arr)
+                    .ok_or("licenses: missing ids")?;
+                let ids = arr
+                    .iter()
+                    .map(|x| x.as_u64().ok_or("licenses: non-integer id"))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                Ok(Response::Licenses { ids })
+            }
+            "shortlist" => {
+                let arr = v
+                    .get("names")
+                    .and_then(Json::as_arr)
+                    .ok_or("shortlist: missing names")?;
+                let names = arr
+                    .iter()
+                    .map(|x| x.as_str().map(str::to_string).ok_or("shortlist: bad name"))
+                    .collect::<Result<Vec<String>, _>>()?;
+                Ok(Response::Shortlist {
+                    geographic_candidates: need_u64(v, "geographic_candidates")?,
+                    service_filtered: need_u64(v, "service_filtered")?,
+                    shortlisted: need_u64(v, "shortlisted")?,
+                    names,
+                })
+            }
+            "network" => Ok(Response::Network {
+                licensee: need_str(v, "licensee")?.to_string(),
+                as_of: Date::parse_iso(need_str(v, "as_of")?).map_err(|e| e.to_string())?,
+                towers: need_u64(v, "towers")?,
+                links: need_u64(v, "links")?,
+                active_licenses: need_u64(v, "active_licenses")?,
+            }),
+            "route" => Ok(Response::Route {
+                latency_ms: opt_num(v, "latency_ms")?,
+                towers: match v.get("towers") {
+                    Some(Json::Null) | None => None,
+                    Some(x) => Some(x.as_u64().ok_or("route: bad towers")?),
+                },
+                length_m: opt_num(v, "length_m")?,
+            }),
+            "apa" => Ok(Response::Apa {
+                apa: opt_num(v, "apa")?,
+            }),
+            "weather" => Ok(Response::Weather {
+                clear_ms: inf_num(v, "clear_ms")?,
+                p50_ms: inf_num(v, "p50_ms")?,
+                p95_ms: inf_num(v, "p95_ms")?,
+                p99_ms: inf_num(v, "p99_ms")?,
+                availability: need_num(v, "availability")?,
+                samples: need_u64(v, "samples")?,
+            }),
+            "stats" => Ok(Response::Stats {
+                serve: crate::stats::ServeSnapshot::from_json(
+                    v.get("serve").ok_or("stats: missing serve")?,
+                )?,
+                session: session_from_json(v.get("session").ok_or("stats: missing session")?)?,
+            }),
+            "error" => Ok(Response::Error {
+                message: need_str(v, "message")?.to_string(),
+            }),
+            "overloaded" => Ok(Response::Overloaded),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(format!("unknown response type {other:?}")),
+        }
+    }
+}
+
+fn session_to_json(s: &hft_core::session::StatsSnapshot) -> Json {
+    Json::Obj(vec![
+        ("network_hits".into(), u(s.network_hits)),
+        ("reconstructions".into(), u(s.reconstructions)),
+        ("route_hits".into(), u(s.route_hits)),
+        ("route_misses".into(), u(s.route_misses)),
+        ("apa_hits".into(), u(s.apa_hits)),
+        ("apa_misses".into(), u(s.apa_misses)),
+        ("graph_hits".into(), u(s.graph_hits)),
+        ("graph_misses".into(), u(s.graph_misses)),
+    ])
+}
+
+fn session_from_json(v: &Json) -> Result<hft_core::session::StatsSnapshot, String> {
+    Ok(hft_core::session::StatsSnapshot {
+        network_hits: need_u64(v, "network_hits")?,
+        reconstructions: need_u64(v, "reconstructions")?,
+        route_hits: need_u64(v, "route_hits")?,
+        route_misses: need_u64(v, "route_misses")?,
+        apa_hits: need_u64(v, "apa_hits")?,
+        apa_misses: need_u64(v, "apa_misses")?,
+        graph_hits: need_u64(v, "graph_hits")?,
+        graph_misses: need_u64(v, "graph_misses")?,
+    })
+}
+
+fn need_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn need_num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn need_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+}
+
+fn need_date(v: &Json) -> Result<Date, String> {
+    Date::parse_iso(need_str(v, "date")?).map_err(|e| format!("bad date: {e}"))
+}
+
+/// `null` → `None`, number → `Some`.
+fn opt_num(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        Some(Json::Null) | None => Ok(None),
+        Some(x) => x
+            .as_num()
+            .map(Some)
+            .ok_or_else(|| format!("bad numeric field {key:?}")),
+    }
+}
+
+/// `null` → `+∞` (the weather percentiles' "network down" encoding).
+fn inf_num(v: &Json, key: &str) -> Result<f64, String> {
+    Ok(opt_num(v, key)?.unwrap_or(f64::INFINITY))
+}

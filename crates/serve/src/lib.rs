@@ -1,0 +1,36 @@
+//! hft-serve: a concurrent analysis query service over the ULS portal
+//! and the shared [`AnalysisSession`](hft_core::session::AnalysisSession).
+//!
+//! The crate is layered, transport-last:
+//!
+//! 1. [`api`] — the typed [`Request`](api::Request)/[`Response`](api::Response)
+//!    enums with a deterministic JSON codec.
+//! 2. [`service`] — the in-process query engine; TCP is a wrapper around
+//!    [`Service::handle`](service::Service::handle).
+//! 3. [`singleflight`] — concurrent identical cold requests coalesce
+//!    onto one session computation.
+//! 4. [`pool`] — bounded FIFO admission with explicit `Overloaded`
+//!    backpressure; never unbounded buffering.
+//! 5. [`wire`] + [`server`] — length-prefixed frames over TCP, an
+//!    in-order per-connection outbox, and a blocking/pipelining client.
+//!
+//! Observability lives in [`stats`]: every admission, rejection, queue
+//! wait, service time, and single-flight outcome is counted and exposed
+//! through the `stats` request and the shutdown dump.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod json;
+pub mod pool;
+pub mod server;
+pub mod service;
+pub mod singleflight;
+pub mod stats;
+pub mod wire;
+
+pub use api::{Request, Response};
+pub use server::{Client, ServeConfig, Server};
+pub use service::Service;
+pub use stats::{ServeSnapshot, ServeStats};

@@ -1,0 +1,241 @@
+//! The bounded worker pool: a FIFO admission queue with a hard depth
+//! cap, explicit `Overloaded` rejections, and per-request queue-wait /
+//! service-time measurement.
+//!
+//! Backpressure is structural: [`Queue::submit`] never blocks and never
+//! buffers beyond the configured depth — when the queue is full the
+//! request is rejected *immediately* and the caller answers
+//! [`Response::Overloaded`]. Connection handlers therefore cannot pile
+//! unbounded work onto a slow server; clients see the rejection and can
+//! retry.
+
+use crate::api::{Request, Response};
+use crate::service::Service;
+use crate::stats::ServeStats;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A one-shot response slot a submitter can block on.
+#[derive(Debug)]
+pub struct ResponseSlot {
+    state: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    /// An empty slot.
+    pub fn new() -> Arc<ResponseSlot> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// A slot already holding `response` (used for in-order `Overloaded`
+    /// answers on pipelined connections).
+    pub fn filled(response: Response) -> Arc<ResponseSlot> {
+        Arc::new(ResponseSlot {
+            state: Mutex::new(Some(response)),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Publish the response and wake the waiter.
+    pub fn fill(&self, response: Response) {
+        let mut state = self.state.lock().expect("slot state");
+        *state = Some(response);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking check; returns the response once filled.
+    pub fn try_take(&self) -> Option<Response> {
+        self.state.lock().expect("slot state").take()
+    }
+
+    /// Block until the response is available.
+    pub fn wait(&self) -> Response {
+        let mut state = self.state.lock().expect("slot state");
+        loop {
+            if let Some(response) = state.take() {
+                return response;
+            }
+            state = self.cv.wait(state).expect("slot wait");
+        }
+    }
+}
+
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// The bounded FIFO admission queue.
+pub struct Queue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    depth: usize,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at its depth cap.
+    Overloaded,
+    /// The queue has been closed (server shutting down).
+    Closed,
+}
+
+impl Queue {
+    /// A queue admitting at most `depth` waiting requests.
+    pub fn new(depth: usize) -> Queue {
+        Queue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// The configured depth cap.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Admit a request. Returns the slot the response will land in, or
+    /// an immediate rejection — never blocks, never over-buffers.
+    pub fn submit(
+        &self,
+        request: Request,
+        stats: &ServeStats,
+    ) -> Result<Arc<ResponseSlot>, SubmitError> {
+        let mut inner = self.inner.lock().expect("queue");
+        if !inner.open {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.depth {
+            stats.on_overloaded();
+            return Err(SubmitError::Overloaded);
+        }
+        let slot = ResponseSlot::new();
+        inner.jobs.push_back(Job {
+            request,
+            enqueued: Instant::now(),
+            slot: Arc::clone(&slot),
+        });
+        stats.on_accepted(inner.jobs.len());
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(slot)
+    }
+
+    /// Close the queue: pending jobs still drain, new submissions fail.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue").open = false;
+        self.not_empty.notify_all();
+    }
+
+    fn next_job(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if !inner.open {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue wait");
+        }
+    }
+
+    /// A worker loop: drain jobs until the queue closes and empties.
+    /// Run one of these per pool worker (typically on a scoped thread).
+    pub fn worker(&self, service: &Service<'_>) {
+        while let Some(job) = self.next_job() {
+            let stats = service.stats();
+            stats.on_queue_wait(job.enqueued.elapsed().as_nanos() as u64);
+            let started = Instant::now();
+            let response = service.handle(&job.request);
+            stats.on_service(started.elapsed().as_nanos() as u64);
+            stats.on_completed(matches!(response, Response::Error { .. }));
+            job.slot.fill(response);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_uls::UlsDatabase;
+
+    #[test]
+    fn overload_rejection_when_no_worker_drains() {
+        let db = UlsDatabase::new();
+        let service = Service::new(&db);
+        let queue = Queue::new(2);
+        let req = Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        };
+        assert!(queue.submit(req.clone(), service.stats()).is_ok());
+        assert!(queue.submit(req.clone(), service.stats()).is_ok());
+        assert_eq!(
+            queue.submit(req.clone(), service.stats()).unwrap_err(),
+            SubmitError::Overloaded,
+            "third submission must bounce off the depth-2 queue"
+        );
+        let snap = service.stats().snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected_overloaded, 1);
+        assert_eq!(snap.queue_high_water, 2);
+    }
+
+    #[test]
+    fn worker_drains_fifo_and_measures() {
+        let db = UlsDatabase::new();
+        let service = Service::new(&db);
+        let queue = Queue::new(16);
+        let slots: Vec<_> = (0..5)
+            .map(|_| {
+                queue
+                    .submit(
+                        Request::SiteSearch {
+                            service: "MG".into(),
+                            class: "FXO".into(),
+                        },
+                        service.stats(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        queue.close();
+        queue.worker(&service); // drains everything, then returns
+        for slot in slots {
+            assert_eq!(slot.wait(), Response::Licenses { ids: vec![] });
+        }
+        let snap = service.stats().snapshot();
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.errors, 0);
+        assert!(snap.service_ns_total > 0);
+    }
+
+    #[test]
+    fn closed_queue_rejects_submissions() {
+        let db = UlsDatabase::new();
+        let service = Service::new(&db);
+        let queue = Queue::new(4);
+        queue.close();
+        assert_eq!(
+            queue.submit(Request::Stats, service.stats()).unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! The TCP transport: a scoped-thread server wrapping [`Service`]
+//! behind the length-prefixed wire protocol.
+//!
+//! Each connection gets a reader thread (decode frames, admit to the
+//! pool) and a writer thread (publish responses strictly in request
+//! order). Ordering under overload is preserved by pushing an already
+//! filled `Overloaded` slot into the connection's outbox, so a rejected
+//! request still answers in its arrival position. `stats` and
+//! `shutdown` requests bypass the admission queue — they must work
+//! precisely when the queue is full.
+//!
+//! Shutdown is a protocol message, not a signal: any client may send
+//! `shutdown`, which stops the accept loop, closes the queue (pending
+//! jobs still drain), and lets every thread unwind cleanly.
+
+use crate::api::{Request, Response};
+use crate::pool::{Queue, ResponseSlot, SubmitError};
+use crate::service::Service;
+use crate::stats::ServeSnapshot;
+use crate::wire::{self, FrameEvent, FrameReader};
+use std::collections::VecDeque;
+use std::io::{self, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long blocking reads wait before handlers re-check the shutdown
+/// flag. Bounds shutdown latency; never torn frames (see [`FrameReader`]).
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:4710` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads draining the admission queue.
+    pub workers: usize,
+    /// Admission queue depth; submissions beyond this answer `Overloaded`.
+    pub queue_depth: usize,
+    /// Maximum accepted frame body size in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:4710".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Splitting bind from run lets tests
+/// bind port 0 and learn the real address before spawning clients.
+pub struct Server {
+    listener: TcpListener,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Bind the listening socket.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `shutdown` request arrives, then drain and return
+    /// the final serving-layer counters.
+    pub fn run(&self, db: &hft_uls::UlsDatabase) -> io::Result<ServeSnapshot> {
+        let service = Service::new(db);
+        let queue = Queue::new(self.config.queue_depth);
+        let shutdown = AtomicBool::new(false);
+        self.listener.set_nonblocking(true)?;
+
+        let result: io::Result<()> = std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| queue.worker(&service));
+            }
+            loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let service = &service;
+                        let queue = &queue;
+                        let shutdown = &shutdown;
+                        let max_frame = self.config.max_frame;
+                        scope.spawn(move || {
+                            // Per-connection IO errors (resets, broken
+                            // pipes) end that connection, not the server.
+                            let _ = handle_connection(stream, service, queue, shutdown, max_frame);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        queue.close();
+                        return Err(e);
+                    }
+                }
+            }
+            queue.close();
+            Ok(())
+        });
+        result?;
+        Ok(service.stats().snapshot())
+    }
+}
+
+/// The in-order response outbox shared by a connection's reader and
+/// writer threads.
+struct Outbox {
+    inner: Mutex<OutboxInner>,
+    ready: Condvar,
+}
+
+struct OutboxInner {
+    slots: VecDeque<Arc<ResponseSlot>>,
+    closed: bool,
+}
+
+impl Outbox {
+    fn new() -> Outbox {
+        Outbox {
+            inner: Mutex::new(OutboxInner {
+                slots: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, slot: Arc<ResponseSlot>) {
+        self.inner.lock().expect("outbox").slots.push_back(slot);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("outbox").closed = true;
+        self.ready.notify_one();
+    }
+
+    /// Pop the oldest pending slot; `None` once closed and drained.
+    fn next(&self) -> Option<Arc<ResponseSlot>> {
+        let mut inner = self.inner.lock().expect("outbox");
+        loop {
+            if let Some(slot) = inner.slots.pop_front() {
+                return Some(slot);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("outbox wait");
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.lock().expect("outbox").slots.is_empty()
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service<'_>,
+    queue: &Queue,
+    shutdown: &AtomicBool,
+    max_frame: usize,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let write_half = stream.try_clone()?;
+    let mut read_half = stream;
+    let outbox = Outbox::new();
+
+    std::thread::scope(|scope| {
+        let outbox = &outbox;
+        scope.spawn(move || {
+            let _ = writer_loop(write_half, outbox);
+        });
+
+        let mut frames = FrameReader::new();
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let body = match frames.read_from(&mut read_half, max_frame) {
+                Ok(FrameEvent::Frame(body)) => body,
+                Ok(FrameEvent::Idle) => continue,
+                Ok(FrameEvent::Eof) => break,
+                Ok(FrameEvent::Oversized(len)) => {
+                    // The stream is desynchronized past this point:
+                    // answer, then hang up.
+                    service.stats().on_received();
+                    outbox.push(ResponseSlot::filled(Response::Error {
+                        message: format!("oversized frame: {len} bytes (max {max_frame})"),
+                    }));
+                    break;
+                }
+                Err(_) => break,
+            };
+            service.stats().on_received();
+            let request = match Request::decode(&body) {
+                Ok(request) => request,
+                Err(message) => {
+                    outbox.push(ResponseSlot::filled(Response::Error {
+                        message: format!("bad request: {message}"),
+                    }));
+                    continue;
+                }
+            };
+            match request {
+                Request::Shutdown => {
+                    service.stats().on_completed(false);
+                    outbox.push(ResponseSlot::filled(Response::ShuttingDown));
+                    shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                Request::Stats => {
+                    let response = service.handle(&Request::Stats);
+                    service.stats().on_completed(false);
+                    outbox.push(ResponseSlot::filled(response));
+                }
+                request => match queue.submit(request, service.stats()) {
+                    Ok(slot) => outbox.push(slot),
+                    Err(SubmitError::Overloaded) => {
+                        outbox.push(ResponseSlot::filled(Response::Overloaded));
+                    }
+                    Err(SubmitError::Closed) => {
+                        outbox.push(ResponseSlot::filled(Response::ShuttingDown));
+                        break;
+                    }
+                },
+            }
+        }
+        outbox.close();
+    });
+    Ok(())
+}
+
+/// Drain the outbox in order, writing each response as its slot fills.
+/// Flushes whenever the outbox runs dry, so serial (ping-pong) clients
+/// see no added latency while pipelined clients get batched syscalls.
+fn writer_loop(stream: TcpStream, outbox: &Outbox) -> io::Result<()> {
+    let mut w = BufWriter::new(stream);
+    while let Some(slot) = outbox.next() {
+        let response = slot.wait();
+        let body = response.encode();
+        wire::write_frame(&mut w, &body)?;
+        if outbox.is_empty() {
+            w.flush()?;
+        }
+    }
+    w.flush()
+}
+
+/// A blocking wire client, usable serially (`call`) or pipelined
+/// (`send*`/`flush`/`recv`).
+pub struct Client {
+    writer: BufWriter<TcpStream>,
+    reader: TcpStream,
+    frames: FrameReader,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            writer: BufWriter::new(stream),
+            reader,
+            frames: FrameReader::new(),
+            max_frame: wire::DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Queue a request without flushing (pipelining).
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        wire::write_frame(&mut self.writer, &request.encode())
+    }
+
+    /// Flush queued requests to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Block until the next response arrives.
+    pub fn recv(&mut self) -> io::Result<Response> {
+        loop {
+            match self.frames.read_from(&mut self.reader, self.max_frame)? {
+                FrameEvent::Frame(body) => {
+                    return Response::decode(&body)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+                FrameEvent::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                FrameEvent::Oversized(len) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("oversized response frame: {len} bytes"),
+                    ));
+                }
+                FrameEvent::Idle => continue,
+            }
+        }
+    }
+
+    /// One serial round trip: send, flush, await the response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.flush()?;
+        self.recv()
+    }
+}

@@ -1,0 +1,233 @@
+//! The in-process query engine: dispatches typed [`Request`]s onto an
+//! [`AnalysisSession`] behind the single-flight layer.
+//!
+//! This is the same object whether the caller is a TCP connection
+//! handler or a local thread — the wire server is a transport wrapper
+//! around [`Service::handle`], which is what makes "served bytes must
+//! equal direct-session bytes" a testable property.
+
+use crate::api::{Request, Response};
+use crate::singleflight::Group;
+use crate::stats::ServeStats;
+use hft_core::corridor::{DataCenter, CME, EQUINIX_NY4, NASDAQ, NYSE};
+use hft_core::session::AnalysisSession;
+use hft_core::weather;
+use hft_geodesy::LatLon;
+use hft_radio::WeatherSampler;
+use hft_uls::scrape::ScrapeConfig;
+use hft_uls::{RadioService, StationClass, UlsDatabase, UlsPortal};
+
+/// Resolve a data-center code used on the wire.
+pub fn data_center(code: &str) -> Option<&'static DataCenter> {
+    [&CME, &EQUINIX_NY4, &NYSE, &NASDAQ]
+        .into_iter()
+        .find(|dc| dc.code == code)
+}
+
+/// The query engine: one shared [`AnalysisSession`] plus the
+/// single-flight group and the serving-layer counters.
+pub struct Service<'a> {
+    db: &'a UlsDatabase,
+    session: AnalysisSession<'a>,
+    flights: Group<Response>,
+    stats: ServeStats,
+}
+
+impl<'a> Service<'a> {
+    /// A service over a license corpus.
+    pub fn new(db: &'a UlsDatabase) -> Service<'a> {
+        Service {
+            db,
+            session: AnalysisSession::new(db),
+            flights: Group::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The underlying analysis session.
+    pub fn session(&self) -> &AnalysisSession<'a> {
+        &self.session
+    }
+
+    /// The serving-layer counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Answer one request, coalescing concurrent identical work.
+    ///
+    /// Safe to call from many threads at once; this is the entry point
+    /// pool workers use.
+    pub fn handle(&self, req: &Request) -> Response {
+        let epoch_of = |licensee: &str, date| self.session.epoch(licensee, date);
+        match req.flight_key(&epoch_of) {
+            None => self.compute(req),
+            Some(key) => {
+                let (response, leader) = self.flights.run(&key, || self.compute(req));
+                if leader {
+                    self.stats.on_flight_led();
+                } else {
+                    self.stats.on_flight_coalesced();
+                }
+                response
+            }
+        }
+    }
+
+    /// The uncoalesced computation: one direct [`AnalysisSession`] (or
+    /// portal) call per request kind.
+    fn compute(&self, req: &Request) -> Response {
+        match req {
+            Request::Geographic {
+                lat_deg,
+                lon_deg,
+                radius_km,
+            } => match LatLon::new(*lat_deg, *lon_deg) {
+                Err(e) => err(format!("bad coordinates: {e}")),
+                Ok(center) => Response::Licenses {
+                    ids: self
+                        .db
+                        .geographic_search(&center, *radius_km)
+                        .iter()
+                        .map(|l| l.id.0)
+                        .collect(),
+                },
+            },
+            Request::SiteSearch { service, class } => Response::Licenses {
+                ids: self
+                    .db
+                    .site_search(
+                        &RadioService::from_code(service),
+                        &StationClass::from_code(class),
+                    )
+                    .iter()
+                    .map(|l| l.id.0)
+                    .collect(),
+            },
+            Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings,
+            } => match LatLon::new(*lat_deg, *lon_deg) {
+                Err(e) => err(format!("bad coordinates: {e}")),
+                Ok(reference) => {
+                    let config = ScrapeConfig {
+                        radius_km: *radius_km,
+                        min_filings: *min_filings,
+                    };
+                    match self.session.scrape(&reference, &config) {
+                        None => err("session has no portal".to_string()),
+                        Some(outcome) => Response::Shortlist {
+                            geographic_candidates: outcome.report.geographic_candidates as u64,
+                            service_filtered: outcome.report.service_filtered as u64,
+                            shortlisted: outcome.report.shortlisted as u64,
+                            names: outcome.shortlist.clone(),
+                        },
+                    }
+                }
+            },
+            Request::Network { licensee, date } => {
+                let net = self.session.network(licensee, *date);
+                Response::Network {
+                    licensee: licensee.clone(),
+                    as_of: *date,
+                    towers: net.tower_count() as u64,
+                    links: net.link_count() as u64,
+                    active_licenses: self.session.index().active_count(licensee, *date) as u64,
+                }
+            }
+            Request::Route {
+                licensee,
+                date,
+                from,
+                to,
+            } => match pair(from, to) {
+                Err(e) => err(e),
+                Ok((a, b)) => match self.session.route(licensee, *date, a, b) {
+                    None => Response::Route {
+                        latency_ms: None,
+                        towers: None,
+                        length_m: None,
+                    },
+                    Some(route) => Response::Route {
+                        latency_ms: Some(route.latency_ms),
+                        towers: Some(route.towers as u64),
+                        length_m: Some(route.length_m),
+                    },
+                },
+            },
+            Request::Apa {
+                licensee,
+                date,
+                from,
+                to,
+            } => match pair(from, to) {
+                Err(e) => err(e),
+                Ok((a, b)) => Response::Apa {
+                    apa: self.session.apa(licensee, *date, a, b),
+                },
+            },
+            Request::Weather {
+                licensee,
+                date,
+                from,
+                to,
+                samples,
+                seed,
+            } => match pair(from, to) {
+                Err(e) => err(e),
+                Ok((a, b)) => {
+                    if *samples == 0 || *samples > 1_000_000 {
+                        return err(format!("samples must be in 1..=1000000, got {samples}"));
+                    }
+                    let net = self.session.network(licensee, *date);
+                    let rg = self.session.routing_graph(licensee, *date, a, b);
+                    let sampler = WeatherSampler::stormy_season();
+                    match weather::conditional_latency_on(
+                        &rg, &net, a, b, &sampler, *samples, *seed,
+                    ) {
+                        None => err(format!("{licensee}: no route {from}->{to}")),
+                        Some(o) => Response::Weather {
+                            clear_ms: o.clear_ms,
+                            p50_ms: o.p50_ms,
+                            p95_ms: o.p95_ms,
+                            p99_ms: o.p99_ms,
+                            availability: o.availability,
+                            samples: o.samples as u64,
+                        },
+                    }
+                }
+            },
+            Request::Stats => Response::Stats {
+                serve: self.stats.snapshot(),
+                session: self.session.stats(),
+            },
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+}
+
+fn pair(from: &str, to: &str) -> Result<(&'static DataCenter, &'static DataCenter), String> {
+    let a = data_center(from).ok_or_else(|| format!("unknown data center {from:?}"))?;
+    let b = data_center(to).ok_or_else(|| format!("unknown data center {to:?}"))?;
+    Ok((a, b))
+}
+
+fn err(message: String) -> Response {
+    Response::Error { message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_center_codes_resolve() {
+        assert_eq!(data_center("CME").unwrap().code, "CME");
+        assert_eq!(data_center("NY4").unwrap().code, "NY4");
+        assert_eq!(data_center("NYSE").unwrap().code, "NYSE");
+        assert_eq!(data_center("NASDAQ").unwrap().code, "NASDAQ");
+        assert!(data_center("LD4").is_none());
+    }
+}

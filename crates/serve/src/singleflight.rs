@@ -1,0 +1,225 @@
+//! Single-flight deduplication: concurrent identical computations
+//! coalesce onto one leader; followers block until the leader publishes
+//! its result.
+//!
+//! The session's own caches make *repeat* requests cheap, but they do
+//! not stop N concurrent *cold* requests from each running the same
+//! reconstruction — `AnalysisSession` deliberately computes outside its
+//! cache locks. This layer closes that gap at the serving boundary:
+//! requests with equal keys (same request identity, same corpus epoch)
+//! share one computation.
+//!
+//! Panic safety: if a leader panics, its flight is marked abandoned and
+//! every follower retries (one becomes the new leader) instead of
+//! hanging on a result that will never arrive.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+enum FlightState<T> {
+    Pending,
+    Done(T),
+    Abandoned,
+}
+
+struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+/// A group of keyed in-flight computations.
+pub struct Group<T: Clone> {
+    inflight: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T: Clone> Default for Group<T> {
+    fn default() -> Self {
+        Group {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Removes the leader's map entry and wakes followers even if `compute`
+/// panics (followers then observe `Abandoned` and retry).
+struct LeaderGuard<'g, T: Clone> {
+    group: &'g Group<T>,
+    key: &'g str,
+    flight: &'g Arc<Flight<T>>,
+    finished: bool,
+}
+
+impl<T: Clone> Drop for LeaderGuard<'_, T> {
+    fn drop(&mut self) {
+        self.group
+            .inflight
+            .lock()
+            .expect("singleflight map")
+            .remove(self.key);
+        if !self.finished {
+            *self.flight.state.lock().expect("flight state") = FlightState::Abandoned;
+            self.flight.cv.notify_all();
+        }
+    }
+}
+
+impl<T: Clone> Group<T> {
+    /// An empty group.
+    pub fn new() -> Group<T> {
+        Group::default()
+    }
+
+    /// Run `compute` under `key`, coalescing with any identical call
+    /// already in flight. Returns the result and whether this call was
+    /// the leader (ran the computation itself).
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> T) -> (T, bool) {
+        loop {
+            let flight = {
+                let mut map = self.inflight.lock().expect("singleflight map");
+                if let Some(existing) = map.get(key) {
+                    Follow(Arc::clone(existing))
+                } else {
+                    let flight = Arc::new(Flight {
+                        state: Mutex::new(FlightState::Pending),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key.to_string(), Arc::clone(&flight));
+                    Lead(flight)
+                }
+            };
+            match flight {
+                Lead(flight) => {
+                    let mut guard = LeaderGuard {
+                        group: self,
+                        key,
+                        flight: &flight,
+                        finished: false,
+                    };
+                    let value = compute();
+                    {
+                        let mut state = flight.state.lock().expect("flight state");
+                        *state = FlightState::Done(value.clone());
+                    }
+                    guard.finished = true;
+                    drop(guard); // remove map entry *before* waking followers
+                    flight.cv.notify_all();
+                    return (value, true);
+                }
+                Follow(flight) => {
+                    let mut state = flight.state.lock().expect("flight state");
+                    loop {
+                        match &*state {
+                            FlightState::Done(value) => return (value.clone(), false),
+                            FlightState::Abandoned => break, // leader panicked: retry
+                            FlightState::Pending => {
+                                state = flight.cv.wait(state).expect("flight wait");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum Role<T> {
+    Lead(Arc<Flight<T>>),
+    Follow(Arc<Flight<T>>),
+}
+use Role::{Follow, Lead};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_calls_each_lead() {
+        let g: Group<u32> = Group::new();
+        let evals = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, leader) = g.run("k", || {
+                evals.fetch_add(1, Ordering::SeqCst);
+                7
+            });
+            assert_eq!(v, 7);
+            assert!(leader, "nothing in flight between sequential calls");
+        }
+        assert_eq!(evals.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_identical_calls_coalesce() {
+        let g: Group<u64> = Group::new();
+        let evals = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<(u64, bool)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        g.run("slow", || {
+                            evals.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|&(v, _)| v == 42));
+        let leaders = results.iter().filter(|&&(_, lead)| lead).count();
+        assert_eq!(
+            evals.load(Ordering::SeqCst),
+            leaders,
+            "every evaluation has exactly one leader"
+        );
+        assert!(
+            leaders < 8,
+            "with a 50 ms leader and a barrier start, followers must coalesce"
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let g: Group<usize> = Group::new();
+        let evals = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let g = &g;
+                let evals = &evals;
+                scope.spawn(move || {
+                    g.run(&format!("k{i}"), || {
+                        evals.fetch_add(1, Ordering::SeqCst);
+                        i
+                    })
+                });
+            }
+        });
+        assert_eq!(evals.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn leader_panic_releases_followers() {
+        let g = Arc::new(Group::<u8>::new());
+        let started = Arc::new(std::sync::Barrier::new(2));
+        let g2 = Arc::clone(&g);
+        let started2 = Arc::clone(&started);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                g2.run("k", || {
+                    started2.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    panic!("leader dies");
+                })
+            }));
+            assert!(result.is_err());
+        });
+        started.wait(); // follower joins only once the leader is inside compute
+        let (v, leader) = g.run("k", || 9);
+        assert_eq!(v, 9);
+        assert!(leader, "follower must retry as the new leader");
+        panicker.join().unwrap();
+    }
+}

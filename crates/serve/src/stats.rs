@@ -1,0 +1,219 @@
+//! Serving-layer observability: atomic counters aggregated across
+//! connection handlers, pool workers and the single-flight layer, with a
+//! consistent-enough snapshot for the `stats` request and the shutdown
+//! dump.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters of the serving layer. One instance per server,
+/// shared by every connection handler and pool worker.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    received: AtomicU64,
+    accepted: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    flights_led: AtomicU64,
+    flights_coalesced: AtomicU64,
+    queue_wait_ns_total: AtomicU64,
+    queue_wait_ns_max: AtomicU64,
+    service_ns_total: AtomicU64,
+    service_ns_max: AtomicU64,
+    queue_high_water: AtomicU64,
+}
+
+impl ServeStats {
+    /// A request arrived (any kind, before admission).
+    pub fn on_received(&self) {
+        self.received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was admitted to the queue; `depth` is the queue length
+    /// just after the push (tracks the high-water mark).
+    pub fn on_accepted(&self, depth: usize) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// A request was rejected because the admission queue was full.
+    pub fn on_overloaded(&self) {
+        self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request finished; `error` marks protocol-level error answers.
+    pub fn on_completed(&self, error: bool) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A single-flight group resolved: the leader ran the computation.
+    pub fn on_flight_led(&self) {
+        self.flights_led.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request coalesced onto an in-flight leader's computation.
+    pub fn on_flight_coalesced(&self) {
+        self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record how long a request sat in the admission queue.
+    pub fn on_queue_wait(&self, ns: u64) {
+        self.queue_wait_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.queue_wait_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Record a request's service (compute + coalesce-wait) time.
+    pub fn on_service(&self, ns: u64) {
+        self.service_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.service_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeSnapshot {
+            received: load(&self.received),
+            accepted: load(&self.accepted),
+            rejected_overloaded: load(&self.rejected_overloaded),
+            completed: load(&self.completed),
+            errors: load(&self.errors),
+            flights_led: load(&self.flights_led),
+            flights_coalesced: load(&self.flights_coalesced),
+            queue_wait_ns_total: load(&self.queue_wait_ns_total),
+            queue_wait_ns_max: load(&self.queue_wait_ns_max),
+            service_ns_total: load(&self.service_ns_total),
+            service_ns_max: load(&self.service_ns_max),
+            queue_high_water: load(&self.queue_high_water),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSnapshot {
+    /// Requests that reached the server (any kind).
+    pub received: u64,
+    /// Requests admitted to the worker queue.
+    pub accepted: u64,
+    /// Requests rejected with `Overloaded` (queue full).
+    pub rejected_overloaded: u64,
+    /// Requests that produced a response (including errors).
+    pub completed: u64,
+    /// Responses that were protocol errors.
+    pub errors: u64,
+    /// Single-flight computations actually run (leaders).
+    pub flights_led: u64,
+    /// Requests that coalesced onto a leader instead of recomputing.
+    pub flights_coalesced: u64,
+    /// Total nanoseconds requests spent queued.
+    pub queue_wait_ns_total: u64,
+    /// Worst single queue wait, ns.
+    pub queue_wait_ns_max: u64,
+    /// Total nanoseconds spent serving (compute or coalesce-wait).
+    pub service_ns_total: u64,
+    /// Worst single service time, ns.
+    pub service_ns_max: u64,
+    /// Deepest the admission queue ever got.
+    pub queue_high_water: u64,
+}
+
+impl ServeSnapshot {
+    /// Mean queue wait in microseconds (0 when nothing completed).
+    pub fn mean_queue_wait_us(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns_total as f64 / self.accepted as f64 / 1000.0
+        }
+    }
+
+    /// Mean service time in microseconds (0 when nothing completed).
+    pub fn mean_service_us(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.service_ns_total as f64 / self.completed as f64 / 1000.0
+        }
+    }
+
+    /// The JSON object form used by the `stats` response and the
+    /// shutdown dump. Key order is fixed.
+    pub fn to_json(&self) -> Json {
+        let u = |v: u64| Json::Num(v as f64);
+        Json::Obj(vec![
+            ("received".into(), u(self.received)),
+            ("accepted".into(), u(self.accepted)),
+            ("rejected_overloaded".into(), u(self.rejected_overloaded)),
+            ("completed".into(), u(self.completed)),
+            ("errors".into(), u(self.errors)),
+            ("flights_led".into(), u(self.flights_led)),
+            ("flights_coalesced".into(), u(self.flights_coalesced)),
+            ("queue_wait_ns_total".into(), u(self.queue_wait_ns_total)),
+            ("queue_wait_ns_max".into(), u(self.queue_wait_ns_max)),
+            ("service_ns_total".into(), u(self.service_ns_total)),
+            ("service_ns_max".into(), u(self.service_ns_max)),
+            ("queue_high_water".into(), u(self.queue_high_water)),
+        ])
+    }
+
+    /// Inverse of [`ServeSnapshot::to_json`].
+    pub fn from_json(v: &Json) -> Result<ServeSnapshot, String> {
+        let g = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("serve stats: missing field {key:?}"))
+        };
+        Ok(ServeSnapshot {
+            received: g("received")?,
+            accepted: g("accepted")?,
+            rejected_overloaded: g("rejected_overloaded")?,
+            completed: g("completed")?,
+            errors: g("errors")?,
+            flights_led: g("flights_led")?,
+            flights_coalesced: g("flights_coalesced")?,
+            queue_wait_ns_total: g("queue_wait_ns_total")?,
+            queue_wait_ns_max: g("queue_wait_ns_max")?,
+            service_ns_total: g("service_ns_total")?,
+            service_ns_max: g("service_ns_max")?,
+            queue_high_water: g("queue_high_water")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let stats = ServeStats::default();
+        stats.on_received();
+        stats.on_received();
+        stats.on_accepted(1);
+        stats.on_accepted(3);
+        stats.on_overloaded();
+        stats.on_completed(false);
+        stats.on_completed(true);
+        stats.on_flight_led();
+        stats.on_flight_coalesced();
+        stats.on_queue_wait(1_000);
+        stats.on_queue_wait(5_000);
+        stats.on_service(20_000);
+        let snap = stats.snapshot();
+        assert_eq!(snap.received, 2);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.rejected_overloaded, 1);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.queue_high_water, 3);
+        assert_eq!(snap.queue_wait_ns_max, 5_000);
+        assert_eq!(snap.mean_queue_wait_us(), 3.0);
+        assert_eq!(snap.mean_service_us(), 10.0);
+        let back = ServeSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

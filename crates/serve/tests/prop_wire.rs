@@ -1,0 +1,289 @@
+//! Wire-codec properties: every request/response variant must survive a
+//! canonical encode→decode round trip, and the framing layer must reject
+//! malformed and oversized frames with structured errors, never panics.
+
+use hft_serve::api::{Request, Response};
+use hft_serve::wire::{self, FrameEvent, FrameReader};
+use hft_time::Date;
+use proptest::prelude::*;
+
+fn date() -> impl Strategy<Value = Date> {
+    (2015i32..2026, 1u32..13, 1u32..29)
+        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("in-range date"))
+}
+
+/// Arbitrary printable text, including JSON-hostile characters.
+fn text() -> impl Strategy<Value = String> {
+    "[ -~\"\\\\/\u{00e9}\u{4e16}]{0,24}"
+}
+
+fn dc() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("CME".to_string()),
+        Just("NY4".to_string()),
+        Just("NYSE".to_string()),
+        text(),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (-90.0f64..90.0, -180.0f64..180.0, 0.0f64..5000.0).prop_map(
+            |(lat_deg, lon_deg, radius_km)| {
+                Request::Geographic {
+                    lat_deg,
+                    lon_deg,
+                    radius_km,
+                }
+            }
+        ),
+        (text(), text()).prop_map(|(service, class)| Request::SiteSearch { service, class }),
+        (-90.0f64..90.0, -180.0f64..180.0, 0.0f64..5000.0, 0u32..100).prop_map(
+            |(lat_deg, lon_deg, radius_km, min_filings)| Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings: min_filings as usize,
+            }
+        ),
+        (text(), date()).prop_map(|(licensee, date)| Request::Network { licensee, date }),
+        (text(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Route {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+        (text(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Apa {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+        // Seeds share the codec's exact-integer range (< 2^53): JSON
+        // numbers are doubles on the wire.
+        (text(), date(), dc(), dc(), 1u32..10_000, 0u64..(1 << 53)).prop_map(
+            |(licensee, date, from, to, samples, seed)| Request::Weather {
+                licensee,
+                date,
+                from,
+                to,
+                samples: samples as usize,
+                seed,
+            }
+        ),
+        Just(Request::Stats),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+/// Counter values stay below 2^53 so the JSON number representation is
+/// exact (the codec's documented integer range).
+fn counter() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+fn serve_snapshot() -> impl Strategy<Value = hft_serve::ServeSnapshot> {
+    (
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+    )
+        .prop_map(|(a, b)| hft_serve::ServeSnapshot {
+            received: a.0,
+            accepted: a.1,
+            rejected_overloaded: a.2,
+            completed: a.3,
+            errors: a.4,
+            flights_led: a.5,
+            flights_coalesced: b.0,
+            queue_wait_ns_total: b.1,
+            queue_wait_ns_max: b.2,
+            service_ns_total: b.3,
+            service_ns_max: b.4,
+            queue_high_water: b.5,
+        })
+}
+
+fn session_snapshot() -> impl Strategy<Value = hft_core::session::StatsSnapshot> {
+    (
+        (counter(), counter(), counter(), counter()),
+        (counter(), counter(), counter(), counter()),
+    )
+        .prop_map(|(a, b)| hft_core::session::StatsSnapshot {
+            network_hits: a.0,
+            reconstructions: a.1,
+            route_hits: a.2,
+            route_misses: a.3,
+            apa_hits: b.0,
+            apa_misses: b.1,
+            graph_hits: b.2,
+            graph_misses: b.3,
+        })
+}
+
+/// Latency-like values, including the `+∞` (network down) encoding.
+fn latency() -> BoxedStrategy<f64> {
+    prop_oneof![0.0f64..100.0, Just(f64::INFINITY)].boxed()
+}
+
+fn response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        proptest::collection::vec(counter(), 0..20).prop_map(|ids| Response::Licenses { ids }),
+        (
+            counter(),
+            counter(),
+            counter(),
+            proptest::collection::vec(text(), 0..8)
+        )
+            .prop_map(
+                |(geographic_candidates, service_filtered, shortlisted, names)| {
+                    Response::Shortlist {
+                        geographic_candidates,
+                        service_filtered,
+                        shortlisted,
+                        names,
+                    }
+                }
+            ),
+        (text(), date(), counter(), counter(), counter()).prop_map(
+            |(licensee, as_of, towers, links, active_licenses)| Response::Network {
+                licensee,
+                as_of,
+                towers,
+                links,
+                active_licenses,
+            }
+        ),
+        (
+            proptest::option::of(0.0f64..100.0),
+            proptest::option::of(counter()),
+            proptest::option::of(0.0f64..2.0e6)
+        )
+            .prop_map(|(latency_ms, towers, length_m)| Response::Route {
+                latency_ms,
+                towers,
+                length_m,
+            }),
+        proptest::option::of(0.0f64..1.0).prop_map(|apa| Response::Apa { apa }),
+        (
+            (latency(), latency(), latency(), latency()),
+            0.0f64..1.0,
+            counter()
+        )
+            .prop_map(|(p, availability, samples)| Response::Weather {
+                clear_ms: p.0,
+                p50_ms: p.1,
+                p95_ms: p.2,
+                p99_ms: p.3,
+                availability,
+                samples,
+            }),
+        (serve_snapshot(), session_snapshot())
+            .prop_map(|(serve, session)| Response::Stats { serve, session }),
+        text().prop_map(|message| Response::Error { message }),
+        Just(Response::Overloaded),
+        Just(Response::ShuttingDown),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn every_request_round_trips(req in request()) {
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(&back, &req);
+        // Determinism: re-encoding the decoded value is byte-identical.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn every_response_round_trips(resp in response()) {
+        let bytes = resp.encode();
+        let back = Response::decode(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn mutated_request_bytes_never_panic(req in request(), pos in 0usize..10_000, byte in proptest::num::u8::ANY) {
+        let mut bytes = req.encode();
+        let at = pos % bytes.len();
+        bytes[at] = byte;
+        let _ = Request::decode(&bytes); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_decoders(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..200)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}
+
+// ---- Malformed-frame rejection (deterministic cases). ----
+
+#[test]
+fn malformed_frames_are_rejected_with_errors() {
+    // Not UTF-8.
+    let err = Request::decode(&[0xff, 0xfe, 0x00]).unwrap_err();
+    assert!(err.contains("UTF-8"), "got {err:?}");
+    // Not JSON.
+    assert!(Request::decode(b"{\"type\": ").is_err());
+    // Not an object.
+    assert!(Request::decode(b"[1,2,3]").is_err());
+    // Unknown type tag.
+    let err = Request::decode(b"{\"type\":\"warp\"}").unwrap_err();
+    assert!(err.contains("unknown request type"), "got {err:?}");
+    let err = Response::decode(b"{\"type\":\"warp\"}").unwrap_err();
+    assert!(err.contains("unknown response type"), "got {err:?}");
+    // Missing required field.
+    assert!(Request::decode(b"{\"type\":\"site_search\",\"service\":\"MG\"}").is_err());
+    // Wrong field type.
+    assert!(
+        Request::decode(b"{\"type\":\"network\",\"licensee\":7,\"date\":\"2020-04-01\"}").is_err()
+    );
+    // Bad date.
+    assert!(
+        Request::decode(b"{\"type\":\"network\",\"licensee\":\"X\",\"date\":\"2020-13-01\"}")
+            .is_err()
+    );
+}
+
+#[test]
+fn oversized_frames_are_rejected_before_allocation() {
+    let cap = 64;
+    let mut wire_bytes = Vec::new();
+    wire::write_frame(&mut wire_bytes, &vec![b'x'; cap + 1]).unwrap();
+    let mut cursor = std::io::Cursor::new(wire_bytes);
+    let mut reader = FrameReader::new();
+    assert_eq!(
+        reader.read_from(&mut cursor, cap).unwrap(),
+        FrameEvent::Oversized(cap as u32 + 1)
+    );
+    // A frame exactly at the cap is fine.
+    let mut wire_bytes = Vec::new();
+    wire::write_frame(&mut wire_bytes, &vec![b'x'; cap]).unwrap();
+    let mut cursor = std::io::Cursor::new(wire_bytes);
+    let mut reader = FrameReader::new();
+    assert!(matches!(
+        reader.read_from(&mut cursor, cap).unwrap(),
+        FrameEvent::Frame(body) if body.len() == cap
+    ));
+}

@@ -1,0 +1,225 @@
+//! End-to-end service tests over the calibrated Chicago–NJ corpus:
+//! single-flight cold-request coalescing, byte-identical wire answers,
+//! pipelined in-order delivery, and graceful shutdown.
+
+use hft_corridor::{chicago_nj, generate, GeneratedEcosystem};
+use hft_serve::api::{Request, Response};
+use hft_serve::{Client, ServeConfig, Server, Service};
+use hft_time::Date;
+use std::sync::{Barrier, OnceLock};
+
+fn eco() -> &'static GeneratedEcosystem {
+    static ECO: OnceLock<GeneratedEcosystem> = OnceLock::new();
+    ECO.get_or_init(|| generate(&chicago_nj(), 2020))
+}
+
+fn paper_date() -> Date {
+    Date::new(2020, 4, 1).unwrap()
+}
+
+/// Satellite check: N threads issuing the same *cold* request must
+/// observe exactly one underlying session computation. The session's own
+/// cache cannot provide this (it deliberately computes outside its
+/// locks); the single-flight layer must.
+#[test]
+fn concurrent_cold_requests_reconstruct_once() {
+    let eco = eco();
+    let licensee = eco.connected_2020.first().expect("modeled networks");
+    let service = Service::new(&eco.db);
+    assert_eq!(service.session().stats().reconstructions, 0);
+
+    const N: usize = 8;
+    let barrier = Barrier::new(N);
+    let request = Request::Network {
+        licensee: licensee.clone(),
+        date: paper_date(),
+    };
+    let responses: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    service.handle(&request)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let first = &responses[0];
+    assert!(matches!(first, Response::Network { towers, .. } if *towers > 0));
+    assert!(responses.iter().all(|r| r == first), "all answers equal");
+    let session = service.session().stats();
+    assert_eq!(
+        session.reconstructions, 1,
+        "one cold reconstruction total across {N} concurrent requests; got {session:?}"
+    );
+    let serve = service.stats().snapshot();
+    assert_eq!(serve.flights_led + serve.flights_coalesced, N as u64);
+    assert!(serve.flights_led >= 1);
+}
+
+/// The wire server must answer byte-for-byte what a direct in-process
+/// `Service` computes — the transport adds nothing and loses nothing.
+#[test]
+fn served_bytes_equal_direct_session_bytes() {
+    let eco = eco();
+    let licensee = eco.connected_2020.first().unwrap().clone();
+    let date = paper_date();
+    let mix = vec![
+        Request::Geographic {
+            lat_deg: 41.7625,
+            lon_deg: -88.1712,
+            radius_km: 10.0,
+        },
+        Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        },
+        Request::Shortlist {
+            lat_deg: 41.7625,
+            lon_deg: -88.1712,
+            radius_km: 10.0,
+            min_filings: 11,
+        },
+        Request::Network {
+            licensee: licensee.clone(),
+            date,
+        },
+        Request::Route {
+            licensee: licensee.clone(),
+            date,
+            from: "CME".into(),
+            to: "NY4".into(),
+        },
+        Request::Apa {
+            licensee: licensee.clone(),
+            date,
+            from: "CME".into(),
+            to: "NY4".into(),
+        },
+        Request::Weather {
+            licensee: licensee.clone(),
+            date,
+            from: "CME".into(),
+            to: "NY4".into(),
+            samples: 200,
+            seed: 7,
+        },
+        // Error paths must be identical over the wire too.
+        Request::Route {
+            licensee: licensee.clone(),
+            date,
+            from: "CME".into(),
+            to: "LD4".into(),
+        },
+        Request::Network {
+            licensee: "No Such Networks LLC".into(),
+            date,
+        },
+    ];
+
+    let reference = Service::new(&eco.db);
+    let expected: Vec<Vec<u8>> = mix.iter().map(|r| reference.handle(r).encode()).collect();
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 3,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&eco.db).unwrap());
+
+        // Serial round trips.
+        let mut client = Client::connect(&addr).unwrap();
+        for (request, want) in mix.iter().zip(&expected) {
+            let got = client.call(request).unwrap();
+            assert_eq!(&got.encode(), want, "serial answer for {request:?}");
+        }
+
+        // Pipelined: flood all requests, then read responses in order.
+        let mut pipelined = Client::connect(&addr).unwrap();
+        for request in &mix {
+            pipelined.send(request).unwrap();
+        }
+        pipelined.flush().unwrap();
+        for (request, want) in mix.iter().zip(&expected) {
+            let got = pipelined.recv().unwrap();
+            assert_eq!(&got.encode(), want, "pipelined answer for {request:?}");
+        }
+
+        // Stats exposes the work we just did.
+        let stats = client.call(&Request::Stats).unwrap();
+        match stats {
+            Response::Stats { serve, session } => {
+                assert!(serve.completed >= 2 * mix.len() as u64);
+                assert_eq!(serve.rejected_overloaded, 0);
+                assert!(session.reconstructions >= 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+
+        // Graceful shutdown: acknowledged, then the server drains.
+        let ack = client.call(&Request::Shutdown).unwrap();
+        assert_eq!(ack, Response::ShuttingDown);
+        let final_stats = handle.join().unwrap();
+        assert!(final_stats.received >= 2 * mix.len() as u64 + 2);
+        assert_eq!(final_stats.errors, 2, "exactly the two error-path requests");
+    });
+}
+
+/// A malformed frame answers an error without killing the connection.
+#[test]
+fn malformed_frame_answers_error_and_connection_survives() {
+    let eco = eco();
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_depth: 8,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&eco.db).unwrap());
+
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        // Raw garbage frame, then a valid request on the same socket.
+        let garbage = b"{\"type\":\"warp\"}";
+        let mut frame = (garbage.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(garbage);
+        stream.write_all(&frame).unwrap();
+        let body = hft_serve::wire::read_frame(&mut stream, 1 << 20)
+            .unwrap()
+            .expect("an error response");
+        assert!(matches!(
+            Response::decode(&body).unwrap(),
+            Response::Error { .. }
+        ));
+
+        let valid = Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        };
+        hft_serve::wire::write_frame(&mut stream, &valid.encode()).unwrap();
+        let body = hft_serve::wire::read_frame(&mut stream, 1 << 20)
+            .unwrap()
+            .expect("a licenses response");
+        assert!(matches!(
+            Response::decode(&body).unwrap(),
+            Response::Licenses { .. }
+        ));
+        drop(stream);
+
+        let mut client = Client::connect(&addr).unwrap();
+        client.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    });
+}

@@ -61,6 +61,22 @@ pub fn run_pipeline<'a, P: UlsPortal>(
     reference: &LatLon,
     config: &ScrapeConfig,
 ) -> (Vec<(String, Vec<&'a License>)>, FunnelReport) {
+    // Degenerate search radii (zero, negative, NaN) describe an empty
+    // region: short-circuit to an empty funnel instead of leaning on
+    // whatever the portal does with them. NaN fails both comparisons, so
+    // it takes this branch too.
+    if config.radius_km <= 0.0 || config.radius_km.is_nan() {
+        return (
+            Vec::new(),
+            FunnelReport {
+                geographic_candidates: 0,
+                service_filtered: 0,
+                shortlisted: 0,
+                shortlist: Vec::new(),
+            },
+        );
+    }
+
     // Step 1: geographic search → candidate licensees.
     let near = portal.geographic_search(reference, config.radius_km);
     let geographic: BTreeSet<&str> = near.iter().map(|l| l.licensee.as_str()).collect();
@@ -195,6 +211,32 @@ mod tests {
         assert_eq!(report.geographic_candidates, 0);
         assert_eq!(report.service_filtered, 0);
         assert_eq!(report.shortlisted, 0);
+    }
+
+    #[test]
+    fn degenerate_radius_yields_empty_funnel() {
+        // A licensee with a tower *exactly at* the reference point would
+        // slip through a plain `distance <= radius` test even at radius
+        // zero; the pipeline must treat all degenerate radii as an empty
+        // region instead of falling through to the portal search.
+        let mut all = licenses_for(100, "AtCme", 15, RadioService::MG, true);
+        all[0].paths[0].tx = TowerSite::at(cme());
+        let db = UlsDatabase::from_licenses(all);
+        for radius_km in [0.0, -5.0, f64::NAN, f64::NEG_INFINITY] {
+            let cfg = ScrapeConfig {
+                radius_km,
+                ..ScrapeConfig::default()
+            };
+            let (shortlisted, report) = run_pipeline(&db, &cme(), &cfg);
+            assert!(shortlisted.is_empty(), "radius {radius_km}");
+            assert_eq!(report.geographic_candidates, 0, "radius {radius_km}");
+            assert_eq!(report.service_filtered, 0, "radius {radius_km}");
+            assert_eq!(report.shortlisted, 0, "radius {radius_km}");
+            assert!(report.shortlist.is_empty(), "radius {radius_km}");
+        }
+        // Sanity: the same corpus shortlists at the paper's radius.
+        let (_, ok) = run_pipeline(&db, &cme(), &ScrapeConfig::default());
+        assert_eq!(ok.shortlisted, 1);
     }
 
     #[test]

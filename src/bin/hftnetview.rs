@@ -21,8 +21,15 @@
 //!   overhead    per-tower overhead crossover analysis (§3)
 //!   export      dump the license corpus as a ULS-style flat file
 //!   yaml NAME   dump one licensee's 2020-04-01 network as YAML
-//!   all         everything above, written to --out
+//!   serve       run the concurrent query service over TCP
+//!   all         everything above (except serve), written to --out
 //! ```
+//!
+//! `serve` takes `--port` (default 4710; 0 picks a free port),
+//! `--workers` and `--queue-depth`, answers the hft-serve wire protocol
+//! until a `shutdown` request arrives, then dumps the serving counters
+//! as JSON on stdout. Any analysis command accepts `--stats` to print
+//! the session's cache counters as JSON after the run.
 
 use hftnetview::prelude::*;
 use hftnetview::{report, weather};
@@ -35,6 +42,10 @@ struct Args {
     name: Option<String>,
     seed: u64,
     out: PathBuf,
+    port: u16,
+    workers: usize,
+    queue_depth: usize,
+    stats: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -45,6 +56,10 @@ fn parse_args() -> Result<Args, String> {
         name: None,
         seed: 2020,
         out: PathBuf::from("out"),
+        port: 4710,
+        workers: 4,
+        queue_depth: 64,
+        stats: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -55,6 +70,19 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 parsed.out = PathBuf::from(args.next().ok_or("--out needs a value")?);
             }
+            "--port" => {
+                let v = args.next().ok_or("--port needs a value")?;
+                parsed.port = v.parse().map_err(|_| format!("bad port {v:?}"))?;
+            }
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                parsed.workers = v.parse().map_err(|_| format!("bad worker count {v:?}"))?;
+            }
+            "--queue-depth" => {
+                let v = args.next().ok_or("--queue-depth needs a value")?;
+                parsed.queue_depth = v.parse().map_err(|_| format!("bad queue depth {v:?}"))?;
+            }
+            "--stats" => parsed.stats = true,
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -65,7 +93,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|all> [--seed N] [--out DIR]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -81,6 +109,25 @@ fn write(path: &Path, contents: &str) -> std::io::Result<()> {
 fn run(args: &Args) -> Result<(), String> {
     let io_err = |e: std::io::Error| e.to_string();
     let eco = generate(&chicago_nj(), args.seed);
+    if args.command == "serve" {
+        let server = hft_serve::Server::bind(hft_serve::ServeConfig {
+            addr: format!("127.0.0.1:{}", args.port),
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            ..hft_serve::ServeConfig::default()
+        })
+        .map_err(io_err)?;
+        let addr = server.local_addr().map_err(io_err)?;
+        eprintln!(
+            "serving {} licenses on {addr} ({} workers, queue depth {})",
+            eco.db.len(),
+            args.workers,
+            args.queue_depth
+        );
+        let stats = server.run(&eco.db).map_err(io_err)?;
+        println!("{}", stats.to_json().encode());
+        return Ok(());
+    }
     let analysis = report::Analysis::new(&eco);
     let out = &args.out;
     let run_one = |cmd: &str| -> Result<(), String> {
@@ -275,10 +322,13 @@ fn run(args: &Args) -> Result<(), String> {
             println!("==== {cmd} ====");
             run_one(cmd)?;
         }
-        Ok(())
     } else {
-        run_one(&args.command)
+        run_one(&args.command)?;
     }
+    if args.stats {
+        println!("{}", analysis.session_stats_json());
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -43,6 +43,12 @@ impl<'a> Analysis<'a> {
         }
     }
 
+    /// The session's cache counters as machine-readable JSON (the same
+    /// shape the serve layer's `stats` response uses).
+    pub fn session_stats_json(&self) -> String {
+        self.session.stats().to_json()
+    }
+
     /// The cached §2.2 shortlist (licensee names, sorted).
     fn shortlist(&self) -> Vec<String> {
         self.session

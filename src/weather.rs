@@ -1,258 +1,22 @@
 //! The §5 reliability argument as a runnable experiment.
 //!
-//! The paper *argues* that Webline Holdings survives against faster
-//! competitors because its shorter links, lower frequencies and higher
-//! APA make it more reliable: "one network may be able to dominate
-//! another in fair weather, but a more reliable network may be faster at
-//! other times." This module quantifies that claim: sample corridor
-//! weather states, fail the links whose rain attenuation exceeds their
-//! fade margin, and recompute each network's conditional latency.
+//! The implementation lives in [`hft_core::weather`] so that other
+//! consumers (notably the `hft-serve` query service) can run the weather
+//! Monte Carlo without depending on this top-level crate; everything is
+//! re-exported here under the historical `hftnetview::weather` path.
+//! The integration tests stay in this crate because they exercise the
+//! full generated ecosystem (`hft_corridor`), which `hft-core` cannot
+//! depend on.
 
-use hft_core::corridor::DataCenter;
-use hft_core::route::RoutingGraph;
-use hft_core::Network;
-use hft_geodesy::gc_initial_bearing_deg;
-use hft_radio::{LinkOutageModel, WeatherSampler};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
-
-/// Distribution summary of a network's latency across weather states.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct WeatherOutcome {
-    /// Clear-sky latency, ms.
-    pub clear_ms: f64,
-    /// Median conditional latency, ms (disconnected samples count as ∞).
-    pub p50_ms: f64,
-    /// 95th-percentile conditional latency, ms.
-    pub p95_ms: f64,
-    /// 99th-percentile conditional latency, ms.
-    pub p99_ms: f64,
-    /// Fraction of weather states in which the network stays connected.
-    pub availability: f64,
-    /// Number of sampled weather states.
-    pub samples: usize,
-}
-
-/// Run the weather Monte Carlo for `network` between two data centers.
-///
-/// Each sample draws a corridor weather state from `sampler`; every
-/// microwave link whose rain attenuation (at its length and lowest
-/// authorized frequency) exceeds its clear-air fade margin is removed,
-/// and the route re-solved. Deterministic in `seed`.
-pub fn conditional_latency(
-    network: &Network,
-    a: &DataCenter,
-    b: &DataCenter,
-    sampler: &WeatherSampler,
-    samples: usize,
-    seed: u64,
-) -> Option<WeatherOutcome> {
-    conditional_latency_on(
-        &RoutingGraph::build(network, a, b),
-        network,
-        a,
-        b,
-        sampler,
-        samples,
-        seed,
-    )
-}
-
-/// [`conditional_latency`] over a pre-built routing graph, so callers
-/// holding a cached graph (e.g. an analysis session) skip the rebuild.
-/// `rg` must have been built for `network` between `a` and `b`.
-pub fn conditional_latency_on(
-    rg: &RoutingGraph,
-    network: &Network,
-    a: &DataCenter,
-    b: &DataCenter,
-    sampler: &WeatherSampler,
-    samples: usize,
-    seed: u64,
-) -> Option<WeatherOutcome> {
-    let clear = rg.route_filtered(network, |_| true)?;
-
-    // Pre-compute each link's outage model and corridor position
-    // (fraction of the way from `a` to `b`, by projection onto the
-    // corridor axis).
-    let a_pos = a.position();
-    let b_pos = b.position();
-    let corridor_len = a_pos.geodesic_distance_m(&b_pos);
-    let corridor_bearing = gc_initial_bearing_deg(&a_pos, &b_pos).to_radians();
-    let links: Vec<(hft_netgraph::EdgeId, LinkOutageModel, f64)> = network
-        .graph
-        .edges()
-        .map(|(e, u, v, link)| {
-            let mid_u = network.graph.node(u).position;
-            let mid_v = network.graph.node(v).position;
-            // Project the link midpoint onto the corridor axis.
-            let d = a_pos
-                .geodesic_distance_m(&mid_u)
-                .min(a_pos.geodesic_distance_m(&mid_v));
-            let x = (d / corridor_len).clamp(0.0, 1.0);
-            let freq = link
-                .frequencies_ghz
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
-            let freq = if freq.is_finite() { freq } else { 11.0 };
-            (e, LinkOutageModel::typical(link.length_m / 1000.0, freq), x)
-        })
-        .collect();
-    let _ = corridor_bearing;
-
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut latencies: Vec<f64> = Vec::with_capacity(samples);
-    let mut connected = 0usize;
-    for _ in 0..samples {
-        let state = sampler.sample(&mut rng);
-        let latency = match state {
-            None => Some(clear.latency_ms),
-            Some(event) => {
-                let mut down = std::collections::HashSet::new();
-                for (e, model, x) in &links {
-                    let rain = event.rain_at(*x);
-                    if rain > 0.0 && !model.up_under_rain(rain) {
-                        down.insert(*e);
-                    }
-                }
-                if down.is_empty() {
-                    Some(clear.latency_ms)
-                } else {
-                    rg.route_filtered(network, |e| !down.contains(&e))
-                        .map(|r| r.latency_ms)
-                }
-            }
-        };
-        match latency {
-            Some(ms) => {
-                connected += 1;
-                latencies.push(ms);
-            }
-            None => latencies.push(f64::INFINITY),
-        }
-    }
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("INF sorts fine"));
-    let q = |p: f64| latencies[((p * samples as f64) as usize).min(samples - 1)];
-    Some(WeatherOutcome {
-        clear_ms: clear.latency_ms,
-        p50_ms: q(0.50),
-        p95_ms: q(0.95),
-        p99_ms: q(0.99),
-        availability: connected as f64 / samples as f64,
-        samples,
-    })
-}
-
-/// The §5 closing thought, quantified: "The most competitive trading
-/// firms may even use a combination of both services to maintain their
-/// advantage in varied conditions." Evaluates a *portfolio* of networks
-/// against one shared sequence of weather states, taking the best
-/// available latency in each state.
-pub fn portfolio_latency(
-    networks: &[&Network],
-    a: &DataCenter,
-    b: &DataCenter,
-    sampler: &WeatherSampler,
-    samples: usize,
-    seed: u64,
-) -> Option<WeatherOutcome> {
-    if networks.is_empty() {
-        return None;
-    }
-    struct Member {
-        rg: RoutingGraph,
-        clear_ms: f64,
-        links: Vec<(hft_netgraph::EdgeId, LinkOutageModel, f64)>,
-    }
-    let a_pos = a.position();
-    let b_pos = b.position();
-    let corridor_len = a_pos.geodesic_distance_m(&b_pos);
-    let mut members = Vec::new();
-    for net in networks {
-        let rg = RoutingGraph::build(net, a, b);
-        let clear = rg.route_filtered(net, |_| true)?;
-        let links = net
-            .graph
-            .edges()
-            .map(|(e, u, v, link)| {
-                let d = a_pos
-                    .geodesic_distance_m(&net.graph.node(u).position)
-                    .min(a_pos.geodesic_distance_m(&net.graph.node(v).position));
-                let x = (d / corridor_len).clamp(0.0, 1.0);
-                let freq = link
-                    .frequencies_ghz
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
-                let freq = if freq.is_finite() { freq } else { 11.0 };
-                (e, LinkOutageModel::typical(link.length_m / 1000.0, freq), x)
-            })
-            .collect();
-        members.push(Member {
-            rg,
-            clear_ms: clear.latency_ms,
-            links,
-        });
-    }
-
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut latencies = Vec::with_capacity(samples);
-    let mut connected = 0usize;
-    for _ in 0..samples {
-        let state = sampler.sample(&mut rng);
-        let mut best = f64::INFINITY;
-        for (net, m) in networks.iter().zip(&members) {
-            let ms = match &state {
-                None => Some(m.clear_ms),
-                Some(event) => {
-                    let down: std::collections::HashSet<_> = m
-                        .links
-                        .iter()
-                        .filter(|(_, model, x)| {
-                            let rain = event.rain_at(*x);
-                            rain > 0.0 && !model.up_under_rain(rain)
-                        })
-                        .map(|(e, _, _)| *e)
-                        .collect();
-                    if down.is_empty() {
-                        Some(m.clear_ms)
-                    } else {
-                        m.rg.route_filtered(net, |e| !down.contains(&e))
-                            .map(|r| r.latency_ms)
-                    }
-                }
-            };
-            if let Some(ms) = ms {
-                best = best.min(ms);
-            }
-        }
-        if best.is_finite() {
-            connected += 1;
-        }
-        latencies.push(best);
-    }
-    latencies.sort_by(|x, y| x.partial_cmp(y).expect("INF sorts fine"));
-    let q = |p: f64| latencies[((p * samples as f64) as usize).min(samples - 1)];
-    Some(WeatherOutcome {
-        clear_ms: members
-            .iter()
-            .map(|m| m.clear_ms)
-            .fold(f64::INFINITY, f64::min),
-        p50_ms: q(0.50),
-        p95_ms: q(0.95),
-        p99_ms: q(0.99),
-        availability: connected as f64 / samples as f64,
-        samples,
-    })
-}
+pub use hft_core::weather::*;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hft_core::corridor::{CME, EQUINIX_NY4};
-    use hft_core::reconstruct;
+    use hft_core::{reconstruct, Network};
     use hft_corridor::{chicago_nj, generate};
+    use hft_radio::WeatherSampler;
     use hft_time::Date;
     use hft_uls::UlsPortal;
 
