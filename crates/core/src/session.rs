@@ -48,25 +48,37 @@ use std::sync::{Arc, Mutex};
 
 /// Licenses grouped by licensee, with each licensee's sorted lifecycle
 /// event dates — the epoch table.
+///
+/// The index owns its keys and stores licenses as *positions into the
+/// session's corpus* rather than borrowed references, so it has no
+/// lifetime: a session over an `Arc<UlsDatabase>` (see
+/// [`AnalysisSession::shared`]) carries its corpus and this index
+/// together without self-reference.
 #[derive(Debug, Default)]
-pub struct LicenseIndex<'a> {
-    by_licensee: BTreeMap<&'a str, LicenseeEntry<'a>>,
+pub struct LicenseIndex {
+    by_licensee: BTreeMap<String, LicenseeEntry>,
 }
 
 #[derive(Debug, Default)]
-struct LicenseeEntry<'a> {
-    licenses: Vec<&'a License>,
+struct LicenseeEntry {
+    /// Positions into the session corpus, in corpus order.
+    members: Vec<u32>,
     /// Sorted, deduplicated grant/cancellation/termination dates.
     events: Vec<Date>,
 }
 
-impl<'a> LicenseIndex<'a> {
-    /// Group `licenses` by licensee and derive each epoch table.
-    pub fn new(licenses: impl IntoIterator<Item = &'a License>) -> LicenseIndex<'a> {
-        let mut by_licensee: BTreeMap<&'a str, LicenseeEntry<'a>> = BTreeMap::new();
-        for lic in licenses {
-            let entry = by_licensee.entry(lic.licensee.as_str()).or_default();
-            entry.licenses.push(lic);
+impl LicenseIndex {
+    /// Group `licenses` by licensee and derive each epoch table. The
+    /// iteration order defines the corpus positions recorded in
+    /// [`LicenseIndex::members_of`].
+    pub fn new<'a>(licenses: impl IntoIterator<Item = &'a License>) -> LicenseIndex {
+        let mut by_licensee: BTreeMap<String, LicenseeEntry> = BTreeMap::new();
+        for (pos, lic) in licenses.into_iter().enumerate() {
+            let entry = match by_licensee.get_mut(lic.licensee.as_str()) {
+                Some(e) => e,
+                None => by_licensee.entry(lic.licensee.clone()).or_default(),
+            };
+            entry.members.push(pos as u32);
             entry.events.push(lic.grant_date);
             entry.events.extend(lic.cancellation_date);
             entry.events.extend(lic.termination_date);
@@ -79,15 +91,16 @@ impl<'a> LicenseIndex<'a> {
     }
 
     /// All licensee names, sorted.
-    pub fn licensees(&self) -> impl Iterator<Item = &'a str> + '_ {
-        self.by_licensee.keys().copied()
+    pub fn licensees(&self) -> impl Iterator<Item = &str> + '_ {
+        self.by_licensee.keys().map(String::as_str)
     }
 
-    /// The licenses filed by `licensee` (empty for unknown names).
-    pub fn licenses_of(&self, licensee: &str) -> &[&'a License] {
+    /// Corpus positions of the licenses filed by `licensee` (empty for
+    /// unknown names), in corpus order.
+    pub fn members_of(&self, licensee: &str) -> &[u32] {
         self.by_licensee
             .get(licensee)
-            .map(|e| e.licenses.as_slice())
+            .map(|e| e.members.as_slice())
             .unwrap_or(&[])
     }
 
@@ -120,13 +133,38 @@ impl<'a> LicenseIndex<'a> {
             self.events_of(licensee)[epoch - 1]
         }
     }
+}
 
-    /// Licenses of `licensee` active on `date`.
-    pub fn active_count(&self, licensee: &str, date: Date) -> usize {
-        self.licenses_of(licensee)
-            .iter()
-            .filter(|l| l.active_on(date))
-            .count()
+/// The corpus a session analyzes: a borrowed database, a shared
+/// (`Arc`-owned) database, or a bare license slice. Positions recorded in
+/// the [`LicenseIndex`] resolve through this.
+enum Corpus<'a> {
+    /// Borrowed portal-backed corpus ([`AnalysisSession::new`]).
+    Borrowed(&'a UlsDatabase),
+    /// Shared portal-backed corpus ([`AnalysisSession::shared`]); keeps
+    /// its generation alive for as long as the session does, which is
+    /// what lets in-flight queries finish on the snapshot they started
+    /// on while the ingest applier publishes newer ones.
+    Shared(Arc<UlsDatabase>),
+    /// Bare license list, no portal ([`AnalysisSession::over`]).
+    Slice(Vec<&'a License>),
+}
+
+impl Corpus<'_> {
+    fn db(&self) -> Option<&UlsDatabase> {
+        match self {
+            Corpus::Borrowed(db) => Some(db),
+            Corpus::Shared(db) => Some(db),
+            Corpus::Slice(_) => None,
+        }
+    }
+
+    fn license(&self, pos: u32) -> &License {
+        match self {
+            Corpus::Borrowed(db) => &db.licenses()[pos as usize],
+            Corpus::Shared(db) => &db.licenses()[pos as usize],
+            Corpus::Slice(v) => v[pos as usize],
+        }
     }
 }
 
@@ -265,8 +303,8 @@ type ScrapeKey = (u64, u64, u64, usize);
 /// scrape shortlist — from epoch-keyed caches. Shareable across scoped
 /// threads; see [`AnalysisSession::par_map`].
 pub struct AnalysisSession<'a> {
-    index: LicenseIndex<'a>,
-    db: Option<&'a UlsDatabase>,
+    index: LicenseIndex,
+    corpus: Corpus<'a>,
     options: ReconstructOptions,
     networks: Mutex<HashMap<NetKey, Arc<Network>>>,
     graphs: Mutex<HashMap<PairKey, Arc<RoutingGraph>>>,
@@ -277,12 +315,15 @@ pub struct AnalysisSession<'a> {
 }
 
 impl<'a> AnalysisSession<'a> {
-    /// Session over a full ULS database (portal-backed operations like
-    /// [`AnalysisSession::scrape`] are available).
-    pub fn new(db: &'a UlsDatabase) -> AnalysisSession<'a> {
+    fn from_corpus(corpus: Corpus<'a>) -> AnalysisSession<'a> {
+        let index = match &corpus {
+            Corpus::Borrowed(db) => LicenseIndex::new(db.licenses()),
+            Corpus::Shared(db) => LicenseIndex::new(db.licenses()),
+            Corpus::Slice(v) => LicenseIndex::new(v.iter().copied()),
+        };
         AnalysisSession {
-            index: LicenseIndex::new(db.licenses()),
-            db: Some(db),
+            index,
+            corpus,
             options: ReconstructOptions::default(),
             networks: Mutex::new(HashMap::new()),
             graphs: Mutex::new(HashMap::new()),
@@ -293,20 +334,25 @@ impl<'a> AnalysisSession<'a> {
         }
     }
 
+    /// Session over a full ULS database (portal-backed operations like
+    /// [`AnalysisSession::scrape`] are available).
+    pub fn new(db: &'a UlsDatabase) -> AnalysisSession<'a> {
+        AnalysisSession::from_corpus(Corpus::Borrowed(db))
+    }
+
+    /// Session over a shared, `Arc`-owned database — the form the live
+    /// query service uses: each published corpus generation gets a
+    /// `'static` session that co-owns its snapshot, so queries started on
+    /// an older generation keep a consistent corpus (and caches) until
+    /// the last of them finishes.
+    pub fn shared(db: Arc<UlsDatabase>) -> AnalysisSession<'static> {
+        AnalysisSession::from_corpus(Corpus::Shared(db))
+    }
+
     /// Session over a bare license slice (no portal; `scrape` returns
     /// `None`). Useful for tests and for [`crate::evolution::trajectory`].
     pub fn over(licenses: impl IntoIterator<Item = &'a License>) -> AnalysisSession<'a> {
-        AnalysisSession {
-            index: LicenseIndex::new(licenses),
-            db: None,
-            options: ReconstructOptions::default(),
-            networks: Mutex::new(HashMap::new()),
-            graphs: Mutex::new(HashMap::new()),
-            routes: Mutex::new(HashMap::new()),
-            apas: Mutex::new(HashMap::new()),
-            scrapes: Mutex::new(HashMap::new()),
-            stats: SessionStats::default(),
-        }
+        AnalysisSession::from_corpus(Corpus::Slice(licenses.into_iter().collect()))
     }
 
     /// Replace the reconstruction options (builder style).
@@ -321,12 +367,12 @@ impl<'a> AnalysisSession<'a> {
     }
 
     /// The underlying database, when the session was built from one.
-    pub fn db(&self) -> Option<&'a UlsDatabase> {
-        self.db
+    pub fn db(&self) -> Option<&UlsDatabase> {
+        self.corpus.db()
     }
 
     /// The license/epoch index.
-    pub fn index(&self) -> &LicenseIndex<'a> {
+    pub fn index(&self) -> &LicenseIndex {
         &self.index
     }
 
@@ -338,6 +384,24 @@ impl<'a> AnalysisSession<'a> {
     /// The epoch of `date` for `licensee` under this session's corpus.
     pub fn epoch(&self, licensee: &str, date: Date) -> usize {
         self.index.epoch_of(licensee, date)
+    }
+
+    /// The licenses filed by `licensee`, resolved through the corpus.
+    fn licenses_of(&self, licensee: &str) -> Vec<&License> {
+        self.index
+            .members_of(licensee)
+            .iter()
+            .map(|&p| self.corpus.license(p))
+            .collect()
+    }
+
+    /// Licenses of `licensee` active on `date`.
+    pub fn active_count(&self, licensee: &str, date: Date) -> usize {
+        self.index
+            .members_of(licensee)
+            .iter()
+            .filter(|&&p| self.corpus.license(p).active_on(date))
+            .count()
     }
 
     fn net_key(&self, licensee: &str, epoch: usize) -> NetKey {
@@ -372,7 +436,7 @@ impl<'a> AnalysisSession<'a> {
         SessionStats::bump(&self.stats.reconstructions);
         let as_of = self.index.epoch_start(licensee, epoch);
         let net = Arc::new(reconstruct(
-            self.index.licenses_of(licensee),
+            &self.licenses_of(licensee),
             licensee,
             as_of,
             &self.options,
@@ -482,7 +546,7 @@ impl<'a> AnalysisSession<'a> {
     /// database. `None` when the session has no portal
     /// ([`AnalysisSession::over`]).
     pub fn scrape(&self, reference: &LatLon, config: &ScrapeConfig) -> Option<Arc<ScrapeOutcome>> {
-        let db = self.db?;
+        let db = self.corpus.db()?;
         let key: ScrapeKey = (
             reference.lat_deg().to_bits(),
             reference.lon_deg().to_bits(),
@@ -515,8 +579,8 @@ impl<'a> AnalysisSession<'a> {
         &self,
         centers: &[LatLon],
         radius_km: f64,
-    ) -> Option<Vec<Vec<&'a License>>> {
-        let db = self.db?;
+    ) -> Option<Vec<Vec<&License>>> {
+        let db = self.corpus.db()?;
         Some(self.par_map(centers.to_vec(), move |c| {
             db.geographic_search(&c, radius_km)
         }))
@@ -540,7 +604,7 @@ impl<'a> AnalysisSession<'a> {
                 EvolutionPoint {
                     date,
                     latency_ms,
-                    active_licenses: self.index.active_count(licensee, date),
+                    active_licenses: self.active_count(licensee, date),
                     towers,
                 }
             })
@@ -833,6 +897,31 @@ mod tests {
         let bare = chain_licenses("X", d(2015, 1, 1), None, 5, 900);
         let s2 = AnalysisSession::over(&bare);
         assert!(s2.par_geographic_search(&[a], 10.0).is_none());
+    }
+
+    #[test]
+    fn shared_session_outlives_its_local_handle() {
+        // A shared session co-owns its corpus: the Arc handle the caller
+        // held can be dropped (as the ingest applier does when it
+        // publishes a newer generation) and the session stays valid.
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 25, 1);
+        let borrowed_db = UlsDatabase::from_licenses(lics);
+        let borrowed = AnalysisSession::new(&borrowed_db);
+        let session: AnalysisSession<'static> = {
+            let arc = Arc::new(borrowed_db.clone());
+            AnalysisSession::shared(Arc::clone(&arc))
+            // `arc` dropped here; the session keeps the corpus alive.
+        };
+        let want = borrowed.network("Net", d(2020, 4, 1));
+        let got = session.network("Net", d(2020, 4, 1));
+        assert_eq!(got.tower_count(), want.tower_count());
+        assert_eq!(got.as_of, want.as_of);
+        // Portal-backed operations work through the shared corpus too.
+        assert!(session.db().is_some());
+        let probes = vec![CME.position()];
+        let hits = session.par_geographic_search(&probes, 25.0).unwrap();
+        assert!(!hits[0].is_empty());
+        assert_eq!(session.active_count("Net", d(2020, 4, 1)), 24);
     }
 
     #[test]

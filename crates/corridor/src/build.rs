@@ -1031,13 +1031,16 @@ fn build_split_entity(ids: &mut IdAllocator, seed: u64) -> Vec<License> {
 /// identical inputs produce an identical corpus.
 pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
     let mut ids = IdAllocator::new(10_001);
-    let mut all: Vec<License> = Vec::new();
+    // Each generator group bulk-loads through `UlsDatabase::extend`,
+    // which defers sorted-name-cache maintenance to the end of the
+    // group instead of re-sorting per license.
+    let mut db = UlsDatabase::new();
     let mut modeled = Vec::new();
     let mut connected = Vec::new();
 
     for (i, net) in spec.networks.iter().enumerate() {
         let child_seed = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
-        all.extend(build_network(net, &mut ids, child_seed));
+        db.extend(build_network(net, &mut ids, child_seed));
         modeled.push(net.name.clone());
         if net.final_latency.is_some() {
             connected.push(net.name.clone());
@@ -1045,7 +1048,7 @@ pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
     }
 
     for k in 0..spec.split_entity_pairs {
-        all.extend(build_split_entity(
+        db.extend(build_split_entity(
             &mut ids,
             seed ^ (0x5157_1111u64 + k as u64),
         ));
@@ -1054,20 +1057,20 @@ pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
     let cme = CME.position();
     let ny4 = EQUINIX_NY4.position();
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xABCD_EF01_2345_6789);
-    all.extend(noise::partial_licensees(
+    db.extend(noise::partial_licensees(
         spec.partial_licensees,
         &cme,
         &ny4,
         &mut ids,
         &mut rng,
     ));
-    all.extend(noise::small_licensees(
+    db.extend(noise::small_licensees(
         spec.small_licensees,
         &cme,
         &mut ids,
         &mut rng,
     ));
-    all.extend(noise::other_service_licensees(
+    db.extend(noise::other_service_licensees(
         spec.other_service_licensees,
         &cme,
         &mut ids,
@@ -1075,7 +1078,7 @@ pub fn generate(spec: &ScenarioSpec, seed: u64) -> GeneratedEcosystem {
     ));
 
     GeneratedEcosystem {
-        db: UlsDatabase::from_licenses(all),
+        db,
         modeled,
         connected_2020: connected,
     }

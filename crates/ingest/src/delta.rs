@@ -1,0 +1,483 @@
+//! The transaction-dump delta codec.
+//!
+//! A daily dump is a dated batch of call-sign-keyed transactions over
+//! the [`hft_uls::flatfile`] record dialect:
+//!
+//! ```text
+//! # anything after '#' is a comment; blank lines are ignored
+//! DD|06/17/2015              batch header: the dump date
+//! TX|N|WQ00007               new license, followed by its records
+//! HD|7|WQ00007|MG|FXO|06/17/2015||
+//! EN|7|Webline Holdings
+//! LO|7|1|41-45-36.0 N|88-10-12.0 W|230.0|110.0
+//! ...
+//! TX|U|WQ00003               update: full replacement record group
+//! HD|3|WQ00003|MG|FXO|01/05/2014||
+//! ...
+//! TX|C|WQ00009|06/17/2015    cancel: call sign + cancellation date
+//! ```
+//!
+//! `TX|N` (new) and `TX|U` (update) carry exactly one license's records,
+//! decoded by the flat-file codec; `TX|C` (cancel) is a single line. The
+//! batch date orders dumps; the per-transaction semantics are applied by
+//! [`crate::apply::Applier`].
+//!
+//! # Quarantine, not abort
+//!
+//! Real dump feeds contain garbage. A malformed *transaction* — bad `TX`
+//! framing, records that fail the flat-file decoder, a body whose call
+//! sign contradicts its frame — is quarantined: counted, reported with
+//! its line number, and skipped. Only a missing or unparseable `DD`
+//! header fails the whole batch ([`BatchError`]), because without a date
+//! nothing can be applied.
+
+use hft_time::Date;
+use hft_uls::flatfile;
+use hft_uls::{CallSign, License};
+
+/// One transaction of a daily dump.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DumpEvent {
+    /// A license newly granted: no license with this call sign may exist.
+    New(License),
+    /// A full replacement of the latest filing under this call sign.
+    Update(License),
+    /// Cancellation of the latest filing under `call_sign`, effective
+    /// `date`.
+    Cancel {
+        /// Call sign keying the transaction.
+        call_sign: CallSign,
+        /// The cancellation date to record.
+        date: Date,
+    },
+}
+
+impl DumpEvent {
+    /// The call sign the transaction is keyed on.
+    pub fn call_sign(&self) -> &str {
+        match self {
+            DumpEvent::New(l) | DumpEvent::Update(l) => &l.call_sign.0,
+            DumpEvent::Cancel { call_sign, .. } => &call_sign.0,
+        }
+    }
+}
+
+/// A decoded daily dump: the dump date and its transactions in file
+/// order (quarantined transactions removed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DumpBatch {
+    /// The dump date from the `DD` header.
+    pub date: Date,
+    /// Surviving transactions, in file order.
+    pub events: Vec<DumpEvent>,
+}
+
+/// One quarantined (skipped) region of a dump file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// 1-based line number where the problem was detected.
+    pub line: usize,
+    /// Number of input lines discarded with it (the whole transaction).
+    pub lines: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl std::fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}: {} ({} line{} quarantined)",
+            self.line,
+            self.message,
+            self.lines,
+            if self.lines == 1 { "" } else { "s" }
+        )
+    }
+}
+
+/// The quarantine report of one [`decode_batch`] call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecodeReport {
+    /// Every quarantined region, in file order.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl DecodeReport {
+    /// Whether the batch decoded without quarantining anything.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Number of quarantined transactions/records.
+    pub fn count(&self) -> usize {
+        self.quarantined.len()
+    }
+}
+
+/// Failure of the batch as a whole: a missing or malformed `DD` header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// 1-based line number (0 when the file has no significant lines).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dump batch line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Escape a field for the pipe-delimited dialect (same rule as the
+/// flat-file codec: pipes cannot appear inside fields).
+fn escape(field: &str) -> String {
+    field.replace('|', "/")
+}
+
+/// Render a batch in the transaction-dump dialect. [`decode_batch`] of
+/// the result round-trips (coordinates at DMS text resolution).
+pub fn encode_batch(batch: &DumpBatch) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("DD|{}\n", batch.date.to_fcc()));
+    for event in &batch.events {
+        match event {
+            DumpEvent::New(lic) => {
+                out.push_str(&format!("TX|N|{}\n", escape(&lic.call_sign.0)));
+                out.push_str(&flatfile::encode(std::slice::from_ref(lic)));
+            }
+            DumpEvent::Update(lic) => {
+                out.push_str(&format!("TX|U|{}\n", escape(&lic.call_sign.0)));
+                out.push_str(&flatfile::encode(std::slice::from_ref(lic)));
+            }
+            DumpEvent::Cancel { call_sign, date } => {
+                out.push_str(&format!(
+                    "TX|C|{}|{}\n",
+                    escape(&call_sign.0),
+                    date.to_fcc()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// A transaction group being collected: its `TX` line and body lines.
+struct TxGroup<'t> {
+    /// 1-based line number of the `TX` line.
+    tx_line: usize,
+    /// The `TX` line's `|`-split fields (starts with `"TX"`).
+    fields: Vec<&'t str>,
+    /// Body lines with their 1-based line numbers.
+    body: Vec<(usize, &'t str)>,
+}
+
+/// Decode one daily dump.
+///
+/// Returns the surviving transactions plus a [`DecodeReport`] listing
+/// everything quarantined. Errors only when the `DD` header is missing
+/// or unparseable.
+pub fn decode_batch(text: &str) -> Result<(DumpBatch, DecodeReport), BatchError> {
+    let mut date: Option<Date> = None;
+    let mut events = Vec::new();
+    let mut report = DecodeReport::default();
+    let mut group: Option<TxGroup<'_>> = None;
+
+    let close = |g: TxGroup<'_>, events: &mut Vec<DumpEvent>, report: &mut DecodeReport| {
+        match decode_transaction(&g) {
+            Ok(event) => events.push(event),
+            Err(q) => report.quarantined.push(q),
+        }
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if date.is_none() {
+            // The first significant line must be the DD header.
+            let mut fields = line.split('|');
+            match (fields.next(), fields.next(), fields.next()) {
+                (Some("DD"), Some(d), None) => match Date::parse_fcc(d) {
+                    Ok(d) => {
+                        date = Some(d);
+                        continue;
+                    }
+                    Err(e) => {
+                        return Err(BatchError {
+                            line: lineno,
+                            message: format!("bad DD date: {e}"),
+                        })
+                    }
+                },
+                _ => {
+                    return Err(BatchError {
+                        line: lineno,
+                        message: format!("expected DD header, found {line:?}"),
+                    })
+                }
+            }
+        }
+        if line.starts_with("TX|") || line == "TX" {
+            if let Some(g) = group.take() {
+                close(g, &mut events, &mut report);
+            }
+            group = Some(TxGroup {
+                tx_line: lineno,
+                fields: line.split('|').collect(),
+                body: Vec::new(),
+            });
+        } else if let Some(g) = group.as_mut() {
+            g.body.push((lineno, raw));
+        } else {
+            // A record (or a stray second DD header) outside any
+            // transaction frame: quarantine the line by itself.
+            report.quarantined.push(Quarantined {
+                line: lineno,
+                lines: 1,
+                message: format!("record outside a TX transaction: {line:?}"),
+            });
+        }
+    }
+    if let Some(g) = group.take() {
+        close(g, &mut events, &mut report);
+    }
+    let date = date.ok_or(BatchError {
+        line: 0,
+        message: "empty dump: no DD header".into(),
+    })?;
+    Ok((DumpBatch { date, events }, report))
+}
+
+/// Decode one collected transaction group, or say why it is quarantined.
+fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
+    let total_lines = 1 + g.body.len();
+    let quarantine = |line: usize, message: String| Quarantined {
+        line,
+        lines: total_lines,
+        message,
+    };
+    match g.fields.as_slice() {
+        ["TX", kind @ ("N" | "U"), call] => {
+            if g.body.is_empty() {
+                return Err(quarantine(
+                    g.tx_line,
+                    format!("TX|{kind} transaction has no records"),
+                ));
+            }
+            let body_start = g.body[0].0;
+            let mut text = String::new();
+            for (_, line) in &g.body {
+                text.push_str(line);
+                text.push('\n');
+            }
+            let licenses = flatfile::decode(&text).map_err(|e| {
+                // The flat-file decoder numbers lines within the body;
+                // map back to the dump file.
+                quarantine(body_start + e.line - 1, e.message)
+            })?;
+            let lic = match licenses.as_slice() {
+                [lic] => lic.clone(),
+                many => {
+                    return Err(quarantine(
+                        g.tx_line,
+                        format!("transaction carries {} licenses, expected 1", many.len()),
+                    ))
+                }
+            };
+            if lic.call_sign.0 != *call {
+                return Err(quarantine(
+                    g.tx_line,
+                    format!(
+                        "TX call sign {:?} contradicts record call sign {:?}",
+                        call, lic.call_sign.0
+                    ),
+                ));
+            }
+            Ok(if *kind == "N" {
+                DumpEvent::New(lic)
+            } else {
+                DumpEvent::Update(lic)
+            })
+        }
+        ["TX", "C", call, date] => {
+            if !g.body.is_empty() {
+                return Err(quarantine(
+                    g.tx_line,
+                    "TX|C transaction carries records".into(),
+                ));
+            }
+            let date = Date::parse_fcc(date)
+                .map_err(|e| quarantine(g.tx_line, format!("bad cancel date: {e}")))?;
+            Ok(DumpEvent::Cancel {
+                call_sign: CallSign((*call).to_string()),
+                date,
+            })
+        }
+        _ => Err(quarantine(
+            g.tx_line,
+            format!("malformed TX frame: {:?}", g.fields.join("|")),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hft_geodesy::LatLon;
+    use hft_uls::{
+        FrequencyAssignment, LicenseId, MicrowavePath, RadioService, StationClass, TowerSite,
+    };
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn lic(id: u64, call: &str) -> License {
+        let tx = TowerSite::at(LatLon::new(41.76, -88.17).unwrap());
+        let rx = TowerSite::at(LatLon::new(41.96, -87.67).unwrap());
+        License {
+            id: LicenseId(id),
+            call_sign: CallSign(call.into()),
+            licensee: "Webline Holdings".into(),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: d(2015, 6, 17),
+            termination_date: None,
+            cancellation_date: None,
+            paths: vec![MicrowavePath {
+                tx,
+                rx,
+                frequencies: vec![FrequencyAssignment { center_hz: 6.1e9 }],
+            }],
+        }
+    }
+
+    fn sample_batch() -> DumpBatch {
+        DumpBatch {
+            date: d(2015, 6, 17),
+            events: vec![
+                DumpEvent::New(lic(7, "WQ00007")),
+                DumpEvent::Update(lic(3, "WQ00003")),
+                DumpEvent::Cancel {
+                    call_sign: CallSign("WQ00009".into()),
+                    date: d(2015, 6, 17),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let batch = sample_batch();
+        let text = encode_batch(&batch);
+        let (back, report) = decode_batch(&text).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(back.date, batch.date);
+        assert_eq!(back.events.len(), 3);
+        assert!(matches!(&back.events[0], DumpEvent::New(l) if l.id.0 == 7));
+        assert!(matches!(&back.events[1], DumpEvent::Update(l) if l.id.0 == 3));
+        assert!(matches!(
+            &back.events[2],
+            DumpEvent::Cancel { call_sign, date }
+                if call_sign.0 == "WQ00009" && *date == d(2015, 6, 17)
+        ));
+        // Encoding the decoded batch is a fixed point.
+        assert_eq!(encode_batch(&back), text);
+    }
+
+    #[test]
+    fn missing_dd_header_fails_the_batch() {
+        let err = decode_batch("TX|C|WQ1|01/01/2020\n").unwrap_err();
+        assert!(err.message.contains("expected DD header"), "{err}");
+        assert!(decode_batch("").is_err());
+        assert!(decode_batch("# only comments\n").is_err());
+        let err = decode_batch("DD|13/45/2020\n").unwrap_err();
+        assert!(err.message.contains("bad DD date"), "{err}");
+    }
+
+    #[test]
+    fn malformed_transaction_is_quarantined_not_fatal() {
+        // Middle transaction has a corrupt LO record; neighbors survive.
+        let mut text = String::from("DD|06/17/2015\n");
+        text.push_str(&format!(
+            "TX|N|WQ00007\n{}",
+            flatfile::encode(&[lic(7, "WQ00007")])
+        ));
+        text.push_str("TX|N|WQ00008\nHD|8|WQ00008|MG|FXO|06/17/2015||\nEN|8|X\nLO|8|1|garbage|88-0-0.0 W|230.0|110.0\n");
+        text.push_str("TX|C|WQ00007|06/18/2015\n");
+        let (batch, report) = decode_batch(&text).unwrap();
+        assert_eq!(batch.events.len(), 2);
+        assert!(matches!(&batch.events[0], DumpEvent::New(_)));
+        assert!(matches!(&batch.events[1], DumpEvent::Cancel { .. }));
+        assert_eq!(report.count(), 1);
+        assert_eq!(report.quarantined[0].lines, 4);
+        assert!(
+            report.quarantined[0].message.contains("latitude")
+                || !report.quarantined[0].message.is_empty()
+        );
+    }
+
+    #[test]
+    fn call_sign_mismatch_is_quarantined() {
+        let mut text = String::from("DD|06/17/2015\n");
+        text.push_str(&format!(
+            "TX|N|WRONG\n{}",
+            flatfile::encode(&[lic(7, "WQ00007")])
+        ));
+        let (batch, report) = decode_batch(&text).unwrap();
+        assert!(batch.events.is_empty());
+        assert_eq!(report.count(), 1);
+        assert!(report.quarantined[0].message.contains("contradicts"));
+    }
+
+    #[test]
+    fn cancel_with_body_and_bad_frames_are_quarantined() {
+        let mut text = String::from("DD|06/17/2015\n");
+        text.push_str("TX|C|WQ1|01/01/2020\nEN|1|Sneaky\n");
+        text.push_str("TX|Z|WQ2\n");
+        text.push_str("TX|N|WQ3\n"); // empty body
+        text.push_str("EN|9|orphan\n"); // would be body of prev TX|N — ends up there
+        let (batch, report) = decode_batch(&text).unwrap();
+        assert!(batch.events.is_empty());
+        assert_eq!(report.count(), 3);
+        assert!(report.quarantined[0].message.contains("carries records"));
+        assert!(report.quarantined[1].message.contains("malformed TX frame"));
+    }
+
+    #[test]
+    fn records_outside_transactions_are_quarantined_individually() {
+        let text = "DD|06/17/2015\nEN|1|stray\nDD|06/18/2015\n";
+        let (batch, report) = decode_batch(text).unwrap();
+        assert_eq!(batch.date, d(2015, 6, 17));
+        assert!(batch.events.is_empty());
+        assert_eq!(report.count(), 2, "stray EN and duplicate DD");
+        assert_eq!(report.quarantined[0].lines, 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let batch = sample_batch();
+        let text = format!("# daily dump\n\n{}", encode_batch(&batch));
+        let (back, report) = decode_batch(&text).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(back.events.len(), 3);
+    }
+
+    #[test]
+    fn multi_license_body_is_quarantined() {
+        let mut text = String::from("DD|06/17/2015\n");
+        text.push_str(&format!(
+            "TX|N|WQ00007\n{}",
+            flatfile::encode(&[lic(7, "WQ00007"), lic(8, "WQ00008")])
+        ));
+        let (batch, report) = decode_batch(&text).unwrap();
+        assert!(batch.events.is_empty());
+        assert!(report.quarantined[0].message.contains("carries 2 licenses"));
+    }
+}

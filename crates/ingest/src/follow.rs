@@ -1,0 +1,122 @@
+//! Tailing a dump directory: the `serve --follow` data source.
+//!
+//! A [`DumpFollower`] polls a directory for transaction-dump files it
+//! has not yet handed out. Dumps are published atomically (temp file +
+//! rename, see [`crate::replay::write_dump`]), so any file whose name
+//! matches the `uls_tx_YYYYMMDD.txt` pattern is complete the moment it
+//! becomes visible. Files are returned in name order, which the compact
+//! date encoding makes chronological order.
+
+use crate::replay::dump_file_date;
+use hft_time::Date;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Watches a dump directory and yields each dump file exactly once, in
+/// chronological order.
+#[derive(Debug)]
+pub struct DumpFollower {
+    dir: PathBuf,
+    seen: BTreeSet<String>,
+}
+
+impl DumpFollower {
+    /// Follow `dir`. The directory need not exist yet; polls simply
+    /// find nothing until it does.
+    pub fn new(dir: impl Into<PathBuf>) -> DumpFollower {
+        DumpFollower {
+            dir: dir.into(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    /// The directory being followed.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// How many dump files have been handed out so far.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// One poll: every not-yet-seen dump file, sorted by name
+    /// (= sorted by dump date), paired with its date. Non-dump files
+    /// (including in-flight `.tmp` publishes) are ignored.
+    pub fn poll(&mut self) -> io::Result<Vec<(PathBuf, Date)>> {
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut fresh: Vec<(PathBuf, Date)> = Vec::new();
+        for entry in entries {
+            let path = entry?.path();
+            let Some(date) = dump_file_date(&path) else {
+                continue;
+            };
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n.to_string(),
+                None => continue,
+            };
+            if self.seen.insert(name) {
+                fresh.push((path, date));
+            }
+        }
+        fresh.sort_unstable_by_key(|a| a.1);
+        Ok(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DumpBatch;
+    use crate::replay::write_dump;
+
+    fn d(y: i32, m: u32, day: u32) -> Date {
+        Date::new(y, m, day).unwrap()
+    }
+
+    fn empty_batch(date: Date) -> DumpBatch {
+        DumpBatch {
+            date,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn follower_yields_each_dump_once_in_date_order() {
+        let dir = std::env::temp_dir().join(format!("hft_follow_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut follower = DumpFollower::new(&dir);
+        // Missing directory: not an error, just nothing yet.
+        assert!(follower.poll().unwrap().is_empty());
+
+        fs::create_dir_all(&dir).unwrap();
+        // Out-of-order creation; poll must still hand them out by date.
+        write_dump(&dir, &empty_batch(d(2014, 3, 2))).unwrap();
+        write_dump(&dir, &empty_batch(d(2013, 11, 20))).unwrap();
+        // Noise the follower must skip.
+        fs::write(dir.join("uls_tx_20150101.txt.tmp"), "partial").unwrap();
+        fs::write(dir.join("notes.md"), "unrelated").unwrap();
+
+        let first = follower.poll().unwrap();
+        let dates: Vec<Date> = first.iter().map(|(_, d)| *d).collect();
+        assert_eq!(dates, vec![d(2013, 11, 20), d(2014, 3, 2)]);
+        assert_eq!(follower.seen_count(), 2);
+
+        // Nothing new → nothing returned.
+        assert!(follower.poll().unwrap().is_empty());
+
+        // A later publish shows up exactly once.
+        write_dump(&dir, &empty_batch(d(2015, 1, 1))).unwrap();
+        let second = follower.poll().unwrap();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].1, d(2015, 1, 1));
+        assert!(follower.poll().unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

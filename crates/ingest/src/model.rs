@@ -1,0 +1,64 @@
+//! The deliberately-naive reference interpreter for dump events.
+//!
+//! [`apply_events`] maintains a plain `Vec<License>` with linear scans —
+//! no indices, no copy-on-write, nothing to get wrong. The verification
+//! paths replay the same batches through this model and through the real
+//! [`crate::apply::Applier`], then compare the applier's incrementally
+//! maintained database against `UlsDatabase::from_licenses(model)` built
+//! from scratch. Semantics here are the contract; the applier must match
+//! them exactly.
+
+use crate::delta::{DumpBatch, DumpEvent};
+use hft_uls::License;
+
+/// Fold one batch into a bare license list, mirroring the applier's
+/// semantics:
+///
+/// * `New` appends — unless a license with the call sign already exists
+///   or the id collides (conflict: skipped).
+/// * `Update` replaces the **latest** filing under the call sign in
+///   place — unless none exists, or the new id collides with a
+///   *different* license (conflict: skipped).
+/// * `Cancel` sets the cancellation date of the latest filing under the
+///   call sign — unless none exists (conflict: skipped).
+///
+/// Returns the number of skipped (conflicting) events.
+pub fn apply_events(model: &mut Vec<License>, batch: &DumpBatch) -> usize {
+    let mut conflicts = 0;
+    for event in &batch.events {
+        match event {
+            DumpEvent::New(lic) => {
+                let call_exists = model.iter().any(|l| l.call_sign == lic.call_sign);
+                let id_exists = model.iter().any(|l| l.id == lic.id);
+                if call_exists || id_exists {
+                    conflicts += 1;
+                } else {
+                    model.push(lic.clone());
+                }
+            }
+            DumpEvent::Update(lic) => {
+                match model.iter().rposition(|l| l.call_sign == lic.call_sign) {
+                    Some(pos) => {
+                        let id_clash = model
+                            .iter()
+                            .enumerate()
+                            .any(|(i, l)| i != pos && l.id == lic.id);
+                        if id_clash {
+                            conflicts += 1;
+                        } else {
+                            model[pos] = lic.clone();
+                        }
+                    }
+                    None => conflicts += 1,
+                }
+            }
+            DumpEvent::Cancel { call_sign, date } => {
+                match model.iter().rposition(|l| &l.call_sign == call_sign) {
+                    Some(pos) => model[pos].cancellation_date = Some(*date),
+                    None => conflicts += 1,
+                }
+            }
+        }
+    }
+    conflicts
+}

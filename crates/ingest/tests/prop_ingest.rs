@@ -1,0 +1,201 @@
+//! Property-based tests for the incremental applier: for arbitrary
+//! event streams chopped into arbitrary daily batches, the in-place
+//! applier must land on exactly the database a from-scratch
+//! `UlsDatabase::from_licenses` build over the reference model produces
+//! — the license list, the site bucket grid, the `(service, class)`
+//! index, and the sorted licensee-name cache. A second property checks
+//! that the final corpus depends only on the event sequence, never on
+//! how it was split into batches.
+
+use hft_geodesy::LatLon;
+use hft_ingest::model::apply_events;
+use hft_ingest::{Applier, DumpBatch, DumpEvent};
+use hft_time::Date;
+use hft_uls::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite, UlsDatabase, UlsPortal,
+};
+use proptest::prelude::*;
+
+/// A compact spec for one event, over a deliberately small key space so
+/// streams collide: call signs repeat (driving `NewExists`, updates and
+/// cancels of live licenses), and ids repeat (driving `DuplicateId`).
+#[derive(Debug, Clone)]
+enum EventSpec {
+    New {
+        id: u64,
+        call: u8,
+        who: u8,
+        lat: f64,
+    },
+    Update {
+        id: u64,
+        call: u8,
+        who: u8,
+        lat: f64,
+    },
+    Cancel {
+        call: u8,
+    },
+}
+
+fn license(id: u64, call: u8, who: u8, lat: f64, day: Date) -> License {
+    let tx = TowerSite::at(LatLon::new(lat, -88.2).unwrap());
+    let rx = TowerSite::at(LatLon::new(lat + 0.3, -87.6).unwrap());
+    License {
+        id: LicenseId(id),
+        call_sign: CallSign(format!("WQ{call:03}")),
+        licensee: format!("Licensee {}", who % 5),
+        service: if who.is_multiple_of(3) {
+            RadioService::MG
+        } else {
+            RadioService::CF
+        },
+        station_class: if who.is_multiple_of(2) {
+            StationClass::FXO
+        } else {
+            StationClass::FB
+        },
+        grant_date: day,
+        termination_date: None,
+        cancellation_date: None,
+        paths: vec![MicrowavePath {
+            tx,
+            rx,
+            frequencies: vec![FrequencyAssignment { center_hz: 6.0e9 }],
+        }],
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = EventSpec> {
+    // New twice as often as Update/Cancel so streams actually grow.
+    prop_oneof![
+        (1u64..40, 0u8..12, 0u8..8, 38.0f64..45.0)
+            .prop_map(|(id, call, who, lat)| EventSpec::New { id, call, who, lat }),
+        (1u64..40, 0u8..12, 4u8..8, 38.0f64..45.0)
+            .prop_map(|(id, call, who, lat)| EventSpec::New { id, call, who, lat }),
+        (1u64..40, 0u8..12, 0u8..8, 38.0f64..45.0)
+            .prop_map(|(id, call, who, lat)| EventSpec::Update { id, call, who, lat }),
+        (0u8..12).prop_map(|call| EventSpec::Cancel { call }),
+    ]
+}
+
+/// Render an event stream as dated batches, splitting after an event
+/// whenever the matching entry of `splits` says so. Batch dates ascend
+/// one day per batch; every license is stamped with its batch date so
+/// updates genuinely change the record they replace.
+fn to_batches(specs: &[EventSpec], splits: &[bool]) -> Vec<DumpBatch> {
+    let mut batches = Vec::new();
+    let mut day = Date::new(2015, 1, 1).unwrap();
+    let mut events = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        let event = match *spec {
+            EventSpec::New { id, call, who, lat } => {
+                DumpEvent::New(license(id, call, who, lat, day))
+            }
+            EventSpec::Update { id, call, who, lat } => {
+                DumpEvent::Update(license(id, call, who, lat, day))
+            }
+            EventSpec::Cancel { call } => DumpEvent::Cancel {
+                call_sign: CallSign(format!("WQ{call:03}")),
+                date: day,
+            },
+        };
+        events.push(event);
+        if splits.get(i).copied().unwrap_or(false) {
+            batches.push(DumpBatch {
+                date: day,
+                events: std::mem::take(&mut events),
+            });
+            day = day.add_days(1);
+        }
+    }
+    if !events.is_empty() {
+        batches.push(DumpBatch { date: day, events });
+    }
+    batches
+}
+
+fn arb_splits(max: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec((0u8..2).prop_map(|b| b == 1), 0..max)
+}
+
+fn ids(licenses: &[&License]) -> Vec<u64> {
+    licenses.iter().map(|l| l.id.0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_apply_equals_from_scratch_rebuild(
+        specs in proptest::collection::vec(arb_event(), 0..80),
+        splits in arb_splits(80),
+        center in (38.0f64..45.0, -89.0f64..-87.0),
+    ) {
+        let batches = to_batches(&specs, &splits);
+        let mut applier = Applier::new(UlsDatabase::new());
+        let mut model: Vec<License> = Vec::new();
+        let mut model_conflicts = 0usize;
+        for batch in &batches {
+            let skipped = applier.apply(batch);
+            let expect = apply_events(&mut model, batch);
+            prop_assert_eq!(skipped.len(), expect, "applier and model disagree on conflicts");
+            model_conflicts += expect;
+        }
+        prop_assert_eq!(applier.stats().conflicts as usize, model_conflicts);
+
+        // Structural equality: the license list and every secondary
+        // index must match a from-scratch build over the model.
+        let rebuilt = UlsDatabase::from_licenses(model.clone());
+        prop_assert!(
+            *applier.db() == rebuilt,
+            "incrementally maintained database diverged from from-scratch rebuild",
+        );
+
+        // Belt and braces: exercise the indexes as query engines too.
+        let center = LatLon::new(center.0, center.1).unwrap();
+        prop_assert_eq!(
+            ids(&applier.db().geographic_search(&center, 150.0)),
+            ids(&rebuilt.geographic_search(&center, 150.0)),
+        );
+        prop_assert_eq!(
+            ids(&applier.db().site_search(&RadioService::MG, &StationClass::FXO)),
+            ids(&rebuilt.site_search(&RadioService::MG, &StationClass::FXO)),
+        );
+        prop_assert_eq!(applier.db().licensees(), rebuilt.licensees());
+        prop_assert!(applier.verify().is_ok(), "Applier::verify rejected its own state");
+    }
+
+    #[test]
+    fn final_corpus_is_invariant_under_batch_splits(
+        specs in proptest::collection::vec(arb_event(), 0..60),
+        splits_a in arb_splits(60),
+        splits_b in arb_splits(60),
+    ) {
+        // Two different choppings of the same event stream may stamp
+        // licenses with different batch dates, so compare against each
+        // split's own model — each must match its rebuild exactly, and
+        // the two must agree on the call-sign population.
+        let mut finals = Vec::new();
+        for splits in [&splits_a, &splits_b] {
+            let batches = to_batches(&specs, splits);
+            let mut applier = Applier::new(UlsDatabase::new());
+            let mut model: Vec<License> = Vec::new();
+            for batch in &batches {
+                applier.apply(batch);
+                apply_events(&mut model, batch);
+            }
+            prop_assert!(*applier.db() == UlsDatabase::from_licenses(model));
+            let mut calls: Vec<String> = applier
+                .db()
+                .licenses()
+                .iter()
+                .map(|l| l.call_sign.0.clone())
+                .collect();
+            calls.sort_unstable();
+            finals.push(calls);
+        }
+        prop_assert_eq!(&finals[0], &finals[1]);
+    }
+}

@@ -13,6 +13,11 @@
 //!    backpressure; never unbounded buffering.
 //! 5. [`wire`] + [`server`] — length-prefixed frames over TCP, an
 //!    in-order per-connection outbox, and a blocking/pipelining client.
+//! 6. [`live`] — a generation-following engine over an ingest
+//!    [`SnapshotStore`](hft_ingest::SnapshotStore): one
+//!    [`Service`](service::Service) per corpus generation, swapped when
+//!    the ingest applier publishes, so session memoization can never
+//!    serve a stale corpus.
 //!
 //! Observability lives in [`stats`]: every admission, rejection, queue
 //! wait, service time, and single-flight outcome is counted and exposed
@@ -23,6 +28,7 @@
 
 pub mod api;
 pub mod json;
+pub mod live;
 pub mod pool;
 pub mod server;
 pub mod service;
@@ -31,6 +37,7 @@ pub mod stats;
 pub mod wire;
 
 pub use api::{Request, Response};
+pub use live::LiveService;
 pub use server::{Client, ServeConfig, Server};
-pub use service::Service;
+pub use service::{Handler, Service};
 pub use stats::{ServeSnapshot, ServeStats};

@@ -10,7 +10,7 @@
 //! retry.
 
 use crate::api::{Request, Response};
-use crate::service::Service;
+use crate::service::Handler;
 use crate::stats::ServeStats;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -158,12 +158,12 @@ impl Queue {
 
     /// A worker loop: drain jobs until the queue closes and empties.
     /// Run one of these per pool worker (typically on a scoped thread).
-    pub fn worker(&self, service: &Service<'_>) {
+    pub fn worker<H: Handler>(&self, handler: &H) {
         while let Some(job) = self.next_job() {
-            let stats = service.stats();
+            let stats = handler.serve_stats();
             stats.on_queue_wait(job.enqueued.elapsed().as_nanos() as u64);
             let started = Instant::now();
-            let response = service.handle(&job.request);
+            let response = handler.handle(&job.request);
             stats.on_service(started.elapsed().as_nanos() as u64);
             stats.on_completed(matches!(response, Response::Error { .. }));
             job.slot.fill(response);
@@ -174,6 +174,7 @@ impl Queue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::service::Service;
     use hft_uls::UlsDatabase;
 
     #[test]

@@ -14,10 +14,12 @@
 //! jobs still drain), and lets every thread unwind cleanly.
 
 use crate::api::{Request, Response};
+use crate::live::LiveService;
 use crate::pool::{Queue, ResponseSlot, SubmitError};
-use crate::service::Service;
+use crate::service::{Handler, Service};
 use crate::stats::ServeSnapshot;
 use crate::wire::{self, FrameEvent, FrameReader};
+use hft_ingest::SnapshotStore;
 use std::collections::VecDeque;
 use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -72,17 +74,31 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until a `shutdown` request arrives, then drain and return
-    /// the final serving-layer counters.
+    /// Serve a fixed corpus until a `shutdown` request arrives, then
+    /// drain and return the final serving-layer counters.
     pub fn run(&self, db: &hft_uls::UlsDatabase) -> io::Result<ServeSnapshot> {
         let service = Service::new(db);
+        self.run_with(&service)
+    }
+
+    /// Serve a live corpus: requests answer against the store's current
+    /// generation, swapping engines as the ingest applier publishes.
+    /// Returns when a `shutdown` request arrives.
+    pub fn run_live(&self, store: &Arc<SnapshotStore>) -> io::Result<ServeSnapshot> {
+        let live = LiveService::new(Arc::clone(store));
+        self.run_with(&live)
+    }
+
+    /// Serve with any [`Handler`] until a `shutdown` request arrives,
+    /// then drain and return the final serving-layer counters.
+    pub fn run_with<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
         let queue = Queue::new(self.config.queue_depth);
         let shutdown = AtomicBool::new(false);
         self.listener.set_nonblocking(true)?;
 
         let result: io::Result<()> = std::thread::scope(|scope| {
             for _ in 0..self.config.workers.max(1) {
-                scope.spawn(|| queue.worker(&service));
+                scope.spawn(|| queue.worker(service));
             }
             loop {
                 if shutdown.load(Ordering::SeqCst) {
@@ -90,7 +106,6 @@ impl Server {
                 }
                 match self.listener.accept() {
                     Ok((stream, _peer)) => {
-                        let service = &service;
                         let queue = &queue;
                         let shutdown = &shutdown;
                         let max_frame = self.config.max_frame;
@@ -115,7 +130,7 @@ impl Server {
             Ok(())
         });
         result?;
-        Ok(service.stats().snapshot())
+        Ok(service.serve_stats().snapshot())
     }
 }
 
@@ -171,9 +186,9 @@ impl Outbox {
     }
 }
 
-fn handle_connection(
+fn handle_connection<H: Handler>(
     stream: TcpStream,
-    service: &Service<'_>,
+    service: &H,
     queue: &Queue,
     shutdown: &AtomicBool,
     max_frame: usize,
@@ -202,7 +217,7 @@ fn handle_connection(
                 Ok(FrameEvent::Oversized(len)) => {
                     // The stream is desynchronized past this point:
                     // answer, then hang up.
-                    service.stats().on_received();
+                    service.serve_stats().on_received();
                     outbox.push(ResponseSlot::filled(Response::Error {
                         message: format!("oversized frame: {len} bytes (max {max_frame})"),
                     }));
@@ -210,7 +225,7 @@ fn handle_connection(
                 }
                 Err(_) => break,
             };
-            service.stats().on_received();
+            service.serve_stats().on_received();
             let request = match Request::decode(&body) {
                 Ok(request) => request,
                 Err(message) => {
@@ -222,17 +237,17 @@ fn handle_connection(
             };
             match request {
                 Request::Shutdown => {
-                    service.stats().on_completed(false);
+                    service.serve_stats().on_completed(false);
                     outbox.push(ResponseSlot::filled(Response::ShuttingDown));
                     shutdown.store(true, Ordering::SeqCst);
                     break;
                 }
                 Request::Stats => {
                     let response = service.handle(&Request::Stats);
-                    service.stats().on_completed(false);
+                    service.serve_stats().on_completed(false);
                     outbox.push(ResponseSlot::filled(response));
                 }
-                request => match queue.submit(request, service.stats()) {
+                request => match queue.submit(request, service.serve_stats()) {
                     Ok(slot) => outbox.push(slot),
                     Err(SubmitError::Overloaded) => {
                         outbox.push(ResponseSlot::filled(Response::Overloaded));

@@ -16,6 +16,7 @@ use hft_geodesy::LatLon;
 use hft_radio::WeatherSampler;
 use hft_uls::scrape::ScrapeConfig;
 use hft_uls::{RadioService, StationClass, UlsDatabase, UlsPortal};
+use std::sync::Arc;
 
 /// Resolve a data-center code used on the wire.
 pub fn data_center(code: &str) -> Option<&'static DataCenter> {
@@ -24,23 +25,60 @@ pub fn data_center(code: &str) -> Option<&'static DataCenter> {
         .find(|dc| dc.code == code)
 }
 
+/// Anything that can answer requests for the transport layer: a
+/// fixed-corpus [`Service`] or a generation-swapping
+/// [`LiveService`](crate::live::LiveService). The wire server, the
+/// connection handlers and the pool workers are generic over this, so
+/// live serving reuses the whole transport stack unchanged.
+pub trait Handler: Sync {
+    /// Answer one request.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// The serving-layer counters this handler reports into.
+    fn serve_stats(&self) -> &ServeStats;
+}
+
 /// The query engine: one shared [`AnalysisSession`] plus the
 /// single-flight group and the serving-layer counters.
+///
+/// A `Service` is pinned to exactly one corpus generation: its session
+/// caches and its single-flight group never see requests from another
+/// generation (flight keys carry the generation number, and a live
+/// server builds a fresh `Service` per generation), so a stale memoized
+/// network can never answer a post-swap query.
 pub struct Service<'a> {
-    db: &'a UlsDatabase,
     session: AnalysisSession<'a>,
+    generation: u64,
     flights: Group<Response>,
-    stats: ServeStats,
+    stats: Arc<ServeStats>,
 }
 
 impl<'a> Service<'a> {
-    /// A service over a license corpus.
+    /// A service over a borrowed license corpus (generation 0, its own
+    /// counters) — the fixed-corpus server path.
     pub fn new(db: &'a UlsDatabase) -> Service<'a> {
         Service {
-            db,
             session: AnalysisSession::new(db),
+            generation: 0,
             flights: Group::new(),
-            stats: ServeStats::default(),
+            stats: Arc::new(ServeStats::default()),
+        }
+    }
+
+    /// A service pinned to a published corpus snapshot. The session
+    /// co-owns the corpus (so the snapshot outlives the store's next
+    /// publish), and `stats` is shared so counters accumulate across a
+    /// live server's generations.
+    pub fn over_snapshot(
+        db: Arc<UlsDatabase>,
+        generation: u64,
+        stats: Arc<ServeStats>,
+    ) -> Service<'static> {
+        Service {
+            session: AnalysisSession::shared(db),
+            generation,
+            flights: Group::new(),
+            stats,
         }
     }
 
@@ -49,9 +87,21 @@ impl<'a> Service<'a> {
         &self.session
     }
 
+    /// The corpus generation this engine is pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// The serving-layer counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The corpus (always present: both constructors supply one).
+    fn portal(&self) -> &UlsDatabase {
+        self.session
+            .db()
+            .expect("service sessions always carry a portal")
     }
 
     /// Answer one request, coalescing concurrent identical work.
@@ -63,6 +113,9 @@ impl<'a> Service<'a> {
         match req.flight_key(&epoch_of) {
             None => self.compute(req),
             Some(key) => {
+                // The generation prefix keeps coalescing within one
+                // corpus generation even if a Group were ever shared.
+                let key = format!("g{}|{key}", self.generation);
                 let (response, leader) = self.flights.run(&key, || self.compute(req));
                 if leader {
                     self.stats.on_flight_led();
@@ -86,7 +139,7 @@ impl<'a> Service<'a> {
                 Err(e) => err(format!("bad coordinates: {e}")),
                 Ok(center) => Response::Licenses {
                     ids: self
-                        .db
+                        .portal()
                         .geographic_search(&center, *radius_km)
                         .iter()
                         .map(|l| l.id.0)
@@ -95,7 +148,7 @@ impl<'a> Service<'a> {
             },
             Request::SiteSearch { service, class } => Response::Licenses {
                 ids: self
-                    .db
+                    .portal()
                     .site_search(
                         &RadioService::from_code(service),
                         &StationClass::from_code(class),
@@ -134,7 +187,7 @@ impl<'a> Service<'a> {
                     as_of: *date,
                     towers: net.tower_count() as u64,
                     links: net.link_count() as u64,
-                    active_licenses: self.session.index().active_count(licensee, *date) as u64,
+                    active_licenses: self.session.active_count(licensee, *date) as u64,
                 }
             }
             Request::Route {
@@ -205,6 +258,16 @@ impl<'a> Service<'a> {
             },
             Request::Shutdown => Response::ShuttingDown,
         }
+    }
+}
+
+impl Handler for Service<'_> {
+    fn handle(&self, req: &Request) -> Response {
+        Service::handle(self, req)
+    }
+
+    fn serve_stats(&self) -> &ServeStats {
+        self.stats()
     }
 }
 

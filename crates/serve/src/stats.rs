@@ -22,6 +22,7 @@ pub struct ServeStats {
     service_ns_total: AtomicU64,
     service_ns_max: AtomicU64,
     queue_high_water: AtomicU64,
+    generation_swaps: AtomicU64,
 }
 
 impl ServeStats {
@@ -73,6 +74,11 @@ impl ServeStats {
         self.service_ns_max.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// A live server swapped to a newly published corpus generation.
+    pub fn on_generation_swap(&self) {
+        self.generation_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Copy the counters.
     pub fn snapshot(&self) -> ServeSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -89,6 +95,7 @@ impl ServeStats {
             service_ns_total: load(&self.service_ns_total),
             service_ns_max: load(&self.service_ns_max),
             queue_high_water: load(&self.queue_high_water),
+            generation_swaps: load(&self.generation_swaps),
         }
     }
 }
@@ -120,6 +127,9 @@ pub struct ServeSnapshot {
     pub service_ns_max: u64,
     /// Deepest the admission queue ever got.
     pub queue_high_water: u64,
+    /// Corpus generation swaps performed by a live server (0 for a
+    /// fixed-corpus server).
+    pub generation_swaps: u64,
 }
 
 impl ServeSnapshot {
@@ -158,6 +168,7 @@ impl ServeSnapshot {
             ("service_ns_total".into(), u(self.service_ns_total)),
             ("service_ns_max".into(), u(self.service_ns_max)),
             ("queue_high_water".into(), u(self.queue_high_water)),
+            ("generation_swaps".into(), u(self.generation_swaps)),
         ])
     }
 
@@ -181,6 +192,11 @@ impl ServeSnapshot {
             service_ns_total: g("service_ns_total")?,
             service_ns_max: g("service_ns_max")?,
             queue_high_water: g("queue_high_water")?,
+            // Absent in frames from pre-live servers: default to 0.
+            generation_swaps: v
+                .get("generation_swaps")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 }

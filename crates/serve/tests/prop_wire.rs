@@ -101,6 +101,7 @@ fn serve_snapshot() -> impl Strategy<Value = hft_serve::ServeSnapshot> {
             counter(),
             counter(),
             counter(),
+            counter(),
         ),
     )
         .prop_map(|(a, b)| hft_serve::ServeSnapshot {
@@ -116,6 +117,7 @@ fn serve_snapshot() -> impl Strategy<Value = hft_serve::ServeSnapshot> {
             service_ns_total: b.3,
             service_ns_max: b.4,
             queue_high_water: b.5,
+            generation_swaps: b.6,
         })
 }
 

@@ -255,6 +255,12 @@ impl Date {
     pub fn to_fcc(self) -> String {
         format!("{:02}/{:02}/{:04}", self.month, self.day, self.year)
     }
+
+    /// Compact digits-only `YYYYMMDD`, zero-padded so lexicographic order
+    /// equals chronological order — used for daily-dump file names.
+    pub fn to_compact(self) -> String {
+        format!("{:04}{:02}{:02}", self.year, self.month, self.day)
+    }
 }
 
 impl fmt::Debug for Date {

@@ -50,6 +50,21 @@ impl Date {
         Date::new(y as i32, m, d).map_err(|_| ParseDateError::Invalid(s.to_string()))
     }
 
+    /// Parse a compact `YYYYMMDD` string produced by [`Date::to_compact`].
+    ///
+    /// Exactly eight ASCII digits are required; calendar validity rules are
+    /// the same as [`Date::new`].
+    pub fn parse_compact(s: &str) -> Result<Date, ParseDateError> {
+        if s.len() != 8 || !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseDateError::Malformed(s.to_string()));
+        }
+        let (y, m, d) = match (parse_u32(&s[..4]), parse_u32(&s[4..6]), parse_u32(&s[6..8])) {
+            (Some(y), Some(m), Some(d)) => (y, m, d),
+            _ => return Err(ParseDateError::Malformed(s.to_string())),
+        };
+        Date::new(y as i32, m, d).map_err(|_| ParseDateError::Invalid(s.to_string()))
+    }
+
     /// Parse ISO-8601 `YYYY-MM-DD`.
     pub fn parse_iso(s: &str) -> Result<Date, ParseDateError> {
         let mut it = s.split('-');
@@ -132,5 +147,33 @@ mod tests {
     fn fcc_round_trip() {
         let d = Date::new(2013, 11, 30).unwrap();
         assert_eq!(Date::parse_fcc(&d.to_fcc()).unwrap(), d);
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let d = Date::new(2017, 6, 3).unwrap();
+        assert_eq!(d.to_compact(), "20170603");
+        assert_eq!(Date::parse_compact(&d.to_compact()).unwrap(), d);
+    }
+
+    #[test]
+    fn compact_orders_lexicographically() {
+        let a = Date::new(2013, 12, 31).unwrap();
+        let b = Date::new(2014, 1, 1).unwrap();
+        assert!(a.to_compact() < b.to_compact());
+    }
+
+    #[test]
+    fn compact_rejects_garbage() {
+        for s in ["", "2020-4-1", "202004011", "2020401", "20200a01"] {
+            assert!(
+                matches!(Date::parse_compact(s), Err(ParseDateError::Malformed(_))),
+                "{s:?}"
+            );
+        }
+        assert!(matches!(
+            Date::parse_compact("20200230"),
+            Err(ParseDateError::Invalid(_))
+        ));
     }
 }

@@ -505,6 +505,70 @@ FR|1|1|6000.0
     }
 
     #[test]
+    fn round_trip_full_lifecycle_dates() {
+        // Regression for the delta codec: a license carrying *both* a
+        // termination and a cancellation date must survive encode/decode
+        // exactly — cancel transactions are rendered through this codec.
+        let mut lic = sample();
+        lic.termination_date = Some(d(2023, 2, 14));
+        lic.cancellation_date = Some(d(2016, 9, 30));
+        let back = decode(&encode(std::slice::from_ref(&lic))).unwrap();
+        assert_eq!(back[0].termination_date, Some(d(2023, 2, 14)));
+        assert_eq!(back[0].cancellation_date, Some(d(2016, 9, 30)));
+        // The decoded license reproduces the half-open lifecycle edges.
+        assert!(back[0].active_on(d(2016, 9, 29)));
+        assert!(!back[0].active_on(d(2016, 9, 30)));
+    }
+
+    #[test]
+    fn decode_accepts_out_of_order_lo_and_pa_numbering() {
+        // LO records arrive 2-before-1 with a gap (no location 3), and the
+        // PA records arrive 9-before-4. Real ULS dumps are not ordered;
+        // the decoder must key strictly by number, and paths must come
+        // back sorted by path number regardless of file order.
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015||
+EN|1|Test
+LO|1|2|41-10-00.0 N|87-30-00.0 W|230.0|110.0
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+LO|1|4|41-20-00.0 N|87-00-00.0 W|230.0|110.0
+PA|1|9|4|1
+FR|1|9|6100.0
+PA|1|4|1|2
+FR|1|4|6000.0
+";
+        let back = decode(text).unwrap();
+        assert_eq!(back.len(), 1);
+        let paths = &back[0].paths;
+        assert_eq!(paths.len(), 2);
+        // Path 4 (tx location 1) sorts before path 9 (tx location 4).
+        assert!((paths[0].tx.position.lat_deg() - 41.0).abs() < 1e-6);
+        assert!((paths[0].frequencies[0].center_hz - 6.0e9).abs() < 1.0);
+        assert!((paths[1].tx.position.lat_deg() - (41.0 + 20.0 / 60.0)).abs() < 1e-6);
+        assert!((paths[1].frequencies[0].center_hz - 6.1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn out_of_order_encode_round_trip_is_stable() {
+        // Once decoded, re-encoding produces the canonical ordering and a
+        // second decode is a fixed point.
+        let text = "\
+HD|1|W|MG|FXO|01/01/2015|12/31/2030|06/01/2017
+EN|1|Test
+LO|1|2|41-10-00.0 N|87-30-00.0 W|230.0|110.0
+LO|1|1|41-00-00.0 N|88-00-00.0 W|230.0|110.0
+PA|1|2|2|1
+FR|1|2|6000.0
+";
+        let once = decode(text).unwrap();
+        let canonical = encode(&once);
+        let twice = decode(&canonical).unwrap();
+        assert_eq!(once, twice);
+        assert_eq!(canonical, encode(&twice));
+        assert_eq!(twice[0].cancellation_date, Some(d(2017, 6, 1)));
+    }
+
+    #[test]
     fn error_carries_line_number() {
         let text = "\
 HD|1|W|MG|FXO|01/01/2015||

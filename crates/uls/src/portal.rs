@@ -3,6 +3,7 @@
 use crate::license::{License, LicenseId, RadioService, StationClass};
 use crate::siteindex::SiteIndex;
 use hft_geodesy::{LatLon, RadiusTest};
+use hft_time::Date;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -39,7 +40,14 @@ pub trait UlsPortal {
 /// [`UlsDatabase::geographic_search_linear`] and
 /// [`UlsDatabase::site_search_linear`] — the reference implementations
 /// the property tests and benches compare against.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the license list *and every secondary index*
+/// structurally: an incrementally-mutated database (see
+/// [`UlsDatabase::extend`], [`UlsDatabase::replace`]) equals
+/// [`UlsDatabase::from_licenses`] of the same license sequence only when
+/// all index maintenance was exact — which is precisely the check the
+/// ingest applier's verification rebuild performs.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UlsDatabase {
     licenses: Vec<License>,
     by_id: HashMap<LicenseId, usize>,
@@ -50,6 +58,11 @@ pub struct UlsDatabase {
     licensee_names: Vec<String>,
     /// `(service, class) → license indices` in insertion order.
     by_service_class: HashMap<(RadioService, StationClass), Vec<usize>>,
+    /// `call sign → license indices`, ascending. Call signs are unique in
+    /// a real ULS corpus, but the index tolerates duplicates (the delta
+    /// codec keys transactions by call sign and must resolve the latest
+    /// filing deterministically — see [`UlsDatabase::find_call_sign`]).
+    by_call_sign: HashMap<String, Vec<usize>>,
     /// Bucket grid over every tx/rx tower site.
     sites: SiteIndex,
 }
@@ -66,9 +79,7 @@ impl UlsDatabase {
     /// Panics on duplicate license ids — a corpus invariant violation.
     pub fn from_licenses(licenses: Vec<License>) -> UlsDatabase {
         let mut db = UlsDatabase::new();
-        for lic in licenses {
-            db.insert(lic);
-        }
+        db.extend(licenses);
         db
     }
 
@@ -77,19 +88,55 @@ impl UlsDatabase {
     /// # Panics
     /// Panics when the id is already present.
     pub fn insert(&mut self, license: License) {
+        self.insert_deferred(license, None);
+    }
+
+    /// Bulk-load fast path: insert every license, deferring maintenance of
+    /// the sorted licensee-name cache to the end of the batch.
+    ///
+    /// [`UlsDatabase::insert`] pays a `binary_search` + `Vec::insert` (a
+    /// memmove of the whole tail) per *new* licensee name; corpus-scale
+    /// builds introduce thousands of names, so the per-insert path is
+    /// quadratic in the name count. Here new names are appended to a side
+    /// list and merged with one sort at batch end. The result is
+    /// indistinguishable (`==`) from per-insert loading.
+    ///
+    /// # Panics
+    /// Panics on duplicate license ids, like [`UlsDatabase::insert`].
+    pub fn extend(&mut self, licenses: impl IntoIterator<Item = License>) {
+        let mut new_names: Vec<String> = Vec::new();
+        for lic in licenses {
+            self.insert_deferred(lic, Some(&mut new_names));
+        }
+        if !new_names.is_empty() {
+            self.licensee_names.append(&mut new_names);
+            self.licensee_names.sort_unstable();
+        }
+    }
+
+    /// Shared insert body. With `deferred_names: Some(..)`, first filings
+    /// push their name onto the side list instead of paying the sorted
+    /// insert; the caller owns the batch-end merge.
+    fn insert_deferred(&mut self, license: License, deferred_names: Option<&mut Vec<String>>) {
         let idx = self.licenses.len();
         let prev = self.by_id.insert(license.id, idx);
         assert!(prev.is_none(), "duplicate license id {}", license.id);
         match self.by_licensee.entry(license.licensee.clone()) {
             Entry::Occupied(e) => e.into_mut().push(idx),
             Entry::Vacant(e) => {
-                // First filing under this name: slot it into the sorted
-                // name cache (names are distinct here by construction).
-                let pos = self
-                    .licensee_names
-                    .binary_search(&license.licensee)
-                    .unwrap_err();
-                self.licensee_names.insert(pos, license.licensee.clone());
+                // First filing under this name (names are distinct here by
+                // construction): defer to the batch merge, or slot it into
+                // the sorted name cache right away.
+                match deferred_names {
+                    Some(names) => names.push(license.licensee.clone()),
+                    None => {
+                        let pos = self
+                            .licensee_names
+                            .binary_search(&license.licensee)
+                            .unwrap_err();
+                        self.licensee_names.insert(pos, license.licensee.clone());
+                    }
+                }
                 e.insert(vec![idx]);
             }
         }
@@ -97,10 +144,133 @@ impl UlsDatabase {
             .entry((license.service.clone(), license.station_class.clone()))
             .or_default()
             .push(idx);
+        self.by_call_sign
+            .entry(license.call_sign.0.clone())
+            .or_default()
+            .push(idx);
         for site in license.sites() {
             self.sites.insert(idx, &site.position);
         }
         self.licenses.push(license);
+    }
+
+    /// Replace the license at corpus position `idx` in place, repairing
+    /// every secondary index incrementally — no rebuild.
+    ///
+    /// Index vectors stay in ascending position order (entries are
+    /// re-inserted at their sorted slot), so the result is `==` to
+    /// [`UlsDatabase::from_licenses`] over the updated license sequence.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds, or when the replacement's id
+    /// collides with a *different* license (changing the id of slot `idx`
+    /// itself is allowed).
+    pub fn replace(&mut self, idx: usize, license: License) {
+        assert!(idx < self.licenses.len(), "replace index out of bounds");
+        let old = &self.licenses[idx];
+        let old_id = old.id;
+        let old_call = old.call_sign.0.clone();
+        let old_licensee = old.licensee.clone();
+        let old_key = (old.service.clone(), old.station_class.clone());
+        let old_positions: Vec<LatLon> = old.sites().map(|s| s.position).collect();
+
+        if old_id != license.id {
+            self.by_id.remove(&old_id);
+            let prev = self.by_id.insert(license.id, idx);
+            assert!(prev.is_none(), "duplicate license id {}", license.id);
+        }
+        if old_call != license.call_sign.0 {
+            Self::index_remove(&mut self.by_call_sign, &old_call, idx);
+            Self::index_add(&mut self.by_call_sign, &license.call_sign.0, idx);
+        }
+        if old_licensee != license.licensee {
+            if Self::index_remove(&mut self.by_licensee, &old_licensee, idx) {
+                // Last filing under the old name: drop it from the sorted
+                // name cache too.
+                if let Ok(pos) = self.licensee_names.binary_search(&old_licensee) {
+                    self.licensee_names.remove(pos);
+                }
+            }
+            if Self::index_add(&mut self.by_licensee, &license.licensee, idx) {
+                let pos = self
+                    .licensee_names
+                    .binary_search(&license.licensee)
+                    .unwrap_err();
+                self.licensee_names.insert(pos, license.licensee.clone());
+            }
+        }
+        let new_key = (license.service.clone(), license.station_class.clone());
+        if old_key != new_key {
+            Self::index_remove(&mut self.by_service_class, &old_key, idx);
+            Self::index_add(&mut self.by_service_class, &new_key, idx);
+        }
+        self.sites.remove_license(idx, &old_positions);
+        for site in license.sites() {
+            self.sites.insert(idx, &site.position);
+        }
+        self.licenses[idx] = license;
+    }
+
+    /// Set (or clear) the cancellation date of the license at `idx`.
+    ///
+    /// Lifecycle dates are not indexed, so this is a plain field write —
+    /// the cheap path for the delta codec's cancel transactions.
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of bounds.
+    pub fn set_cancellation(&mut self, idx: usize, date: Option<Date>) {
+        self.licenses[idx].cancellation_date = date;
+    }
+
+    /// Corpus position of the latest filing under `call_sign`, if any.
+    ///
+    /// "Latest" is by corpus position — the most recently inserted
+    /// license with that call sign wins, which is the resolution rule the
+    /// delta codec documents for its call-sign-keyed transactions.
+    pub fn find_call_sign(&self, call_sign: &str) -> Option<usize> {
+        self.by_call_sign
+            .get(call_sign)
+            .and_then(|v| v.last())
+            .copied()
+    }
+
+    /// Remove `idx` from the index vector at `key`; drops the entry when
+    /// the vector empties. Returns `true` when the entry was dropped.
+    fn index_remove<K, Q>(map: &mut HashMap<K, Vec<usize>>, key: &Q, idx: usize) -> bool
+    where
+        K: std::borrow::Borrow<Q> + std::hash::Hash + Eq,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
+        let Some(v) = map.get_mut(key) else {
+            return false;
+        };
+        v.retain(|&i| i != idx);
+        if v.is_empty() {
+            map.remove(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Insert `idx` into the index vector at `key` at its ascending slot.
+    /// Returns `true` when the entry was newly created.
+    fn index_add<K, Q>(map: &mut HashMap<K, Vec<usize>>, key: &Q, idx: usize) -> bool
+    where
+        K: std::borrow::Borrow<Q> + std::hash::Hash + Eq,
+        Q: std::hash::Hash + Eq + ToOwned<Owned = K> + ?Sized,
+    {
+        match map.get_mut(key) {
+            Some(v) => {
+                let pos = v.partition_point(|&i| i < idx);
+                v.insert(pos, idx);
+                false
+            }
+            None => {
+                map.insert(key.to_owned(), vec![idx]);
+                true
+            }
+        }
     }
 
     /// Number of licenses.
@@ -358,6 +528,87 @@ mod tests {
         // 5 licenses × (tx + rx) sites.
         assert_eq!(db.site_index().site_count(), 10);
         assert!(db.site_index().cell_count() > 0);
+    }
+
+    #[test]
+    fn extend_equals_per_insert() {
+        let batch = vec![
+            lic(1, "Alpha", RadioService::MG, 41.76, -88.17),
+            lic(2, "Zeta", RadioService::CF, 41.70, -87.60),
+            lic(3, "Alpha", RadioService::MG, 41.76, -88.18),
+            lic(4, "Mid", RadioService::AF, 41.76, -88.17),
+        ];
+        let mut per_insert = UlsDatabase::new();
+        for l in batch.clone() {
+            per_insert.insert(l);
+        }
+        let mut bulk = UlsDatabase::new();
+        bulk.extend(batch.clone());
+        assert_eq!(per_insert, bulk);
+        // Split across two batches: name merge must interleave correctly.
+        let mut split = UlsDatabase::new();
+        split.extend(batch[..2].to_vec());
+        split.extend(batch[2..].to_vec());
+        assert_eq!(per_insert, split);
+        assert_eq!(split.licensees(), vec!["Alpha", "Mid", "Zeta"]);
+    }
+
+    #[test]
+    fn replace_repairs_every_index() {
+        let mut db = db();
+        // Move license 3 (idx 2) from "Beta" to "Alpha", MG→CF, new call
+        // sign, new location.
+        let mut repl = lic(3, "Alpha", RadioService::CF, 35.0, -100.0);
+        repl.call_sign = CallSign("WREPL".into());
+        db.replace(2, repl.clone());
+        // Equality vs a from-scratch build over the updated sequence is
+        // the full-index check.
+        let mut want = db.licenses().to_vec();
+        want[2] = repl;
+        assert_eq!(db, UlsDatabase::from_licenses(want));
+        // "Beta" had only that filing: gone from the sorted name cache.
+        assert_eq!(db.licensees(), vec!["Alpha", "Delta", "Gamma"]);
+        assert!(db.licensee_search("Beta").is_empty());
+        assert_eq!(db.licensee_search("Alpha").len(), 3);
+        assert_eq!(db.find_call_sign("WREPL"), Some(2));
+        assert_eq!(db.find_call_sign("WQ00003"), None);
+        // Geographic search no longer sees the old site, sees the new one.
+        let cme = LatLon::new(41.7625, -88.171233).unwrap();
+        assert!(!db.geographic_search(&cme, 10.0).iter().any(|l| l.id.0 == 3));
+        let tx = LatLon::new(35.0, -100.0).unwrap();
+        assert!(db.geographic_search(&tx, 5.0).iter().any(|l| l.id.0 == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate license id")]
+    fn replace_rejects_id_collision() {
+        let mut db = db();
+        db.replace(2, lic(1, "Beta", RadioService::MG, 41.0, -88.0));
+    }
+
+    #[test]
+    fn find_call_sign_latest_filing_wins() {
+        let mut db = db();
+        assert_eq!(db.find_call_sign("WQ00002"), Some(1));
+        let dup = lic(9, "Echo", RadioService::MG, 41.5, -88.5);
+        let mut dup = dup;
+        dup.call_sign = CallSign("WQ00002".into());
+        db.insert(dup);
+        assert_eq!(db.find_call_sign("WQ00002"), Some(5));
+        assert_eq!(db.find_call_sign("NOPE"), None);
+    }
+
+    #[test]
+    fn set_cancellation_is_a_field_write() {
+        let mut db = db();
+        let d = Date::new(2018, 7, 1).unwrap();
+        db.set_cancellation(0, Some(d));
+        assert_eq!(db.licenses()[0].cancellation_date, Some(d));
+        let mut want = db.licenses().to_vec();
+        want[0].cancellation_date = Some(d);
+        assert_eq!(db, UlsDatabase::from_licenses(want));
+        db.set_cancellation(0, None);
+        assert_eq!(db.licenses()[0].cancellation_date, None);
     }
 
     #[test]

@@ -45,7 +45,12 @@ const MAX_PRUNED_RADIUS_DEG: f64 = 15.0;
 const MAX_PRUNED_LAT_DEG: f64 = 88.0;
 
 /// One bucketed tower site.
-#[derive(Debug, Clone, Copy)]
+///
+/// `PartialEq` is exact (bit-level on the precomputed vector): two indices
+/// compare equal only when built from identical coordinates through the
+/// same [`UnitEcef::from_latlon`] — which is what the ingest applier's
+/// incremental-vs-rebuild verification needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
 struct SiteEntry {
     /// Index of the owning license in the portal's insertion order.
     license: usize,
@@ -62,7 +67,14 @@ struct SiteEntry {
 /// [`SiteIndex::matching_licenses`] with a [`RadiusTest`] so the radius
 /// semantics (inclusive bound, ellipsoid guard band) live in one place —
 /// the geodesy kernel.
-#[derive(Debug, Clone, Default)]
+/// Each cell's entry vector is kept ordered by `(license, arrival)`:
+/// [`SiteIndex::insert`] places new entries after every entry with a
+/// license index `<=` theirs. Bulk builds insert licenses in ascending
+/// order, so the common case is a plain append; the ordering only does
+/// work when the ingest applier re-inserts a replaced license's sites,
+/// and it is what makes an incrementally-maintained index compare equal
+/// (`PartialEq`) to one rebuilt from scratch.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SiteIndex {
     cells: HashMap<(i32, i32), Vec<SiteEntry>>,
     site_count: usize,
@@ -98,6 +110,10 @@ impl SiteIndex {
     }
 
     /// Bucket one site of license `license`.
+    ///
+    /// The entry is placed after every existing entry whose license index
+    /// is `<=` `license`, keeping each cell ordered by `(license,
+    /// arrival)`. Ascending bulk builds hit the append fast path.
     pub fn insert(&mut self, license: usize, position: &LatLon) {
         let entry = SiteEntry {
             license,
@@ -105,8 +121,42 @@ impl SiteIndex {
             position: *position,
         };
         let key = (lat_cell(position.lat_deg()), lon_cell(position.lon_deg()));
-        self.cells.entry(key).or_default().push(entry);
+        let cell = self.cells.entry(key).or_default();
+        if cell.last().is_some_and(|e| e.license > license) {
+            let pos = cell.partition_point(|e| e.license <= license);
+            cell.insert(pos, entry);
+        } else {
+            cell.push(entry);
+        }
         self.site_count += 1;
+    }
+
+    /// Drop every entry owned by `license` from the cells covering
+    /// `positions` (the license's own site list).
+    ///
+    /// Emptied cells are removed so the incrementally-maintained index
+    /// stays structurally identical to a from-scratch rebuild. Returns the
+    /// number of entries removed.
+    pub fn remove_license(&mut self, license: usize, positions: &[LatLon]) -> usize {
+        let mut removed = 0;
+        let mut keys: Vec<(i32, i32)> = positions
+            .iter()
+            .map(|p| (lat_cell(p.lat_deg()), lon_cell(p.lon_deg())))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            if let Some(cell) = self.cells.get_mut(&key) {
+                let before = cell.len();
+                cell.retain(|e| e.license != license);
+                removed += before - cell.len();
+                if cell.is_empty() {
+                    self.cells.remove(&key);
+                }
+            }
+        }
+        self.site_count -= removed;
+        removed
     }
 
     /// License indices with any bucketed site inside `test`, ascending.
@@ -262,6 +312,42 @@ mod tests {
         let test = RadiusTest::new(&p(0.0, 0.0), 25_000_000.0);
         assert!(test.prefilter_radius_m() > 21_000_000.0);
         assert_eq!(idx.matching_licenses(&test, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_order_insert_matches_ascending_build() {
+        let site_a = p(41.0, -88.0);
+        let site_b = p(41.001, -88.001); // same 0.25° cell as site_a
+        let site_c = p(45.0, -80.0);
+        let mut ascending = SiteIndex::new();
+        ascending.insert(0, &site_a);
+        ascending.insert(1, &site_b);
+        ascending.insert(1, &site_c);
+        ascending.insert(2, &site_a);
+        // Insert license 1 last: the ordered insert must splice it between
+        // licenses 0 and 2 inside the shared cell.
+        let mut shuffled = SiteIndex::new();
+        shuffled.insert(0, &site_a);
+        shuffled.insert(2, &site_a);
+        shuffled.insert(1, &site_b);
+        shuffled.insert(1, &site_c);
+        assert_eq!(ascending, shuffled);
+    }
+
+    #[test]
+    fn remove_license_restores_prior_index() {
+        let site_a = p(41.0, -88.0);
+        let site_b = p(42.0, -87.0);
+        let mut base = SiteIndex::new();
+        base.insert(0, &site_a);
+        let mut grown = base.clone();
+        grown.insert(1, &site_a);
+        grown.insert(1, &site_b);
+        assert_eq!(grown.remove_license(1, &[site_a, site_b]), 2);
+        assert_eq!(grown, base);
+        assert_eq!(grown.site_count(), 1);
+        // Removing the last entry of a cell drops the cell itself.
+        assert_eq!(grown.cell_count(), base.cell_count());
     }
 
     #[test]

@@ -22,14 +22,26 @@
 //!   export      dump the license corpus as a ULS-style flat file
 //!   yaml NAME   dump one licensee's 2020-04-01 network as YAML
 //!   serve       run the concurrent query service over TCP
-//!   all         everything above (except serve), written to --out
+//!   ingest      replay the corpus's 2013–2020 event history as daily
+//!               transaction dumps with yearly checkpoint verification
+//!   all         everything above (except serve/ingest), written to --out
 //! ```
 //!
 //! `serve` takes `--port` (default 4710; 0 picks a free port),
 //! `--workers` and `--queue-depth`, answers the hft-serve wire protocol
 //! until a `shutdown` request arrives, then dumps the serving counters
-//! as JSON on stdout. Any analysis command accepts `--stats` to print
-//! the session's cache counters as JSON after the run.
+//! as JSON on stdout. With `--follow DIR` it starts from an **empty**
+//! corpus instead of the generated one and tails `DIR` for transaction
+//! dumps, publishing a new corpus generation per ingested batch while
+//! queries keep answering. Any analysis command accepts `--stats` to
+//! print the session's cache counters as JSON after the run.
+//!
+//! `ingest` renders the generated corpus's full event history as daily
+//! dump files under `--out DIR/dumps`, replays them through the
+//! incremental applier, and at every yearly checkpoint verifies the
+//! incrementally maintained database against a from-scratch rebuild —
+//! including byte-identical YAML network reconstructions against the
+//! omniscient generated corpus.
 
 use hftnetview::prelude::*;
 use hftnetview::{report, weather};
@@ -46,6 +58,7 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     stats: bool,
+    follow: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 64,
         stats: false,
+        follow: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -83,6 +97,9 @@ fn parse_args() -> Result<Args, String> {
                 parsed.queue_depth = v.parse().map_err(|_| format!("bad queue depth {v:?}"))?;
             }
             "--stats" => parsed.stats = true,
+            "--follow" => {
+                parsed.follow = Some(PathBuf::from(args.next().ok_or("--follow needs a value")?));
+            }
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -93,7 +110,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--follow DIR]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -118,15 +135,29 @@ fn run(args: &Args) -> Result<(), String> {
         })
         .map_err(io_err)?;
         let addr = server.local_addr().map_err(io_err)?;
-        eprintln!(
-            "serving {} licenses on {addr} ({} workers, queue depth {})",
-            eco.db.len(),
-            args.workers,
-            args.queue_depth
-        );
-        let stats = server.run(&eco.db).map_err(io_err)?;
-        println!("{}", stats.to_json().encode());
+        if let Some(dir) = &args.follow {
+            eprintln!(
+                "live-serving on {addr}, following {} ({} workers, queue depth {})",
+                dir.display(),
+                args.workers,
+                args.queue_depth
+            );
+            let stats = serve_follow(&server, dir).map_err(io_err)?;
+            println!("{}", stats.to_json().encode());
+        } else {
+            eprintln!(
+                "serving {} licenses on {addr} ({} workers, queue depth {})",
+                eco.db.len(),
+                args.workers,
+                args.queue_depth
+            );
+            let stats = server.run(&eco.db).map_err(io_err)?;
+            println!("{}", stats.to_json().encode());
+        }
         return Ok(());
+    }
+    if args.command == "ingest" {
+        return run_ingest(&eco, &args.out);
     }
     let analysis = report::Analysis::new(&eco);
     let out = &args.out;
@@ -329,6 +360,264 @@ fn run(args: &Args) -> Result<(), String> {
         println!("{}", analysis.session_stats_json());
     }
     Ok(())
+}
+
+/// The `serve --follow` loop: tail `dir` for transaction dumps on a
+/// background thread, publishing one corpus generation per ingested
+/// batch, while the server answers queries against the latest
+/// generation. Starts from an empty corpus (generation 0).
+fn serve_follow(
+    server: &hft_serve::Server,
+    dir: &Path,
+) -> std::io::Result<hft_serve::ServeSnapshot> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let store = Arc::new(hft_ingest::SnapshotStore::new(UlsDatabase::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let ingester = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        let dir = dir.to_path_buf();
+        std::thread::spawn(move || {
+            let mut follower = hft_ingest::DumpFollower::new(dir);
+            let mut applier = hft_ingest::Applier::new(UlsDatabase::new());
+            while !stop.load(Ordering::Relaxed) {
+                let files = match follower.poll() {
+                    Ok(files) => files,
+                    Err(e) => {
+                        eprintln!("ingest: poll failed: {e}");
+                        Vec::new()
+                    }
+                };
+                if files.is_empty() {
+                    std::thread::sleep(std::time::Duration::from_millis(200));
+                    continue;
+                }
+                for (path, date) in files {
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(text) => text,
+                        Err(e) => {
+                            eprintln!("ingest: {}: {e}", path.display());
+                            continue;
+                        }
+                    };
+                    match hft_ingest::decode_batch(&text) {
+                        Ok((batch, report)) => {
+                            for q in &report.quarantined {
+                                eprintln!("ingest: {}: quarantined {q}", path.display());
+                            }
+                            let events = batch.events.len();
+                            for c in applier.apply(&batch) {
+                                eprintln!("ingest: {}: conflict {c}", path.display());
+                            }
+                            let generation = applier.publish(&store);
+                            eprintln!(
+                                "ingested {} ({events} events) -> {} licenses, generation {generation}",
+                                date.to_iso(),
+                                applier.db().len()
+                            );
+                        }
+                        Err(e) => eprintln!("ingest: {}: {e}", path.display()),
+                    }
+                }
+            }
+        })
+    };
+    let stats = server.run_live(&store);
+    stop.store(true, Ordering::Relaxed);
+    let _ = ingester.join();
+    stats
+}
+
+/// The `ingest` command: render the generated corpus's event history as
+/// daily dumps under `out/dumps`, replay them through the incremental
+/// applier, and verify every yearly checkpoint against from-scratch
+/// builds — index equality, reference-interpreter equality, and
+/// byte-identical YAML reconstructions against the omniscient corpus.
+fn run_ingest(
+    eco: &hftnetview::hft_corridor::GeneratedEcosystem,
+    out: &Path,
+) -> Result<(), String> {
+    // The omniscient baseline is the corpus *as published through the
+    // ULS text dialect*: dump files quantize coordinates to DMS, so the
+    // fair ground truth is the generated corpus after one round trip
+    // through the same codec (a fixed point of encode∘decode), not the
+    // full-precision in-memory floats.
+    let published = hft_uls::flatfile::decode(&hft_uls::flatfile::encode(eco.db.licenses()))
+        .map_err(|e| format!("publishing the corpus: {e}"))?;
+    let published_db = UlsDatabase::from_licenses(published);
+
+    let batches = hft_ingest::render_history(published_db.licenses());
+    let dump_dir = out.join("dumps");
+    let paths = hft_ingest::write_dump_dir(&dump_dir, &batches).map_err(|e| e.to_string())?;
+    eprintln!(
+        "rendered {} daily dumps ({} licenses) into {}",
+        paths.len(),
+        published_db.len(),
+        dump_dir.display()
+    );
+
+    let eco_session = hft_core::session::AnalysisSession::new(&published_db);
+    let mut applier = hft_ingest::Applier::new(UlsDatabase::new());
+    let mut model: Vec<License> = Vec::new();
+    let mut checkpoints = 0usize;
+
+    for (i, path) in paths.iter().enumerate() {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let (batch, report) =
+            hft_ingest::decode_batch(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if !report.is_clean() {
+            return Err(format!(
+                "{}: {} quarantined transactions in a replay dump",
+                path.display(),
+                report.count()
+            ));
+        }
+        let conflicts = applier.apply(&batch);
+        if let Some(c) = conflicts.first() {
+            return Err(format!("{}: unexpected conflict: {c}", path.display()));
+        }
+        if hft_ingest::model::apply_events(&mut model, &batch) != 0 {
+            return Err(format!(
+                "{}: reference interpreter saw a conflict",
+                path.display()
+            ));
+        }
+
+        let last = i + 1 == paths.len();
+        if last || batches[i + 1].date.year() != batch.date.year() {
+            ingest_checkpoint(&applier, &model, &eco_session, batch.date)?;
+            checkpoints += 1;
+        }
+    }
+
+    // Full-history equality: the replayed corpus *is* the published one
+    // (replay orders by grant date, so compare sorted by license id).
+    let mut got = applier.db().licenses().to_vec();
+    got.sort_unstable_by_key(|l| l.id);
+    let mut want = published_db.licenses().to_vec();
+    want.sort_unstable_by_key(|l| l.id);
+    if got != want {
+        return Err("replayed corpus differs from the published corpus".into());
+    }
+    // The §2.2 scrape funnel agrees too.
+    let replay_session = hft_core::session::AnalysisSession::new(applier.db());
+    let cfg = hft_uls::scrape::ScrapeConfig::default();
+    let reference = corridor::CME.position();
+    let got_scrape = replay_session
+        .scrape(&reference, &cfg)
+        .expect("session has a portal");
+    let want_scrape = eco_session
+        .scrape(&reference, &cfg)
+        .expect("session has a portal");
+    if got_scrape.report != want_scrape.report || got_scrape.shortlist != want_scrape.shortlist {
+        return Err("replayed scrape funnel differs from the generated corpus".into());
+    }
+    let stats = applier.stats();
+    println!(
+        "replay verified: {} batches, {} events ({} added, {} updated, {} cancelled), \
+         {} conflicts, {checkpoints} yearly checkpoints",
+        stats.batches,
+        stats.events(),
+        stats.added,
+        stats.updated,
+        stats.cancelled,
+        stats.conflicts
+    );
+    Ok(())
+}
+
+/// One yearly checkpoint: the incrementally maintained corpus must be
+/// indistinguishable from a from-scratch build at this date.
+fn ingest_checkpoint(
+    applier: &hft_ingest::Applier,
+    model: &[License],
+    eco_session: &hft_core::session::AnalysisSession<'_>,
+    date: Date,
+) -> Result<(), String> {
+    use hft_core::yaml::to_yaml;
+
+    // Incremental index maintenance == full rebuild of the same sequence.
+    applier
+        .verify()
+        .map_err(|e| format!("{}: {e}", date.to_iso()))?;
+    // Event semantics == the naive reference interpreter, and the
+    // incrementally mutated corpus == a database built from scratch at
+    // this date (license list and every secondary index).
+    let from_scratch = UlsDatabase::from_licenses(model.to_vec());
+    if *applier.db() != from_scratch {
+        return Err(format!(
+            "{}: applier corpus diverged from the from-scratch build",
+            date.to_iso()
+        ));
+    }
+    let replay_session = hft_core::session::AnalysisSession::new(applier.db());
+    let scratch_session = hft_core::session::AnalysisSession::new(&from_scratch);
+    for name in report::FIGURE_NETWORKS {
+        let net = replay_session.network_at(name, date);
+        // Byte-identical artifacts vs the from-scratch build at this
+        // date: same corpus, one maintained incrementally.
+        let got = to_yaml(&net);
+        if got != to_yaml(&scratch_session.network_at(name, date)) {
+            return Err(format!(
+                "{}: {name}: incremental-apply YAML differs from the from-scratch build",
+                date.to_iso()
+            ));
+        }
+        // Structurally identical vs the omniscient generated corpus:
+        // replay hides future lifecycle events, but an as-of-`date`
+        // reconstruction may never notice. (Tower numbering and snap
+        // representatives depend on corpus order, so the comparison is
+        // over canonical link/tower sets, not bytes.)
+        let omniscient = eco_session.network_at(name, date);
+        if canonical_network(&net) != canonical_network(&omniscient) {
+            return Err(format!(
+                "{}: {name}: replayed network differs from the omniscient build",
+                date.to_iso()
+            ));
+        }
+    }
+    eprintln!(
+        "checkpoint {}: {} licenses verified (indices, reference model, {} reconstructions)",
+        date.to_iso(),
+        applier.db().len(),
+        report::FIGURE_NETWORKS.len()
+    );
+    Ok(())
+}
+
+/// An order-independent rendering of a reconstructed network: sorted
+/// tower cells plus sorted links keyed by (unordered) cell pair, with
+/// each link's exact frequencies and backing license ids. Tower
+/// numbering and snap-representative coordinates depend on corpus
+/// iteration order, so byte comparison only works between builds of the
+/// *same* corpus; this form compares reconstructions across corpora.
+type CanonicalNetwork = (
+    Vec<hft_geodesy::SnappedCoord>,
+    Vec<(
+        hft_geodesy::SnappedCoord,
+        hft_geodesy::SnappedCoord,
+        Vec<u64>,
+        Vec<hft_uls::LicenseId>,
+    )>,
+);
+
+fn canonical_network(net: &hft_core::Network) -> CanonicalNetwork {
+    let mut towers: Vec<_> = net.graph.nodes().map(|(_, t)| t.cell).collect();
+    towers.sort_unstable();
+    let mut links: Vec<_> = net
+        .graph
+        .edges()
+        .map(|(_, u, v, link)| {
+            let (a, b) = (net.graph.node(u).cell, net.graph.node(v).cell);
+            let (a, b) = if a <= b { (a, b) } else { (b, a) };
+            let freqs: Vec<u64> = link.frequencies_ghz.iter().map(|f| f.to_bits()).collect();
+            (a, b, freqs, link.licenses.clone())
+        })
+        .collect();
+    links.sort_unstable();
+    (towers, links)
 }
 
 fn main() -> ExitCode {
