@@ -29,6 +29,7 @@
 use hft_bench::REPRO_SEED;
 use hft_corridor::{chicago_nj, generate};
 use hft_ingest::{decode_batch, render_history, Applier, SnapshotStore};
+use hft_obs::HistogramShard;
 use hft_serve::api::{Request, Response};
 use hft_serve::{Client, ServeConfig, Server, Service};
 use hft_time::Date;
@@ -156,14 +157,6 @@ impl ReferenceBook {
     }
 }
 
-fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
-    sorted_ms[rank]
-}
-
 #[derive(Default)]
 struct ClientOutcome {
     completed: u64,
@@ -172,7 +165,8 @@ struct ClientOutcome {
     wrong: u64,
     overloaded_retries: u64,
     first_mismatch: Option<String>,
-    latencies_ms: Vec<f64>,
+    /// Per-client latency shard (ns), merged losslessly at the end.
+    latencies: HistogramShard,
 }
 
 /// One serial client: round-trip requests until `done`, bracketing each
@@ -200,9 +194,7 @@ fn drive(
             outcome.overloaded_retries += 1;
             continue;
         }
-        outcome
-            .latencies_ms
-            .push(sent.elapsed().as_secs_f64() * 1e3);
+        outcome.latencies.record(sent.elapsed().as_nanos() as u64);
         outcome.completed += 1;
         if store.generation() != snap.generation() {
             // A publish landed mid-flight: the answer came from one of
@@ -383,13 +375,14 @@ fn run() -> Result<(), String> {
         if total.first_mismatch.is_none() {
             total.first_mismatch = outcome.first_mismatch;
         }
-        total.latencies_ms.extend(outcome.latencies_ms);
+        total.latencies.merge(&outcome.latencies);
     }
-    total
-        .latencies_ms
-        .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let p50 = percentile(&total.latencies_ms, 0.50);
-    let p99 = percentile(&total.latencies_ms, 0.99);
+    let latencies = total.latencies.snapshot();
+    let pct_ms = |q: f64| latencies.percentile(q) as f64 / 1e6;
+    let p50 = pct_ms(0.50);
+    let p90 = pct_ms(0.90);
+    let p99 = pct_ms(0.99);
+    let p999 = pct_ms(0.999);
     let rps = total.completed as f64 / serve_s.max(1e-9);
     let generations = store.generation();
 
@@ -401,9 +394,9 @@ fn run() -> Result<(), String> {
         stats.conflicts,
     );
     println!(
-        "serve:   {:>7} requests {:>9.0} rps  p50 {:.3} ms  p99 {:.3} ms  \
-         ({} generations, {} swaps observed)",
-        total.completed, rps, p50, p99, generations, serve_stats.generation_swaps,
+        "serve:   {:>7} requests {:>9.0} rps  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  \
+         p999 {:.3} ms  ({} generations, {} swaps observed)",
+        total.completed, rps, p50, p90, p99, p999, generations, serve_stats.generation_swaps,
     );
     println!(
         "answers: {} generation-verified, {} unpinned, {} wrong, {} overloaded retries",
@@ -415,7 +408,8 @@ fn run() -> Result<(), String> {
          \"ingest\": {{\"batches\": {}, \"events\": {}, \"conflicts\": {}, \"seconds\": {}, \
          \"events_per_sec\": {}}},\n\
          \"serve_under_ingest\": {{\"concurrency\": {}, \"publish_every\": {}, \"seconds\": {}, \
-         \"requests\": {}, \"rps\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+         \"requests\": {}, \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \
+         \"p999_ms\": {}, \
          \"generations\": {}, \"generation_swaps\": {}, \"verified\": {}, \"unpinned\": {}, \
          \"wrong_answers\": {}, \"overloaded_retries\": {}}},\n\
          \"seed\": {}\n}}\n",
@@ -430,7 +424,9 @@ fn run() -> Result<(), String> {
         total.completed,
         fmt(rps),
         fmt(p50),
+        fmt(p90),
         fmt(p99),
+        fmt(p999),
         generations,
         serve_stats.generation_swaps,
         total.verified,

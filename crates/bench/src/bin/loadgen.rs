@@ -28,6 +28,7 @@
 
 use hft_bench::REPRO_SEED;
 use hft_corridor::{chicago_nj, generate};
+use hft_obs::HistogramShard;
 use hft_serve::api::{Request, Response};
 use hft_serve::{Client, ServeConfig, Server, Service};
 use hft_time::Date;
@@ -188,7 +189,9 @@ struct PhaseResult {
     overloaded_retries: u64,
     wrong: u64,
     first_mismatch: Option<String>,
-    latencies_ms: Vec<f64>,
+    /// Per-connection latency shard (ns); shards merge across
+    /// connections with no loss versus single-shard recording.
+    latencies: HistogramShard,
     elapsed_s: f64,
 }
 
@@ -208,18 +211,12 @@ impl PhaseResult {
         if self.first_mismatch.is_none() {
             self.first_mismatch = other.first_mismatch;
         }
-        self.latencies_ms.extend(other.latencies_ms);
+        self.latencies.merge(&other.latencies);
         self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
     }
 
-    fn percentile_ms(&mut self, q: f64) -> f64 {
-        if self.latencies_ms.is_empty() {
-            return 0.0;
-        }
-        self.latencies_ms
-            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        let rank = ((self.latencies_ms.len() - 1) as f64 * q).round() as usize;
-        self.latencies_ms[rank]
+    fn percentile_ms(&self, q: f64) -> f64 {
+        self.latencies.snapshot().percentile(q) as f64 / 1e6
     }
 }
 
@@ -264,7 +261,7 @@ fn drive(
             resend.push_back(idx);
             continue;
         }
-        result.latencies_ms.push(sent.elapsed().as_secs_f64() * 1e3);
+        result.latencies.record(sent.elapsed().as_nanos() as u64);
         result.completed += 1;
         let got = response.encode();
         if got != expected[idx] {
@@ -402,7 +399,7 @@ fn run() -> Result<(), String> {
         Ok((serial, concurrent))
     };
 
-    let (mut serial, mut concurrent) = match &args.connect {
+    let (serial, concurrent) = match &args.connect {
         Some(spec) => {
             let addr = spec
                 .to_socket_addrs()
@@ -437,8 +434,10 @@ fn run() -> Result<(), String> {
     };
 
     let p50 = concurrent.percentile_ms(0.50);
+    let p90 = concurrent.percentile_ms(0.90);
     let p95 = concurrent.percentile_ms(0.95);
     let p99 = concurrent.percentile_ms(0.99);
+    let p999 = concurrent.percentile_ms(0.999);
     let serial_p50 = serial.percentile_ms(0.50);
     let speedup = if serial.rps() > 0.0 {
         concurrent.rps() / serial.rps()
@@ -453,12 +452,15 @@ fn run() -> Result<(), String> {
         serial_p50
     );
     println!(
-        "concurrent: {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms",
+        "concurrent: {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p90 {:.3} ms  p95 {:.3} ms  \
+         p99 {:.3} ms  p999 {:.3} ms",
         concurrent.completed,
         concurrent.rps(),
         p50,
+        p90,
         p95,
-        p99
+        p99,
+        p999
     );
     println!(
         "speedup {speedup:.1}x, {} overloaded retries, {} wrong answers",
@@ -471,7 +473,7 @@ fn run() -> Result<(), String> {
          \"workload\": {{\"distinct_requests\": {}, \"seed\": {}}},\n\
          \"serial\": {{\"requests\": {}, \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}}},\n\
          \"concurrent\": {{\"concurrency\": {}, \"window\": {}, \"requests\": {}, \"seconds\": {}, \
-         \"rps\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+         \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
          \"overloaded_retries\": {}, \"wrong_answers\": {}}},\n\
          \"speedup\": {}\n}}\n",
         mix.len(),
@@ -486,8 +488,10 @@ fn run() -> Result<(), String> {
         fmt(concurrent.elapsed_s),
         fmt(concurrent.rps()),
         fmt(p50),
+        fmt(p90),
         fmt(p95),
         fmt(p99),
+        fmt(p999),
         concurrent.overloaded_retries,
         serial.wrong + concurrent.wrong,
         fmt(speedup),

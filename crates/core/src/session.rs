@@ -186,7 +186,13 @@ impl From<&ReconstructOptions> for OptionsKey {
 }
 
 /// Atomic hit/miss counters of an [`AnalysisSession`].
-#[derive(Debug, Default)]
+///
+/// Dual-write: each event bumps a per-session atomic (the
+/// [`StatsSnapshot`] view existing consumers read) *and* the matching
+/// `session.*` metric in the global [`hft_obs`] registry, where every
+/// session in the process aggregates. Registry handles are resolved
+/// once at construction, so the per-event cost is two relaxed adds.
+#[derive(Debug)]
 pub struct SessionStats {
     network_hits: AtomicU64,
     reconstructions: AtomicU64,
@@ -196,6 +202,48 @@ pub struct SessionStats {
     apa_misses: AtomicU64,
     graph_hits: AtomicU64,
     graph_misses: AtomicU64,
+    reg: SessionRegistry,
+}
+
+/// Cached global-registry handles for the `session.*` metric family.
+#[derive(Debug)]
+struct SessionRegistry {
+    network_hits: Arc<hft_obs::Counter>,
+    reconstructions: Arc<hft_obs::Counter>,
+    route_hits: Arc<hft_obs::Counter>,
+    route_misses: Arc<hft_obs::Counter>,
+    apa_hits: Arc<hft_obs::Counter>,
+    apa_misses: Arc<hft_obs::Counter>,
+    graph_hits: Arc<hft_obs::Counter>,
+    graph_misses: Arc<hft_obs::Counter>,
+    reconstruct_ns: Arc<hft_obs::Histogram>,
+}
+
+impl Default for SessionStats {
+    fn default() -> SessionStats {
+        let r = hft_obs::global();
+        SessionStats {
+            network_hits: AtomicU64::new(0),
+            reconstructions: AtomicU64::new(0),
+            route_hits: AtomicU64::new(0),
+            route_misses: AtomicU64::new(0),
+            apa_hits: AtomicU64::new(0),
+            apa_misses: AtomicU64::new(0),
+            graph_hits: AtomicU64::new(0),
+            graph_misses: AtomicU64::new(0),
+            reg: SessionRegistry {
+                network_hits: r.counter("session.network_hits"),
+                reconstructions: r.counter("session.reconstructions"),
+                route_hits: r.counter("session.route_hits"),
+                route_misses: r.counter("session.route_misses"),
+                apa_hits: r.counter("session.apa_hits"),
+                apa_misses: r.counter("session.apa_misses"),
+                graph_hits: r.counter("session.graph_hits"),
+                graph_misses: r.counter("session.graph_misses"),
+                reconstruct_ns: r.histogram("session.reconstruct_ns"),
+            },
+        }
+    }
 }
 
 /// A point-in-time copy of [`SessionStats`].
@@ -228,22 +276,20 @@ impl StatsSnapshot {
 
     /// The counters as a single-line JSON object — the machine-readable
     /// form served by the query service's `stats` request and printed by
-    /// the CLI's `--stats` flag. Key order is fixed (field declaration
-    /// order) so the output is byte-deterministic.
+    /// the CLI's `--stats` flag. Rendered by the same deterministic
+    /// compact writer the metrics exposition uses; key order is fixed
+    /// (field declaration order) so the output is byte-deterministic.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"network_hits\": {}, \"reconstructions\": {}, \"route_hits\": {}, \
-             \"route_misses\": {}, \"apa_hits\": {}, \"apa_misses\": {}, \
-             \"graph_hits\": {}, \"graph_misses\": {}}}",
-            self.network_hits,
-            self.reconstructions,
-            self.route_hits,
-            self.route_misses,
-            self.apa_hits,
-            self.apa_misses,
-            self.graph_hits,
-            self.graph_misses,
-        )
+        hft_obs::expo::render_u64_object(&[
+            ("network_hits", self.network_hits),
+            ("reconstructions", self.reconstructions),
+            ("route_hits", self.route_hits),
+            ("route_misses", self.route_misses),
+            ("apa_hits", self.apa_hits),
+            ("apa_misses", self.apa_misses),
+            ("graph_hits", self.graph_hits),
+            ("graph_misses", self.graph_misses),
+        ])
     }
 }
 
@@ -266,8 +312,46 @@ impl std::fmt::Display for StatsSnapshot {
 }
 
 impl SessionStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn network_hit(&self) {
+        self.network_hits.fetch_add(1, Ordering::Relaxed);
+        self.reg.network_hits.incr();
+    }
+
+    /// Count a reconstruction and record its latency.
+    fn reconstruction(&self, ns: u64) {
+        self.reconstructions.fetch_add(1, Ordering::Relaxed);
+        self.reg.reconstructions.incr();
+        self.reg.reconstruct_ns.record(ns);
+    }
+
+    fn route_hit(&self) {
+        self.route_hits.fetch_add(1, Ordering::Relaxed);
+        self.reg.route_hits.incr();
+    }
+
+    fn route_miss(&self) {
+        self.route_misses.fetch_add(1, Ordering::Relaxed);
+        self.reg.route_misses.incr();
+    }
+
+    fn apa_hit(&self) {
+        self.apa_hits.fetch_add(1, Ordering::Relaxed);
+        self.reg.apa_hits.incr();
+    }
+
+    fn apa_miss(&self) {
+        self.apa_misses.fetch_add(1, Ordering::Relaxed);
+        self.reg.apa_misses.incr();
+    }
+
+    fn graph_hit(&self) {
+        self.graph_hits.fetch_add(1, Ordering::Relaxed);
+        self.reg.graph_hits.incr();
+    }
+
+    fn graph_miss(&self) {
+        self.graph_misses.fetch_add(1, Ordering::Relaxed);
+        self.reg.graph_misses.incr();
     }
 
     /// Copy the counters.
@@ -428,12 +512,13 @@ impl<'a> AnalysisSession<'a> {
         let epoch = self.epoch(licensee, date);
         let key = self.net_key(licensee, epoch);
         if let Some(hit) = self.networks.lock().expect("network cache").get(&key) {
-            SessionStats::bump(&self.stats.network_hits);
+            self.stats.network_hit();
             return Arc::clone(hit);
         }
         // Reconstruct outside the lock: epochs are deterministic, so a
         // racing duplicate insert is identical and harmless.
-        SessionStats::bump(&self.stats.reconstructions);
+        let _span = hft_obs::span("session.network");
+        let started = std::time::Instant::now();
         let as_of = self.index.epoch_start(licensee, epoch);
         let net = Arc::new(reconstruct(
             &self.licenses_of(licensee),
@@ -441,6 +526,8 @@ impl<'a> AnalysisSession<'a> {
             as_of,
             &self.options,
         ));
+        self.stats
+            .reconstruction(started.elapsed().as_nanos() as u64);
         self.networks
             .lock()
             .expect("network cache")
@@ -469,10 +556,11 @@ impl<'a> AnalysisSession<'a> {
         let epoch = self.epoch(licensee, date);
         let key = self.pair_key(licensee, epoch, a, b);
         if let Some(hit) = self.graphs.lock().expect("graph cache").get(&key) {
-            SessionStats::bump(&self.stats.graph_hits);
+            self.stats.graph_hit();
             return Arc::clone(hit);
         }
-        SessionStats::bump(&self.stats.graph_misses);
+        self.stats.graph_miss();
+        let _span = hft_obs::span("session.graph");
         let net = self.network(licensee, date);
         let rg = Arc::new(RoutingGraph::build(&net, a, b));
         self.graphs
@@ -495,10 +583,11 @@ impl<'a> AnalysisSession<'a> {
         let epoch = self.epoch(licensee, date);
         let key = self.pair_key(licensee, epoch, a, b);
         if let Some(hit) = self.routes.lock().expect("route cache").get(&key) {
-            SessionStats::bump(&self.stats.route_hits);
+            self.stats.route_hit();
             return hit.clone();
         }
-        SessionStats::bump(&self.stats.route_misses);
+        self.stats.route_miss();
+        let _span = hft_obs::span("session.route");
         let net = self.network(licensee, date);
         let rg = self.routing_graph(licensee, date, a, b);
         let route = rg.route_filtered(&net, |_| true).map(Arc::new);
@@ -527,10 +616,11 @@ impl<'a> AnalysisSession<'a> {
         let epoch = self.epoch(licensee, date);
         let key = self.pair_key(licensee, epoch, a, b);
         if let Some(hit) = self.apas.lock().expect("apa cache").get(&key) {
-            SessionStats::bump(&self.stats.apa_hits);
+            self.stats.apa_hit();
             return *hit;
         }
-        SessionStats::bump(&self.stats.apa_misses);
+        self.stats.apa_miss();
+        let _span = hft_obs::span("session.apa");
         let net = self.network(licensee, date);
         let rg = self.routing_graph(licensee, date, a, b);
         let apa = crate::metrics::apa_with(&rg, &net);
@@ -547,6 +637,7 @@ impl<'a> AnalysisSession<'a> {
     /// ([`AnalysisSession::over`]).
     pub fn scrape(&self, reference: &LatLon, config: &ScrapeConfig) -> Option<Arc<ScrapeOutcome>> {
         let db = self.corpus.db()?;
+        let _span = hft_obs::span("session.scrape");
         let key: ScrapeKey = (
             reference.lat_deg().to_bits(),
             reference.lon_deg().to_bits(),
@@ -940,6 +1031,22 @@ mod tests {
         assert_eq!(memo.hits, 4);
         assert_eq!(memo.misses, 1);
         assert_ne!(fingerprint_words([1, 2, 3]), fingerprint_words([1, 3, 2]));
+    }
+
+    #[test]
+    fn stats_json_is_compact_and_key_ordered() {
+        let lics = chain_licenses("Net", d(2015, 6, 1), None, 5, 1);
+        let s = AnalysisSession::over(&lics);
+        s.network("Net", d(2016, 1, 1));
+        s.network("Net", d(2017, 1, 1));
+        let json = s.stats().to_json();
+        assert_eq!(
+            json,
+            "{\"network_hits\":1,\"reconstructions\":1,\"route_hits\":0,\
+             \"route_misses\":0,\"apa_hits\":0,\"apa_misses\":0,\
+             \"graph_hits\":0,\"graph_misses\":0}",
+            "fixed key order, compact writer"
+        );
     }
 
     #[test]

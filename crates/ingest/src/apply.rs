@@ -135,6 +135,9 @@ impl Applier {
     /// [`UlsDatabase::extend`] — the bulk path that defers sorted-name
     /// maintenance to the end of the run.
     pub fn apply(&mut self, batch: &DumpBatch) -> Vec<Conflict> {
+        let _span = hft_obs::span("ingest.apply");
+        let started = std::time::Instant::now();
+        let before = self.stats;
         let mut conflicts = Vec::new();
         let db = Arc::make_mut(&mut self.db);
         // Pending `New` licenses not yet flushed into the database, with
@@ -207,6 +210,24 @@ impl Applier {
         self.stats.batches += 1;
         self.stats.conflicts += conflicts.len() as u64;
         self.last_date = Some(batch.date);
+        // Mirror this batch's deltas into the global registry.
+        let registry = hft_obs::global();
+        registry.counter("ingest.batches").incr();
+        registry
+            .counter("ingest.added")
+            .add(self.stats.added - before.added);
+        registry
+            .counter("ingest.updated")
+            .add(self.stats.updated - before.updated);
+        registry
+            .counter("ingest.cancelled")
+            .add(self.stats.cancelled - before.cancelled);
+        registry
+            .counter("ingest.conflicts")
+            .add(conflicts.len() as u64);
+        registry
+            .histogram("ingest.apply_ns")
+            .record(started.elapsed().as_nanos() as u64);
         conflicts
     }
 

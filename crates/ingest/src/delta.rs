@@ -72,6 +72,51 @@ pub struct DumpBatch {
     pub events: Vec<DumpEvent>,
 }
 
+/// Why a transaction (or stray line) was quarantined. The typed form
+/// feeds the `ingest.quarantined{reason=...}` counter labels; the
+/// free-text [`Quarantined::message`] keeps the specifics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuarantineReason {
+    /// A `TX|N`/`TX|U` frame with no body records.
+    EmptyTransaction,
+    /// The body failed the flat-file record decoder.
+    BadRecord,
+    /// The body decoded to more than one license.
+    MultiLicense,
+    /// The body's call sign contradicts the `TX` frame's.
+    CallSignMismatch,
+    /// A `TX|C` cancel carrying body records.
+    CancelWithBody,
+    /// A `TX|C` cancel whose date does not parse.
+    BadCancelDate,
+    /// A `TX` line that matches no known frame shape.
+    BadFrame,
+    /// A record line outside any transaction frame.
+    OutsideTransaction,
+}
+
+impl QuarantineReason {
+    /// The stable snake_case label used in metric names and reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            QuarantineReason::EmptyTransaction => "empty_transaction",
+            QuarantineReason::BadRecord => "bad_record",
+            QuarantineReason::MultiLicense => "multi_license",
+            QuarantineReason::CallSignMismatch => "call_sign_mismatch",
+            QuarantineReason::CancelWithBody => "cancel_with_body",
+            QuarantineReason::BadCancelDate => "bad_cancel_date",
+            QuarantineReason::BadFrame => "bad_frame",
+            QuarantineReason::OutsideTransaction => "outside_transaction",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
 /// One quarantined (skipped) region of a dump file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Quarantined {
@@ -79,6 +124,8 @@ pub struct Quarantined {
     pub line: usize,
     /// Number of input lines discarded with it (the whole transaction).
     pub lines: usize,
+    /// The typed reason (drives quarantine counter labels).
+    pub reason: QuarantineReason,
     /// Human-readable reason.
     pub message: String,
 }
@@ -240,6 +287,7 @@ pub fn decode_batch(text: &str) -> Result<(DumpBatch, DecodeReport), BatchError>
             report.quarantined.push(Quarantined {
                 line: lineno,
                 lines: 1,
+                reason: QuarantineReason::OutsideTransaction,
                 message: format!("record outside a TX transaction: {line:?}"),
             });
         }
@@ -251,15 +299,26 @@ pub fn decode_batch(text: &str) -> Result<(DumpBatch, DecodeReport), BatchError>
         line: 0,
         message: "empty dump: no DD header".into(),
     })?;
+    // Surface the quarantine tally in the global registry, labeled by
+    // typed reason.
+    if !report.quarantined.is_empty() {
+        let registry = hft_obs::global();
+        for q in &report.quarantined {
+            registry
+                .counter_with("ingest.quarantined", "reason", q.reason.code())
+                .incr();
+        }
+    }
     Ok((DumpBatch { date, events }, report))
 }
 
 /// Decode one collected transaction group, or say why it is quarantined.
 fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
     let total_lines = 1 + g.body.len();
-    let quarantine = |line: usize, message: String| Quarantined {
+    let quarantine = |line: usize, reason: QuarantineReason, message: String| Quarantined {
         line,
         lines: total_lines,
+        reason,
         message,
     };
     match g.fields.as_slice() {
@@ -267,6 +326,7 @@ fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
             if g.body.is_empty() {
                 return Err(quarantine(
                     g.tx_line,
+                    QuarantineReason::EmptyTransaction,
                     format!("TX|{kind} transaction has no records"),
                 ));
             }
@@ -279,13 +339,18 @@ fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
             let licenses = flatfile::decode(&text).map_err(|e| {
                 // The flat-file decoder numbers lines within the body;
                 // map back to the dump file.
-                quarantine(body_start + e.line - 1, e.message)
+                quarantine(
+                    body_start + e.line - 1,
+                    QuarantineReason::BadRecord,
+                    e.message,
+                )
             })?;
             let lic = match licenses.as_slice() {
                 [lic] => lic.clone(),
                 many => {
                     return Err(quarantine(
                         g.tx_line,
+                        QuarantineReason::MultiLicense,
                         format!("transaction carries {} licenses, expected 1", many.len()),
                     ))
                 }
@@ -293,6 +358,7 @@ fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
             if lic.call_sign.0 != *call {
                 return Err(quarantine(
                     g.tx_line,
+                    QuarantineReason::CallSignMismatch,
                     format!(
                         "TX call sign {:?} contradicts record call sign {:?}",
                         call, lic.call_sign.0
@@ -309,11 +375,17 @@ fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
             if !g.body.is_empty() {
                 return Err(quarantine(
                     g.tx_line,
+                    QuarantineReason::CancelWithBody,
                     "TX|C transaction carries records".into(),
                 ));
             }
-            let date = Date::parse_fcc(date)
-                .map_err(|e| quarantine(g.tx_line, format!("bad cancel date: {e}")))?;
+            let date = Date::parse_fcc(date).map_err(|e| {
+                quarantine(
+                    g.tx_line,
+                    QuarantineReason::BadCancelDate,
+                    format!("bad cancel date: {e}"),
+                )
+            })?;
             Ok(DumpEvent::Cancel {
                 call_sign: CallSign((*call).to_string()),
                 date,
@@ -321,6 +393,7 @@ fn decode_transaction(g: &TxGroup<'_>) -> Result<DumpEvent, Quarantined> {
         }
         _ => Err(quarantine(
             g.tx_line,
+            QuarantineReason::BadFrame,
             format!("malformed TX frame: {:?}", g.fields.join("|")),
         )),
     }
@@ -417,6 +490,7 @@ mod tests {
         assert!(matches!(&batch.events[1], DumpEvent::Cancel { .. }));
         assert_eq!(report.count(), 1);
         assert_eq!(report.quarantined[0].lines, 4);
+        assert_eq!(report.quarantined[0].reason, QuarantineReason::BadRecord);
         assert!(
             report.quarantined[0].message.contains("latitude")
                 || !report.quarantined[0].message.is_empty()
@@ -434,6 +508,10 @@ mod tests {
         assert!(batch.events.is_empty());
         assert_eq!(report.count(), 1);
         assert!(report.quarantined[0].message.contains("contradicts"));
+        assert_eq!(
+            report.quarantined[0].reason,
+            QuarantineReason::CallSignMismatch
+        );
     }
 
     #[test]
@@ -448,6 +526,15 @@ mod tests {
         assert_eq!(report.count(), 3);
         assert!(report.quarantined[0].message.contains("carries records"));
         assert!(report.quarantined[1].message.contains("malformed TX frame"));
+        let reasons: Vec<QuarantineReason> = report.quarantined.iter().map(|q| q.reason).collect();
+        assert_eq!(
+            reasons,
+            [
+                QuarantineReason::CancelWithBody,
+                QuarantineReason::BadFrame,
+                QuarantineReason::BadRecord,
+            ]
+        );
     }
 
     #[test]
@@ -458,6 +545,10 @@ mod tests {
         assert!(batch.events.is_empty());
         assert_eq!(report.count(), 2, "stray EN and duplicate DD");
         assert_eq!(report.quarantined[0].lines, 1);
+        assert!(report
+            .quarantined
+            .iter()
+            .all(|q| q.reason == QuarantineReason::OutsideTransaction));
     }
 
     #[test]
@@ -479,5 +570,22 @@ mod tests {
         let (batch, report) = decode_batch(&text).unwrap();
         assert!(batch.events.is_empty());
         assert!(report.quarantined[0].message.contains("carries 2 licenses"));
+        assert_eq!(report.quarantined[0].reason, QuarantineReason::MultiLicense);
+        // Every reason has a stable distinct code for counter labels.
+        let codes = [
+            QuarantineReason::EmptyTransaction,
+            QuarantineReason::BadRecord,
+            QuarantineReason::MultiLicense,
+            QuarantineReason::CallSignMismatch,
+            QuarantineReason::CancelWithBody,
+            QuarantineReason::BadCancelDate,
+            QuarantineReason::BadFrame,
+            QuarantineReason::OutsideTransaction,
+        ]
+        .map(QuarantineReason::code);
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len());
     }
 }

@@ -40,7 +40,10 @@ pub mod replay;
 pub mod store;
 
 pub use apply::{Applier, ApplyStats, Conflict, ConflictKind};
-pub use delta::{decode_batch, encode_batch, BatchError, DecodeReport, DumpBatch, DumpEvent};
+pub use delta::{
+    decode_batch, encode_batch, BatchError, DecodeReport, DumpBatch, DumpEvent, QuarantineReason,
+    Quarantined,
+};
 pub use follow::DumpFollower;
 pub use replay::{render_history, write_dump, write_dump_dir};
 pub use store::{CorpusSnapshot, SnapshotStore};

@@ -23,6 +23,7 @@ use hft_time::Date;
 use hft_uls::UlsDatabase;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One published corpus generation.
 #[derive(Debug, Clone)]
@@ -64,6 +65,9 @@ pub struct SnapshotStore {
     /// Mirrors `current`'s generation; a plain load, so hot paths can
     /// detect staleness without touching the mutex.
     generation: AtomicU64,
+    /// When the current generation was published — feeds the snapshot
+    /// staleness gauge exposed by the serve layer.
+    published_at: Mutex<Instant>,
 }
 
 impl SnapshotStore {
@@ -82,6 +86,7 @@ impl SnapshotStore {
                 db,
             })),
             generation: AtomicU64::new(0),
+            published_at: Mutex::new(Instant::now()),
         }
     }
 
@@ -96,6 +101,12 @@ impl SnapshotStore {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// How long ago the current generation was published. The serve
+    /// layer reports this as its snapshot-staleness gauge.
+    pub fn last_publish_age(&self) -> Duration {
+        self.published_at.lock().expect("snapshot store").elapsed()
+    }
+
     /// Publish `db` as the next generation and return its number.
     ///
     /// The store mutex is held only for the pointer swap. Readers
@@ -103,6 +114,7 @@ impl SnapshotStore {
     /// calls see the new generation immediately after the atomic counter
     /// is advanced.
     pub fn publish(&self, db: Arc<UlsDatabase>, as_of: Option<Date>) -> u64 {
+        let started = Instant::now();
         let mut current = self.current.lock().expect("snapshot store");
         let generation = current.generation() + 1;
         *current = Arc::new(CorpusSnapshot {
@@ -111,6 +123,12 @@ impl SnapshotStore {
             db,
         });
         self.generation.store(generation, Ordering::Release);
+        *self.published_at.lock().expect("snapshot store") = Instant::now();
+        let registry = hft_obs::global();
+        registry.gauge("ingest.generation").set(generation as i64);
+        registry
+            .histogram("ingest.generation_swap_ns")
+            .record(started.elapsed().as_nanos() as u64);
         generation
     }
 }

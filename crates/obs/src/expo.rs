@@ -1,0 +1,202 @@
+//! Exposition: deterministic JSON and Prometheus-style text renderings
+//! of a [`RegistrySnapshot`].
+//!
+//! Both renderings are byte-deterministic for a given snapshot: the
+//! snapshot is already name-sorted, every number is an integer, and the
+//! JSON writer emits compact output (no whitespace) with the same
+//! escaping rules as the serving layer's wire codec, so two dumps of
+//! equal state compare equal as bytes.
+
+use crate::registry::{HistSummary, RegistrySnapshot};
+use std::fmt::Write;
+
+/// Append `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_summary(out: &mut String, h: &HistSummary) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+        h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99, h.p999
+    );
+}
+
+/// Render the snapshot as one compact JSON object:
+/// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,p50,p90,p99,p999}}}`.
+pub fn render_json(s: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in s.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in s.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in s.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        out.push(':');
+        push_summary(&mut out, h);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Render a flat JSON object of unsigned-integer fields with the same
+/// compact writer the registry exposition uses, preserving the given
+/// key order — for stats views that promise a fixed field order.
+pub fn render_u64_object(fields: &[(&str, u64)]) -> String {
+    let mut out = String::from("{");
+    for (i, (name, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        let _ = write!(out, ":{v}");
+    }
+    out.push('}');
+    out
+}
+
+/// Split `serve.q{reason="x"}` into a Prometheus-legal base name
+/// (`serve_q`) and the label selector (`{reason="x"}`, possibly empty).
+fn prom_name(name: &str) -> (String, &str) {
+    let (base, labels) = match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    };
+    let base: String = base
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    (base, labels)
+}
+
+/// Render the snapshot in Prometheus text exposition style. Dotted
+/// metric names become underscored; histograms expose `_count`, `_sum`,
+/// `_min`, `_max` and `{quantile="..."}` series.
+pub fn render_prometheus(s: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_base = String::new();
+    let mut type_line = |out: &mut String, base: &str, kind: &str| {
+        if base != last_type_base {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_type_base = base.to_string();
+        }
+    };
+    for (name, v) in &s.counters {
+        let (base, labels) = prom_name(name);
+        type_line(&mut out, &base, "counter");
+        let _ = writeln!(out, "{base}{labels} {v}");
+    }
+    for (name, v) in &s.gauges {
+        let (base, labels) = prom_name(name);
+        type_line(&mut out, &base, "gauge");
+        let _ = writeln!(out, "{base}{labels} {v}");
+    }
+    for (name, h) in &s.histograms {
+        let (base, _) = prom_name(name);
+        let _ = writeln!(out, "# TYPE {base} summary");
+        for (q, v) in [
+            ("0.5", h.p50),
+            ("0.9", h.p90),
+            ("0.99", h.p99),
+            ("0.999", h.p999),
+        ] {
+            let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{base}_count {}", h.count);
+        let _ = writeln!(out, "{base}_sum {}", h.sum);
+        let _ = writeln!(out, "{base}_min {}", h.min);
+        let _ = writeln!(out, "{base}_max {}", h.max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> RegistrySnapshot {
+        let r = Registry::new();
+        r.counter("serve.completed").add(7);
+        r.counter_with("ingest.quarantined", "reason", "bad_frame")
+            .add(2);
+        r.gauge("serve.staleness_ms").set(41);
+        let h = r.histogram("serve.service_ns");
+        h.record(1_000);
+        h.record(2_000);
+        h.record(4_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_deterministic_and_sorted() {
+        let s = sample();
+        let a = render_json(&s);
+        let b = render_json(&s);
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"counters\":{"));
+        // Label quotes must be escaped inside the JSON key.
+        assert!(a.contains("\"ingest.quarantined{reason=\\\"bad_frame\\\"}\":2"));
+        // Labeled name sorts before serve.completed (BTreeMap order).
+        let qpos = a.find("ingest.quarantined").unwrap();
+        let cpos = a.find("serve.completed").unwrap();
+        assert!(qpos < cpos);
+        assert!(a.contains("\"serve.staleness_ms\":41"));
+        assert!(a.contains("\"serve.service_ns\":{\"count\":3,\"sum\":7000"));
+        assert!(a.contains("\"p999\":"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_legal_ish() {
+        let s = sample();
+        let p = render_prometheus(&s);
+        assert!(p.contains("# TYPE serve_completed counter"));
+        assert!(p.contains("serve_completed 7"));
+        assert!(p.contains("ingest_quarantined{reason=\"bad_frame\"} 2"));
+        assert!(p.contains("# TYPE serve_service_ns summary"));
+        assert!(p.contains("serve_service_ns{quantile=\"0.99\"}"));
+        assert!(p.contains("serve_service_ns_count 3"));
+        assert!(p.contains("serve_service_ns_sum 7000"));
+        assert!(p.contains("serve_staleness_ms 41"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_sections() {
+        let s = Registry::new().snapshot();
+        assert_eq!(
+            render_json(&s),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(render_prometheus(&s), "");
+    }
+}

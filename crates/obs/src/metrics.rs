@@ -1,0 +1,100 @@
+//! Scalar metrics: monotonic counters and signed gauges. One relaxed
+//! atomic op per record, gated by the process-wide kill switch.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. A no-op while recording is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, staleness, high-water
+/// marks).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value. A no-op while recording is disabled.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if crate::enabled() {
+            self.0.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the value to `v` if it is higher (high-water marks).
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        if crate::enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn gauge_sets_adds_and_high_waters() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+        g.record_max(5);
+        assert_eq!(g.value(), 7, "record_max never lowers");
+        g.record_max(11);
+        assert_eq!(g.value(), 11);
+    }
+}

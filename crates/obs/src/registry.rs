@@ -1,0 +1,214 @@
+//! The global metric registry: name → handle, with deterministic
+//! (sorted) snapshots for exposition.
+//!
+//! Registration takes a mutex; recording does not. The intended idiom
+//! is to resolve `Arc` handles once — at struct construction or behind
+//! a `OnceLock` — and record through the cached handle, so the hot path
+//! is exactly the atomic ops of the metric itself.
+//!
+//! Names are dotted paths (`serve.completed`, `session.reconstruct_ns`).
+//! Labeled variants append a Prometheus-style selector to the name
+//! (`ingest.quarantined{reason="bad_frame"}`); since a `BTreeMap` keys
+//! the registry, exposition order is total and stable.
+
+use crate::hist::Histogram;
+use crate::metrics::{Counter, Gauge};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A set of named metrics. Usually accessed through [`global`]; tests
+/// may build private registries.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// Render the `name{key="value"}` form of a labeled metric.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("counter registry");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the counter `name{key="value"}`.
+    pub fn counter_with(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
+        self.counter(&labeled(name, key, value))
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("gauge registry");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("histogram registry");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// A deterministic point-in-time copy: every metric, sorted by
+    /// name, histograms reduced to their summary quantiles.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counter registry")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.value()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("gauge registry")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.value()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram registry")
+            .iter()
+            .map(|(name, h)| (name.clone(), HistSummary::of(&h.snapshot())))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The summary quantiles of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistSummary {
+    /// Reduce a snapshot to its summary.
+    pub fn of(s: &crate::hist::HistogramSnapshot) -> HistSummary {
+        HistSummary {
+            count: s.count,
+            sum: s.sum,
+            min: s.min,
+            max: s.max,
+            p50: s.percentile(0.50),
+            p90: s.percentile(0.90),
+            p99: s.percentile(0.99),
+            p999: s.percentile(0.999),
+        }
+    }
+}
+
+/// A deterministic copy of a [`Registry`]: every vector sorted by
+/// metric name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrySnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistSummary)>,
+}
+
+impl RegistrySnapshot {
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_alias_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x.events");
+        let b = r.counter("x.events");
+        a.add(3);
+        b.incr();
+        assert_eq!(r.counter("x.events").value(), 4);
+        assert_eq!(
+            r.counter_with("x.q", "reason", "bad").value(),
+            0,
+            "labeled counter is distinct"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let r = Registry::new();
+        r.counter("b.second").incr();
+        r.counter("a.first").add(2);
+        r.gauge("z.depth").set(-7);
+        r.histogram("m.lat_ns").record(1500);
+        r.histogram("m.lat_ns").record(3000);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        assert_eq!(s.counter("a.first"), Some(2));
+        assert_eq!(s.gauge("z.depth"), Some(-7));
+        let h = s.histogram("m.lat_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert!(h.p50 >= h.min && h.p999 <= h.max.max(h.p999));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn labeled_renders_prometheus_selector() {
+        assert_eq!(labeled("a.b", "k", "v"), "a.b{k=\"v\"}");
+    }
+}

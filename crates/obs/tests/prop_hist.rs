@@ -1,0 +1,79 @@
+//! Property tests for histogram correctness (ISSUE 5 satellite):
+//! sharded recording merges to exactly the single-shard result, and
+//! bucketed percentiles stay within one bucket width of the exact
+//! order statistics of the recorded stream.
+
+use hft_obs::hist::{bucket_bounds, bucket_index, Histogram, HistogramShard};
+use proptest::prelude::*;
+
+/// Value streams spanning the interesting ranges: exact unit buckets,
+/// mid-range latencies, and large outliers.
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// Splitting a stream across shards and merging — in either
+    /// direction (shard→shard or shards→atomic histogram) — yields the
+    /// same snapshot as recording everything into one place.
+    #[test]
+    fn merged_shards_equal_single_shard(vals in values(), nshards in 1usize..8) {
+        let mut single = HistogramShard::new();
+        let mut shards = vec![HistogramShard::new(); nshards];
+        let atomic = Histogram::new();
+        for (i, &v) in vals.iter().enumerate() {
+            single.record(v);
+            shards[i % nshards].record(v);
+        }
+        let mut merged = HistogramShard::new();
+        for s in &shards {
+            merged.merge(s);
+            atomic.merge_shard(s);
+        }
+        prop_assert_eq!(merged.snapshot(), single.snapshot());
+        prop_assert_eq!(atomic.snapshot(), single.snapshot());
+    }
+
+    /// The bucketed nearest-rank percentile lands inside the bucket of
+    /// the exact order statistic — i.e. within one bucket width.
+    #[test]
+    fn percentiles_within_one_bucket_width(vals in values()) {
+        let mut shard = HistogramShard::new();
+        for &v in &vals {
+            shard.record(v);
+        }
+        let snap = shard.snapshot();
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+            let exact = sorted[rank];
+            let est = snap.percentile(q);
+            let (lo, hi) = bucket_bounds(bucket_index(exact));
+            prop_assert!(
+                lo <= est && est <= hi,
+                "q={} exact={} (bucket [{}, {}]) estimate={}",
+                q, exact, lo, hi, est
+            );
+        }
+    }
+
+    /// Bucket index is monotone and bounds always contain the value —
+    /// the two facts the percentile argument rests on.
+    #[test]
+    fn bucketing_is_sound(v in proptest::num::u64::ANY, w in proptest::num::u64::ANY) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi);
+        if v <= w {
+            prop_assert!(bucket_index(v) <= bucket_index(w));
+        }
+    }
+}

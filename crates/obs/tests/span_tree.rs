@@ -1,0 +1,112 @@
+//! Span-nesting integration test (ISSUE 5 satellite): a forced slow
+//! request must produce a well-formed tree — no orphaned or
+//! negative-duration spans — and exactly one slow-query-log entry.
+//!
+//! Runs as its own test binary because it owns the process-global
+//! tracing knobs (slow threshold, sampling stride, kill switch).
+
+use hft_obs::{
+    set_enabled, set_sample_every, set_slow_threshold_ns, span, take_samples, take_slow_queries,
+};
+use std::time::Duration;
+
+/// The canonical request shape from the ISSUE:
+/// `serve.request > singleflight.wait > session.networks > route.apa`.
+fn run_request(slow: bool) {
+    let _root = span("serve.request");
+    {
+        let _wait = span("singleflight.wait");
+        if slow {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    {
+        let _net = span("session.networks");
+        let _apa = span("route.apa");
+        if slow {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+// One test function: the tracing knobs (threshold, stride, kill
+// switch) are process-global, so concurrent #[test]s would race on
+// them.
+#[test]
+fn slow_request_yields_one_well_formed_tree() {
+    take_slow_queries();
+    set_sample_every(0);
+
+    // Fast requests below the threshold never reach the slow log.
+    set_slow_threshold_ns(u64::MAX);
+    for _ in 0..10 {
+        run_request(false);
+    }
+    assert!(take_slow_queries().is_empty(), "no slow entries expected");
+
+    // One forced slow request -> exactly one slow-log entry.
+    set_slow_threshold_ns(1_000_000); // 1 ms, far below the forced 10 ms
+    run_request(true);
+    set_slow_threshold_ns(u64::MAX);
+    let slow = take_slow_queries();
+    assert_eq!(slow.len(), 1, "exactly one slow-query-log entry");
+    let tree = &slow[0];
+
+    // Well-formed: single root, parents precede children, children
+    // nest inside their parent's window (durations are u64, so a
+    // negative duration cannot even be represented; `check` verifies
+    // the windows are consistent).
+    tree.check().expect("tree must be well-formed");
+    let names: Vec<&str> = tree.spans.iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        [
+            "serve.request",
+            "singleflight.wait",
+            "session.networks",
+            "route.apa"
+        ]
+    );
+    assert_eq!(tree.spans[0].parent, None);
+    assert_eq!(tree.spans[1].parent, Some(0));
+    assert_eq!(tree.spans[2].parent, Some(0));
+    assert_eq!(tree.spans[3].parent, Some(2), "route.apa nests in networks");
+    assert!(tree.total_ns() >= 10_000_000, "two 5 ms sleeps inside");
+    assert!(tree.spans[1].dur_ns <= tree.total_ns());
+
+    // The rendering indents by depth.
+    let rendered = tree.render();
+    assert!(rendered.starts_with("serve.request "));
+    assert!(rendered.contains("\n  singleflight.wait "));
+    assert!(rendered.contains("\n    route.apa "));
+
+    // --- Sampling and the kill switch ---
+    take_samples();
+
+    // Sampling stride 1 keeps every completed tree in the thread ring.
+    set_sample_every(1);
+    run_request(false);
+    run_request(false);
+    let samples = take_samples();
+    assert_eq!(samples.len(), 2);
+    for t in &samples {
+        t.check().expect("sampled trees are well-formed too");
+        assert_eq!(t.spans.len(), 4);
+    }
+
+    // Stride 0 disables sampling entirely.
+    set_sample_every(0);
+    run_request(false);
+    assert!(take_samples().is_empty());
+
+    // The kill switch suppresses capture altogether.
+    set_sample_every(1);
+    set_enabled(false);
+    run_request(false);
+    set_enabled(true);
+    assert!(take_samples().is_empty(), "disabled spans record nothing");
+
+    // Re-enabled, capture resumes.
+    run_request(false);
+    assert_eq!(take_samples().len(), 1);
+}

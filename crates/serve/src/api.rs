@@ -89,6 +89,9 @@ pub enum Request {
     },
     /// Server + session counters.
     Stats,
+    /// The full process-wide telemetry registry (counters, gauges,
+    /// latency histograms) in its deterministic JSON form.
+    Metrics,
     /// Graceful shutdown: stop accepting, drain, dump stats.
     Shutdown,
 }
@@ -164,6 +167,13 @@ pub enum Response {
         serve: crate::stats::ServeSnapshot,
         /// The analysis session's cache counters.
         session: hft_core::session::StatsSnapshot,
+    },
+    /// The telemetry registry snapshot, as the deterministic JSON object
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}` rendered
+    /// by `hft_obs::expo::render_json`.
+    Metrics {
+        /// The registry object (sorted names, fixed summary key order).
+        registry: Json,
     },
     /// The request could not be served (unknown licensee field values,
     /// malformed frame, bad date, ...).
@@ -287,6 +297,7 @@ impl Request {
                 ],
             ),
             Request::Stats => obj("stats", vec![]),
+            Request::Metrics => obj("metrics", vec![]),
             Request::Shutdown => obj("shutdown", vec![]),
         }
     }
@@ -347,13 +358,15 @@ impl Request {
                 seed: need_u64(v, "seed")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
     }
 
     /// The single-flight identity of this request, or `None` for
-    /// control requests (`stats`, `shutdown`) that are never coalesced.
+    /// control requests (`stats`, `metrics`, `shutdown`) that are never
+    /// coalesced.
     ///
     /// Date-bearing requests key on the licensee's **epoch** under the
     /// session's corpus, not the raw date: two requests for dates inside
@@ -423,7 +436,7 @@ impl Request {
                 "wx|{licensee}|e{}|{from}|{to}|{samples}|{seed}",
                 epoch_of(licensee, *date)
             )),
-            Request::Stats | Request::Shutdown => None,
+            Request::Stats | Request::Metrics | Request::Shutdown => None,
         }
     }
 }
@@ -510,6 +523,9 @@ impl Response {
                     ("session".into(), session_to_json(session)),
                 ],
             ),
+            Response::Metrics { registry } => {
+                obj("metrics", vec![("registry".into(), registry.clone())])
+            }
             Response::Error { message } => obj("error", vec![("message".into(), s(message))]),
             Response::Overloaded => obj("overloaded", vec![]),
             Response::ShuttingDown => obj("shutting_down", vec![]),
@@ -590,6 +606,12 @@ impl Response {
                     v.get("serve").ok_or("stats: missing serve")?,
                 )?,
                 session: session_from_json(v.get("session").ok_or("stats: missing session")?)?,
+            }),
+            "metrics" => Ok(Response::Metrics {
+                registry: v
+                    .get("registry")
+                    .cloned()
+                    .ok_or("metrics: missing registry")?,
             }),
             "error" => Ok(Response::Error {
                 message: need_str(v, "message")?.to_string(),

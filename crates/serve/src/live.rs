@@ -65,14 +65,24 @@ impl LiveService {
         if engine.generation() != current {
             let snap = self.store.current();
             if engine.generation() != snap.generation() {
+                let started = std::time::Instant::now();
                 *engine = Arc::new(Service::over_snapshot(
                     snap.db_arc(),
                     snap.generation(),
                     Arc::clone(&self.stats),
                 ));
                 self.stats.on_generation_swap();
+                hft_obs::global()
+                    .histogram("serve.generation_swap_ns")
+                    .record(started.elapsed().as_nanos() as u64);
             }
         }
+        // How far behind the last publish this request is served —
+        // near zero in steady state, growing only if the ingest
+        // follower stalls.
+        hft_obs::global()
+            .gauge("serve.snapshot_staleness_ms")
+            .set(self.store.last_publish_age().as_millis() as i64);
         Arc::clone(&engine)
     }
 

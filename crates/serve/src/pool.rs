@@ -163,7 +163,12 @@ impl Queue {
             let stats = handler.serve_stats();
             stats.on_queue_wait(job.enqueued.elapsed().as_nanos() as u64);
             let started = Instant::now();
-            let response = handler.handle(&job.request);
+            let response = {
+                // Root of each request's span tree; closing it files the
+                // tree into the sample ring or the slow-query log.
+                let _span = hft_obs::span("serve.request");
+                handler.handle(&job.request)
+            };
             stats.on_service(started.elapsed().as_nanos() as u64);
             stats.on_completed(matches!(response, Response::Error { .. }));
             job.slot.fill(response);

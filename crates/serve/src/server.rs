@@ -247,6 +247,13 @@ fn handle_connection<H: Handler>(
                     service.serve_stats().on_completed(false);
                     outbox.push(ResponseSlot::filled(response));
                 }
+                Request::Metrics => {
+                    // Like `stats`: telemetry must answer even when the
+                    // admission queue is saturated.
+                    let response = service.handle(&Request::Metrics);
+                    service.serve_stats().on_completed(false);
+                    outbox.push(ResponseSlot::filled(response));
+                }
                 request => match queue.submit(request, service.serve_stats()) {
                     Ok(slot) => outbox.push(slot),
                     Err(SubmitError::Overloaded) => {

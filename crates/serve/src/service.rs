@@ -256,6 +256,9 @@ impl<'a> Service<'a> {
                 serve: self.stats.snapshot(),
                 session: self.session.stats(),
             },
+            Request::Metrics => Response::Metrics {
+                registry: metrics_json(),
+            },
             Request::Shutdown => Response::ShuttingDown,
         }
     }
@@ -279,6 +282,17 @@ fn pair(from: &str, to: &str) -> Result<(&'static DataCenter, &'static DataCente
 
 fn err(message: String) -> Response {
     Response::Error { message }
+}
+
+/// The global telemetry registry as a wire-encodable JSON value.
+///
+/// Rendered through `hft_obs::expo::render_json` and re-parsed, so the
+/// wire payload is byte-for-byte the registry's own deterministic
+/// exposition (sorted names, fixed summary key order).
+pub fn metrics_json() -> crate::json::Json {
+    let snap = hft_obs::global().snapshot();
+    crate::json::parse(&hft_obs::expo::render_json(&snap))
+        .expect("registry exposition is well-formed JSON")
 }
 
 #[cfg(test)]

@@ -106,6 +106,7 @@ impl<T: Clone> Group<T> {
                     return (value, true);
                 }
                 Follow(flight) => {
+                    let _span = hft_obs::span("singleflight.wait");
                     let mut state = flight.state.lock().expect("flight state");
                     loop {
                         match &*state {

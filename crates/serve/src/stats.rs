@@ -4,10 +4,19 @@
 //! dump.
 
 use crate::json::Json;
+use hft_obs::{Counter, Gauge, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Atomic counters of the serving layer. One instance per server,
 /// shared by every connection handler and pool worker.
+///
+/// Every event is dual-written: once into the per-server atomics below
+/// (so each server's `stats` answer stays its own), and once into the
+/// process-global `hft_obs` registry (so the `metrics` request and the
+/// periodic dump see serving alongside session/ingest telemetry). Both
+/// writes are relaxed atomic ops; the registry handles are resolved
+/// once at construction.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     received: AtomicU64,
@@ -23,12 +32,49 @@ pub struct ServeStats {
     service_ns_max: AtomicU64,
     queue_high_water: AtomicU64,
     generation_swaps: AtomicU64,
+    reg: ServeRegistry,
+}
+
+/// Cached global-registry handles for the `serve.*` metric family.
+#[derive(Debug)]
+struct ServeRegistry {
+    received: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    completed: Arc<Counter>,
+    errors: Arc<Counter>,
+    flights_led: Arc<Counter>,
+    flights_coalesced: Arc<Counter>,
+    generation_swaps: Arc<Counter>,
+    queue_high_water: Arc<Gauge>,
+    queue_wait_ns: Arc<Histogram>,
+    service_ns: Arc<Histogram>,
+}
+
+impl Default for ServeRegistry {
+    fn default() -> ServeRegistry {
+        let r = hft_obs::global();
+        ServeRegistry {
+            received: r.counter("serve.received"),
+            accepted: r.counter("serve.accepted"),
+            rejected_overloaded: r.counter("serve.rejected_overloaded"),
+            completed: r.counter("serve.completed"),
+            errors: r.counter("serve.errors"),
+            flights_led: r.counter("serve.flights_led"),
+            flights_coalesced: r.counter("serve.flights_coalesced"),
+            generation_swaps: r.counter("serve.generation_swaps"),
+            queue_high_water: r.gauge("serve.queue_high_water"),
+            queue_wait_ns: r.histogram("serve.queue_wait_ns"),
+            service_ns: r.histogram("serve.service_ns"),
+        }
+    }
 }
 
 impl ServeStats {
     /// A request arrived (any kind, before admission).
     pub fn on_received(&self) {
         self.received.fetch_add(1, Ordering::Relaxed);
+        self.reg.received.incr();
     }
 
     /// A request was admitted to the queue; `depth` is the queue length
@@ -37,46 +83,56 @@ impl ServeStats {
         self.accepted.fetch_add(1, Ordering::Relaxed);
         self.queue_high_water
             .fetch_max(depth as u64, Ordering::Relaxed);
+        self.reg.accepted.incr();
+        self.reg.queue_high_water.record_max(depth as i64);
     }
 
     /// A request was rejected because the admission queue was full.
     pub fn on_overloaded(&self) {
         self.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+        self.reg.rejected_overloaded.incr();
     }
 
     /// A request finished; `error` marks protocol-level error answers.
     pub fn on_completed(&self, error: bool) {
         self.completed.fetch_add(1, Ordering::Relaxed);
+        self.reg.completed.incr();
         if error {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            self.reg.errors.incr();
         }
     }
 
     /// A single-flight group resolved: the leader ran the computation.
     pub fn on_flight_led(&self) {
         self.flights_led.fetch_add(1, Ordering::Relaxed);
+        self.reg.flights_led.incr();
     }
 
     /// A request coalesced onto an in-flight leader's computation.
     pub fn on_flight_coalesced(&self) {
         self.flights_coalesced.fetch_add(1, Ordering::Relaxed);
+        self.reg.flights_coalesced.incr();
     }
 
     /// Record how long a request sat in the admission queue.
     pub fn on_queue_wait(&self, ns: u64) {
         self.queue_wait_ns_total.fetch_add(ns, Ordering::Relaxed);
         self.queue_wait_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.reg.queue_wait_ns.record(ns);
     }
 
     /// Record a request's service (compute + coalesce-wait) time.
     pub fn on_service(&self, ns: u64) {
         self.service_ns_total.fetch_add(ns, Ordering::Relaxed);
         self.service_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.reg.service_ns.record(ns);
     }
 
     /// A live server swapped to a newly published corpus generation.
     pub fn on_generation_swap(&self) {
         self.generation_swaps.fetch_add(1, Ordering::Relaxed);
+        self.reg.generation_swaps.incr();
     }
 
     /// Copy the counters.

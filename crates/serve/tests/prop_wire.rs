@@ -73,6 +73,7 @@ fn request() -> BoxedStrategy<Request> {
             }
         ),
         Just(Request::Stats),
+        Just(Request::Metrics),
         Just(Request::Shutdown),
     ]
     .boxed()
@@ -143,6 +144,62 @@ fn latency() -> BoxedStrategy<f64> {
     prop_oneof![0.0f64..100.0, Just(f64::INFINITY)].boxed()
 }
 
+/// Registry-shaped payloads for `Response::Metrics`: the three fixed
+/// sections with sorted metric names and integer values, matching what
+/// `hft_obs::expo::render_json` emits.
+fn registry_json() -> impl Strategy<Value = hft_serve::json::Json> {
+    use hft_serve::json::Json;
+    use std::collections::BTreeMap;
+    const NAMES: [&str; 6] = [
+        "serve.received",
+        "session.network_hits",
+        "ingest.quarantined{reason=\"bad_record\"}",
+        "uls.site_searches",
+        "obs.slow_queries",
+        "serve.service_ns",
+    ];
+    const SUMMARY_KEYS: [&str; 8] = ["count", "sum", "min", "max", "p50", "p90", "p99", "p999"];
+    let entry = || (0usize..NAMES.len(), counter());
+    let hist_entry = (0usize..NAMES.len(), proptest::collection::vec(counter(), 8));
+    (
+        proptest::collection::vec(entry(), 0..4),
+        proptest::collection::vec(entry(), 0..4),
+        proptest::collection::vec(hist_entry, 0..3),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            // Sorted, deduplicated names — the registry's own invariant.
+            let flat = |entries: Vec<(usize, u64)>| {
+                let m: BTreeMap<&str, u64> =
+                    entries.into_iter().map(|(i, v)| (NAMES[i], v)).collect();
+                Json::Obj(
+                    m.into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                        .collect(),
+                )
+            };
+            let hists: BTreeMap<&str, Vec<u64>> =
+                hists.into_iter().map(|(i, v)| (NAMES[i], v)).collect();
+            let hists = Json::Obj(
+                hists
+                    .into_iter()
+                    .map(|(k, vals)| {
+                        let pairs = SUMMARY_KEYS
+                            .iter()
+                            .zip(vals)
+                            .map(|(key, v)| (key.to_string(), Json::Num(v as f64)))
+                            .collect();
+                        (k.to_string(), Json::Obj(pairs))
+                    })
+                    .collect(),
+            );
+            Json::Obj(vec![
+                ("counters".into(), flat(counters)),
+                ("gauges".into(), flat(gauges)),
+                ("histograms".into(), hists),
+            ])
+        })
+}
+
 fn response() -> BoxedStrategy<Response> {
     prop_oneof![
         proptest::collection::vec(counter(), 0..20).prop_map(|ids| Response::Licenses { ids }),
@@ -197,6 +254,7 @@ fn response() -> BoxedStrategy<Response> {
             }),
         (serve_snapshot(), session_snapshot())
             .prop_map(|(serve, session)| Response::Stats { serve, session }),
+        registry_json().prop_map(|registry| Response::Metrics { registry }),
         text().prop_map(|message| Response::Error { message }),
         Just(Response::Overloaded),
         Just(Response::ShuttingDown),

@@ -172,6 +172,93 @@ fn served_bytes_equal_direct_session_bytes() {
     });
 }
 
+/// `metrics` over the wire renders the full telemetry registry: serve
+/// counters, session counters, and latency histograms with the fixed
+/// summary-key order, all without touching the admission queue.
+#[test]
+fn metrics_request_exposes_registry_over_the_wire() {
+    let eco = eco();
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run(&eco.db).unwrap());
+
+        let mut client = Client::connect(&addr).unwrap();
+        // Drive some real work through the pool so the serve.* family
+        // is warm regardless of which tests ran before this one.
+        for _ in 0..3 {
+            client
+                .call(&Request::SiteSearch {
+                    service: "MG".into(),
+                    class: "FXO".into(),
+                })
+                .unwrap();
+        }
+
+        let response = client.call(&Request::Metrics).unwrap();
+        let registry = match response {
+            Response::Metrics { registry } => registry,
+            other => panic!("expected metrics, got {other:?}"),
+        };
+        let counters = registry.get("counters").expect("counters section");
+        for name in ["serve.received", "serve.accepted", "serve.completed"] {
+            let v = counters
+                .get(name)
+                .and_then(hft_serve::json::Json::as_u64)
+                .unwrap_or_else(|| panic!("missing counter {name}"));
+            assert!(v >= 3, "{name} should count this test's requests");
+        }
+        assert!(registry.get("gauges").is_some(), "gauges section");
+        let hist = registry
+            .get("histograms")
+            .and_then(|h| h.get("serve.service_ns"))
+            .expect("serve.service_ns histogram");
+        for key in ["count", "sum", "min", "max", "p50", "p90", "p99", "p999"] {
+            assert!(hist.get(key).is_some(), "summary key {key}");
+        }
+        assert!(hist.get("count").unwrap().as_u64().unwrap() >= 3);
+
+        // The wire payload is exactly the registry's own deterministic
+        // exposition (modulo counters advancing between the two reads):
+        // same sections, same sorted names.
+        let local = hft_serve::service::metrics_json();
+        let section_names = |v: &hft_serve::json::Json, section: &str| -> Vec<String> {
+            match v.get(section) {
+                Some(hft_serve::json::Json::Obj(pairs)) => {
+                    pairs.iter().map(|(k, _)| k.clone()).collect()
+                }
+                other => panic!("bad {section} section: {other:?}"),
+            }
+        };
+        for section in ["counters", "gauges", "histograms"] {
+            let wire = section_names(&registry, section);
+            // Registration is monotonic and `local` was read after the
+            // wire reply, so every served name must still be there (other
+            // tests may have registered more since).
+            let after = section_names(&local, section);
+            for name in &wire {
+                assert!(
+                    after.contains(name),
+                    "{section} name {name} missing from local exposition"
+                );
+            }
+            let mut sorted = wire.clone();
+            sorted.sort();
+            assert_eq!(wire, sorted, "{section} names must arrive sorted");
+        }
+
+        client.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    });
+}
+
 /// A malformed frame answers an error without killing the connection.
 #[test]
 fn malformed_frame_answers_error_and_connection_survives() {

@@ -330,26 +330,60 @@ impl UlsDatabase {
     }
 }
 
+/// Cached handles for the portal's `uls.*` metrics, resolved once per
+/// process so search hot paths never touch the registry mutex.
+struct PortalMetrics {
+    geo_searches: std::sync::Arc<hft_obs::Counter>,
+    geo_ns: std::sync::Arc<hft_obs::Histogram>,
+    site_searches: std::sync::Arc<hft_obs::Counter>,
+    site_ns: std::sync::Arc<hft_obs::Histogram>,
+}
+
+fn portal_metrics() -> &'static PortalMetrics {
+    static METRICS: std::sync::OnceLock<PortalMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = hft_obs::global();
+        PortalMetrics {
+            geo_searches: r.counter("uls.geographic_searches"),
+            geo_ns: r.histogram("uls.geographic_search_ns"),
+            site_searches: r.counter("uls.site_searches"),
+            site_ns: r.histogram("uls.site_search_ns"),
+        }
+    })
+}
+
 impl UlsPortal for UlsDatabase {
     fn geographic_search(&self, center: &LatLon, radius_km: f64) -> Vec<&License> {
+        let m = portal_metrics();
+        m.geo_searches.incr();
+        let started = std::time::Instant::now();
         let radius_m = radius_km * 1000.0;
         if !radius_m.is_finite() || radius_m < 0.0 {
             // Matches the scalar predicate, which no distance satisfies.
             return Vec::new();
         }
         let test = RadiusTest::new(center, radius_m);
-        self.sites
+        let hits: Vec<&License> = self
+            .sites
             .matching_licenses(&test, self.licenses.len())
             .into_iter()
             .map(|i| &self.licenses[i])
-            .collect()
+            .collect();
+        m.geo_ns.record(started.elapsed().as_nanos() as u64);
+        hits
     }
 
     fn site_search(&self, service: &RadioService, class: &StationClass) -> Vec<&License> {
-        self.by_service_class
+        let m = portal_metrics();
+        m.site_searches.incr();
+        let started = std::time::Instant::now();
+        let hits: Vec<&License> = self
+            .by_service_class
             .get(&(service.clone(), class.clone()))
             .map(|idxs| idxs.iter().map(|&i| &self.licenses[i]).collect())
-            .unwrap_or_default()
+            .unwrap_or_default();
+        m.site_ns.record(started.elapsed().as_nanos() as u64);
+        hits
     }
 
     fn licensee_search(&self, licensee: &str) -> Vec<&License> {

@@ -24,7 +24,10 @@
 //!   serve       run the concurrent query service over TCP
 //!   ingest      replay the corpus's 2013–2020 event history as daily
 //!               transaction dumps with yearly checkpoint verification
-//!   all         everything above (except serve/ingest), written to --out
+//!   metrics     run a representative query mix and dump the telemetry
+//!               registry (JSON, or Prometheus text with --prom)
+//!   all         everything above (except serve/ingest/metrics),
+//!               written to --out
 //! ```
 //!
 //! `serve` takes `--port` (default 4710; 0 picks a free port),
@@ -33,8 +36,11 @@
 //! as JSON on stdout. With `--follow DIR` it starts from an **empty**
 //! corpus instead of the generated one and tails `DIR` for transaction
 //! dumps, publishing a new corpus generation per ingested batch while
-//! queries keep answering. Any analysis command accepts `--stats` to
-//! print the session's cache counters as JSON after the run.
+//! queries keep answering. With `--metrics-interval SECS` a background
+//! thread dumps the full telemetry registry every interval — atomically
+//! to `--metrics-out PATH`, or to stderr — and drains the slow-query
+//! log to stderr. Any analysis command accepts `--stats` to print the
+//! session's cache counters as JSON after the run.
 //!
 //! `ingest` renders the generated corpus's full event history as daily
 //! dump files under `--out DIR/dumps`, replays them through the
@@ -59,6 +65,9 @@ struct Args {
     queue_depth: usize,
     stats: bool,
     follow: Option<PathBuf>,
+    metrics_interval: Option<u64>,
+    metrics_out: Option<PathBuf>,
+    prom: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +83,9 @@ fn parse_args() -> Result<Args, String> {
         queue_depth: 64,
         stats: false,
         follow: None,
+        metrics_interval: None,
+        metrics_out: None,
+        prom: false,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -100,6 +112,20 @@ fn parse_args() -> Result<Args, String> {
             "--follow" => {
                 parsed.follow = Some(PathBuf::from(args.next().ok_or("--follow needs a value")?));
             }
+            "--metrics-interval" => {
+                let v = args.next().ok_or("--metrics-interval needs a value")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad interval {v:?}"))?;
+                if secs == 0 {
+                    return Err("--metrics-interval must be at least 1 second".into());
+                }
+                parsed.metrics_interval = Some(secs);
+            }
+            "--metrics-out" => {
+                parsed.metrics_out = Some(PathBuf::from(
+                    args.next().ok_or("--metrics-out needs a value")?,
+                ));
+            }
+            "--prom" => parsed.prom = true,
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -110,7 +136,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--follow DIR]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -135,15 +161,17 @@ fn run(args: &Args) -> Result<(), String> {
         })
         .map_err(io_err)?;
         let addr = server.local_addr().map_err(io_err)?;
-        if let Some(dir) = &args.follow {
+        let dumper = args
+            .metrics_interval
+            .map(|secs| spawn_metrics_dumper(secs, args.metrics_out.clone()));
+        let served = if let Some(dir) = &args.follow {
             eprintln!(
                 "live-serving on {addr}, following {} ({} workers, queue depth {})",
                 dir.display(),
                 args.workers,
                 args.queue_depth
             );
-            let stats = serve_follow(&server, dir).map_err(io_err)?;
-            println!("{}", stats.to_json().encode());
+            serve_follow(&server, dir)
         } else {
             eprintln!(
                 "serving {} licenses on {addr} ({} workers, queue depth {})",
@@ -151,10 +179,18 @@ fn run(args: &Args) -> Result<(), String> {
                 args.workers,
                 args.queue_depth
             );
-            let stats = server.run(&eco.db).map_err(io_err)?;
-            println!("{}", stats.to_json().encode());
+            server.run(&eco.db)
+        };
+        if let Some((stop, handle)) = dumper {
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            let _ = handle.join();
         }
+        let stats = served.map_err(io_err)?;
+        println!("{}", stats.to_json().encode());
         return Ok(());
+    }
+    if args.command == "metrics" {
+        return run_metrics(&eco, args.prom);
     }
     if args.command == "ingest" {
         return run_ingest(&eco, &args.out);
@@ -360,6 +396,117 @@ fn run(args: &Args) -> Result<(), String> {
         println!("{}", analysis.session_stats_json());
     }
     Ok(())
+}
+
+/// The `metrics` command: drive a representative query mix through an
+/// in-process [`hft_serve::Service`] so every layer's instruments fire,
+/// then render the full telemetry registry — deterministic JSON by
+/// default, Prometheus text with `--prom`.
+fn run_metrics(
+    eco: &hftnetview::hft_corridor::GeneratedEcosystem,
+    prom: bool,
+) -> Result<(), String> {
+    use hft_serve::{Request, Response};
+
+    let service = hft_serve::Service::new(&eco.db);
+    let asof = report::snapshot_date();
+    let reference = corridor::CME.position();
+    let mix = [
+        Request::Geographic {
+            lat_deg: reference.lat_deg(),
+            lon_deg: reference.lon_deg(),
+            radius_km: 150.0,
+        },
+        Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        },
+        Request::Network {
+            licensee: "New Line Networks".into(),
+            date: asof,
+        },
+        Request::Route {
+            licensee: "New Line Networks".into(),
+            date: asof,
+            from: "CME".into(),
+            to: "NY4".into(),
+        },
+        Request::Apa {
+            licensee: "Webline Holdings".into(),
+            date: asof,
+            from: "CME".into(),
+            to: "NY4".into(),
+        },
+    ];
+    for request in &mix {
+        // Twice: the repeat exercises the cache-hit counters too.
+        for _ in 0..2 {
+            if let Response::Error { message } = service.handle(request) {
+                return Err(format!("metrics workload: {message}"));
+            }
+        }
+    }
+    let snapshot = hft_obs::global().snapshot();
+    if prom {
+        print!("{}", hft_obs::expo::render_prometheus(&snapshot));
+    } else {
+        println!("{}", hft_obs::expo::render_json(&snapshot));
+    }
+    Ok(())
+}
+
+/// Background registry dumper for `serve --metrics-interval`: every
+/// `secs`, write the registry JSON to `out` (atomically, via a sibling
+/// temp file) or to stderr, and drain the slow-query log to stderr.
+fn spawn_metrics_dumper(
+    secs: u64,
+    out: Option<PathBuf>,
+) -> (
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let interval = std::time::Duration::from_secs(secs);
+        let tick = std::time::Duration::from_millis(50);
+        loop {
+            // Sleep in short ticks so shutdown is prompt.
+            let mut slept = std::time::Duration::ZERO;
+            while slept < interval && !flag.load(Ordering::Relaxed) {
+                std::thread::sleep(tick);
+                slept += tick;
+            }
+            let stopping = flag.load(Ordering::Relaxed);
+            let json = hft_obs::expo::render_json(&hft_obs::global().snapshot());
+            match &out {
+                Some(path) => {
+                    let tmp = path.with_extension("tmp");
+                    let write = std::fs::write(&tmp, format!("{json}\n"))
+                        .and_then(|()| std::fs::rename(&tmp, path));
+                    if let Err(e) = write {
+                        eprintln!("metrics: {}: {e}", path.display());
+                    }
+                }
+                None => eprintln!("metrics: {json}"),
+            }
+            for tree in hft_obs::take_slow_queries() {
+                eprintln!(
+                    "slow query ({:.1} ms):\n{}",
+                    tree.total_ns() as f64 / 1e6,
+                    tree.render()
+                );
+            }
+            if stopping {
+                // One final dump on the way out, then exit.
+                return;
+            }
+        }
+    });
+    (stop, handle)
 }
 
 /// The `serve --follow` loop: tail `dir` for transaction dumps on a
