@@ -32,6 +32,7 @@ use hft_obs::HistogramShard;
 use hft_serve::api::{Request, Response};
 use hft_serve::{Client, ServeConfig, Server, Service};
 use hft_time::Date;
+use hft_uls::shard::shard_of_licensee;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -44,6 +45,7 @@ struct Args {
     seed: u64,
     shutdown_server: bool,
     out: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         seed: REPRO_SEED,
         shutdown_server: false,
         out: None,
+        shards: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,10 +86,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "--shutdown-server" => parsed.shutdown_server = true,
             "--out" => parsed.out = Some(need("--out")?),
+            "--shards" => {
+                parsed.shards = need("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: loadgen [--connect ADDR] [--seconds S] \
-                     [--concurrency N] [--window N] [--seed N] [--shutdown-server] [--out PATH]"
+                     [--concurrency N] [--window N] [--seed N] [--shutdown-server] [--out PATH] \
+                     [--shards N]"
                 ))
             }
         }
@@ -183,6 +192,31 @@ fn connect_retry(addr: &SocketAddr, patience: Duration) -> Result<Client, String
     }
 }
 
+/// Which latency bucket a request lands in when `--shards N` breakout
+/// is on: single-licensee requests belong to the owning shard under the
+/// fleet's licensee-hash routing; everything else is scatter-gathered
+/// across all shards and lands in the final "broadcast" bucket.
+fn attribution(mix: &[Request], shards: usize) -> Vec<usize> {
+    mix.iter()
+        .map(|req| match req {
+            Request::Network { licensee, .. }
+            | Request::Route { licensee, .. }
+            | Request::Apa { licensee, .. }
+            | Request::Weather { licensee, .. } => shard_of_licensee(licensee, shards) as usize,
+            _ => shards,
+        })
+        .collect()
+}
+
+/// Label of attribution bucket `b` among `shards` shards.
+fn bucket_label(b: usize, shards: usize) -> String {
+    if b == shards {
+        "broadcast".to_string()
+    } else {
+        format!("shard{b}")
+    }
+}
+
 #[derive(Default)]
 struct PhaseResult {
     completed: u64,
@@ -192,6 +226,9 @@ struct PhaseResult {
     /// Per-connection latency shard (ns); shards merge across
     /// connections with no loss versus single-shard recording.
     latencies: HistogramShard,
+    /// Latency breakout by attribution bucket (`shards + 1` buckets,
+    /// the last one broadcast); empty when breakout is off.
+    by_bucket: Vec<HistogramShard>,
     elapsed_s: f64,
 }
 
@@ -212,6 +249,13 @@ impl PhaseResult {
             self.first_mismatch = other.first_mismatch;
         }
         self.latencies.merge(&other.latencies);
+        if self.by_bucket.is_empty() {
+            self.by_bucket = other.by_bucket;
+        } else {
+            for (mine, theirs) in self.by_bucket.iter_mut().zip(&other.by_bucket) {
+                mine.merge(theirs);
+            }
+        }
         self.elapsed_s = self.elapsed_s.max(other.elapsed_s);
     }
 
@@ -227,11 +271,16 @@ fn drive(
     client: &mut Client,
     mix: &[Request],
     expected: &[Vec<u8>],
+    attr: Option<&[usize]>,
     offset: usize,
     window: usize,
     deadline: Instant,
 ) -> Result<PhaseResult, String> {
     let mut result = PhaseResult::default();
+    if let Some(attr) = attr {
+        let buckets = attr.iter().max().map_or(0, |m| m + 1);
+        result.by_bucket = (0..buckets).map(|_| HistogramShard::default()).collect();
+    }
     let mut next = offset % mix.len();
     let mut resend: VecDeque<usize> = VecDeque::new();
     let mut pending: VecDeque<(usize, Instant)> = VecDeque::new();
@@ -261,7 +310,11 @@ fn drive(
             resend.push_back(idx);
             continue;
         }
-        result.latencies.record(sent.elapsed().as_nanos() as u64);
+        let latency_ns = sent.elapsed().as_nanos() as u64;
+        result.latencies.record(latency_ns);
+        if let Some(attr) = attr {
+            result.by_bucket[attr[idx]].record(latency_ns);
+        }
         result.completed += 1;
         let got = response.encode();
         if got != expected[idx] {
@@ -283,12 +336,13 @@ fn run_serial(
     addr: &SocketAddr,
     mix: &[Request],
     expected: &[Vec<u8>],
+    attr: Option<&[usize]>,
     seconds: f64,
 ) -> Result<PhaseResult, String> {
     let mut client = connect_retry(addr, Duration::from_secs(180))?;
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(seconds);
-    let mut result = drive(&mut client, mix, expected, 0, 1, deadline)?;
+    let mut result = drive(&mut client, mix, expected, attr, 0, 1, deadline)?;
     result.elapsed_s = started.elapsed().as_secs_f64();
     Ok(result)
 }
@@ -297,6 +351,7 @@ fn run_concurrent(
     addr: &SocketAddr,
     mix: &[Request],
     expected: &[Vec<u8>],
+    attr: Option<&[usize]>,
     seconds: f64,
     concurrency: usize,
     window: usize,
@@ -314,7 +369,7 @@ fn run_concurrent(
             .iter_mut()
             .enumerate()
             .map(|(i, client)| {
-                scope.spawn(move || drive(client, mix, expected, i * 13, window, deadline))
+                scope.spawn(move || drive(client, mix, expected, attr, i * 13, window, deadline))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -359,6 +414,13 @@ fn run() -> Result<(), String> {
     let reference = Service::new(&eco.db);
     let expected: Vec<Vec<u8>> = mix.iter().map(|r| reference.handle(r).encode()).collect();
 
+    // Optional per-shard latency breakout: attribute each request to the
+    // shard a licensee-hash fleet would route it to (last bucket =
+    // broadcast). This is client-side bookkeeping — it works against any
+    // server and lets the p90-vs-p50 queueing gap be pinned on a shard.
+    let attr = (args.shards > 0).then(|| attribution(&mix, args.shards));
+    let attr = attr.as_deref();
+
     let run_against = |addr: &SocketAddr| -> Result<(PhaseResult, PhaseResult), String> {
         // Warm pass: every distinct request once, so both timed phases
         // hit a warm server (the acceptance setup).
@@ -372,7 +434,7 @@ fn run() -> Result<(), String> {
             }
         }
         eprintln!("warm; serial phase ({:.1}s)...", args.seconds);
-        let serial = run_serial(addr, &mix, &expected, args.seconds)?;
+        let serial = run_serial(addr, &mix, &expected, attr, args.seconds)?;
         eprintln!(
             "serial: {} requests in {:.2}s = {:.0} rps; concurrent phase ({} conns, window {})...",
             serial.completed,
@@ -385,6 +447,7 @@ fn run() -> Result<(), String> {
             addr,
             &mix,
             &expected,
+            attr,
             args.seconds,
             args.concurrency,
             args.window,
@@ -468,6 +531,46 @@ fn run() -> Result<(), String> {
         serial.wrong + concurrent.wrong
     );
 
+    // Per-shard breakout of the concurrent phase: where does the tail
+    // live? The bucket with the widest p90-p50 gap is the queueing
+    // culprit — a shard, or the broadcast fan-out.
+    let mut per_shard_json = String::new();
+    if args.shards > 0 {
+        let mut worst: Option<(String, f64)> = None;
+        let entries: Vec<String> = concurrent
+            .by_bucket
+            .iter()
+            .enumerate()
+            .map(|(b, shard)| {
+                let snap = shard.snapshot();
+                let label = bucket_label(b, args.shards);
+                let p50 = snap.percentile(0.50) as f64 / 1e6;
+                let p90 = snap.percentile(0.90) as f64 / 1e6;
+                let p99 = snap.percentile(0.99) as f64 / 1e6;
+                let gap = p90 - p50;
+                if shard.count() > 0 && worst.as_ref().is_none_or(|(_, g)| gap > *g) {
+                    worst = Some((label.clone(), gap));
+                }
+                println!(
+                    "  {label:<10} {:>8} requests  p50 {p50:.3} ms  p90 {p90:.3} ms  p99 {p99:.3} ms",
+                    shard.count(),
+                );
+                format!(
+                    "{{\"label\": \"{label}\", \"requests\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
+                     \"p99_ms\": {}}}",
+                    shard.count(),
+                    fmt(p50),
+                    fmt(p90),
+                    fmt(p99),
+                )
+            })
+            .collect();
+        if let Some((label, gap)) = &worst {
+            println!("  widest p90-p50 gap: {label} ({gap:.3} ms)");
+        }
+        per_shard_json = format!(",\n\"per_shard\": [{}]", entries.join(", "));
+    }
+
     let json = format!(
         "{{\n\
          \"workload\": {{\"distinct_requests\": {}, \"seed\": {}}},\n\
@@ -475,7 +578,7 @@ fn run() -> Result<(), String> {
          \"concurrent\": {{\"concurrency\": {}, \"window\": {}, \"requests\": {}, \"seconds\": {}, \
          \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
          \"overloaded_retries\": {}, \"wrong_answers\": {}}},\n\
-         \"speedup\": {}\n}}\n",
+         \"speedup\": {}{}\n}}\n",
         mix.len(),
         args.seed,
         serial.completed,
@@ -495,6 +598,7 @@ fn run() -> Result<(), String> {
         concurrent.overloaded_retries,
         serial.wrong + concurrent.wrong,
         fmt(speedup),
+        per_shard_json,
     );
     let path = args
         .out

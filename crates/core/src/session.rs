@@ -247,7 +247,7 @@ impl Default for SessionStats {
 }
 
 /// A point-in-time copy of [`SessionStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Network requests answered from the epoch cache.
     pub network_hits: u64,

@@ -239,6 +239,14 @@ impl Applier {
         store.publish(Arc::clone(&self.db), self.last_date)
     }
 
+    /// Publish the working corpus across a fleet's shards: the full
+    /// corpus is re-partitioned and every shard store advances one
+    /// generation in lockstep. See
+    /// [`ShardedStore::publish_full`](crate::sharded::ShardedStore::publish_full).
+    pub fn publish_sharded(&self, fleet: &crate::sharded::ShardedStore) -> u64 {
+        fleet.publish_full(&self.db, self.last_date)
+    }
+
     /// The from-scratch rebuild: a fresh database from the license
     /// sequence alone. Verification only — this is the full-index build
     /// the incremental path exists to avoid.

@@ -37,6 +37,7 @@ pub mod delta;
 pub mod follow;
 pub mod model;
 pub mod replay;
+pub mod sharded;
 pub mod store;
 
 pub use apply::{Applier, ApplyStats, Conflict, ConflictKind};
@@ -46,4 +47,5 @@ pub use delta::{
 };
 pub use follow::DumpFollower;
 pub use replay::{render_history, write_dump, write_dump_dir};
+pub use sharded::ShardedStore;
 pub use store::{CorpusSnapshot, SnapshotStore};

@@ -68,6 +68,14 @@ pub struct SnapshotStore {
     /// When the current generation was published — feeds the snapshot
     /// staleness gauge exposed by the serve layer.
     published_at: Mutex<Instant>,
+    /// Which fleet shard this store publishes for, if any. Only affects
+    /// telemetry: a sharded store reports into `shard`-labeled registry
+    /// series so per-shard publish cadence is observable.
+    shard: Option<u32>,
+    /// Registry handles, resolved once at construction (labeled by
+    /// shard when one is set).
+    generation_gauge: Arc<hft_obs::Gauge>,
+    swap_ns: Arc<hft_obs::Histogram>,
 }
 
 impl SnapshotStore {
@@ -79,6 +87,22 @@ impl SnapshotStore {
     /// A store seeded with generation 0 from a shared corpus, stamped
     /// `as_of` when the seed already incorporates dumps.
     pub fn seeded(db: Arc<UlsDatabase>, as_of: Option<Date>) -> SnapshotStore {
+        SnapshotStore::build(db, as_of, None)
+    }
+
+    /// A store publishing one fleet shard's corpus: identical semantics
+    /// to [`SnapshotStore::seeded`], but its registry series carry a
+    /// `shard` label.
+    pub fn seeded_shard(db: Arc<UlsDatabase>, as_of: Option<Date>, shard: u32) -> SnapshotStore {
+        SnapshotStore::build(db, as_of, Some(shard))
+    }
+
+    fn build(db: Arc<UlsDatabase>, as_of: Option<Date>, shard: Option<u32>) -> SnapshotStore {
+        let registry = hft_obs::global();
+        let name = |base: &str| match shard {
+            None => base.to_string(),
+            Some(k) => hft_obs::registry::labeled(base, "shard", &k.to_string()),
+        };
         SnapshotStore {
             current: Mutex::new(Arc::new(CorpusSnapshot {
                 generation: 0,
@@ -87,7 +111,15 @@ impl SnapshotStore {
             })),
             generation: AtomicU64::new(0),
             published_at: Mutex::new(Instant::now()),
+            shard,
+            generation_gauge: registry.gauge(&name("ingest.generation")),
+            swap_ns: registry.histogram(&name("ingest.generation_swap_ns")),
         }
+    }
+
+    /// The fleet shard this store publishes for (`None` outside a fleet).
+    pub fn shard(&self) -> Option<u32> {
+        self.shard
     }
 
     /// The current snapshot — an `Arc` clone; the caller co-owns the
@@ -124,11 +156,8 @@ impl SnapshotStore {
         });
         self.generation.store(generation, Ordering::Release);
         *self.published_at.lock().expect("snapshot store") = Instant::now();
-        let registry = hft_obs::global();
-        registry.gauge("ingest.generation").set(generation as i64);
-        registry
-            .histogram("ingest.generation_swap_ns")
-            .record(started.elapsed().as_nanos() as u64);
+        self.generation_gauge.set(generation as i64);
+        self.swap_ns.record(started.elapsed().as_nanos() as u64);
         generation
     }
 }

@@ -122,20 +122,27 @@ pub fn render_prometheus(s: &RegistrySnapshot) -> String {
         let _ = writeln!(out, "{base}{labels} {v}");
     }
     for (name, h) in &s.histograms {
-        let (base, _) = prom_name(name);
-        let _ = writeln!(out, "# TYPE {base} summary");
+        let (base, labels) = prom_name(name);
+        type_line(&mut out, &base, "summary");
         for (q, v) in [
             ("0.5", h.p50),
             ("0.9", h.p90),
             ("0.99", h.p99),
             ("0.999", h.p999),
         ] {
-            let _ = writeln!(out, "{base}{{quantile=\"{q}\"}} {v}");
+            // Quantile joins any existing labels (`{shard="0"}` →
+            // `{shard="0",quantile="0.5"}`) so per-shard series stay
+            // distinct in the flat exposition.
+            let sel = match labels.strip_suffix('}') {
+                Some(open) => format!("{open},quantile=\"{q}\"}}"),
+                None => format!("{{quantile=\"{q}\"}}"),
+            };
+            let _ = writeln!(out, "{base}{sel} {v}");
         }
-        let _ = writeln!(out, "{base}_count {}", h.count);
-        let _ = writeln!(out, "{base}_sum {}", h.sum);
-        let _ = writeln!(out, "{base}_min {}", h.min);
-        let _ = writeln!(out, "{base}_max {}", h.max);
+        let _ = writeln!(out, "{base}_count{labels} {}", h.count);
+        let _ = writeln!(out, "{base}_sum{labels} {}", h.sum);
+        let _ = writeln!(out, "{base}_min{labels} {}", h.min);
+        let _ = writeln!(out, "{base}_max{labels} {}", h.max);
     }
     out
 }
@@ -188,6 +195,66 @@ mod tests {
         assert!(p.contains("serve_service_ns_count 3"));
         assert!(p.contains("serve_service_ns_sum 7000"));
         assert!(p.contains("serve_staleness_ms 41"));
+    }
+
+    /// The serving fleet emits one series per shard worker under a
+    /// `shard` label (e.g. `serve.service_ns{shard="3"}`); both
+    /// expositions must keep shard series distinct, sorted, and
+    /// Prometheus-legal next to their unlabeled fleet-wide siblings.
+    #[test]
+    fn shard_labeled_series_render_per_shard() {
+        let r = Registry::new();
+        r.counter("serve.completed").add(9);
+        for (k, n) in [(0u32, 4u64), (1, 5)] {
+            let shard = k.to_string();
+            r.counter_with("serve.completed", "shard", &shard).add(n);
+            r.gauge(&crate::registry::labeled(
+                "ingest.generation",
+                "shard",
+                &shard,
+            ))
+            .set(7 + k as i64);
+            r.histogram(&crate::registry::labeled(
+                "serve.service_ns",
+                "shard",
+                &shard,
+            ))
+            .record(1_000 * (k as u64 + 1));
+        }
+        let s = r.snapshot();
+
+        let j = render_json(&s);
+        assert!(j.contains("\"serve.completed\":9"));
+        assert!(j.contains("\"serve.completed{shard=\\\"0\\\"}\":4"));
+        assert!(j.contains("\"serve.completed{shard=\\\"1\\\"}\":5"));
+        assert!(j.contains("\"ingest.generation{shard=\\\"0\\\"}\":7"));
+        assert!(j.contains("\"ingest.generation{shard=\\\"1\\\"}\":8"));
+        assert!(j.contains("\"serve.service_ns{shard=\\\"0\\\"}\":{\"count\":1,\"sum\":1000"));
+        assert!(j.contains("\"serve.service_ns{shard=\\\"1\\\"}\":{\"count\":1,\"sum\":2000"));
+        // Shard series sort after the unlabeled name ('{' > alphanum),
+        // so fleet-wide totals lead their per-shard breakdown.
+        let total = j.find("\"serve.completed\":").unwrap();
+        let shard0 = j.find("serve.completed{shard=\\\"0\\\"}").unwrap();
+        let shard1 = j.find("serve.completed{shard=\\\"1\\\"}").unwrap();
+        assert!(total < shard0 && shard0 < shard1);
+
+        let p = render_prometheus(&s);
+        assert!(p.contains("serve_completed 9"));
+        assert!(p.contains("serve_completed{shard=\"0\"} 4"));
+        assert!(p.contains("serve_completed{shard=\"1\"} 5"));
+        assert!(p.contains("ingest_generation{shard=\"0\"} 7"));
+        assert!(p.contains("ingest_generation{shard=\"1\"} 8"));
+        // Histogram series keep the shard label, with quantile joined
+        // into the selector and summary fields labeled per shard.
+        assert!(p.contains("serve_service_ns{shard=\"0\",quantile=\"0.5\"} "));
+        assert!(p.contains("serve_service_ns{shard=\"1\",quantile=\"0.5\"} "));
+        assert!(p.contains("serve_service_ns_count{shard=\"0\"} 1"));
+        assert!(p.contains("serve_service_ns_sum{shard=\"1\"} 2000"));
+        // One TYPE line covers the unlabeled series and its shard
+        // breakdown; the base name never carries the label selector.
+        assert_eq!(p.matches("# TYPE serve_completed counter").count(), 1);
+        assert_eq!(p.matches("# TYPE serve_service_ns summary").count(), 1);
+        assert!(!p.contains("# TYPE serve_completed{"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod api;
 pub mod json;
 pub mod live;
 pub mod pool;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod singleflight;
@@ -38,6 +39,7 @@ pub mod wire;
 
 pub use api::{Request, Response};
 pub use live::LiveService;
+pub use router::ShardRouter;
 pub use server::{Client, ServeConfig, Server};
 pub use service::{Handler, Service};
 pub use stats::{ServeSnapshot, ServeStats};

@@ -28,12 +28,35 @@ pub struct LiveService {
     store: Arc<SnapshotStore>,
     engine: Mutex<Arc<Service<'static>>>,
     stats: Arc<ServeStats>,
+    /// Registry handles, resolved once (labeled by shard when this
+    /// service is one fleet shard's worker).
+    swap_ns: Arc<hft_obs::Histogram>,
+    staleness_ms: Arc<hft_obs::Gauge>,
 }
 
 impl LiveService {
     /// A live service over `store`, starting from its current snapshot.
     pub fn new(store: Arc<SnapshotStore>) -> LiveService {
-        let stats = Arc::new(ServeStats::default());
+        LiveService::build(store, None)
+    }
+
+    /// A live service acting as fleet shard `shard`'s worker: identical
+    /// behavior, but its serve counters and swap/staleness series carry
+    /// a `shard` label in the global registry.
+    pub fn for_shard(store: Arc<SnapshotStore>, shard: u32) -> LiveService {
+        LiveService::build(store, Some(shard))
+    }
+
+    fn build(store: Arc<SnapshotStore>, shard: Option<u32>) -> LiveService {
+        let stats = Arc::new(match shard {
+            None => ServeStats::default(),
+            Some(k) => ServeStats::for_shard(k),
+        });
+        let registry = hft_obs::global();
+        let name = |base: &str| match shard {
+            None => base.to_string(),
+            Some(k) => hft_obs::registry::labeled(base, "shard", &k.to_string()),
+        };
         let snap = store.current();
         let engine = Arc::new(Service::over_snapshot(
             snap.db_arc(),
@@ -44,6 +67,8 @@ impl LiveService {
             store,
             engine: Mutex::new(engine),
             stats,
+            swap_ns: registry.histogram(&name("serve.generation_swap_ns")),
+            staleness_ms: registry.gauge(&name("serve.snapshot_staleness_ms")),
         }
     }
 
@@ -72,16 +97,13 @@ impl LiveService {
                     Arc::clone(&self.stats),
                 ));
                 self.stats.on_generation_swap();
-                hft_obs::global()
-                    .histogram("serve.generation_swap_ns")
-                    .record(started.elapsed().as_nanos() as u64);
+                self.swap_ns.record(started.elapsed().as_nanos() as u64);
             }
         }
         // How far behind the last publish this request is served —
         // near zero in steady state, growing only if the ingest
         // follower stalls.
-        hft_obs::global()
-            .gauge("serve.snapshot_staleness_ms")
+        self.staleness_ms
             .set(self.store.last_publish_age().as_millis() as i64);
         Arc::clone(&engine)
     }

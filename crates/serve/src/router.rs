@@ -1,0 +1,470 @@
+//! The shard router: scatter-gather over N in-process shard workers.
+//!
+//! A [`ShardRouter`] is a [`Handler`], so the whole wire stack (frames,
+//! admission queue, pool workers) runs over a fleet unchanged. Each
+//! shard worker is a [`LiveService`] following its own per-shard
+//! [`SnapshotStore`](hft_ingest::SnapshotStore) — its own
+//! `AnalysisSession`, single-flight group and shard-labeled
+//! [`ServeStats`] — over the shard's disjoint piece of the corpus.
+//!
+//! Routing is licensee-granular, mirroring the partitioner:
+//!
+//! * **Point-to-point** — single-licensee requests (network, route,
+//!   APA, weather) go to the owning shard. Under the licensee-hash
+//!   strategy the owner is a pure function of the name (one hop, no
+//!   corpus lookup); under the spatial strategy ownership depends on
+//!   the corpus, so these broadcast and the owner's answer is selected.
+//! * **Scatter-gather** — geographic, site and funnel queries fan out
+//!   to every shard and the per-shard answers merge deterministically:
+//!   license searches k-way-merge ascending ids, funnel counters sum
+//!   (licensee-granular partitioning makes per-shard counts disjoint),
+//!   and shortlist names merge sorted. The merged bytes are identical
+//!   to a single-corpus [`Service`](crate::service::Service) answer.
+//!
+//! **Generation-vector pinning:** a scatter captures every shard's
+//! current engine in one pass *before* fanning out, so all per-shard
+//! computations run against the generation vector that existed when the
+//! request started — a publish landing mid-request cannot produce an
+//! answer mixing a shard's old corpus with another's new one beyond
+//! what the vector already showed at capture time. Callers that need a
+//! provably-uniform vector bracket the request with
+//! [`ShardedStore::generation_vector`] reads, exactly as single-store
+//! clients bracket with the generation counter.
+
+use crate::api::{Request, Response};
+use crate::live::LiveService;
+use crate::service::{metrics_json, Handler, Service};
+use crate::stats::ServeStats;
+use hft_core::session::StatsSnapshot;
+use hft_ingest::ShardedStore;
+use hft_uls::shard::{shard_of_licensee, ShardStrategy};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A fleet of in-process shard workers behind one [`Handler`]. See the
+/// module docs.
+pub struct ShardRouter {
+    shards: Vec<LiveService>,
+    strategy: ShardStrategy,
+    /// Transport-level counters (received/queued/completed): the wire
+    /// server reports into these; per-shard work reports into each
+    /// worker's own labeled stats.
+    stats: Arc<ServeStats>,
+}
+
+impl ShardRouter {
+    /// A router over `store`'s shards, one worker per shard.
+    pub fn over(store: &ShardedStore) -> ShardRouter {
+        ShardRouter {
+            shards: store
+                .shards()
+                .iter()
+                .enumerate()
+                .map(|(k, s)| LiveService::for_shard(Arc::clone(s), k as u32))
+                .collect(),
+            strategy: store.strategy(),
+            stats: Arc::new(ServeStats::default()),
+        }
+    }
+
+    /// Number of shard workers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The partitioning strategy the fleet routes by.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// The shard workers, in shard order.
+    pub fn shards(&self) -> &[LiveService] {
+        &self.shards
+    }
+
+    /// Every shard worker's next-request generation, in shard order.
+    pub fn generation_vector(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.store().generation()).collect()
+    }
+
+    /// Answer one request. Safe to call from many threads at once.
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Stats => self.merged_stats(),
+            Request::Metrics => Response::Metrics {
+                registry: metrics_json(),
+            },
+            Request::Shutdown => Response::ShuttingDown,
+            Request::Network { licensee, .. }
+            | Request::Route { licensee, .. }
+            | Request::Apa { licensee, .. }
+            | Request::Weather { licensee, .. } => self.single(licensee, req),
+            Request::Geographic { .. } | Request::SiteSearch { .. } | Request::Shortlist { .. } => {
+                merge_scatter(req, self.scatter(req))
+            }
+        }
+    }
+
+    /// Route a single-licensee request to its owning shard, or — when
+    /// ownership is not name-computable — broadcast and keep the
+    /// owner's answer.
+    fn single(&self, licensee: &str, req: &Request) -> Response {
+        if self.shards.len() == 1 {
+            return self.call(0, &self.shards[0].engine(), req);
+        }
+        if self.strategy.routes_by_name() {
+            let k = shard_of_licensee(licensee, self.shards.len()) as usize;
+            self.call(k, &self.shards[k].engine(), req)
+        } else {
+            merge_owned(self.scatter(req))
+        }
+    }
+
+    /// Fan a request out to every shard against a pinned generation
+    /// vector, returning per-shard answers in shard order.
+    fn scatter(&self, req: &Request) -> Vec<Response> {
+        // Pin the generation vector: one engine capture per shard, all
+        // before any shard computes.
+        let engines: Vec<Arc<Service<'static>>> = self.shards.iter().map(|s| s.engine()).collect();
+        if engines.len() == 1 {
+            return vec![self.call(0, &engines[0], req)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = engines
+                .iter()
+                .enumerate()
+                .map(|(k, engine)| scope.spawn(move || self.call(k, engine, req)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// One shard call, reported into the shard's labeled counters (the
+    /// router is the shard workers' transport).
+    fn call(&self, k: usize, engine: &Service<'static>, req: &Request) -> Response {
+        let stats = self.shards[k].stats();
+        stats.on_received();
+        let started = Instant::now();
+        let response = engine.handle(req);
+        stats.on_service(started.elapsed().as_nanos() as u64);
+        stats.on_completed(matches!(response, Response::Error { .. }));
+        response
+    }
+
+    /// The fleet-wide `stats` answer: transport counters from the
+    /// router, single-flight/swap counters summed over shard workers,
+    /// session cache counters summed over current shard engines.
+    fn merged_stats(&self) -> Response {
+        let mut serve = self.stats.snapshot();
+        let mut session = StatsSnapshot::default();
+        for shard in &self.shards {
+            let s = shard.stats().snapshot();
+            serve.flights_led += s.flights_led;
+            serve.flights_coalesced += s.flights_coalesced;
+            serve.generation_swaps += s.generation_swaps;
+            let c = shard.engine().session().stats();
+            session.network_hits += c.network_hits;
+            session.reconstructions += c.reconstructions;
+            session.route_hits += c.route_hits;
+            session.route_misses += c.route_misses;
+            session.apa_hits += c.apa_hits;
+            session.apa_misses += c.apa_misses;
+            session.graph_hits += c.graph_hits;
+            session.graph_misses += c.graph_misses;
+        }
+        Response::Stats { serve, session }
+    }
+}
+
+impl Handler for ShardRouter {
+    fn handle(&self, req: &Request) -> Response {
+        ShardRouter::handle(self, req)
+    }
+
+    fn serve_stats(&self) -> &ServeStats {
+        &self.stats
+    }
+}
+
+/// Merge scatter answers for geographic/site/funnel requests into the
+/// single-corpus bytes. Shard answers arrive in shard order; every
+/// merge rule below is order-free over disjoint inputs, so the result
+/// does not depend on which shard answered first.
+fn merge_scatter(req: &Request, responses: Vec<Response>) -> Response {
+    debug_assert!(!responses.is_empty());
+    match req {
+        Request::Geographic { .. } | Request::SiteSearch { .. } => {
+            let mut ids: Vec<u64> = Vec::new();
+            for r in responses {
+                match r {
+                    Response::Licenses { ids: mut part } => ids.append(&mut part),
+                    // Request-shaped errors (bad coordinates) are
+                    // corpus-independent: every shard produced the same
+                    // bytes, so returning one of them is the merge.
+                    other => return other,
+                }
+            }
+            // Disjoint sorted runs → one sorted list, as a single
+            // corpus would canonically order it.
+            ids.sort_unstable();
+            Response::Licenses { ids }
+        }
+        Request::Shortlist { .. } => {
+            let mut geographic_candidates = 0u64;
+            let mut service_filtered = 0u64;
+            let mut shortlisted = 0u64;
+            let mut names: Vec<String> = Vec::new();
+            for r in responses {
+                match r {
+                    Response::Shortlist {
+                        geographic_candidates: g,
+                        service_filtered: f,
+                        shortlisted: s,
+                        names: mut n,
+                    } => {
+                        // Licensee-granular partitioning: each licensee
+                        // is counted by exactly one shard, so funnel
+                        // counters sum without double counting.
+                        geographic_candidates += g;
+                        service_filtered += f;
+                        shortlisted += s;
+                        names.append(&mut n);
+                    }
+                    other => return other,
+                }
+            }
+            names.sort_unstable();
+            Response::Shortlist {
+                geographic_candidates,
+                service_filtered,
+                shortlisted,
+                names,
+            }
+        }
+        _ => unreachable!("merge_scatter only sees scatter-gather requests"),
+    }
+}
+
+/// Select the owning shard's answer from a single-licensee broadcast.
+///
+/// Non-owning shards see no licenses under the name and return exactly
+/// the bytes a single corpus returns for an unknown licensee (zero
+/// network, all-`None` route, `None` APA, the same no-route error), so:
+/// the first *substantive* answer is the owner's, and when there is
+/// none every answer is byte-identical and the first stands in for all.
+fn merge_owned(responses: Vec<Response>) -> Response {
+    debug_assert!(!responses.is_empty());
+    let owned = responses.iter().position(|r| match r {
+        Response::Network {
+            towers,
+            links,
+            active_licenses,
+            ..
+        } => *towers > 0 || *links > 0 || *active_licenses > 0,
+        Response::Route {
+            latency_ms,
+            towers,
+            length_m,
+        } => latency_ms.is_some() || towers.is_some() || length_m.is_some(),
+        Response::Apa { apa } => apa.is_some(),
+        Response::Weather { .. } => true,
+        _ => false,
+    });
+    let idx = owned.unwrap_or(0);
+    responses
+        .into_iter()
+        .nth(idx)
+        .expect("selected index is in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Service;
+    use hft_geodesy::LatLon;
+    use hft_time::Date;
+    use hft_uls::{
+        CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService,
+        StationClass, TowerSite, UlsDatabase,
+    };
+
+    fn lic(id: u64, name: &str, lat: f64, lon: f64) -> License {
+        License {
+            id: LicenseId(id),
+            call_sign: CallSign(format!("WQ{id:05}")),
+            licensee: name.into(),
+            service: RadioService::MG,
+            station_class: StationClass::FXO,
+            grant_date: Date::new(2015, 1, 1).unwrap(),
+            termination_date: None,
+            cancellation_date: None,
+            paths: vec![MicrowavePath {
+                tx: TowerSite::at(LatLon::new(lat, lon).unwrap()),
+                rx: TowerSite::at(LatLon::new(lat + 0.2, lon + 0.3).unwrap()),
+                frequencies: vec![FrequencyAssignment { center_hz: 6.1e9 }],
+            }],
+        }
+    }
+
+    fn corpus() -> UlsDatabase {
+        // Ids deliberately out of geographic order so canonical id
+        // sorting does real work.
+        UlsDatabase::from_licenses(vec![
+            lic(9, "Alpha Networks", 41.0, -88.0),
+            lic(2, "Beta Microwave", 41.3, -87.8),
+            lic(7, "Alpha Networks", 41.6, -87.4),
+            lic(4, "Gamma Wireless", 41.9, -87.1),
+            lic(5, "Delta Relay", 42.2, -86.8),
+        ])
+    }
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Geographic {
+                lat_deg: 41.5,
+                lon_deg: -87.5,
+                radius_km: 200.0,
+            },
+            Request::Geographic {
+                lat_deg: 200.0,
+                lon_deg: 0.0,
+                radius_km: 10.0,
+            },
+            Request::SiteSearch {
+                service: "MG".into(),
+                class: "FXO".into(),
+            },
+            Request::Shortlist {
+                lat_deg: 41.5,
+                lon_deg: -87.5,
+                radius_km: 500.0,
+                min_filings: 1,
+            },
+            Request::Network {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+            },
+            Request::Network {
+                licensee: "Nobody Known".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+            },
+            Request::Route {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                from: "CME".into(),
+                to: "NY4".into(),
+            },
+            Request::Apa {
+                licensee: "Beta Microwave".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                from: "CME".into(),
+                to: "BAD".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn sharded_answers_match_single_corpus_bytes() {
+        let db = corpus();
+        let single = Service::new(&db);
+        for strategy in [ShardStrategy::LicenseeHash, ShardStrategy::SpatialCell] {
+            for n in [1usize, 2, 3, 5] {
+                let store = ShardedStore::seeded(&db, n, strategy, None);
+                let router = ShardRouter::over(&store);
+                for req in requests() {
+                    let got = router.handle(&req).encode();
+                    let want = single.handle(&req).encode();
+                    assert_eq!(got, want, "{strategy:?} n={n} req={req:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn router_follows_per_shard_generations() {
+        let db = corpus();
+        let store = ShardedStore::seeded(&db, 3, ShardStrategy::LicenseeHash, None);
+        let router = ShardRouter::over(&store);
+        let geo = Request::Geographic {
+            lat_deg: 41.5,
+            lon_deg: -87.5,
+            radius_km: 500.0,
+        };
+        let before = match router.handle(&geo) {
+            Response::Licenses { ids } => ids,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(before, vec![2, 4, 5, 7, 9]);
+
+        // Publish a grown corpus through the fleet; the router must
+        // answer from the new generation vector.
+        let mut grown: Vec<License> = db.licenses().to_vec();
+        grown.push(lic(1, "Epsilon Beam", 41.1, -87.9));
+        let next = UlsDatabase::from_licenses(grown);
+        assert_eq!(store.publish_full(&next, None), 1);
+        assert_eq!(router.generation_vector(), vec![1, 1, 1]);
+        let after = match router.handle(&geo) {
+            Response::Licenses { ids } => ids,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(after, vec![1, 2, 4, 5, 7, 9]);
+
+        // And the sharded answer still matches a single corpus of the
+        // same generation.
+        let single = Service::new(&next);
+        assert_eq!(router.handle(&geo).encode(), single.handle(&geo).encode());
+    }
+
+    #[test]
+    fn shard_workers_report_labeled_counters() {
+        let db = corpus();
+        let store = ShardedStore::seeded(&db, 2, ShardStrategy::LicenseeHash, None);
+        let router = ShardRouter::over(&store);
+        let geo = Request::Geographic {
+            lat_deg: 41.5,
+            lon_deg: -87.5,
+            radius_km: 500.0,
+        };
+        router.handle(&geo);
+        // A scatter touches every shard: each worker's own counters
+        // advance (the labeled registry series mirror these atomics).
+        for shard in router.shards() {
+            let snap = shard.stats().snapshot();
+            assert_eq!(snap.received, 1);
+            assert_eq!(snap.completed, 1);
+        }
+        // Point-to-point touches exactly the owning shard.
+        let net = Request::Network {
+            licensee: "Alpha Networks".into(),
+            date: Date::new(2016, 1, 1).unwrap(),
+        };
+        router.handle(&net);
+        let owner = shard_of_licensee("Alpha Networks", 2) as usize;
+        assert_eq!(router.shards()[owner].stats().snapshot().received, 2);
+        assert_eq!(router.shards()[1 - owner].stats().snapshot().received, 1);
+    }
+
+    #[test]
+    fn merged_stats_aggregate_across_shards() {
+        let db = corpus();
+        let store = ShardedStore::seeded(&db, 2, ShardStrategy::LicenseeHash, None);
+        let router = ShardRouter::over(&store);
+        let net = Request::Network {
+            licensee: "Alpha Networks".into(),
+            date: Date::new(2016, 1, 1).unwrap(),
+        };
+        router.handle(&net);
+        router.handle(&net);
+        match router.handle(&Request::Stats) {
+            Response::Stats { serve, session } => {
+                assert_eq!(serve.flights_led, 2);
+                assert_eq!(session.reconstructions, 1);
+                assert_eq!(session.network_hits, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

@@ -138,24 +138,14 @@ impl<'a> Service<'a> {
             } => match LatLon::new(*lat_deg, *lon_deg) {
                 Err(e) => err(format!("bad coordinates: {e}")),
                 Ok(center) => Response::Licenses {
-                    ids: self
-                        .portal()
-                        .geographic_search(&center, *radius_km)
-                        .iter()
-                        .map(|l| l.id.0)
-                        .collect(),
+                    ids: canonical_ids(self.portal().geographic_search(&center, *radius_km)),
                 },
             },
             Request::SiteSearch { service, class } => Response::Licenses {
-                ids: self
-                    .portal()
-                    .site_search(
-                        &RadioService::from_code(service),
-                        &StationClass::from_code(class),
-                    )
-                    .iter()
-                    .map(|l| l.id.0)
-                    .collect(),
+                ids: canonical_ids(self.portal().site_search(
+                    &RadioService::from_code(service),
+                    &StationClass::from_code(class),
+                )),
             },
             Request::Shortlist {
                 lat_deg,
@@ -282,6 +272,20 @@ fn pair(from: &str, to: &str) -> Result<(&'static DataCenter, &'static DataCente
 
 fn err(message: String) -> Response {
     Response::Error { message }
+}
+
+/// Wire ordering of a license search result: ascending ids.
+///
+/// The portal returns corpus-insertion order, which is an artifact of
+/// load order and — decisively — cannot be reconstructed from disjoint
+/// shard corpora. Sorting by id makes the wire answer a pure function
+/// of the *set* of matching licenses, so a shard router can k-way-merge
+/// per-shard answers into exactly the bytes a single-corpus service
+/// would have produced.
+fn canonical_ids(licenses: Vec<&hft_uls::License>) -> Vec<u64> {
+    let mut ids: Vec<u64> = licenses.iter().map(|l| l.id.0).collect();
+    ids.sort_unstable();
+    ids
 }
 
 /// The global telemetry registry as a wire-encodable JSON value.

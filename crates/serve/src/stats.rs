@@ -53,24 +53,47 @@ struct ServeRegistry {
 
 impl Default for ServeRegistry {
     fn default() -> ServeRegistry {
+        ServeRegistry::with_shard(None)
+    }
+}
+
+impl ServeRegistry {
+    /// Resolve the `serve.*` handles, suffixed with a `shard` label when
+    /// the stats belong to one fleet shard worker.
+    fn with_shard(shard: Option<u32>) -> ServeRegistry {
         let r = hft_obs::global();
+        let name = |base: &str| match shard {
+            None => base.to_string(),
+            Some(k) => hft_obs::registry::labeled(base, "shard", &k.to_string()),
+        };
         ServeRegistry {
-            received: r.counter("serve.received"),
-            accepted: r.counter("serve.accepted"),
-            rejected_overloaded: r.counter("serve.rejected_overloaded"),
-            completed: r.counter("serve.completed"),
-            errors: r.counter("serve.errors"),
-            flights_led: r.counter("serve.flights_led"),
-            flights_coalesced: r.counter("serve.flights_coalesced"),
-            generation_swaps: r.counter("serve.generation_swaps"),
-            queue_high_water: r.gauge("serve.queue_high_water"),
-            queue_wait_ns: r.histogram("serve.queue_wait_ns"),
-            service_ns: r.histogram("serve.service_ns"),
+            received: r.counter(&name("serve.received")),
+            accepted: r.counter(&name("serve.accepted")),
+            rejected_overloaded: r.counter(&name("serve.rejected_overloaded")),
+            completed: r.counter(&name("serve.completed")),
+            errors: r.counter(&name("serve.errors")),
+            flights_led: r.counter(&name("serve.flights_led")),
+            flights_coalesced: r.counter(&name("serve.flights_coalesced")),
+            generation_swaps: r.counter(&name("serve.generation_swaps")),
+            queue_high_water: r.gauge(&name("serve.queue_high_water")),
+            queue_wait_ns: r.histogram(&name("serve.queue_wait_ns")),
+            service_ns: r.histogram(&name("serve.service_ns")),
         }
     }
 }
 
 impl ServeStats {
+    /// Stats for one fleet shard worker: the per-server atomics behave
+    /// exactly like [`ServeStats::default`], but every dual-written
+    /// registry series carries a `shard` label, so shard hot spots are
+    /// visible in the process-wide exposition.
+    pub fn for_shard(shard: u32) -> ServeStats {
+        ServeStats {
+            reg: ServeRegistry::with_shard(Some(shard)),
+            ..ServeStats::default()
+        }
+    }
+
     /// A request arrived (any kind, before admission).
     pub fn on_received(&self) {
         self.received.fetch_add(1, Ordering::Relaxed);
@@ -287,5 +310,25 @@ mod tests {
         assert_eq!(snap.mean_service_us(), 10.0);
         let back = ServeSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn shard_stats_dual_write_labeled_series() {
+        let stats = ServeStats::for_shard(7);
+        stats.on_received();
+        stats.on_completed(false);
+        stats.on_service(1_234);
+        stats.on_flight_led();
+        let snap = hft_obs::global().snapshot();
+        let labeled = |base: &str| hft_obs::registry::labeled(base, "shard", "7");
+        // The global registry is shared across the test binary, so
+        // assert at-least rather than exactly.
+        assert!(snap.counter(&labeled("serve.received")).unwrap_or(0) >= 1);
+        assert!(snap.counter(&labeled("serve.completed")).unwrap_or(0) >= 1);
+        assert!(snap.counter(&labeled("serve.flights_led")).unwrap_or(0) >= 1);
+        let hist = snap.histogram(&labeled("serve.service_ns")).unwrap();
+        assert!(hist.count >= 1);
+        // The per-server atomics are unaffected by labeling.
+        assert_eq!(stats.snapshot().received, 1);
     }
 }

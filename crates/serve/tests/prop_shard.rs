@@ -1,0 +1,203 @@
+//! Shard-router properties: partitioning is a function (every license
+//! lands on exactly one shard, co-located with its licensee) and
+//! scatter-gather is transparent (a [`ShardRouter`] over any fleet size
+//! answers byte-identically to a single-corpus [`Service`]) — for
+//! random corpora, random requests, random shard counts including the
+//! degenerate N=1 fleet, under both partition strategies.
+
+use hft_geodesy::LatLon;
+use hft_ingest::ShardedStore;
+use hft_serve::api::Request;
+use hft_serve::{Service, ShardRouter};
+use hft_time::Date;
+use hft_uls::shard::{partition, ShardStrategy};
+use hft_uls::{
+    CallSign, FrequencyAssignment, License, LicenseId, MicrowavePath, RadioService, StationClass,
+    TowerSite, UlsDatabase,
+};
+use proptest::prelude::*;
+
+/// A small licensee pool so random corpora reliably give some
+/// licensees several licenses (the co-location property is vacuous
+/// when every licensee owns exactly one).
+const NAMES: [&str; 6] = [
+    "Alpha Networks",
+    "Beta Microwave",
+    "Gamma Wireless",
+    "Delta Relay",
+    "Epsilon Beam",
+    "Zeta Spectrum",
+];
+
+fn license(seq: u64, name_ix: usize, lat: f64, lon: f64, sited: bool) -> License {
+    License {
+        id: LicenseId(seq + 1),
+        call_sign: CallSign(format!("WQ{seq:05}")),
+        licensee: NAMES[name_ix % NAMES.len()].into(),
+        service: RadioService::MG,
+        station_class: StationClass::FXO,
+        grant_date: Date::new(2015, 1, 1).unwrap(),
+        termination_date: None,
+        cancellation_date: None,
+        // Site-less licenses exercise the spatial strategy's name-hash
+        // fallback for licensees with no anchor cell.
+        paths: if sited {
+            vec![MicrowavePath {
+                tx: TowerSite::at(LatLon::new(lat, lon).unwrap()),
+                rx: TowerSite::at(LatLon::new(lat + 0.1, lon + 0.2).unwrap()),
+                frequencies: vec![FrequencyAssignment { center_hz: 6.1e9 }],
+            }]
+        } else {
+            Vec::new()
+        },
+    }
+}
+
+fn corpus() -> impl Strategy<Value = UlsDatabase> {
+    proptest::collection::vec(
+        (
+            0usize..NAMES.len(),
+            39.0f64..43.0,
+            -89.0f64..-85.0,
+            (0u8..2).prop_map(|b| b == 1),
+        ),
+        0..12,
+    )
+    .prop_map(|specs| {
+        UlsDatabase::from_licenses(
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name_ix, lat, lon, sited))| license(i as u64, name_ix, lat, lon, sited))
+                .collect(),
+        )
+    })
+}
+
+fn strategy() -> impl Strategy<Value = ShardStrategy> {
+    prop_oneof![
+        Just(ShardStrategy::LicenseeHash),
+        Just(ShardStrategy::SpatialCell),
+    ]
+}
+
+fn name() -> BoxedStrategy<String> {
+    prop_oneof![
+        (0usize..NAMES.len()).prop_map(|i| NAMES[i].to_string()),
+        Just("Nobody Known".to_string()),
+    ]
+    .boxed()
+}
+
+fn date() -> BoxedStrategy<Date> {
+    (2014i32..2022, 1u32..13, 1u32..29)
+        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("in-range date"))
+        .boxed()
+}
+
+fn dc() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("CME".to_string()),
+        Just("NY4".to_string()),
+        Just("BAD".to_string()),
+    ]
+    .boxed()
+}
+
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        // Valid and out-of-range coordinates: request-shaped errors
+        // must merge to the same bytes too.
+        (30.0f64..200.0, -100.0f64..-80.0, 1.0f64..2000.0).prop_map(
+            |(lat_deg, lon_deg, radius_km)| Request::Geographic {
+                lat_deg,
+                lon_deg,
+                radius_km,
+            }
+        ),
+        Just(Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        }),
+        (30.0f64..50.0, -100.0f64..-80.0, 1.0f64..2000.0, 0usize..4).prop_map(
+            |(lat_deg, lon_deg, radius_km, min_filings)| Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings,
+            }
+        ),
+        (name(), date()).prop_map(|(licensee, date)| Request::Network { licensee, date }),
+        (name(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Route {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+        (name(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Apa {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Partitioning is licensee-granular and total: every license lands
+    /// on exactly one shard, that shard is the assignment map's answer
+    /// for its licensee, and shard sizes sum to the corpus size.
+    #[test]
+    fn every_license_maps_to_exactly_one_shard(
+        db in corpus(),
+        shards in 1usize..8,
+        strategy in strategy(),
+    ) {
+        let part = partition(&db, shards, strategy);
+        prop_assert_eq!(part.shards.len(), shards);
+        let total: usize = part.shards.iter().map(|s| s.licenses().len()).sum();
+        prop_assert_eq!(total, db.licenses().len());
+        for l in db.licenses() {
+            let holders: Vec<usize> = part
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.licenses().iter().any(|x| x.id == l.id))
+                .map(|(k, _)| k)
+                .collect();
+            prop_assert_eq!(holders.len(), 1, "license {:?} on shards {:?}", l.id, holders);
+            let owner = part.assignment.get(&l.licensee).copied();
+            prop_assert_eq!(owner, Some(holders[0] as u32));
+        }
+    }
+
+    /// Scatter-gather transparency: for any corpus, fleet size and
+    /// strategy, the router's answer bytes equal a single-corpus
+    /// service's answer bytes for every request.
+    #[test]
+    fn router_matches_single_corpus_bytes(
+        db in corpus(),
+        shards in 1usize..8,
+        strategy in strategy(),
+        requests in proptest::collection::vec(request(), 1..6),
+    ) {
+        let single = Service::new(&db);
+        let store = ShardedStore::seeded(&db, shards, strategy, None);
+        let router = ShardRouter::over(&store);
+        for req in &requests {
+            let got = router.handle(req).encode();
+            let want = single.handle(req).encode();
+            prop_assert_eq!(
+                String::from_utf8_lossy(&got),
+                String::from_utf8_lossy(&want),
+                "{:?} n={} req={:?}",
+                strategy,
+                shards,
+                req
+            );
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod flatfile;
 mod license;
 mod portal;
 pub mod scrape;
+pub mod shard;
 mod siteindex;
 
 pub use license::{
@@ -54,4 +55,5 @@ pub use license::{
     StationClass, TowerSite,
 };
 pub use portal::{UlsDatabase, UlsPortal};
-pub use siteindex::{SiteIndex, CELL_DEG};
+pub use shard::{Partition, ShardStrategy};
+pub use siteindex::{cell_of, SiteIndex, CELL_DEG};

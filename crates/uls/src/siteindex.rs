@@ -80,6 +80,14 @@ pub struct SiteIndex {
     site_count: usize,
 }
 
+/// The grid cell covering `position` — the same quantization the
+/// bucket grid uses at insert time, exposed so corpus partitioning
+/// ([`crate::shard`]) can anchor licensees to the cells geographic
+/// queries walk.
+pub fn cell_of(position: &LatLon) -> (i32, i32) {
+    (lat_cell(position.lat_deg()), lon_cell(position.lon_deg()))
+}
+
 /// Latitude cell of a coordinate (well-defined for `lat ∈ [-90, 90]`).
 fn lat_cell(lat_deg: f64) -> i32 {
     ((lat_deg + 90.0) / CELL_DEG).floor() as i32

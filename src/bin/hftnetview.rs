@@ -33,9 +33,13 @@
 //! `serve` takes `--port` (default 4710; 0 picks a free port),
 //! `--workers` and `--queue-depth`, answers the hft-serve wire protocol
 //! until a `shutdown` request arrives, then dumps the serving counters
-//! as JSON on stdout. With `--follow DIR` it starts from an **empty**
-//! corpus instead of the generated one and tails `DIR` for transaction
-//! dumps, publishing a new corpus generation per ingested batch while
+//! as JSON on stdout. With `--shards N` (N > 1) the corpus is
+//! partitioned across N in-process shard workers behind a scatter-gather
+//! router (`--strategy licensee|spatial` picks the partitioner); answers
+//! are byte-identical to the single-corpus server's. With `--follow DIR`
+//! it starts from an **empty** corpus instead of the generated one and
+//! tails `DIR` for transaction dumps, publishing a new corpus generation
+//! per ingested batch (per shard, in lockstep, when sharded) while
 //! queries keep answering. With `--metrics-interval SECS` a background
 //! thread dumps the full telemetry registry every interval — atomically
 //! to `--metrics-out PATH`, or to stderr — and drains the slow-query
@@ -68,6 +72,8 @@ struct Args {
     metrics_interval: Option<u64>,
     metrics_out: Option<PathBuf>,
     prom: bool,
+    shards: usize,
+    strategy: hft_uls::ShardStrategy,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +92,8 @@ fn parse_args() -> Result<Args, String> {
         metrics_interval: None,
         metrics_out: None,
         prom: false,
+        shards: 1,
+        strategy: hft_uls::ShardStrategy::LicenseeHash,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -126,6 +134,18 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--prom" => parsed.prom = true,
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                parsed.shards = v.parse().map_err(|_| format!("bad shard count {v:?}"))?;
+                if parsed.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--strategy" => {
+                let v = args.next().ok_or("--strategy needs a value")?;
+                parsed.strategy = hft_uls::ShardStrategy::parse(&v)
+                    .ok_or_else(|| format!("bad strategy {v:?} (licensee|spatial)"))?;
+            }
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -136,7 +156,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -166,12 +186,26 @@ fn run(args: &Args) -> Result<(), String> {
             .map(|secs| spawn_metrics_dumper(secs, args.metrics_out.clone()));
         let served = if let Some(dir) = &args.follow {
             eprintln!(
-                "live-serving on {addr}, following {} ({} workers, queue depth {})",
+                "live-serving on {addr}, following {} ({} workers, queue depth {}, {} shard(s), {} partitioning)",
                 dir.display(),
                 args.workers,
-                args.queue_depth
+                args.queue_depth,
+                args.shards,
+                args.strategy.name(),
             );
-            serve_follow(&server, dir)
+            serve_follow(&server, dir, args.shards, args.strategy)
+        } else if args.shards > 1 {
+            eprintln!(
+                "serving {} licenses on {addr} ({} workers, queue depth {}, {} shards, {} partitioning)",
+                eco.db.len(),
+                args.workers,
+                args.queue_depth,
+                args.shards,
+                args.strategy.name(),
+            );
+            let fleet = hft_ingest::ShardedStore::seeded(&eco.db, args.shards, args.strategy, None);
+            let router = hft_serve::ShardRouter::over(&fleet);
+            server.run_with(&router)
         } else {
             eprintln!(
                 "serving {} licenses on {addr} ({} workers, queue depth {})",
@@ -513,17 +547,46 @@ fn spawn_metrics_dumper(
 /// background thread, publishing one corpus generation per ingested
 /// batch, while the server answers queries against the latest
 /// generation. Starts from an empty corpus (generation 0).
+///
+/// With `shards > 1` the publisher targets a [`hft_ingest::ShardedStore`]
+/// — every ingested batch re-partitions the corpus and advances each
+/// shard's generation in lockstep — and the server runs a
+/// [`hft_serve::ShardRouter`] over the fleet.
 fn serve_follow(
     server: &hft_serve::Server,
     dir: &Path,
+    shards: usize,
+    strategy: hft_uls::ShardStrategy,
 ) -> std::io::Result<hft_serve::ServeSnapshot> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    let store = Arc::new(hft_ingest::SnapshotStore::new(UlsDatabase::new()));
+    enum Target {
+        Single(Arc<hft_ingest::SnapshotStore>),
+        Fleet(Arc<hft_ingest::ShardedStore>),
+    }
+    let target = if shards > 1 {
+        Target::Fleet(Arc::new(hft_ingest::ShardedStore::seeded(
+            &UlsDatabase::new(),
+            shards,
+            strategy,
+            None,
+        )))
+    } else {
+        Target::Single(Arc::new(hft_ingest::SnapshotStore::new(UlsDatabase::new())))
+    };
     let stop = Arc::new(AtomicBool::new(false));
     let ingester = {
-        let store = Arc::clone(&store);
+        let publish: Box<dyn Fn(&hft_ingest::Applier) -> u64 + Send> = match &target {
+            Target::Single(store) => {
+                let store = Arc::clone(store);
+                Box::new(move |applier| applier.publish(&store))
+            }
+            Target::Fleet(fleet) => {
+                let fleet = Arc::clone(fleet);
+                Box::new(move |applier| applier.publish_sharded(&fleet))
+            }
+        };
         let stop = Arc::clone(&stop);
         let dir = dir.to_path_buf();
         std::thread::spawn(move || {
@@ -558,7 +621,7 @@ fn serve_follow(
                             for c in applier.apply(&batch) {
                                 eprintln!("ingest: {}: conflict {c}", path.display());
                             }
-                            let generation = applier.publish(&store);
+                            let generation = publish(&applier);
                             eprintln!(
                                 "ingested {} ({events} events) -> {} licenses, generation {generation}",
                                 date.to_iso(),
@@ -571,7 +634,13 @@ fn serve_follow(
             }
         })
     };
-    let stats = server.run_live(&store);
+    let stats = match &target {
+        Target::Single(store) => server.run_live(store),
+        Target::Fleet(fleet) => {
+            let router = hft_serve::ShardRouter::over(fleet);
+            server.run_with(&router)
+        }
+    };
     stop.store(true, Ordering::Relaxed);
     let _ = ingester.join();
     stats
