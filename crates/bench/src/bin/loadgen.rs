@@ -8,6 +8,9 @@
 //! # self-hosted (binds its own server on a free port):
 //! cargo run --release -p hft-bench --bin loadgen
 //!
+//! # full protocol/io matrix (json/bin x threaded/evented):
+//! cargo run --release -p hft-bench --bin loadgen -- --matrix
+//!
 //! # against an external `hftnetview serve` (seeds must match):
 //! cargo run --release -p hft-bench --bin loadgen -- \
 //!     --connect 127.0.0.1:4710 --seconds 1 --concurrency 4 --shutdown-server
@@ -22,15 +25,25 @@
 //! not session-cached, so the serial loop pays them every time while
 //! concurrent duplicates share one evaluation).
 //!
+//! `--proto bin` negotiates the compact binary codec over the same
+//! frames; verification still byte-compares the *decoded* response
+//! re-encoded with the canonical JSON codec, so a wrong answer cannot
+//! hide behind a different wire format. `--matrix` self-hosts a fresh
+//! server per combo and reports all four (proto, io) cells plus the
+//! speedup of bin/evented over the json/threaded baseline measured in
+//! the same run at the same settings.
+//!
 //! `Overloaded` rejections are retried (and counted): backpressure is
 //! a protocol answer, not an error. A byte mismatch is a hard failure —
-//! the harness exits non-zero.
+//! the harness exits non-zero. Any latency bucket whose p90/p50 ratio
+//! exceeds 10x gets a loud `TAIL ALERT` line so queueing regressions
+//! fail visibly in CI smoke output.
 
 use hft_bench::REPRO_SEED;
 use hft_corridor::{chicago_nj, generate};
-use hft_obs::HistogramShard;
+use hft_obs::{HistogramShard, RegistrySnapshot};
 use hft_serve::api::{Request, Response};
-use hft_serve::{Client, ServeConfig, Server, Service};
+use hft_serve::{Client, IoMode, Proto, ServeConfig, Server, Service};
 use hft_time::Date;
 use hft_uls::shard::shard_of_licensee;
 use std::collections::VecDeque;
@@ -46,6 +59,9 @@ struct Args {
     shutdown_server: bool,
     out: Option<String>,
     shards: usize,
+    proto: Proto,
+    io: IoMode,
+    matrix: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +74,9 @@ fn parse_args() -> Result<Args, String> {
         shutdown_server: false,
         out: None,
         shards: 0,
+        proto: Proto::Json,
+        io: IoMode::default(),
+        matrix: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,17 +110,32 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --shards".to_string())?
             }
+            "--proto" => {
+                let v = need("--proto")?;
+                parsed.proto = Proto::parse(&v).ok_or(format!("bad proto {v:?} (json|bin)"))?;
+            }
+            "--io" => {
+                let v = need("--io")?;
+                parsed.io =
+                    IoMode::parse(&v).ok_or(format!("bad io mode {v:?} (evented|threaded)"))?;
+            }
+            "--matrix" => parsed.matrix = true,
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: loadgen [--connect ADDR] [--seconds S] \
                      [--concurrency N] [--window N] [--seed N] [--shutdown-server] [--out PATH] \
-                     [--shards N]"
+                     [--shards N] [--proto json|bin] [--io evented|threaded] [--matrix]"
                 ))
             }
         }
     }
     if parsed.concurrency == 0 || parsed.window == 0 {
         return Err("--concurrency and --window must be positive".into());
+    }
+    if parsed.matrix && parsed.connect.is_some() {
+        return Err(
+            "--matrix self-hosts a server per combo; it cannot be used with --connect".into(),
+        );
     }
     Ok(parsed)
 }
@@ -177,10 +211,10 @@ fn workload(licensees: &[String]) -> Vec<Request> {
     mix
 }
 
-fn connect_retry(addr: &SocketAddr, patience: Duration) -> Result<Client, String> {
+fn connect_retry(addr: &SocketAddr, proto: Proto, patience: Duration) -> Result<Client, String> {
     let deadline = Instant::now() + patience;
     loop {
-        match Client::connect(addr) {
+        match Client::connect_with(addr, proto) {
             Ok(client) => return Ok(client),
             Err(e) => {
                 if Instant::now() >= deadline {
@@ -262,11 +296,34 @@ impl PhaseResult {
     fn percentile_ms(&self, q: f64) -> f64 {
         self.latencies.snapshot().percentile(q) as f64 / 1e6
     }
+
+    fn max_ms(&self) -> f64 {
+        self.latencies.snapshot().max as f64 / 1e6
+    }
+}
+
+/// Emit a loud alert when the p90/p50 ratio of a latency population
+/// exceeds 10x — the tail is no longer a tail, it's a queueing or
+/// skew pathology, and it should jump out of CI smoke output.
+fn tail_alert(label: &str, snapshot: &hft_obs::HistogramSnapshot) {
+    if snapshot.count == 0 {
+        return;
+    }
+    let p50 = snapshot.percentile(0.50) as f64 / 1e6;
+    let p90 = snapshot.percentile(0.90) as f64 / 1e6;
+    if p50 > 0.0 && p90 / p50 > 10.0 {
+        println!(
+            "TAIL ALERT [{label}]: p90/p50 = {:.1}x exceeds 10x (p50 {p50:.3} ms, p90 {p90:.3} ms)",
+            p90 / p50
+        );
+    }
 }
 
 /// Drive one connection: keep up to `window` requests in flight, cycle
 /// the workload starting at `offset`, stop issuing at the deadline, then
-/// drain. Every non-`Overloaded` answer is byte-compared to `expected`.
+/// drain. Every non-`Overloaded` answer is decoded and byte-compared to
+/// `expected` after re-encoding with the canonical JSON codec — the
+/// verification is wire-format independent.
 fn drive(
     client: &mut Client,
     mix: &[Request],
@@ -334,12 +391,13 @@ fn drive(
 
 fn run_serial(
     addr: &SocketAddr,
+    proto: Proto,
     mix: &[Request],
     expected: &[Vec<u8>],
     attr: Option<&[usize]>,
     seconds: f64,
 ) -> Result<PhaseResult, String> {
-    let mut client = connect_retry(addr, Duration::from_secs(180))?;
+    let mut client = connect_retry(addr, proto, Duration::from_secs(180))?;
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(seconds);
     let mut result = drive(&mut client, mix, expected, attr, 0, 1, deadline)?;
@@ -347,8 +405,10 @@ fn run_serial(
     Ok(result)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_concurrent(
     addr: &SocketAddr,
+    proto: Proto,
     mix: &[Request],
     expected: &[Vec<u8>],
     attr: Option<&[usize]>,
@@ -360,7 +420,7 @@ fn run_concurrent(
     // connection setup.
     let mut clients: Vec<Client> = Vec::with_capacity(concurrency);
     for _ in 0..concurrency {
-        clients.push(connect_retry(addr, Duration::from_secs(180))?);
+        clients.push(connect_retry(addr, proto, Duration::from_secs(180))?);
     }
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(seconds);
@@ -380,6 +440,198 @@ fn run_concurrent(
     }
     merged.elapsed_s = started.elapsed().as_secs_f64();
     Ok(merged)
+}
+
+/// Where the wire time went during one self-hosted combo: deltas of the
+/// server's `serve.decode_ns`/`serve.encode_ns`/`serve.poll_wake_ns`
+/// histograms and buffer-pool counters between two registry snapshots
+/// (the registry is process-global and cumulative, so each combo is the
+/// after-minus-before difference).
+#[derive(Default, Clone, Copy)]
+struct WireSample {
+    decode_count: u64,
+    decode_mean_ns: f64,
+    encode_count: u64,
+    encode_mean_ns: f64,
+    poll_wake_count: u64,
+    poll_wake_mean_ns: f64,
+    bufpool_hits: u64,
+    bufpool_misses: u64,
+}
+
+impl WireSample {
+    fn delta(before: &RegistrySnapshot, after: &RegistrySnapshot) -> WireSample {
+        let hist = |name: &str| {
+            let (bc, bs) = before.histogram(name).map_or((0, 0), |h| (h.count, h.sum));
+            let (ac, asum) = after.histogram(name).map_or((0, 0), |h| (h.count, h.sum));
+            let n = ac.saturating_sub(bc);
+            let s = asum.saturating_sub(bs);
+            (n, if n > 0 { s as f64 / n as f64 } else { 0.0 })
+        };
+        let ctr = |name: &str| {
+            after
+                .counter(name)
+                .unwrap_or(0)
+                .saturating_sub(before.counter(name).unwrap_or(0))
+        };
+        let (decode_count, decode_mean_ns) = hist("serve.decode_ns");
+        let (encode_count, encode_mean_ns) = hist("serve.encode_ns");
+        let (poll_wake_count, poll_wake_mean_ns) = hist("serve.poll_wake_ns");
+        WireSample {
+            decode_count,
+            decode_mean_ns,
+            encode_count,
+            encode_mean_ns,
+            poll_wake_count,
+            poll_wake_mean_ns,
+            bufpool_hits: ctr("serve.bufpool_hits"),
+            bufpool_misses: ctr("serve.bufpool_misses"),
+        }
+    }
+
+    fn bufpool_hit_rate(&self) -> f64 {
+        let total = self.bufpool_hits + self.bufpool_misses;
+        if total > 0 {
+            self.bufpool_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"decode_count\": {}, \"decode_mean_ns\": {}, \"encode_count\": {}, \
+             \"encode_mean_ns\": {}, \"poll_wake_count\": {}, \"poll_wake_mean_ns\": {}, \
+             \"bufpool_hits\": {}, \"bufpool_misses\": {}}}",
+            self.decode_count,
+            fmt(self.decode_mean_ns),
+            self.encode_count,
+            fmt(self.encode_mean_ns),
+            self.poll_wake_count,
+            fmt(self.poll_wake_mean_ns),
+            self.bufpool_hits,
+            self.bufpool_misses,
+        )
+    }
+}
+
+/// One (proto, io) cell of the benchmark matrix.
+struct ComboResult {
+    proto: Proto,
+    io: IoMode,
+    /// True when the server is external (`--connect`): its I/O plane is
+    /// whatever the operator launched, not our `--io` default.
+    remote: bool,
+    serial: PhaseResult,
+    concurrent: PhaseResult,
+    /// Server-side wire attribution; only available when the server
+    /// shares this process (self-hosted runs).
+    wire: Option<WireSample>,
+}
+
+impl ComboResult {
+    fn io_name(&self) -> &'static str {
+        if self.remote {
+            "remote"
+        } else {
+            self.io.name()
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.proto.name(), self.io_name())
+    }
+
+    fn print(&self) {
+        let serial = &self.serial;
+        let concurrent = &self.concurrent;
+        println!("=== {} ===", self.label());
+        println!(
+            "serial:     {:>8} requests  {:>9.0} rps  p50 {:.3} ms  max {:.3} ms",
+            serial.completed,
+            serial.rps(),
+            serial.percentile_ms(0.50),
+            serial.max_ms(),
+        );
+        println!(
+            "concurrent: {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p90 {:.3} ms  p95 {:.3} ms  \
+             p99 {:.3} ms  p999 {:.3} ms  max {:.3} ms",
+            concurrent.completed,
+            concurrent.rps(),
+            concurrent.percentile_ms(0.50),
+            concurrent.percentile_ms(0.90),
+            concurrent.percentile_ms(0.95),
+            concurrent.percentile_ms(0.99),
+            concurrent.percentile_ms(0.999),
+            concurrent.max_ms(),
+        );
+        let speedup = if serial.rps() > 0.0 {
+            concurrent.rps() / serial.rps()
+        } else {
+            0.0
+        };
+        println!(
+            "speedup {speedup:.1}x, {} overloaded retries, {} wrong answers",
+            serial.overloaded_retries + concurrent.overloaded_retries,
+            serial.wrong + concurrent.wrong
+        );
+        if let Some(wire) = &self.wire {
+            println!(
+                "wire: decode {:.1} us mean (n={}), encode {:.1} us mean (n={}), poll wake \
+                 {:.1} us mean (n={}), bufpool {:.1}% hit",
+                wire.decode_mean_ns / 1e3,
+                wire.decode_count,
+                wire.encode_mean_ns / 1e3,
+                wire.encode_count,
+                wire.poll_wake_mean_ns / 1e3,
+                wire.poll_wake_count,
+                wire.bufpool_hit_rate() * 100.0,
+            );
+        }
+        tail_alert(
+            &format!("{} concurrent", self.label()),
+            &concurrent.latencies.snapshot(),
+        );
+    }
+
+    fn json(&self, args: &Args) -> String {
+        let serial = &self.serial;
+        let concurrent = &self.concurrent;
+        let wire = self
+            .wire
+            .as_ref()
+            .map(|w| format!(", \"wire\": {}", w.json()))
+            .unwrap_or_default();
+        format!(
+            "{{\"proto\": \"{}\", \"io\": \"{}\", \
+             \"serial\": {{\"requests\": {}, \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}, \
+             \"max_ms\": {}}}, \
+             \"concurrent\": {{\"concurrency\": {}, \"window\": {}, \"requests\": {}, \
+             \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {}, \"max_ms\": {}, \"overloaded_retries\": {}, \
+             \"wrong_answers\": {}}}{wire}}}",
+            self.proto.name(),
+            self.io_name(),
+            serial.completed,
+            fmt(serial.elapsed_s),
+            fmt(serial.rps()),
+            fmt(serial.percentile_ms(0.50)),
+            fmt(serial.max_ms()),
+            args.concurrency,
+            args.window,
+            concurrent.completed,
+            fmt(concurrent.elapsed_s),
+            fmt(concurrent.rps()),
+            fmt(concurrent.percentile_ms(0.50)),
+            fmt(concurrent.percentile_ms(0.90)),
+            fmt(concurrent.percentile_ms(0.95)),
+            fmt(concurrent.percentile_ms(0.99)),
+            fmt(concurrent.percentile_ms(0.999)),
+            fmt(concurrent.max_ms()),
+            concurrent.overloaded_retries,
+            serial.wrong + concurrent.wrong,
+        )
+    }
 }
 
 fn fmt(v: f64) -> String {
@@ -421,10 +673,15 @@ fn run() -> Result<(), String> {
     let attr = (args.shards > 0).then(|| attribution(&mix, args.shards));
     let attr = attr.as_deref();
 
-    let run_against = |addr: &SocketAddr| -> Result<(PhaseResult, PhaseResult), String> {
+    // Warm + serial + concurrent against one server, optionally asking
+    // it to shut down afterwards.
+    let run_phases = |addr: &SocketAddr,
+                      proto: Proto,
+                      shutdown: bool|
+     -> Result<(PhaseResult, PhaseResult), String> {
         // Warm pass: every distinct request once, so both timed phases
         // hit a warm server (the acceptance setup).
-        let mut warm = connect_retry(addr, Duration::from_secs(180))?;
+        let mut warm = connect_retry(addr, proto, Duration::from_secs(180))?;
         for request in &mix {
             loop {
                 let response = warm.call(request).map_err(|e| format!("warmup: {e}"))?;
@@ -434,7 +691,7 @@ fn run() -> Result<(), String> {
             }
         }
         eprintln!("warm; serial phase ({:.1}s)...", args.seconds);
-        let serial = run_serial(addr, &mix, &expected, attr, args.seconds)?;
+        let serial = run_serial(addr, proto, &mix, &expected, attr, args.seconds)?;
         eprintln!(
             "serial: {} requests in {:.2}s = {:.0} rps; concurrent phase ({} conns, window {})...",
             serial.completed,
@@ -445,6 +702,7 @@ fn run() -> Result<(), String> {
         );
         let concurrent = run_concurrent(
             addr,
+            proto,
             &mix,
             &expected,
             attr,
@@ -452,8 +710,8 @@ fn run() -> Result<(), String> {
             args.concurrency,
             args.window,
         )?;
-        if args.shutdown_server || args.connect.is_none() {
-            let mut c = connect_retry(addr, Duration::from_secs(30))?;
+        if shutdown {
+            let mut c = connect_retry(addr, proto, Duration::from_secs(30))?;
             let ack = c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
             if ack != Response::ShuttingDown {
                 return Err(format!("shutdown not acknowledged: {ack:?}"));
@@ -462,82 +720,108 @@ fn run() -> Result<(), String> {
         Ok((serial, concurrent))
     };
 
-    let (serial, concurrent) = match &args.connect {
+    // Self-host one (proto, io) combo on a fresh server and fresh port;
+    // the worker pool is sized identically for every combo so cells are
+    // comparable.
+    let self_host = |proto: Proto, io: IoMode| -> Result<ComboResult, String> {
+        let server = Server::bind(ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: (args.concurrency * args.window).clamp(8, 256),
+            queue_depth: (args.concurrency * args.window).max(64),
+            io,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        eprintln!("[{}/{}] self-hosting on {addr}", proto.name(), io.name());
+        let before = hft_obs::global().snapshot();
+        let (serial, concurrent) = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(&eco.db));
+            let phases = run_phases(&addr, proto, true);
+            let stats = handle.join().expect("server thread");
+            stats.map_err(|e| e.to_string())?;
+            phases
+        })?;
+        let wire = WireSample::delta(&before, &hft_obs::global().snapshot());
+        Ok(ComboResult {
+            proto,
+            io,
+            remote: false,
+            serial,
+            concurrent,
+            wire: Some(wire),
+        })
+    };
+
+    let combos: Vec<ComboResult> = match &args.connect {
         Some(spec) => {
             let addr = spec
                 .to_socket_addrs()
                 .map_err(|e| format!("bad --connect {spec:?}: {e}"))?
                 .next()
                 .ok_or(format!("--connect {spec:?} resolved to nothing"))?;
-            run_against(&addr)?
+            let (serial, concurrent) = run_phases(&addr, args.proto, args.shutdown_server)?;
+            vec![ComboResult {
+                proto: args.proto,
+                io: args.io,
+                remote: true,
+                serial,
+                concurrent,
+                wire: None,
+            }]
         }
-        None => {
-            // Self-hosted: bind a free port, serve from a background
-            // thread, size the queue for the requested concurrency.
-            // Workers well beyond the core count: a worker following an
-            // in-flight computation parks on a condvar and costs no CPU,
-            // so narrow pools would serialize behind coalesced requests.
-            let server = Server::bind(ServeConfig {
-                addr: "127.0.0.1:0".into(),
-                workers: (args.concurrency * args.window).clamp(8, 256),
-                queue_depth: (args.concurrency * args.window).max(64),
-                ..ServeConfig::default()
-            })
-            .map_err(|e| e.to_string())?;
-            let addr = server.local_addr().map_err(|e| e.to_string())?;
-            eprintln!("self-hosting on {addr}");
-            std::thread::scope(|scope| {
-                let handle = scope.spawn(|| server.run(&eco.db));
-                let phases = run_against(&addr);
-                let stats = handle.join().expect("server thread");
-                stats.map_err(|e| e.to_string())?;
-                phases
-            })?
+        None if args.matrix => {
+            // The matrix baseline cell (json/threaded) runs first, the
+            // acceptance cell (bin/evented) last; every cell gets a
+            // fresh server at identical settings.
+            let cells = [
+                (Proto::Json, IoMode::Threaded),
+                (Proto::Binary, IoMode::Threaded),
+                (Proto::Json, IoMode::Evented),
+                (Proto::Binary, IoMode::Evented),
+            ];
+            let mut combos = Vec::with_capacity(cells.len());
+            for (proto, io) in cells {
+                combos.push(self_host(proto, io)?);
+            }
+            combos
         }
+        None => vec![self_host(args.proto, args.io)?],
     };
 
-    let p50 = concurrent.percentile_ms(0.50);
-    let p90 = concurrent.percentile_ms(0.90);
-    let p95 = concurrent.percentile_ms(0.95);
-    let p99 = concurrent.percentile_ms(0.99);
-    let p999 = concurrent.percentile_ms(0.999);
-    let serial_p50 = serial.percentile_ms(0.50);
-    let speedup = if serial.rps() > 0.0 {
-        concurrent.rps() / serial.rps()
-    } else {
-        0.0
-    };
+    for combo in &combos {
+        combo.print();
+    }
 
-    println!(
-        "serial:     {:>8} requests  {:>9.0} rps  p50 {:.3} ms",
-        serial.completed,
-        serial.rps(),
-        serial_p50
-    );
-    println!(
-        "concurrent: {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p90 {:.3} ms  p95 {:.3} ms  \
-         p99 {:.3} ms  p999 {:.3} ms",
-        concurrent.completed,
-        concurrent.rps(),
-        p50,
-        p90,
-        p95,
-        p99,
-        p999
-    );
-    println!(
-        "speedup {speedup:.1}x, {} overloaded retries, {} wrong answers",
-        serial.overloaded_retries + concurrent.overloaded_retries,
-        serial.wrong + concurrent.wrong
-    );
+    // The cell that headlines the top-level summary: bin/evented when
+    // the matrix ran, otherwise the single cell that was measured.
+    let primary = combos
+        .iter()
+        .find(|c| c.proto == Proto::Binary && c.io == IoMode::Evented)
+        .unwrap_or(&combos[0]);
+    let baseline = combos
+        .iter()
+        .find(|c| c.proto == Proto::Json && c.io == IoMode::Threaded);
+    let matrix_speedup = baseline.and_then(|b| {
+        (args.matrix && b.concurrent.rps() > 0.0)
+            .then(|| primary.concurrent.rps() / b.concurrent.rps())
+    });
+    if let Some(speedup) = matrix_speedup {
+        println!(
+            "matrix: bin/evented {:.0} rps vs json/threaded {:.0} rps = {speedup:.2}x",
+            primary.concurrent.rps(),
+            baseline.unwrap().concurrent.rps(),
+        );
+    }
 
-    // Per-shard breakout of the concurrent phase: where does the tail
-    // live? The bucket with the widest p90-p50 gap is the queueing
-    // culprit — a shard, or the broadcast fan-out.
+    // Per-shard breakout of the primary cell's concurrent phase: where
+    // does the tail live? The bucket with the widest p90-p50 gap is the
+    // queueing culprit — a shard, or the broadcast fan-out.
     let mut per_shard_json = String::new();
     if args.shards > 0 {
         let mut worst: Option<(String, f64)> = None;
-        let entries: Vec<String> = concurrent
+        let entries: Vec<String> = primary
+            .concurrent
             .by_bucket
             .iter()
             .enumerate()
@@ -547,21 +831,27 @@ fn run() -> Result<(), String> {
                 let p50 = snap.percentile(0.50) as f64 / 1e6;
                 let p90 = snap.percentile(0.90) as f64 / 1e6;
                 let p99 = snap.percentile(0.99) as f64 / 1e6;
+                let p999 = snap.percentile(0.999) as f64 / 1e6;
+                let max = snap.max as f64 / 1e6;
                 let gap = p90 - p50;
                 if shard.count() > 0 && worst.as_ref().is_none_or(|(_, g)| gap > *g) {
                     worst = Some((label.clone(), gap));
                 }
                 println!(
-                    "  {label:<10} {:>8} requests  p50 {p50:.3} ms  p90 {p90:.3} ms  p99 {p99:.3} ms",
+                    "  {label:<10} {:>8} requests  p50 {p50:.3} ms  p90 {p90:.3} ms  \
+                     p99 {p99:.3} ms  p999 {p999:.3} ms  max {max:.3} ms",
                     shard.count(),
                 );
+                tail_alert(&label, &snap);
                 format!(
                     "{{\"label\": \"{label}\", \"requests\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
-                     \"p99_ms\": {}}}",
+                     \"p99_ms\": {}, \"p999_ms\": {}, \"max_ms\": {}}}",
                     shard.count(),
                     fmt(p50),
                     fmt(p90),
                     fmt(p99),
+                    fmt(p999),
+                    fmt(max),
                 )
             })
             .collect();
@@ -571,33 +861,59 @@ fn run() -> Result<(), String> {
         per_shard_json = format!(",\n\"per_shard\": [{}]", entries.join(", "));
     }
 
+    let speedup = if primary.serial.rps() > 0.0 {
+        primary.concurrent.rps() / primary.serial.rps()
+    } else {
+        0.0
+    };
+    let wrong_total: u64 = combos
+        .iter()
+        .map(|c| c.serial.wrong + c.concurrent.wrong)
+        .sum();
+    let runs_json: Vec<String> = combos.iter().map(|c| c.json(&args)).collect();
+    let matrix_json = matrix_speedup
+        .map(|s| format!(",\n\"speedup_bin_evented_vs_json_threaded\": {}", fmt(s)))
+        .unwrap_or_default();
+
+    // Top-level serial/concurrent mirror the primary cell so existing
+    // consumers of BENCH_serve.json keep working; "runs" carries every
+    // measured (proto, io) cell.
     let json = format!(
         "{{\n\
          \"workload\": {{\"distinct_requests\": {}, \"seed\": {}}},\n\
-         \"serial\": {{\"requests\": {}, \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}}},\n\
+         \"proto\": \"{}\", \"io\": \"{}\",\n\
+         \"serial\": {{\"requests\": {}, \"seconds\": {}, \"rps\": {}, \"p50_ms\": {}, \
+         \"max_ms\": {}}},\n\
          \"concurrent\": {{\"concurrency\": {}, \"window\": {}, \"requests\": {}, \"seconds\": {}, \
-         \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \"p999_ms\": {}, \
-         \"overloaded_retries\": {}, \"wrong_answers\": {}}},\n\
-         \"speedup\": {}{}\n}}\n",
+         \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}, \
+         \"p999_ms\": {}, \"max_ms\": {}, \"overloaded_retries\": {}, \"wrong_answers\": {}}},\n\
+         \"speedup\": {},\n\
+         \"runs\": [{}]{}{}\n}}\n",
         mix.len(),
         args.seed,
-        serial.completed,
-        fmt(serial.elapsed_s),
-        fmt(serial.rps()),
-        fmt(serial_p50),
+        primary.proto.name(),
+        primary.io_name(),
+        primary.serial.completed,
+        fmt(primary.serial.elapsed_s),
+        fmt(primary.serial.rps()),
+        fmt(primary.serial.percentile_ms(0.50)),
+        fmt(primary.serial.max_ms()),
         args.concurrency,
         args.window,
-        concurrent.completed,
-        fmt(concurrent.elapsed_s),
-        fmt(concurrent.rps()),
-        fmt(p50),
-        fmt(p90),
-        fmt(p95),
-        fmt(p99),
-        fmt(p999),
-        concurrent.overloaded_retries,
-        serial.wrong + concurrent.wrong,
+        primary.concurrent.completed,
+        fmt(primary.concurrent.elapsed_s),
+        fmt(primary.concurrent.rps()),
+        fmt(primary.concurrent.percentile_ms(0.50)),
+        fmt(primary.concurrent.percentile_ms(0.90)),
+        fmt(primary.concurrent.percentile_ms(0.95)),
+        fmt(primary.concurrent.percentile_ms(0.99)),
+        fmt(primary.concurrent.percentile_ms(0.999)),
+        fmt(primary.concurrent.max_ms()),
+        primary.concurrent.overloaded_retries,
+        wrong_total,
         fmt(speedup),
+        runs_json.join(",\n"),
+        matrix_json,
         per_shard_json,
     );
     let path = args
@@ -606,10 +922,17 @@ fn run() -> Result<(), String> {
     std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
     println!("wrote {path}");
 
-    if serial.wrong + concurrent.wrong > 0 {
-        let detail = serial
-            .first_mismatch
-            .or(concurrent.first_mismatch)
+    if wrong_total > 0 {
+        let detail = combos
+            .iter()
+            .flat_map(|c| {
+                c.serial
+                    .first_mismatch
+                    .clone()
+                    .into_iter()
+                    .chain(c.concurrent.first_mismatch.clone())
+            })
+            .next()
             .unwrap_or_default();
         return Err(format!("byte mismatch against direct session:\n{detail}"));
     }

@@ -1,0 +1,531 @@
+//! The event-driven transport: one readiness loop multiplexing every
+//! connection over a [`Poller`](crate::poll::Poller), replacing the
+//! two-threads-per-connection model for the hot path.
+//!
+//! Division of labor per event-loop round:
+//!
+//! 1. drain the [`Waker`](crate::poll::Waker) (pool workers poke it when
+//!    they fill a response slot),
+//! 2. accept any pending connections (nonblocking, until `WouldBlock`),
+//! 3. for each readable connection, pull complete frames out of its
+//!    [`FrameReader`] and dispatch them exactly like the threaded
+//!    reader does — hello negotiation, magic-byte codec sniffing,
+//!    queue-bypassing `stats`/`metrics`, bounded admission for the rest,
+//! 4. pump every connection: encode response slots that have filled
+//!    (in request order, into pooled buffers) and push bytes with
+//!    vectored writes until the socket pushes back, then arm `EPOLLOUT`
+//!    and let readiness resume the flush.
+//!
+//! Responses are encoded under the protocol that was in force when
+//! their request arrived, so a hello mid-pipeline never reorders or
+//! re-codes earlier answers. Encode buffers come from a free-list
+//! [`BufPool`] (hit/miss counters + free-list gauge under
+//! `serve.bufpool_*`); decode and encode latencies land in
+//! `serve.decode_ns`/`serve.encode_ns`, and wake-to-drain latency in
+//! `serve.poll_wake_ns`.
+//!
+//! Shutdown mirrors the threaded path: a `shutdown` request answers
+//! `ShuttingDown`, stops the acceptor, closes the admission queue
+//! (pending jobs still drain), marks every connection read-closed, and
+//! the loop exits once every outstanding response has been flushed.
+
+use crate::api::{Request, Response};
+use crate::binwire::{self, Proto};
+use crate::poll::{Interest, Poller, SourceFd, Waker};
+use crate::pool::{Queue, ResponseSlot, SubmitError};
+use crate::server::ServeConfig;
+use crate::service::Handler;
+use crate::wire::FrameEvent;
+use crate::wire::FrameReader;
+use hft_obs::{Counter, Gauge, Histogram};
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TOKEN_LISTENER: usize = 0;
+const TOKEN_WAKER: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// Most buffers retained by the free list; beyond this, buffers are
+/// dropped and the allocator gets them back.
+const POOL_MAX_FREE: usize = 128;
+/// Buffers that grew beyond this capacity are not retained (a single
+/// huge metrics dump must not pin a huge free list forever).
+const POOL_MAX_RETAINED_CAP: usize = 1 << 18;
+/// Most frames combined into one vectored write.
+const MAX_IOVECS: usize = 16;
+
+#[cfg(unix)]
+fn source_fd(s: &impl std::os::fd::AsRawFd) -> SourceFd {
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn source_fd<T>(_s: &T) -> SourceFd {
+    -1
+}
+
+/// A free list of reusable encode buffers with hit/miss telemetry.
+struct BufPool {
+    free: Vec<Vec<u8>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    free_gauge: Arc<Gauge>,
+}
+
+impl BufPool {
+    fn new() -> BufPool {
+        let r = hft_obs::global();
+        BufPool {
+            free: Vec::new(),
+            hits: r.counter("serve.bufpool_hits"),
+            misses: r.counter("serve.bufpool_misses"),
+            free_gauge: r.gauge("serve.bufpool_free"),
+        }
+    }
+
+    fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                self.hits.incr();
+                self.free_gauge.set(self.free.len() as i64);
+                buf
+            }
+            None => {
+                self.misses.incr();
+                Vec::with_capacity(4096)
+            }
+        }
+    }
+
+    fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < POOL_MAX_FREE && buf.capacity() <= POOL_MAX_RETAINED_CAP {
+            self.free.push(buf);
+            self.free_gauge.set(self.free.len() as i64);
+        }
+    }
+}
+
+/// One queued answer, in request order.
+enum Outgoing {
+    /// Pre-encoded frame body (the hello-ack).
+    Raw(Vec<u8>),
+    /// A response known immediately (errors, overload, stats, metrics,
+    /// shutting-down), encoded when it reaches the head of the queue.
+    Ready(Response, Proto),
+    /// A pool-worker slot; encoded under its protocol once filled.
+    Slot(Arc<ResponseSlot>, Proto),
+}
+
+/// Per-connection state.
+struct Conn {
+    stream: TcpStream,
+    fd: SourceFd,
+    frames: FrameReader,
+    proto: Proto,
+    outq: VecDeque<Outgoing>,
+    /// Encoded frames awaiting the socket; front may be partially
+    /// written (`woff` bytes already gone).
+    wq: VecDeque<Vec<u8>>,
+    woff: usize,
+    want_write: bool,
+    /// Stop reading; flush what is queued, then close.
+    closing: bool,
+    /// Unusable (write error / reset); drop without flushing.
+    dead: bool,
+}
+
+impl Conn {
+    fn drained(&self) -> bool {
+        self.outq.is_empty() && self.wq.is_empty()
+    }
+}
+
+/// Run the readiness loop until shutdown. Pool workers must already be
+/// draining `queue`; the caller closes the queue after this returns
+/// (the loop also closes it when a `shutdown` request arrives, which is
+/// what lets pending slots fill during the drain phase).
+pub(crate) fn drive<H: Handler>(
+    listener: &TcpListener,
+    service: &H,
+    queue: &Queue,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Arc::new(Waker::new()?);
+    poller.register(source_fd(listener), TOKEN_LISTENER, Interest::READ)?;
+    #[cfg(unix)]
+    poller.register(waker.fd(), TOKEN_WAKER, Interest::READ)?;
+
+    let r = hft_obs::global();
+    let mut ev = EvLoop {
+        service,
+        queue,
+        max_frame: config.max_frame,
+        poller,
+        waker,
+        conns: Vec::new(),
+        pool: BufPool::new(),
+        decode_ns: r.histogram("serve.decode_ns"),
+        encode_ns: r.histogram("serve.encode_ns"),
+        shutting_down: false,
+    };
+
+    let mut events = Vec::new();
+    loop {
+        let timeout = if ev.shutting_down {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(500)
+        };
+        ev.poller.wait(&mut events, Some(timeout))?;
+
+        let mut accept_ready = false;
+        for event in &events {
+            match event.token {
+                TOKEN_LISTENER => accept_ready = true,
+                TOKEN_WAKER => ev.waker.drain(),
+                token => ev.on_conn_event(token - TOKEN_BASE, event.readable),
+            }
+        }
+        if accept_ready && !ev.shutting_down {
+            ev.accept_all(listener)?;
+        }
+        // Pump unconditionally: slots may have filled (waker), writes
+        // may have unblocked, reads may have queued answers.
+        for idx in 0..ev.conns.len() {
+            ev.pump_conn(idx);
+        }
+        ev.reap();
+        if ev.shutting_down && ev.conns.iter().flatten().all(Conn::drained) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+struct EvLoop<'a, H: Handler> {
+    service: &'a H,
+    queue: &'a Queue,
+    max_frame: usize,
+    poller: Poller,
+    waker: Arc<Waker>,
+    conns: Vec<Option<Conn>>,
+    pool: BufPool,
+    decode_ns: Arc<Histogram>,
+    encode_ns: Arc<Histogram>,
+    shutting_down: bool,
+}
+
+impl<H: Handler> EvLoop<'_, H> {
+    fn accept_all(&mut self, listener: &TcpListener) -> io::Result<()> {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => self.install(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn install(&mut self, stream: TcpStream) {
+        if stream.set_nodelay(true).is_err() || stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let fd = source_fd(&stream);
+        let idx = match self.conns.iter().position(Option::is_none) {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        if self
+            .poller
+            .register(fd, idx + TOKEN_BASE, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            fd,
+            frames: FrameReader::new(),
+            proto: Proto::default(),
+            outq: VecDeque::new(),
+            wq: VecDeque::new(),
+            woff: 0,
+            want_write: false,
+            closing: false,
+            dead: false,
+        });
+    }
+
+    fn on_conn_event(&mut self, idx: usize, readable: bool) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if readable && !conn.closing && !conn.dead {
+            self.read_conn(&mut conn);
+        }
+        // Writability is handled by the unconditional pump pass.
+        self.conns[idx] = Some(conn);
+    }
+
+    /// Pull every complete frame currently available and dispatch it.
+    fn read_conn(&mut self, conn: &mut Conn) {
+        loop {
+            let stream = &conn.stream;
+            match conn.frames.read_from(&mut { stream }, self.max_frame) {
+                Ok(FrameEvent::Frame(body)) => {
+                    self.process_frame(conn, &body);
+                    if conn.closing {
+                        return;
+                    }
+                }
+                Ok(FrameEvent::Idle) => return,
+                Ok(FrameEvent::Eof) => {
+                    conn.closing = true;
+                    return;
+                }
+                Ok(FrameEvent::Oversized(len)) => {
+                    // The stream is desynchronized past this point:
+                    // answer, flush, hang up.
+                    self.service.serve_stats().on_received();
+                    conn.outq.push_back(Outgoing::Ready(
+                        Response::Error {
+                            message: format!(
+                                "oversized frame: {len} bytes (max {})",
+                                self.max_frame
+                            ),
+                        },
+                        conn.proto,
+                    ));
+                    conn.closing = true;
+                    return;
+                }
+                Err(_) => {
+                    // Read errors still flush queued answers, matching
+                    // the threaded writer's drain-on-reader-exit.
+                    conn.closing = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// The dispatch table — semantics identical to the threaded
+    /// reader's, plus hello negotiation (which the threaded path also
+    /// performs; see `server.rs`).
+    fn process_frame(&mut self, conn: &mut Conn, body: &[u8]) {
+        if let Some(hello) = binwire::parse_hello(body) {
+            match hello {
+                Ok(proto) => {
+                    conn.proto = proto;
+                    conn.outq
+                        .push_back(Outgoing::Raw(binwire::hello_ack(proto)));
+                }
+                Err(e) => conn.outq.push_back(Outgoing::Ready(
+                    Response::Error {
+                        message: format!("bad hello: {e}"),
+                    },
+                    conn.proto,
+                )),
+            }
+            return;
+        }
+        let stats = self.service.serve_stats();
+        stats.on_received();
+        let started = Instant::now();
+        let decoded = binwire::sniff_request(body);
+        self.decode_ns.record(started.elapsed().as_nanos() as u64);
+        let request = match decoded {
+            Ok(request) => request,
+            Err(message) => {
+                conn.outq.push_back(Outgoing::Ready(
+                    Response::Error {
+                        message: format!("bad request: {message}"),
+                    },
+                    conn.proto,
+                ));
+                return;
+            }
+        };
+        match request {
+            Request::Shutdown => {
+                stats.on_completed(false);
+                conn.outq
+                    .push_back(Outgoing::Ready(Response::ShuttingDown, conn.proto));
+                self.begin_shutdown();
+            }
+            Request::Stats | Request::Metrics => {
+                // Queue-bypassing telemetry: must answer even when the
+                // admission queue is saturated.
+                let response = self.service.handle(&request);
+                stats.on_completed(false);
+                conn.outq.push_back(Outgoing::Ready(response, conn.proto));
+            }
+            request => {
+                match self
+                    .queue
+                    .submit_with(request, stats, Some(Arc::clone(&self.waker)))
+                {
+                    Ok(slot) => conn.outq.push_back(Outgoing::Slot(slot, conn.proto)),
+                    Err(SubmitError::Overloaded) => conn
+                        .outq
+                        .push_back(Outgoing::Ready(Response::Overloaded, conn.proto)),
+                    Err(SubmitError::Closed) => {
+                        conn.outq
+                            .push_back(Outgoing::Ready(Response::ShuttingDown, conn.proto));
+                        conn.closing = true;
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_shutdown(&mut self) {
+        if self.shutting_down {
+            return;
+        }
+        self.shutting_down = true;
+        // Pending jobs still drain; new submissions answer ShuttingDown.
+        self.queue.close();
+        // Stop reading everywhere; what is queued still flushes.
+        for conn in self.conns.iter_mut().flatten() {
+            conn.closing = true;
+        }
+    }
+
+    /// Encode every answer that is ready (in order) and write as much
+    /// as the socket accepts.
+    fn pump_conn(&mut self, idx: usize) {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        if !conn.dead {
+            self.encode_ready(&mut conn);
+            self.flush_writes(&mut conn, idx);
+        }
+        self.conns[idx] = Some(conn);
+    }
+
+    fn encode_ready(&mut self, conn: &mut Conn) {
+        loop {
+            let (response, proto) = match conn.outq.front() {
+                None => return,
+                Some(Outgoing::Raw(_)) => {
+                    let Some(Outgoing::Raw(body)) = conn.outq.pop_front() else {
+                        unreachable!()
+                    };
+                    let mut buf = self.pool.get();
+                    buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                    buf.extend_from_slice(&body);
+                    conn.wq.push_back(buf);
+                    continue;
+                }
+                Some(Outgoing::Ready(..)) => {
+                    let Some(Outgoing::Ready(response, proto)) = conn.outq.pop_front() else {
+                        unreachable!()
+                    };
+                    (response, proto)
+                }
+                Some(Outgoing::Slot(slot, proto)) => match slot.try_take() {
+                    None => return,
+                    Some(response) => {
+                        let proto = *proto;
+                        conn.outq.pop_front();
+                        (response, proto)
+                    }
+                },
+            };
+            let mut buf = self.pool.get();
+            let started = Instant::now();
+            buf.extend_from_slice(&[0, 0, 0, 0]);
+            binwire::response_bytes_into(proto, &response, &mut buf);
+            let len = (buf.len() - 4) as u32;
+            buf[..4].copy_from_slice(&len.to_be_bytes());
+            self.encode_ns.record(started.elapsed().as_nanos() as u64);
+            conn.wq.push_back(buf);
+        }
+    }
+
+    fn flush_writes(&mut self, conn: &mut Conn, idx: usize) {
+        loop {
+            if conn.wq.is_empty() {
+                if conn.want_write {
+                    conn.want_write = false;
+                    let _ = self
+                        .poller
+                        .modify(conn.fd, idx + TOKEN_BASE, Interest::READ);
+                }
+                return;
+            }
+            let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_IOVECS.min(conn.wq.len()));
+            let mut iter = conn.wq.iter();
+            let front = iter.next().expect("nonempty wq");
+            slices.push(IoSlice::new(&front[conn.woff..]));
+            for buf in iter.take(MAX_IOVECS - 1) {
+                slices.push(IoSlice::new(buf));
+            }
+            match (&conn.stream).write_vectored(&slices) {
+                Ok(0) => {
+                    conn.dead = true;
+                    return;
+                }
+                Ok(mut wrote) => {
+                    while wrote > 0 {
+                        let remaining = conn.wq[0].len() - conn.woff;
+                        if wrote >= remaining {
+                            wrote -= remaining;
+                            conn.woff = 0;
+                            let done = conn.wq.pop_front().expect("nonempty wq");
+                            self.pool.put(done);
+                        } else {
+                            conn.woff += wrote;
+                            wrote = 0;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !conn.want_write {
+                        conn.want_write = true;
+                        let _ = self
+                            .poller
+                            .modify(conn.fd, idx + TOKEN_BASE, Interest::READ_WRITE);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drop dead connections and closing connections that have fully
+    /// flushed, recycling their buffers.
+    fn reap(&mut self) {
+        for idx in 0..self.conns.len() {
+            let done = match &self.conns[idx] {
+                Some(conn) => conn.dead || (conn.closing && conn.drained()),
+                None => false,
+            };
+            if done {
+                let conn = self.conns[idx].take().expect("conn present");
+                let _ = self.poller.deregister(conn.fd, idx + TOKEN_BASE);
+                for buf in conn.wq {
+                    self.pool.put(buf);
+                }
+                // `conn.stream` drops here, closing the socket.
+            }
+        }
+    }
+}

@@ -23,12 +23,17 @@
 //! wait, service time, and single-flight outcome is counted and exposed
 //! through the `stats` request and the shutdown dump.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the one exception is the raw epoll
+// syscall shim in `poll::sys`, which carries a module-scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod binwire;
+pub(crate) mod evloop;
 pub mod json;
 pub mod live;
+pub mod poll;
 pub mod pool;
 pub mod router;
 pub mod server;
@@ -38,8 +43,9 @@ pub mod stats;
 pub mod wire;
 
 pub use api::{Request, Response};
+pub use binwire::Proto;
 pub use live::LiveService;
 pub use router::ShardRouter;
-pub use server::{Client, ServeConfig, Server};
+pub use server::{Client, IoMode, ServeConfig, Server};
 pub use service::{Handler, Service};
 pub use stats::{ServeSnapshot, ServeStats};

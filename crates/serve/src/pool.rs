@@ -10,25 +10,45 @@
 //! retry.
 
 use crate::api::{Request, Response};
+use crate::poll::Waker;
 use crate::service::Handler;
 use crate::stats::ServeStats;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// A one-shot response slot a submitter can block on.
-#[derive(Debug)]
+/// A one-shot response slot a submitter can block on (threaded writer)
+/// or poll with a poller wake on fill (evented loop).
 pub struct ResponseSlot {
     state: Mutex<Option<Response>>,
     cv: Condvar,
+    /// Poked on `fill` so a readiness loop parked in `Poller::wait`
+    /// learns the response is ready; `None` for threaded connections,
+    /// whose writer blocks on the condvar instead.
+    waker: Option<Arc<Waker>>,
+}
+
+impl std::fmt::Debug for ResponseSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResponseSlot")
+            .field("filled", &self.try_peek())
+            .field("waker", &self.waker.is_some())
+            .finish()
+    }
 }
 
 impl ResponseSlot {
     /// An empty slot.
     pub fn new() -> Arc<ResponseSlot> {
+        ResponseSlot::with_waker(None)
+    }
+
+    /// An empty slot that pokes `waker` when filled.
+    pub fn with_waker(waker: Option<Arc<Waker>>) -> Arc<ResponseSlot> {
         Arc::new(ResponseSlot {
             state: Mutex::new(None),
             cv: Condvar::new(),
+            waker,
         })
     }
 
@@ -38,6 +58,7 @@ impl ResponseSlot {
         Arc::new(ResponseSlot {
             state: Mutex::new(Some(response)),
             cv: Condvar::new(),
+            waker: None,
         })
     }
 
@@ -46,6 +67,14 @@ impl ResponseSlot {
         let mut state = self.state.lock().expect("slot state");
         *state = Some(response);
         self.cv.notify_all();
+        drop(state);
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+    }
+
+    fn try_peek(&self) -> bool {
+        self.state.lock().expect("slot state").is_some()
     }
 
     /// Non-blocking check; returns the response once filled.
@@ -117,6 +146,17 @@ impl Queue {
         request: Request,
         stats: &ServeStats,
     ) -> Result<Arc<ResponseSlot>, SubmitError> {
+        self.submit_with(request, stats, None)
+    }
+
+    /// [`Queue::submit`] with a poller wake attached to the slot, for
+    /// submitters that poll instead of block.
+    pub fn submit_with(
+        &self,
+        request: Request,
+        stats: &ServeStats,
+        waker: Option<Arc<Waker>>,
+    ) -> Result<Arc<ResponseSlot>, SubmitError> {
         let mut inner = self.inner.lock().expect("queue");
         if !inner.open {
             return Err(SubmitError::Closed);
@@ -125,7 +165,7 @@ impl Queue {
             stats.on_overloaded();
             return Err(SubmitError::Overloaded);
         }
-        let slot = ResponseSlot::new();
+        let slot = ResponseSlot::with_waker(waker);
         inner.jobs.push_back(Job {
             request,
             enqueued: Instant::now(),

@@ -1,11 +1,16 @@
-//! The TCP transport: a scoped-thread server wrapping [`Service`]
-//! behind the length-prefixed wire protocol.
+//! The TCP transport: a server wrapping [`Service`] behind the
+//! length-prefixed wire protocol, with two interchangeable data planes.
 //!
-//! Each connection gets a reader thread (decode frames, admit to the
-//! pool) and a writer thread (publish responses strictly in request
-//! order). Ordering under overload is preserved by pushing an already
-//! filled `Overloaded` slot into the connection's outbox, so a rejected
-//! request still answers in its arrival position. `stats` and
+//! [`IoMode::Evented`] (the default) multiplexes every connection on
+//! one readiness loop (see [`crate::evloop`]). [`IoMode::Threaded`]
+//! keeps the original model: each connection gets a reader thread
+//! (decode frames, admit to the pool) and a writer thread (publish
+//! responses strictly in request order). Both planes speak both wire
+//! codecs — connections start in JSON and may switch to the binary
+//! protocol with a hello frame (see [`crate::binwire`]) — and share the
+//! worker pool, admission queue, and every dispatch rule: ordering
+//! under overload is preserved by queueing an already-answered
+//! `Overloaded` entry in arrival position, and `stats`/`metrics`/
 //! `shutdown` requests bypass the admission queue — they must work
 //! precisely when the queue is full.
 //!
@@ -14,6 +19,7 @@
 //! jobs still drain), and lets every thread unwind cleanly.
 
 use crate::api::{Request, Response};
+use crate::binwire::{self, Proto};
 use crate::live::LiveService;
 use crate::pool::{Queue, ResponseSlot, SubmitError};
 use crate::service::{Handler, Service};
@@ -25,11 +31,42 @@ use std::io::{self, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long blocking reads wait before handlers re-check the shutdown
 /// flag. Bounds shutdown latency; never torn frames (see [`FrameReader`]).
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Which transport data plane the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoMode {
+    /// One readiness loop multiplexing all connections (epoll where
+    /// available). The fast path.
+    #[default]
+    Evented,
+    /// Reader + writer thread per connection. The original, simpler
+    /// plane; kept as a debuggable reference and comparison baseline.
+    Threaded,
+}
+
+impl IoMode {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s {
+            "evented" => Some(IoMode::Evented),
+            "threaded" => Some(IoMode::Threaded),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IoMode::Evented => "evented",
+            IoMode::Threaded => "threaded",
+        }
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -42,6 +79,8 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Maximum accepted frame body size in bytes.
     pub max_frame: usize,
+    /// The transport data plane.
+    pub io: IoMode,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +90,7 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             max_frame: wire::DEFAULT_MAX_FRAME,
+            io: IoMode::default(),
         }
     }
 }
@@ -92,6 +132,32 @@ impl Server {
     /// Serve with any [`Handler`] until a `shutdown` request arrives,
     /// then drain and return the final serving-layer counters.
     pub fn run_with<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
+        match self.config.io {
+            IoMode::Evented => self.run_evented(service),
+            IoMode::Threaded => self.run_threaded(service),
+        }
+    }
+
+    /// The readiness-loop data plane: workers drain the queue, the main
+    /// thread runs the event loop (see [`crate::evloop`]).
+    fn run_evented<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
+        let queue = Queue::new(self.config.queue_depth);
+        let result: io::Result<()> = std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| queue.worker(service));
+            }
+            let r = crate::evloop::drive(&self.listener, service, &queue, &self.config);
+            // Closed by the loop on protocol shutdown; close again here
+            // so workers also exit on an accept/poll error path.
+            queue.close();
+            r
+        });
+        result?;
+        Ok(service.serve_stats().snapshot())
+    }
+
+    /// The thread-per-connection data plane.
+    fn run_threaded<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
         let queue = Queue::new(self.config.queue_depth);
         let shutdown = AtomicBool::new(false);
         self.listener.set_nonblocking(true)?;
@@ -134,6 +200,14 @@ impl Server {
     }
 }
 
+/// One in-order outbox entry: a pre-encoded frame body (hello-ack) or
+/// a response slot tagged with the protocol in force when its request
+/// arrived (a mid-pipeline hello must not re-code earlier answers).
+enum Outgoing {
+    Raw(Vec<u8>),
+    Slot(Arc<ResponseSlot>, Proto),
+}
+
 /// The in-order response outbox shared by a connection's reader and
 /// writer threads.
 struct Outbox {
@@ -142,7 +216,7 @@ struct Outbox {
 }
 
 struct OutboxInner {
-    slots: VecDeque<Arc<ResponseSlot>>,
+    entries: VecDeque<Outgoing>,
     closed: bool,
 }
 
@@ -150,15 +224,15 @@ impl Outbox {
     fn new() -> Outbox {
         Outbox {
             inner: Mutex::new(OutboxInner {
-                slots: VecDeque::new(),
+                entries: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
         }
     }
 
-    fn push(&self, slot: Arc<ResponseSlot>) {
-        self.inner.lock().expect("outbox").slots.push_back(slot);
+    fn push(&self, entry: Outgoing) {
+        self.inner.lock().expect("outbox").entries.push_back(entry);
         self.ready.notify_one();
     }
 
@@ -167,12 +241,12 @@ impl Outbox {
         self.ready.notify_one();
     }
 
-    /// Pop the oldest pending slot; `None` once closed and drained.
-    fn next(&self) -> Option<Arc<ResponseSlot>> {
+    /// Pop the oldest pending entry; `None` once closed and drained.
+    fn next(&self) -> Option<Outgoing> {
         let mut inner = self.inner.lock().expect("outbox");
         loop {
-            if let Some(slot) = inner.slots.pop_front() {
-                return Some(slot);
+            if let Some(entry) = inner.entries.pop_front() {
+                return Some(entry);
             }
             if inner.closed {
                 return None;
@@ -182,7 +256,7 @@ impl Outbox {
     }
 
     fn is_empty(&self) -> bool {
-        self.inner.lock().expect("outbox").slots.is_empty()
+        self.inner.lock().expect("outbox").entries.is_empty()
     }
 }
 
@@ -198,6 +272,7 @@ fn handle_connection<H: Handler>(
     let write_half = stream.try_clone()?;
     let mut read_half = stream;
     let outbox = Outbox::new();
+    let decode_ns = hft_obs::global().histogram("serve.decode_ns");
 
     std::thread::scope(|scope| {
         let outbox = &outbox;
@@ -206,6 +281,10 @@ fn handle_connection<H: Handler>(
         });
 
         let mut frames = FrameReader::new();
+        let mut proto = Proto::default();
+        let filled = |response: Response, proto: Proto| {
+            Outgoing::Slot(ResponseSlot::filled(response), proto)
+        };
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 break;
@@ -218,49 +297,73 @@ fn handle_connection<H: Handler>(
                     // The stream is desynchronized past this point:
                     // answer, then hang up.
                     service.serve_stats().on_received();
-                    outbox.push(ResponseSlot::filled(Response::Error {
-                        message: format!("oversized frame: {len} bytes (max {max_frame})"),
-                    }));
+                    outbox.push(filled(
+                        Response::Error {
+                            message: format!("oversized frame: {len} bytes (max {max_frame})"),
+                        },
+                        proto,
+                    ));
                     break;
                 }
                 Err(_) => break,
             };
+            if let Some(hello) = binwire::parse_hello(&body) {
+                match hello {
+                    Ok(requested) => {
+                        proto = requested;
+                        outbox.push(Outgoing::Raw(binwire::hello_ack(requested)));
+                    }
+                    Err(e) => outbox.push(filled(
+                        Response::Error {
+                            message: format!("bad hello: {e}"),
+                        },
+                        proto,
+                    )),
+                }
+                continue;
+            }
             service.serve_stats().on_received();
-            let request = match Request::decode(&body) {
+            let started = Instant::now();
+            let decoded = binwire::sniff_request(&body);
+            decode_ns.record(started.elapsed().as_nanos() as u64);
+            let request = match decoded {
                 Ok(request) => request,
                 Err(message) => {
-                    outbox.push(ResponseSlot::filled(Response::Error {
-                        message: format!("bad request: {message}"),
-                    }));
+                    outbox.push(filled(
+                        Response::Error {
+                            message: format!("bad request: {message}"),
+                        },
+                        proto,
+                    ));
                     continue;
                 }
             };
             match request {
                 Request::Shutdown => {
                     service.serve_stats().on_completed(false);
-                    outbox.push(ResponseSlot::filled(Response::ShuttingDown));
+                    outbox.push(filled(Response::ShuttingDown, proto));
                     shutdown.store(true, Ordering::SeqCst);
                     break;
                 }
                 Request::Stats => {
                     let response = service.handle(&Request::Stats);
                     service.serve_stats().on_completed(false);
-                    outbox.push(ResponseSlot::filled(response));
+                    outbox.push(Outgoing::Slot(ResponseSlot::filled(response), proto));
                 }
                 Request::Metrics => {
                     // Like `stats`: telemetry must answer even when the
                     // admission queue is saturated.
                     let response = service.handle(&Request::Metrics);
                     service.serve_stats().on_completed(false);
-                    outbox.push(ResponseSlot::filled(response));
+                    outbox.push(Outgoing::Slot(ResponseSlot::filled(response), proto));
                 }
                 request => match queue.submit(request, service.serve_stats()) {
-                    Ok(slot) => outbox.push(slot),
+                    Ok(slot) => outbox.push(Outgoing::Slot(slot, proto)),
                     Err(SubmitError::Overloaded) => {
-                        outbox.push(ResponseSlot::filled(Response::Overloaded));
+                        outbox.push(filled(Response::Overloaded, proto));
                     }
                     Err(SubmitError::Closed) => {
-                        outbox.push(ResponseSlot::filled(Response::ShuttingDown));
+                        outbox.push(filled(Response::ShuttingDown, proto));
                         break;
                     }
                 },
@@ -276,9 +379,19 @@ fn handle_connection<H: Handler>(
 /// see no added latency while pipelined clients get batched syscalls.
 fn writer_loop(stream: TcpStream, outbox: &Outbox) -> io::Result<()> {
     let mut w = BufWriter::new(stream);
-    while let Some(slot) = outbox.next() {
-        let response = slot.wait();
-        let body = response.encode();
+    let encode_ns = hft_obs::global().histogram("serve.encode_ns");
+    let mut body = Vec::new();
+    while let Some(entry) = outbox.next() {
+        body.clear();
+        match entry {
+            Outgoing::Raw(bytes) => body.extend_from_slice(&bytes),
+            Outgoing::Slot(slot, proto) => {
+                let response = slot.wait();
+                let started = Instant::now();
+                binwire::response_bytes_into(proto, &response, &mut body);
+                encode_ns.record(started.elapsed().as_nanos() as u64);
+            }
+        }
         wire::write_frame(&mut w, &body)?;
         if outbox.is_empty() {
             w.flush()?;
@@ -288,31 +401,67 @@ fn writer_loop(stream: TcpStream, outbox: &Outbox) -> io::Result<()> {
 }
 
 /// A blocking wire client, usable serially (`call`) or pipelined
-/// (`send*`/`flush`/`recv`).
+/// (`send*`/`flush`/`recv`), speaking either wire codec.
 pub struct Client {
     writer: BufWriter<TcpStream>,
     reader: TcpStream,
     frames: FrameReader,
     max_frame: usize,
+    proto: Proto,
 }
 
 impl Client {
-    /// Connect to a running server.
+    /// Connect to a running server, speaking JSON.
     pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        Client::connect_with(addr, Proto::Json)
+    }
+
+    /// Connect and negotiate `proto`. For [`Proto::Binary`] this sends
+    /// the hello frame and blocks for the server's acknowledgement, so
+    /// a returned client is fully switched over.
+    pub fn connect_with(addr: &SocketAddr, proto: Proto) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let reader = stream.try_clone()?;
-        Ok(Client {
+        let mut client = Client {
             writer: BufWriter::new(stream),
             reader,
             frames: FrameReader::new(),
             max_frame: wire::DEFAULT_MAX_FRAME,
-        })
+            proto: Proto::Json,
+        };
+        if proto != Proto::Json {
+            wire::write_frame(&mut client.writer, &binwire::hello(proto))?;
+            client.writer.flush()?;
+            let ack = client.recv_frame()?;
+            let granted = binwire::parse_hello_ack(&ack)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if granted != proto {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "server granted {} instead of {}",
+                        granted.name(),
+                        proto.name()
+                    ),
+                ));
+            }
+            client.proto = proto;
+        }
+        Ok(client)
+    }
+
+    /// The protocol this client speaks.
+    pub fn proto(&self) -> Proto {
+        self.proto
     }
 
     /// Queue a request without flushing (pipelining).
     pub fn send(&mut self, request: &Request) -> io::Result<()> {
-        wire::write_frame(&mut self.writer, &request.encode())
+        wire::write_frame(
+            &mut self.writer,
+            &binwire::request_bytes(self.proto, request),
+        )
     }
 
     /// Flush queued requests to the socket.
@@ -320,12 +469,33 @@ impl Client {
         self.writer.flush()
     }
 
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        loop {
+            match self.frames.read_from(&mut self.reader, self.max_frame)? {
+                FrameEvent::Frame(body) => return Ok(body),
+                FrameEvent::Eof => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ));
+                }
+                FrameEvent::Oversized(len) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("oversized response frame: {len} bytes"),
+                    ));
+                }
+                FrameEvent::Idle => continue,
+            }
+        }
+    }
+
     /// Block until the next response arrives.
     pub fn recv(&mut self) -> io::Result<Response> {
         loop {
             match self.frames.read_from(&mut self.reader, self.max_frame)? {
                 FrameEvent::Frame(body) => {
-                    return Response::decode(&body)
+                    return binwire::response_from(self.proto, &body)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
                 }
                 FrameEvent::Eof => {

@@ -1,0 +1,267 @@
+//! Shared proptest strategies generating every `Request`/`Response`
+//! variant, used by both wire-codec property suites (`prop_wire` for
+//! the JSON codec, `prop_binwire` for the binary codec). Values stay
+//! inside the JSON codec's exact-integer range (< 2^53) so the same
+//! generated population is valid under both codecs and cross-codec
+//! fixed-point comparisons are meaningful.
+
+#![allow(dead_code)]
+
+use hft_serve::api::{Request, Response};
+use hft_time::Date;
+use proptest::prelude::*;
+
+pub fn date() -> impl Strategy<Value = Date> {
+    (2015i32..2026, 1u32..13, 1u32..29)
+        .prop_map(|(y, m, d)| Date::new(y, m, d).expect("in-range date"))
+}
+
+/// Arbitrary printable text, including JSON-hostile characters.
+pub fn text() -> impl Strategy<Value = String> {
+    "[ -~\"\\\\/\u{00e9}\u{4e16}]{0,24}"
+}
+
+pub fn dc() -> BoxedStrategy<String> {
+    prop_oneof![
+        Just("CME".to_string()),
+        Just("NY4".to_string()),
+        Just("NYSE".to_string()),
+        text(),
+    ]
+    .boxed()
+}
+
+pub fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        (-90.0f64..90.0, -180.0f64..180.0, 0.0f64..5000.0).prop_map(
+            |(lat_deg, lon_deg, radius_km)| {
+                Request::Geographic {
+                    lat_deg,
+                    lon_deg,
+                    radius_km,
+                }
+            }
+        ),
+        (text(), text()).prop_map(|(service, class)| Request::SiteSearch { service, class }),
+        (-90.0f64..90.0, -180.0f64..180.0, 0.0f64..5000.0, 0u32..100).prop_map(
+            |(lat_deg, lon_deg, radius_km, min_filings)| Request::Shortlist {
+                lat_deg,
+                lon_deg,
+                radius_km,
+                min_filings: min_filings as usize,
+            }
+        ),
+        (text(), date()).prop_map(|(licensee, date)| Request::Network { licensee, date }),
+        (text(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Route {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+        (text(), date(), dc(), dc()).prop_map(|(licensee, date, from, to)| Request::Apa {
+            licensee,
+            date,
+            from,
+            to,
+        }),
+        // Seeds share the codec's exact-integer range (< 2^53): JSON
+        // numbers are doubles on the wire.
+        (text(), date(), dc(), dc(), 1u32..10_000, 0u64..(1 << 53)).prop_map(
+            |(licensee, date, from, to, samples, seed)| Request::Weather {
+                licensee,
+                date,
+                from,
+                to,
+                samples: samples as usize,
+                seed,
+            }
+        ),
+        Just(Request::Stats),
+        Just(Request::Metrics),
+        Just(Request::Shutdown),
+    ]
+    .boxed()
+}
+
+/// Counter values stay below 2^53 so the JSON number representation is
+/// exact (the codec's documented integer range).
+pub fn counter() -> impl Strategy<Value = u64> {
+    0u64..(1 << 53)
+}
+
+pub fn serve_snapshot() -> impl Strategy<Value = hft_serve::ServeSnapshot> {
+    (
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+        (
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+            counter(),
+        ),
+    )
+        .prop_map(|(a, b)| hft_serve::ServeSnapshot {
+            received: a.0,
+            accepted: a.1,
+            rejected_overloaded: a.2,
+            completed: a.3,
+            errors: a.4,
+            flights_led: a.5,
+            flights_coalesced: b.0,
+            queue_wait_ns_total: b.1,
+            queue_wait_ns_max: b.2,
+            service_ns_total: b.3,
+            service_ns_max: b.4,
+            queue_high_water: b.5,
+            generation_swaps: b.6,
+        })
+}
+
+pub fn session_snapshot() -> impl Strategy<Value = hft_core::session::StatsSnapshot> {
+    (
+        (counter(), counter(), counter(), counter()),
+        (counter(), counter(), counter(), counter()),
+    )
+        .prop_map(|(a, b)| hft_core::session::StatsSnapshot {
+            network_hits: a.0,
+            reconstructions: a.1,
+            route_hits: a.2,
+            route_misses: a.3,
+            apa_hits: b.0,
+            apa_misses: b.1,
+            graph_hits: b.2,
+            graph_misses: b.3,
+        })
+}
+
+/// Latency-like values, including the `+∞` (network down) encoding.
+pub fn latency() -> BoxedStrategy<f64> {
+    prop_oneof![0.0f64..100.0, Just(f64::INFINITY)].boxed()
+}
+
+/// Registry-shaped payloads for `Response::Metrics`: the three fixed
+/// sections with sorted metric names and integer values, matching what
+/// `hft_obs::expo::render_json` emits.
+pub fn registry_json() -> impl Strategy<Value = hft_serve::json::Json> {
+    use hft_serve::json::Json;
+    use std::collections::BTreeMap;
+    const NAMES: [&str; 6] = [
+        "serve.received",
+        "session.network_hits",
+        "ingest.quarantined{reason=\"bad_record\"}",
+        "uls.site_searches",
+        "obs.slow_queries",
+        "serve.service_ns",
+    ];
+    const SUMMARY_KEYS: [&str; 8] = ["count", "sum", "min", "max", "p50", "p90", "p99", "p999"];
+    let entry = || (0usize..NAMES.len(), counter());
+    let hist_entry = (0usize..NAMES.len(), proptest::collection::vec(counter(), 8));
+    (
+        proptest::collection::vec(entry(), 0..4),
+        proptest::collection::vec(entry(), 0..4),
+        proptest::collection::vec(hist_entry, 0..3),
+    )
+        .prop_map(|(counters, gauges, hists)| {
+            // Sorted, deduplicated names — the registry's own invariant.
+            let flat = |entries: Vec<(usize, u64)>| {
+                let m: BTreeMap<&str, u64> =
+                    entries.into_iter().map(|(i, v)| (NAMES[i], v)).collect();
+                Json::Obj(
+                    m.into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+                        .collect(),
+                )
+            };
+            let hists: BTreeMap<&str, Vec<u64>> =
+                hists.into_iter().map(|(i, v)| (NAMES[i], v)).collect();
+            let hists = Json::Obj(
+                hists
+                    .into_iter()
+                    .map(|(k, vals)| {
+                        let pairs = SUMMARY_KEYS
+                            .iter()
+                            .zip(vals)
+                            .map(|(key, v)| (key.to_string(), Json::Num(v as f64)))
+                            .collect();
+                        (k.to_string(), Json::Obj(pairs))
+                    })
+                    .collect(),
+            );
+            Json::Obj(vec![
+                ("counters".into(), flat(counters)),
+                ("gauges".into(), flat(gauges)),
+                ("histograms".into(), hists),
+            ])
+        })
+}
+
+pub fn response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        proptest::collection::vec(counter(), 0..20).prop_map(|ids| Response::Licenses { ids }),
+        (
+            counter(),
+            counter(),
+            counter(),
+            proptest::collection::vec(text(), 0..8)
+        )
+            .prop_map(
+                |(geographic_candidates, service_filtered, shortlisted, names)| {
+                    Response::Shortlist {
+                        geographic_candidates,
+                        service_filtered,
+                        shortlisted,
+                        names,
+                    }
+                }
+            ),
+        (text(), date(), counter(), counter(), counter()).prop_map(
+            |(licensee, as_of, towers, links, active_licenses)| Response::Network {
+                licensee,
+                as_of,
+                towers,
+                links,
+                active_licenses,
+            }
+        ),
+        (
+            proptest::option::of(0.0f64..100.0),
+            proptest::option::of(counter()),
+            proptest::option::of(0.0f64..2.0e6)
+        )
+            .prop_map(|(latency_ms, towers, length_m)| Response::Route {
+                latency_ms,
+                towers,
+                length_m,
+            }),
+        proptest::option::of(0.0f64..1.0).prop_map(|apa| Response::Apa { apa }),
+        (
+            (latency(), latency(), latency(), latency()),
+            0.0f64..1.0,
+            counter()
+        )
+            .prop_map(|(p, availability, samples)| Response::Weather {
+                clear_ms: p.0,
+                p50_ms: p.1,
+                p95_ms: p.2,
+                p99_ms: p.3,
+                availability,
+                samples,
+            }),
+        (serve_snapshot(), session_snapshot())
+            .prop_map(|(serve, session)| Response::Stats { serve, session }),
+        registry_json().prop_map(|registry| Response::Metrics { registry }),
+        text().prop_map(|message| Response::Error { message }),
+        Just(Response::Overloaded),
+        Just(Response::ShuttingDown),
+    ]
+    .boxed()
+}

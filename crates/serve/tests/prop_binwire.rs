@@ -1,0 +1,193 @@
+//! Binary wire-codec robustness: every request/response variant must
+//! survive a binary encode→decode round trip and agree with the JSON
+//! codec post-decode, and hostile inputs — truncations, bit flips,
+//! trailing garbage, arbitrary bytes — must produce structured
+//! [`DecodeError`]s, never panics and never a truncation silently
+//! accepted as valid. Mirrors `prop_wire` for the JSON codec.
+
+mod codec_strategies;
+
+use codec_strategies::{request, response};
+use hft_serve::binwire::{self, DecodeError};
+use hft_serve::Proto;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Binary round trip is the identity, and re-encoding the decoded
+    /// value is byte-identical (the encoder is canonical).
+    #[test]
+    fn every_request_round_trips_binary(req in request()) {
+        let bytes = binwire::encode_request(&req);
+        prop_assert!(binwire::is_binary(&bytes));
+        let back = binwire::decode_request(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(&back, &req);
+        prop_assert_eq!(binwire::encode_request(&back), bytes);
+    }
+
+    #[test]
+    fn every_response_round_trips_binary(resp in response()) {
+        let bytes = binwire::encode_response(&resp);
+        let back = binwire::decode_response(&bytes).expect("canonical encoding must decode");
+        prop_assert_eq!(&back, &resp);
+        prop_assert_eq!(binwire::encode_response(&back), bytes);
+    }
+
+    /// Cross-codec fixed point: the same request sniffed from its JSON
+    /// bytes and from its binary bytes is the same value, and a decoded
+    /// binary response re-encoded with the JSON codec matches the JSON
+    /// codec applied directly — wire format cannot change an answer.
+    #[test]
+    fn codecs_agree_post_decode(req in request(), resp in response()) {
+        let from_json = binwire::sniff_request(&req.encode()).expect("json decodes");
+        let from_bin = binwire::sniff_request(&binwire::encode_request(&req)).expect("bin decodes");
+        prop_assert_eq!(&from_json, &from_bin);
+        prop_assert_eq!(&from_json, &req);
+        let via_bin = binwire::decode_response(&binwire::encode_response(&resp)).unwrap();
+        prop_assert_eq!(via_bin.encode(), resp.encode());
+    }
+
+    /// Every proper prefix of a valid frame fails to decode with a
+    /// structured error: a truncation is never mistaken for a shorter
+    /// valid message (frames carry no padding, so no prefix of one
+    /// message is another complete message).
+    #[test]
+    fn truncated_request_frames_error_never_validate(req in request()) {
+        let bytes = binwire::encode_request(&req);
+        for cut in 0..bytes.len() {
+            match binwire::decode_request(&bytes[..cut]) {
+                Err(e) => { let _ = format!("{e}"); }
+                Ok(got) => prop_assert!(
+                    false,
+                    "prefix {cut}/{} of {:?} decoded as {:?}",
+                    bytes.len(), req, got
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_response_frames_error_never_validate(resp in response()) {
+        let bytes = binwire::encode_response(&resp);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                binwire::decode_response(&bytes[..cut]).is_err(),
+                "prefix {cut}/{} decoded as valid", bytes.len()
+            );
+        }
+    }
+
+    /// Flipping any single bit never panics, and whatever decodes (a
+    /// flip inside a value payload can legitimately yield a different
+    /// valid value) must itself round-trip consistently.
+    #[test]
+    fn bit_flipped_request_frames_never_panic(req in request(), pos in 0usize..10_000, bit in 0u8..8) {
+        let mut bytes = binwire::encode_request(&req);
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        match binwire::decode_request(&bytes) {
+            Err(e) => { let _ = format!("{e}"); }
+            Ok(got) => {
+                let re = binwire::encode_request(&got);
+                prop_assert_eq!(binwire::decode_request(&re).expect("re-encode decodes"), got);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flipped_response_frames_never_panic(resp in response(), pos in 0usize..10_000, bit in 0u8..8) {
+        let mut bytes = binwire::encode_response(&resp);
+        let at = pos % bytes.len();
+        bytes[at] ^= 1 << bit;
+        match binwire::decode_response(&bytes) {
+            Err(e) => { let _ = format!("{e}"); }
+            Ok(got) => {
+                let re = binwire::encode_response(&got);
+                prop_assert_eq!(binwire::decode_response(&re).expect("re-encode decodes"), got);
+            }
+        }
+    }
+
+    /// Trailing garbage after a complete message is a structured
+    /// `Trailing` error, not silently ignored.
+    #[test]
+    fn trailing_bytes_are_rejected(req in request(), junk in proptest::collection::vec(proptest::num::u8::ANY, 1..16)) {
+        let mut bytes = binwire::encode_request(&req);
+        bytes.extend_from_slice(&junk);
+        prop_assert!(matches!(
+            binwire::decode_request(&bytes),
+            Err(DecodeError::Trailing(_))
+        ));
+    }
+
+    /// Arbitrary bytes never panic any binary-plane entry point,
+    /// magic-prefixed or not.
+    #[test]
+    fn arbitrary_bytes_never_panic_binary_decoders(
+        bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..200),
+    ) {
+        let _ = binwire::decode_request(&bytes);
+        let _ = binwire::decode_response(&bytes);
+        let _ = binwire::parse_hello(&bytes);
+        let _ = binwire::parse_hello_ack(&bytes);
+        let _ = binwire::sniff_request(&bytes);
+        let _ = binwire::response_from(Proto::Binary, &bytes);
+        let _ = binwire::is_binary(&bytes);
+        let mut forced = bytes.clone();
+        if forced.is_empty() {
+            forced.push(binwire::MAGIC);
+        } else {
+            forced[0] = binwire::MAGIC;
+        }
+        let _ = binwire::decode_request(&forced);
+        let _ = binwire::decode_response(&forced);
+        let _ = binwire::sniff_request(&forced);
+        let _ = binwire::parse_hello(&forced);
+    }
+}
+
+// ---- Deterministic hostile cases. ----
+
+#[test]
+fn malformed_binary_frames_are_structured_errors() {
+    // Wrong magic: the binary decoders refuse, the sniffer treats it
+    // as JSON and reports a JSON parse error.
+    assert!(matches!(
+        binwire::decode_request(&[0x00, 0x02]),
+        Err(DecodeError::BadMagic(0x00))
+    ));
+    // Unknown frame kind.
+    assert!(matches!(
+        binwire::decode_request(&[binwire::MAGIC, 0x7f]),
+        Err(DecodeError::BadKind(0x7f))
+    ));
+    // Unknown request tag.
+    let bad_tag = vec![binwire::MAGIC, 0x02, 0xee];
+    assert!(matches!(
+        binwire::decode_request(&bad_tag),
+        Err(DecodeError::BadTag(_, 0xee))
+    ));
+    // A declared string length far past the end of the frame must be
+    // rejected from the header alone, before any allocation.
+    let mut greedy = vec![binwire::MAGIC, 0x02, 0x02]; // site_search tag
+    greedy.extend_from_slice(&[0xff, 0xff, 0xff, 0xff, 0x7f]); // ~34 GB length
+    assert!(matches!(
+        binwire::decode_request(&greedy),
+        Err(DecodeError::BadLength(_))
+    ));
+    // Hello with an unknown protocol code.
+    let mut hello = binwire::hello(Proto::Binary);
+    hello[3] = 0x9c;
+    assert!(matches!(
+        binwire::parse_hello(&hello),
+        Some(Err(DecodeError::BadProto(0x9c)))
+    ));
+    // Hello from a future protocol version.
+    let mut hello = binwire::hello(Proto::Binary);
+    hello[2] = binwire::VERSION + 1;
+    assert!(matches!(
+        binwire::parse_hello(&hello),
+        Some(Err(DecodeError::BadVersion(_)))
+    ));
+}

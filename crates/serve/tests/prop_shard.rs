@@ -16,6 +16,7 @@ use hft_uls::{
     TowerSite, UlsDatabase,
 };
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 /// A small licensee pool so random corpora reliably give some
 /// licensees several licenses (the co-location property is vacuous
@@ -144,8 +145,36 @@ fn request() -> BoxedStrategy<Request> {
     .boxed()
 }
 
+/// The corridor ecosystem corpus (seed 2020, the repro seed used by
+/// every bench), generated once — it is the real roster whose licensee
+/// names exposed the FNV-1a avalanche deficiency.
+fn corridor_db() -> &'static UlsDatabase {
+    static DB: OnceLock<UlsDatabase> = OnceLock::new();
+    DB.get_or_init(|| hft_corridor::generate(&hft_corridor::chicago_nj(), 2020).db)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Avalanche regression: under raw `fnv1a(name) % n` the corridor
+    /// roster left shards 4 and 7 of an 8-shard fleet with zero
+    /// licensees (BENCH_fleet.json showed them serving zero requests).
+    /// With the splitmix finalizer every shard of every fleet size up
+    /// to 8 owns at least one licensee — so no fleet member is ever
+    /// dead weight.
+    #[test]
+    fn corridor_corpus_leaves_no_shard_empty(shards in 1usize..=8) {
+        let db = corridor_db();
+        let assignment = hft_uls::shard::assign(db, shards, ShardStrategy::LicenseeHash);
+        prop_assert!(!assignment.is_empty());
+        let mut licensees = vec![0usize; shards];
+        for &s in assignment.values() {
+            licensees[s as usize] += 1;
+        }
+        for (k, &count) in licensees.iter().enumerate() {
+            prop_assert!(count > 0, "shard {k} of {shards} owns no licensee: {licensees:?}");
+        }
+    }
 
     /// Partitioning is licensee-granular and total: every license lands
     /// on exactly one shard, that shard is the assignment map's answer

@@ -82,13 +82,29 @@ impl ShardStrategy {
     }
 }
 
+/// Murmur3's 64-bit finalizer (`fmix64`): a bijective avalanche mix
+/// applied on top of [`fnv1a`] before the modulo reduction. FNV-1a is a
+/// fine identity hash but avalanches poorly — similar short ASCII keys
+/// cluster modulo small shard counts, which showed up as dead shards in
+/// the fleet bench. Every output bit of the finalizer depends on every
+/// input bit, so the low-bit reduction sees the whole key; bijective
+/// means no entropy is lost on top of FNV-1a itself.
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
 /// The owning shard of `licensee` under [`ShardStrategy::LicenseeHash`].
 ///
 /// # Panics
 /// Panics when `shards` is zero.
 pub fn shard_of_licensee(licensee: &str, shards: usize) -> u32 {
     assert!(shards > 0, "shard count must be at least 1");
-    (fnv1a(licensee.as_bytes()) % shards as u64) as u32
+    (mix64(fnv1a(licensee.as_bytes())) % shards as u64) as u32
 }
 
 /// The owning shard of an anchor grid cell under
@@ -97,7 +113,7 @@ fn shard_of_cell(cell: (i32, i32), shards: usize) -> u32 {
     let mut bytes = [0u8; 8];
     bytes[..4].copy_from_slice(&cell.0.to_le_bytes());
     bytes[4..].copy_from_slice(&cell.1.to_le_bytes());
-    (fnv1a(&bytes) % shards as u64) as u32
+    (mix64(fnv1a(&bytes)) % shards as u64) as u32
 }
 
 /// A corpus split into per-shard corpora plus the licensee→shard map
@@ -217,6 +233,34 @@ mod tests {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn licensee_hash_avalanches_across_small_fleets() {
+        // Regression guard for the finalizer: short keys differing only
+        // in trailing characters (the shape of real licensee rosters)
+        // must not stripe any shard empty. Raw FNV-1a mod 8 left two of
+        // eight shards without a single licensee on the corridor corpus.
+        let names: Vec<String> = (0..64).map(|i| format!("Licensee {i:02}")).collect();
+        for n in 2..=8 {
+            let mut hit = vec![false; n];
+            for name in &names {
+                hit[shard_of_licensee(name, n) as usize] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "empty shard at n={n}: {hit:?}");
+        }
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // The finalizer must not lose entropy on top of FNV-1a: spot
+        // check injectivity and non-identity on a spread of inputs.
+        let inputs: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9e37_79b9)).collect();
+        let mut outputs: Vec<u64> = inputs.iter().map(|&h| mix64(h)).collect();
+        outputs.sort_unstable();
+        outputs.dedup();
+        assert_eq!(outputs.len(), inputs.len());
+        assert_ne!(mix64(1), 1);
     }
 
     #[test]

@@ -74,6 +74,7 @@ struct Args {
     prom: bool,
     shards: usize,
     strategy: hft_uls::ShardStrategy,
+    io: hft_serve::IoMode,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -94,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         prom: false,
         shards: 1,
         strategy: hft_uls::ShardStrategy::LicenseeHash,
+        io: hft_serve::IoMode::default(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -146,6 +148,11 @@ fn parse_args() -> Result<Args, String> {
                 parsed.strategy = hft_uls::ShardStrategy::parse(&v)
                     .ok_or_else(|| format!("bad strategy {v:?} (licensee|spatial)"))?;
             }
+            "--io" => {
+                let v = args.next().ok_or("--io needs a value")?;
+                parsed.io = hft_serve::IoMode::parse(&v)
+                    .ok_or_else(|| format!("bad io mode {v:?} (evented|threaded)"))?;
+            }
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -156,7 +163,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -177,6 +184,7 @@ fn run(args: &Args) -> Result<(), String> {
             addr: format!("127.0.0.1:{}", args.port),
             workers: args.workers,
             queue_depth: args.queue_depth,
+            io: args.io,
             ..hft_serve::ServeConfig::default()
         })
         .map_err(io_err)?;
