@@ -531,7 +531,26 @@ fn run() -> Result<(), String> {
         batches.last().map(|b| b.date.to_iso()).unwrap_or_default(),
     );
     let mut licensees = eco.connected_2020.clone();
+    // The connected-2020 mix alone can leave shards idle: with 8 shards
+    // the paper's nine licensees hash onto only six residues, so two
+    // shard workers never see a request and their per-shard percentiles
+    // are vacuous. Widen the mix from the full corpus so every shard of
+    // every benched fleet size owns at least one mix licensee.
+    for &n in &args.shards {
+        let mut covered = vec![false; n];
+        for name in &licensees {
+            covered[shard_of_licensee(name, n) as usize] = true;
+        }
+        for name in published_db.licensees() {
+            let k = shard_of_licensee(name, n) as usize;
+            if !covered[k] {
+                covered[k] = true;
+                licensees.push(name.to_string());
+            }
+        }
+    }
     licensees.sort();
+    licensees.dedup();
 
     let mut reports = Vec::new();
     for &n in &args.shards {

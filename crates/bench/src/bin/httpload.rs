@@ -1,0 +1,450 @@
+//! `httpload` — the hft-http load harness: self-host a server with the
+//! HTTP explorer on the evented loop, replay a mixed GET/POST workload
+//! over keep-alive connections, and write per-route-class latency
+//! percentiles to `BENCH_http.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p hft-bench --bin httpload -- --seconds 2 --concurrency 8
+//! ```
+//!
+//! The mix spans every route class the explorer serves: licensee pages
+//! (pooled network reconstruction + inline SVG render), the funnel page
+//! (pooled scrape), the corpus index and `/metrics` (rendered on the
+//! loop), and `POST /api` carrying wire requests. Every API answer is
+//! byte-compared against the in-process `Service::handle` encoding of
+//! the same request — the explorer's acceptance bar is that HTTP
+//! answers are byte-identical to wire answers — and any mismatch fails
+//! the run. `503` answers are backpressure, not errors: counted,
+//! retried, excluded from latency.
+
+use hft_bench::REPRO_SEED;
+use hft_corridor::{chicago_nj, generate};
+use hft_http::HttpExplorer;
+use hft_obs::HistogramShard;
+use hft_serve::evloop::ExtraListener;
+use hft_serve::{Client, Request, Response, ServeConfig, Server, Service};
+use hft_time::Date;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Route classes, in report order.
+const ROUTES: [&str; 5] = ["index", "licensee", "funnel", "metrics", "api"];
+const R_INDEX: usize = 0;
+const R_LICENSEE: usize = 1;
+const R_FUNNEL: usize = 2;
+const R_METRICS: usize = 3;
+const R_API: usize = 4;
+
+struct Args {
+    seconds: f64,
+    concurrency: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        seconds: 3.0,
+        concurrency: 8,
+        seed: REPRO_SEED,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seconds" => {
+                parsed.seconds = need("--seconds")?
+                    .parse()
+                    .map_err(|_| "bad --seconds".to_string())?
+            }
+            "--concurrency" => {
+                parsed.concurrency = need("--concurrency")?
+                    .parse()
+                    .map_err(|_| "bad --concurrency".to_string())?
+            }
+            "--seed" => {
+                parsed.seed = need("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--out" => parsed.out = Some(need("--out")?),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: httpload [--seconds S] \
+                     [--concurrency N] [--seed N] [--out PATH]"
+                ))
+            }
+        }
+    }
+    if parsed.concurrency == 0 {
+        return Err("--concurrency must be at least 1".into());
+    }
+    Ok(parsed)
+}
+
+/// One workload entry: pre-rendered request bytes, its route class, and
+/// (API only) the expected response body.
+struct MixEntry {
+    class: usize,
+    raw: Vec<u8>,
+    expected: Option<Vec<u8>>,
+}
+
+fn get_entry(class: usize, target: &str) -> MixEntry {
+    MixEntry {
+        class,
+        raw: format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").into_bytes(),
+        expected: None,
+    }
+}
+
+/// Percent-encode a licensee name for a path segment.
+fn encode_segment(s: &str) -> String {
+    let mut out = String::new();
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// The workload: every route class, licensee pages and API requests
+/// across the paper's connected-2020 networks. API expectations are
+/// computed from the same in-process service the server answers with.
+fn workload(service: &Service<'_>, licensees: &[String]) -> Vec<MixEntry> {
+    let date = Date::new(2020, 4, 1).expect("valid date");
+    let mut mix = vec![
+        get_entry(R_INDEX, "/"),
+        get_entry(R_METRICS, "/metrics"),
+        get_entry(R_FUNNEL, "/funnel?radius_km=10&min_filings=11"),
+        get_entry(R_FUNNEL, "/funnel?radius_km=25&min_filings=5"),
+    ];
+    let mut api_requests: Vec<Request> = vec![
+        Request::SiteSearch {
+            service: "MG".into(),
+            class: "FXO".into(),
+        },
+        Request::Shortlist {
+            lat_deg: 41.88,
+            lon_deg: -87.63,
+            radius_km: 15.0,
+            min_filings: 11,
+        },
+    ];
+    for name in licensees {
+        mix.push(get_entry(
+            R_LICENSEE,
+            &format!("/licensee/{}", encode_segment(name)),
+        ));
+        api_requests.push(Request::Network {
+            licensee: name.clone(),
+            date,
+        });
+    }
+    for request in api_requests {
+        let body = request.encode();
+        let mut raw = format!(
+            "POST /api HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        mix.push(MixEntry {
+            class: R_API,
+            raw,
+            expected: Some(service.handle(&request).encode()),
+        });
+    }
+    mix
+}
+
+/// A buffering keep-alive HTTP client (pipeline-safe reply framing).
+struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: SocketAddr) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Write one request and read one full response; returns
+    /// `(status, body)`.
+    fn call(&mut self, raw: &[u8]) -> Result<(u16, Vec<u8>), String> {
+        let io = |e: std::io::Error| format!("httpload IO: {e}");
+        self.stream.write_all(raw).map_err(io)?;
+        let mut chunk = [0u8; 16 * 1024];
+        let head_end = loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = self.stream.read(&mut chunk).map_err(io)?;
+            if n == 0 {
+                return Err("server closed mid-response".into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end])
+            .map_err(|_| "non-utf8 response head".to_string())?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line: {head:?}"))?;
+        let len: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .ok_or("missing content-length")?;
+        while self.buf.len() < head_end + len {
+            let n = self.stream.read(&mut chunk).map_err(io)?;
+            if n == 0 {
+                return Err("server closed mid-body".into());
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end..head_end + len].to_vec();
+        self.buf.drain(..head_end + len);
+        Ok((status, body))
+    }
+}
+
+#[derive(Default)]
+struct WorkerResult {
+    by_route: Vec<HistogramShard>,
+    completed: u64,
+    api_verified: u64,
+    overloaded_retries: u64,
+    wrong: u64,
+    first_mismatch: Option<String>,
+}
+
+/// One keep-alive connection replaying the mix until the deadline.
+fn worker(
+    addr: SocketAddr,
+    mix: &[MixEntry],
+    offset: usize,
+    deadline: Instant,
+) -> Result<WorkerResult, String> {
+    let mut result = WorkerResult {
+        by_route: (0..ROUTES.len()).map(|_| HistogramShard::new()).collect(),
+        ..WorkerResult::default()
+    };
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut next = offset % mix.len();
+    while Instant::now() < deadline {
+        let entry = &mix[next];
+        let started = Instant::now();
+        let (status, body) = client.call(&entry.raw)?;
+        if status == 503 {
+            // Backpressure is an answer, not an error: retry the entry.
+            result.overloaded_retries += 1;
+            continue;
+        }
+        result.by_route[entry.class].record(started.elapsed().as_nanos() as u64);
+        result.completed += 1;
+        if let Some(expected) = &entry.expected {
+            if &body == expected {
+                result.api_verified += 1;
+            } else {
+                result.wrong += 1;
+                if result.first_mismatch.is_none() {
+                    result.first_mismatch = Some(format!(
+                        "request {next}: got {} bytes, want {} bytes",
+                        body.len(),
+                        expected.len()
+                    ));
+                }
+            }
+        } else if status >= 400 {
+            result.wrong += 1;
+            if result.first_mismatch.is_none() {
+                result.first_mismatch = Some(format!("request {next}: unexpected status {status}"));
+            }
+        }
+        next = (next + 1) % mix.len();
+    }
+    Ok(result)
+}
+
+fn fmt(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    eprintln!("generating corpus (seed {})...", args.seed);
+    let eco = generate(&chicago_nj(), args.seed);
+    let mut licensees = eco.connected_2020.clone();
+    licensees.sort();
+    let service = Service::new(&eco.db);
+    let mix = workload(&service, &licensees);
+    eprintln!(
+        "mix: {} entries over {} routes, {} clients, {}s",
+        mix.len(),
+        ROUTES.len(),
+        args.concurrency,
+        args.seconds,
+    );
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let wire_addr = server.local_addr().map_err(|e| format!("addr: {e}"))?;
+    let explorer = HttpExplorer::new(&service);
+    let extra = ExtraListener::bind("127.0.0.1:0", &explorer).map_err(|e| format!("bind: {e}"))?;
+    let http_addr = extra.local_addr().map_err(|e| format!("addr: {e}"))?;
+
+    let (results, elapsed) = std::thread::scope(|scope| {
+        let server = &server;
+        let service = &service;
+        let extras = vec![extra];
+        let server_thread = scope.spawn(move || server.run_with_extras(service, &extras));
+
+        let started = Instant::now();
+        let deadline = started + Duration::from_secs_f64(args.seconds);
+        let mix = &mix;
+        let workers: Vec<_> = (0..args.concurrency)
+            .map(|i| {
+                let stride = i * mix.len() / args.concurrency;
+                scope.spawn(move || worker(http_addr, mix, stride, deadline))
+            })
+            .collect();
+        let results: Vec<Result<WorkerResult, String>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker"))
+            .collect();
+        let elapsed = started.elapsed().as_secs_f64();
+
+        let mut wire = Client::connect(&wire_addr).expect("wire client");
+        let down = wire.call(&Request::Shutdown).expect("shutdown");
+        assert!(matches!(down, Response::ShuttingDown));
+        server_thread
+            .join()
+            .expect("server thread")
+            .expect("server result");
+        (results, elapsed)
+    });
+
+    let mut merged = WorkerResult {
+        by_route: (0..ROUTES.len()).map(|_| HistogramShard::new()).collect(),
+        ..WorkerResult::default()
+    };
+    for result in results {
+        let r = result?;
+        for (m, s) in merged.by_route.iter_mut().zip(&r.by_route) {
+            m.merge(s);
+        }
+        merged.completed += r.completed;
+        merged.api_verified += r.api_verified;
+        merged.overloaded_retries += r.overloaded_retries;
+        merged.wrong += r.wrong;
+        if merged.first_mismatch.is_none() {
+            merged.first_mismatch = r.first_mismatch;
+        }
+    }
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut route_rows = Vec::new();
+    let mut total = HistogramShard::new();
+    for (route, shard) in ROUTES.iter().zip(&merged.by_route) {
+        total.merge(shard);
+        let s = shard.snapshot();
+        println!(
+            "  {route:<9} {:>7} requests  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms",
+            s.count,
+            ms(s.percentile(0.50)),
+            ms(s.percentile(0.90)),
+            ms(s.percentile(0.99)),
+            ms(s.percentile(0.999)),
+        );
+        route_rows.push(format!(
+            "{{\"route\": \"{route}\", \"count\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {}}}",
+            s.count,
+            fmt(ms(s.percentile(0.50))),
+            fmt(ms(s.percentile(0.90))),
+            fmt(ms(s.percentile(0.99))),
+            fmt(ms(s.percentile(0.999))),
+        ));
+    }
+    let t = total.snapshot();
+    let rps = if elapsed > 0.0 {
+        merged.completed as f64 / elapsed
+    } else {
+        0.0
+    };
+    println!(
+        "http: {} requests {:.0} rps  p50 {:.3} ms  p99 {:.3} ms  \
+         ({} api answers byte-verified, {} wrong, {} overloaded retries)",
+        merged.completed,
+        rps,
+        ms(t.percentile(0.50)),
+        ms(t.percentile(0.99)),
+        merged.api_verified,
+        merged.wrong,
+        merged.overloaded_retries,
+    );
+
+    let json = format!(
+        "{{\n\"seconds\": {}, \"concurrency\": {}, \"seed\": {},\n\
+         \"requests\": {}, \"rps\": {}, \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \
+         \"p999_ms\": {},\n\
+         \"api_verified\": {}, \"wrong_answers\": {}, \"overloaded_retries\": {},\n\
+         \"per_route\": [\n  {}\n]\n}}\n",
+        fmt(elapsed),
+        args.concurrency,
+        args.seed,
+        merged.completed,
+        fmt(rps),
+        fmt(ms(t.percentile(0.50))),
+        fmt(ms(t.percentile(0.90))),
+        fmt(ms(t.percentile(0.99))),
+        fmt(ms(t.percentile(0.999))),
+        merged.api_verified,
+        merged.wrong,
+        merged.overloaded_retries,
+        route_rows.join(",\n  "),
+    );
+    let path = args
+        .out
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_http.json").into());
+    std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+
+    if merged.wrong > 0 {
+        return Err(format!(
+            "{} wrong answers (first: {})",
+            merged.wrong,
+            merged.first_mismatch.unwrap_or_default()
+        ));
+    }
+    Ok(())
+}

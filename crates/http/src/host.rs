@@ -1,0 +1,89 @@
+//! [`HttpHost`]: the page renderer's view of the serving engines.
+//!
+//! The wire [`Handler`] surface answers counts, not geometry — a
+//! `network` response says how many towers, not where they stand. HTML
+//! pages need the geometry, so `HttpHost` exposes *generation-pinned
+//! session visits* on top of `Handler`: each visit captures an engine
+//! (with its corpus generation) exactly the way the wire path does, so
+//! a page renders against one consistent corpus even while the ingest
+//! applier publishes.
+//!
+//! The visits are cheap-by-construction: heavy computations (network
+//! reconstruction, the scrape funnel) are first submitted through the
+//! worker pool as ordinary wire requests — which warms the owning
+//! engine's session memoization off the event loop — and the page then
+//! renders from the same engine where those lookups are cache hits. A
+//! generation swap between the warm-up and the render can make the
+//! render recompute on-loop; that is rare (one page per publish) and
+//! bounded by one request's work.
+
+use hft_core::session::AnalysisSession;
+use hft_serve::service::{Handler, Service};
+use hft_serve::{LiveService, ShardRouter};
+use hft_uls::shard::shard_of_licensee;
+
+/// Generation-pinned session access for page rendering, on top of the
+/// wire [`Handler`] every answer ultimately comes from.
+pub trait HttpHost: Handler {
+    /// Visit every shard's current engine, in shard order, as
+    /// `(generation, session)` pairs pinned for the duration of the
+    /// callback.
+    fn visit_shards(&self, f: &mut dyn FnMut(u64, &AnalysisSession<'_>));
+
+    /// Visit the engine owning `licensee` (the only shard whose session
+    /// can answer single-licensee geometry).
+    fn visit_owner(&self, licensee: &str, f: &mut dyn FnMut(u64, &AnalysisSession<'_>));
+}
+
+impl HttpHost for Service<'_> {
+    fn visit_shards(&self, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        f(self.generation(), self.session());
+    }
+
+    fn visit_owner(&self, _licensee: &str, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        f(self.generation(), self.session());
+    }
+}
+
+impl HttpHost for LiveService {
+    fn visit_shards(&self, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        let engine = self.engine();
+        f(engine.generation(), engine.session());
+    }
+
+    fn visit_owner(&self, _licensee: &str, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        let engine = self.engine();
+        f(engine.generation(), engine.session());
+    }
+}
+
+impl HttpHost for ShardRouter {
+    fn visit_shards(&self, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        for shard in self.shards() {
+            let engine = shard.engine();
+            f(engine.generation(), engine.session());
+        }
+    }
+
+    fn visit_owner(&self, licensee: &str, f: &mut dyn FnMut(u64, &AnalysisSession<'_>)) {
+        if self.strategy().routes_by_name() {
+            let k = shard_of_licensee(licensee, self.shard_count()) as usize;
+            let engine = self.shards()[k].engine();
+            f(engine.generation(), engine.session());
+            return;
+        }
+        // Spatial partitioning: ownership depends on the corpus, so
+        // find the shard that actually files under the name (mirrors
+        // the router's broadcast-and-select).
+        let engines: Vec<_> = self.shards().iter().map(|s| s.engine()).collect();
+        let owner = engines
+            .iter()
+            .position(|e| {
+                e.session()
+                    .db()
+                    .is_some_and(|db| db.licensees().binary_search(&licensee).is_ok())
+            })
+            .unwrap_or(0);
+        f(engines[owner].generation(), engines[owner].session());
+    }
+}

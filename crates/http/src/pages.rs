@@ -1,0 +1,314 @@
+//! HTML page rendering: the explorer's read-only views over the
+//! corpus and the live registry.
+//!
+//! Styling follows the Tufte notes referenced by the roadmap: maximize
+//! data-ink (no chrome beyond a header line), small multiples for
+//! cross-network comparison (per-licensee sparklines on the evolution
+//! page), and inline SVG so every page is one self-contained response
+//! with zero subresource fetches.
+
+use hft_obs::RegistrySnapshot;
+use std::fmt::Write;
+
+/// The content type every HTML page is served under.
+pub const HTML_CONTENT_TYPE: &str = "text/html; charset=utf-8";
+
+/// Escape text for HTML element content and attribute values.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Percent-encode a licensee name for use in a path segment.
+pub fn encode_path_segment(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            b => {
+                let _ = write!(out, "%{b:02X}");
+            }
+        }
+    }
+    out
+}
+
+/// The shared page shell: one title line, a nav row, the body.
+fn page(title: &str, body: &str) -> String {
+    format!(
+        concat!(
+            "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">",
+            "<title>{title} · hftnetview</title>",
+            "<style>",
+            "body{{font-family:Georgia,serif;max-width:72rem;margin:1.5rem auto;padding:0 1rem;color:#111}}",
+            "nav a{{margin-right:1rem;color:#8a3324}}",
+            "h1{{font-size:1.4rem;font-weight:normal;border-bottom:1px solid #999;padding-bottom:.3rem}}",
+            "table{{border-collapse:collapse}}",
+            "td,th{{padding:.15rem .8rem .15rem 0;text-align:left;font-variant-numeric:tabular-nums}}",
+            "th{{font-weight:normal;border-bottom:1px solid #ccc}}",
+            "svg{{max-width:100%}}",
+            ".dim{{color:#666;font-size:.85rem}}",
+            "</style></head><body>",
+            "<nav><a href=\"/\">corpus</a><a href=\"/funnel\">funnel</a>",
+            "<a href=\"/evolution\">evolution</a><a href=\"/dashboard\">dashboard</a>",
+            "<a href=\"/metrics\">metrics</a></nav>",
+            "<h1>{title}</h1>\n{body}</body></html>\n"
+        ),
+        title = html_escape(title),
+        body = body,
+    )
+}
+
+/// One corpus index row.
+pub struct CorpusRow {
+    /// The filed licensee name.
+    pub name: String,
+    /// Licenses filed under the name.
+    pub licenses: usize,
+}
+
+/// `GET /` — the corpus index: every licensee with a link to its
+/// network page, plus the fleet's generation vector.
+pub fn index_page(generations: &[u64], rows: &[CorpusRow]) -> String {
+    let total: usize = rows.iter().map(|r| r.licenses).sum();
+    let gens = generations
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut body = format!(
+        "<p class=\"dim\">{} licensees · {} licenses · {} shard{} · generation [{}]</p>\n\
+         <table><tr><th>licensee</th><th>licenses</th></tr>\n",
+        rows.len(),
+        total,
+        generations.len(),
+        if generations.len() == 1 { "" } else { "s" },
+        gens,
+    );
+    for row in rows {
+        let _ = writeln!(
+            body,
+            "<tr><td><a href=\"/licensee/{}\">{}</a></td><td>{}</td></tr>",
+            encode_path_segment(&row.name),
+            html_escape(&row.name),
+            row.licenses,
+        );
+    }
+    body.push_str("</table>\n");
+    page("Microwave corpus", &body)
+}
+
+/// `GET /licensee/{name}` — one network as of a date: headline counts
+/// plus the inline corridor map from `hft-viz`.
+pub fn licensee_page(
+    name: &str,
+    date_iso: &str,
+    generation: u64,
+    towers: u64,
+    links: u64,
+    active: u64,
+    svg: &str,
+) -> String {
+    let body = format!(
+        "<p class=\"dim\">as of {} · generation {} · \
+         <a href=\"/licensee/{}?date=2016-06-01\">2016</a> \
+         <a href=\"/licensee/{}?date=2020-04-01\">2020</a></p>\n\
+         <table><tr><th>towers</th><th>links</th><th>active licenses</th></tr>\n\
+         <tr><td>{towers}</td><td>{links}</td><td>{active}</td></tr></table>\n{svg}",
+        html_escape(date_iso),
+        generation,
+        encode_path_segment(name),
+        encode_path_segment(name),
+    );
+    page(name, &body)
+}
+
+/// `GET /funnel` — the §2.2 scrape funnel as a data-ink bar chart:
+/// three counts, bar lengths proportional, shortlist names below.
+pub fn funnel_page(
+    radius_km: f64,
+    min_filings: usize,
+    geographic: u64,
+    filtered: u64,
+    shortlisted: u64,
+    names: &[String],
+) -> String {
+    let max = geographic.max(1);
+    let mut body = format!(
+        "<p class=\"dim\">radius {radius_km} km · ≥ {min_filings} MG/FXO filings · \
+         <a href=\"/funnel?radius_km=50&amp;min_filings=2\">wide</a> \
+         <a href=\"/funnel\">paper</a></p>\n<table>\n"
+    );
+    for (label, n) in [
+        ("geographic candidates", geographic),
+        ("service filtered", filtered),
+        ("shortlisted", shortlisted),
+    ] {
+        let w = 420.0 * n as f64 / max as f64;
+        let _ = writeln!(
+            body,
+            "<tr><td>{label}</td><td>{n}</td><td><svg width=\"430\" height=\"14\">\
+             <rect x=\"0\" y=\"2\" width=\"{w:.1}\" height=\"10\" fill=\"#8a3324\"/></svg></td></tr>"
+        );
+    }
+    body.push_str("</table>\n<p>");
+    let links: Vec<String> = names
+        .iter()
+        .map(|n| {
+            format!(
+                "<a href=\"/licensee/{}\">{}</a>",
+                encode_path_segment(n),
+                html_escape(n)
+            )
+        })
+        .collect();
+    body.push_str(&links.join(" · "));
+    body.push_str("</p>\n");
+    page("Scrape funnel", &body)
+}
+
+/// An inline sparkline: the small-multiples primitive of the evolution
+/// page. Pure data-ink — one polyline, one terminal dot, no axes.
+pub fn sparkline(values: &[f64], width: f64, height: f64) -> String {
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = 0.0;
+    let span = (hi - lo).max(1e-9);
+    let n = values.len().max(2) - 1;
+    let pts: Vec<String> = values
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let x = 2.0 + (width - 4.0) * i as f64 / n as f64;
+            let y = 2.0 + (height - 4.0) * (1.0 - (v - lo) / span);
+            format!("{x:.1},{y:.1}")
+        })
+        .collect();
+    let last = pts.last().cloned().unwrap_or_default();
+    format!(
+        "<svg width=\"{width:.0}\" height=\"{height:.0}\" viewBox=\"0 0 {width:.0} {height:.0}\">\
+         <polyline points=\"{}\" fill=\"none\" stroke=\"#8a3324\" stroke-width=\"1.5\"/>\
+         <circle cx=\"{}\" cy=\"{}\" r=\"2\" fill=\"#8a3324\"/></svg>",
+        pts.join(" "),
+        last.split(',').next().unwrap_or("0"),
+        last.split(',').nth(1).unwrap_or("0"),
+    )
+}
+
+/// `GET /evolution` — small multiples: one sparkline of active license
+/// count per licensee over the sampled years, largest networks first.
+pub fn evolution_page(years: &[i32], rows: &[(String, Vec<usize>)]) -> String {
+    let first = years.first().copied().unwrap_or(0);
+    let last = years.last().copied().unwrap_or(0);
+    let mut body = format!(
+        "<p class=\"dim\">active licenses at year end, {first}–{last}; \
+         one row per licensee, shared x, independent y (small multiples)</p>\n\
+         <table><tr><th>licensee</th><th>{first}</th><th>{last}</th><th></th></tr>\n"
+    );
+    for (name, counts) in rows {
+        let values: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let _ = writeln!(
+            body,
+            "<tr><td><a href=\"/licensee/{}\">{}</a></td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            encode_path_segment(name),
+            html_escape(name),
+            counts.first().copied().unwrap_or(0),
+            counts.last().copied().unwrap_or(0),
+            sparkline(&values, 180.0, 22.0),
+        );
+    }
+    body.push_str("</table>\n");
+    page("Network evolution", &body)
+}
+
+/// `GET /dashboard` — the live registry as three tables, straight from
+/// one [`RegistrySnapshot`] so every number on the page is from the
+/// same instant.
+pub fn dashboard_page(s: &RegistrySnapshot) -> String {
+    let mut body = String::from("<h2 class=\"dim\">counters</h2><table>\n");
+    for (name, v) in &s.counters {
+        let _ = writeln!(body, "<tr><td>{}</td><td>{v}</td></tr>", html_escape(name));
+    }
+    body.push_str("</table>\n<h2 class=\"dim\">gauges</h2><table>\n");
+    for (name, v) in &s.gauges {
+        let _ = writeln!(body, "<tr><td>{}</td><td>{v}</td></tr>", html_escape(name));
+    }
+    body.push_str(concat!(
+        "</table>\n<h2 class=\"dim\">histograms</h2>",
+        "<table><tr><th>name</th><th>count</th><th>p50</th><th>p90</th>",
+        "<th>p99</th><th>p999</th><th>max</th></tr>\n"
+    ));
+    for (name, h) in &s.histograms {
+        let _ = writeln!(
+            body,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            html_escape(name),
+            h.count,
+            h.p50,
+            h.p90,
+            h.p99,
+            h.p999,
+            h.max,
+        );
+    }
+    body.push_str("</table>\n");
+    page("Live dashboard", &body)
+}
+
+/// An error/status page (404, 405, parse failures).
+pub fn error_page(status: u16, detail: &str) -> String {
+    page(
+        &format!("{status} {}", crate::response::reason(status)),
+        &format!("<p>{}</p>\n", html_escape(detail)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_links_escape_and_encode() {
+        let html = index_page(
+            &[3, 4],
+            &[CorpusRow {
+                name: "A&B <Networks>".into(),
+                licenses: 7,
+            }],
+        );
+        assert!(html.contains("A&amp;B &lt;Networks&gt;"));
+        assert!(html.contains("/licensee/A%26B%20%3CNetworks%3E"));
+        assert!(html.contains("generation [3,4]"));
+    }
+
+    #[test]
+    fn sparkline_is_inline_svg() {
+        let svg = sparkline(&[0.0, 2.0, 1.0], 100.0, 20.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polyline"));
+        // Flat-zero data must not divide by zero.
+        assert!(sparkline(&[0.0, 0.0], 100.0, 20.0).contains("polyline"));
+    }
+
+    #[test]
+    fn dashboard_renders_snapshot_tables() {
+        let r = hft_obs::Registry::new();
+        r.counter("http.requests").add(2);
+        r.histogram("t.ns").record(500);
+        let html = dashboard_page(&r.snapshot());
+        assert!(html.contains("http.requests"));
+        assert!(html.contains("<h2 class=\"dim\">histograms</h2>"));
+        assert!(html.contains("t.ns"));
+    }
+}

@@ -1,0 +1,550 @@
+//! An incremental HTTP/1.1 request parser.
+//!
+//! Hand-rolled, zero-dependency, and defensive: the parser consumes
+//! arbitrary bytes without panicking, caps every dimension an attacker
+//! controls (request-line length, header block size, header count, body
+//! length) with a deterministic [`HttpError`] per cap, and keeps
+//! partial input buffered across reads so the readiness loop can feed
+//! it whatever the socket produced.
+//!
+//! Scope is deliberately HTTP/1.1-minimal: origin-form targets,
+//! `Content-Length` bodies only (`Transfer-Encoding` answers 501),
+//! `HTTP/1.0` and `HTTP/1.1` (anything else answers 505), no obsolete
+//! line folding. Header names are case-normalized to lowercase and
+//! optional whitespace around values is trimmed, so case and OWS
+//! variants of the same message parse identically.
+
+use std::fmt;
+
+/// Longest accepted request line (method + target + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Longest accepted head (request line + all headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 32 * 1024;
+/// Most accepted header fields.
+pub const MAX_HEADERS: usize = 100;
+/// Largest accepted `Content-Length` body, bytes.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Everything that can be wrong with a request, each mapped to the
+/// HTTP status the server answers before closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line or target (400).
+    BadRequest(String),
+    /// Malformed header field (400).
+    BadHeader(String),
+    /// Request line exceeds [`MAX_REQUEST_LINE`] (414).
+    UriTooLong,
+    /// Head exceeds [`MAX_HEAD_BYTES`] or [`MAX_HEADERS`] (431).
+    HeadersTooLarge,
+    /// `Content-Length` exceeds [`MAX_BODY`] (413).
+    BodyTooLarge,
+    /// `Transfer-Encoding` is not implemented (501).
+    UnsupportedEncoding,
+    /// An HTTP version other than 1.0/1.1 (505).
+    BadVersion(String),
+}
+
+impl HttpError {
+    /// The response status this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) | HttpError::BadHeader(_) => 400,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedEncoding => 501,
+            HttpError::BadVersion(_) => 505,
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::BadHeader(m) => write!(f, "bad header: {m}"),
+            HttpError::UriTooLong => write!(f, "request line too long (max {MAX_REQUEST_LINE})"),
+            HttpError::HeadersTooLarge => {
+                write!(
+                    f,
+                    "headers too large (max {MAX_HEAD_BYTES} bytes, {MAX_HEADERS} fields)"
+                )
+            }
+            HttpError::BodyTooLarge => write!(f, "body too large (max {MAX_BODY})"),
+            HttpError::UnsupportedEncoding => write!(f, "transfer-encoding not implemented"),
+            HttpError::BadVersion(v) => write!(f, "unsupported http version: {v}"),
+        }
+    }
+}
+
+/// One fully parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method, verbatim (`GET`, `HEAD`, `POST`, ...).
+    pub method: String,
+    /// Percent-decoded path component of the target.
+    pub path: String,
+    /// Decoded query parameters, in target order.
+    pub query: Vec<(String, String)>,
+    /// HTTP minor version: 0 or 1.
+    pub minor: u8,
+    /// Header fields in arrival order, names lowercased, values
+    /// OWS-trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty when none was declared).
+    pub body: Vec<u8>,
+    /// Whether the connection persists after this exchange, per the
+    /// HTTP/1.x defaults and any `Connection` header.
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First header value under `name` (lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parser state between [`RequestParser::next`] calls.
+enum State {
+    /// Accumulating head bytes.
+    Head,
+    /// Head parsed; awaiting `need` body bytes for `head`.
+    Body { head: Box<HttpRequest>, need: usize },
+    /// A prior `next` returned an error; the stream is desynchronized
+    /// and every further `next` repeats the error.
+    Failed(HttpError),
+}
+
+/// Incremental request decoder: [`feed`](RequestParser::feed) raw
+/// socket bytes, then drain complete requests with
+/// [`next`](RequestParser::next).
+pub struct RequestParser {
+    buf: Vec<u8>,
+    state: State,
+}
+
+impl Default for RequestParser {
+    fn default() -> RequestParser {
+        RequestParser::new()
+    }
+}
+
+impl RequestParser {
+    /// An empty parser.
+    pub fn new() -> RequestParser {
+        RequestParser {
+            buf: Vec::new(),
+            state: State::Head,
+        }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // A failed parser never recovers; don't buffer garbage forever.
+        if !matches!(self.state, State::Failed(_)) {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by a complete request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pop the next complete request: `Ok(None)` means more bytes are
+    /// needed, `Err` means the stream is broken (answer the error's
+    /// status, then close).
+    // Not `Iterator`: the item is fallible and `Ok(None)` is "feed me
+    // more", not exhaustion.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        if let State::Failed(e) = &self.state {
+            return Err(e.clone());
+        }
+        if let State::Body { need, .. } = &self.state {
+            let need = *need;
+            if self.buf.len() < need {
+                return Ok(None);
+            }
+            let body: Vec<u8> = self.buf.drain(..need).collect();
+            let State::Body { head, .. } = std::mem::replace(&mut self.state, State::Head) else {
+                unreachable!()
+            };
+            let mut request = *head;
+            request.body = body;
+            return Ok(Some(request));
+        }
+        let Some(head_end) = find_head_end(&self.buf) else {
+            return self.check_unterminated_caps();
+        };
+        match parse_head(&self.buf[..head_end]) {
+            Err(e) => {
+                self.state = State::Failed(e.clone());
+                self.buf.clear();
+                Err(e)
+            }
+            Ok((head, need)) => {
+                self.buf.drain(..head_end);
+                if self.buf.len() >= need {
+                    let mut request = head;
+                    request.body = self.buf.drain(..need).collect();
+                    Ok(Some(request))
+                } else {
+                    self.state = State::Body {
+                        head: Box::new(head),
+                        need,
+                    };
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Enforce line/head caps on a buffer with no head terminator yet,
+    /// so an endless header stream cannot buffer unboundedly.
+    fn check_unterminated_caps(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        let first_line_done = self
+            .buf
+            .iter()
+            .take(MAX_REQUEST_LINE + 1)
+            .any(|&b| b == b'\n');
+        let e = if !first_line_done && self.buf.len() > MAX_REQUEST_LINE {
+            HttpError::UriTooLong
+        } else if self.buf.len() > MAX_HEAD_BYTES {
+            HttpError::HeadersTooLarge
+        } else {
+            return Ok(None);
+        };
+        self.state = State::Failed(e.clone());
+        self.buf.clear();
+        Err(e)
+    }
+}
+
+/// Index one past the blank line ending the head, tolerating bare LF:
+/// `\r\n\r\n`, `\n\n`, `\n\r\n` all terminate.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parse the head bytes (request line + headers + terminating blank
+/// line) into a body-less request plus the declared body length.
+fn parse_head(head: &[u8]) -> Result<(HttpRequest, usize), HttpError> {
+    if head.len() > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let head = std::str::from_utf8(head)
+        .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    let request_line = lines.next().unwrap_or("");
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::UriTooLong);
+    }
+    let mut parts = request_line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!(
+            "malformed request line {request_line:?}"
+        )));
+    };
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(HttpError::BadRequest(format!("bad method {method:?}")));
+    }
+    let minor = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        other => return Err(HttpError::BadVersion(other.to_string())),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // the head terminator's blank line
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if line.starts_with(' ') || line.starts_with('\t') {
+            return Err(HttpError::BadHeader("obsolete line folding".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(format!("missing colon in {line:?}")));
+        };
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::BadHeader(format!("bad field name {name:?}")));
+        }
+        headers.push((
+            name.to_ascii_lowercase(),
+            value.trim_matches([' ', '\t']).to_string(),
+        ));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedEncoding);
+    }
+    let need = match find("content-length") {
+        None => 0,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| HttpError::BadHeader(format!("bad content-length {v:?}")))?;
+            if n > MAX_BODY {
+                return Err(HttpError::BodyTooLarge);
+            }
+            n
+        }
+    };
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c == "close" => false,
+        Some(c) if c == "keep-alive" => true,
+        _ => minor == 1,
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "target must be origin-form, got {target:?}"
+        )));
+    }
+    let path = pct_decode(raw_path, false)?;
+    let mut query = Vec::new();
+    if let Some(raw_query) = raw_query {
+        for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((pct_decode(k, true)?, pct_decode(v, true)?));
+        }
+    }
+
+    Ok((
+        HttpRequest {
+            method: method.to_string(),
+            path,
+            query,
+            minor,
+            headers,
+            body: Vec::new(),
+            keep_alive,
+        },
+        need,
+    ))
+}
+
+/// RFC 7230 token byte (header names, methods).
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Percent-decode `s`; in query components (`plus_is_space`) `+`
+/// decodes to a space.
+fn pct_decode(s: &str, plus_is_space: bool) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = |b: Option<&u8>| b.and_then(|b| (*b as char).to_digit(16));
+                match (hex(bytes.get(i + 1)), hex(bytes.get(i + 2))) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        return Err(HttpError::BadRequest(format!(
+                            "bad percent-escape in {s:?}"
+                        )));
+                    }
+                }
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| HttpError::BadRequest(format!("non-UTF-8 percent-data in {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(bytes: &[u8]) -> Result<Option<HttpRequest>, HttpError> {
+        let mut p = RequestParser::new();
+        p.feed(bytes);
+        p.next()
+    }
+
+    #[test]
+    fn simple_get() {
+        let r = parse_one(b"GET /licensee/New%20Line?date=2020-04-01 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/licensee/New Line");
+        assert_eq!(r.query, vec![("date".into(), "2020-04-01".into())]);
+        assert_eq!(r.minor, 1);
+        assert!(r.keep_alive);
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn post_with_body_split_across_feeds() {
+        let wire = b"POST /api HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        let mut p = RequestParser::new();
+        for chunk in wire.chunks(3) {
+            p.feed(chunk);
+        }
+        // Draining mid-stream never tears: requests appear only when
+        // complete.
+        let r = p.next().unwrap().unwrap();
+        assert_eq!(r.body, b"hello world");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_pop_in_order() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next().unwrap().unwrap().path, "/a");
+        assert_eq!(p.next().unwrap().unwrap().path, "/b");
+        assert_eq!(p.next().unwrap(), None);
+    }
+
+    #[test]
+    fn header_case_and_ows_variants_parse_identically() {
+        let a = parse_one(b"GET / HTTP/1.1\r\nContent-Type: text/x\r\n\r\n").unwrap();
+        let b = parse_one(b"GET / HTTP/1.1\r\ncONTENT-tYPE:   text/x\t \r\n\r\n").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bare_lf_tolerated() {
+        let r = parse_one(b"GET / HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(r.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn keep_alive_defaults_per_version() {
+        assert!(
+            parse_one(b"GET / HTTP/1.1\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse_one(b"GET / HTTP/1.0\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            !parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+        assert!(
+            parse_one(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+                .unwrap()
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn caps_hit_their_statuses() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert_eq!(parse_one(long_line.as_bytes()).unwrap_err().status(), 414);
+
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            many.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(parse_one(many.as_bytes()).unwrap_err().status(), 431);
+
+        let big = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse_one(big.as_bytes()).unwrap_err().status(), 413);
+
+        // An unterminated header flood trips the head cap without ever
+        // seeing the blank line.
+        let mut p = RequestParser::new();
+        p.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 1];
+        p.feed(&filler);
+        assert_eq!(p.next().unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn unsupported_features_answer_distinct_statuses() {
+        assert_eq!(
+            parse_one(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            501
+        );
+        assert_eq!(
+            parse_one(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status(),
+            505
+        );
+        assert_eq!(
+            parse_one(b"GET http://x/ HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse_one(b"GET /%zz HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn failed_parser_stays_failed() {
+        let mut p = RequestParser::new();
+        p.feed(b"NOT A REQUEST\r\n\r\n");
+        let first = p.next().unwrap_err();
+        p.feed(b"GET / HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next().unwrap_err(), first);
+        assert_eq!(p.buffered(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Response serialization: status line + the minimal header set the
+//! explorer needs, written straight into a pooled buffer.
+
+use std::io::Write;
+
+/// Canonical reason phrase for the statuses the explorer emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Serialize one response into `buf`. `head_only` answers a `HEAD`
+/// request: full headers (including the real `Content-Length`) with no
+/// body bytes.
+pub fn write_response(
+    buf: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    head_only: bool,
+) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let _ = write!(
+        buf,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    if !head_only {
+        buf.extend_from_slice(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_carries_length_without_body() {
+        let mut full = Vec::new();
+        write_response(&mut full, 200, "text/plain", b"hello", true, false);
+        let mut head = Vec::new();
+        write_response(&mut head, 200, "text/plain", b"hello", true, true);
+        let text = String::from_utf8(head).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+        assert!(String::from_utf8(full).unwrap().ends_with("\r\n\r\nhello"));
+    }
+
+    #[test]
+    fn close_marks_connection() {
+        let mut buf = Vec::new();
+        write_response(&mut buf, 404, "text/html; charset=utf-8", b"", false, false);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("404 Not Found"));
+    }
+}

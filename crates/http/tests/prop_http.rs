@@ -1,0 +1,175 @@
+//! HTTP parser robustness properties, in the `prop_binwire` mold: the
+//! parser must survive arbitrary bytes without panicking, truncations
+//! of valid requests must never surface a request, header case/OWS and
+//! read chunking must not change parse results, and every cap error
+//! must be deterministic.
+
+use hft_http::parser::{MAX_BODY, MAX_REQUEST_LINE};
+use hft_http::{HttpError, HttpRequest, RequestParser};
+use proptest::prelude::*;
+
+/// Drain everything the parser will give for `bytes` fed in `chunk`-
+/// sized pieces: the parsed requests, then the terminal outcome
+/// (`None` = wants more bytes, `Some(e)` = failed).
+fn drain(bytes: &[u8], chunk: usize) -> (Vec<HttpRequest>, Option<HttpError>) {
+    let mut parser = RequestParser::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        parser.feed(piece);
+    }
+    let mut requests = Vec::new();
+    loop {
+        match parser.next() {
+            Ok(Some(request)) => requests.push(request),
+            Ok(None) => return (requests, None),
+            Err(e) => return (requests, Some(e)),
+        }
+    }
+}
+
+/// A token suitable for methods and header names.
+fn token() -> impl Strategy<Value = String> {
+    ("[A-Za-z]", "[A-Za-z0-9-]{0,10}").prop_map(|(head, tail)| format!("{head}{tail}"))
+}
+
+/// A printable header value with no CR/LF and no leading/trailing OWS.
+fn header_value() -> impl Strategy<Value = String> {
+    ("[!-~]", "[ -~]{0,20}", "[!-~]").prop_map(|(a, mid, z)| format!("{a}{mid}{z}"))
+}
+
+/// One complete valid request (wire bytes + the body we declared).
+fn valid_request() -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (
+        prop_oneof![Just("GET"), Just("POST"), Just("HEAD")],
+        proptest::collection::vec("[a-z0-9]{1,8}", 0..4),
+        proptest::collection::vec((token(), header_value()), 0..6),
+        proptest::collection::vec(0u8..=255, 0..200),
+    )
+        .prop_map(|(method, segments, headers, body)| {
+            let mut wire = format!("{method} /{} HTTP/1.1\r\n", segments.join("/")).into_bytes();
+            for (name, value) in &headers {
+                // These names change framing/lifecycle semantics; the
+                // generated ones must not collide with them.
+                if matches!(
+                    name.to_ascii_lowercase().as_str(),
+                    "content-length" | "transfer-encoding" | "connection"
+                ) {
+                    continue;
+                }
+                wire.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            }
+            wire.extend_from_slice(format!("Content-Length: {}\r\n\r\n", body.len()).as_bytes());
+            wire.extend_from_slice(&body);
+            (wire, body)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes, arbitrary read chunking: the parser never
+    /// panics, and whatever it reports is a structured `HttpError`
+    /// whose status is in the client-error range.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255, 0..2048),
+        chunk in 1usize..64,
+    ) {
+        let (_, outcome) = drain(&bytes, chunk);
+        if let Some(e) = outcome {
+            let status = e.status();
+            prop_assert!((400..=505).contains(&status), "odd status {status}");
+            let _ = format!("{e}");
+        }
+    }
+
+    /// No proper prefix of a valid request ever surfaces a request:
+    /// a truncation either waits for more bytes or errors cleanly.
+    #[test]
+    fn truncations_never_yield_a_request(req in valid_request(), frac in 0.0f64..1.0) {
+        let (wire, _body) = req;
+        let cut = ((wire.len() as f64) * frac) as usize;
+        prop_assume!(cut < wire.len());
+        let (requests, _outcome) = drain(&wire[..cut], wire.len());
+        prop_assert!(
+            requests.is_empty(),
+            "a {cut}-byte prefix of a {}-byte request parsed as complete",
+            wire.len(),
+        );
+    }
+
+    /// Valid requests parse completely, with the declared body, and the
+    /// outcome is identical whether the bytes arrive in one feed or in
+    /// arbitrarily small chunks.
+    #[test]
+    fn chunking_never_changes_the_parse(req in valid_request(), chunk in 1usize..32) {
+        let (wire, body) = req;
+        let (whole, whole_end) = drain(&wire, wire.len());
+        let (chunked, chunked_end) = drain(&wire, chunk);
+        prop_assert_eq!(whole_end, None);
+        prop_assert_eq!(chunked_end, None);
+        prop_assert_eq!(&whole, &chunked);
+        prop_assert_eq!(whole.len(), 1);
+        prop_assert_eq!(&whole[0].body, &body);
+    }
+
+    /// Header-name case and optional whitespace around the value are
+    /// normalized away: variants parse to the same request.
+    #[test]
+    fn header_case_and_ows_parse_identically(
+        name in token(),
+        value in header_value(),
+        upper in prop_oneof![Just(false), Just(true)],
+        ows_left in prop_oneof![Just(""), Just(" "), Just("  "), Just("\t")],
+        ows_right in prop_oneof![Just(""), Just(" "), Just(" \t ")],
+    ) {
+        prop_assume!(!matches!(
+            name.to_ascii_lowercase().as_str(),
+            "content-length" | "transfer-encoding" | "connection"
+        ));
+        let canonical = format!("GET / HTTP/1.1\r\n{}: {value}\r\n\r\n", name.to_ascii_lowercase());
+        let mutated_name = if upper { name.to_ascii_uppercase() } else { name.clone() };
+        let mutated = format!("GET / HTTP/1.1\r\n{mutated_name}:{ows_left}{value}{ows_right}\r\n\r\n");
+        let (a, a_end) = drain(canonical.as_bytes(), 7);
+        let (b, b_end) = drain(mutated.as_bytes(), 7);
+        prop_assert_eq!(a_end, None);
+        prop_assert_eq!(b_end, None);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Cap violations produce the same deterministic error regardless
+    /// of how the bytes are chunked, and the parser stays failed: a
+    /// later well-formed request cannot resurrect the stream.
+    #[test]
+    fn cap_errors_are_deterministic(extra in 1usize..4096, chunk in 1usize..512) {
+        let body_wire = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + extra);
+        let (none, outcome) = drain(body_wire.as_bytes(), chunk);
+        prop_assert!(none.is_empty());
+        prop_assert_eq!(outcome, Some(HttpError::BodyTooLarge));
+
+        let line_wire = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + extra));
+        let (none, outcome) = drain(line_wire.as_bytes(), chunk);
+        prop_assert!(none.is_empty());
+        prop_assert_eq!(outcome, Some(HttpError::UriTooLong));
+
+        let mut parser = RequestParser::new();
+        parser.feed(line_wire.as_bytes());
+        let first = parser.next().unwrap_err();
+        parser.feed(b"GET / HTTP/1.1\r\n\r\n");
+        prop_assert_eq!(parser.next().unwrap_err(), first);
+        prop_assert_eq!(parser.buffered(), 0);
+    }
+
+    /// The page renderer's path-segment encoder and the parser's
+    /// percent-decoder are inverses: any licensee name routed through
+    /// a link comes back byte-identical.
+    #[test]
+    fn encoded_path_segments_round_trip(name in "[ -~]{1,40}") {
+        prop_assume!(!name.contains('/'));
+        let target = format!("/licensee/{}", hft_http::pages::encode_path_segment(&name));
+        let wire = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let (requests, outcome) = drain(wire.as_bytes(), 5);
+        prop_assert_eq!(outcome, None);
+        prop_assert_eq!(requests.len(), 1);
+        prop_assert_eq!(&requests[0].path, &format!("/licensee/{name}"));
+    }
+}

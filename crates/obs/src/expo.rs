@@ -10,6 +10,10 @@
 use crate::registry::{HistSummary, RegistrySnapshot};
 use std::fmt::Write;
 
+/// The HTTP `Content-Type` for [`render_prometheus`] output, per the
+/// Prometheus text exposition format spec.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// Append `s` as a JSON string literal (quotes included).
 fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
@@ -195,6 +199,15 @@ mod tests {
         assert!(p.contains("serve_service_ns_count 3"));
         assert!(p.contains("serve_service_ns_sum 7000"));
         assert!(p.contains("serve_staleness_ms 41"));
+    }
+
+    /// Anything serving the exposition (the HTTP explorer's `/metrics`,
+    /// `hftnetview metrics --prom` consumers) advertises this exact
+    /// content type; Prometheus scrapers key the text-format version
+    /// off it, so it is a frozen part of the public surface.
+    #[test]
+    fn prometheus_content_type_is_the_versioned_text_format() {
+        assert_eq!(PROMETHEUS_CONTENT_TYPE, "text/plain; version=0.0.4");
     }
 
     /// The serving fleet emits one series per shard worker under a

@@ -30,7 +30,7 @@
 
 pub mod api;
 pub mod binwire;
-pub(crate) mod evloop;
+pub mod evloop;
 pub mod json;
 pub mod live;
 pub mod poll;
@@ -44,6 +44,7 @@ pub mod wire;
 
 pub use api::{Request, Response};
 pub use binwire::Proto;
+pub use evloop::{ConnDriver, DriverCx, DriverFactory, ExtraListener};
 pub use live::LiveService;
 pub use router::ShardRouter;
 pub use server::{Client, IoMode, ServeConfig, Server};

@@ -20,6 +20,7 @@
 
 use crate::api::{Request, Response};
 use crate::binwire::{self, Proto};
+use crate::evloop::ExtraListener;
 use crate::live::LiveService;
 use crate::pool::{Queue, ResponseSlot, SubmitError};
 use crate::service::{Handler, Service};
@@ -132,21 +133,42 @@ impl Server {
     /// Serve with any [`Handler`] until a `shutdown` request arrives,
     /// then drain and return the final serving-layer counters.
     pub fn run_with<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
+        self.run_with_extras(service, &[])
+    }
+
+    /// Serve with any [`Handler`], multiplexing additional protocol
+    /// listeners (e.g. an HTTP explorer) on the same readiness loop,
+    /// worker pool, and admission queue. Extra listeners add no
+    /// per-connection threads, so they require [`IoMode::Evented`];
+    /// the threaded plane rejects them.
+    pub fn run_with_extras<H: Handler>(
+        &self,
+        service: &H,
+        extras: &[ExtraListener<'_>],
+    ) -> io::Result<ServeSnapshot> {
         match self.config.io {
-            IoMode::Evented => self.run_evented(service),
-            IoMode::Threaded => self.run_threaded(service),
+            IoMode::Evented => self.run_evented(service, extras),
+            IoMode::Threaded if extras.is_empty() => self.run_threaded(service),
+            IoMode::Threaded => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "extra protocol listeners require the evented io mode",
+            )),
         }
     }
 
     /// The readiness-loop data plane: workers drain the queue, the main
     /// thread runs the event loop (see [`crate::evloop`]).
-    fn run_evented<H: Handler>(&self, service: &H) -> io::Result<ServeSnapshot> {
+    fn run_evented<H: Handler>(
+        &self,
+        service: &H,
+        extras: &[ExtraListener<'_>],
+    ) -> io::Result<ServeSnapshot> {
         let queue = Queue::new(self.config.queue_depth);
         let result: io::Result<()> = std::thread::scope(|scope| {
             for _ in 0..self.config.workers.max(1) {
                 scope.spawn(|| queue.worker(service));
             }
-            let r = crate::evloop::drive(&self.listener, service, &queue, &self.config);
+            let r = crate::evloop::drive(&self.listener, service, &queue, &self.config, extras);
             // Closed by the loop on protocol shutdown; close again here
             // so workers also exit on an accept/poll error path.
             queue.close();

@@ -50,6 +50,20 @@ impl FrameReader {
         FrameReader::default()
     }
 
+    /// Append raw bytes (readiness-loop style: the caller owns the
+    /// socket and hands bytes over as they arrive).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next buffered frame after [`FrameReader::feed`].
+    ///
+    /// Returns only [`FrameEvent::Frame`] or [`FrameEvent::Oversized`];
+    /// stream conditions (EOF, idle) are the caller's to observe.
+    pub fn next(&mut self, max_frame: usize) -> Option<FrameEvent> {
+        self.pop(max_frame)
+    }
+
     /// Try to pop one buffered frame without touching the stream.
     fn pop(&mut self, max_frame: usize) -> Option<FrameEvent> {
         if self.buf.len() < 4 {

@@ -32,6 +32,8 @@
 //!
 //! `serve` takes `--port` (default 4710; 0 picks a free port),
 //! `--workers` and `--queue-depth`, answers the hft-serve wire protocol
+//! (with `--http PORT`, also the hft-http corpus explorer and live
+//! dashboards on a second listener sharing the same evented loop)
 //! until a `shutdown` request arrives, then dumps the serving counters
 //! as JSON on stdout. With `--shards N` (N > 1) the corpus is
 //! partitioned across N in-process shard workers behind a scatter-gather
@@ -68,6 +70,7 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     stats: bool,
+    http: Option<u16>,
     follow: Option<PathBuf>,
     metrics_interval: Option<u64>,
     metrics_out: Option<PathBuf>,
@@ -89,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 64,
         stats: false,
+        http: None,
         follow: None,
         metrics_interval: None,
         metrics_out: None,
@@ -119,6 +123,10 @@ fn parse_args() -> Result<Args, String> {
                 parsed.queue_depth = v.parse().map_err(|_| format!("bad queue depth {v:?}"))?;
             }
             "--stats" => parsed.stats = true,
+            "--http" => {
+                let v = args.next().ok_or("--http needs a value")?;
+                parsed.http = Some(v.parse().map_err(|_| format!("bad http port {v:?}"))?);
+            }
             "--follow" => {
                 parsed.follow = Some(PathBuf::from(args.next().ok_or("--follow needs a value")?));
             }
@@ -163,7 +171,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--http PORT] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -201,7 +209,7 @@ fn run(args: &Args) -> Result<(), String> {
                 args.shards,
                 args.strategy.name(),
             );
-            serve_follow(&server, dir, args.shards, args.strategy)
+            serve_follow(&server, dir, args.shards, args.strategy, args.http)
         } else if args.shards > 1 {
             eprintln!(
                 "serving {} licenses on {addr} ({} workers, queue depth {}, {} shards, {} partitioning)",
@@ -213,7 +221,7 @@ fn run(args: &Args) -> Result<(), String> {
             );
             let fleet = hft_ingest::ShardedStore::seeded(&eco.db, args.shards, args.strategy, None);
             let router = hft_serve::ShardRouter::over(&fleet);
-            server.run_with(&router)
+            run_serve(&server, &router, args.http)
         } else {
             eprintln!(
                 "serving {} licenses on {addr} ({} workers, queue depth {})",
@@ -221,7 +229,8 @@ fn run(args: &Args) -> Result<(), String> {
                 args.workers,
                 args.queue_depth
             );
-            server.run(&eco.db)
+            let service = hft_serve::Service::new(&eco.db);
+            run_serve(&server, &service, args.http)
         };
         if let Some((stop, handle)) = dumper {
             stop.store(true, std::sync::atomic::Ordering::Relaxed);
@@ -551,6 +560,27 @@ fn spawn_metrics_dumper(
     (stop, handle)
 }
 
+/// Run the serve loop over `host`, optionally registering the HTTP
+/// explorer on `http` as an extra listener multiplexed on the same
+/// readiness loop, worker pool, and admission queue. The explorer
+/// requires the evented io plane (`run_with_extras` rejects
+/// `--io threaded --http PORT` combinations).
+fn run_serve<H: hft_http::HttpHost + Sync>(
+    server: &hft_serve::Server,
+    host: &H,
+    http: Option<u16>,
+) -> std::io::Result<hft_serve::ServeSnapshot> {
+    match http {
+        None => server.run_with(host),
+        Some(port) => {
+            let explorer = hft_http::HttpExplorer::new(host);
+            let extra = hft_serve::ExtraListener::bind(&format!("127.0.0.1:{port}"), &explorer)?;
+            eprintln!("http explorer on http://{}", extra.local_addr()?);
+            server.run_with_extras(host, std::slice::from_ref(&extra))
+        }
+    }
+}
+
 /// The `serve --follow` loop: tail `dir` for transaction dumps on a
 /// background thread, publishing one corpus generation per ingested
 /// batch, while the server answers queries against the latest
@@ -565,6 +595,7 @@ fn serve_follow(
     dir: &Path,
     shards: usize,
     strategy: hft_uls::ShardStrategy,
+    http: Option<u16>,
 ) -> std::io::Result<hft_serve::ServeSnapshot> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -643,10 +674,13 @@ fn serve_follow(
         })
     };
     let stats = match &target {
-        Target::Single(store) => server.run_live(store),
+        Target::Single(store) => {
+            let live = hft_serve::LiveService::new(Arc::clone(store));
+            run_serve(server, &live, http)
+        }
         Target::Fleet(fleet) => {
             let router = hft_serve::ShardRouter::over(fleet);
-            server.run_with(&router)
+            run_serve(server, &router, http)
         }
     };
     stop.store(true, Ordering::Relaxed);
