@@ -1,0 +1,396 @@
+//! `raceload` — the latency-race acceptance harness: serve a sharded
+//! corpus behind a [`hft_serve::ShardRouter`] fleet and hammer it with
+//! repeated [`Request::Race`] / [`Request::StretchSweep`] queries over
+//! *both* wire protocols, byte-verifying every answer against a direct
+//! single-corpus [`hft_serve::Service`] over the same corpus. Writes
+//! `BENCH_race.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p hft-bench --bin raceload
+//! cargo run --release -p hft-bench --bin raceload -- --seconds 1 --shards 3
+//! ```
+//!
+//! The workload is deliberately repetitive: a handful of distinct
+//! (licensee, pair, samples, seed) races asked over and over, which is
+//! the race engine's design point — the §5 weather Monte Carlo runs
+//! once per distinct key and every repeat is a cache hit. The harness
+//! snapshots the `race.mc_cache{outcome=...}` counters around the
+//! serving window and fails unless the hit rate clears 80%, alongside
+//! the hard failure on any byte mismatch. Latency percentiles are
+//! reported per protocol so the JSON-vs-binary codec gap on the
+//! race-heavy mix is measured in the same run.
+
+use hft_bench::REPRO_SEED;
+use hft_corridor::{chicago_nj, generate};
+use hft_ingest::ShardedStore;
+use hft_obs::HistogramShard;
+use hft_serve::api::{Request, Response};
+use hft_serve::{Client, Proto, ServeConfig, Server, Service, ShardRouter};
+use hft_time::Date;
+use hft_uls::shard::ShardStrategy;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seconds: f64,
+    shards: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        seconds: 2.0,
+        shards: 2,
+        seed: REPRO_SEED,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match a.as_str() {
+            "--seconds" => {
+                parsed.seconds = need("--seconds")?
+                    .parse()
+                    .map_err(|_| "bad --seconds".to_string())?
+            }
+            "--shards" => {
+                parsed.shards = need("--shards")?
+                    .parse()
+                    .map_err(|_| "bad --shards".to_string())?
+            }
+            "--seed" => {
+                parsed.seed = need("--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?
+            }
+            "--out" => parsed.out = Some(need("--out")?),
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: raceload [--seconds S] [--shards N] \
+                     [--seed N] [--out PATH]"
+                ))
+            }
+        }
+    }
+    if parsed.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    Ok(parsed)
+}
+
+/// The race mix: every licensee races every corridor pair with the same
+/// (samples, seed), so the distinct Monte-Carlo population is small and
+/// the serving window is dominated by cache hits. One stretch sweep per
+/// licensee rides along to exercise the multi-pair panorama path.
+fn workload(licensees: &[String]) -> Vec<Request> {
+    let d2020 = Date::new(2020, 4, 1).unwrap();
+    let pairs = [("CME", "NY4"), ("CME", "NYSE"), ("CME", "NASDAQ")];
+    let mut distinct = Vec::new();
+    for name in licensees {
+        for (from, to) in pairs {
+            distinct.push(Request::Race {
+                licensee: name.clone(),
+                date: d2020,
+                from: from.into(),
+                to: to.into(),
+                constellation: "starlink".into(),
+                samples: 20_000,
+                seed: 7,
+            });
+        }
+        distinct.push(Request::StretchSweep {
+            licensee: name.clone(),
+            date: d2020,
+            constellation: "starlink".into(),
+        });
+    }
+    // Repeat the distinct population so even a short serving window is
+    // repeats-heavy; the timed loops then cycle the mix indefinitely.
+    let mut mix = Vec::new();
+    for i in 0..distinct.len() * 4 {
+        mix.push(distinct[i % distinct.len()].clone());
+    }
+    mix
+}
+
+fn connect_retry(addr: &SocketAddr, proto: Proto, patience: Duration) -> Result<Client, String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match Client::connect_with(addr, proto) {
+            Ok(client) => return Ok(client),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("could not connect to {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct ProtoReport {
+    completed: u64,
+    overloaded_retries: u64,
+    wrong: u64,
+    first_mismatch: Option<String>,
+    latencies: HistogramShard,
+    elapsed_s: f64,
+}
+
+impl ProtoReport {
+    fn rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.completed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    fn percentile_ms(&self, q: f64) -> f64 {
+        self.latencies.snapshot().percentile(q) as f64 / 1e6
+    }
+
+    fn max_ms(&self) -> f64 {
+        self.latencies.snapshot().max as f64 / 1e6
+    }
+}
+
+/// One serial client over one protocol: cycle the mix until the
+/// deadline, byte-comparing every decoded answer (re-encoded with the
+/// canonical JSON codec) against the in-process reference — the
+/// verification is wire-format independent, so a wrong answer cannot
+/// hide behind the binary codec.
+fn drive(
+    addr: &SocketAddr,
+    proto: Proto,
+    mix: &[Request],
+    expected: &[Vec<u8>],
+    seconds: f64,
+) -> Result<ProtoReport, String> {
+    let mut client = connect_retry(addr, proto, Duration::from_secs(180))?;
+    let mut report = ProtoReport::default();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(seconds);
+    let mut next = 0usize;
+    while Instant::now() < deadline {
+        let idx = next;
+        next = (next + 1) % mix.len();
+        let sent = Instant::now();
+        let response = client
+            .call(&mix[idx])
+            .map_err(|e| format!("raceload IO: {e}"))?;
+        if response == Response::Overloaded {
+            report.overloaded_retries += 1;
+            continue;
+        }
+        report.latencies.record(sent.elapsed().as_nanos() as u64);
+        report.completed += 1;
+        let got = response.encode();
+        if got != expected[idx] {
+            report.wrong += 1;
+            if report.first_mismatch.is_none() {
+                report.first_mismatch = Some(format!(
+                    "[{}] request {:?}\n  want {}\n  got  {}",
+                    proto.name(),
+                    mix[idx],
+                    String::from_utf8_lossy(&expected[idx]),
+                    String::from_utf8_lossy(&got),
+                ));
+            }
+        }
+    }
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    Ok(report)
+}
+
+fn fmt(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    eprintln!("generating corpus (seed {})...", args.seed);
+    let eco = generate(&chicago_nj(), args.seed);
+    let mut licensees = eco.connected_2020.clone();
+    licensees.sort();
+    licensees.truncate(3);
+    if licensees.is_empty() {
+        return Err("corpus has no connected 2020 licensees".into());
+    }
+    let mix = workload(&licensees);
+
+    // Ground truth: the same requests answered by a direct in-process
+    // single-corpus service. Computing these warms the *reference*
+    // engine's caches; the fleet's counters are measured from a snapshot
+    // taken afterwards so the reference run never inflates the hit rate.
+    eprintln!("computing {} expected answers locally...", mix.len());
+    let reference = Service::new(&eco.db);
+    let expected: Vec<Vec<u8>> = mix.iter().map(|r| reference.handle(r).encode()).collect();
+
+    let fleet = ShardedStore::seeded(&eco.db, args.shards, ShardStrategy::LicenseeHash, None);
+    let router = ShardRouter::over(&fleet);
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 8,
+        queue_depth: 64,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet n={} (licensee-hash): serving {} distinct race queries on {addr}...",
+        args.shards,
+        mix.len() / 4,
+    );
+
+    let hit_name = hft_obs::registry::labeled("race.mc_cache", "outcome", "hit");
+    let miss_name = hft_obs::registry::labeled("race.mc_cache", "outcome", "miss");
+    let before = hft_obs::global().snapshot();
+    let reports = std::thread::scope(|scope| {
+        let server_handle = scope.spawn(|| server.run_with(&router));
+        let phases = || -> Result<Vec<(Proto, ProtoReport)>, String> {
+            // Warm pass: every distinct request once, so the timed
+            // windows measure the cached steady state on a warm fleet.
+            let mut warm = connect_retry(&addr, Proto::Json, Duration::from_secs(180))?;
+            for request in &mix[..mix.len() / 4] {
+                loop {
+                    let response = warm.call(request).map_err(|e| format!("warmup: {e}"))?;
+                    if response != Response::Overloaded {
+                        break;
+                    }
+                }
+            }
+            let mut reports = Vec::new();
+            for proto in [Proto::Json, Proto::Binary] {
+                eprintln!("[{}] racing for {:.1}s...", proto.name(), args.seconds);
+                reports.push((proto, drive(&addr, proto, &mix, &expected, args.seconds)?));
+            }
+            Ok(reports)
+        };
+        let reports = phases();
+        let mut c = connect_retry(&addr, Proto::Json, Duration::from_secs(30))?;
+        let ack = c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
+        if ack != Response::ShuttingDown {
+            return Err(format!("shutdown not acknowledged: {ack:?}"));
+        }
+        server_handle
+            .join()
+            .expect("server thread")
+            .map_err(|e| e.to_string())?;
+        reports
+    })?;
+    let after = hft_obs::global().snapshot();
+    let delta = |name: &str| {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    let (hits, misses) = (delta(&hit_name), delta(&miss_name));
+    let mc_total = hits + misses;
+    let hit_rate = if mc_total > 0 {
+        hits as f64 / mc_total as f64
+    } else {
+        0.0
+    };
+
+    for (proto, r) in &reports {
+        println!(
+            "{:<4} {:>8} requests  {:>9.0} rps  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  \
+             max {:.3} ms  ({} overloaded retries, {} wrong)",
+            proto.name(),
+            r.completed,
+            r.rps(),
+            r.percentile_ms(0.50),
+            r.percentile_ms(0.90),
+            r.percentile_ms(0.99),
+            r.max_ms(),
+            r.overloaded_retries,
+            r.wrong,
+        );
+    }
+    println!(
+        "mc cache: {hits} hits / {misses} misses = {:.1}% hit rate",
+        hit_rate * 100.0
+    );
+
+    let runs: Vec<String> = reports
+        .iter()
+        .map(|(proto, r)| {
+            format!(
+                "{{\"proto\": \"{}\", \"requests\": {}, \"seconds\": {}, \"rps\": {}, \
+                 \"p50_ms\": {}, \"p90_ms\": {}, \"p99_ms\": {}, \"max_ms\": {}, \
+                 \"overloaded_retries\": {}, \"wrong_answers\": {}}}",
+                proto.name(),
+                r.completed,
+                fmt(r.elapsed_s),
+                fmt(r.rps()),
+                fmt(r.percentile_ms(0.50)),
+                fmt(r.percentile_ms(0.90)),
+                fmt(r.percentile_ms(0.99)),
+                fmt(r.max_ms()),
+                r.overloaded_retries,
+                r.wrong,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n\"workload\": {{\"distinct_requests\": {}, \"pairs\": 3, \"licensees\": {}, \
+         \"seed\": {}}},\n\"shards\": {},\n\"runs\": [\n  {}\n],\n\"mc_cache\": \
+         {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {}}}\n}}\n",
+        mix.len() / 4,
+        licensees.len(),
+        args.seed,
+        args.shards,
+        runs.join(",\n  "),
+        hits,
+        misses,
+        fmt(hit_rate),
+    );
+    let path = args
+        .out
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_race.json").into());
+    std::fs::write(&path, json).map_err(|e| format!("write {path}: {e}"))?;
+    println!("wrote {path}");
+
+    let wrong_total: u64 = reports.iter().map(|(_, r)| r.wrong).sum();
+    if wrong_total > 0 {
+        let detail = reports
+            .iter()
+            .find_map(|(_, r)| r.first_mismatch.clone())
+            .unwrap_or_default();
+        return Err(format!(
+            "race answers through the shard router diverge from the single-corpus \
+             reference:\n{detail}"
+        ));
+    }
+    if reports.iter().any(|(_, r)| r.completed == 0) {
+        return Err("a protocol phase completed zero requests".into());
+    }
+    if mc_total == 0 {
+        return Err("no weather Monte Carlo ran — the corpus has no microwave routes?".into());
+    }
+    if hit_rate <= 0.80 {
+        return Err(format!(
+            "mc cache hit rate {:.1}% below the 80% acceptance floor on a repeats-heavy mix",
+            hit_rate * 100.0
+        ));
+    }
+    Ok(())
+}

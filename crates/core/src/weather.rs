@@ -13,7 +13,7 @@ use crate::route::RoutingGraph;
 use crate::Network;
 use hft_geodesy::gc_initial_bearing_deg;
 use hft_radio::{LinkOutageModel, WeatherSampler};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 /// Distribution summary of a network's latency across weather states.
@@ -61,6 +61,11 @@ pub fn conditional_latency(
 /// [`conditional_latency`] over a pre-built routing graph, so callers
 /// holding a cached graph (e.g. an analysis session) skip the rebuild.
 /// `rg` must have been built for `network` between `a` and `b`.
+///
+/// The entire Monte Carlo is a pure function of `seed`: the RNG is
+/// constructed here from the seed and threaded explicitly through
+/// [`conditional_latency_rng`] — no ambient entropy anywhere — so two
+/// runs with the same inputs are bit-identical.
 pub fn conditional_latency_on(
     rg: &RoutingGraph,
     network: &Network,
@@ -69,6 +74,22 @@ pub fn conditional_latency_on(
     sampler: &WeatherSampler,
     samples: usize,
     seed: u64,
+) -> Option<WeatherOutcome> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    conditional_latency_rng(rg, network, a, b, sampler, samples, &mut rng)
+}
+
+/// [`conditional_latency_on`] with the weather-state RNG threaded in by
+/// the caller, for composing the MC into a larger deterministic
+/// experiment (one seeded stream shared across several runs).
+pub fn conditional_latency_rng<R: Rng + ?Sized>(
+    rg: &RoutingGraph,
+    network: &Network,
+    a: &DataCenter,
+    b: &DataCenter,
+    sampler: &WeatherSampler,
+    samples: usize,
+    rng: &mut R,
 ) -> Option<WeatherOutcome> {
     let clear = rg.route_filtered(network, |_| true)?;
 
@@ -101,11 +122,10 @@ pub fn conditional_latency_on(
         .collect();
     let _ = corridor_bearing;
 
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut latencies: Vec<f64> = Vec::with_capacity(samples);
     let mut connected = 0usize;
     for _ in 0..samples {
-        let state = sampler.sample(&mut rng);
+        let state = sampler.sample(rng);
         let latency = match state {
             None => Some(clear.latency_ms),
             Some(event) => {
@@ -157,6 +177,20 @@ pub fn portfolio_latency(
     samples: usize,
     seed: u64,
 ) -> Option<WeatherOutcome> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    portfolio_latency_rng(networks, a, b, sampler, samples, &mut rng)
+}
+
+/// [`portfolio_latency`] with the RNG threaded in by the caller (same
+/// contract as [`conditional_latency_rng`]: no ambient entropy).
+pub fn portfolio_latency_rng<R: Rng + ?Sized>(
+    networks: &[&Network],
+    a: &DataCenter,
+    b: &DataCenter,
+    sampler: &WeatherSampler,
+    samples: usize,
+    rng: &mut R,
+) -> Option<WeatherOutcome> {
     if networks.is_empty() {
         return None;
     }
@@ -196,11 +230,10 @@ pub fn portfolio_latency(
         });
     }
 
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut latencies = Vec::with_capacity(samples);
     let mut connected = 0usize;
     for _ in 0..samples {
-        let state = sampler.sample(&mut rng);
+        let state = sampler.sample(rng);
         let mut best = f64::INFINITY;
         for (net, m) in networks.iter().zip(&members) {
             let ms = match &state {

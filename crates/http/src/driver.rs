@@ -87,6 +87,9 @@ enum Finish {
     Licensee { name: String, date: Date },
     /// The funnel page: rendered entirely from the wire response.
     Funnel { radius_km: f64, min_filings: usize },
+    /// A race page: rendered entirely from the wire response; the
+    /// request identity rides along for the header line.
+    Race { licensee: String, date: Date },
 }
 
 /// What a route produced.
@@ -152,6 +155,7 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
         let (label, answer) = match (get_like, req.path.as_str()) {
             (true, "/") => ("index", self.index()),
             (true, path) if path.starts_with("/licensee/") => ("licensee", self.licensee(&req, cx)),
+            (true, path) if path.starts_with("/race/") => ("race", self.race(&req, cx)),
             (true, "/funnel") => ("funnel", self.funnel(&req, cx)),
             (true, "/evolution") => ("evolution", self.evolution()),
             (true, "/metrics") => ("metrics", metrics_answer()),
@@ -161,10 +165,14 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
                 "other",
                 html_error(405, &format!("method {} not allowed here", req.method)),
             ),
-            (_, path) if path.starts_with("/licensee/") && !get_like => (
-                "other",
-                html_error(405, &format!("method {} not allowed here", req.method)),
-            ),
+            (_, path)
+                if (path.starts_with("/licensee/") || path.starts_with("/race/")) && !get_like =>
+            {
+                (
+                    "other",
+                    html_error(405, &format!("method {} not allowed here", req.method)),
+                )
+            }
             (_, path) => ("other", html_error(404, &format!("no route for {path}"))),
         };
         hft_obs::global()
@@ -234,6 +242,55 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
                 date,
             },
             Finish::Licensee { name, date },
+            cx,
+        )
+    }
+
+    /// `GET /race/{from}/{to}?licensee=&date=&constellation=&samples=&seed=`
+    /// — pooled through a wire `race` request; the page renders
+    /// entirely from the wire response, so its numbers are exactly the
+    /// served-bytes numbers.
+    fn race(&mut self, req: &HttpRequest, cx: &mut DriverCx<'_>) -> Answer {
+        let rest = &req.path["/race/".len()..];
+        let mut parts = rest.split('/');
+        let (from, to) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(from), Some(to), None) if !from.is_empty() && !to.is_empty() => (from, to),
+            _ => return html_error(404, "expected /race/{from}/{to}"),
+        };
+        let licensee = query(req, "licensee")
+            .unwrap_or("New Line Networks")
+            .to_string();
+        let date = match query(req, "date") {
+            None => default_date(),
+            Some(raw) => match Date::parse_iso(raw) {
+                Ok(date) => date,
+                Err(_) => return html_error(400, &format!("bad date {raw:?} (want YYYY-MM-DD)")),
+            },
+        };
+        let constellation = query(req, "constellation")
+            .unwrap_or("starlink")
+            .to_string();
+        let samples = match query(req, "samples").map(str::parse::<usize>) {
+            None => 2000,
+            Some(Ok(s)) if (1..=1_000_000).contains(&s) => s,
+            Some(_) => return html_error(400, "bad samples (want 1..=1000000)"),
+        };
+        let seed = match query(req, "seed").map(str::parse::<u64>) {
+            None => 0,
+            Some(Ok(s)) => s,
+            Some(Err(_)) => return html_error(400, "bad seed"),
+        };
+        self.submit(
+            Request::Race {
+                licensee: licensee.clone(),
+                date,
+                from: from.to_string(),
+                to: to.to_string(),
+                constellation,
+                samples,
+                seed,
+            },
+            Finish::Race { licensee, date },
             cx,
         )
     }
@@ -419,6 +476,59 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
                         shortlisted,
                         &names,
                     );
+                    (200, HTML_CONTENT_TYPE, body.into_bytes())
+                }
+                Response::Error { message } => {
+                    let body = pages::error_page(400, &message);
+                    (400, HTML_CONTENT_TYPE, body.into_bytes())
+                }
+                _ => {
+                    let body = pages::error_page(503, "engine unavailable");
+                    (503, HTML_CONTENT_TYPE, body.into_bytes())
+                }
+            },
+            Finish::Race { licensee, date } => match response {
+                Response::Race {
+                    from,
+                    to,
+                    constellation,
+                    geodesic_km,
+                    c_bound_ms,
+                    microwave_ms,
+                    fiber_ms,
+                    leo_ms,
+                    leo_isl_hops,
+                    mw_stretch,
+                    fiber_stretch,
+                    leo_stretch,
+                    winner,
+                    wx_p50_ms,
+                    wx_p99_ms,
+                    wx_availability,
+                    wx_samples,
+                    ..
+                } => {
+                    let body = pages::race_page(&pages::RaceView {
+                        licensee: licensee.clone(),
+                        date_iso: date.to_iso(),
+                        from,
+                        to,
+                        constellation,
+                        geodesic_km,
+                        c_bound_ms,
+                        microwave_ms,
+                        fiber_ms,
+                        leo_ms,
+                        leo_isl_hops,
+                        mw_stretch,
+                        fiber_stretch,
+                        leo_stretch,
+                        winner,
+                        wx_availability,
+                        wx_p50_ms,
+                        wx_p99_ms,
+                        wx_samples,
+                    });
                     (200, HTML_CONTENT_TYPE, body.into_bytes())
                 }
                 Response::Error { message } => {

@@ -232,6 +232,174 @@ pub fn evolution_page(years: &[i32], rows: &[(String, Vec<usize>)]) -> String {
     page("Network evolution", &body)
 }
 
+/// Everything the race page renders, flattened from the wire
+/// `Response::Race` plus the request's identity fields.
+pub struct RaceView {
+    /// Licensee whose corpus supplied the microwave leg.
+    pub licensee: String,
+    /// Corpus snapshot date, ISO.
+    pub date_iso: String,
+    /// Origin site code.
+    pub from: String,
+    /// Destination site code.
+    pub to: String,
+    /// Constellation raced on the LEO leg.
+    pub constellation: String,
+    /// Geodesic distance, km.
+    pub geodesic_km: f64,
+    /// Vacuum geodesic limit, ms.
+    pub c_bound_ms: f64,
+    /// Corpus microwave leg, ms.
+    pub microwave_ms: Option<f64>,
+    /// Fiber leg, ms.
+    pub fiber_ms: f64,
+    /// LEO leg, ms.
+    pub leo_ms: Option<f64>,
+    /// Inter-satellite hops on the LEO leg.
+    pub leo_isl_hops: Option<u64>,
+    /// Microwave stretch vs the vacuum bound.
+    pub mw_stretch: Option<f64>,
+    /// Fiber stretch vs the vacuum bound.
+    pub fiber_stretch: f64,
+    /// LEO stretch vs the vacuum bound.
+    pub leo_stretch: Option<f64>,
+    /// The winning substrate.
+    pub winner: String,
+    /// Weather-MC availability of the microwave leg.
+    pub wx_availability: f64,
+    /// Weather-MC median latency, ms.
+    pub wx_p50_ms: f64,
+    /// Weather-MC p99 latency, ms.
+    pub wx_p99_ms: f64,
+    /// Weather-MC sample count (0 = no corpus microwave route).
+    pub wx_samples: u64,
+}
+
+/// A milliseconds cell: `∞` for a disconnected/absent leg.
+fn fmt_ms(ms: f64) -> String {
+    if ms.is_finite() {
+        format!("{ms:.3}")
+    } else {
+        "∞".to_string()
+    }
+}
+
+/// The substrate comparison as an `hft-viz` chart: one flat bar-top
+/// segment per substrate at its one-way latency, the vacuum bound in
+/// grey underneath everything.
+fn substrate_chart(v: &RaceView) -> String {
+    let mut series = vec![hft_viz::chart::Series::dense(
+        &format!("vacuum bound {:.3} ms", v.c_bound_ms),
+        "#999999",
+        vec![(0.55, v.c_bound_ms), (4.45, v.c_bound_ms)],
+    )];
+    let mut bar = |i: f64, label: String, color: &str, ms: f64| {
+        series.push(hft_viz::chart::Series::dense(
+            &label,
+            color,
+            vec![(i - 0.3, ms), (i + 0.3, ms)],
+        ));
+    };
+    if let Some(ms) = v.microwave_ms {
+        bar(1.0, format!("microwave {} ms", fmt_ms(ms)), "#8a3324", ms);
+    }
+    if let Some(ms) = v.leo_ms {
+        bar(2.0, format!("LEO {} ms", fmt_ms(ms)), "#1f77b4", ms);
+    }
+    bar(
+        3.0,
+        format!("fiber {} ms", fmt_ms(v.fiber_ms)),
+        "#666666",
+        v.fiber_ms,
+    );
+    let cfg = hft_viz::chart::ChartConfig {
+        title: format!("{} → {} · one-way latency by substrate", v.from, v.to),
+        x_label: "substrate (1 microwave · 2 LEO · 3 fiber)".into(),
+        y_label: "one-way latency (ms)".into(),
+        width_px: 640.0,
+        height_px: 360.0,
+        y_range: None,
+        x_range: Some((0.5, 4.5)),
+    };
+    hft_viz::chart::render(&cfg, &series)
+}
+
+/// `GET /race/{from}/{to}` — one cross-substrate latency race: the
+/// verdict line, a data-ink leg table (funnel-style proportional bars),
+/// the weather-adjusted availability of the microwave leg, and the
+/// substrate chart.
+pub fn race_page(v: &RaceView) -> String {
+    let legs: Vec<(&str, Option<f64>, Option<f64>)> = vec![
+        ("vacuum bound", Some(v.c_bound_ms), None),
+        ("microwave", v.microwave_ms, v.mw_stretch),
+        ("LEO", v.leo_ms, v.leo_stretch),
+        ("fiber", Some(v.fiber_ms), Some(v.fiber_stretch)),
+    ];
+    let slowest = legs
+        .iter()
+        .filter_map(|(_, ms, _)| *ms)
+        .fold(v.c_bound_ms, f64::max)
+        .max(1e-9);
+    let mut body = format!(
+        "<p class=\"dim\">{} · {} km geodesic · corpus {} as of {} · constellation {}</p>\n\
+         <p>winner: <strong>{}</strong></p>\n\
+         <table><tr><th>substrate</th><th>one-way ms</th><th>stretch ×c</th><th></th></tr>\n",
+        html_escape(&format!("{} → {}", v.from, v.to)),
+        format_args!("{:.0}", v.geodesic_km),
+        html_escape(&v.licensee),
+        html_escape(&v.date_iso),
+        html_escape(&v.constellation),
+        html_escape(&v.winner),
+    );
+    for (label, ms, stretch) in &legs {
+        let (ms_cell, bar) = match ms {
+            None => ("—".to_string(), String::new()),
+            Some(ms) => {
+                let w = 420.0 * ms / slowest;
+                (
+                    fmt_ms(*ms),
+                    format!(
+                        "<svg width=\"430\" height=\"14\"><rect x=\"0\" y=\"2\" \
+                         width=\"{w:.1}\" height=\"10\" fill=\"#8a3324\"/></svg>"
+                    ),
+                )
+            }
+        };
+        let stretch_cell = match stretch {
+            None => "—".to_string(),
+            Some(s) => format!("{s:.4}"),
+        };
+        let label = match (*label, v.leo_isl_hops) {
+            ("LEO", Some(hops)) => format!("LEO ({hops} ISL hops)"),
+            _ => label.to_string(),
+        };
+        let _ = writeln!(
+            body,
+            "<tr><td>{}</td><td>{ms_cell}</td><td>{stretch_cell}</td><td>{bar}</td></tr>",
+            html_escape(&label),
+        );
+    }
+    body.push_str("</table>\n");
+    if v.wx_samples > 0 {
+        let _ = writeln!(
+            body,
+            "<p class=\"dim\">microwave weather windows (§5 Monte Carlo, {} samples): \
+             availability {:.4} · p50 {} ms · p99 {} ms</p>",
+            v.wx_samples,
+            v.wx_availability,
+            fmt_ms(v.wx_p50_ms),
+            fmt_ms(v.wx_p99_ms),
+        );
+    } else {
+        body.push_str(
+            "<p class=\"dim\">no corpus microwave route — weather windows not applicable</p>\n",
+        );
+    }
+    body.push_str(&substrate_chart(v));
+    body.push('\n');
+    page(&format!("Race {} → {}", v.from, v.to), &body)
+}
+
 /// `GET /dashboard` — the live registry as three tables, straight from
 /// one [`RegistrySnapshot`] so every number on the page is from the
 /// same instant.
@@ -299,6 +467,52 @@ mod tests {
         assert!(svg.contains("polyline"));
         // Flat-zero data must not divide by zero.
         assert!(sparkline(&[0.0, 0.0], 100.0, 20.0).contains("polyline"));
+    }
+
+    #[test]
+    fn race_page_renders_chart_and_legs() {
+        let v = RaceView {
+            licensee: "New Line Networks".into(),
+            date_iso: "2020-04-01".into(),
+            from: "CME".into(),
+            to: "NY4".into(),
+            constellation: "starlink".into(),
+            geodesic_km: 1186.0,
+            c_bound_ms: 3.956,
+            microwave_ms: Some(3.982),
+            fiber_ms: 7.12,
+            leo_ms: Some(9.4),
+            leo_isl_hops: Some(3),
+            mw_stretch: Some(1.0066),
+            fiber_stretch: 1.8,
+            leo_stretch: Some(2.38),
+            winner: "microwave".into(),
+            wx_availability: 0.985,
+            wx_p50_ms: 3.982,
+            wx_p99_ms: f64::INFINITY,
+            wx_samples: 5_000,
+        };
+        let html = race_page(&v);
+        assert!(html.contains("<strong>microwave</strong>"));
+        assert!(html.contains("LEO (3 ISL hops)"));
+        assert!(html.contains("one-way latency by substrate"));
+        assert!(html.contains("<polyline"), "viz chart must be inline");
+        assert!(html.contains("p99 ∞ ms"));
+
+        // No corpus route: weather section degrades, bars survive.
+        let free = RaceView {
+            microwave_ms: None,
+            mw_stretch: None,
+            wx_availability: 0.0,
+            wx_p50_ms: f64::INFINITY,
+            wx_p99_ms: f64::INFINITY,
+            wx_samples: 0,
+            winner: "fiber".into(),
+            ..v
+        };
+        let html = race_page(&free);
+        assert!(html.contains("weather windows not applicable"));
+        assert!(html.contains("<td>—</td>"));
     }
 
     #[test]

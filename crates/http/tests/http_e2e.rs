@@ -229,6 +229,20 @@ fn pages_render_with_correct_content_types() {
             "funnel bars are inline svg"
         );
 
+        let race = conn.get("/race/CME/NY4?licensee=Alpha%20Networks&samples=50&seed=1");
+        assert_eq!(race.status, 200);
+        assert!(race.text().contains("one-way latency by substrate"));
+        assert!(race.text().contains("<polyline"), "substrate chart inline");
+        assert!(race.text().contains("winner"));
+        assert_eq!(conn.get("/race/CME").status, 404);
+        assert_eq!(conn.get("/race/CME/NY4?samples=0").status, 400);
+        assert_eq!(
+            conn.get("/race/CME/NY4?constellation=iridium&samples=10")
+                .status,
+            400,
+            "unknown constellation surfaces the wire error"
+        );
+
         let evo = conn.get("/evolution");
         assert_eq!(evo.status, 200);
         assert!(evo.text().contains("polyline"), "sparklines are inline svg");
@@ -290,6 +304,20 @@ fn json_api_bytes_match_in_process_handler() {
                 date: Date::new(2020, 4, 1).unwrap(),
                 from: "CME".into(),
                 to: "NY4".into(),
+            },
+            Request::Race {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2020, 4, 1).unwrap(),
+                from: "CME".into(),
+                to: "NY4".into(),
+                constellation: "starlink".into(),
+                samples: 50,
+                seed: 1,
+            },
+            Request::StretchSweep {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2020, 4, 1).unwrap(),
+                constellation: "starlink".into(),
             },
         ];
         for request in requests {

@@ -1,0 +1,115 @@
+//! Corridor sweeps: many races reduced to stretch factors, ready for
+//! the stretch-CDF figure.
+
+use crate::engine::RaceEngine;
+use hft_core::corridor::{CME, NJ_DATA_CENTERS};
+use hft_core::session::AnalysisSession;
+use hft_leo::paper_segments;
+use hft_time::Date;
+
+/// One swept pair, reduced to stretch factors vs the vacuum bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StretchEntry {
+    /// Segment name, `FROM-TO`.
+    pub pair: String,
+    /// Geodesic distance, km.
+    pub geodesic_km: f64,
+    /// Microwave stretch (corpus route on corridor pairs, idealized on
+    /// feasible free pairs; `None` when unroutable/infeasible).
+    pub mw_stretch: Option<f64>,
+    /// Fiber stretch.
+    pub fiber_stretch: f64,
+    /// LEO stretch (`None` when the constellation cannot route it).
+    pub leo_stretch: Option<f64>,
+}
+
+impl RaceEngine {
+    /// Sweep the standard segment set: the three Chicago–NJ corridor
+    /// pairs with `licensee`'s corpus-reconstructed microwave leg, plus
+    /// the paper's §6 transoceanic segments (Frankfurt–DC, Tokyo–NY)
+    /// where only fiber and LEO can race. Deterministic order.
+    pub fn stretch_sweep(
+        &self,
+        session: &AnalysisSession<'_>,
+        licensee: &str,
+        date: Date,
+        constellation: &str,
+    ) -> Result<Vec<StretchEntry>, String> {
+        let mut entries = Vec::with_capacity(NJ_DATA_CENTERS.len() + 2);
+        for dc in &NJ_DATA_CENTERS {
+            // One MC sample: the sweep reads only clear-sky stretch, but
+            // the engine contract wants samples >= 1.
+            let race = self.race(session, licensee, date, &CME, dc, constellation, 1, 0)?;
+            entries.push(StretchEntry {
+                pair: format!("{}-{}", race.from, race.to),
+                geodesic_km: race.geodesic_km,
+                mw_stretch: race.mw_stretch(),
+                fiber_stretch: race.fiber_stretch(),
+                leo_stretch: race.leo_stretch(),
+            });
+        }
+        for seg in paper_segments().iter().skip(1) {
+            let race =
+                self.race_positions(&seg.from, &seg.to, constellation, seg.terrestrial_feasible)?;
+            entries.push(StretchEntry {
+                pair: format!("{}-{}", race.from, race.to),
+                geodesic_km: race.geodesic_km,
+                mw_stretch: race.mw_stretch(),
+                fiber_stretch: race.fiber_stretch(),
+                leo_stretch: race.leo_stretch(),
+            });
+        }
+        Ok(entries)
+    }
+}
+
+/// Reduce stretch samples to ascending CDF steps `(value, F(value))`,
+/// the input shape of `hft-viz`'s `Series::cdf_steps`. Non-finite
+/// samples are dropped; an empty input yields no steps.
+pub fn stretch_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    finite.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = finite.len();
+    finite
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_corridor_and_transoceanic_segments() {
+        let session = AnalysisSession::over([]);
+        let engine = RaceEngine::new();
+        let date = Date::new(2020, 4, 1).expect("valid");
+        let entries = engine
+            .stretch_sweep(&session, "Nobody", date, "starlink")
+            .expect("sweep");
+        assert_eq!(entries.len(), 5);
+        assert_eq!(entries[0].pair, "CME-NY4");
+        assert!(entries.iter().any(|e| e.pair.contains("Tokyo")));
+        for e in &entries {
+            assert!(e.fiber_stretch > 1.0, "{}: {}", e.pair, e.fiber_stretch);
+            // Empty corpus: no corpus microwave; transoceanic: infeasible.
+            if let Some(mw) = e.mw_stretch {
+                assert!(mw >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_steps_are_monotone_and_normalized() {
+        let steps = stretch_cdf(&[1.5, 1.2, f64::INFINITY, 1.8]);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].0, 1.2);
+        assert!((steps.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        for w in steps.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        assert!(stretch_cdf(&[]).is_empty());
+    }
+}

@@ -87,6 +87,37 @@ pub enum Request {
         /// RNG seed (deterministic outcomes per seed).
         seed: u64,
     },
+    /// A cross-substrate latency race between two data centers: the
+    /// licensee's corpus-reconstructed microwave route vs fiber vs a
+    /// LEO constellation vs the vacuum geodesic limit, with
+    /// weather-adjusted availability windows on the microwave leg.
+    Race {
+        /// Licensee whose corpus network runs the microwave leg.
+        licensee: String,
+        /// As-of date.
+        date: Date,
+        /// Origin data-center code.
+        from: String,
+        /// Destination data-center code.
+        to: String,
+        /// LEO constellation name (`starlink`).
+        constellation: String,
+        /// Weather states to sample on the microwave leg.
+        samples: usize,
+        /// RNG seed (deterministic outcomes per seed).
+        seed: u64,
+    },
+    /// Sweep the standard segment set (corridor pairs + the §6
+    /// transoceanic segments) and reduce each race to stretch factors
+    /// vs the vacuum bound — the input of the stretch-CDF figure.
+    StretchSweep {
+        /// Licensee whose corpus network runs the corridor microwave legs.
+        licensee: String,
+        /// As-of date.
+        date: Date,
+        /// LEO constellation name (`starlink`).
+        constellation: String,
+    },
     /// Server + session counters.
     Stats,
     /// The full process-wide telemetry registry (counters, gauges,
@@ -161,6 +192,56 @@ pub enum Response {
         /// States sampled.
         samples: u64,
     },
+    /// One cross-substrate race. All latencies are one-way ms; the
+    /// `wx_*` fields are the §5 weather Monte Carlo on the microwave
+    /// leg — when no corpus route exists (`microwave_ms` is `null`) the
+    /// weather block degrades to `wx_samples == 0`, availability `0`,
+    /// and `+∞` percentiles (encoded as JSON `null`).
+    Race {
+        /// Origin data-center code.
+        from: String,
+        /// Destination data-center code.
+        to: String,
+        /// Constellation raced on the LEO leg.
+        constellation: String,
+        /// Geodesic distance, km.
+        geodesic_km: f64,
+        /// Vacuum geodesic limit, ms.
+        c_bound_ms: f64,
+        /// Corpus microwave leg, ms (`None` when unroutable).
+        microwave_ms: Option<f64>,
+        /// Fiber leg, ms.
+        fiber_ms: f64,
+        /// LEO leg, ms (`None` when the constellation cannot route it).
+        leo_ms: Option<f64>,
+        /// Inter-satellite hops on the LEO leg.
+        leo_isl_hops: Option<u64>,
+        /// Microwave stretch factor vs the vacuum bound.
+        mw_stretch: Option<f64>,
+        /// Fiber stretch factor.
+        fiber_stretch: f64,
+        /// LEO stretch factor.
+        leo_stretch: Option<f64>,
+        /// The winning substrate (`microwave`, `LEO` or `fiber`).
+        winner: String,
+        /// Clear-sky microwave latency, ms (`+∞` when no weather run).
+        wx_clear_ms: f64,
+        /// Median weather-conditional latency, ms.
+        wx_p50_ms: f64,
+        /// 95th-percentile weather-conditional latency, ms.
+        wx_p95_ms: f64,
+        /// 99th-percentile weather-conditional latency, ms.
+        wx_p99_ms: f64,
+        /// Fraction of weather states with the microwave leg connected.
+        wx_availability: f64,
+        /// Weather states sampled (`0` when no weather run).
+        wx_samples: u64,
+    },
+    /// The stretch-factor sweep, one entry per swept segment.
+    StretchSweep {
+        /// Swept segments in deterministic order.
+        entries: Vec<SweepEntry>,
+    },
     /// Serve + session counters.
     Stats {
         /// The serving layer's counters.
@@ -185,6 +266,44 @@ pub enum Response {
     Overloaded,
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
+}
+
+/// One [`Response::StretchSweep`] segment, reduced to stretch factors
+/// vs the vacuum geodesic bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepEntry {
+    /// Segment name, `FROM-TO`.
+    pub pair: String,
+    /// Geodesic distance, km.
+    pub geodesic_km: f64,
+    /// Microwave stretch (`None` when unroutable/infeasible).
+    pub mw_stretch: Option<f64>,
+    /// Fiber stretch.
+    pub fiber_stretch: f64,
+    /// LEO stretch (`None` when unroutable).
+    pub leo_stretch: Option<f64>,
+}
+
+impl SweepEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("pair".into(), s(&self.pair)),
+            ("geodesic_km".into(), n(self.geodesic_km)),
+            ("mw_stretch".into(), opt_n(self.mw_stretch)),
+            ("fiber_stretch".into(), n(self.fiber_stretch)),
+            ("leo_stretch".into(), opt_n(self.leo_stretch)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SweepEntry, String> {
+        Ok(SweepEntry {
+            pair: need_str(v, "pair")?.to_string(),
+            geodesic_km: need_num(v, "geodesic_km")?,
+            mw_stretch: opt_num(v, "mw_stretch")?,
+            fiber_stretch: need_num(v, "fiber_stretch")?,
+            leo_stretch: opt_num(v, "leo_stretch")?,
+        })
+    }
 }
 
 fn obj(type_name: &str, mut rest: Vec<(String, Json)>) -> Json {
@@ -296,6 +415,38 @@ impl Request {
                     ("seed".into(), u(*seed)),
                 ],
             ),
+            Request::Race {
+                licensee,
+                date,
+                from,
+                to,
+                constellation,
+                samples,
+                seed,
+            } => obj(
+                "race",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                    ("from".into(), s(from)),
+                    ("to".into(), s(to)),
+                    ("constellation".into(), s(constellation)),
+                    ("samples".into(), u(*samples as u64)),
+                    ("seed".into(), u(*seed)),
+                ],
+            ),
+            Request::StretchSweep {
+                licensee,
+                date,
+                constellation,
+            } => obj(
+                "stretch_sweep",
+                vec![
+                    ("licensee".into(), s(licensee)),
+                    ("date".into(), s(&date.to_iso())),
+                    ("constellation".into(), s(constellation)),
+                ],
+            ),
             Request::Stats => obj("stats", vec![]),
             Request::Metrics => obj("metrics", vec![]),
             Request::Shutdown => obj("shutdown", vec![]),
@@ -356,6 +507,20 @@ impl Request {
                 to: need_str(v, "to")?.to_string(),
                 samples: need_u64(v, "samples")? as usize,
                 seed: need_u64(v, "seed")?,
+            }),
+            "race" => Ok(Request::Race {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+                from: need_str(v, "from")?.to_string(),
+                to: need_str(v, "to")?.to_string(),
+                constellation: need_str(v, "constellation")?.to_string(),
+                samples: need_u64(v, "samples")? as usize,
+                seed: need_u64(v, "seed")?,
+            }),
+            "stretch_sweep" => Ok(Request::StretchSweep {
+                licensee: need_str(v, "licensee")?.to_string(),
+                date: need_date(v)?,
+                constellation: need_str(v, "constellation")?.to_string(),
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
@@ -434,6 +599,26 @@ impl Request {
                 seed,
             } => Some(format!(
                 "wx|{licensee}|e{}|{from}|{to}|{samples}|{seed}",
+                epoch_of(licensee, *date)
+            )),
+            Request::Race {
+                licensee,
+                date,
+                from,
+                to,
+                constellation,
+                samples,
+                seed,
+            } => Some(format!(
+                "race|{licensee}|e{}|{from}|{to}|{constellation}|{samples}|{seed}",
+                epoch_of(licensee, *date)
+            )),
+            Request::StretchSweep {
+                licensee,
+                date,
+                constellation,
+            } => Some(format!(
+                "sweep|{licensee}|e{}|{constellation}",
                 epoch_of(licensee, *date)
             )),
             Request::Stats | Request::Metrics | Request::Shutdown => None,
@@ -515,6 +700,60 @@ impl Response {
                     ("availability".into(), n(*availability)),
                     ("samples".into(), u(*samples)),
                 ],
+            ),
+            Response::Race {
+                from,
+                to,
+                constellation,
+                geodesic_km,
+                c_bound_ms,
+                microwave_ms,
+                fiber_ms,
+                leo_ms,
+                leo_isl_hops,
+                mw_stretch,
+                fiber_stretch,
+                leo_stretch,
+                winner,
+                wx_clear_ms,
+                wx_p50_ms,
+                wx_p95_ms,
+                wx_p99_ms,
+                wx_availability,
+                wx_samples,
+            } => obj(
+                "race",
+                vec![
+                    ("from".into(), s(from)),
+                    ("to".into(), s(to)),
+                    ("constellation".into(), s(constellation)),
+                    ("geodesic_km".into(), n(*geodesic_km)),
+                    ("c_bound_ms".into(), n(*c_bound_ms)),
+                    ("microwave_ms".into(), opt_n(*microwave_ms)),
+                    ("fiber_ms".into(), n(*fiber_ms)),
+                    ("leo_ms".into(), opt_n(*leo_ms)),
+                    (
+                        "leo_isl_hops".into(),
+                        leo_isl_hops.map(u).unwrap_or(Json::Null),
+                    ),
+                    ("mw_stretch".into(), opt_n(*mw_stretch)),
+                    ("fiber_stretch".into(), n(*fiber_stretch)),
+                    ("leo_stretch".into(), opt_n(*leo_stretch)),
+                    ("winner".into(), s(winner)),
+                    ("wx_clear_ms".into(), Json::num_or_null(*wx_clear_ms)),
+                    ("wx_p50_ms".into(), Json::num_or_null(*wx_p50_ms)),
+                    ("wx_p95_ms".into(), Json::num_or_null(*wx_p95_ms)),
+                    ("wx_p99_ms".into(), Json::num_or_null(*wx_p99_ms)),
+                    ("wx_availability".into(), n(*wx_availability)),
+                    ("wx_samples".into(), u(*wx_samples)),
+                ],
+            ),
+            Response::StretchSweep { entries } => obj(
+                "stretch_sweep",
+                vec![(
+                    "entries".into(),
+                    Json::Arr(entries.iter().map(SweepEntry::to_json).collect()),
+                )],
             ),
             Response::Stats { serve, session } => obj(
                 "stats",
@@ -601,6 +840,41 @@ impl Response {
                 availability: need_num(v, "availability")?,
                 samples: need_u64(v, "samples")?,
             }),
+            "race" => Ok(Response::Race {
+                from: need_str(v, "from")?.to_string(),
+                to: need_str(v, "to")?.to_string(),
+                constellation: need_str(v, "constellation")?.to_string(),
+                geodesic_km: need_num(v, "geodesic_km")?,
+                c_bound_ms: need_num(v, "c_bound_ms")?,
+                microwave_ms: opt_num(v, "microwave_ms")?,
+                fiber_ms: need_num(v, "fiber_ms")?,
+                leo_ms: opt_num(v, "leo_ms")?,
+                leo_isl_hops: match v.get("leo_isl_hops") {
+                    Some(Json::Null) | None => None,
+                    Some(x) => Some(x.as_u64().ok_or("race: bad leo_isl_hops")?),
+                },
+                mw_stretch: opt_num(v, "mw_stretch")?,
+                fiber_stretch: need_num(v, "fiber_stretch")?,
+                leo_stretch: opt_num(v, "leo_stretch")?,
+                winner: need_str(v, "winner")?.to_string(),
+                wx_clear_ms: inf_num(v, "wx_clear_ms")?,
+                wx_p50_ms: inf_num(v, "wx_p50_ms")?,
+                wx_p95_ms: inf_num(v, "wx_p95_ms")?,
+                wx_p99_ms: inf_num(v, "wx_p99_ms")?,
+                wx_availability: need_num(v, "wx_availability")?,
+                wx_samples: need_u64(v, "wx_samples")?,
+            }),
+            "stretch_sweep" => {
+                let arr = v
+                    .get("entries")
+                    .and_then(Json::as_arr)
+                    .ok_or("stretch_sweep: missing entries")?;
+                let entries = arr
+                    .iter()
+                    .map(SweepEntry::from_json)
+                    .collect::<Result<Vec<SweepEntry>, _>>()?;
+                Ok(Response::StretchSweep { entries })
+            }
             "stats" => Ok(Response::Stats {
                 serve: crate::stats::ServeSnapshot::from_json(
                     v.get("serve").ok_or("stats: missing serve")?,

@@ -35,7 +35,7 @@
 //! round trip of `x` on every variant — the fixed point the byte-level
 //! verification harness relies on.
 
-use crate::api::{Request, Response};
+use crate::api::{Request, Response, SweepEntry};
 use crate::json::Json;
 use crate::stats::ServeSnapshot;
 use hft_core::session::StatsSnapshot;
@@ -459,6 +459,8 @@ const REQ_WEATHER: u8 = 0x07;
 const REQ_STATS: u8 = 0x08;
 const REQ_METRICS: u8 = 0x09;
 const REQ_SHUTDOWN: u8 = 0x0a;
+const REQ_RACE: u8 = 0x0b;
+const REQ_STRETCH_SWEEP: u8 = 0x0c;
 
 /// Append `req`'s binary body to `buf` (which is not cleared — pooled
 /// buffers arrive already reset).
@@ -538,6 +540,34 @@ pub fn encode_request_into(req: &Request, buf: &mut Vec<u8>) {
             put_varint(buf, *samples as u64);
             put_varint(buf, *seed);
         }
+        Request::Race {
+            licensee,
+            date,
+            from,
+            to,
+            constellation,
+            samples,
+            seed,
+        } => {
+            buf.push(REQ_RACE);
+            put_str(buf, licensee);
+            put_date(buf, date);
+            put_str(buf, from);
+            put_str(buf, to);
+            put_str(buf, constellation);
+            put_varint(buf, *samples as u64);
+            put_varint(buf, *seed);
+        }
+        Request::StretchSweep {
+            licensee,
+            date,
+            constellation,
+        } => {
+            buf.push(REQ_STRETCH_SWEEP);
+            put_str(buf, licensee);
+            put_date(buf, date);
+            put_str(buf, constellation);
+        }
         Request::Stats => buf.push(REQ_STATS),
         Request::Metrics => buf.push(REQ_METRICS),
         Request::Shutdown => buf.push(REQ_SHUTDOWN),
@@ -602,6 +632,20 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
             samples: cur.varint()? as usize,
             seed: cur.varint()?,
         },
+        REQ_RACE => Request::Race {
+            licensee: cur.str()?,
+            date: cur.date()?,
+            from: cur.str()?,
+            to: cur.str()?,
+            constellation: cur.str()?,
+            samples: cur.varint()? as usize,
+            seed: cur.varint()?,
+        },
+        REQ_STRETCH_SWEEP => Request::StretchSweep {
+            licensee: cur.str()?,
+            date: cur.date()?,
+            constellation: cur.str()?,
+        },
         REQ_STATS => Request::Stats,
         REQ_METRICS => Request::Metrics,
         REQ_SHUTDOWN => Request::Shutdown,
@@ -624,6 +668,8 @@ const RESP_METRICS: u8 = 0x08;
 const RESP_ERROR: u8 = 0x09;
 const RESP_OVERLOADED: u8 = 0x0a;
 const RESP_SHUTTING_DOWN: u8 = 0x0b;
+const RESP_RACE: u8 = 0x0c;
+const RESP_STRETCH_SWEEP: u8 = 0x0d;
 
 /// Append `resp`'s binary body to `buf` (not cleared — pooled buffers
 /// arrive already reset).
@@ -696,6 +742,59 @@ pub fn encode_response_into(resp: &Response, buf: &mut Vec<u8>) {
             put_latency(buf, *p99_ms);
             put_f64(buf, *availability);
             put_varint(buf, *samples);
+        }
+        Response::Race {
+            from,
+            to,
+            constellation,
+            geodesic_km,
+            c_bound_ms,
+            microwave_ms,
+            fiber_ms,
+            leo_ms,
+            leo_isl_hops,
+            mw_stretch,
+            fiber_stretch,
+            leo_stretch,
+            winner,
+            wx_clear_ms,
+            wx_p50_ms,
+            wx_p95_ms,
+            wx_p99_ms,
+            wx_availability,
+            wx_samples,
+        } => {
+            buf.push(RESP_RACE);
+            put_str(buf, from);
+            put_str(buf, to);
+            put_str(buf, constellation);
+            put_f64(buf, *geodesic_km);
+            put_f64(buf, *c_bound_ms);
+            put_opt_f64(buf, *microwave_ms);
+            put_f64(buf, *fiber_ms);
+            put_opt_f64(buf, *leo_ms);
+            put_opt_varint(buf, *leo_isl_hops);
+            put_opt_f64(buf, *mw_stretch);
+            put_f64(buf, *fiber_stretch);
+            put_opt_f64(buf, *leo_stretch);
+            put_str(buf, winner);
+            put_latency(buf, *wx_clear_ms);
+            put_latency(buf, *wx_p50_ms);
+            put_latency(buf, *wx_p95_ms);
+            put_latency(buf, *wx_p99_ms);
+            put_f64(buf, *wx_availability);
+            put_varint(buf, *wx_samples);
+        }
+        Response::StretchSweep { entries } => {
+            buf.push(RESP_STRETCH_SWEEP);
+            put_varint(buf, entries.len() as u64);
+            for e in entries {
+                put_str(buf, &e.pair);
+                put_f64(buf, e.geodesic_km);
+                put_opt_f64(buf, e.mw_stretch);
+                put_f64(buf, e.fiber_stretch);
+                put_opt_f64(buf, e.leo_stretch);
+            }
         }
         Response::Stats { serve, session } => {
             buf.push(RESP_STATS);
@@ -841,6 +940,41 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
                 },
             }
         }
+        RESP_RACE => Response::Race {
+            from: cur.str()?,
+            to: cur.str()?,
+            constellation: cur.str()?,
+            geodesic_km: cur.f64()?,
+            c_bound_ms: cur.f64()?,
+            microwave_ms: cur.opt_f64()?,
+            fiber_ms: cur.f64()?,
+            leo_ms: cur.opt_f64()?,
+            leo_isl_hops: cur.opt_varint()?,
+            mw_stretch: cur.opt_f64()?,
+            fiber_stretch: cur.f64()?,
+            leo_stretch: cur.opt_f64()?,
+            winner: cur.str()?,
+            wx_clear_ms: cur.latency()?,
+            wx_p50_ms: cur.latency()?,
+            wx_p95_ms: cur.latency()?,
+            wx_p99_ms: cur.latency()?,
+            wx_availability: cur.f64()?,
+            wx_samples: cur.varint()?,
+        },
+        RESP_STRETCH_SWEEP => {
+            let n = cur.len_prefix()?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push(SweepEntry {
+                    pair: cur.str()?,
+                    geodesic_km: cur.f64()?,
+                    mw_stretch: cur.opt_f64()?,
+                    fiber_stretch: cur.f64()?,
+                    leo_stretch: cur.opt_f64()?,
+                });
+            }
+            Response::StretchSweep { entries }
+        }
         RESP_METRICS => Response::Metrics {
             registry: cur.json(0)?,
         },
@@ -942,6 +1076,20 @@ mod tests {
                 samples: 60_000,
                 seed: u64::MAX,
             },
+            Request::Race {
+                licensee: "Alpha Networks".into(),
+                date: date(2020, 4, 1),
+                from: "CME".into(),
+                to: "NY4".into(),
+                constellation: "starlink".into(),
+                samples: 5_000,
+                seed: 7,
+            },
+            Request::StretchSweep {
+                licensee: "β Networks — 世界".into(),
+                date: date(2016, 6, 1),
+                constellation: "starlink".into(),
+            },
             Request::Stats,
             Request::Metrics,
             Request::Shutdown,
@@ -986,6 +1134,67 @@ mod tests {
                 availability: 0.97,
                 samples: 60_000,
             },
+            Response::Race {
+                from: "CME".into(),
+                to: "NY4".into(),
+                constellation: "starlink".into(),
+                geodesic_km: 1186.0,
+                c_bound_ms: 3.956,
+                microwave_ms: Some(3.982),
+                fiber_ms: 7.12,
+                leo_ms: Some(9.4),
+                leo_isl_hops: Some(3),
+                mw_stretch: Some(1.0066),
+                fiber_stretch: 1.8,
+                leo_stretch: Some(2.38),
+                winner: "microwave".into(),
+                wx_clear_ms: 3.982,
+                wx_p50_ms: 3.982,
+                wx_p95_ms: 4.2,
+                wx_p99_ms: f64::INFINITY,
+                wx_availability: 0.985,
+                wx_samples: 5_000,
+            },
+            Response::Race {
+                from: "CME".into(),
+                to: "NASDAQ".into(),
+                constellation: "starlink".into(),
+                geodesic_km: 1176.0,
+                c_bound_ms: 3.92,
+                microwave_ms: None,
+                fiber_ms: 7.06,
+                leo_ms: None,
+                leo_isl_hops: None,
+                mw_stretch: None,
+                fiber_stretch: 1.8,
+                leo_stretch: None,
+                winner: "fiber".into(),
+                wx_clear_ms: f64::INFINITY,
+                wx_p50_ms: f64::INFINITY,
+                wx_p95_ms: f64::INFINITY,
+                wx_p99_ms: f64::INFINITY,
+                wx_availability: 0.0,
+                wx_samples: 0,
+            },
+            Response::StretchSweep {
+                entries: vec![
+                    SweepEntry {
+                        pair: "CME-NY4".into(),
+                        geodesic_km: 1186.0,
+                        mw_stretch: Some(1.0066),
+                        fiber_stretch: 1.8,
+                        leo_stretch: Some(2.38),
+                    },
+                    SweepEntry {
+                        pair: "Tokyo-NewYork".into(),
+                        geodesic_km: 10_850.0,
+                        mw_stretch: None,
+                        fiber_stretch: 1.8,
+                        leo_stretch: Some(1.42),
+                    },
+                ],
+            },
+            Response::StretchSweep { entries: vec![] },
             Response::Stats {
                 serve: ServeSnapshot {
                     received: 10,

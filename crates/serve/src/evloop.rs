@@ -247,7 +247,7 @@ enum Outgoing {
     Raw(Vec<u8>),
     /// A response known immediately (errors, overload, stats, metrics,
     /// shutting-down), encoded when it reaches the head of the queue.
-    Ready(Response, Proto),
+    Ready(Box<Response>, Proto),
     /// A pool-worker slot; encoded under its protocol once filled.
     Slot(Arc<ResponseSlot>, Proto),
 }
@@ -287,9 +287,9 @@ impl WireDriver {
                         .push_back(Outgoing::Raw(binwire::hello_ack(proto)));
                 }
                 Err(e) => self.outq.push_back(Outgoing::Ready(
-                    Response::Error {
+                    Box::new(Response::Error {
                         message: format!("bad hello: {e}"),
-                    },
+                    }),
                     self.proto,
                 )),
             }
@@ -304,9 +304,9 @@ impl WireDriver {
             Ok(request) => request,
             Err(message) => {
                 self.outq.push_back(Outgoing::Ready(
-                    Response::Error {
+                    Box::new(Response::Error {
                         message: format!("bad request: {message}"),
-                    },
+                    }),
                     self.proto,
                 ));
                 return;
@@ -315,8 +315,10 @@ impl WireDriver {
         match request {
             Request::Shutdown => {
                 stats.on_completed(false);
-                self.outq
-                    .push_back(Outgoing::Ready(Response::ShuttingDown, self.proto));
+                self.outq.push_back(Outgoing::Ready(
+                    Box::new(Response::ShuttingDown),
+                    self.proto,
+                ));
                 cx.begin_shutdown();
             }
             Request::Stats | Request::Metrics => {
@@ -324,16 +326,19 @@ impl WireDriver {
                 // admission queue is saturated.
                 let response = cx.handler().handle(&request);
                 stats.on_completed(false);
-                self.outq.push_back(Outgoing::Ready(response, self.proto));
+                self.outq
+                    .push_back(Outgoing::Ready(Box::new(response), self.proto));
             }
             request => match cx.submit(request) {
                 Ok(slot) => self.outq.push_back(Outgoing::Slot(slot, self.proto)),
                 Err(SubmitError::Overloaded) => self
                     .outq
-                    .push_back(Outgoing::Ready(Response::Overloaded, self.proto)),
+                    .push_back(Outgoing::Ready(Box::new(Response::Overloaded), self.proto)),
                 Err(SubmitError::Closed) => {
-                    self.outq
-                        .push_back(Outgoing::Ready(Response::ShuttingDown, self.proto));
+                    self.outq.push_back(Outgoing::Ready(
+                        Box::new(Response::ShuttingDown),
+                        self.proto,
+                    ));
                     cx.close_after_flush();
                 }
             },
@@ -357,12 +362,12 @@ impl ConnDriver for WireDriver {
                     // answer, flush, hang up.
                     cx.handler().serve_stats().on_received();
                     self.outq.push_back(Outgoing::Ready(
-                        Response::Error {
+                        Box::new(Response::Error {
                             message: format!(
                                 "oversized frame: {len} bytes (max {})",
                                 self.max_frame
                             ),
-                        },
+                        }),
                         self.proto,
                     ));
                     cx.close_after_flush();
@@ -397,7 +402,7 @@ impl ConnDriver for WireDriver {
                     let Some(Outgoing::Ready(response, proto)) = self.outq.pop_front() else {
                         unreachable!()
                     };
-                    (response, proto)
+                    (*response, proto)
                 }
                 Some(Outgoing::Slot(slot, proto)) => match slot.try_take() {
                     None => return,

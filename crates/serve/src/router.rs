@@ -98,7 +98,9 @@ impl ShardRouter {
             Request::Network { licensee, .. }
             | Request::Route { licensee, .. }
             | Request::Apa { licensee, .. }
-            | Request::Weather { licensee, .. } => self.single(licensee, req),
+            | Request::Weather { licensee, .. }
+            | Request::Race { licensee, .. }
+            | Request::StretchSweep { licensee, .. } => self.single(licensee, req),
             Request::Geographic { .. } | Request::SiteSearch { .. } | Request::Shortlist { .. } => {
                 merge_scatter(req, self.scatter(req))
             }
@@ -271,6 +273,11 @@ fn merge_owned(responses: Vec<Response>) -> Response {
         } => latency_ms.is_some() || towers.is_some() || length_m.is_some(),
         Response::Apa { apa } => apa.is_some(),
         Response::Weather { .. } => true,
+        // A race's corpus-dependent leg is the microwave one; every
+        // other field (fiber, LEO, vacuum bound) is pure geometry that
+        // non-owning shards reproduce byte-identically.
+        Response::Race { microwave_ms, .. } => microwave_ms.is_some(),
+        Response::StretchSweep { entries } => entries.iter().any(|e| e.mw_stretch.is_some()),
         _ => false,
     });
     let idx = owned.unwrap_or(0);
@@ -362,6 +369,38 @@ mod tests {
                 date: Date::new(2016, 1, 1).unwrap(),
                 from: "CME".into(),
                 to: "BAD".into(),
+            },
+            Request::Race {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                from: "CME".into(),
+                to: "NY4".into(),
+                constellation: "starlink".into(),
+                samples: 50,
+                seed: 7,
+            },
+            Request::Race {
+                licensee: "Nobody Known".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                from: "CME".into(),
+                to: "NYSE".into(),
+                constellation: "starlink".into(),
+                samples: 50,
+                seed: 7,
+            },
+            Request::Race {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                from: "CME".into(),
+                to: "NY4".into(),
+                constellation: "iridium".into(),
+                samples: 50,
+                seed: 7,
+            },
+            Request::StretchSweep {
+                licensee: "Alpha Networks".into(),
+                date: Date::new(2016, 1, 1).unwrap(),
+                constellation: "starlink".into(),
             },
         ]
     }

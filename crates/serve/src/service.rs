@@ -6,13 +6,14 @@
 //! around [`Service::handle`], which is what makes "served bytes must
 //! equal direct-session bytes" a testable property.
 
-use crate::api::{Request, Response};
+use crate::api::{Request, Response, SweepEntry};
 use crate::singleflight::Group;
 use crate::stats::ServeStats;
 use hft_core::corridor::{DataCenter, CME, EQUINIX_NY4, NASDAQ, NYSE};
 use hft_core::session::AnalysisSession;
 use hft_core::weather;
 use hft_geodesy::LatLon;
+use hft_race::{RaceEngine, RaceOutcome};
 use hft_radio::WeatherSampler;
 use hft_uls::scrape::ScrapeConfig;
 use hft_uls::{RadioService, StationClass, UlsDatabase, UlsPortal};
@@ -51,6 +52,7 @@ pub struct Service<'a> {
     generation: u64,
     flights: Group<Response>,
     stats: Arc<ServeStats>,
+    race: RaceEngine,
 }
 
 impl<'a> Service<'a> {
@@ -62,6 +64,7 @@ impl<'a> Service<'a> {
             generation: 0,
             flights: Group::new(),
             stats: Arc::new(ServeStats::default()),
+            race: RaceEngine::new(),
         }
     }
 
@@ -79,6 +82,7 @@ impl<'a> Service<'a> {
             generation,
             flights: Group::new(),
             stats,
+            race: RaceEngine::new(),
         }
     }
 
@@ -95,6 +99,12 @@ impl<'a> Service<'a> {
     /// The serving-layer counters.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
+    }
+
+    /// The latency-race engine (and its caches) pinned to this
+    /// service's corpus generation.
+    pub fn race_engine(&self) -> &RaceEngine {
+        &self.race
     }
 
     /// The corpus (always present: both constructors supply one).
@@ -242,6 +252,57 @@ impl<'a> Service<'a> {
                     }
                 }
             },
+            Request::Race {
+                licensee,
+                date,
+                from,
+                to,
+                constellation,
+                samples,
+                seed,
+            } => match pair(from, to) {
+                Err(e) => err(e),
+                Ok((a, b)) => {
+                    if *samples == 0 || *samples > 1_000_000 {
+                        return err(format!("samples must be in 1..=1000000, got {samples}"));
+                    }
+                    match self.race.race(
+                        &self.session,
+                        licensee,
+                        *date,
+                        a,
+                        b,
+                        constellation,
+                        *samples,
+                        *seed,
+                    ) {
+                        Err(e) => err(e),
+                        Ok(outcome) => race_response(outcome),
+                    }
+                }
+            },
+            Request::StretchSweep {
+                licensee,
+                date,
+                constellation,
+            } => match self
+                .race
+                .stretch_sweep(&self.session, licensee, *date, constellation)
+            {
+                Err(e) => err(e),
+                Ok(entries) => Response::StretchSweep {
+                    entries: entries
+                        .into_iter()
+                        .map(|e| SweepEntry {
+                            pair: e.pair,
+                            geodesic_km: e.geodesic_km,
+                            mw_stretch: e.mw_stretch,
+                            fiber_stretch: e.fiber_stretch,
+                            leo_stretch: e.leo_stretch,
+                        })
+                        .collect(),
+                },
+            },
             Request::Stats => Response::Stats {
                 serve: self.stats.snapshot(),
                 session: self.session.stats(),
@@ -272,6 +333,38 @@ fn pair(from: &str, to: &str) -> Result<(&'static DataCenter, &'static DataCente
 
 fn err(message: String) -> Response {
     Response::Error { message }
+}
+
+/// Flatten a [`RaceOutcome`] onto the wire shape. An absent weather
+/// model (no corpus microwave route) encodes as the empty Monte Carlo:
+/// zero samples, zero availability, infinite latencies — the same
+/// degenerate distribution an MC over a permanently-down link yields,
+/// and byte-identical across shards that do not own the licensee.
+fn race_response(o: RaceOutcome) -> Response {
+    let (mw_stretch, fiber_stretch, leo_stretch) =
+        (o.mw_stretch(), o.fiber_stretch(), o.leo_stretch());
+    let wx = o.weather;
+    Response::Race {
+        from: o.from,
+        to: o.to,
+        constellation: o.constellation,
+        geodesic_km: o.geodesic_km,
+        c_bound_ms: o.c_bound_ms,
+        microwave_ms: o.microwave_ms,
+        fiber_ms: o.fiber_ms,
+        leo_ms: o.leo_ms,
+        leo_isl_hops: o.leo_isl_hops,
+        mw_stretch,
+        fiber_stretch,
+        leo_stretch,
+        winner: o.winner,
+        wx_clear_ms: wx.map_or(f64::INFINITY, |w| w.clear_ms),
+        wx_p50_ms: wx.map_or(f64::INFINITY, |w| w.p50_ms),
+        wx_p95_ms: wx.map_or(f64::INFINITY, |w| w.p95_ms),
+        wx_p99_ms: wx.map_or(f64::INFINITY, |w| w.p99_ms),
+        wx_availability: wx.map_or(0.0, |w| w.availability),
+        wx_samples: wx.map_or(0, |w| w.samples as u64),
+    }
 }
 
 /// Wire ordering of a license search result: ascending ids.

@@ -7,7 +7,7 @@
 
 #![allow(dead_code)]
 
-use hft_serve::api::{Request, Response};
+use hft_serve::api::{Request, Response, SweepEntry};
 use hft_time::Date;
 use proptest::prelude::*;
 
@@ -76,11 +76,42 @@ pub fn request() -> BoxedStrategy<Request> {
                 seed,
             }
         ),
+        (
+            text(),
+            date(),
+            dc(),
+            dc(),
+            constellation(),
+            1u32..10_000,
+            0u64..(1 << 53)
+        )
+            .prop_map(|(licensee, date, from, to, constellation, samples, seed)| {
+                Request::Race {
+                    licensee,
+                    date,
+                    from,
+                    to,
+                    constellation,
+                    samples: samples as usize,
+                    seed,
+                }
+            }),
+        (text(), date(), constellation()).prop_map(|(licensee, date, constellation)| {
+            Request::StretchSweep {
+                licensee,
+                date,
+                constellation,
+            }
+        }),
         Just(Request::Stats),
         Just(Request::Metrics),
         Just(Request::Shutdown),
     ]
     .boxed()
+}
+
+pub fn constellation() -> BoxedStrategy<String> {
+    prop_oneof![Just("starlink".to_string()), text()].boxed()
 }
 
 /// Counter values stay below 2^53 so the JSON number representation is
@@ -146,6 +177,74 @@ pub fn session_snapshot() -> impl Strategy<Value = hft_core::session::StatsSnaps
 /// Latency-like values, including the `+∞` (network down) encoding.
 pub fn latency() -> BoxedStrategy<f64> {
     prop_oneof![0.0f64..100.0, Just(f64::INFINITY)].boxed()
+}
+
+/// One stretch-sweep row. Optional legs are finite when present — the
+/// wire encodes an absent leg and a non-finite one identically, so only
+/// finite `Some` values round-trip as `Some`.
+pub fn sweep_entry() -> impl Strategy<Value = SweepEntry> {
+    (
+        text(),
+        0.0f64..5.0e4,
+        proptest::option::of(1.0f64..10.0),
+        1.0f64..10.0,
+        proptest::option::of(1.0f64..10.0),
+    )
+        .prop_map(
+            |(pair, geodesic_km, mw_stretch, fiber_stretch, leo_stretch)| SweepEntry {
+                pair,
+                geodesic_km,
+                mw_stretch,
+                fiber_stretch,
+                leo_stretch,
+            },
+        )
+}
+
+/// A full race outcome: optional per-substrate legs finite-when-present
+/// (same rule as [`sweep_entry`]), weather latencies latency-shaped
+/// (`+∞` encodes a down network / absent Monte Carlo).
+pub fn race_response() -> BoxedStrategy<Response> {
+    (
+        (text(), dc(), constellation()),
+        (0.0f64..5.0e4, 0.0f64..200.0),
+        (
+            proptest::option::of(0.0f64..200.0),
+            0.0f64..200.0,
+            proptest::option::of(0.0f64..200.0),
+            proptest::option::of(counter()),
+        ),
+        (
+            proptest::option::of(1.0f64..10.0),
+            1.0f64..10.0,
+            proptest::option::of(1.0f64..10.0),
+            text(),
+        ),
+        (latency(), latency(), latency(), latency()),
+        (0.0f64..1.0, counter()),
+    )
+        .prop_map(|(id, geo, legs, stretch, wx, tail)| Response::Race {
+            from: id.0,
+            to: id.1,
+            constellation: id.2,
+            geodesic_km: geo.0,
+            c_bound_ms: geo.1,
+            microwave_ms: legs.0,
+            fiber_ms: legs.1,
+            leo_ms: legs.2,
+            leo_isl_hops: legs.3,
+            mw_stretch: stretch.0,
+            fiber_stretch: stretch.1,
+            leo_stretch: stretch.2,
+            winner: stretch.3,
+            wx_clear_ms: wx.0,
+            wx_p50_ms: wx.1,
+            wx_p95_ms: wx.2,
+            wx_p99_ms: wx.3,
+            wx_availability: tail.0,
+            wx_samples: tail.1,
+        })
+        .boxed()
 }
 
 /// Registry-shaped payloads for `Response::Metrics`: the three fixed
@@ -256,6 +355,9 @@ pub fn response() -> BoxedStrategy<Response> {
                 availability,
                 samples,
             }),
+        race_response(),
+        proptest::collection::vec(sweep_entry(), 0..6)
+            .prop_map(|entries| Response::StretchSweep { entries }),
         (serve_snapshot(), session_snapshot())
             .prop_map(|(serve, session)| Response::Stats { serve, session }),
         registry_json().prop_map(|registry| Response::Metrics { registry }),

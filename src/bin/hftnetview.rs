@@ -17,6 +17,7 @@
 //!   fig4b       frequency CDFs (SVG + CSV)
 //!   fig5        LEO vs microwave vs fiber comparison
 //!   weather     §5 conditional-latency Monte Carlo
+//!   race        cross-substrate latency race + stretch-CDF figure
 //!   entity      complementary-link entity-resolution scan (§6)
 //!   overhead    per-tower overhead crossover analysis (§3)
 //!   export      dump the license corpus as a ULS-style flat file
@@ -171,7 +172,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--http PORT] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|race|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--http PORT] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -366,6 +367,84 @@ fn run(args: &Args) -> Result<(), String> {
                     );
                 }
             }
+            "race" => {
+                let engine = hft_race::RaceEngine::new();
+                let date = report::snapshot_date();
+                println!(
+                    "Cross-substrate latency race, CME -> NY4 as of {} (starlink-like LEO):",
+                    date.to_iso()
+                );
+                let p = |v: Option<f64>| {
+                    v.map(|x| format!("{x:.4}"))
+                        .unwrap_or_else(|| "-".to_string())
+                };
+                for name in ["New Line Networks", "Webline Holdings"] {
+                    let o = engine
+                        .race(
+                            &analysis.session,
+                            name,
+                            date,
+                            &corridor::CME,
+                            &corridor::EQUINIX_NY4,
+                            "starlink",
+                            3000,
+                            args.seed,
+                        )
+                        .map_err(|e| format!("{name}: {e}"))?;
+                    println!(
+                        "{:<24} c-bound {:.4} ms  mw {} ms  leo {} ms  fiber {:.4} ms  \
+                         winner {}",
+                        name,
+                        o.c_bound_ms,
+                        p(o.microwave_ms),
+                        p(o.leo_ms),
+                        o.fiber_ms,
+                        o.winner,
+                    );
+                }
+                let entries = engine
+                    .stretch_sweep(&analysis.session, "New Line Networks", date, "starlink")
+                    .map_err(|e| format!("stretch sweep: {e}"))?;
+                let cdf_of = |pick: fn(&hft_race::StretchEntry) -> Option<f64>| {
+                    let values: Vec<f64> = entries.iter().filter_map(pick).collect();
+                    hft_race::stretch_cdf(&values)
+                };
+                let mw = cdf_of(|e| e.mw_stretch);
+                let fiber = cdf_of(|e| Some(e.fiber_stretch));
+                let leo = cdf_of(|e| e.leo_stretch);
+                let series = vec![
+                    hft_viz::chart::Series::cdf_steps("microwave", "#8a3324", &mw),
+                    hft_viz::chart::Series::cdf_steps("LEO", "#1f77b4", &leo),
+                    hft_viz::chart::Series::cdf_steps("fiber", "#666666", &fiber),
+                ];
+                let cfg = hft_viz::chart::ChartConfig {
+                    title: "Stretch factor vs c across corridor and transoceanic segments"
+                        .to_string(),
+                    x_label: "stretch (one-way latency / vacuum bound)".to_string(),
+                    y_label: "CDF over segments".to_string(),
+                    y_range: Some((0.0, 1.0)),
+                    ..hft_viz::chart::ChartConfig::default()
+                };
+                write(
+                    &out.join("race_stretch_cdf.svg"),
+                    &hft_viz::chart::render(&cfg, &series),
+                )
+                .map_err(io_err)?;
+                let mut csv =
+                    String::from("pair,geodesic_km,mw_stretch,fiber_stretch,leo_stretch\n");
+                for e in &entries {
+                    let opt = |v: Option<f64>| v.map(|x| format!("{x:.6}")).unwrap_or_default();
+                    csv.push_str(&format!(
+                        "{},{:.3},{},{:.6},{}\n",
+                        e.pair,
+                        e.geodesic_km,
+                        opt(e.mw_stretch),
+                        e.fiber_stretch,
+                        opt(e.leo_stretch),
+                    ));
+                }
+                write(&out.join("race_stretch_cdf.csv"), &csv).map_err(io_err)?;
+            }
             "entity" => {
                 let candidates = report::entity_scan(&analysis);
                 if candidates.is_empty() {
@@ -435,7 +514,7 @@ fn run(args: &Args) -> Result<(), String> {
     if args.command == "all" {
         for cmd in [
             "funnel", "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4a", "fig4b",
-            "fig5", "weather", "entity", "overhead", "export",
+            "fig5", "weather", "race", "entity", "overhead", "export",
         ] {
             println!("==== {cmd} ====");
             run_one(cmd)?;

@@ -104,6 +104,35 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_runs_are_byte_identical() {
+        // The seeded entry point must be a pure function of its inputs
+        // (explicit RNG threading, no ambient entropy): two runs agree
+        // on every f64 *bit*, so downstream wire encodings of cached
+        // race/weather answers are byte-stable across recomputation.
+        let nln = net("New Line Networks");
+        let s = WeatherSampler::stormy_season();
+        let a = conditional_latency(&nln, &CME, &EQUINIX_NY4, &s, 800, 42).unwrap();
+        let b = conditional_latency(&nln, &CME, &EQUINIX_NY4, &s, 800, 42).unwrap();
+        for (x, y) in [
+            (a.clear_ms, b.clear_ms),
+            (a.p50_ms, b.p50_ms),
+            (a.p95_ms, b.p95_ms),
+            (a.p99_ms, b.p99_ms),
+            (a.availability, b.availability),
+        ] {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // And the explicit-RNG variant with an equal stream matches the
+        // seeded wrapper bit-for-bit.
+        use hft_core::route::RoutingGraph;
+        use rand::SeedableRng;
+        let rg = RoutingGraph::build(&nln, &CME, &EQUINIX_NY4);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        let c = conditional_latency_rng(&rg, &nln, &CME, &EQUINIX_NY4, &s, 800, &mut rng).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
     fn clear_weather_sampler_changes_nothing() {
         let nln = net("New Line Networks");
         let dry = WeatherSampler {
