@@ -4,16 +4,22 @@
 //! the route/APA mix — with the telemetry runtime enabled versus killed
 //! via `hft_obs::set_enabled(false)` (the runtime proxy for the `off`
 //! compile-out feature), plus the raw primitive costs (counter incr,
-//! histogram record, span enter/exit). Writes `BENCH_obs.json` at the
-//! workspace root with an `obs/handle_overhead_pct` entry; the PR
-//! acceptance ceiling is 5. Set `HFT_BENCH_SAMPLES` to shrink the
-//! sample count (CI smoke runs use 1).
+//! histogram record, span enter/exit). A second phase self-hosts an
+//! evented server and round-trips the same mix over the binary wire
+//! with the trace recorder off (stride 0) versus capturing every
+//! request (stride 1) — the distributed-tracing overhead on the
+//! bin/evented hot path, budget 2%. Writes `BENCH_obs.json` at the
+//! workspace root with `obs/handle_overhead_pct` (ceiling 5) and
+//! `obs/trace_overhead_pct` (ceiling 2) entries; both are clamped at
+//! the 0% noise floor (the raw signed deltas ride along as `_raw_`
+//! entries). Set `HFT_BENCH_SAMPLES` to shrink the sample count (CI
+//! smoke runs use 1).
 
 use criterion::{black_box, Criterion};
 use hft_bench::REPRO_SEED;
 use hft_corridor::{chicago_nj, generate, GeneratedEcosystem};
 use hft_serve::api::Request;
-use hft_serve::Service;
+use hft_serve::{Client, IoMode, Proto, ServeConfig, Server, Service};
 use hft_time::Date;
 use std::sync::OnceLock;
 
@@ -94,6 +100,64 @@ fn bench_primitives(c: &mut Criterion, suffix: &str) {
     g.finish();
 }
 
+/// The tracing-overhead phase: self-host an evented server and drive
+/// the warm mix over the binary wire — the exact hot path the <2%
+/// trace budget is written against — first with the recorder off
+/// (sample stride 0, contexts unsampled) then capturing every request
+/// (stride 1: root span, queue.wait annotation, ring write per call).
+fn bench_wire(c: &mut Criterion, service: &Service, mix: &[Request]) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 64,
+        io: IoMode::Evented,
+        ..ServeConfig::default()
+    })
+    .expect("bind bench server");
+    let addr = server.local_addr().expect("bench server addr");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run_with(service));
+        let mut client = Client::connect_with(&addr, Proto::Binary).expect("connect bench client");
+        for request in mix {
+            client.call(request).expect("warm round trip");
+        }
+
+        let mut g = c.benchmark_group("obs");
+        g.sample_size(sample_size());
+        hft_obs::set_trace_sample_every(0);
+        g.bench_function("wire_untraced", |b| {
+            b.iter(|| {
+                for request in mix {
+                    black_box(
+                        client
+                            .call(black_box(request))
+                            .expect("untraced round trip"),
+                    );
+                }
+            })
+        });
+        hft_obs::set_trace_sample_every(1);
+        g.bench_function("wire_traced", |b| {
+            b.iter(|| {
+                for request in mix {
+                    black_box(client.call(black_box(request)).expect("traced round trip"));
+                }
+            })
+        });
+        g.finish();
+
+        hft_obs::set_trace_sample_every(64);
+        hft_obs::clear_traces();
+        client
+            .call(&Request::Shutdown)
+            .expect("shutdown bench server");
+        handle
+            .join()
+            .expect("bench server thread")
+            .expect("bench server exit");
+    });
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -137,6 +201,7 @@ fn main() {
     bench_handle(&mut criterion, &service, &mix, "handle_warm_disabled");
     bench_primitives(&mut criterion, "disabled");
     hft_obs::set_enabled(true);
+    bench_wire(&mut criterion, &service, &mix);
     hft_obs::take_samples();
 
     let results = criterion.results();
@@ -151,17 +216,44 @@ fn main() {
             )
         })
         .collect();
-    let enabled = median(results, "obs/handle_warm_enabled");
-    let disabled = median(results, "obs/handle_warm_disabled");
-    if let (Some(enabled), Some(disabled)) = (enabled, disabled) {
-        if disabled > 0.0 {
-            let overhead_pct = (enabled - disabled) / disabled * 100.0;
-            entries.push(format!(
-                "  {{\"id\": \"obs/handle_overhead_pct\", \"mean_s\": {overhead_pct:.3}, \"samples\": 0}}"
-            ));
-            println!("telemetry overhead on warm handle(): {overhead_pct:.2}% (budget 5%)");
+    // Both overhead deltas sit inside scheduler noise on a quiet warm
+    // mix, so the raw signed delta can dip negative (the instrumented
+    // arm drew the luckier samples). A negative overhead is physically
+    // meaningless — report max(0, delta) as the headline and keep the
+    // raw value alongside so the noise floor stays visible.
+    let mut overhead = |on: &str, off: &str, id: &str, what: &str, budget: u32| {
+        let (Some(on), Some(off)) = (median(results, on), median(results, off)) else {
+            return;
+        };
+        if off <= 0.0 {
+            return;
         }
-    }
+        let raw_pct = (on - off) / off * 100.0;
+        let overhead_pct = raw_pct.max(0.0);
+        entries.push(format!(
+            "  {{\"id\": \"obs/{id}_pct\", \"mean_s\": {overhead_pct:.3}, \"samples\": 0}}"
+        ));
+        entries.push(format!(
+            "  {{\"id\": \"obs/{id}_raw_pct\", \"mean_s\": {raw_pct:.3}, \"samples\": 0}}"
+        ));
+        println!(
+            "{what}: {overhead_pct:.2}% (raw {raw_pct:+.2}%, clamped at the 0% noise floor; budget {budget}%)"
+        );
+    };
+    overhead(
+        "obs/handle_warm_enabled",
+        "obs/handle_warm_disabled",
+        "handle_overhead",
+        "telemetry overhead on warm handle()",
+        5,
+    );
+    overhead(
+        "obs/wire_traced",
+        "obs/wire_untraced",
+        "trace_overhead",
+        "tracing overhead on warm bin/evented round trips",
+        2,
+    );
     let json = format!("{{\n\"results\": [\n{}\n]\n}}\n", entries.join(",\n"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     std::fs::write(path, json).expect("write BENCH_obs.json");

@@ -38,7 +38,7 @@ use hft_corridor::{chicago_nj, generate};
 use hft_ingest::{render_history, Applier, ShardedStore};
 use hft_obs::HistogramShard;
 use hft_serve::api::{Request, Response};
-use hft_serve::{Client, ServeConfig, Server, Service, ShardRouter};
+use hft_serve::{Client, ServeConfig, Server, Service, ShardRouter, WireTrace};
 use hft_time::Date;
 use hft_uls::shard::{shard_of_licensee, ShardStrategy};
 use hft_uls::UlsDatabase;
@@ -342,6 +342,10 @@ struct RunReport {
     unpinned: u64,
     wrong: u64,
     overloaded_retries: u64,
+    /// The slowest captured traces pulled from the fleet's flight
+    /// recorder just before shutdown — the cross-shard waterfalls
+    /// behind this run's tail.
+    traces: Vec<WireTrace>,
 }
 
 /// Serve one fleet size under concurrent ingest and report.
@@ -421,6 +425,14 @@ fn run_fleet(
             clients.into_iter().map(|h| h.join().unwrap()).collect();
         let generations = publisher.join().unwrap();
         let mut c = Client::connect(&addr).map_err(|e| e.to_string())?;
+        // Pull the slowest captured traces before the fleet goes down.
+        let traces = match c.call(&Request::Traces {
+            limit: 3,
+            trace_id: None,
+        }) {
+            Ok(Response::Traces { traces }) => traces,
+            _ => Vec::new(),
+        };
         let ack = c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
         if ack != Response::ShuttingDown {
             return Err(format!("shutdown not acknowledged: {ack:?}"));
@@ -429,9 +441,9 @@ fn run_fleet(
             .join()
             .expect("server thread")
             .map_err(|e| e.to_string())?;
-        Ok::<_, String>((outcomes, generations))
+        Ok::<_, String>((outcomes, generations, traces))
     });
-    let (outcomes, generations) = outcomes?;
+    let (outcomes, generations, traces) = outcomes?;
     let serve_s = served.elapsed().as_secs_f64();
     let generation_swaps: u64 = router
         .shards()
@@ -503,6 +515,7 @@ fn run_fleet(
         unpinned: total.unpinned,
         wrong: total.wrong,
         overloaded_retries: total.overloaded_retries,
+        traces,
     })
 }
 
@@ -576,6 +589,12 @@ fn run() -> Result<(), String> {
             "  answers: {} vector-verified, {} unpinned, {} wrong, {} overloaded retries",
             r.verified, r.unpinned, r.wrong, r.overloaded_retries,
         );
+        if !r.traces.is_empty() {
+            println!("  slowest captured traces:");
+            for t in &r.traces {
+                print!("{}", t.render());
+            }
+        }
     }
 
     let runs: Vec<String> = reports

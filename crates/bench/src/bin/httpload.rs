@@ -322,6 +322,7 @@ fn run() -> Result<(), String> {
     let extra = ExtraListener::bind("127.0.0.1:0", &explorer).map_err(|e| format!("bind: {e}"))?;
     let http_addr = extra.local_addr().map_err(|e| format!("addr: {e}"))?;
 
+    let before = hft_obs::global().snapshot();
     let (results, elapsed) = std::thread::scope(|scope| {
         let server = &server;
         let service = &service;
@@ -352,6 +353,33 @@ fn run() -> Result<(), String> {
             .expect("server result");
         (results, elapsed)
     });
+
+    // Server-side RED, as the driver's own per-route instruments saw the
+    // run: request/error counts and duration means from a registry delta
+    // (the registry is process-global and cumulative).
+    let red = hft_obs::registry::delta(&before, &hft_obs::global().snapshot());
+    println!("server RED metrics (per route):");
+    for (name, served) in &red.counters {
+        let Some(route) = name
+            .strip_prefix("http.requests{route=\"")
+            .and_then(|r| r.strip_suffix("\"}"))
+        else {
+            continue;
+        };
+        if *served == 0 {
+            continue;
+        }
+        let errors = red.counter(&hft_obs::registry::labeled("http.errors", "route", route));
+        let dur = red.histogram(&hft_obs::registry::labeled(
+            "http.duration_ns",
+            "route",
+            route,
+        ));
+        println!(
+            "  {route:<9} {served:>7} served  {errors:>5} errors  mean {:.3} ms",
+            dur.mean() / 1e6,
+        );
+    }
 
     let mut merged = WorkerResult {
         by_route: (0..ROUTES.len()).map(|_| HistogramShard::new()).collect(),

@@ -494,18 +494,10 @@ struct WireSample {
 
 impl WireSample {
     fn delta(before: &RegistrySnapshot, after: &RegistrySnapshot) -> WireSample {
+        let d = hft_obs::registry::delta(before, after);
         let hist = |name: &str| {
-            let (bc, bs) = before.histogram(name).map_or((0, 0), |h| (h.count, h.sum));
-            let (ac, asum) = after.histogram(name).map_or((0, 0), |h| (h.count, h.sum));
-            let n = ac.saturating_sub(bc);
-            let s = asum.saturating_sub(bs);
-            (n, if n > 0 { s as f64 / n as f64 } else { 0.0 })
-        };
-        let ctr = |name: &str| {
-            after
-                .counter(name)
-                .unwrap_or(0)
-                .saturating_sub(before.counter(name).unwrap_or(0))
+            let h = d.histogram(name);
+            (h.count, h.mean())
         };
         let (decode_count, decode_mean_ns) = hist("serve.decode_ns");
         let (encode_count, encode_mean_ns) = hist("serve.encode_ns");
@@ -517,8 +509,8 @@ impl WireSample {
             encode_mean_ns,
             poll_wake_count,
             poll_wake_mean_ns,
-            bufpool_hits: ctr("serve.bufpool_hits"),
-            bufpool_misses: ctr("serve.bufpool_misses"),
+            bufpool_hits: d.counter("serve.bufpool_hits"),
+            bufpool_misses: d.counter("serve.bufpool_misses"),
         }
     }
 
@@ -560,6 +552,10 @@ struct ComboResult {
     /// Server-side wire attribution; only available when the server
     /// shares this process (self-hosted runs).
     wire: Option<WireSample>,
+    /// The slowest captured traces, pulled from the server's flight
+    /// recorder after the concurrent phase — the waterfall behind any
+    /// `TAIL ALERT` this cell prints.
+    traces: Vec<hft_serve::WireTrace>,
 }
 
 impl ComboResult {
@@ -625,6 +621,12 @@ impl ComboResult {
             &format!("{} concurrent", self.label()),
             &concurrent.latencies.snapshot(),
         );
+        if !self.traces.is_empty() {
+            println!("slowest captured traces:");
+            for t in &self.traces {
+                print!("{}", t.render());
+            }
+        }
     }
 
     fn json(&self, args: &Args) -> String {
@@ -711,7 +713,7 @@ fn run() -> Result<(), String> {
     let run_phases = |addr: &SocketAddr,
                       proto: Proto,
                       shutdown: bool|
-     -> Result<(PhaseResult, PhaseResult), String> {
+     -> Result<(PhaseResult, PhaseResult, Vec<hft_serve::WireTrace>), String> {
         // Warm pass: every distinct request once, so both timed phases
         // hit a warm server (the acceptance setup).
         let mut warm = connect_retry(addr, proto, Duration::from_secs(180))?;
@@ -743,14 +745,25 @@ fn run() -> Result<(), String> {
             args.concurrency,
             args.window,
         )?;
+        // Pull the slowest captured traces before (optionally) shutting
+        // the server down, so a TAIL ALERT is followed by the actual
+        // waterfalls behind the tail. Best-effort: a pre-tracing server
+        // answering an error just means no waterfalls.
+        let mut c = connect_retry(addr, proto, Duration::from_secs(30))?;
+        let traces = match c.call(&Request::Traces {
+            limit: 3,
+            trace_id: None,
+        }) {
+            Ok(Response::Traces { traces }) => traces,
+            _ => Vec::new(),
+        };
         if shutdown {
-            let mut c = connect_retry(addr, proto, Duration::from_secs(30))?;
             let ack = c.call(&Request::Shutdown).map_err(|e| e.to_string())?;
             if ack != Response::ShuttingDown {
                 return Err(format!("shutdown not acknowledged: {ack:?}"));
             }
         }
-        Ok((serial, concurrent))
+        Ok((serial, concurrent, traces))
     };
 
     // Self-host one (proto, io) combo on a fresh server and fresh port;
@@ -768,7 +781,7 @@ fn run() -> Result<(), String> {
         let addr = server.local_addr().map_err(|e| e.to_string())?;
         eprintln!("[{}/{}] self-hosting on {addr}", proto.name(), io.name());
         let before = hft_obs::global().snapshot();
-        let (serial, concurrent) = std::thread::scope(|scope| {
+        let (serial, concurrent, traces) = std::thread::scope(|scope| {
             let handle = scope.spawn(|| server.run(&eco.db));
             let phases = run_phases(&addr, proto, true);
             let stats = handle.join().expect("server thread");
@@ -783,6 +796,7 @@ fn run() -> Result<(), String> {
             serial,
             concurrent,
             wire: Some(wire),
+            traces,
         })
     };
 
@@ -793,7 +807,7 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("bad --connect {spec:?}: {e}"))?
                 .next()
                 .ok_or(format!("--connect {spec:?} resolved to nothing"))?;
-            let (serial, concurrent) = run_phases(&addr, args.proto, args.shutdown_server)?;
+            let (serial, concurrent, traces) = run_phases(&addr, args.proto, args.shutdown_server)?;
             vec![ComboResult {
                 proto: args.proto,
                 io: args.io,
@@ -801,6 +815,7 @@ fn run() -> Result<(), String> {
                 serial,
                 concurrent,
                 wire: None,
+                traces,
             }]
         }
         None if args.matrix => {

@@ -296,13 +296,8 @@ fn run() -> Result<(), String> {
         reports
     })?;
     let after = hft_obs::global().snapshot();
-    let delta = |name: &str| {
-        after
-            .counter(name)
-            .unwrap_or(0)
-            .saturating_sub(before.counter(name).unwrap_or(0))
-    };
-    let (hits, misses) = (delta(&hit_name), delta(&miss_name));
+    let delta = hft_obs::registry::delta(&before, &after);
+    let (hits, misses) = (delta.counter(&hit_name), delta.counter(&miss_name));
     let mc_total = hits + misses;
     let hit_rate = if mc_total > 0 {
         hits as f64 / mc_total as f64

@@ -37,6 +37,7 @@ use hft_serve::{Request, Response};
 use hft_time::Date;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Content type of JSON API answers.
 const JSON_CONTENT_TYPE: &str = "application/json";
@@ -110,6 +111,11 @@ struct OutEntry {
     answer: Answer,
     keep_alive: bool,
     head_only: bool,
+    /// RED attribution: the route label and the parse instant. Duration
+    /// is measured parse-to-response-ready in [`HttpConn::pump`], so a
+    /// pooled page's queue wait and service time are both inside it.
+    route: &'static str,
+    started: Instant,
 }
 
 /// Per-connection HTTP state: parser in, ordered response queue out.
@@ -123,22 +129,20 @@ struct HttpConn<'h, H: HttpHost + Sync> {
 }
 
 impl<H: HttpHost + Sync> HttpConn<'_, H> {
-    fn push_now(
+    fn push(
         &mut self,
-        status: u16,
-        content_type: &'static str,
-        body: Vec<u8>,
+        answer: Answer,
         keep_alive: bool,
         head_only: bool,
+        route: &'static str,
+        started: Instant,
     ) {
         self.outq.push_back(OutEntry {
-            answer: Answer::Now {
-                status,
-                content_type,
-                body,
-            },
+            answer,
             keep_alive,
             head_only,
+            route,
+            started,
         });
         if !keep_alive {
             self.closed = true;
@@ -148,6 +152,7 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
     /// Route one parsed request.
     fn handle_request(&mut self, req: HttpRequest, cx: &mut DriverCx<'_>) {
         cx.handler().serve_stats().on_received();
+        let started = Instant::now();
         let keep_alive = req.keep_alive;
         let head_only = req.method == "HEAD";
         let get_like = req.method == "GET" || head_only;
@@ -160,13 +165,21 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
             (true, "/evolution") => ("evolution", self.evolution()),
             (true, "/metrics") => ("metrics", metrics_answer()),
             (true, "/dashboard") => ("dashboard", dashboard_answer()),
+            (true, "/traces") => ("traces", traces_answer()),
+            (true, path) if path.starts_with("/trace/") => ("trace", trace_answer(path)),
             (false, "/api") if req.method == "POST" => ("api", self.api(&req, cx)),
-            (_, "/" | "/funnel" | "/evolution" | "/metrics" | "/dashboard" | "/api") => (
+            (
+                _,
+                "/" | "/funnel" | "/evolution" | "/metrics" | "/dashboard" | "/traces" | "/api",
+            ) => (
                 "other",
                 html_error(405, &format!("method {} not allowed here", req.method)),
             ),
             (_, path)
-                if (path.starts_with("/licensee/") || path.starts_with("/race/")) && !get_like =>
+                if (path.starts_with("/licensee/")
+                    || path.starts_with("/race/")
+                    || path.starts_with("/trace/"))
+                    && !get_like =>
             {
                 (
                     "other",
@@ -184,23 +197,7 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
         if let Answer::Now { status, .. } = &answer {
             cx.handler().serve_stats().on_completed(*status >= 400);
         }
-        match answer {
-            Answer::Now {
-                status,
-                content_type,
-                body,
-            } => self.push_now(status, content_type, body, keep_alive, head_only),
-            Answer::Pooled { .. } => {
-                self.outq.push_back(OutEntry {
-                    answer,
-                    keep_alive,
-                    head_only,
-                });
-                if !keep_alive {
-                    self.closed = true;
-                }
-            }
-        }
+        self.push(answer, keep_alive, head_only, label, started);
     }
 
     /// `GET /` — cheap cached lookups only; renders on the loop.
@@ -376,7 +373,9 @@ impl<H: HttpHost + Sync> HttpConn<'_, H> {
                     message: "shutdown is not permitted over http".to_string(),
                 },
             ),
-            Request::Stats | Request::Metrics => json_answer(200, cx.handler().handle(&request)),
+            Request::Stats | Request::Metrics | Request::Traces { .. } => {
+                json_answer(200, cx.handler().handle(&request))
+            }
             request => self.submit(request, Finish::Api, cx),
         }
     }
@@ -565,12 +564,16 @@ impl<H: HttpHost + Sync> ConnDriver for HttpConn<'_, H> {
                     stats.on_received();
                     stats.on_completed(true);
                     let body = pages::error_page(e.status(), &e.to_string());
-                    self.push_now(
-                        e.status(),
-                        HTML_CONTENT_TYPE,
-                        body.into_bytes(),
+                    self.push(
+                        Answer::Now {
+                            status: e.status(),
+                            content_type: HTML_CONTENT_TYPE,
+                            body: body.into_bytes(),
+                        },
                         false,
                         false,
+                        "error",
+                        Instant::now(),
                     );
                     return;
                 }
@@ -601,11 +604,14 @@ impl<H: HttpHost + Sync> ConnDriver for HttpConn<'_, H> {
                             answer: Answer::Pooled { slot, finish },
                             keep_alive: entry.keep_alive,
                             head_only: entry.head_only,
+                            route: entry.route,
+                            started: entry.started,
                         });
                         return;
                     }
                 },
             };
+            red_done(entry.route, status, entry.started);
             let mut buf = cx.buf();
             write_response(
                 &mut buf,
@@ -667,6 +673,45 @@ fn metrics_answer() -> Answer {
         status: 200,
         content_type: PROMETHEUS_CONTENT_TYPE,
         body: hft_obs::expo::render_prometheus(&snapshot).into_bytes(),
+    }
+}
+
+/// Close the RED loop for one exchange: error count and duration, both
+/// labeled by route. (`http.requests{route=}` — the R — is counted at
+/// dispatch in `handle_request`.)
+fn red_done(route: &'static str, status: u16, started: Instant) {
+    let registry = hft_obs::global();
+    if status >= 400 {
+        registry.counter_with("http.errors", "route", route).incr();
+    }
+    registry
+        .histogram(&hft_obs::registry::labeled(
+            "http.duration_ns",
+            "route",
+            route,
+        ))
+        .record(started.elapsed().as_nanos() as u64);
+}
+
+/// `GET /traces` — the flight recorder's index, slowest first; a
+/// registry snapshot-style read, so it renders on the loop.
+fn traces_answer() -> Answer {
+    let records = hft_obs::trace_snapshot(50);
+    html_ok(pages::traces_page(&records))
+}
+
+/// `GET /trace/{id}` — one captured trace as a cross-shard waterfall.
+fn trace_answer(path: &str) -> Answer {
+    let raw = &path["/trace/".len()..];
+    let Some(id) = hft_obs::parse_trace_id(raw) else {
+        return html_error(404, &format!("bad trace id {raw:?} (want hex digits)"));
+    };
+    match hft_obs::find_trace(id) {
+        Some(record) => html_ok(pages::trace_page(&record)),
+        None => html_error(
+            404,
+            &format!("no captured trace {raw} (the flight recorder is a bounded ring)"),
+        ),
     }
 }
 

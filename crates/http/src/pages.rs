@@ -63,7 +63,7 @@ fn page(title: &str, body: &str) -> String {
             "</style></head><body>",
             "<nav><a href=\"/\">corpus</a><a href=\"/funnel\">funnel</a>",
             "<a href=\"/evolution\">evolution</a><a href=\"/dashboard\">dashboard</a>",
-            "<a href=\"/metrics\">metrics</a></nav>",
+            "<a href=\"/traces\">traces</a><a href=\"/metrics\">metrics</a></nav>",
             "<h1>{title}</h1>\n{body}</body></html>\n"
         ),
         title = html_escape(title),
@@ -434,6 +434,120 @@ pub fn dashboard_page(s: &RegistrySnapshot) -> String {
     page("Live dashboard", &body)
 }
 
+/// Shard leg palette for the waterfall: one colour per shard index
+/// (cycled), so a straggler leg is visually attributable at a glance.
+const SHARD_COLORS: [&str; 6] = [
+    "#1f77b4", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2",
+];
+
+/// `GET /traces` — the flight recorder's index: slowest captured trace
+/// first, each row linking to its waterfall.
+pub fn traces_page(records: &[hft_obs::TraceRecord]) -> String {
+    if records.is_empty() {
+        return page(
+            "Flight recorder",
+            "<p class=\"dim\">no captured traces yet — the recorder keeps head-sampled \
+             (1-in-N) and over-threshold (slow) requests in per-thread rings; drive some \
+             traffic and reload</p>\n",
+        );
+    }
+    let mut body = String::from(
+        "<p class=\"dim\">slowest captured traces first; \
+         <b>slow</b> = over the slow-query threshold, <b>sampled</b> = 1-in-N head sample</p>\n\
+         <table><tr><th>trace</th><th>request</th><th>total</th><th>spans</th>\
+         <th>shards</th><th>why kept</th></tr>\n",
+    );
+    for r in records {
+        let id = hft_obs::format_trace_id(r.trace_id);
+        let shards: std::collections::BTreeSet<u32> =
+            r.tree.spans.iter().filter_map(|s| s.shard).collect();
+        let why = match (r.slow, r.sampled) {
+            (true, true) => "slow + sampled",
+            (true, false) => "slow",
+            (false, true) => "sampled",
+            (false, false) => "—",
+        };
+        let _ = writeln!(
+            body,
+            "<tr><td><a href=\"/trace/{id}\">{short}…</a></td><td>{label}</td>\
+             <td>{total}</td><td>{spans}</td><td>{nshards}</td><td>{why}</td></tr>",
+            short = &id[..8],
+            label = html_escape(r.label),
+            total = hft_obs::span::format_ns(r.total_ns),
+            spans = r.tree.spans.len(),
+            nshards = shards.len(),
+        );
+    }
+    body.push_str("</table>\n");
+    page("Flight recorder", &body)
+}
+
+/// One captured trace as a waterfall: a row per span, x proportional to
+/// start offset, width proportional to duration, indented by depth,
+/// shard legs coloured per shard. Pure data-ink, inline SVG.
+pub fn trace_page(r: &hft_obs::TraceRecord) -> String {
+    let id = hft_obs::format_trace_id(r.trace_id);
+    let total = r.tree.total_ns().max(1);
+    let spans = &r.tree.spans;
+    let mut depth = vec![0usize; spans.len()];
+    for (i, s) in spans.iter().enumerate() {
+        if let Some(p) = s.parent {
+            depth[i] = depth[p as usize] + 1;
+        }
+    }
+    const BAR_W: f64 = 560.0;
+    const ROW_H: f64 = 22.0;
+    const LEFT: f64 = 4.0;
+    let height = ROW_H * spans.len() as f64 + 4.0;
+    let mut svg = format!(
+        "<svg width=\"960\" height=\"{height:.0}\" viewBox=\"0 0 960 {height:.0}\" \
+         font-family=\"Georgia,serif\" font-size=\"12\">\n"
+    );
+    for (i, s) in spans.iter().enumerate() {
+        let x = LEFT + BAR_W * s.start_ns as f64 / total as f64;
+        let w = (BAR_W * s.dur_ns as f64 / total as f64).max(1.0);
+        let y = 2.0 + ROW_H * i as f64;
+        let color = match s.shard {
+            Some(k) => SHARD_COLORS[k as usize % SHARD_COLORS.len()],
+            None => "#8a3324",
+        };
+        let shard_note = match s.shard {
+            Some(k) => format!(" · shard {k}"),
+            None => String::new(),
+        };
+        let _ = writeln!(
+            svg,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"14\" \
+             fill=\"{color}\" fill-opacity=\"0.85\"/>\
+             <text x=\"{tx:.1}\" y=\"{ty:.1}\">{pad}{name} · {dur}{shard_note}</text>",
+            tx = LEFT + BAR_W + 12.0,
+            ty = y + 11.0,
+            pad = "\u{2003}".repeat(depth[i]),
+            name = html_escape(s.name),
+            dur = hft_obs::span::format_ns(s.dur_ns),
+        );
+    }
+    svg.push_str("</svg>");
+    let shards: std::collections::BTreeSet<u32> = spans.iter().filter_map(|s| s.shard).collect();
+    let shard_list = shards
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let body = format!(
+        "<p class=\"dim\">{label} · total {total_h}{slow}{sampled} · {n} spans · \
+         shards [{shard_list}] · <a href=\"/traces\">all traces</a></p>\n{svg}\n\
+         <pre class=\"dim\">{rendered}</pre>\n",
+        label = html_escape(r.label),
+        total_h = hft_obs::span::format_ns(r.total_ns),
+        slow = if r.slow { " · <b>slow</b>" } else { "" },
+        sampled = if r.sampled { " · sampled" } else { "" },
+        n = spans.len(),
+        rendered = html_escape(&r.tree.render()),
+    );
+    page(&format!("Trace {}…", &id[..8]), &body)
+}
+
 /// An error/status page (404, 405, parse failures).
 pub fn error_page(status: u16, detail: &str) -> String {
     page(
@@ -513,6 +627,65 @@ mod tests {
         let html = race_page(&free);
         assert!(html.contains("weather windows not applicable"));
         assert!(html.contains("<td>—</td>"));
+    }
+
+    fn sample_trace() -> hft_obs::TraceRecord {
+        use hft_obs::{SpanRecord, SpanTree};
+        hft_obs::TraceRecord {
+            trace_id: 0xfeed_f00d,
+            label: "geographic",
+            sampled: true,
+            slow: true,
+            total_ns: 80_000_000,
+            tree: SpanTree {
+                spans: vec![
+                    SpanRecord {
+                        name: "serve.request",
+                        parent: None,
+                        start_ns: 0,
+                        dur_ns: 80_000_000,
+                        shard: None,
+                    },
+                    SpanRecord {
+                        name: "queue.wait",
+                        parent: Some(0),
+                        start_ns: 0,
+                        dur_ns: 4_000_000,
+                        shard: None,
+                    },
+                    SpanRecord {
+                        name: "shard.call",
+                        parent: Some(0),
+                        start_ns: 4_000_000,
+                        dur_ns: 70_000_000,
+                        shard: Some(2),
+                    },
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn traces_index_links_and_degrades_empty() {
+        let html = traces_page(&[sample_trace()]);
+        assert!(html.contains("/trace/000000000000000000000000feedf00d"));
+        assert!(html.contains("geographic"));
+        assert!(html.contains("slow + sampled"));
+        assert!(traces_page(&[]).contains("no captured traces yet"));
+    }
+
+    #[test]
+    fn trace_page_renders_waterfall_svg() {
+        let html = trace_page(&sample_trace());
+        assert!(html.contains("<svg"), "waterfall must be inline SVG");
+        assert!(html.contains("shard 2"), "shard legs must be attributed");
+        assert!(html.contains("queue.wait"));
+        assert!(
+            html.contains("shards [2]"),
+            "header must list participating shards"
+        );
+        // The text tree rides along for copy-paste.
+        assert!(html.contains("<pre class=\"dim\">"));
     }
 
     #[test]

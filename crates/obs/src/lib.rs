@@ -11,6 +11,11 @@
 //!   trees per thread. Completed trees are sampled into a per-thread
 //!   ring buffer; any tree whose root exceeds the slow threshold is
 //!   pushed to a global **slow-query log** ([`take_slow_queries`]).
+//! * **Traces** — a [`TraceContext`] minted at admission
+//!   ([`TraceContext::mint`]) rides the request through queues, worker
+//!   pools and shard fan-outs; kept trees (head-sampled at 1/N or
+//!   tail-captured over the slow threshold) land in a per-thread
+//!   flight recorder ([`trace_snapshot`], [`find_trace`]).
 //! * **Exposition** — deterministic JSON ([`expo::render_json`]) and
 //!   Prometheus-style text ([`expo::render_prometheus`]) of a
 //!   [`RegistrySnapshot`], with histogram p50/p90/p99/p999.
@@ -28,13 +33,19 @@ pub mod hist;
 pub mod metrics;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use hist::{Histogram, HistogramShard, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
-pub use registry::{global, HistSummary, Registry, RegistrySnapshot};
+pub use registry::{global, HistDelta, HistSummary, Registry, RegistryDelta, RegistrySnapshot};
 pub use span::{
-    sample_every, set_sample_every, set_slow_threshold_ns, slow_threshold_ns, span, take_samples,
-    take_slow_queries, SpanGuard, SpanRecord, SpanTree,
+    annotate, capture_from, child_span, current_root_start, graft, sample_every, set_sample_every,
+    set_slow_threshold_ns, slow_threshold_ns, span, span_sharded, take_samples, take_slow_queries,
+    trace_root, SpanGuard, SpanRecord, SpanTree,
+};
+pub use trace::{
+    clear_traces, find_trace, format_trace_id, parse_trace_id, set_trace_sample_every,
+    trace_sample_every, trace_snapshot, TraceContext, TraceRecord,
 };
 
 #[cfg(not(feature = "off"))]

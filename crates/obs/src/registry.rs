@@ -169,6 +169,112 @@ impl RegistrySnapshot {
     }
 }
 
+/// The change between two [`RegistrySnapshot`]s of the same registry:
+/// what a workload did, with whatever ran before it subtracted out.
+/// Produced by [`delta`]; load generators print these instead of
+/// absolute totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryDelta {
+    /// Counter increments (absent in `before` counts as zero).
+    pub counters: Vec<(String, u64)>,
+    /// Gauge movements.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram growth (count/sum only: quantiles of a difference are
+    /// not derivable from two summaries).
+    pub histograms: Vec<(String, HistDelta)>,
+}
+
+/// Growth of one histogram between two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistDelta {
+    /// Values recorded in the window.
+    pub count: u64,
+    /// Sum of values recorded in the window.
+    pub sum: u64,
+}
+
+impl HistDelta {
+    /// Mean recorded value over the window (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl RegistryDelta {
+    /// Counter increment by exact name (0 when the counter never moved
+    /// or never existed).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Gauge movement by exact name (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Histogram growth by exact name (empty delta when absent).
+    pub fn histogram(&self, name: &str) -> HistDelta {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, h)| h)
+            .unwrap_or_default()
+    }
+}
+
+/// The per-metric difference `after − before`. Metrics only present in
+/// `after` are treated as having started at zero; counter and histogram
+/// subtraction saturates, so a metric that went backwards between the
+/// snapshots (a reset) reads as zero rather than wrapping.
+pub fn delta(before: &RegistrySnapshot, after: &RegistrySnapshot) -> RegistryDelta {
+    let counters = after
+        .counters
+        .iter()
+        .map(|(name, v)| {
+            (
+                name.clone(),
+                v.saturating_sub(before.counter(name).unwrap_or(0)),
+            )
+        })
+        .collect();
+    let gauges = after
+        .gauges
+        .iter()
+        .map(|(name, v)| (name.clone(), v - before.gauge(name).unwrap_or(0)))
+        .collect();
+    let histograms = after
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            let b = before.histogram(name).copied().unwrap_or_default();
+            (
+                name.clone(),
+                HistDelta {
+                    count: h.count.saturating_sub(b.count),
+                    sum: h.sum.saturating_sub(b.sum),
+                },
+            )
+        })
+        .collect();
+    RegistryDelta {
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,5 +316,48 @@ mod tests {
     #[test]
     fn labeled_renders_prometheus_selector() {
         assert_eq!(labeled("a.b", "k", "v"), "a.b{k=\"v\"}");
+    }
+
+    #[test]
+    fn delta_subtracts_and_defaults_to_zero() {
+        let before = RegistrySnapshot {
+            counters: vec![("a.hits".into(), 10), ("a.reset".into(), 99)],
+            gauges: vec![("q.depth".into(), 4)],
+            histograms: vec![(
+                "l.ns".into(),
+                HistSummary {
+                    count: 5,
+                    sum: 500,
+                    ..HistSummary::default()
+                },
+            )],
+        };
+        let after = RegistrySnapshot {
+            counters: vec![
+                ("a.hits".into(), 25),
+                ("a.new".into(), 7),
+                ("a.reset".into(), 3),
+            ],
+            gauges: vec![("q.depth".into(), 1)],
+            histograms: vec![(
+                "l.ns".into(),
+                HistSummary {
+                    count: 9,
+                    sum: 1700,
+                    ..HistSummary::default()
+                },
+            )],
+        };
+        let d = delta(&before, &after);
+        assert_eq!(d.counter("a.hits"), 15);
+        assert_eq!(d.counter("a.new"), 7, "born-after counter starts at 0");
+        assert_eq!(d.counter("a.reset"), 0, "saturates instead of wrapping");
+        assert_eq!(d.counter("never.existed"), 0);
+        assert_eq!(d.gauge("q.depth"), -3);
+        let h = d.histogram("l.ns");
+        assert_eq!((h.count, h.sum), (4, 1200));
+        assert_eq!(h.mean(), 300.0);
+        assert_eq!(d.histogram("missing").count, 0);
+        assert_eq!(d.histogram("missing").mean(), 0.0);
     }
 }

@@ -17,14 +17,22 @@
 //! * otherwise every `sample_every`-th tree is kept in a per-thread
 //!   ring buffer ([`take_samples`]).
 //!
-//! Trees are per thread by construction: a request that hops threads
-//! (e.g. a single-flight follower waiting on a leader) produces one
-//! tree per thread, each rooted where that thread's work started.
+//! Trees are per thread by construction; cross-thread requests are
+//! stitched explicitly: a scatter worker runs under [`capture_from`]
+//! (same time origin as the caller's root) and the caller [`graft`]s
+//! the returned subtree under its own open span, so a fan-out request
+//! still finalizes as one tree on the coordinating thread.
+//!
+//! A tree opened with [`trace_root`] additionally carries a
+//! [`crate::trace::TraceContext`]; when such a tree finalizes and was
+//! head-sampled or slow, a copy is filed into the flight recorder
+//! ([`crate::trace`]) keyed by trace id.
 //!
 //! All bookkeeping is thread-local; the only shared state touched on a
 //! hot path is one relaxed load of the kill switch, and the slow-log
 //! mutex is taken only when a slow tree actually completes.
 
+use crate::trace::TraceContext;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -89,6 +97,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration, ns (u64: negative durations cannot be represented).
     pub dur_ns: u64,
+    /// Shard the span ran against, when the work was shard-addressed
+    /// (scatter legs, routed single-shard calls).
+    pub shard: Option<u32>,
 }
 
 /// A completed per-thread span tree, root first, parents before
@@ -155,6 +166,9 @@ impl SpanTree {
             out.push_str(s.name);
             out.push(' ');
             out.push_str(&format_ns(s.dur_ns));
+            if let Some(shard) = s.shard {
+                out.push_str(&format!(" [shard {shard}]"));
+            }
             out.push('\n');
         }
         out
@@ -180,6 +194,12 @@ struct ThreadSpans {
     root_start: Option<Instant>,
     completed: u64,
     samples: VecDeque<SpanTree>,
+    /// Trace identity the current tree was opened with ([`trace_root`]).
+    trace: Option<(TraceContext, &'static str)>,
+    /// When set, the finishing tree is stashed in `captured` for the
+    /// caller of [`capture_from`] instead of being filed.
+    capture: bool,
+    captured: Option<SpanTree>,
 }
 
 thread_local! {
@@ -190,15 +210,14 @@ thread_local! {
             root_start: None,
             completed: 0,
             samples: VecDeque::new(),
+            trace: None,
+            capture: false,
+            captured: None,
         })
     };
 }
 
-/// Open a span named `name` on the current thread. Close it by
-/// dropping the guard; guards must nest lexically (the guard is not
-/// `Send` and should be bound to a scope).
-#[inline]
-pub fn span(name: &'static str) -> SpanGuard {
+fn open_span(name: &'static str, shard: Option<u32>) -> SpanGuard {
     if !crate::enabled() {
         return SpanGuard {
             active: false,
@@ -221,6 +240,7 @@ pub fn span(name: &'static str) -> SpanGuard {
             parent,
             start_ns,
             dur_ns: 0,
+            shard,
         });
         t.open.push(idx);
     });
@@ -228,6 +248,218 @@ pub fn span(name: &'static str) -> SpanGuard {
         active: true,
         _not_send: PhantomData,
     }
+}
+
+/// Open a span named `name` on the current thread. Close it by
+/// dropping the guard; guards must nest lexically (the guard is not
+/// `Send` and should be bound to a scope).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    open_span(name, None)
+}
+
+/// Like [`span`], tagging the record with the shard the work is
+/// addressed to (scatter legs, routed single-shard calls).
+#[inline]
+pub fn span_sharded(name: &'static str, shard: u32) -> SpanGuard {
+    open_span(name, Some(shard))
+}
+
+/// Like [`span`], but records only when a tree is already open on this
+/// thread. A lone child would otherwise finalize as a single-span root
+/// tree — full tree bookkeeping (two clock reads, finalize, ring
+/// bookkeeping) for a record nothing can attribute to a request. Use
+/// it for hot-path markers (single-flight legs, cache-hit markers)
+/// that are only meaningful inside an enclosing traced request.
+pub fn child_span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    let active = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.open.is_empty() {
+            return false;
+        }
+        let start_ns = match t.root_start {
+            Some(root) => root.elapsed().as_nanos() as u64,
+            None => 0,
+        };
+        let parent = t.open.last().copied();
+        let idx = t.spans.len() as u32;
+        t.spans.push(SpanRecord {
+            name,
+            parent,
+            start_ns,
+            dur_ns: 0,
+            shard: None,
+        });
+        t.open.push(idx);
+        true
+    });
+    SpanGuard {
+        active,
+        _not_send: PhantomData,
+    }
+}
+
+/// Open a **traced root** span: the tree's time origin is backdated to
+/// `started` (typically the instant the request was admitted, so queue
+/// wait falls inside the window), and the finished tree is filed into
+/// the flight recorder under `ctx` when head-sampled or slow. `label`
+/// names the request kind on the resulting trace record.
+///
+/// If a tree is already open on this thread the call degrades to a
+/// plain child [`span`] — nested roots cannot re-origin the clock.
+pub fn trace_root(
+    name: &'static str,
+    label: &'static str,
+    ctx: TraceContext,
+    started: Instant,
+) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            active: false,
+            _not_send: PhantomData,
+        };
+    }
+    let fresh = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.open.is_empty() {
+            return false;
+        }
+        t.root_start = Some(started);
+        if ctx.trace_id != 0 {
+            t.trace = Some((ctx, label));
+        }
+        t.spans.push(SpanRecord {
+            name,
+            parent: None,
+            start_ns: 0,
+            dur_ns: 0,
+            shard: None,
+        });
+        t.open.push(0);
+        true
+    });
+    if !fresh {
+        return span(name);
+    }
+    SpanGuard {
+        active: true,
+        _not_send: PhantomData,
+    }
+}
+
+/// Attach a pre-measured, already-closed child span to the innermost
+/// open span (no-op when no span is open). `start_ns` is the offset
+/// from the current tree's time origin. Used for intervals measured
+/// before the tree existed, e.g. queue wait under a [`trace_root`]
+/// backdated to the enqueue instant.
+pub fn annotate(name: &'static str, start_ns: u64, dur_ns: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(&parent) = t.open.last() else {
+            return;
+        };
+        t.spans.push(SpanRecord {
+            name,
+            parent: Some(parent),
+            start_ns,
+            dur_ns,
+            shard: None,
+        });
+    });
+}
+
+/// The time origin of the tree currently open on this thread, if any.
+/// Scatter coordinators pass it to worker threads so captured subtrees
+/// share the same clock (see [`capture_from`] / [`graft`]).
+pub fn current_root_start() -> Option<Instant> {
+    if !crate::enabled() {
+        return None;
+    }
+    TLS.with(|t| {
+        let t = t.borrow();
+        if t.open.is_empty() {
+            None
+        } else {
+            t.root_start
+        }
+    })
+}
+
+/// Run `f` under a span named `name` on the *current* thread and return
+/// the finished subtree instead of filing it, with every span offset
+/// measured from `base` (the coordinating thread's root origin). The
+/// caller moves the subtree back and [`graft`]s it under its own tree.
+/// `shard` is stamped on every captured span that has no shard yet.
+///
+/// If this thread already has a tree open the subtree cannot be
+/// re-origined; `f` runs under a plain [`span`] and `None` is returned.
+pub fn capture_from<R>(
+    name: &'static str,
+    base: Instant,
+    shard: Option<u32>,
+    f: impl FnOnce() -> R,
+) -> (R, Option<SpanTree>) {
+    if !crate::enabled() {
+        return (f(), None);
+    }
+    let fresh = TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if !t.open.is_empty() {
+            return false;
+        }
+        t.root_start = Some(base);
+        t.capture = true;
+        true
+    });
+    if !fresh {
+        let _nested = span(name);
+        return (f(), None);
+    }
+    let r = {
+        let _root = span(name);
+        f()
+    };
+    let mut tree = TLS.with(|t| t.borrow_mut().captured.take());
+    if let Some(tree) = tree.as_mut() {
+        for s in &mut tree.spans {
+            if s.shard.is_none() {
+                s.shard = shard;
+            }
+        }
+    }
+    (r, tree)
+}
+
+/// Append a subtree captured by [`capture_from`] (same time origin)
+/// under the innermost open span of the current thread's tree. No-op
+/// when no span is open.
+pub fn graft(tree: SpanTree) {
+    if !crate::enabled() {
+        return;
+    }
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        let Some(&parent) = t.open.last() else {
+            return;
+        };
+        let offset = t.spans.len() as u32;
+        for mut s in tree.spans {
+            s.parent = match s.parent {
+                None => Some(parent),
+                Some(p) => Some(p + offset),
+            };
+            t.spans.push(s);
+        }
+    });
 }
 
 /// The scope guard returned by [`span`]; dropping it closes the span.
@@ -259,18 +491,39 @@ impl Drop for SpanGuard {
             // Root closed: take the whole tree.
             let spans = std::mem::take(&mut t.spans);
             t.root_start = None;
+            let trace = t.trace.take();
+            let tree = SpanTree { spans };
+            if t.capture {
+                // A capture_from subtree: hand it back, don't file it.
+                t.capture = false;
+                t.captured = Some(tree);
+                return None;
+            }
             t.completed += 1;
             let tick = t.completed;
-            let tree = SpanTree { spans };
             if tree.total_ns() >= slow_threshold_ns() {
-                Some((tree, true, tick))
+                Some((tree, true, tick, trace))
             } else {
-                Some((tree, false, tick))
+                Some((tree, false, tick, trace))
             }
         });
-        let Some((tree, slow, tick)) = finished else {
+        let Some((tree, slow, tick, trace)) = finished else {
             return;
         };
+        // File a flight-recorder copy before the tree itself moves into
+        // the slow log / sample ring (clone only for kept traces).
+        if let Some((ctx, label)) = trace {
+            if ctx.sampled || slow {
+                crate::trace::record(crate::trace::TraceRecord {
+                    trace_id: ctx.trace_id,
+                    label,
+                    sampled: ctx.sampled,
+                    slow,
+                    total_ns: tree.total_ns(),
+                    tree: tree.clone(),
+                });
+            }
+        }
         if slow {
             crate::global().counter("obs.slow_queries").incr();
             let mut log = SLOW_LOG.lock().expect("slow log");
@@ -307,6 +560,7 @@ mod tests {
             parent: None,
             start_ns: 0,
             dur_ns: 100,
+            shard: None,
         };
         assert!(SpanTree { spans: vec![] }.check().is_err());
         assert!(SpanTree {
@@ -326,6 +580,7 @@ mod tests {
             parent: Some(0),
             start_ns: 90,
             dur_ns: 20,
+            shard: None,
         };
         assert!(SpanTree {
             spans: vec![root.clone(), bad_child]
@@ -338,6 +593,7 @@ mod tests {
             parent: Some(0),
             start_ns: 10,
             dur_ns: 50,
+            shard: Some(3),
         };
         let tree = SpanTree {
             spans: vec![root, good_child],
@@ -345,7 +601,7 @@ mod tests {
         tree.check().unwrap();
         let rendered = tree.render();
         assert!(rendered.contains("r 100ns"));
-        assert!(rendered.contains("  c 50ns"));
+        assert!(rendered.contains("  c 50ns [shard 3]"));
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! End-to-end flow through the tracing layer: a traced root backdated
+//! to an admission instant, an annotated queue-wait interval, captured
+//! scatter subtrees grafted back, and the finished tree landing in the
+//! flight recorder. Lives in its own binary because it owns the
+//! process-global sampling/threshold knobs.
+
+use hft_obs::{
+    annotate, capture_from, clear_traces, current_root_start, find_trace, graft,
+    set_slow_threshold_ns, set_trace_sample_every, span, span_sharded, trace_root, trace_snapshot,
+    TraceContext,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes the tests: both touch the process-global flight recorder
+/// and `clear_traces` must not race a concurrent recording test.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+#[test]
+fn traced_scatter_request_is_stitched_and_recorded() {
+    let _globals = GLOBALS.lock().expect("globals");
+    set_trace_sample_every(1);
+    set_slow_threshold_ns(u64::MAX);
+    clear_traces();
+
+    assert_eq!(current_root_start(), None, "no tree open yet");
+
+    let admitted = Instant::now();
+    std::thread::sleep(Duration::from_millis(2)); // simulated queue wait
+    let ctx = TraceContext::mint();
+    assert!(ctx.sampled, "stride 1 samples every mint");
+
+    {
+        let _root = trace_root("serve.request", "geographic", ctx, admitted);
+        annotate("queue.wait", 0, admitted.elapsed().as_nanos() as u64);
+        let base = current_root_start().expect("root open");
+        assert_eq!(base, admitted, "root clock backdated to admission");
+
+        let _scatter = span("router.scatter");
+        // Two scatter legs on worker threads, captured against the
+        // coordinator's clock and grafted back under router.scatter.
+        let legs: Vec<_> = std::thread::scope(|scope| {
+            (0..2u32)
+                .map(|k| {
+                    scope.spawn(move || {
+                        capture_from("shard.call", base, Some(k), || {
+                            std::thread::sleep(Duration::from_millis(1));
+                            k
+                        })
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("leg"))
+                .collect()
+        });
+        for (_k, tree) in legs {
+            graft(tree.expect("captured subtree"));
+        }
+        drop(_scatter);
+        let _merge = span_sharded("router.merge", 0);
+    }
+
+    let rec = find_trace(ctx.trace_id).expect("trace recorded");
+    assert_eq!(rec.label, "geographic");
+    assert!(rec.sampled && !rec.slow);
+    rec.tree.check().expect("stitched tree stays well-formed");
+
+    let names: Vec<&str> = rec.tree.spans.iter().map(|s| s.name).collect();
+    assert_eq!(
+        names,
+        [
+            "serve.request",
+            "queue.wait",
+            "router.scatter",
+            "shard.call",
+            "shard.call",
+            "router.merge"
+        ]
+    );
+    let shards: Vec<Option<u32>> = rec.tree.spans.iter().map(|s| s.shard).collect();
+    assert_eq!(
+        shards[3..5],
+        [Some(0), Some(1)],
+        "legs keep their shard tags"
+    );
+    assert_eq!(shards[5], Some(0), "span_sharded tags the merge");
+
+    // queue.wait is inside the backdated root window and ~2ms long.
+    let wait = &rec.tree.spans[1];
+    assert!(
+        wait.dur_ns >= 1_500_000,
+        "queue wait measured: {}",
+        wait.dur_ns
+    );
+    assert!(wait.start_ns + wait.dur_ns <= rec.total_ns);
+
+    // Non-destructive snapshot surfaces the same record, slowest first.
+    let snap = trace_snapshot(16);
+    assert!(snap.iter().any(|r| r.trace_id == ctx.trace_id));
+    assert!(find_trace(ctx.trace_id).is_some(), "snapshot did not drain");
+}
+
+#[test]
+fn untraced_and_nested_paths_degrade_gracefully() {
+    let _globals = GLOBALS.lock().expect("globals");
+    set_trace_sample_every(1);
+    set_slow_threshold_ns(u64::MAX);
+
+    // An unsampled context records nothing.
+    let quiet = TraceContext {
+        trace_id: 42,
+        span_id: 7,
+        sampled: false,
+    };
+    {
+        let _root = trace_root("serve.request", "stats", quiet, Instant::now());
+    }
+    assert!(find_trace(42).is_none(), "unsampled, fast: not kept");
+
+    // trace_root under an open tree degrades to a plain child span and
+    // must not re-origin or re-label the outer trace.
+    let outer = TraceContext::mint();
+    let inner = TraceContext::mint();
+    {
+        let _root = trace_root("serve.request", "outer", outer, Instant::now());
+        let _nested = trace_root("serve.request", "inner", inner, Instant::now());
+    }
+    let rec = find_trace(outer.trace_id).expect("outer trace kept");
+    assert_eq!(rec.label, "outer");
+    assert_eq!(rec.tree.spans.len(), 2);
+    assert_eq!(rec.tree.spans[1].parent, Some(0));
+    assert!(find_trace(inner.trace_id).is_none());
+
+    // capture_from with a tree already open: work still runs, no tree.
+    {
+        let _root = span("serve.request");
+        let (value, tree) = capture_from("shard.call", Instant::now(), Some(1), || 9);
+        assert_eq!(value, 9);
+        assert!(tree.is_none());
+    }
+
+    // graft/annotate with nothing open are no-ops.
+    graft(hft_obs::SpanTree {
+        spans: vec![hft_obs::SpanRecord {
+            name: "orphan",
+            parent: None,
+            start_ns: 0,
+            dur_ns: 1,
+            shard: None,
+        }],
+    });
+    annotate("orphan", 0, 1);
+    assert_eq!(current_root_start(), None);
+}

@@ -220,6 +220,9 @@ impl RaceEngine {
         );
         if let Some(hit) = self.mc_cache.lock().expect("mc cache").get(&key) {
             self.mc_hits.add(1);
+            // Zero-duration marker so a traced waterfall distinguishes a
+            // cache-served leg from a full Monte-Carlo run.
+            let _span = hft_obs::child_span("race.mc_cache_hit");
             return *hit;
         }
         self.mc_misses.add(1);

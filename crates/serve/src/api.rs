@@ -123,6 +123,14 @@ pub enum Request {
     /// The full process-wide telemetry registry (counters, gauges,
     /// latency histograms) in its deterministic JSON form.
     Metrics,
+    /// Captured request traces from the flight recorder: the slowest
+    /// `limit` records, or one exact trace by id.
+    Traces {
+        /// Maximum records to return (slowest first).
+        limit: usize,
+        /// Fetch one specific trace instead of the slowest set.
+        trace_id: Option<u128>,
+    },
     /// Graceful shutdown: stop accepting, drain, dump stats.
     Shutdown,
 }
@@ -256,6 +264,11 @@ pub enum Response {
         /// The registry object (sorted names, fixed summary key order).
         registry: Json,
     },
+    /// Flight-recorder traces, slowest first.
+    Traces {
+        /// The captured traces.
+        traces: Vec<WireTrace>,
+    },
     /// The request could not be served (unknown licensee field values,
     /// malformed frame, bad date, ...).
     Error {
@@ -302,6 +315,172 @@ impl SweepEntry {
             mw_stretch: opt_num(v, "mw_stretch")?,
             fiber_stretch: need_num(v, "fiber_stretch")?,
             leo_stretch: opt_num(v, "leo_stretch")?,
+        })
+    }
+}
+
+/// One captured trace in its wire form: a [`Response::Traces`] entry.
+/// Mirrors `hft_obs::TraceRecord` with owned strings so it survives
+/// decoding on the client side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// 128-bit trace id.
+    pub trace_id: u128,
+    /// Request kind that produced the trace (e.g. `shortlist`).
+    pub label: String,
+    /// Kept by head sampling.
+    pub sampled: bool,
+    /// Kept by tail capture (over the slow threshold).
+    pub slow: bool,
+    /// Root duration, ns.
+    pub total_ns: u64,
+    /// The span tree, preorder, root first.
+    pub spans: Vec<WireSpan>,
+}
+
+/// One span of a [`WireTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSpan {
+    /// Span name (dotted taxonomy).
+    pub name: String,
+    /// Parent index within the trace; `None` for the root.
+    pub parent: Option<u32>,
+    /// Start offset from the root, ns.
+    pub start_ns: u64,
+    /// Duration, ns.
+    pub dur_ns: u64,
+    /// Shard the span ran against, when shard-addressed.
+    pub shard: Option<u32>,
+}
+
+impl WireTrace {
+    /// Build the wire form of a flight-recorder record.
+    pub fn of(rec: &hft_obs::TraceRecord) -> WireTrace {
+        WireTrace {
+            trace_id: rec.trace_id,
+            label: rec.label.to_string(),
+            sampled: rec.sampled,
+            slow: rec.slow,
+            total_ns: rec.total_ns,
+            spans: rec
+                .tree
+                .spans
+                .iter()
+                .map(|s| WireSpan {
+                    name: s.name.to_string(),
+                    parent: s.parent,
+                    start_ns: s.start_ns,
+                    dur_ns: s.dur_ns,
+                    shard: s.shard,
+                })
+                .collect(),
+        }
+    }
+
+    /// A text waterfall for terminals: header line, then one indented
+    /// line per span with offset, duration and shard tag.
+    pub fn render(&self) -> String {
+        use hft_obs::span::format_ns;
+        let mut out = format!(
+            "trace {} {} {}{}{}\n",
+            hft_obs::format_trace_id(self.trace_id),
+            self.label,
+            format_ns(self.total_ns),
+            if self.slow { " SLOW" } else { "" },
+            if self.sampled { " sampled" } else { "" },
+        );
+        let mut depth = vec![0usize; self.spans.len()];
+        for (i, s) in self.spans.iter().enumerate() {
+            if let Some(p) = s.parent {
+                if let Some(d) = depth.get(p as usize).copied() {
+                    depth[i] = d + 1;
+                }
+            }
+            out.push_str("  ");
+            for _ in 0..depth[i] {
+                out.push_str("  ");
+            }
+            out.push_str(&format!(
+                "{} +{} {}",
+                s.name,
+                format_ns(s.start_ns),
+                format_ns(s.dur_ns)
+            ));
+            if let Some(shard) = s.shard {
+                out.push_str(&format!(" [shard {shard}]"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "trace_id".into(),
+                s(&hft_obs::format_trace_id(self.trace_id)),
+            ),
+            ("label".into(), s(&self.label)),
+            ("sampled".into(), Json::Bool(self.sampled)),
+            ("slow".into(), Json::Bool(self.slow)),
+            ("total_ns".into(), u(self.total_ns)),
+            (
+                "spans".into(),
+                Json::Arr(self.spans.iter().map(WireSpan::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WireTrace, String> {
+        let arr = v
+            .get("spans")
+            .and_then(Json::as_arr)
+            .ok_or("trace: missing spans")?;
+        Ok(WireTrace {
+            trace_id: hft_obs::parse_trace_id(need_str(v, "trace_id")?)
+                .ok_or("trace: bad trace_id")?,
+            label: need_str(v, "label")?.to_string(),
+            sampled: need_bool(v, "sampled")?,
+            slow: need_bool(v, "slow")?,
+            total_ns: need_u64(v, "total_ns")?,
+            spans: arr
+                .iter()
+                .map(WireSpan::from_json)
+                .collect::<Result<Vec<WireSpan>, _>>()?,
+        })
+    }
+}
+
+impl WireSpan {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), s(&self.name)),
+            (
+                "parent".into(),
+                self.parent.map(|p| u(p as u64)).unwrap_or(Json::Null),
+            ),
+            ("start_ns".into(), u(self.start_ns)),
+            ("dur_ns".into(), u(self.dur_ns)),
+            (
+                "shard".into(),
+                self.shard.map(|k| u(k as u64)).unwrap_or(Json::Null),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WireSpan, String> {
+        Ok(WireSpan {
+            name: need_str(v, "name")?.to_string(),
+            parent: match v.get("parent") {
+                Some(Json::Null) | None => None,
+                Some(x) => Some(x.as_u64().ok_or("span: bad parent")? as u32),
+            },
+            start_ns: need_u64(v, "start_ns")?,
+            dur_ns: need_u64(v, "dur_ns")?,
+            shard: match v.get("shard") {
+                Some(Json::Null) | None => None,
+                Some(x) => Some(x.as_u64().ok_or("span: bad shard")? as u32),
+            },
         })
     }
 }
@@ -449,7 +628,39 @@ impl Request {
             ),
             Request::Stats => obj("stats", vec![]),
             Request::Metrics => obj("metrics", vec![]),
+            Request::Traces { limit, trace_id } => obj(
+                "traces",
+                vec![
+                    ("limit".into(), u(*limit as u64)),
+                    (
+                        "trace_id".into(),
+                        trace_id
+                            .map(|id| s(&hft_obs::format_trace_id(id)))
+                            .unwrap_or(Json::Null),
+                    ),
+                ],
+            ),
             Request::Shutdown => obj("shutdown", vec![]),
+        }
+    }
+
+    /// The request's wire type name (`geographic`, `traces`, ...): the
+    /// label used on trace records and per-kind metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Geographic { .. } => "geographic",
+            Request::SiteSearch { .. } => "site_search",
+            Request::Shortlist { .. } => "shortlist",
+            Request::Network { .. } => "network",
+            Request::Route { .. } => "route",
+            Request::Apa { .. } => "apa",
+            Request::Weather { .. } => "weather",
+            Request::Race { .. } => "race",
+            Request::StretchSweep { .. } => "stretch_sweep",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Traces { .. } => "traces",
+            Request::Shutdown => "shutdown",
         }
     }
 
@@ -524,6 +735,20 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "traces" => Ok(Request::Traces {
+                limit: match v.get("limit") {
+                    Some(Json::Null) | None => 16,
+                    Some(x) => x.as_u64().ok_or("traces: bad limit")? as usize,
+                },
+                trace_id: match v.get("trace_id") {
+                    Some(Json::Null) | None => None,
+                    Some(x) => Some(
+                        x.as_str()
+                            .and_then(hft_obs::parse_trace_id)
+                            .ok_or("traces: bad trace_id")?,
+                    ),
+                },
+            }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -621,7 +846,7 @@ impl Request {
                 "sweep|{licensee}|e{}|{constellation}",
                 epoch_of(licensee, *date)
             )),
-            Request::Stats | Request::Metrics | Request::Shutdown => None,
+            Request::Stats | Request::Metrics | Request::Traces { .. } | Request::Shutdown => None,
         }
     }
 }
@@ -765,6 +990,13 @@ impl Response {
             Response::Metrics { registry } => {
                 obj("metrics", vec![("registry".into(), registry.clone())])
             }
+            Response::Traces { traces } => obj(
+                "traces",
+                vec![(
+                    "traces".into(),
+                    Json::Arr(traces.iter().map(WireTrace::to_json).collect()),
+                )],
+            ),
             Response::Error { message } => obj("error", vec![("message".into(), s(message))]),
             Response::Overloaded => obj("overloaded", vec![]),
             Response::ShuttingDown => obj("shutting_down", vec![]),
@@ -887,6 +1119,18 @@ impl Response {
                     .cloned()
                     .ok_or("metrics: missing registry")?,
             }),
+            "traces" => {
+                let arr = v
+                    .get("traces")
+                    .and_then(Json::as_arr)
+                    .ok_or("traces: missing traces")?;
+                Ok(Response::Traces {
+                    traces: arr
+                        .iter()
+                        .map(WireTrace::from_json)
+                        .collect::<Result<Vec<WireTrace>, _>>()?,
+                })
+            }
             "error" => Ok(Response::Error {
                 message: need_str(v, "message")?.to_string(),
             }),
@@ -933,6 +1177,13 @@ fn need_num(v: &Json, key: &str) -> Result<f64, String> {
     v.get(key)
         .and_then(Json::as_num)
         .ok_or_else(|| format!("missing or non-numeric field {key:?}"))
+}
+
+fn need_bool(v: &Json, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean field {key:?}")),
+    }
 }
 
 fn need_u64(v: &Json, key: &str) -> Result<u64, String> {

@@ -35,7 +35,7 @@
 //! round trip of `x` on every variant — the fixed point the byte-level
 //! verification harness relies on.
 
-use crate::api::{Request, Response, SweepEntry};
+use crate::api::{Request, Response, SweepEntry, WireSpan, WireTrace};
 use crate::json::Json;
 use crate::stats::ServeSnapshot;
 use hft_core::session::StatsSnapshot;
@@ -461,6 +461,7 @@ const REQ_METRICS: u8 = 0x09;
 const REQ_SHUTDOWN: u8 = 0x0a;
 const REQ_RACE: u8 = 0x0b;
 const REQ_STRETCH_SWEEP: u8 = 0x0c;
+const REQ_TRACES: u8 = 0x0d;
 
 /// Append `req`'s binary body to `buf` (which is not cleared — pooled
 /// buffers arrive already reset).
@@ -570,6 +571,17 @@ pub fn encode_request_into(req: &Request, buf: &mut Vec<u8>) {
         }
         Request::Stats => buf.push(REQ_STATS),
         Request::Metrics => buf.push(REQ_METRICS),
+        Request::Traces { limit, trace_id } => {
+            buf.push(REQ_TRACES);
+            put_varint(buf, *limit as u64);
+            match trace_id {
+                None => buf.push(0),
+                Some(id) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
         Request::Shutdown => buf.push(REQ_SHUTDOWN),
     }
 }
@@ -648,6 +660,16 @@ pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
         },
         REQ_STATS => Request::Stats,
         REQ_METRICS => Request::Metrics,
+        REQ_TRACES => Request::Traces {
+            limit: cur.varint()? as usize,
+            trace_id: if cur.presence()? {
+                Some(u128::from_le_bytes(
+                    cur.take(16)?.try_into().expect("16 bytes"),
+                ))
+            } else {
+                None
+            },
+        },
         REQ_SHUTDOWN => Request::Shutdown,
         t => return Err(DecodeError::BadTag("request", t)),
     };
@@ -670,6 +692,11 @@ const RESP_OVERLOADED: u8 = 0x0a;
 const RESP_SHUTTING_DOWN: u8 = 0x0b;
 const RESP_RACE: u8 = 0x0c;
 const RESP_STRETCH_SWEEP: u8 = 0x0d;
+const RESP_TRACES: u8 = 0x0e;
+
+/// Trace flag bits (byte-packed on the wire).
+const TRACE_FLAG_SAMPLED: u8 = 0b01;
+const TRACE_FLAG_SLOW: u8 = 0b10;
 
 /// Append `resp`'s binary body to `buf` (not cleared — pooled buffers
 /// arrive already reset).
@@ -832,6 +859,31 @@ pub fn encode_response_into(resp: &Response, buf: &mut Vec<u8>) {
             buf.push(RESP_METRICS);
             put_json(buf, registry);
         }
+        Response::Traces { traces } => {
+            buf.push(RESP_TRACES);
+            put_varint(buf, traces.len() as u64);
+            for t in traces {
+                buf.extend_from_slice(&t.trace_id.to_le_bytes());
+                put_str(buf, &t.label);
+                let mut flags = 0u8;
+                if t.sampled {
+                    flags |= TRACE_FLAG_SAMPLED;
+                }
+                if t.slow {
+                    flags |= TRACE_FLAG_SLOW;
+                }
+                buf.push(flags);
+                put_varint(buf, t.total_ns);
+                put_varint(buf, t.spans.len() as u64);
+                for s in &t.spans {
+                    put_str(buf, &s.name);
+                    put_opt_varint(buf, s.parent.map(u64::from));
+                    put_varint(buf, s.start_ns);
+                    put_varint(buf, s.dur_ns);
+                    put_opt_varint(buf, s.shard.map(u64::from));
+                }
+            }
+        }
         Response::Error { message } => {
             buf.push(RESP_ERROR);
             put_str(buf, message);
@@ -978,6 +1030,42 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
         RESP_METRICS => Response::Metrics {
             registry: cur.json(0)?,
         },
+        RESP_TRACES => {
+            let n = cur.len_prefix()?;
+            let mut traces = Vec::with_capacity(n);
+            for _ in 0..n {
+                let trace_id = u128::from_le_bytes(cur.take(16)?.try_into().expect("16 bytes"));
+                let label = cur.str()?;
+                let flags = cur.u8()?;
+                let total_ns = cur.varint()?;
+                let m = cur.len_prefix()?;
+                let mut spans = Vec::with_capacity(m);
+                for _ in 0..m {
+                    spans.push(WireSpan {
+                        name: cur.str()?,
+                        parent: match cur.opt_varint()? {
+                            None => None,
+                            Some(p) => Some(u32::try_from(p).map_err(|_| DecodeError::BadVarint)?),
+                        },
+                        start_ns: cur.varint()?,
+                        dur_ns: cur.varint()?,
+                        shard: match cur.opt_varint()? {
+                            None => None,
+                            Some(k) => Some(u32::try_from(k).map_err(|_| DecodeError::BadVarint)?),
+                        },
+                    });
+                }
+                traces.push(WireTrace {
+                    trace_id,
+                    label,
+                    sampled: flags & TRACE_FLAG_SAMPLED != 0,
+                    slow: flags & TRACE_FLAG_SLOW != 0,
+                    total_ns,
+                    spans,
+                });
+            }
+            Response::Traces { traces }
+        }
         RESP_ERROR => Response::Error {
             message: cur.str()?,
         },
@@ -1092,6 +1180,14 @@ mod tests {
             },
             Request::Stats,
             Request::Metrics,
+            Request::Traces {
+                limit: 16,
+                trace_id: None,
+            },
+            Request::Traces {
+                limit: 1,
+                trace_id: Some(0xdead_beef_0123_4567_89ab_cdef_f00d_cafe),
+            },
             Request::Shutdown,
         ]
     }
@@ -1241,6 +1337,39 @@ mod tests {
                     ),
                 ]),
             },
+            Response::Traces {
+                traces: vec![WireTrace {
+                    trace_id: u128::MAX,
+                    label: "shortlist".into(),
+                    sampled: true,
+                    slow: true,
+                    total_ns: 61_000_000,
+                    spans: vec![
+                        WireSpan {
+                            name: "serve.request".into(),
+                            parent: None,
+                            start_ns: 0,
+                            dur_ns: 61_000_000,
+                            shard: None,
+                        },
+                        WireSpan {
+                            name: "queue.wait".into(),
+                            parent: Some(0),
+                            start_ns: 0,
+                            dur_ns: 1_000_000,
+                            shard: None,
+                        },
+                        WireSpan {
+                            name: "shard.call".into(),
+                            parent: Some(0),
+                            start_ns: 1_000_000,
+                            dur_ns: 59_000_000,
+                            shard: Some(3),
+                        },
+                    ],
+                }],
+            },
+            Response::Traces { traces: vec![] },
             Response::Error {
                 message: "unknown data center \"LD4\"".into(),
             },

@@ -321,7 +321,7 @@ impl WireDriver {
                 ));
                 cx.begin_shutdown();
             }
-            Request::Stats | Request::Metrics => {
+            Request::Stats | Request::Metrics | Request::Traces { .. } => {
                 // Queue-bypassing telemetry: must answer even when the
                 // admission queue is saturated.
                 let response = cx.handler().handle(&request);

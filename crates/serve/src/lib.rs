@@ -42,7 +42,7 @@ pub mod singleflight;
 pub mod stats;
 pub mod wire;
 
-pub use api::{Request, Response};
+pub use api::{Request, Response, WireSpan, WireTrace};
 pub use binwire::Proto;
 pub use evloop::{ConnDriver, DriverCx, DriverFactory, ExtraListener};
 pub use live::LiveService;

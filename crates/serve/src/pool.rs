@@ -97,6 +97,10 @@ impl ResponseSlot {
 struct Job {
     request: Request,
     enqueued: Instant,
+    /// Trace identity minted at admission — the queue is the single
+    /// admission point shared by the threaded plane, the evented loop
+    /// and the HTTP driver, so every pooled request gets one.
+    ctx: hft_obs::TraceContext,
     slot: Arc<ResponseSlot>,
 }
 
@@ -169,6 +173,7 @@ impl Queue {
         inner.jobs.push_back(Job {
             request,
             enqueued: Instant::now(),
+            ctx: hft_obs::TraceContext::mint(),
             slot: Arc::clone(&slot),
         });
         stats.on_accepted(inner.jobs.len());
@@ -201,12 +206,17 @@ impl Queue {
     pub fn worker<H: Handler>(&self, handler: &H) {
         while let Some(job) = self.next_job() {
             let stats = handler.serve_stats();
-            stats.on_queue_wait(job.enqueued.elapsed().as_nanos() as u64);
+            let wait_ns = job.enqueued.elapsed().as_nanos() as u64;
+            stats.on_queue_wait(wait_ns);
             let started = Instant::now();
             let response = {
-                // Root of each request's span tree; closing it files the
-                // tree into the sample ring or the slow-query log.
-                let _span = hft_obs::span("serve.request");
+                // Root of each request's span tree, backdated to the
+                // enqueue instant so queue wait is inside the window;
+                // closing it files the tree into the sample ring, the
+                // slow-query log and (when traced) the flight recorder.
+                let _span =
+                    hft_obs::trace_root("serve.request", job.request.kind(), job.ctx, job.enqueued);
+                hft_obs::annotate("queue.wait", 0, wait_ns);
                 handler.handle(&job.request)
             };
             stats.on_service(started.elapsed().as_nanos() as u64);

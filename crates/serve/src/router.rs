@@ -33,7 +33,7 @@
 
 use crate::api::{Request, Response};
 use crate::live::LiveService;
-use crate::service::{metrics_json, Handler, Service};
+use crate::service::{metrics_json, traces_response, Handler, Service};
 use crate::stats::ServeStats;
 use hft_core::session::StatsSnapshot;
 use hft_ingest::ShardedStore;
@@ -94,6 +94,9 @@ impl ShardRouter {
             Request::Metrics => Response::Metrics {
                 registry: metrics_json(),
             },
+            // The flight recorder is process-wide, so the router answers
+            // directly — its records already contain stitched shard spans.
+            Request::Traces { limit, trace_id } => traces_response(*limit, *trace_id),
             Request::Shutdown => Response::ShuttingDown,
             Request::Network { licensee, .. }
             | Request::Route { licensee, .. }
@@ -102,7 +105,9 @@ impl ShardRouter {
             | Request::Race { licensee, .. }
             | Request::StretchSweep { licensee, .. } => self.single(licensee, req),
             Request::Geographic { .. } | Request::SiteSearch { .. } | Request::Shortlist { .. } => {
-                merge_scatter(req, self.scatter(req))
+                let responses = self.scatter(req);
+                let _merge = hft_obs::span("router.merge");
+                merge_scatter(req, responses)
             }
         }
     }
@@ -112,36 +117,63 @@ impl ShardRouter {
     /// owner's answer.
     fn single(&self, licensee: &str, req: &Request) -> Response {
         if self.shards.len() == 1 {
+            let _leg = hft_obs::span_sharded("shard.call", 0);
             return self.call(0, &self.shards[0].engine(), req);
         }
         if self.strategy.routes_by_name() {
             let k = shard_of_licensee(licensee, self.shards.len()) as usize;
+            let _leg = hft_obs::span_sharded("shard.call", k as u32);
             self.call(k, &self.shards[k].engine(), req)
         } else {
-            merge_owned(self.scatter(req))
+            let responses = self.scatter(req);
+            let _merge = hft_obs::span("router.merge");
+            merge_owned(responses)
         }
     }
 
     /// Fan a request out to every shard against a pinned generation
-    /// vector, returning per-shard answers in shard order.
+    /// vector, returning per-shard answers in shard order. Each leg's
+    /// span subtree is captured on the worker thread against the
+    /// coordinator's trace clock and grafted back under `router.scatter`
+    /// — the cross-shard stitch that lets a waterfall name the straggler.
     fn scatter(&self, req: &Request) -> Vec<Response> {
         // Pin the generation vector: one engine capture per shard, all
         // before any shard computes.
         let engines: Vec<Arc<Service<'static>>> = self.shards.iter().map(|s| s.engine()).collect();
         if engines.len() == 1 {
+            let _leg = hft_obs::span_sharded("shard.call", 0);
             return vec![self.call(0, &engines[0], req)];
         }
-        std::thread::scope(|scope| {
+        let _scatter = hft_obs::span("router.scatter");
+        let base = hft_obs::current_root_start();
+        let legs: Vec<(Response, Option<hft_obs::SpanTree>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = engines
                 .iter()
                 .enumerate()
-                .map(|(k, engine)| scope.spawn(move || self.call(k, engine, req)))
+                .map(|(k, engine)| {
+                    scope.spawn(move || match base {
+                        Some(base) => {
+                            hft_obs::capture_from("shard.call", base, Some(k as u32), || {
+                                self.call(k, engine, req)
+                            })
+                        }
+                        None => (self.call(k, engine, req), None),
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
-        })
+        });
+        legs.into_iter()
+            .map(|(response, tree)| {
+                if let Some(tree) = tree {
+                    hft_obs::graft(tree);
+                }
+                response
+            })
+            .collect()
     }
 
     /// One shard call, reported into the shard's labeled counters (the

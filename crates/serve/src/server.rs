@@ -372,10 +372,10 @@ fn handle_connection<H: Handler>(
                     service.serve_stats().on_completed(false);
                     outbox.push(Outgoing::Slot(ResponseSlot::filled(response), proto));
                 }
-                Request::Metrics => {
+                Request::Metrics | Request::Traces { .. } => {
                     // Like `stats`: telemetry must answer even when the
                     // admission queue is saturated.
-                    let response = service.handle(&Request::Metrics);
+                    let response = service.handle(&request);
                     service.serve_stats().on_completed(false);
                     outbox.push(Outgoing::Slot(ResponseSlot::filled(response), proto));
                 }

@@ -310,6 +310,7 @@ impl<'a> Service<'a> {
             Request::Metrics => Response::Metrics {
                 registry: metrics_json(),
             },
+            Request::Traces { limit, trace_id } => traces_response(*limit, *trace_id),
             Request::Shutdown => Response::ShuttingDown,
         }
     }
@@ -379,6 +380,20 @@ fn canonical_ids(licenses: Vec<&hft_uls::License>) -> Vec<u64> {
     let mut ids: Vec<u64> = licenses.iter().map(|l| l.id.0).collect();
     ids.sort_unstable();
     ids
+}
+
+/// The flight recorder's answer to [`Request::Traces`]: one exact trace
+/// by id, or the slowest `limit` records. The recorder is process-wide,
+/// so the same helper serves a single [`Service`], a live server and a
+/// shard router.
+pub(crate) fn traces_response(limit: usize, trace_id: Option<u128>) -> Response {
+    let records = match trace_id {
+        Some(id) => hft_obs::find_trace(id).into_iter().collect(),
+        None => hft_obs::trace_snapshot(limit.min(256)),
+    };
+    Response::Traces {
+        traces: records.iter().map(crate::api::WireTrace::of).collect(),
+    }
 }
 
 /// The global telemetry registry as a wire-encodable JSON value.

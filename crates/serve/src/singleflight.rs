@@ -95,7 +95,10 @@ impl<T: Clone> Group<T> {
                         flight: &flight,
                         finished: false,
                     };
-                    let value = compute();
+                    let value = {
+                        let _span = hft_obs::child_span("singleflight.lead");
+                        compute()
+                    };
                     {
                         let mut state = flight.state.lock().expect("flight state");
                         *state = FlightState::Done(value.clone());
@@ -106,7 +109,7 @@ impl<T: Clone> Group<T> {
                     return (value, true);
                 }
                 Follow(flight) => {
-                    let _span = hft_obs::span("singleflight.wait");
+                    let _span = hft_obs::child_span("singleflight.wait");
                     let mut state = flight.state.lock().expect("flight state");
                     loop {
                         match &*state {

@@ -105,9 +105,32 @@ pub fn request() -> BoxedStrategy<Request> {
         }),
         Just(Request::Stats),
         Just(Request::Metrics),
+        traces_request(),
         Just(Request::Shutdown),
     ]
     .boxed()
+}
+
+/// A flight-recorder fetch: bounded limit, optional full-range trace
+/// id. Ids ride the JSON wire as 32-hex strings (and the binary wire
+/// as raw 16 bytes), so the whole `u128` range is exact under both
+/// codecs even though plain JSON numbers are not.
+pub fn traces_request() -> BoxedStrategy<Request> {
+    (0usize..10_000, proptest::option::of(trace_id()))
+        .prop_map(|(limit, trace_id)| Request::Traces { limit, trace_id })
+        .boxed()
+}
+
+/// Full-range 128-bit trace ids, composed from two 64-bit halves (the
+/// vendored proptest has no native `u128` strategy).
+pub fn trace_id() -> impl Strategy<Value = u128> {
+    (proptest::num::u64::ANY, proptest::num::u64::ANY)
+        .prop_map(|(hi, lo)| ((hi as u128) << 64) | lo as u128)
+}
+
+/// Coin-flip strategy (no native `bool` in the vendored proptest).
+pub fn flag() -> BoxedStrategy<bool> {
+    prop_oneof![Just(false), Just(true)].boxed()
 }
 
 pub fn constellation() -> BoxedStrategy<String> {
@@ -303,6 +326,53 @@ pub fn registry_json() -> impl Strategy<Value = hft_serve::json::Json> {
         })
 }
 
+/// One span of a captured trace. Offsets and durations stay below
+/// 2^53 (exact JSON doubles); parent indices are not validated by the
+/// codec, so arbitrary small indices exercise the encoding without
+/// implying a well-formed tree.
+pub fn wire_span() -> impl Strategy<Value = hft_serve::WireSpan> {
+    (
+        text(),
+        proptest::option::of(0u32..1024),
+        counter(),
+        counter(),
+        proptest::option::of(0u32..64),
+    )
+        .prop_map(
+            |(name, parent, start_ns, dur_ns, shard)| hft_serve::WireSpan {
+                name,
+                parent,
+                start_ns,
+                dur_ns,
+                shard,
+            },
+        )
+}
+
+/// A full flight-recorder record, trace id spanning the whole `u128`
+/// range (hex-string / raw-bytes encodings are exact — see
+/// [`traces_request`]).
+pub fn wire_trace() -> impl Strategy<Value = hft_serve::WireTrace> {
+    (
+        trace_id(),
+        text(),
+        flag(),
+        flag(),
+        counter(),
+        proptest::collection::vec(wire_span(), 0..8),
+    )
+        .prop_map(
+            |(trace_id, label, sampled, slow, total_ns, spans)| hft_serve::WireTrace {
+                trace_id,
+                label,
+                sampled,
+                slow,
+                total_ns,
+                spans,
+            },
+        )
+}
+
 pub fn response() -> BoxedStrategy<Response> {
     prop_oneof![
         proptest::collection::vec(counter(), 0..20).prop_map(|ids| Response::Licenses { ids }),
@@ -361,6 +431,8 @@ pub fn response() -> BoxedStrategy<Response> {
         (serve_snapshot(), session_snapshot())
             .prop_map(|(serve, session)| Response::Stats { serve, session }),
         registry_json().prop_map(|registry| Response::Metrics { registry }),
+        proptest::collection::vec(wire_trace(), 0..4)
+            .prop_map(|traces| Response::Traces { traces }),
         text().prop_map(|message| Response::Error { message }),
         Just(Response::Overloaded),
         Just(Response::ShuttingDown),

@@ -23,6 +23,8 @@
 //!   export      dump the license corpus as a ULS-style flat file
 //!   yaml NAME   dump one licensee's 2020-04-01 network as YAML
 //!   serve       run the concurrent query service over TCP
+//!   trace       pull captured traces from a running server
+//!               (--connect HOST:PORT [--id HEX] [--limit N])
 //!   ingest      replay the corpus's 2013–2020 event history as daily
 //!               transaction dumps with yearly checkpoint verification
 //!   metrics     run a representative query mix and dump the telemetry
@@ -43,7 +45,10 @@
 //! it starts from an **empty** corpus instead of the generated one and
 //! tails `DIR` for transaction dumps, publishing a new corpus generation
 //! per ingested batch (per shard, in lockstep, when sharded) while
-//! queries keep answering. With `--metrics-interval SECS` a background
+//! queries keep answering. With `--trace-sample N` one request in N is
+//! head-sampled into the flight recorder (1 = every request; slow
+//! requests are always captured); `trace --connect` pulls the recorded
+//! waterfalls back out. With `--metrics-interval SECS` a background
 //! thread dumps the full telemetry registry every interval — atomically
 //! to `--metrics-out PATH`, or to stderr — and drains the slow-query
 //! log to stderr. Any analysis command accepts `--stats` to print the
@@ -79,6 +84,10 @@ struct Args {
     shards: usize,
     strategy: hft_uls::ShardStrategy,
     io: hft_serve::IoMode,
+    trace_sample: Option<u64>,
+    connect: Option<String>,
+    id: Option<u128>,
+    limit: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -101,6 +110,10 @@ fn parse_args() -> Result<Args, String> {
         shards: 1,
         strategy: hft_uls::ShardStrategy::LicenseeHash,
         io: hft_serve::IoMode::default(),
+        trace_sample: None,
+        connect: None,
+        id: None,
+        limit: 10,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -162,6 +175,23 @@ fn parse_args() -> Result<Args, String> {
                 parsed.io = hft_serve::IoMode::parse(&v)
                     .ok_or_else(|| format!("bad io mode {v:?} (evented|threaded)"))?;
             }
+            "--trace-sample" => {
+                let v = args.next().ok_or("--trace-sample needs a value")?;
+                parsed.trace_sample =
+                    Some(v.parse().map_err(|_| format!("bad trace sample {v:?}"))?);
+            }
+            "--connect" => {
+                parsed.connect = Some(args.next().ok_or("--connect needs HOST:PORT")?);
+            }
+            "--id" => {
+                let v = args.next().ok_or("--id needs a hex trace id")?;
+                parsed.id =
+                    Some(hft_obs::parse_trace_id(&v).ok_or_else(|| format!("bad trace id {v:?}"))?);
+            }
+            "--limit" => {
+                let v = args.next().ok_or("--limit needs a value")?;
+                parsed.limit = v.parse().map_err(|_| format!("bad limit {v:?}"))?;
+            }
             other if parsed.name.is_none() && !other.starts_with('-') => {
                 parsed.name = Some(other.to_string());
             }
@@ -172,7 +202,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|race|entity|overhead|export|yaml NAME|serve|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--http PORT] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom]".to_string()
+    "usage: hftnetview <funnel|table1|table2|table3|fig1|fig2|fig3|fig4a|fig4b|fig5|weather|race|entity|overhead|export|yaml NAME|serve|trace|ingest|metrics|all> [--seed N] [--out DIR] [--stats] [--port N] [--http PORT] [--workers N] [--queue-depth N] [--shards N] [--strategy licensee|spatial] [--io evented|threaded] [--trace-sample N] [--follow DIR] [--metrics-interval SECS] [--metrics-out PATH] [--prom] [--connect HOST:PORT] [--id HEX] [--limit N]".to_string()
 }
 
 fn write(path: &Path, contents: &str) -> std::io::Result<()> {
@@ -187,8 +217,14 @@ fn write(path: &Path, contents: &str) -> std::io::Result<()> {
 
 fn run(args: &Args) -> Result<(), String> {
     let io_err = |e: std::io::Error| e.to_string();
+    if args.command == "trace" {
+        return run_trace(args);
+    }
     let eco = generate(&chicago_nj(), args.seed);
     if args.command == "serve" {
+        if let Some(every) = args.trace_sample {
+            hft_obs::set_trace_sample_every(every);
+        }
         let server = hft_serve::Server::bind(hft_serve::ServeConfig {
             addr: format!("127.0.0.1:{}", args.port),
             workers: args.workers,
@@ -526,6 +562,49 @@ fn run(args: &Args) -> Result<(), String> {
         println!("{}", analysis.session_stats_json());
     }
     Ok(())
+}
+
+/// The `trace` command: pull captured traces from a running server's
+/// flight recorder over the wire protocol and print their waterfalls.
+/// `--id HEX` fetches one trace; otherwise the `--limit` slowest.
+fn run_trace(args: &Args) -> Result<(), String> {
+    let addr = args
+        .connect
+        .as_deref()
+        .ok_or("trace requires --connect HOST:PORT")?;
+    let addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad --connect address {addr:?}"))?;
+    let mut client = hft_serve::Client::connect_with(&addr, hft_serve::Proto::Binary)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let response = client
+        .call(&hft_serve::Request::Traces {
+            limit: args.limit,
+            trace_id: args.id,
+        })
+        .map_err(|e| e.to_string())?;
+    match response {
+        hft_serve::Response::Traces { traces } => {
+            if traces.is_empty() {
+                match args.id {
+                    Some(id) => println!(
+                        "no captured trace {} (evicted, or never sampled)",
+                        hft_obs::format_trace_id(id)
+                    ),
+                    None => println!(
+                        "no captured traces yet — serve with --trace-sample 1 or drive \
+                         requests past the slow threshold"
+                    ),
+                }
+            }
+            for t in &traces {
+                print!("{}", t.render());
+            }
+            Ok(())
+        }
+        hft_serve::Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response {other:?}")),
+    }
 }
 
 /// The `metrics` command: drive a representative query mix through an
